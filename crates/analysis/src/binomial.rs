@@ -1,0 +1,141 @@
+//! Binomial probability mass with numerically safe evaluation over the
+//! (possibly huge) supports the Sec. 4.5 formulas sum over.
+
+use sspc_common::stats::ln_gamma;
+use sspc_common::{Error, Result};
+
+/// A Binomial(n, p) pmf evaluator with support truncation.
+///
+/// For the Fig. 1 model `n` can be several thousand; expectations are
+/// computed by summing over `mean ± 10σ` (the rest of the mass is below
+/// `1e-20` and irrelevant at plot precision).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinomialPmf {
+    n: u64,
+    p: f64,
+}
+
+impl BinomialPmf {
+    /// Creates the evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+    pub fn new(n: u64, p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(Error::InvalidParameter(format!(
+                "binomial p must be in [0, 1], got {p}"
+            )));
+        }
+        Ok(BinomialPmf { n, p })
+    }
+
+    /// `Pr(X = x)` via log-space evaluation.
+    pub fn pmf(&self, x: u64) -> f64 {
+        if x > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if x == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if x == self.n { 1.0 } else { 0.0 };
+        }
+        let n = self.n as f64;
+        let xf = x as f64;
+        let ln = ln_choose(self.n, x) + xf * self.p.ln() + (n - xf) * (1.0 - self.p).ln();
+        ln.exp()
+    }
+
+    /// The truncated support `[lo, hi]` covering all but ~1e-20 of the mass.
+    pub fn support_window(&self) -> (u64, u64) {
+        let mean = self.n as f64 * self.p;
+        let sd = (self.n as f64 * self.p * (1.0 - self.p)).sqrt();
+        let lo = (mean - 10.0 * sd - 1.0).floor().max(0.0) as u64;
+        let hi = ((mean + 10.0 * sd + 1.0).ceil() as u64).min(self.n);
+        (lo, hi)
+    }
+
+    /// `E[f(X)]` summed over the truncated support, renormalized by the
+    /// covered mass so truncation never biases the expectation downward.
+    pub fn expectation(&self, mut f: impl FnMut(u64) -> f64) -> f64 {
+        let (lo, hi) = self.support_window();
+        let mut total = 0.0;
+        let mut mass = 0.0;
+        for x in lo..=hi {
+            let w = self.pmf(x);
+            mass += w;
+            total += w * f(x);
+        }
+        if mass > 0.0 {
+            total / mass
+        } else {
+            0.0
+        }
+    }
+}
+
+/// `ln C(n, k)` via log-gamma.
+pub(crate) fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pmf_matches_hand_computation() {
+        let b = BinomialPmf::new(4, 0.5).unwrap();
+        let expect = [1.0, 4.0, 6.0, 4.0, 1.0].map(|c| c / 16.0);
+        for (x, e) in expect.iter().enumerate() {
+            assert!((b.pmf(x as u64) - e).abs() < 1e-12, "x={x}");
+        }
+        assert_eq!(b.pmf(5), 0.0);
+    }
+
+    #[test]
+    fn degenerate_p_values() {
+        let b = BinomialPmf::new(10, 0.0).unwrap();
+        assert_eq!(b.pmf(0), 1.0);
+        assert_eq!(b.pmf(1), 0.0);
+        let b = BinomialPmf::new(10, 1.0).unwrap();
+        assert_eq!(b.pmf(10), 1.0);
+        assert_eq!(b.pmf(9), 0.0);
+        assert!(BinomialPmf::new(10, 1.5).is_err());
+    }
+
+    #[test]
+    fn expectation_of_identity_is_np() {
+        let b = BinomialPmf::new(1000, 0.3).unwrap();
+        let mean = b.expectation(|x| x as f64);
+        assert!((mean - 300.0).abs() < 0.5, "got {mean}");
+    }
+
+    #[test]
+    fn ln_choose_known_values() {
+        assert!((ln_choose(5, 2) - 10.0f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(10, 0)).abs() < 1e-12);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pmf_sums_to_one(n in 1u64..200, p in 0.01f64..0.99) {
+            let b = BinomialPmf::new(n, p).unwrap();
+            let total: f64 = (0..=n).map(|x| b.pmf(x)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_expectation_bounded(n in 1u64..500, p in 0.0f64..1.0) {
+            let b = BinomialPmf::new(n, p).unwrap();
+            let e = b.expectation(|x| (x as f64 / n as f64).min(1.0));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&e));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The Fig. 1 / Fig. 2 probability curves.
+
+use crate::binomial::{ln_choose, BinomialPmf};
+use sspc_common::stats::ChiSquared;
+use sspc_common::{Error, Result};
+
+/// Shared parameters of the Sec. 4.5 analysis. The defaults are the values
+/// the paper plugs in for its figures: `d = 3000`, `p = 0.01`, `c = 3`,
+/// `g = 20`, variance ratio `0.15`, `k = 5`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisConfig {
+    /// Total number of dimensions `d`.
+    pub d: usize,
+    /// Number of dimensions relevant to the target cluster `dᵢ`.
+    pub d_i: usize,
+    /// Number of clusters `k` (used by the labeled-dimensions model, where
+    /// a dimension may be relevant to several clusters).
+    pub k: usize,
+    /// The `p`-scheme bound on selecting an irrelevant dimension.
+    pub p: f64,
+    /// Building dimensions per grid `c`.
+    pub c: usize,
+    /// Grids per seed group `g`.
+    pub g: usize,
+    /// Local-to-global variance ratio of relevant dimensions.
+    pub variance_ratio: f64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            d: 3000,
+            d_i: 150,
+            k: 5,
+            p: 0.01,
+            c: 3,
+            g: 20,
+            variance_ratio: 0.15,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    fn validate(&self) -> Result<()> {
+        if self.d == 0 || self.d_i == 0 || self.d_i > self.d {
+            return Err(Error::InvalidParameter(format!(
+                "need 0 < d_i <= d, got d_i={}, d={}",
+                self.d_i, self.d
+            )));
+        }
+        if self.k == 0 {
+            return Err(Error::InvalidParameter("k must be positive".into()));
+        }
+        if !(self.p > 0.0 && self.p < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "p must be in (0, 1), got {}",
+                self.p
+            )));
+        }
+        if self.c == 0 || self.g == 0 {
+            return Err(Error::InvalidParameter("c and g must be positive".into()));
+        }
+        if !(self.variance_ratio > 0.0 && self.variance_ratio < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "variance_ratio must be in (0, 1), got {}",
+                self.variance_ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// **Figure 1** — labeled objects only: the probability that at least one
+/// of the `g` grids is built from relevant dimensions only, given
+/// `n_labeled = |Iᵒᵢ|` labeled objects.
+///
+/// Derivation (matching the Sec. 4.2.2 construction):
+///
+/// 1. The labeled objects form a temporary cluster of size `n₀`; candidate
+///    dimensions are those passing `SelectDim`. Under the `p`-scheme with
+///    threshold `ŝ² = σ²ⱼ·χ²⁻¹(p; n₀−1)/(n₀−1)`:
+///    * an **irrelevant** dimension passes with probability `p`
+///      (by construction);
+///    * a **relevant** dimension has `(n₀−1)s²/(ρσ²ⱼ) ~ χ²(n₀−1)` with
+///      `ρ` = variance ratio, so it passes with probability
+///      `q = F_{χ²(n₀−1)}(χ²⁻¹(p; n₀−1)/ρ)`.
+/// 2. The candidate set therefore contains `R ~ Bin(dᵢ, q)` relevant and
+///    `W ~ Bin(d−dᵢ, p)` irrelevant dimensions.
+/// 3. One grid draws `c` distinct candidates; the probability all are
+///    relevant is hypergeometric, `C(R, c)/C(R+W, c)` (the φ-weighted draw
+///    of the implementation only increases this, so the formula is a lower
+///    bound — the same direction the tech report's "at least" phrasing
+///    suggests).
+/// 4. Grids redraw independently, so conditioned on `(R, W)` the answer is
+///    `1 − (1 − h)^g`; the final value is the expectation over `R` and `W`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for out-of-domain configuration or
+/// `n_labeled < 2` (the paper requires at least two labeled objects).
+pub fn prob_good_grid_labeled_objects(cfg: &AnalysisConfig, n_labeled: usize) -> Result<f64> {
+    cfg.validate()?;
+    if n_labeled < 2 {
+        return Err(Error::InvalidParameter(format!(
+            "need at least 2 labeled objects, got {n_labeled}"
+        )));
+    }
+    let dof = (n_labeled - 1) as f64;
+    let chi = ChiSquared::new(dof)?;
+    let threshold = chi.quantile(cfg.p)?;
+    let q_rel = chi.cdf(threshold / cfg.variance_ratio)?;
+
+    let rel = BinomialPmf::new(cfg.d_i as u64, q_rel)?;
+    let irr = BinomialPmf::new((cfg.d - cfg.d_i) as u64, cfg.p)?;
+    let g = cfg.g as i32;
+    let c = cfg.c as u64;
+
+    let value = rel.expectation(|r| {
+        irr.expectation(|w| {
+            let h = hypergeom_all(r, w, c);
+            1.0 - (1.0 - h).powi(g)
+        })
+    });
+    Ok(value.clamp(0.0, 1.0))
+}
+
+/// **Figure 2** — labeled dimensions only: the probability that at least
+/// one grid has all `c` building dimensions relevant to the target cluster
+/// **only**, given `n_labeled = |Iᵛᵢ|` labeled dimensions.
+///
+/// Derivation (matching the Sec. 4.2.3 construction):
+///
+/// 1. Every labeled dimension is relevant to `Cᵢ` by assumption, but may
+///    also be relevant to other clusters (then the grid has multiple peaks
+///    and the absolute peak may belong to the wrong cluster). Modeling each
+///    of the other `k−1` clusters as holding `dᵢ` relevant dimensions drawn
+///    independently from the `d`, a labeled dimension is `Cᵢ`-exclusive
+///    with probability `π = (1 − dᵢ/d)^(k−1)`.
+/// 2. The number of exclusive labeled dimensions is `M ~ Bin(|Iᵛ|, π)`.
+/// 3. A grid draws `min(c, |Iᵛ|)` distinct labeled dimensions uniformly;
+///    all-exclusive has hypergeometric probability `C(M, c)/C(|Iᵛ|, c)`.
+/// 4. Expectation over `M` of `1 − (1 − h)^g`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for out-of-domain configuration or
+/// `n_labeled = 0`.
+pub fn prob_good_grid_labeled_dims(cfg: &AnalysisConfig, n_labeled: usize) -> Result<f64> {
+    cfg.validate()?;
+    if n_labeled == 0 {
+        return Err(Error::InvalidParameter(
+            "need at least 1 labeled dimension".into(),
+        ));
+    }
+    let pi = (1.0 - cfg.d_i as f64 / cfg.d as f64).powi(cfg.k as i32 - 1);
+    let m = BinomialPmf::new(n_labeled as u64, pi)?;
+    let c_eff = cfg.c.min(n_labeled) as u64;
+    let g = cfg.g as i32;
+    let total = n_labeled as u64;
+
+    let value = m.expectation(|m_excl| {
+        let h = hypergeom_from(m_excl, total, c_eff);
+        1.0 - (1.0 - h).powi(g)
+    });
+    Ok(value.clamp(0.0, 1.0))
+}
+
+/// `Pr(all c draws land in the r "good" items)` when drawing without
+/// replacement from `r + w` items: `C(r, c)/C(r+w, c)`.
+fn hypergeom_all(r: u64, w: u64, c: u64) -> f64 {
+    hypergeom_from(r, r + w, c)
+}
+
+/// `C(good, c)/C(total, c)` with the degenerate cases handled.
+fn hypergeom_from(good: u64, total: u64, c: u64) -> f64 {
+    if c == 0 {
+        return 1.0;
+    }
+    if good < c || total < c {
+        return 0.0;
+    }
+    (ln_choose(good, c) - ln_choose(total, c)).exp().clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(d_i: usize) -> AnalysisConfig {
+        AnalysisConfig {
+            d_i,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig1_paper_anchor_point() {
+        // Paper: "when dᵢ/d = 5%, only 5 inputs are enough to have an
+        // almost 100% guarantee that a grid will be formed by relevant
+        // dimensions only."
+        let p = prob_good_grid_labeled_objects(&cfg(150), 5).unwrap();
+        assert!(p > 0.95, "got {p}");
+    }
+
+    #[test]
+    fn fig1_monotone_in_input_size() {
+        let c = cfg(150);
+        let mut last = 0.0;
+        for n in [2, 3, 5, 8, 12, 20] {
+            let p = prob_good_grid_labeled_objects(&c, n).unwrap();
+            assert!(p >= last - 1e-9, "n={n}: {p} < {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn fig1_monotone_in_dimensionality_fraction() {
+        // "for a fixed amount of input, the probability increases as dᵢ/d
+        // increases" — labeled objects work better on higher-dimensional
+        // clusters.
+        let lo = prob_good_grid_labeled_objects(&cfg(30), 4).unwrap(); // 1%
+        let hi = prob_good_grid_labeled_objects(&cfg(300), 4).unwrap(); // 10%
+        assert!(hi > lo, "hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn fig1_curve_saturates() {
+        // The curve has "a sharp increase followed by a flattened region".
+        let c = cfg(150);
+        let p10 = prob_good_grid_labeled_objects(&c, 10).unwrap();
+        let p20 = prob_good_grid_labeled_objects(&c, 20).unwrap();
+        assert!(p10 > 0.99);
+        assert!(p20 - p10 < 0.01);
+    }
+
+    #[test]
+    fn fig2_opposite_dimensionality_trend() {
+        // "labeled dimensions work better when dᵢ/d is small".
+        let lo = prob_good_grid_labeled_dims(&cfg(30), 3).unwrap(); // 1%
+        let hi = prob_good_grid_labeled_dims(&cfg(600), 3).unwrap(); // 20%
+        assert!(lo > hi, "lo={lo} hi={hi}");
+        assert!(lo > 0.8, "1% clusters should be nearly safe, got {lo}");
+    }
+
+    #[test]
+    fn fig2_monotone_in_input_size() {
+        let c = cfg(150);
+        let mut last = 0.0;
+        for n in [3, 4, 6, 8, 12] {
+            let p = prob_good_grid_labeled_dims(&c, n).unwrap();
+            assert!(p >= last - 1e-9, "n={n}: {p} < {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn fig2_small_inputs_use_reduced_grids() {
+        // With fewer labeled dims than c, grids use all of them — the
+        // probability is π^|Iᵛ| and must not be zero.
+        let c = cfg(30);
+        let p1 = prob_good_grid_labeled_dims(&c, 1).unwrap();
+        let pi = (1.0 - 0.01f64).powi(4);
+        assert!((p1 - pi).abs() < 1e-9, "p1={p1}, π={pi}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let c = cfg(150);
+        assert!(prob_good_grid_labeled_objects(&c, 1).is_err());
+        assert!(prob_good_grid_labeled_dims(&c, 0).is_err());
+        let bad = AnalysisConfig {
+            d_i: 0,
+            ..Default::default()
+        };
+        assert!(prob_good_grid_labeled_objects(&bad, 5).is_err());
+        let bad = AnalysisConfig {
+            p: 0.0,
+            ..Default::default()
+        };
+        assert!(prob_good_grid_labeled_dims(&bad, 5).is_err());
+        let bad = AnalysisConfig {
+            variance_ratio: 1.5,
+            ..Default::default()
+        };
+        assert!(prob_good_grid_labeled_objects(&bad, 5).is_err());
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        for d_i in [30, 150, 600, 1200] {
+            for n in [2, 5, 10, 20] {
+                let c = cfg(d_i);
+                let p1 = prob_good_grid_labeled_objects(&c, n).unwrap();
+                let p2 = prob_good_grid_labeled_dims(&c, n).unwrap();
+                assert!((0.0..=1.0).contains(&p1));
+                assert!((0.0..=1.0).contains(&p2));
+            }
+        }
+    }
+
+    #[test]
+    fn hypergeom_degenerate_cases() {
+        assert_eq!(hypergeom_from(2, 10, 3), 0.0);
+        assert_eq!(hypergeom_from(5, 5, 5), 1.0);
+        assert_eq!(hypergeom_from(3, 10, 0), 1.0);
+        // C(3,2)/C(5,2) = 3/10
+        assert!((hypergeom_from(3, 5, 2) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! Closed-form probability models from Sec. 4.5 of the SSPC paper
+//! (Figures 1 and 2): how much supervision is needed before seed-group
+//! grids are built from the right dimensions?
+//!
+//! The paper references technical report TR-2004-08 for the exact formulas;
+//! that report is not bundled, so the formulas here are derived from the
+//! construction the paper describes. The derivations (documented per
+//! function) reproduce every qualitative feature of the published figures:
+//! sharp rise followed by a plateau, labeled **objects** gaining power as
+//! `dᵢ/d` grows, labeled **dimensions** gaining power as `dᵢ/d` shrinks.
+//!
+//! # Model recap
+//!
+//! A seed group is built from `g` grids of `c` building dimensions each.
+//! The group is accurate when at least one grid uses only dimensions that
+//! are genuinely (and exclusively) relevant to the target cluster `Cᵢ`,
+//! which has `dᵢ` relevant dimensions out of `d`. Local populations are
+//! Gaussian with variance `variance_ratio × σ²ⱼ`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod binomial;
+mod labeled;
+mod synergy;
+
+pub use binomial::BinomialPmf;
+pub use labeled::{
+    prob_good_grid_labeled_dims, prob_good_grid_labeled_objects, AnalysisConfig,
+};
+pub use synergy::prob_good_grid_both;

@@ -1,0 +1,157 @@
+//! The synergy of supplying both input kinds at once — the closing
+//! observation of the paper's Sec. 4.5: *"since the two kinds of input
+//! complement each other, there is a synergy when they are supplied at the
+//! same time, provided the amount of input objects is not so small that
+//! causes a large amount of irrelevant dimensions to be used in building
+//! the grids."*
+//!
+//! In the Sec. 4.2.1 construction the grid-candidate set is
+//! `SelectDim(Cᵢ′) ∪ Iᵛᵢ` with draw probability proportional to `φᵢ′ⱼ`
+//! (labeled dimensions pinned to the maximum weight). The model here
+//! assigns one relative weight per candidate type and computes the chance
+//! that a `c`-dimension draw contains relevant dimensions only.
+
+use crate::binomial::BinomialPmf;
+use crate::AnalysisConfig;
+use sspc_common::stats::ChiSquared;
+use sspc_common::{Error, Result};
+
+/// Probability that at least one of the `g` grids is built from relevant
+/// dimensions only, when a class has `n_objects ≥ 2` labeled objects **and**
+/// `n_dims ≥ 1` labeled dimensions.
+///
+/// Model:
+///
+/// 1. As in the labeled-objects case, the candidate set holds
+///    `R ~ Bin(dᵢ, q)` relevant and `W ~ Bin(d−dᵢ, p)` irrelevant
+///    dimensions; the `n_dims` labeled dimensions are forced in (counted
+///    within the relevant side — they are relevant by assumption).
+/// 2. Weighted draws: labeled and naturally-selected relevant dimensions
+///    carry `weight_ratio ×` the weight of a chance-selected irrelevant
+///    one (`φᵢ′ⱼ` is close to its maximum for genuinely tight dimensions
+///    and middling for lucky ones; 2.5 matches the empirical ratio of the
+///    implementation's weights).
+/// 3. A `c`-dimension draw is all-relevant with probability
+///    `ρ^c` where `ρ` is the relevant share of total weight
+///    (with-replacement approximation of the without-replacement draw —
+///    slightly pessimistic for the small `c = 3`).
+/// 4. Expectation over `R`, `W`, then `1 − (1 − ρ^c)^g`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for out-of-domain configuration,
+/// `n_objects < 2`, or `n_dims = 0` (use the single-kind models then).
+pub fn prob_good_grid_both(
+    cfg: &AnalysisConfig,
+    n_objects: usize,
+    n_dims: usize,
+    weight_ratio: f64,
+) -> Result<f64> {
+    if n_objects < 2 {
+        return Err(Error::InvalidParameter(format!(
+            "need at least 2 labeled objects, got {n_objects}"
+        )));
+    }
+    if n_dims == 0 {
+        return Err(Error::InvalidParameter(
+            "need at least 1 labeled dimension (use the objects-only model otherwise)".into(),
+        ));
+    }
+    if !(weight_ratio > 0.0) || !weight_ratio.is_finite() {
+        return Err(Error::InvalidParameter(format!(
+            "weight_ratio must be positive, got {weight_ratio}"
+        )));
+    }
+    // Selection probabilities as in the Fig. 1 model.
+    let dof = (n_objects - 1) as f64;
+    let chi = ChiSquared::new(dof)?;
+    let threshold = chi.quantile(cfg.p)?;
+    let q_rel = chi.cdf(threshold / cfg.variance_ratio)?;
+
+    let labeled = n_dims.min(cfg.d_i) as f64;
+    let free_relevant = cfg.d_i.saturating_sub(n_dims);
+    let rel = BinomialPmf::new(free_relevant as u64, q_rel)?;
+    let irr = BinomialPmf::new((cfg.d - cfg.d_i) as u64, cfg.p)?;
+    let g = cfg.g as i32;
+    let c = cfg.c as i32;
+
+    let value = rel.expectation(|r| {
+        irr.expectation(|w| {
+            let relevant_weight = (labeled + r as f64) * weight_ratio;
+            let total_weight = relevant_weight + w as f64;
+            if total_weight <= 0.0 {
+                return 0.0;
+            }
+            let rho = relevant_weight / total_weight;
+            1.0 - (1.0 - rho.powi(c)).powi(g)
+        })
+    });
+    Ok(value.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob_good_grid_labeled_objects;
+
+    fn cfg(d_i: usize) -> AnalysisConfig {
+        AnalysisConfig {
+            d_i,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn synergy_beats_objects_only_at_low_dimensionality() {
+        // 1% clusters, few labeled objects: labeled dimensions rescue the
+        // candidate draw.
+        let c = cfg(30);
+        let objects_only = prob_good_grid_labeled_objects(&c, 3).unwrap();
+        let both = prob_good_grid_both(&c, 3, 3, 2.5).unwrap();
+        assert!(
+            both > objects_only,
+            "both {both} should beat objects-only {objects_only}"
+        );
+    }
+
+    #[test]
+    fn more_labeled_dims_help() {
+        let c = cfg(150);
+        let few = prob_good_grid_both(&c, 3, 1, 2.5).unwrap();
+        let many = prob_good_grid_both(&c, 3, 6, 2.5).unwrap();
+        assert!(many >= few, "few {few}, many {many}");
+    }
+
+    #[test]
+    fn more_labeled_objects_help() {
+        let c = cfg(150);
+        let few = prob_good_grid_both(&c, 2, 3, 2.5).unwrap();
+        let many = prob_good_grid_both(&c, 8, 3, 2.5).unwrap();
+        assert!(many >= few, "few {few}, many {many}");
+    }
+
+    #[test]
+    fn bounded_and_rejects_bad_inputs() {
+        let c = cfg(150);
+        for n_o in [2, 5, 10] {
+            for n_d in [1, 3, 8] {
+                let p = prob_good_grid_both(&c, n_o, n_d, 2.5).unwrap();
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+        assert!(prob_good_grid_both(&c, 1, 3, 2.5).is_err());
+        assert!(prob_good_grid_both(&c, 3, 0, 2.5).is_err());
+        assert!(prob_good_grid_both(&c, 3, 3, 0.0).is_err());
+        assert!(prob_good_grid_both(&c, 3, 3, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn labeled_dims_capped_at_cluster_dimensionality() {
+        // Labeling more dimensions than the cluster has cannot push the
+        // probability above the all-labeled case.
+        let c = cfg(30);
+        let exact = prob_good_grid_both(&c, 4, 30, 2.5).unwrap();
+        let over = prob_good_grid_both(&c, 4, 100, 2.5).unwrap();
+        assert!((exact - over).abs() < 1e-9);
+    }
+}

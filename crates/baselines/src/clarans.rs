@@ -1,0 +1,234 @@
+//! CLARANS — *Efficient and Effective Clustering Methods for Spatial Data
+//! Mining* (Ng & Han, VLDB 1994).
+//!
+//! Randomized full-space k-medoids: viewing each set of `k` medoids as a
+//! node of a graph whose neighbours differ in one medoid, CLARANS does
+//! `numlocal` randomized descents, each accepting the first improving
+//! neighbour among at most `maxneighbor` random tries.
+//!
+//! The SSPC paper uses CLARANS as the **non-projected reference**: because
+//! its cost sums full-space Euclidean distances, clusters whose relevant
+//! dimensions are few drown in the noise of the irrelevant ones, which is
+//! precisely the failure mode Fig. 3 shows.
+
+use crate::BaselineResult;
+use rand::Rng;
+use sspc_common::rng::{sample_indices, seeded_rng};
+use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+
+/// CLARANS parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaransParams {
+    /// Target number of clusters.
+    pub k: usize,
+    /// Number of randomized descents (`numlocal`); the original paper
+    /// recommends 2.
+    pub num_local: usize,
+    /// Maximum non-improving neighbours examined per descent
+    /// (`maxneighbor`). `None` uses the paper's rule:
+    /// `max(250, 1.25% of k(n−k))`.
+    pub max_neighbor: Option<usize>,
+}
+
+impl ClaransParams {
+    /// Defaults from the original paper.
+    pub fn new(k: usize) -> Self {
+        ClaransParams {
+            k,
+            num_local: 2,
+            max_neighbor: None,
+        }
+    }
+
+    fn effective_max_neighbor(&self, n: usize) -> usize {
+        self.max_neighbor.unwrap_or_else(|| {
+            let frac = (0.0125 * (self.k * (n - self.k)) as f64).ceil() as usize;
+            frac.max(250)
+        })
+    }
+
+    fn validate(&self, dataset: &Dataset) -> Result<()> {
+        if self.k == 0 {
+            return Err(Error::InvalidParameter("k must be positive".into()));
+        }
+        if dataset.n_objects() <= self.k {
+            return Err(Error::InvalidShape(format!(
+                "need more objects than clusters: n = {}, k = {}",
+                dataset.n_objects(),
+                self.k
+            )));
+        }
+        if self.num_local == 0 {
+            return Err(Error::InvalidParameter("num_local must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Runs CLARANS. Deterministic in `seed`. Every cluster reports **all**
+/// dimensions as selected (it is a non-projected algorithm).
+///
+/// # Errors
+///
+/// Parameter/shape errors per [`ClaransParams::validate`].
+pub fn run(dataset: &Dataset, params: &ClaransParams, seed: u64) -> Result<BaselineResult> {
+    params.validate(dataset)?;
+    let mut rng = seeded_rng(seed);
+    let n = dataset.n_objects();
+    let k = params.k;
+    let max_neighbor = params.effective_max_neighbor(n);
+    let all_dims: Vec<DimId> = dataset.dim_ids().collect();
+
+    let mut best: Option<(f64, Vec<ObjectId>)> = None;
+    for _ in 0..params.num_local {
+        // Random initial node.
+        let mut medoids: Vec<ObjectId> = sample_indices(&mut rng, n, k)
+            .into_iter()
+            .map(ObjectId)
+            .collect();
+        let mut cost = total_cost(dataset, &medoids, &all_dims);
+        let mut failures = 0usize;
+        while failures < max_neighbor {
+            // Random neighbour: replace one random medoid with one random
+            // non-medoid.
+            let slot = rng.gen_range(0..k);
+            let candidate = loop {
+                let o = ObjectId(rng.gen_range(0..n));
+                if !medoids.contains(&o) {
+                    break o;
+                }
+            };
+            let old = medoids[slot];
+            medoids[slot] = candidate;
+            let new_cost = total_cost(dataset, &medoids, &all_dims);
+            if new_cost < cost {
+                cost = new_cost;
+                failures = 0;
+            } else {
+                medoids[slot] = old;
+                failures += 1;
+            }
+        }
+        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+            best = Some((cost, medoids));
+        }
+    }
+
+    let (cost, medoids) = best.expect("num_local >= 1");
+    let assignment: Vec<Option<ClusterId>> = dataset
+        .object_ids()
+        .map(|o| Some(ClusterId(nearest_medoid(dataset, o, &medoids, &all_dims))))
+        .collect();
+    let dims = vec![all_dims.clone(); k];
+    Ok(BaselineResult::new(assignment, dims, cost))
+}
+
+fn nearest_medoid(dataset: &Dataset, o: ObjectId, medoids: &[ObjectId], dims: &[DimId]) -> usize {
+    medoids
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (dataset.sq_dist_between(o, m, dims), i))
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"))
+        .map(|(_, i)| i)
+        .expect("k >= 1")
+}
+
+/// Sum over objects of the Euclidean distance to the nearest medoid.
+fn total_cost(dataset: &Dataset, medoids: &[ObjectId], dims: &[DimId]) -> f64 {
+    dataset
+        .object_ids()
+        .map(|o| {
+            medoids
+                .iter()
+                .map(|&m| dataset.sq_dist_between(o, m, dims))
+                .fold(f64::INFINITY, f64::min)
+                .sqrt()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated full-space blobs.
+    fn blobs() -> (Dataset, Vec<ClusterId>) {
+        let mut rng = seeded_rng(55);
+        let n = 60;
+        let d = 4;
+        let centers = [10.0, 50.0, 90.0];
+        let mut values = Vec::with_capacity(n * d);
+        for o in 0..n {
+            let c = centers[o / 20];
+            for _ in 0..d {
+                values.push(c + rng.gen_range(-3.0..3.0));
+            }
+        }
+        let truth = (0..n).map(|o| ClusterId(o / 20)).collect();
+        (Dataset::from_rows(n, d, values).unwrap(), truth)
+    }
+
+    #[test]
+    fn recovers_full_space_blobs() {
+        let (ds, truth) = blobs();
+        let r = run(&ds, &ClaransParams::new(3), 3).unwrap();
+        // Every true cluster must map to exactly one produced cluster.
+        for start in [0usize, 20, 40] {
+            let c0 = r.cluster_of(ObjectId(start));
+            for o in start..start + 20 {
+                assert_eq!(r.cluster_of(ObjectId(o)), c0, "object {o} strayed");
+            }
+        }
+        // And distinct true clusters map to distinct produced clusters.
+        let cs: std::collections::HashSet<_> =
+            [0, 20, 40].iter().map(|&o| r.cluster_of(ObjectId(o))).collect();
+        assert_eq!(cs.len(), 3);
+        let _ = truth;
+    }
+
+    #[test]
+    fn reports_all_dimensions() {
+        let (ds, _) = blobs();
+        let r = run(&ds, &ClaransParams::new(3), 1).unwrap();
+        for c in 0..3 {
+            assert_eq!(r.selected_dims(ClusterId(c)).len(), ds.n_dims());
+        }
+        assert!(r.outliers().is_empty(), "CLARANS produces no outliers");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (ds, _) = blobs();
+        let p = ClaransParams::new(3);
+        assert_eq!(run(&ds, &p, 7).unwrap(), run(&ds, &p, 7).unwrap());
+    }
+
+    #[test]
+    fn max_neighbor_rule_matches_paper() {
+        let p = ClaransParams::new(5);
+        // 1.25% of 5·(1000−5) ≈ 62 < 250 → 250.
+        assert_eq!(p.effective_max_neighbor(1000), 250);
+        // Large n: 1.25% of 5·(100000−5) ≈ 6250.
+        assert_eq!(p.effective_max_neighbor(100_000), 6250);
+        let p = ClaransParams {
+            max_neighbor: Some(40),
+            ..ClaransParams::new(5)
+        };
+        assert_eq!(p.effective_max_neighbor(1000), 40);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (ds, _) = blobs();
+        assert!(run(&ds, &ClaransParams::new(0), 0).is_err());
+        assert!(run(&ds, &ClaransParams::new(60), 0).is_err());
+        let p = ClaransParams {
+            num_local: 0,
+            ..ClaransParams::new(3)
+        };
+        assert!(run(&ds, &p, 0).is_err());
+    }
+
+    use rand::Rng;
+    use sspc_common::rng::seeded_rng;
+}

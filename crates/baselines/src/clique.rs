@@ -1,0 +1,475 @@
+//! CLIQUE — *Automatic Subspace Clustering of High Dimensional Data for
+//! Data Mining Applications* (Agrawal, Gehrke, Gunopulos & Raghavan,
+//! SIGMOD 1998).
+//!
+//! Reference [3] of the SSPC paper and the origin of the grid/density view
+//! of subspace structure that SSPC's seed-group grids descend from. CLIQUE
+//! partitions every dimension into `ξ` equal intervals and mines **dense
+//! units** (grid cells with at least `τ·n` objects) bottom-up, apriori
+//! style: a unit in a `q`-dimensional subspace can only be dense if all its
+//! `(q−1)`-dimensional projections are. Clusters are connected components
+//! of dense units within a subspace (adjacency = differing by one interval
+//! step in exactly one dimension).
+//!
+//! CLIQUE reports clusters in *all* subspaces, possibly overlapping. To fit
+//! the [`crate::BaselineResult`] shape, components are ranked by
+//! `coverage × 2^dimensionality` (mirroring its preference for higher-
+//! dimensional descriptions), each object is claimed by the best-ranked
+//! component covering it, the top `k` claimed groups become clusters, and
+//! unclaimed objects are outliers.
+//!
+//! The exponential candidate blow-up CLIQUE is known for is capped by
+//! `max_subspace_dim` and `max_units`; hitting the cap degrades results,
+//! not safety.
+
+use crate::BaselineResult;
+use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+use std::collections::{BTreeMap, HashSet};
+
+/// CLIQUE parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliqueParams {
+    /// Number of clusters to emit (CLIQUE itself has no `k`; the top-`k`
+    /// components by the ranking above are reported).
+    pub k: usize,
+    /// Intervals per dimension (`ξ`).
+    pub xi: usize,
+    /// Density threshold (`τ`) as a fraction of `n`; a unit is dense when
+    /// it holds `≥ τ·n` objects.
+    pub tau: f64,
+    /// Maximum subspace dimensionality explored.
+    pub max_subspace_dim: usize,
+    /// Cap on the number of dense units kept per level (best-supported
+    /// first); guards against the apriori blow-up on dense data.
+    pub max_units: usize,
+}
+
+impl CliqueParams {
+    /// Defaults: `ξ = 10`, `τ = 0.1`, subspaces up to 4-D, 4096 units per
+    /// level.
+    pub fn new(k: usize) -> Self {
+        CliqueParams {
+            k,
+            xi: 10,
+            tau: 0.1,
+            max_subspace_dim: 4,
+            max_units: 4096,
+        }
+    }
+
+    fn validate(&self, dataset: &Dataset) -> Result<()> {
+        if self.k == 0 {
+            return Err(Error::InvalidParameter("k must be positive".into()));
+        }
+        if self.xi < 2 {
+            return Err(Error::InvalidParameter("xi must be at least 2".into()));
+        }
+        if !(self.tau > 0.0 && self.tau < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "tau must be in (0, 1), got {}",
+                self.tau
+            )));
+        }
+        if self.max_subspace_dim == 0 || self.max_units == 0 {
+            return Err(Error::InvalidParameter(
+                "max_subspace_dim and max_units must be positive".into(),
+            ));
+        }
+        if dataset.n_objects() < self.k {
+            return Err(Error::InvalidShape(format!(
+                "need at least k objects: n = {}, k = {}",
+                dataset.n_objects(),
+                self.k
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A unit: interval index per participating dimension, ascending by
+/// dimension.
+type Unit = Vec<(DimId, usize)>;
+
+/// Runs CLIQUE. Deterministic (no randomness).
+///
+/// # Errors
+///
+/// Parameter/shape errors per [`CliqueParams::validate`].
+pub fn run(dataset: &Dataset, params: &CliqueParams) -> Result<BaselineResult> {
+    params.validate(dataset)?;
+    let n = dataset.n_objects();
+    let min_support = ((params.tau * n as f64).ceil() as usize).max(1);
+
+    // Precompute each object's interval per dimension.
+    let bins: Vec<Vec<usize>> = dataset
+        .object_ids()
+        .map(|o| {
+            dataset
+                .dim_ids()
+                .map(|j| interval_of(dataset, o, j, params.xi))
+                .collect()
+        })
+        .collect();
+
+    // Level 1: dense 1-D units.
+    let mut level: BTreeMap<Unit, Vec<ObjectId>> = BTreeMap::new();
+    for j in dataset.dim_ids() {
+        let mut buckets: BTreeMap<usize, Vec<ObjectId>> = BTreeMap::new();
+        for o in dataset.object_ids() {
+            buckets
+                .entry(bins[o.index()][j.index()])
+                .or_default()
+                .push(o);
+        }
+        for (interval, members) in buckets {
+            if members.len() >= min_support {
+                level.insert(vec![(j, interval)], members);
+            }
+        }
+    }
+    cap_level(&mut level, params.max_units);
+
+    // All dense units across levels, used for component building.
+    let mut all_dense: Vec<(Unit, Vec<ObjectId>)> =
+        level.iter().map(|(u, m)| (u.clone(), m.clone())).collect();
+
+    // Apriori ascent.
+    for _q in 2..=params.max_subspace_dim {
+        let keys: Vec<&Unit> = level.keys().collect();
+        let mut next: BTreeMap<Unit, Vec<ObjectId>> = BTreeMap::new();
+        for (ai, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(ai + 1) {
+                let Some(candidate) = join(a, b) else {
+                    continue;
+                };
+                if next.contains_key(&candidate) {
+                    continue;
+                }
+                if !subsets_dense(&candidate, &level) {
+                    continue;
+                }
+                // Support by intersecting the two parents' members (the
+                // candidate is their conjunction).
+                let set: HashSet<ObjectId> = level[*a].iter().copied().collect();
+                let members: Vec<ObjectId> = level[*b]
+                    .iter()
+                    .copied()
+                    .filter(|o| set.contains(o))
+                    .filter(|o| in_unit(&bins[o.index()], &candidate))
+                    .collect();
+                if members.len() >= min_support {
+                    next.insert(candidate, members);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        cap_level(&mut next, params.max_units);
+        all_dense.extend(next.iter().map(|(u, m)| (u.clone(), m.clone())));
+        level = next;
+    }
+
+    // Connected components per subspace.
+    let components = connected_components(&all_dense);
+
+    // Rank and claim.
+    let mut ranked: Vec<(f64, Vec<DimId>, HashSet<ObjectId>)> = components
+        .into_iter()
+        .map(|(dims, members)| {
+            let score = members.len() as f64 * (2.0f64).powi(dims.len() as i32);
+            (score, dims, members)
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite scores")
+            .then_with(|| a.1.cmp(&b.1))
+    });
+
+    let mut assignment: Vec<Option<ClusterId>> = vec![None; n];
+    let mut claimed = vec![false; n];
+    let mut dims_out: Vec<Vec<DimId>> = Vec::new();
+    for (_, dims, members) in ranked {
+        if dims_out.len() >= params.k {
+            break;
+        }
+        let fresh: Vec<ObjectId> = members
+            .into_iter()
+            .filter(|o| !claimed[o.index()])
+            .collect();
+        if fresh.len() < min_support {
+            continue;
+        }
+        let c = ClusterId(dims_out.len());
+        for &o in &fresh {
+            claimed[o.index()] = true;
+            assignment[o.index()] = Some(c);
+        }
+        dims_out.push(dims);
+    }
+    while dims_out.len() < params.k {
+        dims_out.push(Vec::new()); // fewer than k components found
+    }
+
+    let covered = claimed.iter().filter(|&&c| c).count();
+    let cost = -(covered as f64) / n as f64; // more coverage = better
+    Ok(BaselineResult::new(assignment, dims_out, cost))
+}
+
+fn interval_of(dataset: &Dataset, o: ObjectId, j: DimId, xi: usize) -> usize {
+    let range = dataset.global_range(j);
+    if range <= 0.0 {
+        return 0;
+    }
+    let rel = (dataset.value(o, j) - dataset.global_min(j)) / range;
+    ((rel * xi as f64).floor() as usize).min(xi - 1)
+}
+
+/// Keeps only the `max_units` best-supported units of a level.
+fn cap_level(level: &mut BTreeMap<Unit, Vec<ObjectId>>, max_units: usize) {
+    if level.len() <= max_units {
+        return;
+    }
+    let mut entries: Vec<(Unit, Vec<ObjectId>)> = std::mem::take(level).into_iter().collect();
+    entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
+    entries.truncate(max_units);
+    level.extend(entries);
+}
+
+/// Apriori join: two `q−1` units sharing their first `q−2` entries and
+/// differing in the last dimension produce a `q` candidate.
+fn join(a: &Unit, b: &Unit) -> Option<Unit> {
+    let q = a.len();
+    debug_assert_eq!(b.len(), q);
+    if q >= 1 && a[..q - 1] != b[..q - 1] {
+        return None;
+    }
+    let (da, db) = (a[q - 1], b[q - 1]);
+    if da.0 == db.0 {
+        return None;
+    }
+    let mut unit = a[..q - 1].to_vec();
+    if da.0 < db.0 {
+        unit.push(da);
+        unit.push(db);
+    } else {
+        unit.push(db);
+        unit.push(da);
+    }
+    Some(unit)
+}
+
+/// Apriori pruning: every `(q−1)`-subset of the candidate must be dense.
+fn subsets_dense(candidate: &Unit, level: &BTreeMap<Unit, Vec<ObjectId>>) -> bool {
+    (0..candidate.len()).all(|skip| {
+        let subset: Unit = candidate
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &e)| (i != skip).then_some(e))
+            .collect();
+        level.contains_key(&subset)
+    })
+}
+
+fn in_unit(bins: &[usize], unit: &Unit) -> bool {
+    unit.iter().all(|&(j, interval)| bins[j.index()] == interval)
+}
+
+/// Groups dense units by subspace (dimension set) and unions adjacent ones
+/// (one interval step apart in exactly one dimension).
+fn connected_components(
+    dense: &[(Unit, Vec<ObjectId>)],
+) -> Vec<(Vec<DimId>, HashSet<ObjectId>)> {
+    // Partition units by subspace.
+    let mut by_subspace: BTreeMap<Vec<DimId>, Vec<usize>> = BTreeMap::new();
+    for (idx, (unit, _)) in dense.iter().enumerate() {
+        let dims: Vec<DimId> = unit.iter().map(|&(j, _)| j).collect();
+        by_subspace.entry(dims).or_default().push(idx);
+    }
+    let mut out = Vec::new();
+    for (dims, unit_ids) in by_subspace {
+        // Union-find over the units of this subspace.
+        let mut parent: Vec<usize> = (0..unit_ids.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for i in 0..unit_ids.len() {
+            for j in (i + 1)..unit_ids.len() {
+                if adjacent(&dense[unit_ids[i]].0, &dense[unit_ids[j]].0) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut groups: BTreeMap<usize, HashSet<ObjectId>> = BTreeMap::new();
+        for (i, &uid) in unit_ids.iter().enumerate() {
+            let root = find(&mut parent, i);
+            groups
+                .entry(root)
+                .or_default()
+                .extend(dense[uid].1.iter().copied());
+        }
+        for members in groups.into_values() {
+            out.push((dims.clone(), members));
+        }
+    }
+    out
+}
+
+/// Adjacent = same dimensions, intervals equal everywhere except one
+/// dimension where they differ by exactly 1.
+fn adjacent(a: &Unit, b: &Unit) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut step_diffs = 0;
+    for (&(ja, ia), &(jb, ib)) in a.iter().zip(b.iter()) {
+        debug_assert_eq!(ja, jb);
+        if ia == ib {
+            continue;
+        }
+        if ia.abs_diff(ib) == 1 {
+            step_diffs += 1;
+            if step_diffs > 1 {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+    step_diffs == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sspc_common::rng::seeded_rng;
+
+    /// Two tight planted clusters in 8-D (local sd ≈ 1% of range so each
+    /// cluster sits in one or two grid intervals).
+    fn planted() -> (Dataset, Vec<ClusterId>) {
+        let mut rng = seeded_rng(3001);
+        let n = 100;
+        let d = 8;
+        let mut values = vec![0.0; n * d];
+        for v in values.iter_mut() {
+            *v = rng.gen_range(0.0..100.0);
+        }
+        for o in 0..40 {
+            values[o * d] = 25.0 + rng.gen_range(-1.0..1.0);
+            values[o * d + 1] = 65.0 + rng.gen_range(-1.0..1.0);
+        }
+        for o in 40..80 {
+            values[o * d + 2] = 45.0 + rng.gen_range(-1.0..1.0);
+            values[o * d + 3] = 85.0 + rng.gen_range(-1.0..1.0);
+        }
+        let truth = (0..n)
+            .map(|o| ClusterId(usize::from(o >= 40)))
+            .collect();
+        (Dataset::from_rows(n, d, values).unwrap(), truth)
+    }
+
+    #[test]
+    fn finds_planted_dense_subspaces() {
+        let (ds, _) = planted();
+        let r = run(&ds, &CliqueParams::new(2)).unwrap();
+        // The two top components should collect most of each planted
+        // cluster's members.
+        let c0: Vec<_> = r.members_of(ClusterId(0));
+        let c1: Vec<_> = r.members_of(ClusterId(1));
+        assert!(c0.len() >= 30, "cluster 0 only {} members", c0.len());
+        assert!(c1.len() >= 30, "cluster 1 only {} members", c1.len());
+        // And each claimed group should be dominated by one planted class.
+        for members in [&c0, &c1] {
+            let below = members.iter().filter(|o| o.index() < 40).count();
+            let share = below.max(members.len() - below) as f64 / members.len() as f64;
+            assert!(share > 0.9, "mixed component: {share}");
+        }
+    }
+
+    #[test]
+    fn reported_subspaces_match_planted_dims() {
+        let (ds, _) = planted();
+        let r = run(&ds, &CliqueParams::new(2)).unwrap();
+        let mut seen: Vec<Vec<usize>> = r
+            .all_selected_dims()
+            .iter()
+            .map(|dims| dims.iter().map(|j| j.index()).collect())
+            .collect();
+        seen.sort();
+        // Both planted pairs appear as (subsets of) the reported subspaces.
+        let flat: HashSet<usize> = seen.iter().flatten().copied().collect();
+        assert!(flat.contains(&0) || flat.contains(&1), "{seen:?}");
+        assert!(flat.contains(&2) || flat.contains(&3), "{seen:?}");
+    }
+
+    #[test]
+    fn noise_objects_become_outliers() {
+        let (ds, _) = planted();
+        let r = run(&ds, &CliqueParams::new(2)).unwrap();
+        // Objects 80..100 are uniform noise; most should stay unclaimed.
+        let noise_outliers = (80..100)
+            .filter(|&o| r.cluster_of(ObjectId(o)).is_none())
+            .count();
+        assert!(noise_outliers >= 12, "only {noise_outliers}/20 noise outliers");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (ds, _) = planted();
+        let p = CliqueParams::new(2);
+        assert_eq!(run(&ds, &p).unwrap(), run(&ds, &p).unwrap());
+    }
+
+    #[test]
+    fn join_and_adjacency_rules() {
+        let u1: Unit = vec![(DimId(0), 3)];
+        let u2: Unit = vec![(DimId(1), 5)];
+        assert_eq!(join(&u1, &u2).unwrap(), vec![(DimId(0), 3), (DimId(1), 5)]);
+        assert!(join(&u1, &u1).is_none(), "same dimension cannot join");
+
+        let a: Unit = vec![(DimId(0), 3), (DimId(1), 5)];
+        let b: Unit = vec![(DimId(0), 4), (DimId(1), 5)];
+        let c: Unit = vec![(DimId(0), 4), (DimId(1), 6)];
+        assert!(adjacent(&a, &b));
+        assert!(!adjacent(&a, &c), "two steps away");
+        assert!(!adjacent(&a, &a), "identical is not adjacent");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (ds, _) = planted();
+        assert!(run(&ds, &CliqueParams { k: 0, ..CliqueParams::new(2) }).is_err());
+        assert!(run(&ds, &CliqueParams { xi: 1, ..CliqueParams::new(2) }).is_err());
+        assert!(run(&ds, &CliqueParams { tau: 0.0, ..CliqueParams::new(2) }).is_err());
+        assert!(run(&ds, &CliqueParams { tau: 1.0, ..CliqueParams::new(2) }).is_err());
+        assert!(
+            run(&ds, &CliqueParams { max_units: 0, ..CliqueParams::new(2) }).is_err()
+        );
+    }
+
+    #[test]
+    fn handles_no_dense_units_gracefully() {
+        // Pure uniform noise with a high threshold: no dense units, all
+        // objects outliers, k empty clusters.
+        let mut rng = seeded_rng(5);
+        let values: Vec<f64> = (0..200).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let ds = Dataset::from_rows(20, 10, values).unwrap();
+        let r = run(
+            &ds,
+            &CliqueParams {
+                tau: 0.9,
+                ..CliqueParams::new(2)
+            },
+        )
+        .unwrap();
+        assert_eq!(r.outliers().len(), 20);
+        assert!(r.all_selected_dims().iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,44 @@
+//! Baseline clustering algorithms the SSPC paper compares against
+//! (Sec. 5): PROCLUS, CLARANS and HARP, plus DOC/FastDOC from the related
+//! work (Sec. 2.1) as an extension baseline.
+//!
+//! All algorithms consume an [`sspc_common::Dataset`] and produce a
+//! [`BaselineResult`] — per-object assignments (with `None` marking
+//! outliers, for the algorithms that produce them) and per-cluster selected
+//! dimensions (every dimension, for the non-projected CLARANS).
+//!
+//! These are from-scratch implementations of the published algorithms:
+//!
+//! * [`proclus`] — Aggarwal et al., *Fast Algorithms for Projected
+//!   Clustering*, SIGMOD 1999. Partitional k-medoid method with
+//!   locality-based dimension selection and Manhattan segmental distance.
+//! * [`clarans`] — Ng & Han, *Efficient and Effective Clustering Methods
+//!   for Spatial Data Mining*, VLDB 1994. Randomized full-space k-medoids;
+//!   the paper's non-projected reference point.
+//! * [`harp`] — Yip, Cheung & Ng, *HARP: A Practical Projected Clustering
+//!   Algorithm*, TKDE 2004. Agglomerative, with merges gated by two
+//!   progressively loosened thresholds over a dimension relevance index.
+//!   Reimplemented from the description in the SSPC paper (the TKDE text
+//!   is not bundled); see `DESIGN.md` for the fidelity notes.
+//! * [`doc`] — Procopiuc et al., *A Monte Carlo Algorithm for Fast
+//!   Projective Clustering*, SIGMOD 2002. Randomized hypercube search,
+//!   one cluster at a time.
+//! * [`orclus`] — Aggarwal & Yu, *Finding Generalized Projected Clusters
+//!   in High Dimensional Spaces*, SIGMOD 2000. PROCLUS's successor: PCA
+//!   subspaces instead of axis-parallel dimensions, plus a merge phase.
+//! * [`clique`] — Agrawal et al., *Automatic Subspace Clustering of High
+//!   Dimensional Data*, SIGMOD 1998. The original bottom-up dense-unit
+//!   subspace-clustering algorithm (the paper's reference [3]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clarans;
+pub mod clique;
+pub mod doc;
+pub mod harp;
+pub mod orclus;
+pub mod proclus;
+mod result;
+
+pub use result::BaselineResult;

@@ -1,0 +1,424 @@
+//! ORCLUS — *Finding Generalized Projected Clusters in High Dimensional
+//! Spaces* (Aggarwal & Yu, SIGMOD 2000).
+//!
+//! The SSPC paper's Sec. 2.1 discusses ORCLUS as the successor of PROCLUS:
+//! a partitional method that selects **principal components** instead of
+//! axis-parallel dimensions (so arbitrarily-oriented clusters become
+//! detectable) and adds a hierarchical merge phase that reduces the damage
+//! of bad initial seeds.
+//!
+//! Outline: start with `k₀ > k` seeds and the full-dimensional space;
+//! repeat { assign each object to the nearest seed *in that seed's current
+//! subspace*; recompute each cluster's subspace as the eigenvectors of its
+//! covariance matrix with the **smallest** eigenvalues; merge the closest
+//! cluster pairs } while shrinking the cluster count by factor `α` and the
+//! subspace dimensionality by the matching factor `β` until `k` clusters of
+//! dimensionality `l` remain.
+//!
+//! Like PROCLUS, ORCLUS needs the target dimensionality `l` from the user —
+//! the weakness SSPC's threshold-based selection removes.
+//!
+//! Output mapping: [`crate::BaselineResult`] reports axis-parallel
+//! dimension sets, so each cluster reports the `l` original axes with the
+//! largest summed squared loadings across its eigenvector basis — the axes
+//! its subspace is most aligned with.
+
+use crate::BaselineResult;
+use sspc_common::linalg::{jacobi_eigen, projected_sq_norm, SymMatrix};
+use sspc_common::rng::{sample_indices, seeded_rng};
+use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+
+/// ORCLUS parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrclusParams {
+    /// Final number of clusters.
+    pub k: usize,
+    /// Final subspace dimensionality per cluster (user-supplied, like
+    /// PROCLUS's `l`).
+    pub l: usize,
+    /// Initial seed count factor: start from `k0_factor × k` seeds
+    /// (the original paper's `k₀`; it suggests a small multiple of `k`).
+    pub k0_factor: usize,
+    /// Cluster-count reduction per phase, `α ∈ (0, 1)`.
+    pub alpha: f64,
+}
+
+impl OrclusParams {
+    /// Defaults from the original paper: `k₀ = 5k`, `α = 0.5`.
+    pub fn new(k: usize, l: usize) -> Self {
+        OrclusParams {
+            k,
+            l,
+            k0_factor: 5,
+            alpha: 0.5,
+        }
+    }
+
+    fn validate(&self, dataset: &Dataset) -> Result<()> {
+        if self.k == 0 {
+            return Err(Error::InvalidParameter("k must be positive".into()));
+        }
+        if self.l == 0 || self.l > dataset.n_dims() {
+            return Err(Error::InvalidParameter(format!(
+                "l must be in [1, d = {}], got {}",
+                dataset.n_dims(),
+                self.l
+            )));
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "alpha must be in (0, 1), got {}",
+                self.alpha
+            )));
+        }
+        if self.k0_factor == 0 {
+            return Err(Error::InvalidParameter("k0_factor must be positive".into()));
+        }
+        if dataset.n_objects() < 2 * self.k {
+            return Err(Error::InvalidShape(format!(
+                "need at least 2 objects per cluster: n = {}, k = {}",
+                dataset.n_objects(),
+                self.k
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One working cluster: a centroid plus an orthonormal subspace basis
+/// (rows, each of length `d`).
+#[derive(Debug, Clone)]
+struct OrCluster {
+    centroid: Vec<f64>,
+    basis: Vec<Vec<f64>>,
+    members: Vec<ObjectId>,
+}
+
+impl OrCluster {
+    fn seeded(dataset: &Dataset, seed: ObjectId) -> Self {
+        let d = dataset.n_dims();
+        // Full space initially: the standard basis.
+        let basis = (0..d)
+            .map(|i| {
+                let mut e = vec![0.0; d];
+                e[i] = 1.0;
+                e
+            })
+            .collect();
+        OrCluster {
+            centroid: dataset.row(seed).to_vec(),
+            basis,
+            members: Vec::new(),
+        }
+    }
+
+    /// Projected distance of a point to the centroid within the basis.
+    fn distance(&self, row: &[f64]) -> f64 {
+        let refs: Vec<&[f64]> = self.basis.iter().map(Vec::as_slice).collect();
+        projected_sq_norm(row, &self.centroid, &refs)
+    }
+
+    fn recompute_centroid(&mut self, dataset: &Dataset) {
+        if self.members.is_empty() {
+            return;
+        }
+        let d = dataset.n_dims();
+        let mut c = vec![0.0f64; d];
+        for &o in &self.members {
+            for (slot, &v) in c.iter_mut().zip(dataset.row(o)) {
+                *slot += v;
+            }
+        }
+        let n = self.members.len() as f64;
+        c.iter_mut().for_each(|v| *v /= n);
+        self.centroid = c;
+    }
+
+    /// Sets the basis to the `q` smallest-eigenvalue eigenvectors of the
+    /// member covariance. Keeps the previous basis when the cluster has
+    /// fewer than two members.
+    fn recompute_basis(&mut self, dataset: &Dataset, q: usize) -> Result<()> {
+        if self.members.len() < 2 {
+            self.basis.truncate(q.max(1));
+            return Ok(());
+        }
+        let d = dataset.n_dims();
+        let mut data = Vec::with_capacity(self.members.len() * d);
+        for &o in &self.members {
+            data.extend_from_slice(dataset.row(o));
+        }
+        let cov = SymMatrix::covariance(&data, self.members.len(), d)?;
+        let eigen = jacobi_eigen(&cov)?;
+        self.basis = (0..q.min(d)).map(|i| eigen.vector(i).to_vec()).collect();
+        Ok(())
+    }
+
+    /// Mean projected energy of the members in the cluster's own subspace —
+    /// ORCLUS's per-cluster sparsity coefficient (lower = tighter).
+    fn energy(&self, dataset: &Dataset) -> f64 {
+        if self.members.is_empty() {
+            return f64::INFINITY;
+        }
+        let total: f64 = self
+            .members
+            .iter()
+            .map(|&o| self.distance(dataset.row(o)))
+            .sum();
+        total / self.members.len() as f64
+    }
+}
+
+/// Runs ORCLUS. Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Parameter/shape errors per [`OrclusParams::validate`]; numeric failures
+/// propagate from the eigensolver (not observed on finite input).
+pub fn run(dataset: &Dataset, params: &OrclusParams, seed: u64) -> Result<BaselineResult> {
+    params.validate(dataset)?;
+    let mut rng = seeded_rng(seed);
+    let n = dataset.n_objects();
+    let d = dataset.n_dims();
+
+    let k0 = (params.k0_factor * params.k).min(n / 2).max(params.k);
+    let mut clusters: Vec<OrCluster> = sample_indices(&mut rng, n, k0)
+        .into_iter()
+        .map(|i| OrCluster::seeded(dataset, ObjectId(i)))
+        .collect();
+
+    // β so that dimensionality reaches l in the same number of phases as
+    // the cluster count reaches k.
+    let phases = if k0 > params.k {
+        ((params.k as f64 / k0 as f64).ln() / params.alpha.ln()).ceil() as u32
+    } else {
+        1
+    };
+    let beta = (params.l as f64 / d as f64).powf(1.0 / phases as f64);
+
+    let mut l_c = d as f64;
+    loop {
+        // Assign.
+        for c in clusters.iter_mut() {
+            c.members.clear();
+        }
+        for o in dataset.object_ids() {
+            let row = dataset.row(o);
+            let best = clusters
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.distance(row), i))
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"))
+                .map(|(_, i)| i)
+                .expect("at least one cluster");
+            clusters[best].members.push(o);
+        }
+        clusters.retain(|c| !c.members.is_empty());
+
+        let done = clusters.len() <= params.k && (l_c as usize) <= params.l;
+        let next_k = ((clusters.len() as f64 * params.alpha).floor() as usize).max(params.k);
+        let next_l = (l_c * beta).max(params.l as f64);
+
+        // Subspace determination at the new dimensionality.
+        let q = (next_l.round() as usize).clamp(params.l, d);
+        for c in clusters.iter_mut() {
+            c.recompute_centroid(dataset);
+            c.recompute_basis(dataset, q)?;
+        }
+        if done {
+            break;
+        }
+
+        // Merge down to next_k: repeatedly merge the pair whose union has
+        // the lowest projected energy in the union's own subspace.
+        while clusters.len() > next_k {
+            let mut best: Option<(f64, usize, usize, OrCluster)> = None;
+            for i in 0..clusters.len() {
+                for j in (i + 1)..clusters.len() {
+                    let merged = merge_clusters(dataset, &clusters[i], &clusters[j], q)?;
+                    let e = merged.energy(dataset);
+                    if best.as_ref().map_or(true, |(be, ..)| e < *be) {
+                        best = Some((e, i, j, merged));
+                    }
+                }
+            }
+            let (_, i, j, merged) = best.expect("at least two clusters");
+            clusters[i] = merged;
+            clusters.swap_remove(j);
+        }
+        l_c = next_l;
+        if clusters.len() <= params.k && (l_c as usize) <= params.l {
+            // One more assignment pass at the final shape, then exit.
+            continue;
+        }
+    }
+
+    // Emit.
+    let mut assignment: Vec<Option<ClusterId>> = vec![None; n];
+    let mut dims: Vec<Vec<DimId>> = Vec::with_capacity(clusters.len());
+    let mut total_energy = 0.0;
+    for (idx, c) in clusters.iter().enumerate() {
+        for &o in &c.members {
+            assignment[o.index()] = Some(ClusterId(idx));
+        }
+        dims.push(aligned_axes(&c.basis, d, params.l));
+        total_energy += c.energy(dataset) * c.members.len() as f64;
+    }
+    Ok(BaselineResult::new(assignment, dims, total_energy / n as f64))
+}
+
+/// The union of two clusters with a recomputed centroid and basis.
+fn merge_clusters(
+    dataset: &Dataset,
+    a: &OrCluster,
+    b: &OrCluster,
+    q: usize,
+) -> Result<OrCluster> {
+    let mut merged = OrCluster {
+        centroid: a.centroid.clone(),
+        basis: Vec::new(),
+        members: a.members.iter().chain(b.members.iter()).copied().collect(),
+    };
+    merged.recompute_centroid(dataset);
+    merged.recompute_basis(dataset, q)?;
+    Ok(merged)
+}
+
+/// The `l` original axes with the largest summed squared loadings over the
+/// basis rows.
+fn aligned_axes(basis: &[Vec<f64>], d: usize, l: usize) -> Vec<DimId> {
+    let mut loading = vec![0.0f64; d];
+    for row in basis {
+        for (j, &v) in row.iter().enumerate() {
+            loading[j] += v * v;
+        }
+    }
+    let mut order: Vec<usize> = (0..d).collect();
+    order.sort_by(|&i, &j| {
+        loading[j]
+            .partial_cmp(&loading[i])
+            .expect("finite loadings")
+    });
+    let mut dims: Vec<DimId> = order.into_iter().take(l).map(DimId).collect();
+    dims.sort_unstable();
+    dims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Two axis-parallel planted clusters in 8-D (axis-parallel is a special
+    /// case of arbitrarily-oriented, so ORCLUS must find them too).
+    fn planted() -> (Dataset, Vec<ClusterId>) {
+        let mut rng = seeded_rng(17);
+        let n = 60;
+        let d = 8;
+        let mut values = vec![0.0; n * d];
+        for v in values.iter_mut() {
+            *v = rng.gen_range(0.0..100.0);
+        }
+        for o in 0..30 {
+            values[o * d] = 20.0 + rng.gen_range(-1.0..1.0);
+            values[o * d + 1] = 70.0 + rng.gen_range(-1.0..1.0);
+        }
+        for o in 30..60 {
+            values[o * d + 2] = 50.0 + rng.gen_range(-1.0..1.0);
+            values[o * d + 3] = 10.0 + rng.gen_range(-1.0..1.0);
+        }
+        let truth = (0..n).map(|o| ClusterId(usize::from(o >= 30))).collect();
+        (Dataset::from_rows(n, d, values).unwrap(), truth)
+    }
+
+    fn pair_accuracy(result: &BaselineResult, truth: &[ClusterId]) -> f64 {
+        let n = truth.len();
+        let mut ok = 0;
+        let mut total = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                let same_t = truth[i] == truth[j];
+                let ci = result.cluster_of(ObjectId(i));
+                let same_r = ci.is_some() && ci == result.cluster_of(ObjectId(j));
+                if same_t == same_r {
+                    ok += 1;
+                }
+            }
+        }
+        ok as f64 / total as f64
+    }
+
+    #[test]
+    fn recovers_planted_clusters() {
+        let (ds, truth) = planted();
+        let params = OrclusParams::new(2, 2);
+        let best = (0..3)
+            .map(|s| run(&ds, &params, s).unwrap())
+            .min_by(|a, b| a.cost().partial_cmp(&b.cost()).unwrap())
+            .unwrap();
+        let acc = pair_accuracy(&best, &truth);
+        assert!(acc > 0.85, "pairwise accuracy {acc}");
+    }
+
+    #[test]
+    fn aligned_axes_pick_low_variance_directions() {
+        let (ds, _) = planted();
+        let params = OrclusParams::new(2, 2);
+        let best = (0..3)
+            .map(|s| run(&ds, &params, s).unwrap())
+            .min_by(|a, b| a.cost().partial_cmp(&b.cost()).unwrap())
+            .unwrap();
+        // The reported axes of each matched cluster should be a planted pair.
+        let mut found = 0;
+        for c in 0..best.n_clusters() {
+            let dims = best.selected_dims(ClusterId(c));
+            if dims == [DimId(0), DimId(1)] || dims == [DimId(2), DimId(3)] {
+                found += 1;
+            }
+        }
+        assert!(found >= 1, "{:?}", best.all_selected_dims());
+    }
+
+    #[test]
+    fn produces_k_or_fewer_clusters_and_full_coverage() {
+        let (ds, _) = planted();
+        let r = run(&ds, &OrclusParams::new(2, 2), 1).unwrap();
+        assert!(r.n_clusters() <= 2 + 1);
+        let covered = r.assignment().iter().filter(|c| c.is_some()).count();
+        assert_eq!(covered, ds.n_objects(), "ORCLUS assigns every object");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (ds, _) = planted();
+        let p = OrclusParams::new(2, 2);
+        assert_eq!(run(&ds, &p, 4).unwrap(), run(&ds, &p, 4).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (ds, _) = planted();
+        assert!(run(&ds, &OrclusParams::new(0, 2), 0).is_err());
+        assert!(run(&ds, &OrclusParams::new(2, 0), 0).is_err());
+        assert!(run(&ds, &OrclusParams::new(2, 99), 0).is_err());
+        let mut p = OrclusParams::new(2, 2);
+        p.alpha = 1.0;
+        assert!(run(&ds, &p, 0).is_err());
+        let mut p = OrclusParams::new(2, 2);
+        p.k0_factor = 0;
+        assert!(run(&ds, &p, 0).is_err());
+    }
+
+    #[test]
+    fn aligned_axes_ranks_loadings() {
+        // Basis strongly aligned with axes 1 and 3.
+        let basis = vec![
+            vec![0.1, 0.9, 0.1, 0.0],
+            vec![0.0, 0.1, 0.2, 0.95],
+        ];
+        let dims = aligned_axes(&basis, 4, 2);
+        assert_eq!(dims, vec![DimId(1), DimId(3)]);
+    }
+
+    use sspc_common::rng::seeded_rng;
+}

@@ -1,0 +1,572 @@
+//! PROCLUS — *Fast Algorithms for Projected Clustering*
+//! (Aggarwal, Procopiuc, Wolf, Yu & Park, SIGMOD 1999).
+//!
+//! The canonical partitional projected-clustering baseline. Three phases:
+//!
+//! 1. **Initialization** — sample `A·k` objects, then greedily keep the
+//!    `B·k` most mutually remote ones (full-space max-min) as the medoid
+//!    candidate pool `M`.
+//! 2. **Iterative** — from the current k medoids: each medoid's *locality*
+//!    is the set of objects within `δᵢ` (its distance to the nearest other
+//!    medoid, full space). Per-dimension average locality distances are
+//!    z-scored per medoid and the `k·l` smallest are picked greedily (at
+//!    least 2 per cluster) as the selected dimensions. Objects are assigned
+//!    to the nearest medoid by **Manhattan segmental distance** (average
+//!    Manhattan distance over the cluster's selected dimensions). The
+//!    medoid of the worst (smallest) cluster is swapped with a random
+//!    candidate when the total dispersion stops improving.
+//! 3. **Refinement** — dimensions are recomputed once from the final
+//!    clusters (distances to centroids rather than localities), objects are
+//!    reassigned, and objects farther than their cluster's sphere of
+//!    influence from every medoid are declared outliers.
+//!
+//! The crucial weakness the SSPC paper exploits: the user must supply `l`
+//! (the average cluster dimensionality) and localities are computed with
+//! **all** dimensions, which misleads dimension selection when the real
+//! dimensionality is very low.
+
+use crate::BaselineResult;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sspc_common::rng::{sample_indices, seeded_rng};
+use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+
+/// PROCLUS parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProclusParams {
+    /// Target number of clusters.
+    pub k: usize,
+    /// Average number of selected dimensions per cluster (user-supplied in
+    /// the original; the SSPC paper sweeps it in Fig. 4).
+    pub l: usize,
+    /// Candidate-pool oversampling: `A·k` objects are sampled initially.
+    pub sample_factor_a: usize,
+    /// Greedy pool size: `B·k` candidates survive the max-min selection.
+    pub pool_factor_b: usize,
+    /// Stop after this many consecutive non-improving medoid swaps.
+    pub max_bad_swaps: usize,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Clusters smaller than `min_deviation × n/k` mark their medoid as bad.
+    pub min_deviation: f64,
+}
+
+impl ProclusParams {
+    /// Defaults from the original paper: `A = 30`, `B = 3`,
+    /// `min_deviation = 0.1`.
+    pub fn new(k: usize, l: usize) -> Self {
+        ProclusParams {
+            k,
+            l,
+            sample_factor_a: 30,
+            pool_factor_b: 3,
+            max_bad_swaps: 20,
+            max_iterations: 100,
+            min_deviation: 0.1,
+        }
+    }
+
+    fn validate(&self, dataset: &Dataset) -> Result<()> {
+        if self.k == 0 {
+            return Err(Error::InvalidParameter("k must be positive".into()));
+        }
+        if self.l < 2 {
+            return Err(Error::InvalidParameter(
+                "PROCLUS requires l >= 2 (at least two dimensions per cluster)".into(),
+            ));
+        }
+        if self.l > dataset.n_dims() {
+            return Err(Error::InvalidParameter(format!(
+                "l = {} exceeds the dataset dimensionality {}",
+                self.l,
+                dataset.n_dims()
+            )));
+        }
+        if dataset.n_objects() < 2 * self.k {
+            return Err(Error::InvalidShape(format!(
+                "need at least 2 objects per cluster: n = {}, k = {}",
+                dataset.n_objects(),
+                self.k
+            )));
+        }
+        if self.pool_factor_b == 0 || self.sample_factor_a < self.pool_factor_b {
+            return Err(Error::InvalidParameter(
+                "need sample_factor_a >= pool_factor_b >= 1".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.min_deviation) {
+            return Err(Error::InvalidParameter(
+                "min_deviation must be in [0, 1)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs PROCLUS. Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Returns parameter/shape errors per [`ProclusParams`]; never fails after
+/// validation.
+pub fn run(dataset: &Dataset, params: &ProclusParams, seed: u64) -> Result<BaselineResult> {
+    params.validate(dataset)?;
+    let mut rng = seeded_rng(seed);
+    let n = dataset.n_objects();
+    let k = params.k;
+
+    // ---- Initialization phase.
+    let sample_size = (params.sample_factor_a * k).min(n);
+    let pool_size = (params.pool_factor_b * k).min(sample_size).max(k);
+    let sample: Vec<ObjectId> = sample_indices(&mut rng, n, sample_size)
+        .into_iter()
+        .map(ObjectId)
+        .collect();
+    let pool = greedy_remote_pool(dataset, &sample, pool_size, &mut rng);
+
+    // ---- Iterative phase.
+    // Best solution found so far: (cost, medoids, per-cluster dims,
+    // assignment).
+    type BestSolution = (f64, Vec<ObjectId>, Vec<Vec<DimId>>, Vec<Option<ClusterId>>);
+    let mut current: Vec<usize> = sample_indices(&mut rng, pool.len(), k); // indices into pool
+    let mut best: Option<BestSolution> = None;
+    let mut bad_swaps = 0usize;
+    let mut iterations = 0usize;
+    while bad_swaps < params.max_bad_swaps && iterations < params.max_iterations {
+        iterations += 1;
+        let medoids: Vec<ObjectId> = current.iter().map(|&i| pool[i]).collect();
+        let dims = find_dimensions(dataset, &medoids, params.l);
+        let assignment = assign_points(dataset, &medoids, &dims);
+        let cost = evaluate(dataset, &medoids, &dims, &assignment);
+
+        let improved = best.as_ref().map_or(true, |(c, ..)| cost < *c);
+        if improved {
+            best = Some((cost, medoids.clone(), dims, assignment.clone()));
+            bad_swaps = 0;
+        } else {
+            bad_swaps += 1;
+        }
+
+        // Replace the bad medoid (smallest cluster) of the *best* solution
+        // with a random unused candidate.
+        let (_, best_medoids, _, best_assignment) = best.as_ref().expect("set above");
+        let mut sizes = vec![0usize; k];
+        for c in best_assignment.iter().flatten() {
+            sizes[c.index()] += 1;
+        }
+        let bad = sizes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .expect("k >= 1");
+        // Rebuild `current` to track the best solution's medoids, then swap.
+        current = best_medoids
+            .iter()
+            .map(|m| pool.iter().position(|p| p == m).expect("medoid from pool"))
+            .collect();
+        let in_use: Vec<bool> = {
+            let mut v = vec![false; pool.len()];
+            for &i in &current {
+                v[i] = true;
+            }
+            v
+        };
+        let free: Vec<usize> = (0..pool.len()).filter(|&i| !in_use[i]).collect();
+        if free.is_empty() {
+            break;
+        }
+        current[bad] = free[rng.gen_range(0..free.len())];
+    }
+
+    let (_, medoids, _, _) = best.clone().expect("at least one iteration");
+
+    // ---- Refinement phase.
+    let dims = refine_dimensions(dataset, &medoids, &best.as_ref().unwrap().3, params.l);
+    let mut assignment = assign_points(dataset, &medoids, &dims);
+    mark_outliers(dataset, &medoids, &dims, &mut assignment);
+    let cost = evaluate(dataset, &medoids, &dims, &assignment);
+
+    Ok(BaselineResult::new(assignment, dims, cost))
+}
+
+/// Greedy max-min ("well scattered") candidate pool: start from a random
+/// sample member, repeatedly add the member farthest (full-space Euclidean)
+/// from the pool.
+fn greedy_remote_pool(
+    dataset: &Dataset,
+    sample: &[ObjectId],
+    pool_size: usize,
+    rng: &mut StdRng,
+) -> Vec<ObjectId> {
+    let all_dims: Vec<DimId> = dataset.dim_ids().collect();
+    let mut pool = Vec::with_capacity(pool_size);
+    let first = sample[rng.gen_range(0..sample.len())];
+    pool.push(first);
+    let mut min_dist: Vec<f64> = sample
+        .iter()
+        .map(|&o| dataset.sq_dist_between(o, first, &all_dims))
+        .collect();
+    while pool.len() < pool_size {
+        let (next_idx, _) = min_dist
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .expect("sample non-empty");
+        let next = sample[next_idx];
+        pool.push(next);
+        for (i, &o) in sample.iter().enumerate() {
+            let d = dataset.sq_dist_between(o, next, &all_dims);
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+        }
+    }
+    pool
+}
+
+/// Phase-2 dimension selection: localities → per-dimension mean Manhattan
+/// distances → per-medoid z-scores → greedy global pick of `k·l`
+/// dimensions with at least two per cluster.
+fn find_dimensions(dataset: &Dataset, medoids: &[ObjectId], l: usize) -> Vec<Vec<DimId>> {
+    let k = medoids.len();
+    let d = dataset.n_dims();
+    let all_dims: Vec<DimId> = dataset.dim_ids().collect();
+
+    // δᵢ = distance to the nearest other medoid (full space).
+    let deltas: Vec<f64> = (0..k)
+        .map(|i| {
+            (0..k)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    dataset
+                        .sq_dist_between(medoids[i], medoids[j], &all_dims)
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+
+    // X[i][j] = mean |xⱼ − mᵢⱼ| over the locality of medoid i.
+    let mut x = vec![vec![0.0f64; d]; k];
+    let mut counts = vec![0usize; k];
+    for o in dataset.object_ids() {
+        for i in 0..k {
+            if o == medoids[i] {
+                continue;
+            }
+            let dist = dataset
+                .sq_dist_between(o, medoids[i], &all_dims)
+                .sqrt();
+            if dist <= deltas[i] {
+                counts[i] += 1;
+                let row = dataset.row(o);
+                let mrow = dataset.row(medoids[i]);
+                for j in 0..d {
+                    x[i][j] += (row[j] - mrow[j]).abs();
+                }
+            }
+        }
+    }
+    for i in 0..k {
+        let c = counts[i].max(1) as f64;
+        for j in 0..d {
+            x[i][j] /= c;
+        }
+    }
+    zscore_pick(&x, l)
+}
+
+/// Refinement-phase dimension selection: like [`find_dimensions`] but the
+/// per-dimension spreads come from the actual clusters (distances to the
+/// cluster centroid) instead of localities.
+fn refine_dimensions(
+    dataset: &Dataset,
+    medoids: &[ObjectId],
+    assignment: &[Option<ClusterId>],
+    l: usize,
+) -> Vec<Vec<DimId>> {
+    let k = medoids.len();
+    let d = dataset.n_dims();
+    let mut sums = vec![vec![0.0f64; d]; k];
+    let mut counts = vec![0usize; k];
+    for (o_idx, c) in assignment.iter().enumerate() {
+        if let Some(c) = c {
+            counts[c.index()] += 1;
+            let row = dataset.row(ObjectId(o_idx));
+            for j in 0..d {
+                sums[c.index()][j] += row[j];
+            }
+        }
+    }
+    let centroids: Vec<Vec<f64>> = (0..k)
+        .map(|i| {
+            let c = counts[i].max(1) as f64;
+            sums[i].iter().map(|s| s / c).collect()
+        })
+        .collect();
+    let mut x = vec![vec![0.0f64; d]; k];
+    for (o_idx, c) in assignment.iter().enumerate() {
+        if let Some(c) = c {
+            let row = dataset.row(ObjectId(o_idx));
+            for j in 0..d {
+                x[c.index()][j] += (row[j] - centroids[c.index()][j]).abs();
+            }
+        }
+    }
+    for i in 0..k {
+        let c = counts[i].max(1) as f64;
+        for j in 0..d {
+            x[i][j] /= c;
+        }
+    }
+    zscore_pick(&x, l)
+}
+
+/// Z-scores each medoid's per-dimension spreads and greedily picks the
+/// `k·l` globally smallest, with at least two per cluster.
+fn zscore_pick(x: &[Vec<f64>], l: usize) -> Vec<Vec<DimId>> {
+    let k = x.len();
+    let d = x[0].len();
+    let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(k * d); // (z, i, j)
+    for (i, xi) in x.iter().enumerate() {
+        let mean: f64 = xi.iter().sum::<f64>() / d as f64;
+        let var: f64 = xi.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (d as f64 - 1.0);
+        let sd = var.sqrt().max(f64::MIN_POSITIVE);
+        for (j, &v) in xi.iter().enumerate() {
+            scored.push(((v - mean) / sd, i, j));
+        }
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite z-scores"));
+
+    let total = (k * l).min(k * d);
+    let mut dims: Vec<Vec<DimId>> = vec![Vec::new(); k];
+    let mut picked = 0usize;
+    // First pass: the two best dimensions of every cluster.
+    for i in 0..k {
+        let mut best: Vec<(f64, usize)> = scored
+            .iter()
+            .filter(|&&(_, ci, _)| ci == i)
+            .map(|&(z, _, j)| (z, j))
+            .collect();
+        best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for &(_, j) in best.iter().take(2) {
+            dims[i].push(DimId(j));
+            picked += 1;
+        }
+    }
+    // Second pass: fill to k·l with the globally smallest remaining z-scores.
+    for &(_, i, j) in &scored {
+        if picked >= total {
+            break;
+        }
+        if !dims[i].contains(&DimId(j)) {
+            dims[i].push(DimId(j));
+            picked += 1;
+        }
+    }
+    for dd in &mut dims {
+        dd.sort_unstable();
+    }
+    dims
+}
+
+/// Manhattan segmental distance: Manhattan distance over `dims`,
+/// normalized by `|dims|`.
+fn segmental_distance(dataset: &Dataset, o: ObjectId, m: ObjectId, dims: &[DimId]) -> f64 {
+    if dims.is_empty() {
+        return f64::INFINITY;
+    }
+    let ro = dataset.row(o);
+    let rm = dataset.row(m);
+    dims.iter()
+        .map(|&j| (ro[j.index()] - rm[j.index()]).abs())
+        .sum::<f64>()
+        / dims.len() as f64
+}
+
+fn assign_points(
+    dataset: &Dataset,
+    medoids: &[ObjectId],
+    dims: &[Vec<DimId>],
+) -> Vec<Option<ClusterId>> {
+    dataset
+        .object_ids()
+        .map(|o| {
+            let best = (0..medoids.len())
+                .map(|i| (segmental_distance(dataset, o, medoids[i], &dims[i]), i))
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+                .map(|(_, i)| i)
+                .expect("k >= 1");
+            Some(ClusterId(best))
+        })
+        .collect()
+}
+
+/// Average within-cluster segmental distance to the medoid — the PROCLUS
+/// objective (lower is better).
+fn evaluate(
+    dataset: &Dataset,
+    medoids: &[ObjectId],
+    dims: &[Vec<DimId>],
+    assignment: &[Option<ClusterId>],
+) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (o_idx, c) in assignment.iter().enumerate() {
+        if let Some(c) = c {
+            total +=
+                segmental_distance(dataset, ObjectId(o_idx), medoids[c.index()], &dims[c.index()]);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        total / count as f64
+    }
+}
+
+/// Outlier pass: the sphere of influence of medoid `i` is its smallest
+/// segmental distance to another medoid (in `i`'s subspace); objects
+/// farther than every medoid's sphere become outliers.
+fn mark_outliers(
+    dataset: &Dataset,
+    medoids: &[ObjectId],
+    dims: &[Vec<DimId>],
+    assignment: &mut [Option<ClusterId>],
+) {
+    let k = medoids.len();
+    let spheres: Vec<f64> = (0..k)
+        .map(|i| {
+            (0..k)
+                .filter(|&j| j != i)
+                .map(|j| segmental_distance(dataset, medoids[j], medoids[i], &dims[i]))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    for (o_idx, slot) in assignment.iter_mut().enumerate() {
+        let o = ObjectId(o_idx);
+        if medoids.contains(&o) {
+            continue; // a medoid is never an outlier of its own cluster
+        }
+        let within_any = (0..k)
+            .any(|i| segmental_distance(dataset, o, medoids[i], &dims[i]) <= spheres[i]);
+        if !within_any {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 60 objects × 10 dims; three clusters of 20 with planted pairs of
+    /// relevant dimensions (0,1), (2,3), (4,5).
+    fn planted() -> (Dataset, Vec<ClusterId>) {
+        let mut rng = seeded_rng(2024);
+        let n = 60;
+        let d = 10;
+        let mut values = vec![0.0; n * d];
+        for v in values.iter_mut() {
+            *v = rng.gen_range(0.0..100.0);
+        }
+        let centers = [(0usize, 20.0, 70.0), (2, 50.0, 30.0), (4, 85.0, 10.0)];
+        for (ci, &(dim0, c0, c1)) in centers.iter().enumerate() {
+            for o in (ci * 20)..((ci + 1) * 20) {
+                values[o * d + dim0] = c0 + rng.gen_range(-1.0..1.0);
+                values[o * d + dim0 + 1] = c1 + rng.gen_range(-1.0..1.0);
+            }
+        }
+        let truth = (0..n).map(|o| ClusterId(o / 20)).collect();
+        (Dataset::from_rows(n, d, values).unwrap(), truth)
+    }
+
+    fn pair_accuracy(result: &BaselineResult, truth: &[ClusterId]) -> f64 {
+        let n = truth.len();
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                let same_t = truth[i] == truth[j];
+                let ci = result.cluster_of(ObjectId(i));
+                let cj = result.cluster_of(ObjectId(j));
+                let same_r = ci.is_some() && ci == cj;
+                if same_t == same_r {
+                    ok += 1;
+                }
+            }
+        }
+        ok as f64 / total as f64
+    }
+
+    #[test]
+    fn recovers_planted_clusters_with_correct_l() {
+        let (ds, truth) = planted();
+        let params = ProclusParams::new(3, 2);
+        let best = (0..5)
+            .map(|s| run(&ds, &params, s).unwrap())
+            .min_by(|a, b| a.cost().partial_cmp(&b.cost()).unwrap())
+            .unwrap();
+        let acc = pair_accuracy(&best, &truth);
+        assert!(acc > 0.85, "pairwise accuracy {acc} too low");
+    }
+
+    #[test]
+    fn each_cluster_gets_at_least_two_dims_and_kl_total() {
+        let (ds, _) = planted();
+        let params = ProclusParams::new(3, 3);
+        let r = run(&ds, &params, 1).unwrap();
+        let total: usize = r.all_selected_dims().iter().map(Vec::len).sum();
+        assert_eq!(total, 9, "k·l dims in total");
+        for c in 0..3 {
+            assert!(r.selected_dims(ClusterId(c)).len() >= 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (ds, _) = planted();
+        let params = ProclusParams::new(3, 2);
+        assert_eq!(run(&ds, &params, 9).unwrap(), run(&ds, &params, 9).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (ds, _) = planted();
+        assert!(run(&ds, &ProclusParams::new(0, 3), 0).is_err());
+        assert!(run(&ds, &ProclusParams::new(3, 1), 0).is_err());
+        assert!(run(&ds, &ProclusParams::new(3, 999), 0).is_err());
+        let mut p = ProclusParams::new(3, 2);
+        p.min_deviation = 1.5;
+        assert!(run(&ds, &p, 0).is_err());
+    }
+
+    #[test]
+    fn zscore_pick_prefers_small_spreads() {
+        // Cluster 0's smallest spreads are dims 0,1; cluster 1's are 2,3.
+        let x = vec![
+            vec![0.1, 0.2, 5.0, 5.0, 5.0],
+            vec![5.0, 5.0, 0.1, 0.2, 5.0],
+        ];
+        let dims = zscore_pick(&x, 2);
+        assert_eq!(dims[0], vec![DimId(0), DimId(1)]);
+        assert_eq!(dims[1], vec![DimId(2), DimId(3)]);
+    }
+
+    #[test]
+    fn segmental_distance_normalizes() {
+        let ds = Dataset::from_rows(2, 4, vec![0.0, 0.0, 0.0, 0.0, 2.0, 4.0, 0.0, 0.0]).unwrap();
+        let d = segmental_distance(&ds, ObjectId(0), ObjectId(1), &[DimId(0), DimId(1)]);
+        assert!((d - 3.0).abs() < 1e-12);
+        assert_eq!(
+            segmental_distance(&ds, ObjectId(0), ObjectId(1), &[]),
+            f64::INFINITY
+        );
+    }
+
+    use rand::Rng;
+    use sspc_common::rng::seeded_rng;
+}

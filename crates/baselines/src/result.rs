@@ -1,0 +1,100 @@
+use sspc_common::{ClusterId, DimId, ObjectId};
+
+/// The common output shape of every baseline algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    assignment: Vec<Option<ClusterId>>,
+    selected_dims: Vec<Vec<DimId>>,
+    /// Algorithm-specific internal cost/score of the returned solution;
+    /// comparable only between runs of the same algorithm. Lower is better
+    /// for the distance-based algorithms (PROCLUS, CLARANS, HARP's
+    /// negated quality); higher is better for DOC (`µ` score), see each
+    /// module's docs.
+    cost: f64,
+}
+
+impl BaselineResult {
+    pub(crate) fn new(
+        assignment: Vec<Option<ClusterId>>,
+        mut selected_dims: Vec<Vec<DimId>>,
+        cost: f64,
+    ) -> Self {
+        for dims in &mut selected_dims {
+            dims.sort_unstable();
+            dims.dedup();
+        }
+        BaselineResult {
+            assignment,
+            selected_dims,
+            cost,
+        }
+    }
+
+    /// Per-object cluster assignment; `None` marks an outlier.
+    pub fn assignment(&self) -> &[Option<ClusterId>] {
+        &self.assignment
+    }
+
+    /// The cluster of one object.
+    pub fn cluster_of(&self, o: ObjectId) -> Option<ClusterId> {
+        self.assignment[o.index()]
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.selected_dims.len()
+    }
+
+    /// Selected dimensions of a cluster, ascending.
+    pub fn selected_dims(&self, c: ClusterId) -> &[DimId] {
+        &self.selected_dims[c.index()]
+    }
+
+    /// All selected-dimension lists.
+    pub fn all_selected_dims(&self) -> &[Vec<DimId>] {
+        &self.selected_dims
+    }
+
+    /// Members of a cluster, ascending.
+    pub fn members_of(&self, c: ClusterId) -> Vec<ObjectId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(o, cl)| (*cl == Some(c)).then_some(ObjectId(o)))
+            .collect()
+    }
+
+    /// Outlier objects, ascending.
+    pub fn outliers(&self) -> Vec<ObjectId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(o, cl)| cl.is_none().then_some(ObjectId(o)))
+            .collect()
+    }
+
+    /// The algorithm-specific solution cost (see the field docs).
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_dim_normalization() {
+        let r = BaselineResult::new(
+            vec![Some(ClusterId(0)), None, Some(ClusterId(1))],
+            vec![vec![DimId(2), DimId(0), DimId(2)], vec![DimId(1)]],
+            3.5,
+        );
+        assert_eq!(r.n_clusters(), 2);
+        assert_eq!(r.selected_dims(ClusterId(0)), &[DimId(0), DimId(2)]);
+        assert_eq!(r.members_of(ClusterId(1)), vec![ObjectId(2)]);
+        assert_eq!(r.outliers(), vec![ObjectId(1)]);
+        assert_eq!(r.cost(), 3.5);
+        assert_eq!(r.cluster_of(ObjectId(1)), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation benchmarks: cost of the design choices DESIGN.md calls out.
+//! (Their *accuracy* effect is measured by `experiments ablations`; here we
+//! measure what they cost in time.)
+//!
+//! * median-representative replacement on/off;
+//! * hill-climbing on/off during initialization;
+//! * m-scheme vs p-scheme thresholds (the p-scheme pays for chi-square
+//!   quantiles, amortized by memoization);
+//! * grids per seed group (initialization effort).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
+use sspc_datagen::{generate, GeneratedData, GeneratorConfig};
+use std::hint::black_box;
+
+fn workload() -> GeneratedData {
+    generate(
+        &GeneratorConfig {
+            n: 300,
+            d: 60,
+            k: 4,
+            avg_cluster_dims: 8,
+            ..Default::default()
+        },
+        13,
+    )
+    .unwrap()
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let data = workload();
+    let mut group = c.benchmark_group("ablations_n300_d60");
+    group.sample_size(10);
+
+    let variants: Vec<(&str, SspcParams)> = vec![
+        (
+            "full_m_scheme",
+            SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5)),
+        ),
+        (
+            "p_scheme",
+            SspcParams::new(4).with_threshold(ThresholdScheme::PValue(0.05)),
+        ),
+        (
+            "no_median_reps",
+            SspcParams::new(4)
+                .with_threshold(ThresholdScheme::MFraction(0.5))
+                .with_median_representatives(false),
+        ),
+        (
+            "no_hill_climbing",
+            SspcParams::new(4)
+                .with_threshold(ThresholdScheme::MFraction(0.5))
+                .with_hill_climbing(false),
+        ),
+        (
+            "grids_5_per_group",
+            SspcParams::new(4)
+                .with_threshold(ThresholdScheme::MFraction(0.5))
+                .with_grids_per_group(5),
+        ),
+        (
+            "grids_40_per_group",
+            SspcParams::new(4)
+                .with_threshold(ThresholdScheme::MFraction(0.5))
+                .with_grids_per_group(40),
+        ),
+    ];
+
+    for (name, params) in variants {
+        let sspc = Sspc::new(params).unwrap();
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sspc, |b, sspc| {
+            b.iter(|| {
+                seed += 1;
+                black_box(sspc.run(&data.dataset, &Supervision::none(), seed).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

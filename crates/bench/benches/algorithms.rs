@@ -1,0 +1,87 @@
+//! End-to-end algorithm benchmarks on a shared small workload — the
+//! relative costs here mirror the Fig. 8 scalability story (SSPC and
+//! PROCLUS linear and comparable; HARP hierarchical and slower; CLARANS
+//! full-space) at a size where one Criterion sample stays cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
+use sspc_baselines::{clarans, doc, harp, orclus, proclus};
+use sspc_datagen::{generate, GeneratedData, GeneratorConfig};
+use std::hint::black_box;
+
+fn workload() -> GeneratedData {
+    generate(
+        &GeneratorConfig {
+            n: 300,
+            d: 40,
+            k: 4,
+            avg_cluster_dims: 8,
+            ..Default::default()
+        },
+        7,
+    )
+    .unwrap()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let data = workload();
+    let mut group = c.benchmark_group("algorithms_n300_d40");
+    group.sample_size(10);
+
+    let sspc = Sspc::new(
+        SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5)),
+    )
+    .unwrap();
+    let mut seed = 0u64;
+    group.bench_function("sspc", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(sspc.run(&data.dataset, &Supervision::none(), seed).unwrap())
+        })
+    });
+
+    let proclus_params = proclus::ProclusParams::new(4, 8);
+    group.bench_function("proclus", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(proclus::run(&data.dataset, &proclus_params, seed).unwrap())
+        })
+    });
+
+    let clarans_params = clarans::ClaransParams {
+        max_neighbor: Some(100),
+        ..clarans::ClaransParams::new(4)
+    };
+    group.bench_function("clarans", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(clarans::run(&data.dataset, &clarans_params, seed).unwrap())
+        })
+    });
+
+    let harp_params = harp::HarpParams::new(4);
+    group.bench_function("harp", |b| {
+        b.iter(|| black_box(harp::run(&data.dataset, &harp_params).unwrap()))
+    });
+
+    let doc_params = doc::DocParams::new(4, 5.0);
+    group.bench_function("doc", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(doc::run(&data.dataset, &doc_params, seed).unwrap())
+        })
+    });
+
+    let orclus_params = orclus::OrclusParams::new(4, 8);
+    group.bench_function("orclus", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(orclus::run(&data.dataset, &orclus_params, seed).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the computational kernels behind every
+//! experiment: objective evaluation and dimension selection (the per-
+//! iteration core of SSPC), grid construction (initialization), the
+//! chi-square quantile (p-scheme thresholds), the ARI metric, the
+//! Hungarian matcher, and the synthetic generator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use sspc::objective::ClusterModel;
+use sspc::{ThresholdScheme, Thresholds};
+use sspc_common::stats::ChiSquared;
+use sspc_common::{ClusterId, ObjectId};
+use sspc_datagen::{generate, GeneratorConfig};
+use sspc_metrics::{adjusted_rand_index, matching, ContingencyTable, OutlierPolicy};
+use std::hint::black_box;
+
+fn config(n: usize, d: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        n,
+        d,
+        k: 5,
+        avg_cluster_dims: (d / 10).max(2),
+        ..Default::default()
+    }
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective");
+    for (n, d) in [(1000usize, 100usize), (150, 3000)] {
+        let data = generate(&config(n, d), 1).unwrap();
+        let members: Vec<ObjectId> = data.truth.members_of(ClusterId(0));
+        let thresholds =
+            Thresholds::new(ThresholdScheme::MFraction(0.5), &data.dataset).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("fit_and_select", format!("n{n}_d{d}")),
+            &(&data, &members, &thresholds),
+            |b, (data, members, thresholds)| {
+                b.iter(|| {
+                    let model = ClusterModel::fit(&data.dataset, members).unwrap();
+                    let dims = model.select_dims(thresholds);
+                    black_box(model.cluster_score(&dims, thresholds))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_chi_square_quantile(c: &mut Criterion) {
+    c.bench_function("chi_square_quantile_dof30", |b| {
+        let chi = ChiSquared::new(30.0).unwrap();
+        b.iter(|| black_box(chi.quantile(black_box(0.01)).unwrap()))
+    });
+}
+
+fn bench_ari(c: &mut Criterion) {
+    let data = generate(&config(5000, 10), 2).unwrap();
+    let truth = data.truth.assignment().to_vec();
+    let mut shifted = truth.clone();
+    shifted.rotate_right(7);
+    c.bench_function("ari_n5000", |b| {
+        b.iter(|| {
+            black_box(
+                adjusted_rand_index(&truth, &shifted, OutlierPolicy::AsCluster).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let data = generate(&config(2000, 10), 3).unwrap();
+    let truth = data.truth.assignment().to_vec();
+    let mut shifted = truth.clone();
+    shifted.rotate_right(13);
+    let table = ContingencyTable::build(&truth, &shifted, OutlierPolicy::Exclude).unwrap();
+    c.bench_function("hungarian_match_5x5", |b| {
+        b.iter(|| black_box(matching::match_clusters_to_classes(&table).unwrap()))
+    });
+}
+
+fn bench_generator(c: &mut Criterion) {
+    c.bench_function("generate_n1000_d100", |b| {
+        let cfg = config(1000, 100);
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                seed
+            },
+            |s| black_box(generate(&cfg, s).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_objective,
+    bench_chi_square_quantile,
+    bench_ari,
+    bench_hungarian,
+    bench_generator
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <name> [seed]
+//!
+//! names: fig1 fig2 fig3 fig4 outliers fig5 fig6 fig7 fig8a fig8b
+//!        ablations all
+//! ```
+
+use sspc_bench::experiments;
+use sspc_bench::table::Table;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <name> [seed]\n\
+         names: fig1 fig2 fig3 fig4 outliers fig5 fig6 fig7 fig8a fig8b\n\
+                ablations noisy-inputs threshold-dist extended-baselines all"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let seed: u64 = match args.get(1).map(|s| s.parse()) {
+        None => 20050405, // ICDE 2005, Tokyo — a fixed default seed
+        Some(Ok(s)) => s,
+        Some(Err(_)) => return usage(),
+    };
+
+    let result: sspc_common::Result<Vec<Table>> = match name.as_str() {
+        "fig1" => experiments::fig1(),
+        "fig2" => experiments::fig2(),
+        "fig3" => experiments::fig3(seed),
+        "fig4" => experiments::fig4(seed),
+        "outliers" => experiments::outliers(seed),
+        "fig5" => experiments::fig5(seed),
+        "fig6" => experiments::fig6(seed),
+        "fig7" => experiments::fig7(seed),
+        "fig8a" => experiments::fig8a(seed),
+        "fig8b" => experiments::fig8b(seed),
+        "ablations" => experiments::ablations(seed),
+        "noisy-inputs" => experiments::noisy_inputs(seed),
+        "threshold-dist" => experiments::threshold_vs_distribution(seed),
+        "extended-baselines" => experiments::extended_baselines(seed),
+        "all" => experiments::all(seed),
+        _ => return usage(),
+    };
+
+    match result {
+        Ok(tables) => {
+            for t in tables {
+                println!("{t}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Figures 1 and 2 — the Sec. 4.5 analytical curves.
+//!
+//! These are closed-form evaluations (no clustering runs): the probability
+//! that at least one seed-group grid is built from the right dimensions,
+//! as a function of the amount of supervision, for several `dᵢ/d` ratios.
+//! Parameters match the paper's: `d = 3000`, `p = 0.01`, `c = 3`, `g = 20`,
+//! variance ratio `0.15`, and `k = 5` for Fig. 2.
+
+use crate::table::Table;
+use sspc_analysis::{
+    prob_good_grid_labeled_dims, prob_good_grid_labeled_objects, AnalysisConfig,
+};
+use sspc_common::Result;
+
+/// The `dᵢ/d` ratios plotted (1 % … 40 %).
+const RATIOS: [f64; 5] = [0.01, 0.05, 0.10, 0.20, 0.40];
+/// Input sizes on the x-axis.
+const SIZES: [usize; 10] = [1, 2, 3, 4, 5, 6, 8, 10, 15, 20];
+
+fn config_for(ratio: f64) -> AnalysisConfig {
+    let d = 3000usize;
+    AnalysisConfig {
+        d,
+        d_i: ((ratio * d as f64).round() as usize).max(1),
+        ..Default::default()
+    }
+}
+
+/// **Figure 1**: probability that at least one grid is formed by relevant
+/// dimensions only, when only labeled objects are available.
+///
+/// # Errors
+///
+/// Propagates analysis failures (cannot occur for the fixed configuration).
+pub fn fig1() -> Result<Vec<Table>> {
+    let mut table = Table::new(
+        "Fig. 1 — P(>=1 all-relevant grid) vs #labeled objects (d=3000, p=0.01, c=3, g=20, var-ratio 0.15)",
+        &["|Io|", "di/d=1%", "5%", "10%", "20%", "40%"],
+    );
+    for &size in &SIZES {
+        let mut row = vec![size.to_string()];
+        for &ratio in &RATIOS {
+            let value = if size >= 2 {
+                Some(prob_good_grid_labeled_objects(&config_for(ratio), size)?)
+            } else {
+                None // the paper requires |Io| >= 2
+            };
+            row.push(Table::num(value));
+        }
+        table.push_row(row);
+    }
+    Ok(vec![table])
+}
+
+/// **Figure 2**: probability that at least one grid has all building
+/// dimensions relevant to the target cluster only, when only labeled
+/// dimensions are available (`k = 5`).
+///
+/// # Errors
+///
+/// Propagates analysis failures (cannot occur for the fixed configuration).
+pub fn fig2() -> Result<Vec<Table>> {
+    let mut table = Table::new(
+        "Fig. 2 — P(>=1 exclusively-relevant grid) vs #labeled dimensions (k=5)",
+        &["|Iv|", "di/d=1%", "5%", "10%", "20%", "40%"],
+    );
+    for &size in &SIZES {
+        let mut row = vec![size.to_string()];
+        for &ratio in &RATIOS {
+            let value = prob_good_grid_labeled_dims(&config_for(ratio), size)?;
+            row.push(Table::num(Some(value)));
+        }
+        table.push_row(row);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape_matches_paper() {
+        let tables = fig1().unwrap();
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), SIZES.len());
+        // |Io| = 5, di/d = 5% (column 2) should be near 1 — the paper's
+        // highlighted anchor.
+        let row5 = t.rows.iter().find(|r| r[0] == "5").unwrap();
+        let v: f64 = row5[2].parse().unwrap();
+        assert!(v > 0.95, "got {v}");
+        // |Io| = 1 rows are dashes.
+        let row1 = t.rows.iter().find(|r| r[0] == "1").unwrap();
+        assert_eq!(row1[1], "-");
+    }
+
+    #[test]
+    fn fig2_low_dimensionality_wins() {
+        let tables = fig2().unwrap();
+        let t = &tables[0];
+        // At |Iv| = 3, the 1% column must beat the 40% column.
+        let row3 = t.rows.iter().find(|r| r[0] == "3").unwrap();
+        let one_pct: f64 = row3[1].parse().unwrap();
+        let forty_pct: f64 = row3[5].parse().unwrap();
+        assert!(one_pct > forty_pct);
+    }
+}

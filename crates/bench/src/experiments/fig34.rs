@@ -1,0 +1,179 @@
+//! Figures 3 and 4 — raw (unsupervised) accuracy.
+
+use crate::runner::{ari_vs_truth, best_clarans_of, best_proclus_of, best_sspc_of, harp_once};
+use crate::table::Table;
+use sspc::{SspcParams, ThresholdScheme};
+use sspc_baselines::{clarans::ClaransParams, harp::HarpParams, proclus::ProclusParams};
+use sspc_common::rng::derive_seed;
+use sspc_common::Result;
+use sspc_datagen::{generate, GeneratedData, GeneratorConfig};
+
+/// The paper's repetition count.
+const RUNS: usize = 10;
+/// The m values tried for SSPC(m) ("5 different values of m and p").
+const M_VALUES: [f64; 5] = [0.3, 0.4, 0.5, 0.6, 0.7];
+/// The p values tried for SSPC(p).
+const P_VALUES: [f64; 5] = [0.01, 0.05, 0.1, 0.15, 0.2];
+
+fn dataset_config(l_real: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        n: 1000,
+        d: 100,
+        k: 5,
+        avg_cluster_dims: l_real,
+        ..Default::default()
+    }
+}
+
+/// Best SSPC ARI across a set of threshold values — the paper's Fig. 3
+/// protocol ("the best results (the results with the highest ARI values)
+/// after trying different parameter values").
+fn best_sspc_over<T: Copy>(
+    data: &GeneratedData,
+    values: &[T],
+    make: impl Fn(T) -> ThresholdScheme,
+    seed: u64,
+) -> Result<f64> {
+    let mut best = f64::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        let params = SspcParams::new(5).with_threshold(make(v));
+        let run = best_sspc_of(
+            &data.dataset,
+            &params,
+            &sspc::Supervision::none(),
+            RUNS,
+            derive_seed(seed, i as u64),
+        )?;
+        best = best.max(ari_vs_truth(&data.truth, run.value.assignment())?);
+    }
+    Ok(best)
+}
+
+/// Best PROCLUS ARI across 9 values of `l` spread around the true value.
+fn best_proclus_over(data: &GeneratedData, l_real: usize, seed: u64) -> Result<f64> {
+    let d = data.dataset.n_dims();
+    let mut best = f64::NEG_INFINITY;
+    for (i, factor) in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8]
+        .into_iter()
+        .enumerate()
+    {
+        let l = ((l_real as f64 * factor).round() as usize).clamp(2, d);
+        let params = ProclusParams::new(5, l);
+        let run = best_proclus_of(&data.dataset, &params, RUNS, derive_seed(seed, i as u64))?;
+        best = best.max(ari_vs_truth(&data.truth, run.value.assignment())?);
+    }
+    Ok(best)
+}
+
+/// **Figure 3**: the best raw accuracy of CLARANS, HARP, PROCLUS, SSPC(m)
+/// and SSPC(p) on datasets with `n = 1000`, `d = 100`, `k = 5` and average
+/// cluster dimensionality `l_real ∈ {5, 10, …, 40}` (5 %–40 % of `d`).
+///
+/// # Errors
+///
+/// Propagates generation or clustering failures.
+pub fn fig3(seed: u64) -> Result<Vec<Table>> {
+    let mut table = Table::new(
+        "Fig. 3 — best raw ARI vs average cluster dimensionality (n=1000, d=100, k=5)",
+        &["l_real", "CLARANS", "HARP", "PROCLUS", "SSPC(m)", "SSPC(p)"],
+    );
+    for (idx, l_real) in (5..=40).step_by(5).enumerate() {
+        let ds_seed = derive_seed(seed, idx as u64);
+        let data = generate(&dataset_config(l_real), ds_seed)?;
+
+        let clarans = best_clarans_of(
+            &data.dataset,
+            &ClaransParams::new(5),
+            RUNS,
+            derive_seed(ds_seed, 1),
+        )?;
+        let harp = harp_once(&data.dataset, &HarpParams::new(5))?;
+        let proclus_ari = best_proclus_over(&data, l_real, derive_seed(ds_seed, 2))?;
+        let sspc_m = best_sspc_over(
+            &data,
+            &M_VALUES,
+            ThresholdScheme::MFraction,
+            derive_seed(ds_seed, 3),
+        )?;
+        let sspc_p = best_sspc_over(
+            &data,
+            &P_VALUES,
+            ThresholdScheme::PValue,
+            derive_seed(ds_seed, 4),
+        )?;
+
+        table.push_row(vec![
+            l_real.to_string(),
+            Table::num(Some(ari_vs_truth(&data.truth, clarans.value.assignment())?)),
+            Table::num(Some(ari_vs_truth(&data.truth, harp.value.assignment())?)),
+            Table::num(Some(proclus_ari)),
+            Table::num(Some(sspc_m)),
+            Table::num(Some(sspc_p)),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+/// **Figure 4**: parameter sensitivity at `l_real = 10` — PROCLUS across 9
+/// values of `l`, SSPC across 5 values of `m` and of `p`; each cell is the
+/// best-of-10 (by the algorithm's own score) ARI at that parameter value.
+///
+/// # Errors
+///
+/// Propagates generation or clustering failures.
+pub fn fig4(seed: u64) -> Result<Vec<Table>> {
+    let data = generate(&dataset_config(10), derive_seed(seed, 100))?;
+
+    let mut proclus_t = Table::new(
+        "Fig. 4a — PROCLUS ARI vs l (l_real = 10)",
+        &["l", "ARI"],
+    );
+    for (i, l) in (2..=18).step_by(2).enumerate() {
+        let run = best_proclus_of(
+            &data.dataset,
+            &ProclusParams::new(5, l),
+            RUNS,
+            derive_seed(seed, 200 + i as u64),
+        )?;
+        proclus_t.push_row(vec![
+            l.to_string(),
+            Table::num(Some(ari_vs_truth(&data.truth, run.value.assignment())?)),
+        ]);
+    }
+
+    let mut sspc_t = Table::new(
+        "Fig. 4b — SSPC ARI vs threshold parameter (l_real = 10)",
+        &["scheme", "value", "ARI"],
+    );
+    for (i, &m) in [0.1, 0.3, 0.5, 0.7, 0.9].iter().enumerate() {
+        let params = SspcParams::new(5).with_threshold(ThresholdScheme::MFraction(m));
+        let run = best_sspc_of(
+            &data.dataset,
+            &params,
+            &sspc::Supervision::none(),
+            RUNS,
+            derive_seed(seed, 300 + i as u64),
+        )?;
+        sspc_t.push_row(vec![
+            "m".into(),
+            format!("{m}"),
+            Table::num(Some(ari_vs_truth(&data.truth, run.value.assignment())?)),
+        ]);
+    }
+    for (i, &p) in [0.005, 0.01, 0.05, 0.1, 0.2].iter().enumerate() {
+        let params = SspcParams::new(5).with_threshold(ThresholdScheme::PValue(p));
+        let run = best_sspc_of(
+            &data.dataset,
+            &params,
+            &sspc::Supervision::none(),
+            RUNS,
+            derive_seed(seed, 400 + i as u64),
+        )?;
+        sspc_t.push_row(vec![
+            "p".into(),
+            format!("{p}"),
+            Table::num(Some(ari_vs_truth(&data.truth, run.value.assignment())?)),
+        ]);
+    }
+    Ok(vec![proclus_t, sspc_t])
+}

@@ -1,0 +1,133 @@
+//! Figure 7 — data with multiple possible groupings (Sec. 5.4).
+//!
+//! Two independent datasets (`n = 150`, `d = 1500`, `k = 5`,
+//! `l_real = 30`) are concatenated dimension-wise into one dataset with two
+//! equally valid groupings and an overall 1 % average cluster
+//! dimensionality. HARP and PROCLUS (correct `l` supplied) produce a single
+//! clustering; SSPC runs three ways — without inputs, guided by grouping-A
+//! knowledge, guided by grouping-B knowledge — and every result is scored
+//! against **both** ground truths.
+
+use super::fig56::{sspc_params, to_supervision};
+use crate::runner::{ari_vs_truth, best_proclus_of, best_sspc_of, harp_once, median_score};
+use crate::table::Table;
+use sspc_baselines::{harp::HarpParams, proclus::ProclusParams};
+use sspc_common::rng::derive_seed;
+use sspc_common::Result;
+use sspc_datagen::supervision::{draw, InputKind};
+use sspc_datagen::{generate_multi_grouping, GeneratorConfig, GroundTruth};
+
+const RUNS: usize = 10;
+/// Inputs supplied per covered class when guiding SSPC (both kinds).
+const INPUT_SIZE: usize = 6;
+
+/// **Figure 7**: ARI of each algorithm against both groupings.
+///
+/// # Errors
+///
+/// Propagates generation or clustering failures.
+pub fn fig7(seed: u64) -> Result<Vec<Table>> {
+    let config = GeneratorConfig {
+        n: 150,
+        d: 1500,
+        k: 5,
+        avg_cluster_dims: 30,
+        ..Default::default()
+    };
+    let data = generate_multi_grouping(&config, derive_seed(seed, 700))?;
+    let dataset = &data.dataset;
+
+    let mut table = Table::new(
+        "Fig. 7 — two possible groupings (combined d=3000, l_real=30 = 1%)",
+        &["algorithm", "ARI vs grouping A", "ARI vs grouping B"],
+    );
+
+    let score_both = |assignment: &[Option<sspc_common::ClusterId>]| -> Result<(f64, f64)> {
+        Ok((
+            ari_vs_truth(&data.truth_a, assignment)?,
+            ari_vs_truth(&data.truth_b, assignment)?,
+        ))
+    };
+
+    // HARP (deterministic).
+    let harp = harp_once(dataset, &HarpParams::new(5))?;
+    let (a, b) = score_both(harp.value.assignment())?;
+    table.push_row(vec!["HARP".into(), Table::num(Some(a)), Table::num(Some(b))]);
+
+    // PROCLUS with the correct l.
+    let proclus = best_proclus_of(
+        dataset,
+        &ProclusParams::new(5, 30),
+        RUNS,
+        derive_seed(seed, 701),
+    )?;
+    let (a, b) = score_both(proclus.value.assignment())?;
+    table.push_row(vec![
+        "PROCLUS l=30".into(),
+        Table::num(Some(a)),
+        Table::num(Some(b)),
+    ]);
+
+    // SSPC raw: best-of-10 by objective, like Fig. 3.
+    let raw = best_sspc_of(
+        dataset,
+        &sspc_params(),
+        &sspc::Supervision::none(),
+        RUNS,
+        derive_seed(seed, 702),
+    )?;
+    let (a, b) = score_both(raw.value.assignment())?;
+    table.push_row(vec![
+        "SSPC (no input)".into(),
+        Table::num(Some(a)),
+        Table::num(Some(b)),
+    ]);
+
+    // SSPC guided by each grouping: median-of-10 with independent draws.
+    for (label, truth, stream) in [
+        ("SSPC (input A)", &data.truth_a, 703u64),
+        ("SSPC (input B)", &data.truth_b, 704u64),
+    ] {
+        let (a, b) = guided_scores(
+            dataset,
+            truth,
+            &data.truth_a,
+            &data.truth_b,
+            derive_seed(seed, stream),
+        )?;
+        table.push_row(vec![label.into(), Table::num(a), Table::num(b)]);
+    }
+
+    Ok(vec![table])
+}
+
+/// Median-of-10 ARIs (vs both groupings) of SSPC guided by supervision
+/// drawn from `guide`.
+fn guided_scores(
+    dataset: &sspc_common::Dataset,
+    guide: &GroundTruth,
+    truth_a: &GroundTruth,
+    truth_b: &GroundTruth,
+    seed: u64,
+) -> Result<(Option<f64>, Option<f64>)> {
+    let sspc = sspc::Sspc::new(sspc_params())?;
+    let mut scores_a = Vec::with_capacity(RUNS);
+    let mut scores_b = Vec::with_capacity(RUNS);
+    for r in 0..RUNS {
+        let run_seed = derive_seed(seed, r as u64);
+        let labels = draw(guide, InputKind::Both, 1.0, INPUT_SIZE, run_seed)?;
+        let supervision = to_supervision(&labels);
+        let result = sspc.run(dataset, &supervision, derive_seed(run_seed, 1))?;
+        scores_a.push(crate::runner::ari_excluding_labeled(
+            truth_a,
+            result.assignment(),
+            supervision.labeled_objects(),
+        )?);
+        scores_b.push(crate::runner::ari_excluding_labeled(
+            truth_b,
+            result.assignment(),
+            supervision.labeled_objects(),
+        )?);
+    }
+    Ok((median_score(&scores_a), median_score(&scores_b)))
+}

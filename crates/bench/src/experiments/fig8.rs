@@ -1,0 +1,88 @@
+//! Figures 8a and 8b — scalability (Sec. 5.5): "the execution time of 10
+//! repeated runs of SSPC with an increasing dataset size (n) and
+//! dimensionality (d), using the execution time of PROCLUS as reference."
+//! Both algorithms should scale linearly in `n` and in `d`.
+
+use crate::runner::{best_proclus_of, best_sspc_of};
+use crate::table::Table;
+use sspc::{SspcParams, Supervision, ThresholdScheme};
+use sspc_baselines::proclus::ProclusParams;
+use sspc_common::rng::derive_seed;
+use sspc_common::Result;
+use sspc_datagen::{generate, GeneratorConfig};
+
+const RUNS: usize = 10;
+
+fn time_pair(
+    config: &GeneratorConfig,
+    l: usize,
+    seed: u64,
+) -> Result<(f64, f64)> {
+    let data = generate(config, seed)?;
+    let sspc_params = SspcParams::new(config.k).with_threshold(ThresholdScheme::MFraction(0.5));
+    let sspc = best_sspc_of(
+        &data.dataset,
+        &sspc_params,
+        &Supervision::none(),
+        RUNS,
+        derive_seed(seed, 1),
+    )?;
+    let proclus = best_proclus_of(
+        &data.dataset,
+        &ProclusParams::new(config.k, l),
+        RUNS,
+        derive_seed(seed, 2),
+    )?;
+    Ok((sspc.seconds, proclus.seconds))
+}
+
+/// **Figure 8a**: execution time of 10 runs vs dataset size `n`
+/// (`d = 100`, `k = 5`, `l_real = 10`).
+///
+/// # Errors
+///
+/// Propagates generation or clustering failures.
+pub fn fig8a(seed: u64) -> Result<Vec<Table>> {
+    let mut table = Table::new(
+        "Fig. 8a — execution time of 10 runs vs n (d=100, k=5, l_real=10), seconds",
+        &["n", "SSPC", "PROCLUS"],
+    );
+    for (i, n) in [1000usize, 2000, 4000, 8000].into_iter().enumerate() {
+        let config = GeneratorConfig {
+            n,
+            d: 100,
+            k: 5,
+            avg_cluster_dims: 10,
+            ..Default::default()
+        };
+        let (s, p) = time_pair(&config, 10, derive_seed(seed, 800 + i as u64))?;
+        table.push_row(vec![n.to_string(), Table::num(Some(s)), Table::num(Some(p))]);
+    }
+    Ok(vec![table])
+}
+
+/// **Figure 8b**: execution time of 10 runs vs dimensionality `d`
+/// (`n = 1000`, `k = 5`, `l_real = 10 % of d`).
+///
+/// # Errors
+///
+/// Propagates generation or clustering failures.
+pub fn fig8b(seed: u64) -> Result<Vec<Table>> {
+    let mut table = Table::new(
+        "Fig. 8b — execution time of 10 runs vs d (n=1000, k=5, l_real=10% of d), seconds",
+        &["d", "SSPC", "PROCLUS"],
+    );
+    for (i, d) in [500usize, 1000, 2000, 4000].into_iter().enumerate() {
+        let l = d / 10;
+        let config = GeneratorConfig {
+            n: 1000,
+            d,
+            k: 5,
+            avg_cluster_dims: l,
+            ..Default::default()
+        };
+        let (s, p) = time_pair(&config, l, derive_seed(seed, 850 + i as u64))?;
+        table.push_row(vec![d.to_string(), Table::num(Some(s)), Table::num(Some(p))]);
+    }
+    Ok(vec![table])
+}

@@ -1,0 +1,62 @@
+//! One regeneration function per table/figure in the paper's evaluation.
+//!
+//! | Function | Paper artifact | What it sweeps |
+//! |----------|----------------|----------------|
+//! | [`fig1`] | Fig. 1 | P(good grid), labeled objects × `dᵢ/d` |
+//! | [`fig2`] | Fig. 2 | P(good grid), labeled dimensions × `dᵢ/d` |
+//! | [`fig3`] | Fig. 3 | best raw ARI vs average cluster dimensionality |
+//! | [`fig4`] | Fig. 4 | ARI vs parameter value at `l_real = 10` |
+//! | [`outliers`] | Sec. 5.2 | ARI and outlier detection vs outlier % |
+//! | [`fig5`] | Fig. 5 | ARI vs input size at coverage 1 |
+//! | [`fig6`] | Fig. 6 | ARI vs coverage at input size 6 |
+//! | [`fig7`] | Fig. 7 | two possible groupings, guided by inputs |
+//! | [`fig8a`] | Fig. 8a | execution time of 10 runs vs `n` |
+//! | [`fig8b`] | Fig. 8b | execution time of 10 runs vs `d` |
+//! | [`ablations`] | DESIGN.md | design-choice ablations |
+//!
+//! All functions are deterministic in their `seed` argument and return the
+//! tables they print, so integration tests can assert on the numbers.
+
+mod extensions;
+mod fig12;
+mod fig34;
+mod fig56;
+mod fig7;
+mod fig8;
+mod misc;
+
+pub use extensions::{extended_baselines, noisy_inputs, threshold_vs_distribution};
+pub use fig12::{fig1, fig2};
+pub use fig34::{fig3, fig4};
+pub use fig56::{fig5, fig6};
+pub use fig7::fig7;
+pub use fig8::{fig8a, fig8b};
+pub use misc::{ablations, outliers};
+
+use crate::table::Table;
+use sspc_common::Result;
+
+/// Runs every experiment in paper order. Slow (several minutes in release
+/// mode); each experiment can also be run individually.
+///
+/// # Errors
+///
+/// Propagates the first experiment failure.
+pub fn all(seed: u64) -> Result<Vec<Table>> {
+    let mut tables = Vec::new();
+    tables.extend(fig1()?);
+    tables.extend(fig2()?);
+    tables.extend(fig3(seed)?);
+    tables.extend(fig4(seed)?);
+    tables.extend(outliers(seed)?);
+    tables.extend(fig5(seed)?);
+    tables.extend(fig6(seed)?);
+    tables.extend(fig7(seed)?);
+    tables.extend(fig8a(seed)?);
+    tables.extend(fig8b(seed)?);
+    tables.extend(ablations(seed)?);
+    tables.extend(noisy_inputs(seed)?);
+    tables.extend(threshold_vs_distribution(seed)?);
+    tables.extend(extended_baselines(seed)?);
+    Ok(tables)
+}

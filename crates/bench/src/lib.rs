@@ -1,0 +1,23 @@
+//! Experiment harness for the SSPC reproduction.
+//!
+//! Every table and figure in the paper's evaluation (Sec. 5) has a
+//! regeneration function in [`experiments`]; the `experiments` binary
+//! dispatches to them by name:
+//!
+//! ```text
+//! cargo run --release -p sspc-bench --bin experiments -- fig3
+//! cargo run --release -p sspc-bench --bin experiments -- all
+//! ```
+//!
+//! [`runner`] holds the protocol helpers shared by all experiments —
+//! best-of-N repetition by algorithm-specific score (the paper's protocol),
+//! ARI evaluation with the paper's outlier and labeled-object handling, and
+//! wall-clock timing. [`table`] renders aligned text tables whose rows
+//! mirror the series in the paper's plots.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;

@@ -1,0 +1,109 @@
+//! Minimal aligned-text tables for experiment output.
+
+use std::fmt;
+
+/// A titled table with a header row and string cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title, printed above the grid.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; ragged rows are padded with empty cells on display.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Formats a float at 3 decimals, or `-` for non-finite/absent values.
+    pub fn num(v: Option<f64>) -> String {
+        match v {
+            Some(x) if x.is_finite() => format!("{x:.3}"),
+            _ => "-".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        fn cell(row: &[String], c: usize) -> &str {
+            row.get(c).map(String::as_str).unwrap_or("")
+        }
+        for c in 0..cols {
+            widths[c] = cell(&self.headers, c).len();
+            for row in &self.rows {
+                widths[c] = widths[c].max(cell(row, c).len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for c in 0..cols {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:<width$}", cell(row, c), width = widths[c])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["x", "longer"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100".into(), "2.5".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        // The "longer" header starts at the same offset in every line.
+        let off = lines[1].find("longer").unwrap();
+        assert_eq!(lines[3].find('2').unwrap(), off);
+    }
+
+    #[test]
+    fn num_formats_and_handles_missing() {
+        assert_eq!(Table::num(Some(0.12345)), "0.123");
+        assert_eq!(Table::num(None), "-");
+        assert_eq!(Table::num(Some(f64::NAN)), "-");
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new("r", &["a", "b", "c"]);
+        t.push_row(vec!["1".into()]);
+        let s = t.to_string();
+        assert!(s.lines().count() >= 4);
+    }
+}

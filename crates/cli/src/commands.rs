@@ -1,0 +1,372 @@
+//! The three subcommands: `generate`, `cluster`, `evaluate`.
+
+use crate::args::Flags;
+use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
+use sspc_common::io::{read_delimited, write_delimited};
+use sspc_common::rng::derive_seed;
+use sspc_common::{ClusterId, DimId, Error, ObjectId, Result};
+use sspc_datagen::{generate, GeneratorConfig};
+use sspc_metrics::info::{normalized_mutual_information, purity};
+use sspc_metrics::{adjusted_rand_index, OutlierPolicy};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+const HELP: &str = "\
+sspc-cli — Semi-Supervised Projected Clustering (ICDE 2005 reproduction)
+
+subcommands:
+  generate  --out FILE --truth FILE [--n 1000] [--d 100] [--k 5]
+            [--dims 10] [--outliers 0.0] [--seed 1]
+      Write a synthetic dataset (TSV) and its true labels (one per line,
+      `-` for outliers).
+
+  cluster   --input FILE --k K [--m 0.5 | --p 0.05] [--labels FILE]
+            [--runs 10] [--seed 1] [--out FILE] [--dims-out FILE]
+      Cluster a delimited matrix; best-of-N by objective score. Optional
+      supervision file: lines `o <object-id> <class>` and
+      `d <dim-id> <class>`. Writes one cluster label per line (`-` for
+      outliers) to --out (default stdout) and selected dimensions per
+      cluster to --dims-out.
+
+  evaluate  --truth FILE --produced FILE
+      Print ARI, NMI and purity of produced labels against true labels.
+
+  help
+      This message.";
+
+/// Dispatches a full argv (without the program name).
+///
+/// # Errors
+///
+/// Any parse, I/O, or clustering failure, with a message suitable for
+/// printing.
+pub fn dispatch(argv: &[String]) -> Result<()> {
+    let Some(command) = argv.first() else {
+        println!("{HELP}");
+        return Ok(());
+    };
+    let flags = Flags::parse(&argv[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "cluster" => cmd_cluster(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(Error::InvalidParameter(format!(
+            "unknown subcommand `{other}`"
+        ))),
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&[
+        "out", "truth", "n", "d", "k", "dims", "outliers", "seed",
+    ])?;
+    let out = flags.required("out")?;
+    let truth_path = flags.required("truth")?;
+    let config = GeneratorConfig {
+        n: flags.parsed_or("n", 1000)?,
+        d: flags.parsed_or("d", 100)?,
+        k: flags.parsed_or("k", 5)?,
+        avg_cluster_dims: flags.parsed_or("dims", 10)?,
+        outlier_fraction: flags.parsed_or("outliers", 0.0)?,
+        ..Default::default()
+    };
+    let seed = flags.parsed_or("seed", 1u64)?;
+    let data = generate(&config, seed)?;
+
+    let mut writer = buf_writer(out)?;
+    write_delimited(&data.dataset, &mut writer, '\t')?;
+    flush(writer, out)?;
+
+    let mut writer = buf_writer(truth_path)?;
+    write_labels(&mut writer, data.truth.assignment())?;
+    flush(writer, truth_path)?;
+    eprintln!(
+        "wrote {}×{} dataset to {out}, labels to {truth_path}",
+        config.n, config.d
+    );
+    Ok(())
+}
+
+fn cmd_cluster(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&[
+        "input", "k", "m", "p", "labels", "runs", "seed", "out", "dims-out",
+    ])?;
+    let input = flags.required("input")?;
+    let k: usize = flags.parsed("k")?;
+    let dataset = read_delimited(
+        BufReader::new(open(input)?),
+        '\t',
+    )?;
+
+    let threshold = match (flags.optional("m"), flags.optional("p")) {
+        (Some(_), Some(_)) => {
+            return Err(Error::InvalidParameter(
+                "give either --m or --p, not both".into(),
+            ))
+        }
+        (None, Some(p)) => ThresholdScheme::PValue(p.parse().map_err(|_| {
+            Error::InvalidParameter(format!("--p: cannot parse `{p}`"))
+        })?),
+        (Some(m), None) => ThresholdScheme::MFraction(m.parse().map_err(|_| {
+            Error::InvalidParameter(format!("--m: cannot parse `{m}`"))
+        })?),
+        (None, None) => ThresholdScheme::MFraction(0.5),
+    };
+    let supervision = match flags.optional("labels") {
+        Some(path) => read_supervision(path)?,
+        None => Supervision::none(),
+    };
+    let runs: usize = flags.parsed_or("runs", 10)?;
+    let seed: u64 = flags.parsed_or("seed", 1)?;
+
+    let sspc = Sspc::new(SspcParams::new(k).with_threshold(threshold))?;
+    let mut best: Option<sspc::SspcResult> = None;
+    for r in 0..runs.max(1) {
+        let result = sspc.run(&dataset, &supervision, derive_seed(seed, r as u64))?;
+        if best
+            .as_ref()
+            .map_or(true, |b| result.objective() > b.objective())
+        {
+            best = Some(result);
+        }
+    }
+    let best = best.expect("runs >= 1");
+
+    match flags.optional("out") {
+        Some(path) => {
+            let mut writer = buf_writer(path)?;
+            write_labels(&mut writer, best.assignment())?;
+            flush(writer, path)?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            write_labels(&mut lock, best.assignment())
+                .map_err(|e| Error::InvalidParameter(format!("stdout: {e}")))?;
+        }
+    }
+    if let Some(path) = flags.optional("dims-out") {
+        let mut writer = buf_writer(path)?;
+        for c in 0..best.n_clusters() {
+            let dims: Vec<String> = best
+                .selected_dims(ClusterId(c))
+                .iter()
+                .map(|j| j.index().to_string())
+                .collect();
+            writeln!(writer, "{}", dims.join("\t"))
+                .map_err(|e| Error::InvalidParameter(format!("{path}: {e}")))?;
+        }
+        flush(writer, path)?;
+    }
+    eprintln!(
+        "objective {:.6}, {} outliers, {} iterations",
+        best.objective(),
+        best.n_outliers(),
+        best.iterations()
+    );
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&["truth", "produced"])?;
+    let truth = read_labels(flags.required("truth")?)?;
+    let produced = read_labels(flags.required("produced")?)?;
+    let ari = adjusted_rand_index(&truth, &produced, OutlierPolicy::AsCluster)?;
+    let nmi = normalized_mutual_information(&truth, &produced, OutlierPolicy::AsCluster)?;
+    let pur = purity(&truth, &produced, OutlierPolicy::AsCluster)?;
+    println!("ARI    {ari:.4}");
+    println!("NMI    {nmi:.4}");
+    println!("purity {pur:.4}");
+    Ok(())
+}
+
+// ---- label and supervision file formats -----------------------------------
+
+/// Writes one label per line: the cluster index or `-`.
+fn write_labels<W: Write>(writer: &mut W, labels: &[Option<ClusterId>]) -> Result<()> {
+    for label in labels {
+        let line = match label {
+            Some(c) => format!("{}\n", c.index()),
+            None => "-\n".to_string(),
+        };
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| Error::InvalidParameter(format!("write: {e}")))?;
+    }
+    Ok(())
+}
+
+fn read_labels(path: &str) -> Result<Vec<Option<ClusterId>>> {
+    let reader = BufReader::new(open(path)?);
+    let mut labels = Vec::new();
+    for (no, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::InvalidParameter(format!("{path}: {e}")))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if t == "-" {
+            labels.push(None);
+        } else {
+            let c: usize = t.parse().map_err(|_| {
+                Error::InvalidParameter(format!("{path}:{}: bad label `{t}`", no + 1))
+            })?;
+            labels.push(Some(ClusterId(c)));
+        }
+    }
+    if labels.is_empty() {
+        return Err(Error::InvalidShape(format!("{path}: no labels")));
+    }
+    Ok(labels)
+}
+
+/// Supervision file: lines `o <object-id> <class>` / `d <dim-id> <class>`.
+fn read_supervision(path: &str) -> Result<Supervision> {
+    let reader = BufReader::new(open(path)?);
+    let mut supervision = Supervision::none();
+    for (no, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::InvalidParameter(format!("{path}: {e}")))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split_whitespace().collect();
+        let bad = || {
+            Error::InvalidSupervision(format!(
+                "{path}:{}: expected `o|d <id> <class>`, got `{t}`",
+                no + 1
+            ))
+        };
+        if fields.len() != 3 {
+            return Err(bad());
+        }
+        let id: usize = fields[1].parse().map_err(|_| bad())?;
+        let class: usize = fields[2].parse().map_err(|_| bad())?;
+        supervision = match fields[0] {
+            "o" => supervision.label_object(ObjectId(id), ClusterId(class)),
+            "d" => supervision.label_dim(DimId(id), ClusterId(class)),
+            _ => return Err(bad()),
+        };
+    }
+    Ok(supervision)
+}
+
+// ---- small I/O helpers -----------------------------------------------------
+
+fn open(path: &str) -> Result<File> {
+    File::open(Path::new(path))
+        .map_err(|e| Error::InvalidParameter(format!("cannot open {path}: {e}")))
+}
+
+fn buf_writer(path: &str) -> Result<BufWriter<File>> {
+    File::create(Path::new(path))
+        .map(BufWriter::new)
+        .map_err(|e| Error::InvalidParameter(format!("cannot create {path}: {e}")))
+}
+
+fn flush(mut writer: BufWriter<File>, path: &str) -> Result<()> {
+    writer
+        .flush()
+        .map_err(|e| Error::InvalidParameter(format!("cannot flush {path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> String {
+        let mut p: PathBuf = std::env::temp_dir();
+        p.push(format!("sspc_cli_test_{}_{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        dispatch(&[]).unwrap();
+        dispatch(&["help".into()]).unwrap();
+        assert!(dispatch(&["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn generate_cluster_evaluate_roundtrip() {
+        let data = temp_path("data.tsv");
+        let truth = temp_path("truth.tsv");
+        let out = temp_path("out.tsv");
+        let dims = temp_path("dims.tsv");
+
+        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|x| x.to_string()).collect() };
+        dispatch(&argv(&[
+            "generate", "--out", &data, "--truth", &truth, "--n", "120", "--d", "20",
+            "--k", "3", "--dims", "6", "--seed", "7",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "cluster", "--input", &data, "--k", "3", "--m", "0.5", "--runs", "3",
+            "--seed", "2", "--out", &out, "--dims-out", &dims,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["evaluate", "--truth", &truth, "--produced", &out])).unwrap();
+
+        // The produced labels parse and cover all objects.
+        let labels = read_labels(&out).unwrap();
+        assert_eq!(labels.len(), 120);
+        // A dims line per cluster.
+        let dim_lines = std::fs::read_to_string(&dims).unwrap();
+        assert_eq!(dim_lines.lines().count(), 3);
+
+        for p in [data, truth, out, dims] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn cluster_rejects_conflicting_thresholds() {
+        let data = temp_path("conflict.tsv");
+        std::fs::write(&data, "1\t2\n3\t4\n5\t6\n7\t8\n").unwrap();
+        let argv: Vec<String> = [
+            "cluster", "--input", &data, "--k", "2", "--m", "0.5", "--p", "0.05",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(dispatch(&argv).is_err());
+        let _ = std::fs::remove_file(data);
+    }
+
+    #[test]
+    fn supervision_file_parsing() {
+        let path = temp_path("labels.txt");
+        std::fs::write(&path, "# comment\no 3 0\nd 7 1\n\n").unwrap();
+        let s = read_supervision(&path).unwrap();
+        assert_eq!(s.labeled_objects(), &[(ObjectId(3), ClusterId(0))]);
+        assert_eq!(s.labeled_dims(), &[(DimId(7), ClusterId(1))]);
+
+        std::fs::write(&path, "x 1 2\n").unwrap();
+        assert!(read_supervision(&path).is_err());
+        std::fs::write(&path, "o 1\n").unwrap();
+        assert!(read_supervision(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn label_file_parsing() {
+        let path = temp_path("lab.txt");
+        std::fs::write(&path, "0\n-\n2\n").unwrap();
+        let labels = read_labels(&path).unwrap();
+        assert_eq!(
+            labels,
+            vec![Some(ClusterId(0)), None, Some(ClusterId(2))]
+        );
+        std::fs::write(&path, "abc\n").unwrap();
+        assert!(read_labels(&path).is_err());
+        std::fs::write(&path, "").unwrap();
+        assert!(read_labels(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,27 @@
+//! `sspc-cli` — cluster delimited numeric matrices from the shell.
+//!
+//! ```text
+//! sspc-cli generate --out data.tsv --truth truth.tsv --n 300 --d 50 --k 4 --dims 8
+//! sspc-cli cluster  --input data.tsv --k 4 --m 0.5 --out clusters.tsv
+//! sspc-cli evaluate --truth truth.tsv --produced clusters.tsv
+//! ```
+//!
+//! See `sspc-cli help` for every flag. Label files are one line per
+//! object: the cluster index, or `-` for outliers.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `sspc-cli help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,398 @@
+use crate::ids::{DimId, ObjectId};
+use crate::{Error, Result};
+
+/// A dense, row-major numerical dataset: `n` objects × `d` dimensions.
+///
+/// The layout matches the access patterns of partitional projected
+/// clustering: the assignment phase scans whole objects (rows), while
+/// dimension-statistics phases scan columns through [`Dataset::column`].
+///
+/// Global per-dimension statistics (sample mean, sample variance `s²ⱼ`, min,
+/// max) are computed once at construction and cached; the paper's selection
+/// thresholds `ŝ²ᵢⱼ` are derived from the cached global variance `s²ⱼ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    n: usize,
+    d: usize,
+    /// Row-major values: `values[o * d + j]`.
+    values: Vec<f64>,
+    /// Cached sample mean per dimension.
+    global_mean: Vec<f64>,
+    /// Cached sample variance `s²ⱼ` per dimension (denominator `n − 1`).
+    global_var: Vec<f64>,
+    /// Cached min per dimension.
+    global_min: Vec<f64>,
+    /// Cached max per dimension.
+    global_max: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from row-major values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] if `values.len() != n * d`, if `n` or
+    /// `d` is zero, or if any value is non-finite.
+    pub fn from_rows(n: usize, d: usize, values: Vec<f64>) -> Result<Self> {
+        if n == 0 || d == 0 {
+            return Err(Error::InvalidShape(format!(
+                "dataset must be non-empty, got n={n}, d={d}"
+            )));
+        }
+        if values.len() != n * d {
+            return Err(Error::InvalidShape(format!(
+                "expected {} values for n={n}, d={d}, got {}",
+                n * d,
+                values.len()
+            )));
+        }
+        if let Some(pos) = values.iter().position(|v| !v.is_finite()) {
+            return Err(Error::InvalidParameter(format!(
+                "non-finite value {} at flat index {pos}",
+                values[pos]
+            )));
+        }
+        let mut ds = Dataset {
+            n,
+            d,
+            values,
+            global_mean: vec![0.0; d],
+            global_var: vec![0.0; d],
+            global_min: vec![f64::INFINITY; d],
+            global_max: vec![f64::NEG_INFINITY; d],
+        };
+        ds.recompute_global_stats();
+        Ok(ds)
+    }
+
+    fn recompute_global_stats(&mut self) {
+        // One pass per column using Welford's algorithm; numerically stable
+        // even for the large-offset columns synthetic generators produce.
+        for j in 0..self.d {
+            let mut mean = 0.0;
+            let mut m2 = 0.0;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for (count, o) in (0..self.n).enumerate() {
+                let x = self.values[o * self.d + j];
+                let delta = x - mean;
+                mean += delta / (count + 1) as f64;
+                m2 += delta * (x - mean);
+                min = min.min(x);
+                max = max.max(x);
+            }
+            self.global_mean[j] = mean;
+            self.global_var[j] = if self.n > 1 {
+                m2 / (self.n - 1) as f64
+            } else {
+                0.0
+            };
+            self.global_min[j] = min;
+            self.global_max[j] = max;
+        }
+    }
+
+    /// Number of objects (rows).
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.n
+    }
+
+    /// Number of dimensions (columns).
+    #[inline]
+    pub fn n_dims(&self) -> usize {
+        self.d
+    }
+
+    /// The projection of object `o` on dimension `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range (programming error, not user
+    /// input — public construction validates shapes).
+    #[inline]
+    pub fn value(&self, o: ObjectId, j: DimId) -> f64 {
+        debug_assert!(o.index() < self.n && j.index() < self.d);
+        self.values[o.index() * self.d + j.index()]
+    }
+
+    /// The full row of object `o` as a slice of length `d`.
+    #[inline]
+    pub fn row(&self, o: ObjectId) -> &[f64] {
+        let start = o.index() * self.d;
+        &self.values[start..start + self.d]
+    }
+
+    /// Iterator over the projections of all objects on dimension `j`
+    /// in object order.
+    #[inline]
+    pub fn column(&self, j: DimId) -> impl Iterator<Item = f64> + '_ {
+        let d = self.d;
+        let jj = j.index();
+        (0..self.n).map(move |o| self.values[o * d + jj])
+    }
+
+    /// Cached global sample mean of dimension `j`.
+    #[inline]
+    pub fn global_mean(&self, j: DimId) -> f64 {
+        self.global_mean[j.index()]
+    }
+
+    /// Cached global sample variance `s²ⱼ` of dimension `j`
+    /// (denominator `n − 1`).
+    ///
+    /// This is the paper's estimate of the global population variance
+    /// `σ²ⱼ`, the baseline for selection thresholds.
+    #[inline]
+    pub fn global_variance(&self, j: DimId) -> f64 {
+        self.global_var[j.index()]
+    }
+
+    /// Cached global minimum of dimension `j`.
+    #[inline]
+    pub fn global_min(&self, j: DimId) -> f64 {
+        self.global_min[j.index()]
+    }
+
+    /// Cached global maximum of dimension `j`.
+    #[inline]
+    pub fn global_max(&self, j: DimId) -> f64 {
+        self.global_max[j.index()]
+    }
+
+    /// Value range (`max − min`) of dimension `j`; zero for constant columns.
+    #[inline]
+    pub fn global_range(&self, j: DimId) -> f64 {
+        self.global_max[j.index()] - self.global_min[j.index()]
+    }
+
+    /// Iterator over all object ids, `o0..o(n-1)`.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.n).map(ObjectId)
+    }
+
+    /// Iterator over all dimension ids, `v0..v(d-1)`.
+    pub fn dim_ids(&self) -> impl Iterator<Item = DimId> {
+        (0..self.d).map(DimId)
+    }
+
+    /// Squared Euclidean distance between an object and an arbitrary point
+    /// (given as a full-length row), restricted to `dims`, **not**
+    /// normalized.
+    pub fn sq_dist_to_point(&self, o: ObjectId, point: &[f64], dims: &[DimId]) -> f64 {
+        debug_assert_eq!(point.len(), self.d);
+        let row = self.row(o);
+        dims.iter()
+            .map(|&j| {
+                let diff = row[j.index()] - point[j.index()];
+                diff * diff
+            })
+            .sum()
+    }
+
+    /// Squared Euclidean distance between two objects restricted to `dims`.
+    pub fn sq_dist_between(&self, a: ObjectId, b: ObjectId, dims: &[DimId]) -> f64 {
+        let ra = self.row(a);
+        let rb = self.row(b);
+        dims.iter()
+            .map(|&j| {
+                let diff = ra[j.index()] - rb[j.index()];
+                diff * diff
+            })
+            .sum()
+    }
+}
+
+/// Incremental builder for [`Dataset`], accepting one row at a time.
+///
+/// Useful for generators and file loaders that produce objects one by one.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetBuilder {
+    d: Option<usize>,
+    values: Vec<f64>,
+    n: usize,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder; the dimensionality is fixed by the first row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] if the row length differs from the
+    /// first row's length, or [`Error::InvalidParameter`] on non-finite
+    /// values.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<&mut Self> {
+        match self.d {
+            None => {
+                if row.is_empty() {
+                    return Err(Error::InvalidShape("rows must be non-empty".into()));
+                }
+                self.d = Some(row.len());
+            }
+            Some(d) if d != row.len() => {
+                return Err(Error::InvalidShape(format!(
+                    "row {} has {} values, expected {d}",
+                    self.n,
+                    row.len()
+                )));
+            }
+            Some(_) => {}
+        }
+        if let Some(v) = row.iter().find(|v| !v.is_finite()) {
+            return Err(Error::InvalidParameter(format!(
+                "non-finite value {v} in row {}",
+                self.n
+            )));
+        }
+        self.values.extend_from_slice(row);
+        self.n += 1;
+        Ok(self)
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Finalizes the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] if no rows were pushed.
+    pub fn build(self) -> Result<Dataset> {
+        let d = self
+            .d
+            .ok_or_else(|| Error::InvalidShape("no rows pushed".into()))?;
+        Dataset::from_rows(self.n, d, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        // 4 objects × 3 dims
+        Dataset::from_rows(
+            4,
+            3,
+            vec![
+                1.0, 10.0, 100.0, //
+                2.0, 10.0, 200.0, //
+                3.0, 10.0, 300.0, //
+                4.0, 10.0, 400.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let ds = small();
+        assert_eq!(ds.n_objects(), 4);
+        assert_eq!(ds.n_dims(), 3);
+        assert_eq!(ds.value(ObjectId(2), DimId(0)), 3.0);
+        assert_eq!(ds.row(ObjectId(1)), &[2.0, 10.0, 200.0]);
+    }
+
+    #[test]
+    fn column_iterates_in_object_order() {
+        let ds = small();
+        let col: Vec<f64> = ds.column(DimId(2)).collect();
+        assert_eq!(col, vec![100.0, 200.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn global_stats_match_hand_computation() {
+        let ds = small();
+        assert!((ds.global_mean(DimId(0)) - 2.5).abs() < 1e-12);
+        // var of 1,2,3,4 with n-1 denominator = 5/3
+        assert!((ds.global_variance(DimId(0)) - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ds.global_variance(DimId(1)), 0.0);
+        assert_eq!(ds.global_min(DimId(2)), 100.0);
+        assert_eq!(ds.global_max(DimId(2)), 400.0);
+        assert_eq!(ds.global_range(DimId(2)), 300.0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            Dataset::from_rows(0, 3, vec![]),
+            Err(Error::InvalidShape(_))
+        ));
+        assert!(matches!(
+            Dataset::from_rows(2, 2, vec![1.0, 2.0, 3.0]),
+            Err(Error::InvalidShape(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        assert!(matches!(
+            Dataset::from_rows(1, 2, vec![1.0, f64::NAN]),
+            Err(Error::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            Dataset::from_rows(1, 2, vec![f64::INFINITY, 0.0]),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn distances_restricted_to_dims() {
+        let ds = small();
+        let dims = [DimId(0), DimId(2)];
+        let dist = ds.sq_dist_between(ObjectId(0), ObjectId(1), &dims);
+        assert!((dist - (1.0 + 100.0 * 100.0)).abs() < 1e-9);
+        let point = vec![0.0, 0.0, 0.0];
+        let dist = ds.sq_dist_to_point(ObjectId(0), &point, &dims[..1]);
+        assert!((dist - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = DatasetBuilder::new();
+        assert!(b.is_empty());
+        b.push_row(&[1.0, 2.0]).unwrap();
+        b.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(b.len(), 2);
+        let ds = b.build().unwrap();
+        assert_eq!(ds.n_objects(), 2);
+        assert_eq!(ds.n_dims(), 2);
+        assert_eq!(ds.value(ObjectId(1), DimId(1)), 4.0);
+    }
+
+    #[test]
+    fn builder_rejects_ragged_rows_and_empty() {
+        let mut b = DatasetBuilder::new();
+        b.push_row(&[1.0, 2.0]).unwrap();
+        assert!(b.push_row(&[1.0]).is_err());
+        assert!(DatasetBuilder::new().build().is_err());
+        assert!(DatasetBuilder::new().push_row(&[]).is_err());
+    }
+
+    #[test]
+    fn single_object_dataset_has_zero_variance() {
+        let ds = Dataset::from_rows(1, 2, vec![5.0, 7.0]).unwrap();
+        assert_eq!(ds.global_variance(DimId(0)), 0.0);
+        assert_eq!(ds.global_mean(DimId(1)), 7.0);
+    }
+
+    #[test]
+    fn id_iterators_cover_all() {
+        let ds = small();
+        assert_eq!(ds.object_ids().count(), 4);
+        assert_eq!(ds.dim_ids().count(), 3);
+        assert_eq!(ds.object_ids().last(), Some(ObjectId(3)));
+    }
+}

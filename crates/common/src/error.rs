@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// Errors produced by the SSPC workspace crates.
+///
+/// The variants are deliberately coarse: callers almost always either report
+/// the message or abort an experiment, so a small, stable set of categories
+/// with a human-readable payload is more useful than a deep hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A dimension, shape, or size argument was inconsistent
+    /// (e.g. a row of the wrong length, `k` larger than `n`).
+    InvalidShape(String),
+    /// A numeric parameter was outside its documented domain
+    /// (e.g. `m` outside `(0, 1]`, a negative variance).
+    InvalidParameter(String),
+    /// Supervision input referenced a non-existent object/dimension or an
+    /// out-of-range class label.
+    InvalidSupervision(String),
+    /// An iterative numeric routine failed to converge.
+    NoConvergence(String),
+    /// The requested operation needs more data than was provided
+    /// (e.g. variance of fewer than two points).
+    InsufficientData(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::InvalidSupervision(msg) => write!(f, "invalid supervision: {msg}"),
+            Error::NoConvergence(msg) => write!(f, "no convergence: {msg}"),
+            Error::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::InvalidShape("row 3 has 4 values, expected 5".into());
+        let s = e.to_string();
+        assert!(s.contains("invalid shape"));
+        assert!(s.contains("row 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_std_error<E: std::error::Error>(_: &E) {}
+        assert_std_error(&Error::InvalidParameter("m=0".into()));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            Error::NoConvergence("x".into()),
+            Error::NoConvergence("x".into())
+        );
+        assert_ne!(
+            Error::NoConvergence("x".into()),
+            Error::InsufficientData("x".into())
+        );
+    }
+}

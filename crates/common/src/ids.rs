@@ -1,0 +1,86 @@
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $short:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of an object (row) in a [`crate::Dataset`].
+    ///
+    /// Using a newtype instead of a bare `usize` prevents the classic bug of
+    /// indexing rows with a column index — the clustering code juggles both
+    /// constantly.
+    ObjectId,
+    "o"
+);
+
+define_id!(
+    /// Index of a dimension (column) in a [`crate::Dataset`].
+    DimId,
+    "v"
+);
+
+define_id!(
+    /// Index of a cluster in a clustering result (0-based, `0..k`).
+    ClusterId,
+    "C"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_usize() {
+        assert_eq!(ObjectId::from(7).index(), 7);
+        assert_eq!(DimId::from(0).index(), 0);
+        assert_eq!(ClusterId::from(3).index(), 3);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ObjectId(4).to_string(), "o4");
+        assert_eq!(DimId(9).to_string(), "v9");
+        assert_eq!(ClusterId(1).to_string(), "C1");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ObjectId(1) < ObjectId(2));
+        let mut v = vec![DimId(3), DimId(1), DimId(2)];
+        v.sort();
+        assert_eq!(v, vec![DimId(1), DimId(2), DimId(3)]);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_unify() {
+        // Compile-time property; this test documents intent.
+        fn takes_object(_: ObjectId) {}
+        takes_object(ObjectId(0));
+    }
+}

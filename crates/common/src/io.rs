@@ -1,0 +1,204 @@
+//! Dataset I/O and normalization.
+//!
+//! The paper's stated next step (Sec. 6) is applying SSPC to real datasets
+//! such as gene-expression profiles, which ship as delimited text matrices.
+//! This module reads/writes such matrices and provides the standard
+//! per-dimension normalizations used before clustering expression data.
+//!
+//! Format: one object per line, values separated by a configurable
+//! delimiter (default tab, comma accepted), `#`-prefixed comment lines and
+//! blank lines ignored, optional non-numeric header line auto-detected and
+//! skipped.
+
+use crate::{Dataset, DatasetBuilder, DimId, Error, Result};
+use std::io::{BufRead, Write};
+
+/// Reads a delimited numeric matrix into a [`Dataset`].
+///
+/// The first line is treated as a header and skipped iff any of its fields
+/// fails to parse as a number.
+///
+/// # Errors
+///
+/// [`Error::InvalidShape`] for ragged rows or empty input,
+/// [`Error::InvalidParameter`] for unparseable values past the header.
+pub fn read_delimited<R: BufRead>(reader: R, delimiter: char) -> Result<Dataset> {
+    let mut builder = DatasetBuilder::new();
+    let mut first_data_line = true;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::InvalidParameter(format!("I/O error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed
+            .split(delimiter)
+            .map(str::trim)
+            .filter(|f| !f.is_empty())
+            .collect();
+        if fields.is_empty() {
+            continue;
+        }
+        let parsed: std::result::Result<Vec<f64>, _> =
+            fields.iter().map(|f| f.parse::<f64>()).collect();
+        match parsed {
+            Ok(row) => {
+                builder.push_row(&row)?;
+                first_data_line = false;
+            }
+            Err(e) => {
+                if first_data_line {
+                    // Header line: skip it once.
+                    first_data_line = false;
+                } else {
+                    return Err(Error::InvalidParameter(format!(
+                        "line {}: unparseable value ({e})",
+                        line_no + 1
+                    )));
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Writes a dataset as delimited text (no header).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] wrapping any I/O failure.
+pub fn write_delimited<W: Write>(dataset: &Dataset, writer: &mut W, delimiter: char) -> Result<()> {
+    for o in dataset.object_ids() {
+        let row = dataset.row(o);
+        let mut line = String::with_capacity(row.len() * 12);
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                line.push(delimiter);
+            }
+            line.push_str(&format!("{v}"));
+        }
+        line.push('\n');
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| Error::InvalidParameter(format!("I/O error: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Per-dimension normalization schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalization {
+    /// `(x − µⱼ)/sⱼ` per dimension; constant dimensions become zero.
+    ZScore,
+    /// `(x − minⱼ)/(maxⱼ − minⱼ)` per dimension into `[0, 1]`; constant
+    /// dimensions become zero.
+    MinMax,
+}
+
+/// Returns a normalized copy of the dataset.
+///
+/// Note for SSPC: the objective's threshold `ŝ²ᵢⱼ` already normalizes each
+/// dimension by its own global variance, so SSPC itself is scale-invariant
+/// per dimension; normalization matters for the full-space baselines
+/// (CLARANS) and for DOC's absolute width `w`.
+///
+/// # Errors
+///
+/// Propagates dataset reconstruction failures (cannot occur for a valid
+/// input dataset).
+pub fn normalize(dataset: &Dataset, scheme: Normalization) -> Result<Dataset> {
+    let n = dataset.n_objects();
+    let d = dataset.n_dims();
+    let mut values = Vec::with_capacity(n * d);
+    for o in dataset.object_ids() {
+        let row = dataset.row(o);
+        for (j, &x) in row.iter().enumerate() {
+            let j = DimId(j);
+            let v = match scheme {
+                Normalization::ZScore => {
+                    let sd = dataset.global_variance(j).sqrt();
+                    if sd > 0.0 {
+                        (x - dataset.global_mean(j)) / sd
+                    } else {
+                        0.0
+                    }
+                }
+                Normalization::MinMax => {
+                    let range = dataset.global_range(j);
+                    if range > 0.0 {
+                        (x - dataset.global_min(j)) / range
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            values.push(v);
+        }
+    }
+    Dataset::from_rows(n, d, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn reads_plain_tsv() {
+        let input = "1.0\t2.0\t3.0\n4.0\t5.0\t6.0\n";
+        let ds = read_delimited(Cursor::new(input), '\t').unwrap();
+        assert_eq!(ds.n_objects(), 2);
+        assert_eq!(ds.n_dims(), 3);
+        assert_eq!(ds.row(crate::ObjectId(1)), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn skips_header_comments_and_blanks() {
+        let input = "# expression matrix\ngene_a,gene_b\n\n1,2\n3,4\n";
+        let ds = read_delimited(Cursor::new(input), ',').unwrap();
+        assert_eq!(ds.n_objects(), 2);
+        assert_eq!(ds.n_dims(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_values_past_header() {
+        let input = "1,2\nx,4\n";
+        assert!(read_delimited(Cursor::new(input), ',').is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_and_empty() {
+        assert!(read_delimited(Cursor::new("1,2\n3\n"), ',').is_err());
+        assert!(read_delimited(Cursor::new(""), ',').is_err());
+        assert!(read_delimited(Cursor::new("# only comments\n"), ',').is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let ds = Dataset::from_rows(2, 3, vec![1.5, -2.0, 0.25, 3.0, 4.5, -6.75]).unwrap();
+        let mut buf = Vec::new();
+        write_delimited(&ds, &mut buf, '\t').unwrap();
+        let back = read_delimited(Cursor::new(buf), '\t').unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn zscore_normalization_standardizes() {
+        let ds = Dataset::from_rows(3, 2, vec![1.0, 5.0, 2.0, 5.0, 3.0, 5.0]).unwrap();
+        let norm = normalize(&ds, Normalization::ZScore).unwrap();
+        // Column 0 gets mean 0 and unit variance; constant column 1 → 0.
+        assert!(norm.global_mean(DimId(0)).abs() < 1e-12);
+        assert!((norm.global_variance(DimId(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(norm.global_variance(DimId(1)), 0.0);
+        assert_eq!(norm.value(crate::ObjectId(0), DimId(1)), 0.0);
+    }
+
+    #[test]
+    fn minmax_normalization_maps_to_unit_interval() {
+        let ds = Dataset::from_rows(3, 1, vec![10.0, 20.0, 30.0]).unwrap();
+        let norm = normalize(&ds, Normalization::MinMax).unwrap();
+        assert_eq!(norm.value(crate::ObjectId(0), DimId(0)), 0.0);
+        assert_eq!(norm.value(crate::ObjectId(1), DimId(0)), 0.5);
+        assert_eq!(norm.value(crate::ObjectId(2), DimId(0)), 1.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared substrate for the SSPC reproduction.
+//!
+//! This crate provides the pieces every other crate in the workspace builds
+//! on:
+//!
+//! * [`Dataset`] — a dense, row-major numerical dataset with typed indices
+//!   ([`ObjectId`], [`DimId`]) and cached per-dimension global statistics.
+//! * [`stats`] — descriptive statistics (mean / variance / median computed
+//!   the way the paper's objective function needs them) and the special
+//!   functions backing the probabilistic selection-threshold scheme
+//!   (log-gamma, regularized incomplete gamma, chi-square CDF and quantile).
+//! * [`rng`] — deterministic seeding and sampling helpers so that every
+//!   experiment in the workspace is reproducible from a single `u64` seed.
+//! * [`Error`] — the shared error type for fallible public APIs.
+//!
+//! Nothing in this crate knows about clustering; it is a pure substrate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod error;
+mod ids;
+pub mod io;
+pub mod linalg;
+pub mod rng;
+pub mod stats;
+
+pub use dataset::{Dataset, DatasetBuilder};
+pub use error::Error;
+pub use ids::{ClusterId, DimId, ObjectId};
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,408 @@
+//! Small dense linear-algebra substrate: symmetric matrices, covariance,
+//! and a cyclic Jacobi eigensolver.
+//!
+//! This exists for the ORCLUS baseline (Aggarwal & Yu, SIGMOD 2000), which
+//! the SSPC paper discusses as the generalized (non-axis-parallel)
+//! projected-clustering comparator: ORCLUS needs, per cluster, the
+//! eigenvectors of the member covariance matrix with the **smallest**
+//! eigenvalues. Dimensions there are modest (ORCLUS itself is O(d³)), so a
+//! straightforward cyclic Jacobi iteration — unconditionally stable for
+//! symmetric matrices and simple to verify — is the right tool; no BLAS
+//! dependency is warranted.
+
+use crate::{Error, Result};
+
+/// A dense symmetric matrix stored fully (both triangles), row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// A zero matrix of side `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] for `n = 0`.
+    pub fn zeros(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidShape("matrix side must be positive".into()));
+        }
+        Ok(SymMatrix {
+            n,
+            values: vec![0.0; n * n],
+        })
+    }
+
+    /// Builds from row-major values, verifying symmetry to `1e-9` relative
+    /// tolerance.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidShape`] on size mismatch, [`Error::InvalidParameter`]
+    /// on asymmetry or non-finite entries.
+    pub fn from_rows(n: usize, values: Vec<f64>) -> Result<Self> {
+        if n == 0 || values.len() != n * n {
+            return Err(Error::InvalidShape(format!(
+                "need {}×{} = {} values, got {}",
+                n,
+                n,
+                n * n,
+                values.len()
+            )));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(Error::InvalidParameter("non-finite matrix entry".into()));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let a = values[i * n + j];
+                let b = values[j * n + i];
+                if (a - b).abs() > 1e-9 * (1.0 + a.abs().max(b.abs())) {
+                    return Err(Error::InvalidParameter(format!(
+                        "matrix not symmetric at ({i}, {j}): {a} vs {b}"
+                    )));
+                }
+            }
+        }
+        Ok(SymMatrix { n, values })
+    }
+
+    /// Matrix side.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Sets entry `(i, j)` and its mirror `(j, i)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.values[i * self.n + j] = v;
+        self.values[j * self.n + i] = v;
+    }
+
+    /// The sample covariance matrix (denominator `rows − 1`) of a row-major
+    /// data block with `cols` columns.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidShape`] on shape mismatch,
+    /// [`Error::InsufficientData`] for fewer than two rows.
+    pub fn covariance(data: &[f64], rows: usize, cols: usize) -> Result<Self> {
+        if rows * cols != data.len() || cols == 0 {
+            return Err(Error::InvalidShape(format!(
+                "covariance of {rows}×{cols} needs {} values, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        if rows < 2 {
+            return Err(Error::InsufficientData(
+                "covariance needs at least two rows".into(),
+            ));
+        }
+        let mut mean = vec![0.0f64; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                mean[c] += data[r * cols + c];
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= rows as f64;
+        }
+        let mut cov = SymMatrix::zeros(cols)?;
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            for i in 0..cols {
+                let di = row[i] - mean[i];
+                for j in i..cols {
+                    let dj = row[j] - mean[j];
+                    cov.values[i * cols + j] += di * dj;
+                }
+            }
+        }
+        let denom = (rows - 1) as f64;
+        for i in 0..cols {
+            for j in i..cols {
+                let v = cov.values[i * cols + j] / denom;
+                cov.set(i, j, v);
+            }
+        }
+        Ok(cov)
+    }
+}
+
+/// An eigendecomposition: `values[i]` with the matching column
+/// `vector(i)`, sorted **ascending** by eigenvalue (ORCLUS wants the
+/// smallest-spread directions first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigen {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Eigenvectors, row-major `n × n`; row `i` is the unit eigenvector for
+    /// `values[i]`.
+    vectors: Vec<f64>,
+    n: usize,
+}
+
+impl Eigen {
+    /// The unit eigenvector for `values[i]`.
+    pub fn vector(&self, i: usize) -> &[f64] {
+        &self.vectors[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Number of eigenpairs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the decomposition is empty (never for valid input).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Convergence: the off-diagonal Frobenius norm decreases quadratically
+/// once small; 100 sweeps is far beyond what any `d ≤ 1000` matrix needs
+/// (typically < 15), so hitting the cap indicates non-finite input rather
+/// than slow convergence.
+///
+/// # Errors
+///
+/// [`Error::NoConvergence`] if the sweep cap is reached.
+pub fn jacobi_eigen(matrix: &SymMatrix) -> Result<Eigen> {
+    let n = matrix.n;
+    let mut a = matrix.values.clone();
+    // v starts as identity; accumulates rotations (row-major, rows are the
+    // transposed eigenvector basis).
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let off_norm = |a: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += a[i * n + j] * a[i * n + j];
+            }
+        }
+        s.sqrt()
+    };
+
+    let eps = 1e-12
+        * (0..n)
+            .map(|i| a[i * n + i].abs())
+            .fold(1.0f64, f64::max);
+    let mut converged = false;
+    for _sweep in 0..100 {
+        if off_norm(&a) <= eps {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() <= eps / (n as f64) {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of `a`.
+                for i in 0..n {
+                    let aip = a[i * n + p];
+                    let aiq = a[i * n + q];
+                    a[i * n + p] = c * aip - s * aiq;
+                    a[i * n + q] = s * aip + c * aiq;
+                }
+                for j in 0..n {
+                    let apj = a[p * n + j];
+                    let aqj = a[q * n + j];
+                    a[p * n + j] = c * apj - s * aqj;
+                    a[q * n + j] = s * apj + c * aqj;
+                }
+                // Accumulate into v (v rows are candidate eigenvectors).
+                for j in 0..n {
+                    let vpj = v[p * n + j];
+                    let vqj = v[q * n + j];
+                    v[p * n + j] = c * vpj - s * vqj;
+                    v[q * n + j] = s * vpj + c * vqj;
+                }
+            }
+        }
+    }
+    if !converged && off_norm(&a) > eps {
+        return Err(Error::NoConvergence(
+            "Jacobi eigendecomposition did not converge in 100 sweeps".into(),
+        ));
+    }
+
+    // Sort eigenpairs ascending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        a[i * n + i]
+            .partial_cmp(&a[j * n + j])
+            .expect("finite eigenvalues")
+    });
+    let values: Vec<f64> = order.iter().map(|&i| a[i * n + i]).collect();
+    let mut vectors = vec![0.0f64; n * n];
+    for (slot, &src) in order.iter().enumerate() {
+        vectors[slot * n..(slot + 1) * n].copy_from_slice(&v[src * n..(src + 1) * n]);
+    }
+    Ok(Eigen {
+        values,
+        vectors,
+        n,
+    })
+}
+
+/// Projects `point − origin` onto a set of basis vectors (rows of `basis`,
+/// each of length `dim`), returning the squared norm of the projection —
+/// the "projected energy" ORCLUS measures cluster tightness with.
+pub fn projected_sq_norm(point: &[f64], origin: &[f64], basis: &[&[f64]]) -> f64 {
+    basis
+        .iter()
+        .map(|b| {
+            let dot: f64 = point
+                .iter()
+                .zip(origin.iter())
+                .zip(b.iter())
+                .map(|((&x, &o), &e)| (x - o) * e)
+                .sum();
+            dot * dot
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn symmetry_is_enforced() {
+        assert!(SymMatrix::from_rows(2, vec![1.0, 2.0, 2.0, 3.0]).is_ok());
+        assert!(SymMatrix::from_rows(2, vec![1.0, 2.0, 2.5, 3.0]).is_err());
+        assert!(SymMatrix::from_rows(2, vec![1.0, 2.0, 2.0]).is_err());
+        assert!(SymMatrix::from_rows(2, vec![1.0, f64::NAN, f64::NAN, 3.0]).is_err());
+        assert!(SymMatrix::zeros(0).is_err());
+    }
+
+    #[test]
+    fn covariance_matches_hand_computation() {
+        // Two columns: x = [1,2,3], y = [2,4,6] → var(x) = 1, var(y) = 4,
+        // cov(x,y) = 2.
+        let data = vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0];
+        let cov = SymMatrix::covariance(&data, 3, 2).unwrap();
+        assert!((cov.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((cov.get(1, 1) - 4.0).abs() < 1e-12);
+        assert!((cov.get(0, 1) - 2.0).abs() < 1e-12);
+        assert!(SymMatrix::covariance(&data, 1, 6).is_err());
+        assert!(SymMatrix::covariance(&data, 2, 2).is_err());
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let m = SymMatrix::from_rows(3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
+            .unwrap();
+        let e = jacobi_eigen(&m).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 3.0).abs() < 1e-10);
+        // Eigenvector of the smallest eigenvalue is ±e₁.
+        let v0 = e.vector(0);
+        assert!(v0[1].abs() > 0.999 && v0[0].abs() < 1e-6 && v0[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigen_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let m = SymMatrix::from_rows(2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = jacobi_eigen(&m).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+        // λ=1 eigenvector ∝ (1, −1).
+        let v = e.vector(0);
+        assert!((v[0] + v[1]).abs() < 1e-8, "{v:?}");
+    }
+
+    #[test]
+    fn projected_sq_norm_computes_projection_energy() {
+        let basis0 = [1.0, 0.0];
+        let basis: Vec<&[f64]> = vec![&basis0];
+        let p = [3.0, 4.0];
+        let o = [0.0, 0.0];
+        assert!((projected_sq_norm(&p, &o, &basis) - 9.0).abs() < 1e-12);
+        let both0 = [1.0, 0.0];
+        let both1 = [0.0, 1.0];
+        let both: Vec<&[f64]> = vec![&both0, &both1];
+        assert!((projected_sq_norm(&p, &o, &both) - 25.0).abs() < 1e-12);
+    }
+
+    fn random_sym(n: usize, seed: u64) -> SymMatrix {
+        use rand::Rng;
+        let mut rng = crate::rng::seeded_rng(seed);
+        let mut m = SymMatrix::zeros(n).unwrap();
+        for i in 0..n {
+            for j in i..n {
+                m.set(i, j, rng.gen_range(-5.0..5.0));
+            }
+        }
+        m
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eigenpairs_satisfy_definition(n in 2usize..8, seed in 0u64..500) {
+            let m = random_sym(n, seed);
+            let e = jacobi_eigen(&m).unwrap();
+            for i in 0..n {
+                let v = e.vector(i);
+                // ‖Av − λv‖ small.
+                for r in 0..n {
+                    let av: f64 = (0..n).map(|c| m.get(r, c) * v[c]).sum();
+                    prop_assert!((av - e.values[i] * v[r]).abs() < 1e-7,
+                        "row {r} of eigenpair {i}");
+                }
+            }
+        }
+
+        #[test]
+        fn prop_eigenvectors_orthonormal(n in 2usize..8, seed in 0u64..500) {
+            let m = random_sym(n, seed);
+            let e = jacobi_eigen(&m).unwrap();
+            for i in 0..n {
+                for j in i..n {
+                    let dot: f64 = e.vector(i).iter().zip(e.vector(j)).map(|(a, b)| a * b).sum();
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    prop_assert!((dot - expect).abs() < 1e-8);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_eigenvalues_sorted_and_trace_preserved(n in 2usize..8, seed in 0u64..500) {
+            let m = random_sym(n, seed);
+            let e = jacobi_eigen(&m).unwrap();
+            for w in e.values.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-10);
+            }
+            let trace: f64 = (0..n).map(|i| m.get(i, i)).sum();
+            let sum: f64 = e.values.iter().sum();
+            prop_assert!((trace - sum).abs() < 1e-7 * (1.0 + trace.abs()));
+        }
+    }
+}

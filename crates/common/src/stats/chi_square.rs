@@ -1,0 +1,301 @@
+//! Chi-square distribution: CDF and quantile (inverse CDF).
+//!
+//! The paper's `p`-scheme (Sec. 4.1) assumes Gaussian global populations, so
+//! `(nᵢ − 1)·s²ᵢⱼ/σ²ⱼ ~ χ²(nᵢ − 1)`. Given the bound `p` on the chance that
+//! an irrelevant dimension is selected, the selection threshold is
+//!
+//! ```text
+//! ŝ²ᵢⱼ = σ²ⱼ · χ²⁻¹(p; nᵢ − 1) / (nᵢ − 1)
+//! ```
+//!
+//! which [`ChiSquared::quantile`] provides. The quantile is computed by a
+//! Wilson–Hilferty initial guess refined with a Newton / bisection hybrid on
+//! the monotone CDF, accurate to ~1e-10 in probability.
+
+use super::gamma::{ln_gamma, regularized_gamma_p};
+use crate::{Error, Result};
+
+/// A chi-square distribution with `k > 0` degrees of freedom.
+///
+/// Degrees of freedom are `f64` so that non-integer values (which arise in
+/// some variance-ratio approximations) are representable; the paper only
+/// needs integers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `k` is finite and positive.
+    pub fn new(k: f64) -> Result<Self> {
+        if !k.is_finite() || k <= 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "chi-square degrees of freedom must be positive, got {k}"
+            )));
+        }
+        Ok(ChiSquared { k })
+    }
+
+    /// Degrees of freedom.
+    #[inline]
+    pub fn dof(&self) -> f64 {
+        self.k
+    }
+
+    /// `Pr(X ≤ x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for negative or non-finite `x`.
+    pub fn cdf(&self, x: f64) -> Result<f64> {
+        regularized_gamma_p(self.k / 2.0, x / 2.0)
+    }
+
+    /// Probability density at `x ≥ 0`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // Density at zero: +∞ for k < 2, 0.5 for k = 2, 0 for k > 2.
+            return match self.k.partial_cmp(&2.0) {
+                Some(std::cmp::Ordering::Less) => f64::INFINITY,
+                Some(std::cmp::Ordering::Equal) => 0.5,
+                _ => 0.0,
+            };
+        }
+        let half_k = self.k / 2.0;
+        let log_pdf =
+            (half_k - 1.0) * x.ln() - x / 2.0 - half_k * std::f64::consts::LN_2 - ln_gamma(half_k);
+        log_pdf.exp()
+    }
+
+    /// Quantile function: the `x` with `Pr(X ≤ x) = p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `0 < p < 1` (the endpoints
+    /// map to 0 and +∞, which are not useful as thresholds), and
+    /// [`Error::NoConvergence`] if refinement stalls (not observed for
+    /// `1e-12 < p < 1 − 1e-12` and `k ≤ 1e6`; guarded anyway).
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "chi-square quantile requires 0 < p < 1, got {p}"
+            )));
+        }
+        // Wilson–Hilferty: χ² ≈ k (1 − 2/(9k) + z √(2/(9k)))³
+        let z = standard_normal_quantile(p);
+        let c = 2.0 / (9.0 * self.k);
+        let mut x = self.k * (1.0 - c + z * c.sqrt()).powi(3);
+        if !x.is_finite() || x <= 0.0 {
+            x = self.k.max(1e-8); // fall back to the mean
+        }
+
+        // Bracket the root, then Newton with bisection safeguarding.
+        let (mut lo, mut hi) = (0.0_f64, x.max(self.k) * 2.0 + 10.0);
+        while self.cdf(hi)? < p {
+            hi *= 2.0;
+            if hi > 1e300 {
+                return Err(Error::NoConvergence(format!(
+                    "failed to bracket chi-square quantile p={p}, k={}",
+                    self.k
+                )));
+            }
+        }
+        x = x.clamp(lo + 1e-300, hi);
+        for _ in 0..200 {
+            let f = self.cdf(x)? - p;
+            if f.abs() < 1e-12 {
+                return Ok(x);
+            }
+            if f > 0.0 {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            let dfdx = self.pdf(x);
+            let newton = if dfdx > 0.0 && dfdx.is_finite() {
+                x - f / dfdx
+            } else {
+                f64::NAN
+            };
+            x = if newton.is_finite() && newton > lo && newton < hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            };
+            if (hi - lo) < 1e-14 * (1.0 + hi) {
+                return Ok(x);
+            }
+        }
+        Err(Error::NoConvergence(format!(
+            "chi-square quantile did not converge for p={p}, k={}",
+            self.k
+        )))
+    }
+}
+
+/// Standard normal quantile via the Acklam rational approximation
+/// (relative error < 1.15e-9). Only used for the Wilson–Hilferty initial
+/// guess, so its accuracy is not load-bearing — the quantile is refined
+/// against the exact CDF afterwards.
+fn standard_normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_dof() {
+        assert!(ChiSquared::new(0.0).is_err());
+        assert!(ChiSquared::new(-3.0).is_err());
+        assert!(ChiSquared::new(f64::NAN).is_err());
+        assert!(ChiSquared::new(5.0).is_ok());
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // χ²(1): CDF(x) = erf(√(x/2)); CDF(3.841) ≈ 0.95
+        let chi1 = ChiSquared::new(1.0).unwrap();
+        assert!((chi1.cdf(3.841_458_820_694_124).unwrap() - 0.95).abs() < 1e-9);
+        // χ²(2) is Exp(1/2): CDF(x) = 1 − e^{−x/2}
+        let chi2 = ChiSquared::new(2.0).unwrap();
+        for x in [0.5, 1.0, 2.0, 5.0] {
+            assert!((chi2.cdf(x).unwrap() - (1.0 - (-x / 2.0_f64).exp())).abs() < 1e-12);
+        }
+        // χ²(10): CDF(18.307) ≈ 0.95 (standard table value)
+        let chi10 = ChiSquared::new(10.0).unwrap();
+        assert!((chi10.cdf(18.307_038_053_275_14).unwrap() - 0.95).abs() < 1e-8);
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        // Standard table quantiles.
+        let cases = [
+            (1.0, 0.95, 3.841_458_820_694_124),
+            (2.0, 0.95, 5.991_464_547_107_98),
+            (5.0, 0.05, 1.145_476_226_061_77),
+            (10.0, 0.95, 18.307_038_053_275_14),
+            (10.0, 0.01, 2.558_212_432_069_94),
+            (100.0, 0.5, 99.334_129_236_049_8),
+        ];
+        for (k, p, expect) in cases {
+            let chi = ChiSquared::new(k).unwrap();
+            let q = chi.quantile(p).unwrap();
+            assert!(
+                (q - expect).abs() < 1e-6 * (1.0 + expect),
+                "quantile(k={k}, p={p}) = {q}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_rejects_endpoints() {
+        let chi = ChiSquared::new(3.0).unwrap();
+        assert!(chi.quantile(0.0).is_err());
+        assert!(chi.quantile(1.0).is_err());
+        assert!(chi.quantile(-0.1).is_err());
+        assert!(chi.quantile(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pdf_special_points() {
+        assert_eq!(ChiSquared::new(1.0).unwrap().pdf(0.0), f64::INFINITY);
+        assert_eq!(ChiSquared::new(2.0).unwrap().pdf(0.0), 0.5);
+        assert_eq!(ChiSquared::new(3.0).unwrap().pdf(0.0), 0.0);
+        assert_eq!(ChiSquared::new(3.0).unwrap().pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_numerically() {
+        // Crude trapezoid check that ∫ pdf ≈ ΔCDF on [1, 4] for k = 5.
+        let chi = ChiSquared::new(5.0).unwrap();
+        let steps = 10_000;
+        let (a, b) = (1.0, 4.0);
+        let h = (b - a) / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..steps {
+            let x0 = a + i as f64 * h;
+            integral += 0.5 * (chi.pdf(x0) + chi.pdf(x0 + h)) * h;
+        }
+        let delta = chi.cdf(b).unwrap() - chi.cdf(a).unwrap();
+        assert!((integral - delta).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_inverts_cdf(k in 1.0f64..200.0, p in 0.001f64..0.999) {
+            let chi = ChiSquared::new(k).unwrap();
+            let x = chi.quantile(p).unwrap();
+            let back = chi.cdf(x).unwrap();
+            prop_assert!((back - p).abs() < 1e-8, "k={k}, p={p}, x={x}, back={back}");
+        }
+
+        #[test]
+        fn prop_quantile_monotone_in_p(k in 1.0f64..100.0, p in 0.01f64..0.9, dp in 0.001f64..0.09) {
+            let chi = ChiSquared::new(k).unwrap();
+            let q1 = chi.quantile(p).unwrap();
+            let q2 = chi.quantile(p + dp).unwrap();
+            prop_assert!(q2 > q1);
+        }
+
+        #[test]
+        fn prop_cdf_monotone(k in 0.5f64..100.0, x in 0.0f64..100.0, dx in 0.01f64..20.0) {
+            let chi = ChiSquared::new(k).unwrap();
+            prop_assert!(chi.cdf(x + dx).unwrap() >= chi.cdf(x).unwrap() - 1e-12);
+        }
+    }
+}

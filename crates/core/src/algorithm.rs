@@ -1,0 +1,531 @@
+//! The SSPC main loop (paper Listing 2).
+//!
+//! ```text
+//! 1  Initialization: determine the seeds and relevant dimensions of each cluster
+//! 2  For each cluster, draw a medoid from the seeds
+//! 3  Assign every object to the cluster (or outlier list) that gives the
+//!    greatest improvement to the objective score
+//! 4  Call SelectDim(Cᵢ) for each cluster, and calculate the overall score
+//! 5  Record the clusters if they give the best score so far, restore the
+//!    best clusters otherwise
+//! 6  Replace the cluster representative of each cluster, then remove its
+//!    members
+//! 7  Repeat 3–6 until no score improvements are observed for a certain
+//!    number of iterations
+//! ```
+
+use crate::cluster::{ClusterState, SeedSource, Snapshot};
+use crate::objective::{assignment_gain, total_score, ClusterModel};
+use crate::seeds::{draw_seed, Initializer, SeedGroups};
+use crate::{SspcParams, SspcResult, Supervision, Thresholds};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sspc_common::rng::seeded_rng;
+use sspc_common::{ClusterId, Dataset, Error, Result};
+
+/// The Semi-Supervised Projected Clustering algorithm.
+///
+/// Construct with [`Sspc::new`], then call [`Sspc::run`] — the instance is
+/// reusable across datasets and seeds. See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct Sspc {
+    params: SspcParams,
+}
+
+impl Sspc {
+    /// Validates the parameters and builds the algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for out-of-domain parameters.
+    pub fn new(params: SspcParams) -> Result<Self> {
+        params.validate()?;
+        Ok(Sspc { params })
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &SspcParams {
+        &self.params
+    }
+
+    /// Runs SSPC on a dataset. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidShape`] — fewer objects than clusters.
+    /// * [`Error::InvalidSupervision`] — labels referencing non-existent
+    ///   objects/dimensions/classes, or contradictory object labels.
+    ///   (A class with exactly one labeled object is handled by treating
+    ///   the object as a known anchor — an extension beyond the paper's
+    ///   `|Iᵒᵢ| ≥ 2` requirement.)
+    /// * [`Error::InsufficientData`] — the dataset is too small to build
+    ///   the required seed groups.
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        supervision: &Supervision,
+        seed: u64,
+    ) -> Result<SspcResult> {
+        let k = self.params.k;
+        if dataset.n_objects() < 2 * k {
+            return Err(Error::InvalidShape(format!(
+                "need at least 2 objects per cluster: n = {}, k = {k}",
+                dataset.n_objects()
+            )));
+        }
+        supervision.validate(dataset, k)?;
+        let thresholds = Thresholds::new(self.params.threshold, dataset)?;
+        // Seed-group construction uses its own (usually stricter) threshold
+        // scheme; see `SspcParams::init_p`.
+        let init_thresholds = match self.params.init_p {
+            Some(p) => Thresholds::new(crate::ThresholdScheme::PValue(p), dataset)?,
+            None => thresholds.clone(),
+        };
+        let mut rng = seeded_rng(seed);
+
+        // Step 1: seed groups.
+        let groups = Initializer::new(dataset, &self.params, &init_thresholds, supervision)
+            .build(&mut rng)?;
+
+        // Step 2: one medoid per cluster.
+        let mut clusters = self.initial_clusters(dataset, &groups, &mut rng)?;
+        let mut public_in_use: Vec<bool> = vec![false; groups.public.len()];
+        for cl in &clusters {
+            if let SeedSource::Public(g) = cl.source {
+                public_in_use[g] = true;
+            }
+        }
+
+        let n = dataset.n_objects();
+        let d = dataset.n_dims();
+        let mut best: Option<Snapshot> = None;
+        let mut stall = 0usize;
+        let mut iterations = 0usize;
+
+        while iterations < self.params.max_iterations {
+            iterations += 1;
+
+            // Step 3: assignment.
+            let assignment = self.assign(dataset, &mut clusters, supervision, &thresholds);
+
+            // Step 4: SelectDim + scoring with actual medians.
+            for cl in clusters.iter_mut() {
+                if cl.members.is_empty() {
+                    cl.score = 0.0;
+                    continue;
+                }
+                let model = ClusterModel::fit(dataset, &cl.members)?;
+                cl.dims = model.select_dims(&thresholds);
+                cl.score = model.cluster_score(&cl.dims, &thresholds);
+            }
+            let total = total_score(
+                &clusters.iter().map(|c| c.score).collect::<Vec<_>>(),
+                n,
+                d,
+            );
+
+            // Step 5: record / restore.
+            match &best {
+                Some(snap) if total <= snap.total_score => {
+                    clusters = snap.clusters.clone();
+                    stall += 1;
+                }
+                _ => {
+                    best = Some(Snapshot {
+                        assignment,
+                        clusters: clusters.clone(),
+                        total_score: total,
+                    });
+                    stall = 0;
+                }
+            }
+            if stall >= self.params.max_stall {
+                break;
+            }
+
+            // Step 6: replace representatives, clear members.
+            let bad = self.find_bad_cluster(dataset, &clusters, &thresholds);
+            for (i, cl) in clusters.iter_mut().enumerate() {
+                if i == bad {
+                    self.redraw_medoid(dataset, cl, &groups, &mut public_in_use, &mut rng);
+                } else if self.params.median_representatives {
+                    cl.replace_rep_with_median(dataset);
+                }
+                cl.refresh_ref_size();
+                cl.members.clear();
+            }
+        }
+
+        let snap = best.expect("at least one iteration ran");
+        Ok(SspcResult::new(
+            snap.assignment,
+            snap.clusters.iter().map(|c| c.dims.clone()).collect(),
+            snap.clusters.iter().map(|c| c.score).collect(),
+            snap.clusters.iter().map(|c| c.rep.clone()).collect(),
+            snap.total_score,
+            iterations,
+        ))
+    }
+
+    /// Step 2: every cluster draws its first medoid — from its private seed
+    /// group when the class received input, otherwise from an unclaimed
+    /// public group.
+    fn initial_clusters(
+        &self,
+        dataset: &Dataset,
+        groups: &SeedGroups,
+        rng: &mut StdRng,
+    ) -> Result<Vec<ClusterState>> {
+        let k = self.params.k;
+        let expected_size = (dataset.n_objects() / k).max(2);
+        let mut clusters = Vec::with_capacity(k);
+        let mut next_public = 0usize;
+        for class_idx in 0..k {
+            let (group, source) = match &groups.private[class_idx] {
+                Some(g) => (g, SeedSource::Private(ClusterId(class_idx))),
+                None => {
+                    let g_idx = next_public;
+                    next_public += 1;
+                    let g = groups.public.get(g_idx).ok_or_else(|| {
+                        Error::InsufficientData(format!(
+                            "ran out of public seed groups at cluster {class_idx}"
+                        ))
+                    })?;
+                    (g, SeedSource::Public(g_idx))
+                }
+            };
+            let medoid = draw_seed(group, rng);
+            clusters.push(ClusterState {
+                rep: dataset.row(medoid).to_vec(),
+                dims: group.dims.clone(),
+                members: Vec::new(),
+                score: 0.0,
+                source,
+                ref_size: expected_size,
+            });
+        }
+        Ok(clusters)
+    }
+
+    /// Step 3: each object goes to the cluster whose objective score it
+    /// improves the most (representative projection substituted for the
+    /// median); objects improving nothing go to the outlier list. Labeled
+    /// objects are pinned to their class's cluster when
+    /// [`SspcParams::pin_labeled_objects`] is set.
+    fn assign(
+        &self,
+        dataset: &Dataset,
+        clusters: &mut [ClusterState],
+        supervision: &Supervision,
+        thresholds: &Thresholds,
+    ) -> Vec<Option<ClusterId>> {
+        let n = dataset.n_objects();
+        let mut assignment: Vec<Option<ClusterId>> = vec![None; n];
+        let mut pinned = vec![false; n];
+        if self.params.pin_labeled_objects {
+            for &(o, class) in supervision.labeled_objects() {
+                assignment[o.index()] = Some(class);
+                clusters[class.index()].members.push(o);
+                pinned[o.index()] = true;
+            }
+        }
+        for o in dataset.object_ids() {
+            if pinned[o.index()] {
+                continue;
+            }
+            let mut best_gain = 0.0f64;
+            let mut best_cluster: Option<usize> = None;
+            for (i, cl) in clusters.iter().enumerate() {
+                let gain =
+                    assignment_gain(dataset, o, &cl.rep, &cl.dims, thresholds, cl.ref_size);
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_cluster = Some(i);
+                }
+            }
+            if let Some(i) = best_cluster {
+                assignment[o.index()] = Some(ClusterId(i));
+                clusters[i].members.push(o);
+            }
+        }
+        assignment
+    }
+
+    /// Step 6's diagnosis: the bad cluster is (in priority order) an empty
+    /// cluster, the loser of a pair of near-duplicate clusters, or the
+    /// cluster with the lowest φᵢ score. Near-duplicates arise when two
+    /// medoids come from the same real cluster (Sec. 4.3): their selected
+    /// subspaces overlap and their representatives are close within the
+    /// shared dimensions.
+    fn find_bad_cluster(
+        &self,
+        _dataset: &Dataset,
+        clusters: &[ClusterState],
+        thresholds: &Thresholds,
+    ) -> usize {
+        if let Some(i) = clusters.iter().position(|c| c.members.is_empty()) {
+            return i;
+        }
+        // Near-duplicate detection.
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                if let Some(loser) = self.duplicate_loser(&clusters[i], &clusters[j], thresholds)
+                {
+                    return if loser == 0 { i } else { j };
+                }
+            }
+        }
+        // Lowest score.
+        clusters
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.score.partial_cmp(&b.score).expect("finite scores"))
+            .map(|(i, _)| i)
+            .expect("k >= 1")
+    }
+
+    /// If `a` and `b` look like the same real cluster, returns which of the
+    /// two (0 or 1) has the lower score; `None` otherwise. "Same" means
+    /// their selected subspaces overlap by more than half (of the smaller)
+    /// and their representatives sit within an average of one threshold
+    /// unit per shared dimension.
+    fn duplicate_loser(
+        &self,
+        a: &ClusterState,
+        b: &ClusterState,
+        thresholds: &Thresholds,
+    ) -> Option<usize> {
+        if a.dims.is_empty() || b.dims.is_empty() {
+            return None;
+        }
+        let shared: Vec<_> = a.dims.iter().filter(|j| b.dims.contains(j)).collect();
+        if shared.len() * 2 <= a.dims.len().min(b.dims.len()) {
+            return None;
+        }
+        let mut normalized = 0.0;
+        for &&j in &shared {
+            let t = thresholds
+                .threshold(a.ref_size.min(b.ref_size), j)
+                .max(f64::MIN_POSITIVE);
+            let diff = a.rep[j.index()] - b.rep[j.index()];
+            normalized += diff * diff / t;
+        }
+        if normalized / shared.len() as f64 >= 1.0 {
+            return None;
+        }
+        Some(if a.score <= b.score { 0 } else { 1 })
+    }
+
+    /// Draws a fresh medoid for a bad cluster. Private clusters redraw from
+    /// their own group; public-sourced clusters release their group and
+    /// claim a random unclaimed one. The group's estimated dimensions
+    /// replace the cluster's selected dimensions.
+    fn redraw_medoid(
+        &self,
+        dataset: &Dataset,
+        cluster: &mut ClusterState,
+        groups: &SeedGroups,
+        public_in_use: &mut [bool],
+        rng: &mut StdRng,
+    ) {
+        let group = match cluster.source {
+            SeedSource::Private(class) => groups.private[class.index()]
+                .as_ref()
+                .expect("private source implies a private group"),
+            SeedSource::Public(current) => {
+                public_in_use[current] = false;
+                let free: Vec<usize> = (0..groups.public.len())
+                    .filter(|&g| !public_in_use[g])
+                    .collect();
+                let g_idx = free[rng.gen_range(0..free.len())];
+                public_in_use[g_idx] = true;
+                cluster.source = SeedSource::Public(g_idx);
+                &groups.public[g_idx]
+            }
+        };
+        let medoid = draw_seed(group, rng);
+        cluster.rep = dataset.row(medoid).to_vec();
+        cluster.dims = group.dims.clone();
+        cluster.score = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThresholdScheme;
+
+    /// 40 objects × 8 dims: class 0 = objects 0..20 compact on dims 0,1;
+    /// class 1 = objects 20..40 compact on dims 2,3. Other entries spread
+    /// uniformly over [0, 100].
+    fn planted() -> (Dataset, Vec<ClusterId>) {
+        let mut rng = seeded_rng(777);
+        let n = 40;
+        let d = 8;
+        let mut values = vec![0.0; n * d];
+        for v in values.iter_mut() {
+            *v = rng.gen_range(0.0..100.0);
+        }
+        for o in 0..20 {
+            values[o * d] = 25.0 + rng.gen_range(-1.5..1.5);
+            values[o * d + 1] = 60.0 + rng.gen_range(-1.5..1.5);
+        }
+        for o in 20..40 {
+            values[o * d + 2] = 80.0 + rng.gen_range(-1.5..1.5);
+            values[o * d + 3] = 15.0 + rng.gen_range(-1.5..1.5);
+        }
+        let truth = (0..n)
+            .map(|o| ClusterId(usize::from(o >= 20)))
+            .collect();
+        (Dataset::from_rows(n, d, values).unwrap(), truth)
+    }
+
+    fn accuracy(result: &SspcResult, truth: &[ClusterId]) -> f64 {
+        // Fraction of pairs the clustering gets right (same/different).
+        let n = truth.len();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                let same_truth = truth[i] == truth[j];
+                let same_result = result.cluster_of(ObjectId(i)).is_some()
+                    && result.cluster_of(ObjectId(i)) == result.cluster_of(ObjectId(j));
+                if same_truth == same_result {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / total as f64
+    }
+
+    fn default_params() -> SspcParams {
+        SspcParams::new(2)
+            .with_threshold(ThresholdScheme::MFraction(0.5))
+            .with_grid(2, 5)
+    }
+
+    #[test]
+    fn recovers_planted_clusters_unsupervised() {
+        let (ds, truth) = planted();
+        let sspc = Sspc::new(default_params()).unwrap();
+        // Best-of-3 over seeds by objective, the paper's protocol in miniature.
+        let best = (0..3)
+            .map(|s| sspc.run(&ds, &Supervision::none(), s).unwrap())
+            .max_by(|a, b| a.objective().partial_cmp(&b.objective()).unwrap())
+            .unwrap();
+        let acc = accuracy(&best, &truth);
+        assert!(acc > 0.9, "pairwise accuracy {acc} too low");
+    }
+
+    #[test]
+    fn selected_dims_match_planted_subspaces() {
+        let (ds, _) = planted();
+        let sspc = Sspc::new(default_params()).unwrap();
+        let best = (0..3)
+            .map(|s| sspc.run(&ds, &Supervision::none(), s).unwrap())
+            .max_by(|a, b| a.objective().partial_cmp(&b.objective()).unwrap())
+            .unwrap();
+        // Each cluster's selected dims should be a planted pair.
+        let mut found_01 = false;
+        let mut found_23 = false;
+        for c in 0..2 {
+            let dims = best.selected_dims(ClusterId(c));
+            if dims.contains(&sspc_common::DimId(0)) && dims.contains(&sspc_common::DimId(1)) {
+                found_01 = true;
+            }
+            if dims.contains(&sspc_common::DimId(2)) && dims.contains(&sspc_common::DimId(3)) {
+                found_23 = true;
+            }
+        }
+        assert!(
+            found_01 && found_23,
+            "planted subspaces not recovered: {:?}",
+            best.all_selected_dims()
+        );
+    }
+
+    #[test]
+    fn supervision_pins_labeled_objects() {
+        let (ds, _) = planted();
+        let sup = Supervision::none()
+            .label_object(ObjectId(0), ClusterId(0))
+            .label_object(ObjectId(1), ClusterId(0))
+            .label_object(ObjectId(20), ClusterId(1))
+            .label_object(ObjectId(21), ClusterId(1));
+        let sspc = Sspc::new(default_params()).unwrap();
+        let result = sspc.run(&ds, &sup, 5).unwrap();
+        assert_eq!(result.cluster_of(ObjectId(0)), Some(ClusterId(0)));
+        assert_eq!(result.cluster_of(ObjectId(1)), Some(ClusterId(0)));
+        assert_eq!(result.cluster_of(ObjectId(20)), Some(ClusterId(1)));
+        assert_eq!(result.cluster_of(ObjectId(21)), Some(ClusterId(1)));
+    }
+
+    #[test]
+    fn supervision_aligns_cluster_ids_with_classes() {
+        let (ds, truth) = planted();
+        let sup = Supervision::none()
+            .label_object(ObjectId(0), ClusterId(0))
+            .label_object(ObjectId(1), ClusterId(0))
+            .label_object(ObjectId(2), ClusterId(0))
+            .label_object(ObjectId(20), ClusterId(1))
+            .label_object(ObjectId(21), ClusterId(1))
+            .label_object(ObjectId(22), ClusterId(1));
+        let sspc = Sspc::new(default_params()).unwrap();
+        let result = sspc.run(&ds, &sup, 6).unwrap();
+        // With supervision the cluster indices are meaningful: count direct
+        // label agreement on unlabeled objects.
+        let hits = (0..40)
+            .filter(|&o| result.cluster_of(ObjectId(o)) == Some(truth[o]))
+            .count();
+        assert!(hits >= 32, "only {hits}/40 objects labeled correctly");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (ds, _) = planted();
+        let sspc = Sspc::new(default_params()).unwrap();
+        let a = sspc.run(&ds, &Supervision::none(), 11).unwrap();
+        let b = sspc.run(&ds, &Supervision::none(), 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_tiny_datasets() {
+        let ds = Dataset::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let sspc = Sspc::new(default_params()).unwrap();
+        assert!(matches!(
+            sspc.run(&ds, &Supervision::none(), 0),
+            Err(Error::InvalidShape(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_supervision() {
+        let (ds, _) = planted();
+        let sspc = Sspc::new(default_params()).unwrap();
+        let sup = Supervision::none().label_object(ObjectId(999), ClusterId(0));
+        assert!(sspc.run(&ds, &sup, 0).is_err());
+    }
+
+    #[test]
+    fn iterations_respect_hard_cap() {
+        let (ds, _) = planted();
+        let params = default_params().with_termination(100, 4);
+        let sspc = Sspc::new(params).unwrap();
+        let result = sspc.run(&ds, &Supervision::none(), 1).unwrap();
+        assert!(result.iterations() <= 4);
+    }
+
+    #[test]
+    fn objective_is_positive_for_structured_data() {
+        let (ds, _) = planted();
+        let sspc = Sspc::new(default_params()).unwrap();
+        let result = sspc.run(&ds, &Supervision::none(), 2).unwrap();
+        assert!(result.objective() > 0.0);
+    }
+
+    use rand::Rng;
+    use sspc_common::rng::seeded_rng;
+    use sspc_common::ObjectId;
+}

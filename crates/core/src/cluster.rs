@@ -1,0 +1,128 @@
+//! Mutable per-cluster state carried across SSPC iterations.
+
+use sspc_common::stats::median_of;
+use sspc_common::{ClusterId, Dataset, DimId, ObjectId};
+
+/// Where a cluster's medoids come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SeedSource {
+    /// The private seed group of this class.
+    Private(ClusterId),
+    /// The public seed group with this index is currently claimed.
+    Public(usize),
+}
+
+/// One cluster's working state: representative point, selected dimensions,
+/// members, and the score of the last evaluation.
+#[derive(Debug, Clone)]
+pub(crate) struct ClusterState {
+    /// The cluster representative — a full-length point. Either an actual
+    /// medoid's row or the member-wise median ("virtual object").
+    pub rep: Vec<f64>,
+    /// Selected dimensions, ascending.
+    pub dims: Vec<DimId>,
+    /// Current members (rebuilt every iteration).
+    pub members: Vec<ObjectId>,
+    /// The cluster score φᵢ from the last `SelectDim` + scoring pass.
+    pub score: f64,
+    /// Which seed group this cluster draws medoids from.
+    pub source: SeedSource,
+    /// Cluster size used for threshold lookups during assignment — the
+    /// size from the previous iteration, or the expected size `n/k` before
+    /// the first assignment.
+    pub ref_size: usize,
+}
+
+impl ClusterState {
+    /// Replaces the representative by the member-wise median (paper step 6:
+    /// "the medoid of each other cluster is replaced by the cluster
+    /// median"). No-op for empty clusters.
+    pub fn replace_rep_with_median(&mut self, dataset: &Dataset) {
+        if self.members.is_empty() {
+            return;
+        }
+        self.rep = dataset
+            .dim_ids()
+            .map(|j| {
+                median_of(self.members.iter().map(|&o| dataset.value(o, j)))
+                    .expect("members is non-empty")
+            })
+            .collect();
+    }
+
+    /// Updates `ref_size` from the current member count, holding the
+    /// previous value when the cluster came out empty.
+    pub fn refresh_ref_size(&mut self) {
+        if !self.members.is_empty() {
+            self.ref_size = self.members.len();
+        }
+    }
+}
+
+/// An immutable snapshot of all clusters plus the assignment they imply —
+/// what "record the clusters if they give the best objective score so far"
+/// stores and "restore the best clusters otherwise" brings back.
+#[derive(Debug, Clone)]
+pub(crate) struct Snapshot {
+    pub assignment: Vec<Option<ClusterId>>,
+    pub clusters: Vec<ClusterState>,
+    pub total_score: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sspc_common::Dataset;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(
+            4,
+            2,
+            vec![
+                1.0, 10.0, //
+                3.0, 20.0, //
+                5.0, 30.0, //
+                100.0, 40.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    fn state(members: &[usize]) -> ClusterState {
+        ClusterState {
+            rep: vec![0.0, 0.0],
+            dims: vec![DimId(0)],
+            members: members.iter().map(|&i| ObjectId(i)).collect(),
+            score: 0.0,
+            source: SeedSource::Public(0),
+            ref_size: 2,
+        }
+    }
+
+    #[test]
+    fn median_representative_uses_member_medians() {
+        let ds = dataset();
+        let mut st = state(&[0, 1, 2]);
+        st.replace_rep_with_median(&ds);
+        assert_eq!(st.rep, vec![3.0, 20.0]);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_representative() {
+        let ds = dataset();
+        let mut st = state(&[]);
+        st.rep = vec![7.0, 8.0];
+        st.replace_rep_with_median(&ds);
+        assert_eq!(st.rep, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn ref_size_tracks_membership() {
+        let mut st = state(&[0, 1, 2]);
+        st.refresh_ref_size();
+        assert_eq!(st.ref_size, 3);
+        st.members.clear();
+        st.refresh_ref_size();
+        assert_eq!(st.ref_size, 3, "empty cluster keeps previous ref size");
+    }
+}

@@ -1,0 +1,203 @@
+//! Fuzzy (confidence-weighted) supervision — the second future extension
+//! named in the paper's Sec. 6: *"It is also possible to study fuzzy
+//! inputs, each of which contains a confidence level that indicates its
+//! chance of belonging to a cluster."*
+//!
+//! [`FuzzySupervision`] carries a confidence in `[0, 1]` with every label.
+//! Two consumption strategies are provided:
+//!
+//! * [`FuzzySupervision::harden`] — keep labels at or above a confidence
+//!   threshold, drop the rest. Simple, conservative, and composes with
+//!   [`crate::validation`] (validate first, then harden, or vice versa).
+//! * [`FuzzySupervision::sample`] — draw each label independently with
+//!   probability equal to its confidence. Over repeated runs (SSPC is
+//!   best-of-N anyway) low-confidence labels contribute proportionally to
+//!   their reliability, which is the natural Monte-Carlo reading of
+//!   "chance of belonging".
+
+use crate::Supervision;
+use rand::Rng;
+use sspc_common::rng::seeded_rng;
+use sspc_common::{ClusterId, DimId, Error, ObjectId, Result};
+
+/// Supervision where every label carries a confidence level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FuzzySupervision {
+    objects: Vec<(ObjectId, ClusterId, f64)>,
+    dims: Vec<(DimId, ClusterId, f64)>,
+}
+
+impl FuzzySupervision {
+    /// No labels.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a labeled object with a confidence level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSupervision`] for confidence outside `[0, 1]`.
+    pub fn label_object(
+        mut self,
+        object: ObjectId,
+        class: ClusterId,
+        confidence: f64,
+    ) -> Result<Self> {
+        check_confidence(confidence)?;
+        self.objects.push((object, class, confidence));
+        Ok(self)
+    }
+
+    /// Adds a labeled dimension with a confidence level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSupervision`] for confidence outside `[0, 1]`.
+    pub fn label_dim(mut self, dim: DimId, class: ClusterId, confidence: f64) -> Result<Self> {
+        check_confidence(confidence)?;
+        self.dims.push((dim, class, confidence));
+        Ok(self)
+    }
+
+    /// All labeled objects with confidences.
+    pub fn objects(&self) -> &[(ObjectId, ClusterId, f64)] {
+        &self.objects
+    }
+
+    /// All labeled dimensions with confidences.
+    pub fn dims(&self) -> &[(DimId, ClusterId, f64)] {
+        &self.dims
+    }
+
+    /// True if no labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty() && self.dims.is_empty()
+    }
+
+    /// Hard supervision containing exactly the labels with confidence
+    /// `>= min_confidence`.
+    pub fn harden(&self, min_confidence: f64) -> Supervision {
+        let objects = self
+            .objects
+            .iter()
+            .filter(|&&(_, _, c)| c >= min_confidence)
+            .map(|&(o, cl, _)| (o, cl))
+            .collect();
+        let dims = self
+            .dims
+            .iter()
+            .filter(|&&(_, _, c)| c >= min_confidence)
+            .map(|&(j, cl, _)| (j, cl))
+            .collect();
+        Supervision::new(objects, dims)
+    }
+
+    /// Hard supervision where each label is included independently with
+    /// probability equal to its confidence. Deterministic in `seed`; use a
+    /// fresh seed per repetition so repeated runs integrate over the
+    /// label distribution.
+    pub fn sample(&self, seed: u64) -> Supervision {
+        let mut rng = seeded_rng(seed);
+        let objects = self
+            .objects
+            .iter()
+            .filter(|&&(_, _, c)| rng.gen::<f64>() < c)
+            .map(|&(o, cl, _)| (o, cl))
+            .collect();
+        let dims = self
+            .dims
+            .iter()
+            .filter(|&&(_, _, c)| rng.gen::<f64>() < c)
+            .map(|&(j, cl, _)| (j, cl))
+            .collect();
+        Supervision::new(objects, dims)
+    }
+}
+
+fn check_confidence(c: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&c) {
+        return Err(Error::InvalidSupervision(format!(
+            "confidence must be in [0, 1], got {c}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fuzzy() -> FuzzySupervision {
+        FuzzySupervision::none()
+            .label_object(ObjectId(0), ClusterId(0), 0.9)
+            .unwrap()
+            .label_object(ObjectId(1), ClusterId(0), 0.4)
+            .unwrap()
+            .label_dim(DimId(2), ClusterId(1), 1.0)
+            .unwrap()
+            .label_dim(DimId(3), ClusterId(1), 0.1)
+            .unwrap()
+    }
+
+    #[test]
+    fn harden_thresholds_by_confidence() {
+        let f = fuzzy();
+        let hard = f.harden(0.5);
+        assert_eq!(hard.labeled_objects(), &[(ObjectId(0), ClusterId(0))]);
+        assert_eq!(hard.labeled_dims(), &[(DimId(2), ClusterId(1))]);
+        // Threshold 0 keeps everything; above 1 keeps nothing.
+        assert_eq!(f.harden(0.0).labeled_objects().len(), 2);
+        assert!(f.harden(1.1).is_empty());
+    }
+
+    #[test]
+    fn sample_respects_certainty_extremes() {
+        let f = FuzzySupervision::none()
+            .label_object(ObjectId(0), ClusterId(0), 1.0)
+            .unwrap()
+            .label_object(ObjectId(1), ClusterId(0), 0.0)
+            .unwrap();
+        for seed in 0..50 {
+            let s = f.sample(seed);
+            assert_eq!(s.labeled_objects(), &[(ObjectId(0), ClusterId(0))]);
+        }
+    }
+
+    #[test]
+    fn sample_frequency_tracks_confidence() {
+        let f = FuzzySupervision::none()
+            .label_dim(DimId(0), ClusterId(0), 0.3)
+            .unwrap();
+        let hits = (0..2000)
+            .filter(|&seed| !f.sample(seed).labeled_dims().is_empty())
+            .count();
+        let frac = hits as f64 / 2000.0;
+        assert!((frac - 0.3).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let f = fuzzy();
+        assert_eq!(f.sample(7), f.sample(7));
+    }
+
+    #[test]
+    fn rejects_out_of_range_confidence() {
+        assert!(FuzzySupervision::none()
+            .label_object(ObjectId(0), ClusterId(0), 1.5)
+            .is_err());
+        assert!(FuzzySupervision::none()
+            .label_dim(DimId(0), ClusterId(0), -0.1)
+            .is_err());
+    }
+
+    #[test]
+    fn accessors_and_empty() {
+        let f = fuzzy();
+        assert_eq!(f.objects().len(), 2);
+        assert_eq!(f.dims().len(), 2);
+        assert!(!f.is_empty());
+        assert!(FuzzySupervision::none().is_empty());
+    }
+}

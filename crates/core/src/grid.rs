@@ -1,0 +1,335 @@
+//! Multi-dimensional histograms ("grids") for seed-group discovery
+//! (paper Sec. 4.2).
+//!
+//! A grid partitions the dataset along `c` chosen *building dimensions*
+//! into `bins_per_dim^c` equi-width cells. If all building dimensions are
+//! relevant to some cluster, the cluster's members pile into one cell and
+//! the peak density stands far above the background; if any building
+//! dimension is irrelevant, the members smear across a whole slab of cells
+//! and the peak flattens. SSPC exploits this contrast: it builds many grids
+//! from candidate dimensions and keeps the densest peak.
+//!
+//! Two peak-finding modes are used by the initializer:
+//! * [`Grid::peak_cell`] — the absolute densest cell (labeled-dimensions
+//!   case, where there is no starting point);
+//! * [`Grid::hill_climb`] — localized search from a starting cell (cases
+//!   with labeled objects or a max-min anchor), stepping to the densest of
+//!   the `3^c − 1` Chebyshev neighbours while density improves. This both
+//!   locates the intended peak among multiple peaks and corrects a median
+//!   biased towards one side of the cluster.
+
+use sspc_common::{Dataset, DimId, ObjectId};
+
+/// A dense `c`-dimensional histogram over a subset of the objects.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    dims: Vec<DimId>,
+    bins: usize,
+    lo: Vec<f64>,
+    width: Vec<f64>,
+    /// Flattened cells, each holding the object ids that fall in it.
+    cells: Vec<Vec<ObjectId>>,
+}
+
+impl Grid {
+    /// Builds a grid over `dims` with `bins` bins per dimension, counting
+    /// only objects with `available[o] == true`.
+    ///
+    /// Degenerate (constant) dimensions get a unit-width single bin.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `dims` is non-empty and `bins ≥ 2`; callers
+    /// ([`crate::Sspc`]) validate parameters before construction.
+    pub fn build(dataset: &Dataset, dims: &[DimId], bins: usize, available: &[bool]) -> Self {
+        debug_assert!(!dims.is_empty() && bins >= 2);
+        debug_assert_eq!(available.len(), dataset.n_objects());
+        let lo: Vec<f64> = dims.iter().map(|&j| dataset.global_min(j)).collect();
+        let width: Vec<f64> = dims
+            .iter()
+            .map(|&j| {
+                let range = dataset.global_range(j);
+                if range > 0.0 {
+                    range / bins as f64
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let n_cells = bins.pow(dims.len() as u32);
+        let mut cells = vec![Vec::new(); n_cells];
+        let mut grid = Grid {
+            dims: dims.to_vec(),
+            bins,
+            lo,
+            width,
+            cells: Vec::new(),
+        };
+        for o in dataset.object_ids() {
+            if !available[o.index()] {
+                continue;
+            }
+            let coords = grid.coords_of_row(dataset.row(o));
+            cells[grid.flatten(&coords)].push(o);
+        }
+        grid.cells = cells;
+        grid
+    }
+
+    /// Cell coordinates of an arbitrary full-length point.
+    pub fn coords_of_row(&self, row: &[f64]) -> Vec<usize> {
+        self.dims
+            .iter()
+            .enumerate()
+            .map(|(axis, &j)| {
+                let rel = (row[j.index()] - self.lo[axis]) / self.width[axis];
+                // Values at the top edge land in the last bin.
+                (rel.floor().max(0.0) as usize).min(self.bins - 1)
+            })
+            .collect()
+    }
+
+    fn flatten(&self, coords: &[usize]) -> usize {
+        coords.iter().fold(0, |acc, &c| acc * self.bins + c)
+    }
+
+    /// Number of objects in a cell.
+    pub fn density(&self, coords: &[usize]) -> usize {
+        self.cells[self.flatten(coords)].len()
+    }
+
+    /// Objects in a cell.
+    pub fn objects_in(&self, coords: &[usize]) -> &[ObjectId] {
+        &self.cells[self.flatten(coords)]
+    }
+
+    /// The densest cell of the whole grid (ties broken by lowest index) and
+    /// its density.
+    pub fn peak_cell(&self) -> (Vec<usize>, usize) {
+        let (best_idx, best) = self
+            .cells
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, objs)| objs.len())
+            .expect("grid has at least one cell");
+        (self.unflatten(best_idx), best.len())
+    }
+
+    fn unflatten(&self, mut idx: usize) -> Vec<usize> {
+        let c = self.dims.len();
+        let mut coords = vec![0usize; c];
+        for axis in (0..c).rev() {
+            coords[axis] = idx % self.bins;
+            idx /= self.bins;
+        }
+        coords
+    }
+
+    /// Localized hill-climbing from `start`: repeatedly move to the densest
+    /// Chebyshev-1 neighbour while that improves density. Returns the local
+    /// peak and its density.
+    pub fn hill_climb(&self, start: &[usize]) -> (Vec<usize>, usize) {
+        let mut current = start.to_vec();
+        let mut current_density = self.density(&current);
+        loop {
+            let mut best_neighbor: Option<(Vec<usize>, usize)> = None;
+            self.for_each_neighbor(&current, |coords| {
+                let d = self.density(coords);
+                if d > best_neighbor.as_ref().map_or(current_density, |(_, bd)| *bd) {
+                    best_neighbor = Some((coords.to_vec(), d));
+                }
+            });
+            match best_neighbor {
+                Some((coords, d)) if d > current_density => {
+                    current = coords;
+                    current_density = d;
+                }
+                _ => return (current, current_density),
+            }
+        }
+    }
+
+    /// Collects objects from `center` outward (rings of growing Chebyshev
+    /// radius) until at least `min` objects are gathered or the grid is
+    /// exhausted. Objects from the center cell come first.
+    pub fn collect_at_least(&self, center: &[usize], min: usize) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = self.objects_in(center).to_vec();
+        let mut radius = 1usize;
+        let max_radius = self.bins; // beyond this every cell is covered
+        while out.len() < min && radius <= max_radius {
+            self.for_each_at_radius(center, radius, |coords| {
+                out.extend_from_slice(self.objects_in(coords));
+            });
+            radius += 1;
+        }
+        out
+    }
+
+    /// Visits every cell whose Chebyshev distance from `center` is exactly 1
+    /// (the `3^c − 1` neighbours, truncated at grid borders).
+    fn for_each_neighbor(&self, center: &[usize], mut f: impl FnMut(&[usize])) {
+        self.for_each_at_radius(center, 1, &mut f);
+    }
+
+    /// Visits every cell at Chebyshev distance exactly `radius` from
+    /// `center`.
+    fn for_each_at_radius(&self, center: &[usize], radius: usize, mut f: impl FnMut(&[usize])) {
+        let c = self.dims.len();
+        let r = radius as i64;
+        let mut offset = vec![-r; c];
+        'outer: loop {
+            if offset.iter().any(|&o| o.unsigned_abs() as usize == radius) {
+                let mut coords = Vec::with_capacity(c);
+                let mut in_range = true;
+                for (axis, &off) in offset.iter().enumerate() {
+                    let v = center[axis] as i64 + off;
+                    if v < 0 || v >= self.bins as i64 {
+                        in_range = false;
+                        break;
+                    }
+                    coords.push(v as usize);
+                }
+                if in_range {
+                    f(&coords);
+                }
+            }
+            // Odometer increment over [-r, r]^c.
+            for axis in 0..c {
+                offset[axis] += 1;
+                if offset[axis] <= r {
+                    continue 'outer;
+                }
+                offset[axis] = -r;
+            }
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 10 objects in 2-D; 5 clustered near (10, 10), the rest spread.
+    fn dataset() -> Dataset {
+        Dataset::from_rows(
+            10,
+            2,
+            vec![
+                10.0, 10.0, //
+                11.0, 9.0, //
+                9.5, 10.5, //
+                10.5, 9.5, //
+                10.2, 10.8, //
+                50.0, 50.0, //
+                90.0, 20.0, //
+                30.0, 80.0, //
+                70.0, 60.0, //
+                0.0, 99.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    fn all_available(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn peak_cell_finds_the_dense_corner() {
+        let ds = dataset();
+        let grid = Grid::build(&ds, &[DimId(0), DimId(1)], 5, &all_available(10));
+        let (peak, density) = grid.peak_cell();
+        assert_eq!(density, 5);
+        // The cluster sits near (10, 10) in a [0, 90] × [9, 99] box →
+        // first bin on both axes.
+        assert_eq!(grid.objects_in(&peak).len(), 5);
+        assert!(grid.objects_in(&peak).contains(&ObjectId(0)));
+    }
+
+    #[test]
+    fn availability_mask_excludes_objects() {
+        let ds = dataset();
+        let mut avail = all_available(10);
+        for i in 0..5 {
+            avail[i] = false; // exclude the dense cluster
+        }
+        let grid = Grid::build(&ds, &[DimId(0), DimId(1)], 5, &avail);
+        let (_, density) = grid.peak_cell();
+        assert!(density <= 1, "spread objects should not form a peak");
+    }
+
+    #[test]
+    fn coords_respect_edges() {
+        let ds = dataset();
+        let grid = Grid::build(&ds, &[DimId(0)], 4, &all_available(10));
+        // Max value of dim 0 is 90 → top edge → last bin.
+        let coords = grid.coords_of_row(&[90.0, 0.0]);
+        assert_eq!(coords, vec![3]);
+        let coords = grid.coords_of_row(&[0.0, 0.0]);
+        assert_eq!(coords, vec![0]);
+        // Below-range values clamp to the first bin rather than underflow.
+        let coords = grid.coords_of_row(&[-5.0, 0.0]);
+        assert_eq!(coords, vec![0]);
+    }
+
+    #[test]
+    fn constant_dimension_gets_single_bin_behaviour() {
+        let ds = Dataset::from_rows(3, 1, vec![7.0, 7.0, 7.0]).unwrap();
+        let grid = Grid::build(&ds, &[DimId(0)], 3, &all_available(3));
+        let (peak, density) = grid.peak_cell();
+        assert_eq!(density, 3);
+        assert_eq!(peak, vec![0]);
+    }
+
+    #[test]
+    fn hill_climb_walks_to_local_peak() {
+        let ds = dataset();
+        let grid = Grid::build(&ds, &[DimId(0), DimId(1)], 5, &all_available(10));
+        let (peak, peak_density) = grid.peak_cell();
+        // Start one cell away from the peak; the climb must land on it.
+        let start = vec![(peak[0] + 1).min(4), peak[1]];
+        let (end, density) = grid.hill_climb(&start);
+        assert_eq!(end, peak);
+        assert_eq!(density, peak_density);
+    }
+
+    #[test]
+    fn hill_climb_stays_when_no_better_neighbor() {
+        let ds = dataset();
+        let grid = Grid::build(&ds, &[DimId(0), DimId(1)], 5, &all_available(10));
+        let (peak, _) = grid.peak_cell();
+        let (end, _) = grid.hill_climb(&peak);
+        assert_eq!(end, peak);
+    }
+
+    #[test]
+    fn collect_at_least_expands_rings() {
+        let ds = dataset();
+        let grid = Grid::build(&ds, &[DimId(0), DimId(1)], 5, &all_available(10));
+        let (peak, _) = grid.peak_cell();
+        let five = grid.collect_at_least(&peak, 5);
+        assert!(five.len() >= 5);
+        // Asking for more than the cell holds widens the net.
+        let eight = grid.collect_at_least(&peak, 8);
+        assert!(eight.len() >= 8 || eight.len() == 10);
+        // Asking for more than exists returns everything reachable.
+        let all = grid.collect_at_least(&peak, 100);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn three_dimensional_grid_neighbors() {
+        // Verify the odometer on a 3-D grid: a center cell should have
+        // 3³ − 1 = 26 neighbours when away from borders.
+        let values: Vec<f64> = (0..60).map(|i| (i % 10) as f64 * 10.0).collect();
+        let ds = Dataset::from_rows(20, 3, values).unwrap();
+        let grid = Grid::build(&ds, &[DimId(0), DimId(1), DimId(2)], 5, &all_available(20));
+        let mut count = 0;
+        grid.for_each_neighbor(&[2, 2, 2], |_| count += 1);
+        assert_eq!(count, 26);
+        let mut corner = 0;
+        grid.for_each_neighbor(&[0, 0, 0], |_| corner += 1);
+        assert_eq!(corner, 7); // 2³ − 1 inside the grid
+    }
+}

@@ -1,0 +1,330 @@
+//! The paper's objective function `φ` (Sec. 3, Eqs. 1–4) and the
+//! `SelectDim` procedure (Lemma 1).
+//!
+//! For a cluster `Cᵢ` and a dimension `vⱼ`, with sample mean `µᵢⱼ`, sample
+//! variance `s²ᵢⱼ`, sample median `µ̃ᵢⱼ`, and selection threshold `ŝ²ᵢⱼ`:
+//!
+//! ```text
+//! φᵢⱼ = (nᵢ − 1) · (1 − (s²ᵢⱼ + (µᵢⱼ − µ̃ᵢⱼ)²) / ŝ²ᵢⱼ)        (Eq. 4)
+//! φᵢ  = Σ_{vⱼ ∈ Vᵢ} φᵢⱼ                                        (Eq. 2)
+//! φ   = (1/nd) Σᵢ φᵢ                                           (Eq. 1)
+//! ```
+//!
+//! The quantity `s²ᵢⱼ + (µᵢⱼ − µ̃ᵢⱼ)²` — dispersion around the **median**
+//! — is [`sspc_common::stats::Summary::median_dispersion`]. Lemma 1 says
+//! `φ` is maximized by selecting exactly the dimensions whose dispersion is
+//! below the threshold, which is what [`ClusterModel::select_dims`] does.
+//!
+//! During the assignment phase the median is not yet known, so the paper
+//! substitutes the cluster representative's projection for `µ̃ᵢⱼ`;
+//! [`assignment_gain`] implements the resulting per-object score gain.
+
+use crate::Thresholds;
+use sspc_common::stats::Summary;
+use sspc_common::{Dataset, DimId, Error, ObjectId, Result};
+
+/// Per-dimension statistics of one cluster's members — everything `φ` and
+/// `SelectDim` need.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    size: usize,
+    summaries: Vec<Summary>,
+}
+
+impl ClusterModel {
+    /// Fits the model: one [`Summary`] per dimension over `members`.
+    ///
+    /// O(nᵢ·d) time; the scratch buffer for median selection is reused
+    /// across dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientData`] for an empty member set.
+    pub fn fit(dataset: &Dataset, members: &[ObjectId]) -> Result<Self> {
+        if members.is_empty() {
+            return Err(Error::InsufficientData(
+                "cannot fit a cluster model on zero members".into(),
+            ));
+        }
+        let d = dataset.n_dims();
+        let mut summaries = Vec::with_capacity(d);
+        let mut buf = vec![0.0f64; members.len()];
+        for j in 0..d {
+            for (slot, &o) in buf.iter_mut().zip(members.iter()) {
+                *slot = dataset.value(o, DimId(j));
+            }
+            summaries.push(Summary::from_values(&mut buf)?);
+        }
+        Ok(ClusterModel {
+            size: members.len(),
+            summaries,
+        })
+    }
+
+    /// Number of member objects `nᵢ`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The per-dimension summary.
+    pub fn summary(&self, j: DimId) -> &Summary {
+        &self.summaries[j.index()]
+    }
+
+    /// Number of dimensions covered.
+    pub fn n_dims(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// The score component `φᵢⱼ` (Eq. 4). Zero-or-negative thresholds
+    /// (constant global dimensions) yield `−∞`-like behaviour encoded as
+    /// `f64::NEG_INFINITY` so such dimensions are never selected.
+    pub fn dim_score(&self, j: DimId, thresholds: &Thresholds) -> f64 {
+        let t = thresholds.threshold(self.size, j);
+        if t <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let s = &self.summaries[j.index()];
+        (self.size as f64 - 1.0) * (1.0 - s.median_dispersion() / t)
+    }
+
+    /// `SelectDim` (Lemma 1): all dimensions with
+    /// `s²ᵢⱼ + (µᵢⱼ − µ̃ᵢⱼ)² < ŝ²ᵢⱼ`, ascending.
+    pub fn select_dims(&self, thresholds: &Thresholds) -> Vec<DimId> {
+        (0..self.summaries.len())
+            .map(DimId)
+            .filter(|&j| {
+                let t = thresholds.threshold(self.size, j);
+                t > 0.0 && self.summaries[j.index()].median_dispersion() < t
+            })
+            .collect()
+    }
+
+    /// The cluster score `φᵢ` over a set of selected dimensions (Eq. 2).
+    pub fn cluster_score(&self, dims: &[DimId], thresholds: &Thresholds) -> f64 {
+        dims.iter()
+            .map(|&j| {
+                let s = self.dim_score(j, thresholds);
+                if s.is_finite() {
+                    s
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+}
+
+/// The overall objective `φ = (1/nd) Σᵢ φᵢ` (Eq. 1).
+pub fn total_score(cluster_scores: &[f64], n: usize, d: usize) -> f64 {
+    if n == 0 || d == 0 {
+        return 0.0;
+    }
+    cluster_scores.iter().sum::<f64>() / (n as f64 * d as f64)
+}
+
+/// The score gain of assigning object `o` to a cluster with representative
+/// `rep` (a full-length point) and selected dimensions `dims`, with the
+/// representative's projections substituted for the medians (paper Sec. 4,
+/// step 3):
+///
+/// ```text
+/// Δφᵢ = Σ_{vⱼ ∈ Vᵢ} (1 − (xⱼ − repⱼ)² / ŝ²ᵢⱼ)
+/// ```
+///
+/// Derivation: with `µ̃ᵢⱼ` fixed at `repⱼ`, Eq. 3 gives
+/// `φᵢⱼ = nᵢ − 1 − Σ_x (xⱼ−repⱼ)²/ŝ²ᵢⱼ`; adding one object raises `nᵢ` by
+/// one and adds its own squared deviation. The gain is positive exactly
+/// when the object lies within the threshold-scaled neighbourhood of the
+/// representative in the cluster's subspace, so objects improving no
+/// cluster (gain ≤ 0 everywhere) go to the outlier list.
+///
+/// `ref_size` is the cluster size used for the `p`-scheme threshold lookup
+/// (the size from the previous iteration, or `n/k` before any assignment).
+pub fn assignment_gain(
+    dataset: &Dataset,
+    o: ObjectId,
+    rep: &[f64],
+    dims: &[DimId],
+    thresholds: &Thresholds,
+    ref_size: usize,
+) -> f64 {
+    debug_assert_eq!(rep.len(), dataset.n_dims());
+    let row = dataset.row(o);
+    dims.iter()
+        .map(|&j| {
+            let t = thresholds.threshold(ref_size, j);
+            if t <= 0.0 {
+                return 0.0;
+            }
+            let diff = row[j.index()] - rep[j.index()];
+            1.0 - diff * diff / t
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThresholdScheme;
+
+    /// 6 objects × 3 dims; dim 0 is compact for the first three objects,
+    /// dim 2 is compact for the last three, dim 1 is spread for everyone.
+    fn dataset() -> Dataset {
+        Dataset::from_rows(
+            6,
+            3,
+            vec![
+                1.0, 10.0, 90.0, //
+                1.2, 50.0, 10.0, //
+                0.8, 90.0, 50.0, //
+                9.0, 20.0, 70.0, //
+                9.2, 60.0, 70.2, //
+                8.8, 95.0, 69.8,
+            ],
+        )
+        .unwrap()
+    }
+
+    fn members(ids: &[usize]) -> Vec<ObjectId> {
+        ids.iter().map(|&i| ObjectId(i)).collect()
+    }
+
+    #[test]
+    fn fit_requires_members() {
+        let ds = dataset();
+        assert!(ClusterModel::fit(&ds, &[]).is_err());
+        let m = ClusterModel::fit(&ds, &members(&[0, 1, 2])).unwrap();
+        assert_eq!(m.size(), 3);
+        assert_eq!(m.n_dims(), 3);
+    }
+
+    #[test]
+    fn select_dims_picks_compact_dimensions() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::MFraction(0.5), &ds).unwrap();
+        let m0 = ClusterModel::fit(&ds, &members(&[0, 1, 2])).unwrap();
+        assert_eq!(m0.select_dims(&th), vec![DimId(0)]);
+        let m1 = ClusterModel::fit(&ds, &members(&[3, 4, 5])).unwrap();
+        assert_eq!(m1.select_dims(&th), vec![DimId(0), DimId(2)]);
+    }
+
+    #[test]
+    fn dim_score_positive_iff_selected() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::MFraction(0.5), &ds).unwrap();
+        let m = ClusterModel::fit(&ds, &members(&[0, 1, 2])).unwrap();
+        let selected = m.select_dims(&th);
+        for j in ds.dim_ids() {
+            let score = m.dim_score(j, &th);
+            if selected.contains(&j) {
+                assert!(score > 0.0, "selected {j} must score positive");
+            } else {
+                assert!(score <= 0.0, "unselected {j} must score non-positive");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_1_selected_set_maximizes_cluster_score() {
+        // Any other dimension set must not beat SelectDim's choice.
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::MFraction(0.6), &ds).unwrap();
+        let m = ClusterModel::fit(&ds, &members(&[3, 4, 5])).unwrap();
+        let best_dims = m.select_dims(&th);
+        let best = m.cluster_score(&best_dims, &th);
+        // Enumerate all 2³ subsets.
+        for mask in 0u32..8 {
+            let dims: Vec<DimId> = (0..3).filter(|b| mask >> b & 1 == 1).map(DimId).collect();
+            let score = m.cluster_score(&dims, &th);
+            assert!(
+                score <= best + 1e-12,
+                "subset {dims:?} scored {score} > best {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn better_dimension_contributes_more() {
+        // Tighter dimension (smaller dispersion) must have larger φᵢⱼ
+        // (design goal #2 in Sec. 3).
+        let ds = Dataset::from_rows(
+            4,
+            2,
+            vec![
+                0.0, 0.0, //
+                0.1, 1.0, //
+                0.2, 2.0, //
+                100.0, 100.0, // spreads the global variance
+            ],
+        )
+        .unwrap();
+        let th = Thresholds::new(ThresholdScheme::MFraction(1.0), &ds).unwrap();
+        let m = ClusterModel::fit(&ds, &members(&[0, 1, 2])).unwrap();
+        let tight = m.dim_score(DimId(0), &th);
+        let loose = m.dim_score(DimId(1), &th);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn singleton_cluster_scores_zero_everywhere() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::MFraction(0.5), &ds).unwrap();
+        let m = ClusterModel::fit(&ds, &members(&[2])).unwrap();
+        for j in ds.dim_ids() {
+            let s = m.dim_score(j, &th);
+            assert!(s == 0.0 || s.is_infinite() && s < 0.0);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_never_selected() {
+        let ds = Dataset::from_rows(3, 2, vec![1.0, 5.0, 2.0, 5.0, 3.0, 5.0]).unwrap();
+        let th = Thresholds::new(ThresholdScheme::MFraction(0.5), &ds).unwrap();
+        let m = ClusterModel::fit(&ds, &members(&[0, 1, 2])).unwrap();
+        let dims = m.select_dims(&th);
+        assert!(!dims.contains(&DimId(1)));
+        assert_eq!(m.dim_score(DimId(1), &th), f64::NEG_INFINITY);
+        // cluster_score treats the degenerate dimension as zero.
+        assert_eq!(m.cluster_score(&[DimId(1)], &th), 0.0);
+    }
+
+    #[test]
+    fn total_score_normalizes_by_nd() {
+        assert_eq!(total_score(&[6.0, 4.0], 5, 2), 1.0);
+        assert_eq!(total_score(&[], 5, 2), 0.0);
+        assert_eq!(total_score(&[1.0], 0, 2), 0.0);
+    }
+
+    #[test]
+    fn assignment_gain_prefers_nearby_objects() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::MFraction(0.5), &ds).unwrap();
+        let rep = ds.row(ObjectId(0)).to_vec();
+        let dims = [DimId(0)];
+        let near = assignment_gain(&ds, ObjectId(1), &rep, &dims, &th, 3);
+        let far = assignment_gain(&ds, ObjectId(3), &rep, &dims, &th, 3);
+        assert!(near > 0.0, "near object should improve the score");
+        assert!(far < 0.0, "far object should worsen the score");
+        assert!(near > far);
+    }
+
+    #[test]
+    fn assignment_gain_empty_dims_is_zero() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::MFraction(0.5), &ds).unwrap();
+        let rep = ds.row(ObjectId(0)).to_vec();
+        assert_eq!(assignment_gain(&ds, ObjectId(1), &rep, &[], &th, 3), 0.0);
+    }
+
+    #[test]
+    fn p_scheme_select_dims_also_picks_planted_dims() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::PValue(0.1), &ds).unwrap();
+        let m = ClusterModel::fit(&ds, &members(&[3, 4, 5])).unwrap();
+        let dims = m.select_dims(&th);
+        assert!(dims.contains(&DimId(0)));
+        assert!(dims.contains(&DimId(2)));
+        assert!(!dims.contains(&DimId(1)));
+    }
+}

@@ -1,0 +1,207 @@
+use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+
+/// Domain knowledge for a semi-supervised run: labeled objects (`Iᵒ`) and
+/// labeled dimensions (`Iᵛ`).
+///
+/// Labels refer to **classes** `0..k`; SSPC dedicates one cluster to each
+/// class that receives labels (its *private seed group*). Supervision may
+/// cover any subset of classes — the paper shows peak accuracy is often
+/// reached well below full coverage.
+///
+/// A dimension may be labeled relevant to several classes; an object may be
+/// labeled for only one (classes are disjoint).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Supervision {
+    labeled_objects: Vec<(ObjectId, ClusterId)>,
+    labeled_dims: Vec<(DimId, ClusterId)>,
+}
+
+impl Supervision {
+    /// No supervision — SSPC degenerates to its unsupervised form.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds supervision from raw label pairs.
+    pub fn new(
+        labeled_objects: Vec<(ObjectId, ClusterId)>,
+        labeled_dims: Vec<(DimId, ClusterId)>,
+    ) -> Self {
+        Supervision {
+            labeled_objects,
+            labeled_dims,
+        }
+    }
+
+    /// Adds one labeled object.
+    pub fn label_object(mut self, object: ObjectId, class: ClusterId) -> Self {
+        self.labeled_objects.push((object, class));
+        self
+    }
+
+    /// Adds one labeled dimension.
+    pub fn label_dim(mut self, dim: DimId, class: ClusterId) -> Self {
+        self.labeled_dims.push((dim, class));
+        self
+    }
+
+    /// All labeled objects.
+    pub fn labeled_objects(&self) -> &[(ObjectId, ClusterId)] {
+        &self.labeled_objects
+    }
+
+    /// All labeled dimensions.
+    pub fn labeled_dims(&self) -> &[(DimId, ClusterId)] {
+        &self.labeled_dims
+    }
+
+    /// True if no labels of either kind are present.
+    pub fn is_empty(&self) -> bool {
+        self.labeled_objects.is_empty() && self.labeled_dims.is_empty()
+    }
+
+    /// Labeled objects of one class (`Iᵒᵢ`).
+    pub fn objects_of(&self, class: ClusterId) -> Vec<ObjectId> {
+        self.labeled_objects
+            .iter()
+            .filter_map(|&(o, c)| (c == class).then_some(o))
+            .collect()
+    }
+
+    /// Labeled dimensions of one class (`Iᵛᵢ`).
+    pub fn dims_of(&self, class: ClusterId) -> Vec<DimId> {
+        self.labeled_dims
+            .iter()
+            .filter_map(|&(j, c)| (c == class).then_some(j))
+            .collect()
+    }
+
+    /// Checks the labels against a dataset and cluster count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSupervision`] if any object/dimension id is
+    /// out of range, any class label is `≥ k`, an object carries two
+    /// different class labels, or a (dim, class) pair repeats.
+    pub fn validate(&self, dataset: &Dataset, k: usize) -> Result<()> {
+        let mut object_class: std::collections::HashMap<ObjectId, ClusterId> =
+            std::collections::HashMap::new();
+        for &(o, c) in &self.labeled_objects {
+            if o.index() >= dataset.n_objects() {
+                return Err(Error::InvalidSupervision(format!(
+                    "labeled object {o} out of range (n = {})",
+                    dataset.n_objects()
+                )));
+            }
+            if c.index() >= k {
+                return Err(Error::InvalidSupervision(format!(
+                    "labeled object {o} names class {c}, but k = {k}"
+                )));
+            }
+            if let Some(prev) = object_class.insert(o, c) {
+                if prev != c {
+                    return Err(Error::InvalidSupervision(format!(
+                        "object {o} labeled with two classes ({prev} and {c})"
+                    )));
+                }
+            }
+        }
+        let mut seen_dim_pairs = std::collections::HashSet::new();
+        for &(j, c) in &self.labeled_dims {
+            if j.index() >= dataset.n_dims() {
+                return Err(Error::InvalidSupervision(format!(
+                    "labeled dimension {j} out of range (d = {})",
+                    dataset.n_dims()
+                )));
+            }
+            if c.index() >= k {
+                return Err(Error::InvalidSupervision(format!(
+                    "labeled dimension {j} names class {c}, but k = {k}"
+                )));
+            }
+            if !seen_dim_pairs.insert((j, c)) {
+                return Err(Error::InvalidSupervision(format!(
+                    "dimension {j} labeled twice for class {c}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_ok() -> Dataset {
+        Dataset::from_rows(
+            4,
+            3,
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let s = Supervision::none()
+            .label_object(ObjectId(0), ClusterId(1))
+            .label_object(ObjectId(2), ClusterId(1))
+            .label_dim(DimId(0), ClusterId(0));
+        assert_eq!(s.labeled_objects().len(), 2);
+        assert_eq!(s.labeled_dims().len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.objects_of(ClusterId(1)), vec![ObjectId(0), ObjectId(2)]);
+        assert!(s.objects_of(ClusterId(0)).is_empty());
+        assert_eq!(s.dims_of(ClusterId(0)), vec![DimId(0)]);
+    }
+
+    #[test]
+    fn none_is_empty_and_valid() {
+        let s = Supervision::none();
+        assert!(s.is_empty());
+        s.validate(&dataset_ok(), 2).unwrap();
+    }
+
+    #[test]
+    fn validates_ranges() {
+        let ds = dataset_ok();
+        let s = Supervision::none().label_object(ObjectId(10), ClusterId(0));
+        assert!(s.validate(&ds, 2).is_err());
+        let s = Supervision::none().label_object(ObjectId(0), ClusterId(5));
+        assert!(s.validate(&ds, 2).is_err());
+        let s = Supervision::none().label_dim(DimId(7), ClusterId(0));
+        assert!(s.validate(&ds, 2).is_err());
+        let s = Supervision::none().label_dim(DimId(0), ClusterId(2));
+        assert!(s.validate(&ds, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_contradictory_object_labels() {
+        let ds = dataset_ok();
+        let s = Supervision::none()
+            .label_object(ObjectId(0), ClusterId(0))
+            .label_object(ObjectId(0), ClusterId(1));
+        assert!(s.validate(&ds, 2).is_err());
+        // Duplicate identical labels are tolerated.
+        let s = Supervision::none()
+            .label_object(ObjectId(0), ClusterId(0))
+            .label_object(ObjectId(0), ClusterId(0));
+        assert!(s.validate(&ds, 2).is_ok());
+    }
+
+    #[test]
+    fn dim_relevant_to_multiple_classes_is_fine_but_exact_dup_is_not() {
+        let ds = dataset_ok();
+        let s = Supervision::none()
+            .label_dim(DimId(1), ClusterId(0))
+            .label_dim(DimId(1), ClusterId(1));
+        assert!(s.validate(&ds, 2).is_ok());
+        let s = Supervision::none()
+            .label_dim(DimId(1), ClusterId(0))
+            .label_dim(DimId(1), ClusterId(0));
+        assert!(s.validate(&ds, 2).is_err());
+    }
+}

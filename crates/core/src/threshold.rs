@@ -1,0 +1,206 @@
+use sspc_common::stats::ChiSquared;
+use sspc_common::{Dataset, DimId, Error, Result};
+
+/// The two schemes from paper Sec. 4.1 for setting the selection threshold
+/// `ŝ²ᵢⱼ` — the variance level below which a dimension counts as relevant
+/// to a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdScheme {
+    /// `ŝ²ᵢⱼ = m · s²ⱼ` for a user parameter `m ∈ (0, 1]`. Generic: makes
+    /// no assumption about the global population. Smaller `m` tightens the
+    /// selection criterion.
+    MFraction(f64),
+    /// Probabilistic scheme: the user bounds by `p ∈ (0, 1)` the chance
+    /// that a dimension **irrelevant** to a cluster is selected. Assuming
+    /// Gaussian global populations, `(nᵢ−1)·s²ᵢⱼ/σ²ⱼ ~ χ²(nᵢ−1)`, so
+    ///
+    /// ```text
+    /// ŝ²ᵢⱼ = s²ⱼ · χ²⁻¹(p; nᵢ−1) / (nᵢ−1)
+    /// ```
+    ///
+    /// The threshold now depends on the cluster size `nᵢ`, so it adapts:
+    /// small clusters (whose sample variances scatter widely) get stricter
+    /// thresholds for the same `p`.
+    PValue(f64),
+}
+
+impl ThresholdScheme {
+    /// Validates the scheme's parameter domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for `m ∉ (0, 1]` or `p ∉ (0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            ThresholdScheme::MFraction(m) => {
+                if !(m > 0.0 && m <= 1.0) {
+                    return Err(Error::InvalidParameter(format!(
+                        "m must be in (0, 1], got {m}"
+                    )));
+                }
+            }
+            ThresholdScheme::PValue(p) => {
+                if !(p > 0.0 && p < 1.0) {
+                    return Err(Error::InvalidParameter(format!(
+                        "p must be in (0, 1), got {p}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Precomputed threshold provider for one dataset.
+///
+/// Caches the global variances `s²ⱼ` and, for the `p`-scheme, memoizes the
+/// per-cluster-size chi-square factor `χ²⁻¹(p; n−1)/(n−1)` — the factor
+/// depends only on the cluster size, and cluster sizes repeat heavily
+/// across iterations.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    scheme: ThresholdScheme,
+    global_var: Vec<f64>,
+    /// `chi_factor[n] = χ²⁻¹(p; n−1)/(n−1)` for the p-scheme, lazily filled.
+    /// Index 0 and 1 are unused (clusters of size < 2 select trivially).
+    chi_factor: std::cell::RefCell<Vec<f64>>,
+}
+
+impl Thresholds {
+    /// Builds the provider for a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThresholdScheme::validate`] failures.
+    pub fn new(scheme: ThresholdScheme, dataset: &Dataset) -> Result<Self> {
+        scheme.validate()?;
+        let global_var: Vec<f64> = dataset
+            .dim_ids()
+            .map(|j| dataset.global_variance(j))
+            .collect();
+        Ok(Thresholds {
+            scheme,
+            global_var,
+            chi_factor: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// The scheme in force.
+    pub fn scheme(&self) -> ThresholdScheme {
+        self.scheme
+    }
+
+    /// The selection threshold `ŝ²ᵢⱼ` for a cluster of `cluster_size`
+    /// objects on dimension `j`.
+    ///
+    /// For the `m`-scheme the size is ignored. For the `p`-scheme,
+    /// `cluster_size < 2` falls back to the factor at size 2 (one degree of
+    /// freedom) — the strictest well-defined setting.
+    pub fn threshold(&self, cluster_size: usize, j: DimId) -> f64 {
+        let s2j = self.global_var[j.index()];
+        match self.scheme {
+            ThresholdScheme::MFraction(m) => m * s2j,
+            ThresholdScheme::PValue(p) => {
+                let size = cluster_size.max(2);
+                s2j * self.chi_factor(size, p)
+            }
+        }
+    }
+
+    fn chi_factor(&self, size: usize, p: f64) -> f64 {
+        {
+            let cache = self.chi_factor.borrow();
+            if let Some(&f) = cache.get(size) {
+                if f > 0.0 {
+                    return f;
+                }
+            }
+        }
+        let dof = (size - 1) as f64;
+        // ChiSquared::new / quantile can only fail on invalid parameters,
+        // which `validate` has excluded; fall back to the m=1 behaviour on
+        // a numeric failure rather than aborting a long experiment.
+        let factor = ChiSquared::new(dof)
+            .and_then(|chi| chi.quantile(p))
+            .map(|q| q / dof)
+            .unwrap_or(1.0);
+        let mut cache = self.chi_factor.borrow_mut();
+        if cache.len() <= size {
+            cache.resize(size + 1, 0.0);
+        }
+        cache[size] = factor;
+        factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sspc_common::Dataset;
+
+    fn dataset() -> Dataset {
+        // dim 0 variance: values 0,2,4,6 → var = 20/3; dim 1 constant.
+        Dataset::from_rows(4, 2, vec![0.0, 5.0, 2.0, 5.0, 4.0, 5.0, 6.0, 5.0]).unwrap()
+    }
+
+    #[test]
+    fn m_scheme_scales_global_variance() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::MFraction(0.5), &ds).unwrap();
+        let s2 = ds.global_variance(DimId(0));
+        assert!((th.threshold(10, DimId(0)) - 0.5 * s2).abs() < 1e-12);
+        // Cluster size must not matter for the m-scheme.
+        assert_eq!(th.threshold(2, DimId(0)), th.threshold(100, DimId(0)));
+        // Constant dimension → zero threshold.
+        assert_eq!(th.threshold(10, DimId(1)), 0.0);
+    }
+
+    #[test]
+    fn p_scheme_threshold_is_below_global_variance_for_small_p() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::PValue(0.01), &ds).unwrap();
+        let s2 = ds.global_variance(DimId(0));
+        for size in [3, 10, 50] {
+            let t = th.threshold(size, DimId(0));
+            assert!(t > 0.0 && t < s2, "size {size}: threshold {t} vs s² {s2}");
+        }
+    }
+
+    #[test]
+    fn p_scheme_threshold_grows_with_cluster_size() {
+        // χ²(ν)/ν concentrates around 1 as ν grows, so for fixed small p the
+        // factor increases towards 1 with cluster size.
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::PValue(0.05), &ds).unwrap();
+        let t_small = th.threshold(3, DimId(0));
+        let t_big = th.threshold(200, DimId(0));
+        assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn p_scheme_memoization_is_consistent() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::PValue(0.1), &ds).unwrap();
+        let first = th.threshold(17, DimId(0));
+        let second = th.threshold(17, DimId(0));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn tiny_clusters_fall_back_to_dof_one() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::PValue(0.05), &ds).unwrap();
+        assert_eq!(th.threshold(0, DimId(0)), th.threshold(2, DimId(0)));
+        assert_eq!(th.threshold(1, DimId(0)), th.threshold(2, DimId(0)));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let ds = dataset();
+        assert!(Thresholds::new(ThresholdScheme::MFraction(0.0), &ds).is_err());
+        assert!(Thresholds::new(ThresholdScheme::MFraction(1.5), &ds).is_err());
+        assert!(Thresholds::new(ThresholdScheme::PValue(0.0), &ds).is_err());
+        assert!(Thresholds::new(ThresholdScheme::PValue(1.0), &ds).is_err());
+        assert!(ThresholdScheme::MFraction(1.0).validate().is_ok());
+    }
+}

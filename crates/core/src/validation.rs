@@ -1,0 +1,405 @@
+//! Validation of possibly-incorrect supervision — the first future
+//! extension named in the paper's Sec. 6: *"When inputs could be incorrect,
+//! they have to be validated before being used to guide the clustering
+//! process, for example by comparing the assumed data model and the
+//! observed data values."*
+//!
+//! The checks here do exactly that comparison:
+//!
+//! * a **labeled object** should agree with its class's other labeled
+//!   objects in the subspace those objects share — a mislabeled object
+//!   sits far from the labeled median along the dimensions the rest of the
+//!   group is tight in;
+//! * a **labeled dimension** should be tight across the class's labeled
+//!   objects (when present), or at least show a density peak somewhere
+//!   (some cluster concentrates on it) when no labeled objects exist.
+//!
+//! [`validate_supervision`] returns a [`ValidationReport`] listing each
+//! label with a verdict; [`ValidationReport::cleaned`] drops the rejected
+//! labels so the result can be fed straight into [`crate::Sspc::run`].
+
+use crate::{Supervision, Thresholds};
+use sspc_common::stats::Summary;
+use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+
+/// Verdict for one label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The label is consistent with the data model.
+    Accepted,
+    /// The label contradicts the data model and should not guide clustering.
+    Rejected,
+    /// Not enough corroborating information to judge (kept by default).
+    Undecided,
+}
+
+/// Validation outcome for every supplied label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// One verdict per labeled object, in input order.
+    pub object_verdicts: Vec<(ObjectId, ClusterId, Verdict)>,
+    /// One verdict per labeled dimension, in input order.
+    pub dim_verdicts: Vec<(DimId, ClusterId, Verdict)>,
+}
+
+impl ValidationReport {
+    /// The supervision with rejected labels removed (undecided labels are
+    /// kept — the paper's stance is to use available knowledge unless it
+    /// demonstrably contradicts the data).
+    pub fn cleaned(&self) -> Supervision {
+        let objects = self
+            .object_verdicts
+            .iter()
+            .filter(|(_, _, v)| *v != Verdict::Rejected)
+            .map(|&(o, c, _)| (o, c))
+            .collect();
+        let dims = self
+            .dim_verdicts
+            .iter()
+            .filter(|(_, _, v)| *v != Verdict::Rejected)
+            .map(|&(j, c, _)| (j, c))
+            .collect();
+        Supervision::new(objects, dims)
+    }
+
+    /// Number of rejected labels (objects + dimensions).
+    pub fn n_rejected(&self) -> usize {
+        self.object_verdicts
+            .iter()
+            .filter(|(_, _, v)| *v == Verdict::Rejected)
+            .count()
+            + self
+                .dim_verdicts
+                .iter()
+                .filter(|(_, _, v)| *v == Verdict::Rejected)
+                .count()
+    }
+}
+
+/// Tuning for the validators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationParams {
+    /// A labeled object is rejected when its **median** squared deviation
+    /// from the labeled median — in units of the peer group's own
+    /// dispersion, over the dimensions the peers are tight in — exceeds
+    /// this factor. Genuine members score ~1; mislabeled objects score at
+    /// the global-to-local variance ratio (tens to hundreds).
+    pub outlier_factor: f64,
+    /// `p`-scheme bound used for the internal SelectDim on labeled groups
+    /// (matches [`crate::SspcParams::init_p`]'s default).
+    pub p: f64,
+    /// Histogram bins for the no-labeled-objects dimension check.
+    pub bins: usize,
+    /// A labeled dimension with no labeled objects is rejected when its
+    /// histogram peak is below `peak_factor ×` the uniform expectation
+    /// (i.e. no cluster concentrates anywhere on it).
+    pub peak_factor: f64,
+}
+
+impl Default for ValidationParams {
+    fn default() -> Self {
+        ValidationParams {
+            outlier_factor: 8.0,
+            p: 0.01,
+            bins: 5,
+            peak_factor: 1.5,
+        }
+    }
+}
+
+/// Validates every label against the dataset.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSupervision`] for out-of-range labels (the same
+/// checks as [`Supervision::validate`] with `k` = max label + 1), and
+/// [`Error::InvalidParameter`] for out-of-domain [`ValidationParams`].
+pub fn validate_supervision(
+    dataset: &Dataset,
+    supervision: &Supervision,
+    params: &ValidationParams,
+) -> Result<ValidationReport> {
+    if !(params.p > 0.0 && params.p < 1.0) || params.outlier_factor <= 0.0 {
+        return Err(Error::InvalidParameter(
+            "validation params out of domain".into(),
+        ));
+    }
+    if params.bins < 2 || params.peak_factor <= 0.0 {
+        return Err(Error::InvalidParameter(
+            "validation params out of domain".into(),
+        ));
+    }
+    let max_class = supervision
+        .labeled_objects()
+        .iter()
+        .map(|&(_, c)| c.index())
+        .chain(supervision.labeled_dims().iter().map(|&(_, c)| c.index()))
+        .max()
+        .map_or(0, |m| m + 1);
+    supervision.validate(dataset, max_class.max(1))?;
+
+    let thresholds = Thresholds::new(crate::ThresholdScheme::PValue(params.p), dataset)?;
+
+    let mut object_verdicts = Vec::with_capacity(supervision.labeled_objects().len());
+    for &(o, class) in supervision.labeled_objects() {
+        let verdict = judge_object(dataset, supervision, &thresholds, params, o, class);
+        object_verdicts.push((o, class, verdict));
+    }
+    let mut dim_verdicts = Vec::with_capacity(supervision.labeled_dims().len());
+    for &(j, class) in supervision.labeled_dims() {
+        let verdict = judge_dim(dataset, supervision, &thresholds, params, j, class);
+        dim_verdicts.push((j, class, verdict));
+    }
+    Ok(ValidationReport {
+        object_verdicts,
+        dim_verdicts,
+    })
+}
+
+/// Leave-one-out agreement of a labeled object with its labeled peers.
+fn judge_object(
+    dataset: &Dataset,
+    supervision: &Supervision,
+    thresholds: &Thresholds,
+    params: &ValidationParams,
+    o: ObjectId,
+    class: ClusterId,
+) -> Verdict {
+    let peers: Vec<ObjectId> = supervision
+        .objects_of(class)
+        .into_iter()
+        .filter(|&p| p != o)
+        .collect();
+    if peers.len() < 2 {
+        return Verdict::Undecided;
+    }
+    // Dimensions the peer group is tight in: per-dimension dispersion vs
+    // the p-scheme threshold (same criterion as SelectDim). For each such
+    // dimension, the object's squared deviation from the peer median is
+    // normalized by the peers' own dispersion (floored — a tiny peer
+    // sample can have near-zero dispersion by luck). Each ratio follows a
+    // heavy-tailed F-like law for genuine members, so the robust summary
+    // is the **median** ratio: ~1 for genuine members, the global-to-local
+    // variance ratio (tens to hundreds) for mislabeled objects.
+    let mut buf = vec![0.0f64; peers.len()];
+    let mut ratios: Vec<f64> = Vec::new();
+    for j in dataset.dim_ids() {
+        for (slot, &p) in buf.iter_mut().zip(peers.iter()) {
+            *slot = dataset.value(p, j);
+        }
+        let summary = match Summary::from_values(&mut buf) {
+            Ok(s) => s,
+            Err(_) => return Verdict::Undecided,
+        };
+        let t = thresholds.threshold(peers.len(), j);
+        let dispersion = summary.median_dispersion();
+        if t <= 0.0 || dispersion >= t {
+            continue; // peers not tight here — dimension carries no signal
+        }
+        let dev = dataset.value(o, j) - summary.median;
+        ratios.push(dev * dev / dispersion.max(0.05 * t));
+    }
+    if ratios.is_empty() {
+        return Verdict::Undecided;
+    }
+    let median_ratio = sspc_common::stats::median_in_place(&mut ratios);
+    if median_ratio > params.outlier_factor {
+        Verdict::Rejected
+    } else {
+        Verdict::Accepted
+    }
+}
+
+/// A labeled dimension must be tight across the class's labeled objects,
+/// or — without labeled objects — show a density peak somewhere.
+fn judge_dim(
+    dataset: &Dataset,
+    supervision: &Supervision,
+    thresholds: &Thresholds,
+    params: &ValidationParams,
+    j: DimId,
+    class: ClusterId,
+) -> Verdict {
+    let objects = supervision.objects_of(class);
+    if objects.len() >= 2 {
+        let mut buf: Vec<f64> = objects.iter().map(|&o| dataset.value(o, j)).collect();
+        let summary = match Summary::from_values(&mut buf) {
+            Ok(s) => s,
+            Err(_) => return Verdict::Undecided,
+        };
+        let t = thresholds.threshold(objects.len(), j);
+        if t <= 0.0 {
+            return Verdict::Undecided;
+        }
+        return if summary.median_dispersion() < t * params.outlier_factor {
+            Verdict::Accepted
+        } else {
+            Verdict::Rejected
+        };
+    }
+    // No labeled objects: does any cluster concentrate on this dimension?
+    let n = dataset.n_objects();
+    let lo = dataset.global_min(j);
+    let range = dataset.global_range(j);
+    if range <= 0.0 {
+        return Verdict::Rejected; // constant dimension cannot be relevant
+    }
+    let mut counts = vec![0usize; params.bins];
+    for v in dataset.column(j) {
+        let bin = (((v - lo) / range * params.bins as f64).floor() as usize)
+            .min(params.bins - 1);
+        counts[bin] += 1;
+    }
+    let peak = *counts.iter().max().expect("bins >= 2") as f64;
+    let expected = n as f64 / params.bins as f64;
+    // The check is one-sided and deliberately lenient: relevance to *some*
+    // class shows as a peak, but a small class's peak is shallow.
+    if peak >= params.peak_factor * expected {
+        Verdict::Accepted
+    } else {
+        Verdict::Undecided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sspc_common::rng::seeded_rng;
+
+    /// 40 objects × 10 dims: class 0 = objects 0..20, tight on dims 0–2.
+    fn planted() -> Dataset {
+        let mut rng = seeded_rng(7);
+        let n = 40;
+        let d = 10;
+        let mut values = vec![0.0; n * d];
+        for v in values.iter_mut() {
+            *v = rng.gen_range(0.0..100.0);
+        }
+        for o in 0..20 {
+            for (dim, center) in [(0, 30.0), (1, 60.0), (2, 80.0)] {
+                values[o * d + dim] = center + rng.gen_range(-1.0..1.0);
+            }
+        }
+        Dataset::from_rows(n, d, values).unwrap()
+    }
+
+    fn class0_objects(ids: &[usize]) -> Supervision {
+        let mut s = Supervision::none();
+        for &i in ids {
+            s = s.label_object(ObjectId(i), ClusterId(0));
+        }
+        s
+    }
+
+    #[test]
+    fn correct_object_labels_are_accepted() {
+        let ds = planted();
+        let sup = class0_objects(&[0, 1, 2, 3, 4]);
+        let report = validate_supervision(&ds, &sup, &ValidationParams::default()).unwrap();
+        assert_eq!(report.n_rejected(), 0);
+        assert!(report
+            .object_verdicts
+            .iter()
+            .all(|(_, _, v)| *v == Verdict::Accepted));
+    }
+
+    #[test]
+    fn mislabeled_object_is_rejected() {
+        let ds = planted();
+        // Object 30 belongs to the background, not class 0.
+        let sup = class0_objects(&[0, 1, 2, 3, 30]);
+        let report = validate_supervision(&ds, &sup, &ValidationParams::default()).unwrap();
+        let bad = report
+            .object_verdicts
+            .iter()
+            .find(|(o, _, _)| *o == ObjectId(30))
+            .unwrap();
+        assert_eq!(bad.2, Verdict::Rejected);
+        // The genuine labels survive.
+        let good_rejections = report
+            .object_verdicts
+            .iter()
+            .filter(|(o, _, v)| *o != ObjectId(30) && *v == Verdict::Rejected)
+            .count();
+        assert_eq!(good_rejections, 0);
+        // cleaned() drops exactly the bad one.
+        let cleaned = report.cleaned();
+        assert_eq!(cleaned.labeled_objects().len(), 4);
+    }
+
+    #[test]
+    fn correct_dim_labels_accepted_and_wrong_rejected() {
+        let ds = planted();
+        let sup = class0_objects(&[0, 1, 2, 3])
+            .label_dim(DimId(0), ClusterId(0)) // truly relevant
+            .label_dim(DimId(7), ClusterId(0)); // noise dimension
+        let report = validate_supervision(&ds, &sup, &ValidationParams::default()).unwrap();
+        let verdict_of = |j: usize| {
+            report
+                .dim_verdicts
+                .iter()
+                .find(|(d, _, _)| *d == DimId(j))
+                .unwrap()
+                .2
+        };
+        assert_eq!(verdict_of(0), Verdict::Accepted);
+        assert_eq!(verdict_of(7), Verdict::Rejected);
+    }
+
+    #[test]
+    fn dim_without_labeled_objects_uses_density_peak() {
+        let ds = planted();
+        // Class 1 has no labeled objects; dim 0 has a genuine peak (class 0
+        // concentrates there), dim 9 is uniform noise.
+        let sup = Supervision::none()
+            .label_dim(DimId(0), ClusterId(1))
+            .label_dim(DimId(9), ClusterId(1));
+        let report = validate_supervision(&ds, &sup, &ValidationParams::default()).unwrap();
+        assert_eq!(report.dim_verdicts[0].2, Verdict::Accepted);
+        // The noise dim is at best undecided, never accepted.
+        assert_ne!(report.dim_verdicts[1].2, Verdict::Accepted);
+    }
+
+    #[test]
+    fn constant_dimension_label_is_rejected() {
+        let ds = Dataset::from_rows(10, 2, {
+            let mut v = Vec::new();
+            for i in 0..10 {
+                v.push(i as f64); // dim 0 varies
+                v.push(5.0); // dim 1 constant
+            }
+            v
+        })
+        .unwrap();
+        let sup = Supervision::none().label_dim(DimId(1), ClusterId(0));
+        let report = validate_supervision(&ds, &sup, &ValidationParams::default()).unwrap();
+        assert_eq!(report.dim_verdicts[0].2, Verdict::Rejected);
+    }
+
+    #[test]
+    fn tiny_groups_are_undecided() {
+        let ds = planted();
+        let sup = class0_objects(&[0, 1]); // leave-one-out leaves 1 peer
+        let report = validate_supervision(&ds, &sup, &ValidationParams::default()).unwrap();
+        assert!(report
+            .object_verdicts
+            .iter()
+            .all(|(_, _, v)| *v == Verdict::Undecided));
+        // Undecided labels are kept by cleaned().
+        assert_eq!(report.cleaned().labeled_objects().len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_params_and_labels() {
+        let ds = planted();
+        let sup = class0_objects(&[0, 1, 2]);
+        let bad = ValidationParams {
+            p: 0.0,
+            ..Default::default()
+        };
+        assert!(validate_supervision(&ds, &sup, &bad).is_err());
+        let sup = Supervision::none().label_object(ObjectId(999), ClusterId(0));
+        assert!(validate_supervision(&ds, &sup, &ValidationParams::default()).is_err());
+    }
+}

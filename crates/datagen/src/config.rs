@@ -1,0 +1,244 @@
+use sspc_common::{Error, Result};
+
+/// The family of the per-dimension global distribution.
+///
+/// The paper's experiments use **uniform** globals (Sec. 5.1) even though
+/// the `p`-scheme's derivation assumes Gaussian ones — and reports the
+/// surprising observation that the `p`-scheme still works. The Gaussian
+/// option lets the ablation harness test the scheme under its stated
+/// assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GlobalDistribution {
+    /// Uniform over `[global_min, global_max]` (the paper's choice).
+    #[default]
+    Uniform,
+    /// Gaussian centered at mid-range with standard deviation
+    /// `range / 6` (so ±3σ spans the box), clamped to the box.
+    Gaussian,
+}
+
+/// Configuration of the synthetic data model (paper Sec. 3 / Sec. 5).
+///
+/// Defaults reproduce the paper's first experiment family
+/// (`n = 1000`, `d = 100`, `k = 5`), with the local-to-global spread
+/// matching the described 1–10 % range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of objects, including outliers.
+    pub n: usize,
+    /// Number of dimensions.
+    pub d: usize,
+    /// Number of hidden classes.
+    pub k: usize,
+    /// Average number of relevant dimensions per class (`l_real`).
+    pub avg_cluster_dims: usize,
+    /// Half-width of the per-class jitter on the relevant-dimension count:
+    /// class `i` gets `avg_cluster_dims ± U{0..=dim_jitter}` dimensions
+    /// (clamped to `[2, d]`). `0` means every class has exactly
+    /// `avg_cluster_dims` relevant dimensions.
+    pub dim_jitter: usize,
+    /// Fraction of objects that are outliers (uniform noise on every
+    /// dimension), in `[0, 1)`.
+    pub outlier_fraction: f64,
+    /// Low end of the global uniform distribution on each dimension.
+    pub global_min: f64,
+    /// High end of the global uniform distribution on each dimension.
+    pub global_max: f64,
+    /// Minimum local standard deviation, as a fraction of the global range.
+    pub local_sd_frac_min: f64,
+    /// Maximum local standard deviation, as a fraction of the global range.
+    pub local_sd_frac_max: f64,
+    /// Cluster-size imbalance: sizes are proportional to
+    /// `1 + U(0, size_imbalance)`. `0` gives (near-)equal sizes.
+    pub size_imbalance: f64,
+    /// Family of the global (background) distribution per dimension.
+    pub global_distribution: GlobalDistribution,
+    /// Fraction of each cluster's relevant dimensions inherited from the
+    /// previous cluster's, in `[0, 1)`. The PROCLUS/ORCLUS synthetic
+    /// generators (which the paper cites as its template, refs. [1] and
+    /// [24]) share about half the dimensions between consecutive clusters;
+    /// `0` (the default) draws each cluster's dimensions independently.
+    pub shared_dim_fraction: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            n: 1000,
+            d: 100,
+            k: 5,
+            avg_cluster_dims: 10,
+            dim_jitter: 0,
+            outlier_fraction: 0.0,
+            global_min: 0.0,
+            global_max: 100.0,
+            local_sd_frac_min: 0.01,
+            local_sd_frac_max: 0.10,
+            size_imbalance: 0.2,
+            global_distribution: GlobalDistribution::Uniform,
+            shared_dim_fraction: 0.0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] / [`Error::InvalidShape`] when a
+    /// field is outside its documented domain or the fields are mutually
+    /// inconsistent (e.g. more clusters than non-outlier objects).
+    pub fn validate(&self) -> Result<()> {
+        if self.n == 0 || self.d == 0 || self.k == 0 {
+            return Err(Error::InvalidShape(format!(
+                "n, d, k must be positive, got n={}, d={}, k={}",
+                self.n, self.d, self.k
+            )));
+        }
+        if self.avg_cluster_dims < 2 || self.avg_cluster_dims > self.d {
+            return Err(Error::InvalidParameter(format!(
+                "avg_cluster_dims must be in [2, d={}], got {}",
+                self.d, self.avg_cluster_dims
+            )));
+        }
+        if !(0.0..1.0).contains(&self.outlier_fraction) {
+            return Err(Error::InvalidParameter(format!(
+                "outlier_fraction must be in [0, 1), got {}",
+                self.outlier_fraction
+            )));
+        }
+        let clustered = self.n - (self.n as f64 * self.outlier_fraction).round() as usize;
+        if clustered < self.k * 2 {
+            return Err(Error::InvalidShape(format!(
+                "need at least 2 non-outlier objects per cluster: {} clustered objects for k={}",
+                clustered, self.k
+            )));
+        }
+        if !(self.global_max > self.global_min) {
+            return Err(Error::InvalidParameter(format!(
+                "global range must be non-empty, got [{}, {}]",
+                self.global_min, self.global_max
+            )));
+        }
+        if !(self.local_sd_frac_min > 0.0)
+            || self.local_sd_frac_max < self.local_sd_frac_min
+            || self.local_sd_frac_max >= 0.5
+        {
+            return Err(Error::InvalidParameter(format!(
+                "local sd fractions must satisfy 0 < min <= max < 0.5, got [{}, {}]",
+                self.local_sd_frac_min, self.local_sd_frac_max
+            )));
+        }
+        if self.size_imbalance < 0.0 || !self.size_imbalance.is_finite() {
+            return Err(Error::InvalidParameter(format!(
+                "size_imbalance must be finite and >= 0, got {}",
+                self.size_imbalance
+            )));
+        }
+        if !(0.0..1.0).contains(&self.shared_dim_fraction) {
+            return Err(Error::InvalidParameter(format!(
+                "shared_dim_fraction must be in [0, 1), got {}",
+                self.shared_dim_fraction
+            )));
+        }
+        Ok(())
+    }
+
+    /// The global value range (`global_max − global_min`).
+    pub fn global_range(&self) -> f64 {
+        self.global_max - self.global_min
+    }
+
+    /// Number of outlier objects implied by `n` and `outlier_fraction`.
+    pub fn n_outliers(&self) -> usize {
+        (self.n as f64 * self.outlier_fraction).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        GeneratorConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_sizes() {
+        for (n, d, k) in [(0, 10, 2), (10, 0, 2), (10, 10, 0)] {
+            let cfg = GeneratorConfig {
+                n,
+                d,
+                k,
+                ..Default::default()
+            };
+            assert!(cfg.validate().is_err(), "n={n} d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_cluster_dims() {
+        let mut cfg = GeneratorConfig::default();
+        cfg.avg_cluster_dims = 1;
+        assert!(cfg.validate().is_err());
+        cfg.avg_cluster_dims = cfg.d + 1;
+        assert!(cfg.validate().is_err());
+        cfg.avg_cluster_dims = cfg.d;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_outlier_fraction() {
+        let mut cfg = GeneratorConfig::default();
+        cfg.outlier_fraction = 1.0;
+        assert!(cfg.validate().is_err());
+        cfg.outlier_fraction = -0.1;
+        assert!(cfg.validate().is_err());
+        cfg.outlier_fraction = 0.25;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_too_many_clusters_for_objects() {
+        let cfg = GeneratorConfig {
+            n: 8,
+            k: 5,
+            d: 10,
+            avg_cluster_dims: 3,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_ranges_and_sd() {
+        let mut cfg = GeneratorConfig::default();
+        cfg.global_max = cfg.global_min;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = GeneratorConfig::default();
+        cfg.local_sd_frac_min = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = GeneratorConfig::default();
+        cfg.local_sd_frac_max = 0.6;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = GeneratorConfig::default();
+        cfg.local_sd_frac_min = 0.2;
+        cfg.local_sd_frac_max = 0.1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn outlier_count_rounds() {
+        let cfg = GeneratorConfig {
+            n: 150,
+            outlier_fraction: 0.1,
+            ..Default::default()
+        };
+        assert_eq!(cfg.n_outliers(), 15);
+    }
+}

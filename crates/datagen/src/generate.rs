@@ -1,0 +1,403 @@
+use crate::config::GlobalDistribution;
+use crate::{GeneratorConfig, GroundTruth};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sspc_common::rng::{sample_indices, seeded_rng, standard_normal};
+use sspc_common::{ClusterId, Dataset, DimId, Result};
+
+/// One draw from the configured global distribution, inside the box.
+fn global_sample(rng: &mut StdRng, config: &GeneratorConfig) -> f64 {
+    match config.global_distribution {
+        GlobalDistribution::Uniform => rng.gen_range(config.global_min..config.global_max),
+        GlobalDistribution::Gaussian => {
+            let mid = 0.5 * (config.global_min + config.global_max);
+            let sd = config.global_range() / 6.0;
+            (mid + sd * standard_normal(rng)).clamp(config.global_min, config.global_max)
+        }
+    }
+}
+
+/// A generated dataset together with its hidden structure.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// The dataset handed to clustering algorithms.
+    pub dataset: Dataset,
+    /// What the generator actually planted — used only for evaluation and
+    /// for drawing supervision.
+    pub truth: GroundTruth,
+}
+
+/// Generates a dataset following the paper's data model (Sec. 3), with the
+/// Sec. 5 instantiation: uniform global distributions per dimension and
+/// Gaussian local distributions whose standard deviation is a per-
+/// (class, dimension) draw from
+/// `[local_sd_frac_min, local_sd_frac_max] × global range`.
+///
+/// The generation recipe, for a validated [`GeneratorConfig`]:
+///
+/// 1. Split `n` into `n_outliers` outliers and `k` cluster sizes
+///    proportional to `1 + U(0, size_imbalance)` (each at least 2).
+/// 2. For every class, draw its relevant-dimension count
+///    (`avg_cluster_dims ± U{0..=dim_jitter}`) and then the dimensions,
+///    uniformly without replacement. Distinct classes may share dimensions,
+///    as in the paper's model where a dimension is relevant to a subset
+///    `Rⱼ` of clusters.
+/// 3. For every (class, relevant dimension), draw a Gaussian center far
+///    enough from the range limits that ±2 SD stays inside the global
+///    range, keeping the local population inside the data bounding box.
+/// 4. Emit member rows (local Gaussian on relevant dimensions, global
+///    uniform elsewhere), then outlier rows (uniform everywhere), then
+///    shuffle rows so class members are not contiguous.
+///
+/// Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates [`GeneratorConfig::validate`] failures.
+pub fn generate(config: &GeneratorConfig, seed: u64) -> Result<GeneratedData> {
+    config.validate()?;
+    let mut rng = seeded_rng(seed);
+    let n_out = config.n_outliers();
+    let n_clustered = config.n - n_out;
+
+    // 1. Cluster sizes.
+    let sizes = cluster_sizes(&mut rng, n_clustered, config.k, config.size_imbalance);
+
+    // 2. Relevant dimensions per class. With `shared_dim_fraction > 0`,
+    // each class first inherits a sample of the previous class's
+    // dimensions (the PROCLUS-style chaining) and draws the rest fresh.
+    let mut relevant: Vec<Vec<DimId>> = Vec::with_capacity(config.k);
+    for class in 0..config.k {
+        let jitter = if config.dim_jitter > 0 {
+            rng.gen_range(0..=(2 * config.dim_jitter)) as i64 - config.dim_jitter as i64
+        } else {
+            0
+        };
+        let count = (config.avg_cluster_dims as i64 + jitter).clamp(2, config.d as i64) as usize;
+        let mut dims: Vec<DimId> = Vec::with_capacity(count);
+        if class > 0 && config.shared_dim_fraction > 0.0 {
+            let prev = &relevant[class - 1];
+            let n_shared = ((count as f64 * config.shared_dim_fraction).round() as usize)
+                .min(prev.len())
+                .min(count.saturating_sub(1)); // at least one fresh dim
+            dims.extend(
+                sample_indices(&mut rng, prev.len(), n_shared)
+                    .into_iter()
+                    .map(|i| prev[i]),
+            );
+        }
+        while dims.len() < count {
+            let fresh = DimId(rng.gen_range(0..config.d));
+            if !dims.contains(&fresh) {
+                dims.push(fresh);
+            }
+        }
+        relevant.push(dims);
+    }
+
+    // 3. Local Gaussian parameters per (class, relevant dim).
+    let range = config.global_range();
+    let mut centers: Vec<Vec<(DimId, f64, f64)>> = Vec::with_capacity(config.k);
+    for dims in &relevant {
+        let mut params = Vec::with_capacity(dims.len());
+        for &j in dims {
+            let sd =
+                rng.gen_range(config.local_sd_frac_min..=config.local_sd_frac_max) * range;
+            // Keep ±2 SD inside the global range so local populations do not
+            // spill over the bounding box; fall back to mid-range when the
+            // SD is so large the margin inverts (cannot happen with the
+            // validated frac < 0.5 but kept as a guard).
+            let lo = config.global_min + 2.0 * sd;
+            let hi = config.global_max - 2.0 * sd;
+            let center = if lo < hi {
+                rng.gen_range(lo..hi)
+            } else {
+                0.5 * (config.global_min + config.global_max)
+            };
+            params.push((j, center, sd));
+        }
+        centers.push(params);
+    }
+
+    // 4. Emit rows.
+    let mut rows: Vec<(Option<ClusterId>, Vec<f64>)> = Vec::with_capacity(config.n);
+    for (class, &size) in sizes.iter().enumerate() {
+        for _ in 0..size {
+            let mut row: Vec<f64> = (0..config.d)
+                .map(|_| global_sample(&mut rng, config))
+                .collect();
+            for &(j, center, sd) in &centers[class] {
+                // Clamp to the global box; the tails beyond ±2 SD are rare
+                // and clamping mirrors how bounded real measurements behave.
+                row[j.index()] = (center + sd * standard_normal(&mut rng))
+                    .clamp(config.global_min, config.global_max);
+            }
+            rows.push((Some(ClusterId(class)), row));
+        }
+    }
+    for _ in 0..n_out {
+        let row: Vec<f64> = (0..config.d)
+            .map(|_| global_sample(&mut rng, config))
+            .collect();
+        rows.push((None, row));
+    }
+
+    // Shuffle so that object id carries no class information.
+    let order = sample_indices(&mut rng, rows.len(), rows.len());
+    let mut assignment = Vec::with_capacity(config.n);
+    let mut values = Vec::with_capacity(config.n * config.d);
+    for &src in &order {
+        assignment.push(rows[src].0);
+        values.extend_from_slice(&rows[src].1);
+    }
+
+    let dataset = Dataset::from_rows(config.n, config.d, values)?;
+    let truth = GroundTruth::new(assignment, relevant);
+    Ok(GeneratedData { dataset, truth })
+}
+
+/// Splits `n` objects into `k` positive sizes proportional to
+/// `1 + U(0, imbalance)`, each at least 2 and summing exactly to `n`.
+fn cluster_sizes<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize, imbalance: f64) -> Vec<usize> {
+    let weights: Vec<f64> = (0..k).map(|_| 1.0 + rng.gen_range(0.0..=imbalance)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * n as f64).floor().max(2.0) as usize)
+        .collect();
+    // Fix the rounding drift by adjusting the largest cluster.
+    loop {
+        let sum: usize = sizes.iter().sum();
+        match sum.cmp(&n) {
+            std::cmp::Ordering::Equal => break,
+            std::cmp::Ordering::Less => {
+                let i = sizes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &s)| s)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                sizes[i] += n - sum;
+            }
+            std::cmp::Ordering::Greater => {
+                let i = sizes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| s > 2)
+                    .max_by_key(|(_, &s)| s)
+                    .map(|(i, _)| i)
+                    .expect("validated: n >= 2k");
+                sizes[i] -= (sum - n).min(sizes[i] - 2);
+            }
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sspc_common::ObjectId;
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig {
+            n: 200,
+            d: 20,
+            k: 4,
+            avg_cluster_dims: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let data = generate(&small_config(), 1).unwrap();
+        assert_eq!(data.dataset.n_objects(), 200);
+        assert_eq!(data.dataset.n_dims(), 20);
+        assert_eq!(data.truth.n_objects(), 200);
+        assert_eq!(data.truth.n_classes(), 4);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&small_config(), 42).unwrap();
+        let b = generate(&small_config(), 42).unwrap();
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.truth, b.truth);
+        let c = generate(&small_config(), 43).unwrap();
+        assert_ne!(a.dataset, c.dataset);
+    }
+
+    #[test]
+    fn cluster_sizes_sum_and_minimum() {
+        let mut rng = seeded_rng(5);
+        for _ in 0..20 {
+            let sizes = cluster_sizes(&mut rng, 100, 7, 0.5);
+            assert_eq!(sizes.iter().sum::<usize>(), 100);
+            assert!(sizes.iter().all(|&s| s >= 2));
+        }
+    }
+
+    #[test]
+    fn every_class_gets_requested_dims() {
+        let data = generate(&small_config(), 9).unwrap();
+        for c in 0..4 {
+            assert_eq!(data.truth.relevant_dims(ClusterId(c)).len(), 5);
+        }
+        assert!((data.truth.avg_dims() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dim_jitter_varies_counts_around_average() {
+        let cfg = GeneratorConfig {
+            dim_jitter: 3,
+            avg_cluster_dims: 8,
+            k: 10,
+            n: 500,
+            d: 40,
+            ..Default::default()
+        };
+        let data = generate(&cfg, 3).unwrap();
+        for c in 0..10 {
+            let len = data.truth.relevant_dims(ClusterId(c)).len();
+            assert!((5..=11).contains(&len), "class {c} got {len} dims");
+        }
+    }
+
+    #[test]
+    fn outliers_marked_in_truth() {
+        let cfg = GeneratorConfig {
+            outlier_fraction: 0.1,
+            ..small_config()
+        };
+        let data = generate(&cfg, 7).unwrap();
+        assert_eq!(data.truth.n_outliers(), 20);
+    }
+
+    #[test]
+    fn values_respect_global_box() {
+        let data = generate(&small_config(), 11).unwrap();
+        for o in data.dataset.object_ids() {
+            for &v in data.dataset.row(o) {
+                assert!((0.0..=100.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn relevant_dims_have_low_within_class_variance() {
+        let data = generate(&small_config(), 13).unwrap();
+        let ds = &data.dataset;
+        for c in 0..4 {
+            let class = ClusterId(c);
+            let members = data.truth.members_of(class);
+            for &j in data.truth.relevant_dims(class) {
+                let vals: Vec<f64> = members.iter().map(|&o| ds.value(o, j)).collect();
+                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                    / (vals.len() - 1) as f64;
+                // Local SD is at most 10% of range=100 → var ≤ ~100, far
+                // below the global uniform variance 100²/12 ≈ 833.
+                assert!(
+                    var < 0.3 * ds.global_variance(j),
+                    "class {c}, dim {j}: var {var} not small vs global {}",
+                    ds.global_variance(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn object_order_carries_no_class_runs() {
+        // After shuffling, the first 10 objects should not all share a class.
+        let data = generate(&small_config(), 17).unwrap();
+        let first: Vec<_> = (0..10)
+            .map(|o| data.truth.class_of(ObjectId(o)))
+            .collect();
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn shared_dims_chain_between_consecutive_clusters() {
+        let cfg = GeneratorConfig {
+            shared_dim_fraction: 0.5,
+            k: 5,
+            n: 200,
+            d: 40,
+            avg_cluster_dims: 8,
+            ..Default::default()
+        };
+        let data = generate(&cfg, 19).unwrap();
+        for c in 1..5 {
+            let prev: std::collections::HashSet<_> = data
+                .truth
+                .relevant_dims(ClusterId(c - 1))
+                .iter()
+                .copied()
+                .collect();
+            let shared = data
+                .truth
+                .relevant_dims(ClusterId(c))
+                .iter()
+                .filter(|j| prev.contains(j))
+                .count();
+            assert!(
+                (3..=5).contains(&shared),
+                "cluster {c} shares {shared} dims with its predecessor"
+            );
+            assert_eq!(data.truth.relevant_dims(ClusterId(c)).len(), 8);
+        }
+    }
+
+    #[test]
+    fn shared_dim_fraction_validation() {
+        let cfg = GeneratorConfig {
+            shared_dim_fraction: 1.0,
+            ..Default::default()
+        };
+        assert!(generate(&cfg, 1).is_err());
+        let cfg = GeneratorConfig {
+            shared_dim_fraction: -0.1,
+            ..Default::default()
+        };
+        assert!(generate(&cfg, 1).is_err());
+    }
+
+    #[test]
+    fn gaussian_globals_concentrate_around_mid_range() {
+        let cfg = GeneratorConfig {
+            global_distribution: GlobalDistribution::Gaussian,
+            ..small_config()
+        };
+        let data = generate(&cfg, 23).unwrap();
+        // An irrelevant dimension under Gaussian globals has much lower
+        // variance than the uniform range²/12 and a mean near mid-range.
+        let ds = &data.dataset;
+        let uniform_var = 100.0f64 * 100.0 / 12.0;
+        let mut checked = 0;
+        for j in ds.dim_ids() {
+            let relevant_somewhere =
+                (0..4).any(|c| data.truth.is_relevant(ClusterId(c), j));
+            if relevant_somewhere {
+                continue;
+            }
+            checked += 1;
+            assert!(
+                ds.global_variance(j) < 0.6 * uniform_var,
+                "dim {j}: var {} not Gaussian-like",
+                ds.global_variance(j)
+            );
+            assert!((ds.global_mean(j) - 50.0).abs() < 8.0);
+        }
+        assert!(checked > 0, "no purely-irrelevant dimension to check");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = GeneratorConfig {
+            k: 0,
+            ..small_config()
+        };
+        assert!(generate(&cfg, 1).is_err());
+    }
+}

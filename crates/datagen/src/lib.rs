@@ -1,0 +1,32 @@
+//! Synthetic data generators matching the SSPC paper's data model.
+//!
+//! Section 3 of the paper defines the model this crate implements: objects
+//! partition into `k` hidden classes plus an optional outlier set; each
+//! class has a set of relevant dimensions; the projection of a class on a
+//! relevant dimension is a small-variance Gaussian, while everything else on
+//! that dimension (and every projection on an irrelevant dimension) follows
+//! a wide global distribution. Section 5 fixes the global distribution to
+//! **uniform** and the local standard deviations to 1–10 % of the global
+//! value range; we default to the same.
+//!
+//! Entry points:
+//!
+//! * [`GeneratorConfig`] + [`generate`] — one dataset with ground truth.
+//! * [`generate_multi_grouping`] — the Fig. 7 workload: two independent
+//!   groupings over the same objects, concatenated dimension-wise.
+//! * [`supervision`] — draws labeled objects / labeled dimensions from a
+//!   ground truth, mimicking a domain expert with partial knowledge.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod generate;
+mod multi;
+pub mod supervision;
+mod truth;
+
+pub use config::{GeneratorConfig, GlobalDistribution};
+pub use generate::{generate, GeneratedData};
+pub use multi::{generate_multi_grouping, MultiGroupingData};
+pub use truth::GroundTruth;

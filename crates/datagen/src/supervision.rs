@@ -1,0 +1,324 @@
+//! Drawing supervision (labeled objects / labeled dimensions) from a ground
+//! truth, mimicking a domain expert with partial knowledge.
+//!
+//! The paper's semi-supervised experiments (Sec. 5.3) are parameterized by
+//! a **coverage ratio** (fraction of classes receiving any input) and an
+//! **input size** (labels per covered class). Inputs are drawn uniformly at
+//! random from the true members / true relevant dimensions, exactly as the
+//! paper describes ("the inputs are drawn randomly from the real cluster
+//! members and relevant dimensions").
+
+use crate::GroundTruth;
+use sspc_common::rng::{sample_indices, seeded_rng};
+use sspc_common::{ClusterId, DimId, Error, ObjectId, Result};
+
+/// A draw of supervision for one experiment run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupervisionDraw {
+    /// `(object, class)` pairs: the object is a known member of the class.
+    pub labeled_objects: Vec<(ObjectId, ClusterId)>,
+    /// `(dimension, class)` pairs: the dimension is known relevant to the
+    /// class.
+    pub labeled_dims: Vec<(DimId, ClusterId)>,
+}
+
+impl SupervisionDraw {
+    /// True if no labels of either kind were drawn.
+    pub fn is_empty(&self) -> bool {
+        self.labeled_objects.is_empty() && self.labeled_dims.is_empty()
+    }
+
+    /// The classes that received at least one label.
+    pub fn covered_classes(&self) -> Vec<ClusterId> {
+        let mut classes: Vec<ClusterId> = self
+            .labeled_objects
+            .iter()
+            .map(|&(_, c)| c)
+            .chain(self.labeled_dims.iter().map(|&(_, c)| c))
+            .collect();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+    }
+}
+
+/// Which kinds of labels to draw — the paper's four "input categories".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// No supervision (raw accuracy).
+    None,
+    /// Labeled objects only (`Iᵒ`).
+    ObjectsOnly,
+    /// Labeled dimensions only (`Iᵛ`).
+    DimsOnly,
+    /// Both kinds for every covered class.
+    Both,
+}
+
+/// Draws supervision from `truth`.
+///
+/// * `coverage` — fraction of classes that receive labels, in `[0, 1]`. The
+///   number of covered classes is `round(coverage × k)`; which classes are
+///   covered is a uniform draw.
+/// * `input_size` — labels **per kind per covered class**. If a class has
+///   fewer members (or relevant dimensions) than requested, all of them are
+///   used — matching how little knowledge a real expert may have.
+///
+/// Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] if `coverage` is outside `[0, 1]`.
+pub fn draw(
+    truth: &GroundTruth,
+    kind: InputKind,
+    coverage: f64,
+    input_size: usize,
+    seed: u64,
+) -> Result<SupervisionDraw> {
+    if !(0.0..=1.0).contains(&coverage) {
+        return Err(Error::InvalidParameter(format!(
+            "coverage must be in [0, 1], got {coverage}"
+        )));
+    }
+    let mut rng = seeded_rng(seed);
+    let k = truth.n_classes();
+    let n_covered = ((coverage * k as f64).round() as usize).min(k);
+    let mut result = SupervisionDraw::default();
+    if kind == InputKind::None || n_covered == 0 || input_size == 0 {
+        return Ok(result);
+    }
+
+    let covered = sample_indices(&mut rng, k, n_covered);
+    for &class_idx in &covered {
+        let class = ClusterId(class_idx);
+        if matches!(kind, InputKind::ObjectsOnly | InputKind::Both) {
+            let members = truth.members_of(class);
+            let picks = sample_indices(&mut rng, members.len(), input_size);
+            result
+                .labeled_objects
+                .extend(picks.into_iter().map(|i| (members[i], class)));
+        }
+        if matches!(kind, InputKind::DimsOnly | InputKind::Both) {
+            let dims = truth.relevant_dims(class);
+            let picks = sample_indices(&mut rng, dims.len(), input_size);
+            result
+                .labeled_dims
+                .extend(picks.into_iter().map(|i| (dims[i], class)));
+        }
+    }
+    result.labeled_objects.sort_unstable();
+    result.labeled_dims.sort_unstable();
+    Ok(result)
+}
+
+/// Like [`draw`], but each label is **corrupted** independently with
+/// probability `error_rate`: a corrupted object label points at an object
+/// of a *different* class (or an outlier), a corrupted dimension label
+/// points at a dimension *irrelevant* to the class. This simulates the
+/// imperfect expert of the paper's Sec. 6 ("allow incorrect inputs") and
+/// feeds the validation experiments.
+///
+/// Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for `coverage` outside `[0, 1]` or
+/// `error_rate` outside `[0, 1]`.
+pub fn draw_noisy(
+    truth: &GroundTruth,
+    d: usize,
+    kind: InputKind,
+    coverage: f64,
+    input_size: usize,
+    error_rate: f64,
+    seed: u64,
+) -> Result<SupervisionDraw> {
+    if !(0.0..=1.0).contains(&error_rate) {
+        return Err(Error::InvalidParameter(format!(
+            "error_rate must be in [0, 1], got {error_rate}"
+        )));
+    }
+    use rand::Rng;
+    let clean = draw(truth, kind, coverage, input_size, seed)?;
+    let mut rng = seeded_rng(sspc_common::rng::derive_seed(seed, 0xBAD));
+    let mut corrupted = SupervisionDraw::default();
+    for &(o, class) in &clean.labeled_objects {
+        if rng.gen::<f64>() < error_rate {
+            // Replace with a random object NOT of this class.
+            let candidates: Vec<ObjectId> = (0..truth.n_objects())
+                .map(ObjectId)
+                .filter(|&x| truth.class_of(x) != Some(class))
+                .collect();
+            if !candidates.is_empty() {
+                let wrong = candidates[rng.gen_range(0..candidates.len())];
+                corrupted.labeled_objects.push((wrong, class));
+                continue;
+            }
+        }
+        corrupted.labeled_objects.push((o, class));
+    }
+    for &(j, class) in &clean.labeled_dims {
+        if rng.gen::<f64>() < error_rate {
+            let irrelevant: Vec<DimId> = (0..d)
+                .map(DimId)
+                .filter(|&x| !truth.is_relevant(class, x))
+                .collect();
+            if !irrelevant.is_empty() {
+                let wrong = irrelevant[rng.gen_range(0..irrelevant.len())];
+                corrupted.labeled_dims.push((wrong, class));
+                continue;
+            }
+        }
+        corrupted.labeled_dims.push((j, class));
+    }
+    corrupted.labeled_objects.sort_unstable();
+    corrupted.labeled_dims.sort_unstable();
+    // Contradictory duplicates can arise from corruption; keep first.
+    corrupted.labeled_objects.dedup_by_key(|&mut (o, _)| o);
+    corrupted.labeled_dims.dedup();
+    Ok(corrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+
+    fn truth() -> GroundTruth {
+        generate(
+            &GeneratorConfig {
+                n: 100,
+                d: 30,
+                k: 5,
+                avg_cluster_dims: 6,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap()
+        .truth
+    }
+
+    #[test]
+    fn full_coverage_both_kinds() {
+        let t = truth();
+        let s = draw(&t, InputKind::Both, 1.0, 3, 7).unwrap();
+        assert_eq!(s.labeled_objects.len(), 15);
+        assert_eq!(s.labeled_dims.len(), 15);
+        assert_eq!(s.covered_classes().len(), 5);
+    }
+
+    #[test]
+    fn labels_are_correct() {
+        let t = truth();
+        let s = draw(&t, InputKind::Both, 1.0, 4, 9).unwrap();
+        for &(o, c) in &s.labeled_objects {
+            assert_eq!(t.class_of(o), Some(c));
+        }
+        for &(j, c) in &s.labeled_dims {
+            assert!(t.is_relevant(c, j));
+        }
+    }
+
+    #[test]
+    fn partial_coverage_counts_classes() {
+        let t = truth();
+        let s = draw(&t, InputKind::ObjectsOnly, 0.6, 2, 3).unwrap();
+        assert_eq!(s.covered_classes().len(), 3); // round(0.6 × 5)
+        assert_eq!(s.labeled_objects.len(), 6);
+        assert!(s.labeled_dims.is_empty());
+    }
+
+    #[test]
+    fn kind_none_and_zero_inputs() {
+        let t = truth();
+        assert!(draw(&t, InputKind::None, 1.0, 5, 1).unwrap().is_empty());
+        assert!(draw(&t, InputKind::Both, 0.0, 5, 1).unwrap().is_empty());
+        assert!(draw(&t, InputKind::Both, 1.0, 0, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_requests_are_clamped() {
+        let t = truth();
+        let s = draw(&t, InputKind::DimsOnly, 1.0, 1000, 5).unwrap();
+        // Each class has 6 relevant dims; all of them get labeled.
+        assert_eq!(s.labeled_dims.len(), 30);
+    }
+
+    #[test]
+    fn labels_are_distinct_per_class() {
+        let t = truth();
+        let s = draw(&t, InputKind::Both, 1.0, 5, 11).unwrap();
+        let mut objs = s.labeled_objects.clone();
+        objs.dedup();
+        assert_eq!(objs.len(), s.labeled_objects.len());
+        let mut dims = s.labeled_dims.clone();
+        dims.dedup();
+        assert_eq!(dims.len(), s.labeled_dims.len());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let t = truth();
+        let a = draw(&t, InputKind::Both, 0.8, 3, 13).unwrap();
+        let b = draw(&t, InputKind::Both, 0.8, 3, 13).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noisy_draw_zero_error_matches_clean() {
+        let t = truth();
+        let clean = draw(&t, InputKind::Both, 1.0, 4, 21).unwrap();
+        let noisy = draw_noisy(&t, 30, InputKind::Both, 1.0, 4, 0.0, 21).unwrap();
+        assert_eq!(clean.labeled_dims, noisy.labeled_dims);
+        // Object lists may differ only by the dedup pass; with zero error
+        // the clean draw has no duplicates, so they match.
+        assert_eq!(clean.labeled_objects, noisy.labeled_objects);
+    }
+
+    #[test]
+    fn noisy_draw_full_error_corrupts_every_label() {
+        let t = truth();
+        let noisy = draw_noisy(&t, 30, InputKind::Both, 1.0, 4, 1.0, 22).unwrap();
+        for &(o, c) in &noisy.labeled_objects {
+            assert_ne!(t.class_of(o), Some(c), "object label {o} not corrupted");
+        }
+        for &(j, c) in &noisy.labeled_dims {
+            assert!(!t.is_relevant(c, j), "dim label {j} not corrupted");
+        }
+    }
+
+    #[test]
+    fn noisy_draw_partial_error_rate_is_plausible() {
+        let t = truth();
+        let mut wrong = 0usize;
+        let mut total = 0usize;
+        for seed in 0..30 {
+            let noisy =
+                draw_noisy(&t, 30, InputKind::ObjectsOnly, 1.0, 5, 0.3, seed).unwrap();
+            for &(o, c) in &noisy.labeled_objects {
+                total += 1;
+                if t.class_of(o) != Some(c) {
+                    wrong += 1;
+                }
+            }
+        }
+        let rate = wrong as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.1, "observed corruption rate {rate}");
+    }
+
+    #[test]
+    fn noisy_draw_rejects_bad_error_rate() {
+        let t = truth();
+        assert!(draw_noisy(&t, 30, InputKind::Both, 1.0, 4, 1.5, 1).is_err());
+        assert!(draw_noisy(&t, 30, InputKind::Both, 1.0, 4, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_coverage() {
+        let t = truth();
+        assert!(draw(&t, InputKind::Both, 1.5, 3, 1).is_err());
+        assert!(draw(&t, InputKind::Both, -0.1, 3, 1).is_err());
+    }
+}

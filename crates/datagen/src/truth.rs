@@ -1,0 +1,132 @@
+use sspc_common::{ClusterId, DimId, ObjectId};
+
+/// The hidden structure a generated dataset was built from.
+///
+/// `assignment[o]` is `Some(class)` for class members and `None` for
+/// outliers. `relevant_dims[class]` lists the class's relevant dimensions in
+/// ascending order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    assignment: Vec<Option<ClusterId>>,
+    relevant_dims: Vec<Vec<DimId>>,
+}
+
+impl GroundTruth {
+    /// Builds a ground truth. Relevant-dimension lists are sorted and
+    /// deduplicated on construction.
+    pub fn new(assignment: Vec<Option<ClusterId>>, mut relevant_dims: Vec<Vec<DimId>>) -> Self {
+        for dims in &mut relevant_dims {
+            dims.sort_unstable();
+            dims.dedup();
+        }
+        GroundTruth {
+            assignment,
+            relevant_dims,
+        }
+    }
+
+    /// Number of objects covered (members + outliers).
+    pub fn n_objects(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of hidden classes.
+    pub fn n_classes(&self) -> usize {
+        self.relevant_dims.len()
+    }
+
+    /// Class of an object, or `None` for outliers.
+    pub fn class_of(&self, o: ObjectId) -> Option<ClusterId> {
+        self.assignment[o.index()]
+    }
+
+    /// The full assignment vector (`None` = outlier).
+    pub fn assignment(&self) -> &[Option<ClusterId>] {
+        &self.assignment
+    }
+
+    /// Relevant dimensions of a class, ascending.
+    pub fn relevant_dims(&self, class: ClusterId) -> &[DimId] {
+        &self.relevant_dims[class.index()]
+    }
+
+    /// Members of a class, ascending by object id.
+    pub fn members_of(&self, class: ClusterId) -> Vec<ObjectId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(o, c)| (*c == Some(class)).then_some(ObjectId(o)))
+            .collect()
+    }
+
+    /// Object ids of outliers, ascending.
+    pub fn outliers(&self) -> Vec<ObjectId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(o, c)| c.is_none().then_some(ObjectId(o)))
+            .collect()
+    }
+
+    /// Number of outliers.
+    pub fn n_outliers(&self) -> usize {
+        self.assignment.iter().filter(|c| c.is_none()).count()
+    }
+
+    /// Average number of relevant dimensions per class.
+    pub fn avg_dims(&self) -> f64 {
+        if self.relevant_dims.is_empty() {
+            return 0.0;
+        }
+        self.relevant_dims.iter().map(Vec::len).sum::<usize>() as f64
+            / self.relevant_dims.len() as f64
+    }
+
+    /// True if `dim` is relevant to `class`.
+    pub fn is_relevant(&self, class: ClusterId, dim: DimId) -> bool {
+        self.relevant_dims[class.index()].binary_search(&dim).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth::new(
+            vec![
+                Some(ClusterId(0)),
+                Some(ClusterId(1)),
+                None,
+                Some(ClusterId(0)),
+            ],
+            vec![vec![DimId(2), DimId(0), DimId(2)], vec![DimId(1)]],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let t = truth();
+        assert_eq!(t.n_objects(), 4);
+        assert_eq!(t.n_classes(), 2);
+        assert_eq!(t.class_of(ObjectId(0)), Some(ClusterId(0)));
+        assert_eq!(t.class_of(ObjectId(2)), None);
+        assert_eq!(t.members_of(ClusterId(0)), vec![ObjectId(0), ObjectId(3)]);
+        assert_eq!(t.outliers(), vec![ObjectId(2)]);
+        assert_eq!(t.n_outliers(), 1);
+    }
+
+    #[test]
+    fn relevant_dims_sorted_and_deduped() {
+        let t = truth();
+        assert_eq!(t.relevant_dims(ClusterId(0)), &[DimId(0), DimId(2)]);
+        assert!(t.is_relevant(ClusterId(0), DimId(2)));
+        assert!(!t.is_relevant(ClusterId(0), DimId(1)));
+    }
+
+    #[test]
+    fn avg_dims_counts_after_dedup() {
+        let t = truth();
+        assert!((t.avg_dims() - 1.5).abs() < 1e-12);
+    }
+}

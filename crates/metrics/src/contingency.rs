@@ -1,0 +1,194 @@
+use crate::OutlierPolicy;
+use sspc_common::{ClusterId, Error, Result};
+use std::collections::HashMap;
+
+/// A dense contingency table between two partitions U × V.
+///
+/// Rows index U-clusters, columns index V-clusters, after compacting the
+/// (possibly sparse) cluster ids that actually occur. Under
+/// [`OutlierPolicy::AsCluster`] the outlier set of each partition occupies
+/// one extra row/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContingencyTable {
+    counts: Vec<u64>,
+    rows: usize,
+    cols: usize,
+    row_sums: Vec<u64>,
+    col_sums: Vec<u64>,
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Builds the table from two assignments of equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] on length mismatch or when nothing
+    /// survives the outlier policy.
+    pub fn build(
+        u: &[Option<ClusterId>],
+        v: &[Option<ClusterId>],
+        policy: OutlierPolicy,
+    ) -> Result<Self> {
+        if u.len() != v.len() {
+            return Err(Error::InvalidShape(format!(
+                "partitions cover {} and {} objects",
+                u.len(),
+                v.len()
+            )));
+        }
+        // Compact the labels that actually occur; `None` maps to a dedicated
+        // index under AsCluster and is skipped under Exclude.
+        let mut u_index: HashMap<Option<ClusterId>, usize> = HashMap::new();
+        let mut v_index: HashMap<Option<ClusterId>, usize> = HashMap::new();
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(u.len());
+        for (cu, cv) in u.iter().zip(v.iter()) {
+            if policy == OutlierPolicy::Exclude && (cu.is_none() || cv.is_none()) {
+                continue;
+            }
+            let next_u = u_index.len();
+            let ui = *u_index.entry(*cu).or_insert(next_u);
+            let next_v = v_index.len();
+            let vi = *v_index.entry(*cv).or_insert(next_v);
+            pairs.push((ui, vi));
+        }
+        if pairs.is_empty() {
+            return Err(Error::InvalidShape(
+                "no objects survive the outlier policy".into(),
+            ));
+        }
+        let rows = u_index.len();
+        let cols = v_index.len();
+        let mut counts = vec![0u64; rows * cols];
+        for (ui, vi) in pairs {
+            counts[ui * cols + vi] += 1;
+        }
+        let mut row_sums = vec![0u64; rows];
+        let mut col_sums = vec![0u64; cols];
+        let mut total = 0u64;
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = counts[r * cols + c];
+                row_sums[r] += x;
+                col_sums[c] += x;
+                total += x;
+            }
+        }
+        Ok(ContingencyTable {
+            counts,
+            rows,
+            cols,
+            row_sums,
+            col_sums,
+            total,
+        })
+    }
+
+    /// Number of U-clusters (rows).
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of V-clusters (columns).
+    pub fn n_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The count in cell `(row, col)`.
+    pub fn count(&self, row: usize, col: usize) -> u64 {
+        self.counts[row * self.cols + col]
+    }
+
+    /// Iterator over `(row, col, count)` for all cells.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (0..self.cols).map(move |c| (r, c, self.counts[r * self.cols + c]))
+        })
+    }
+
+    /// Per-row totals (U-cluster sizes).
+    pub fn row_sums(&self) -> &[u64] {
+        &self.row_sums
+    }
+
+    /// Per-column totals (V-cluster sizes).
+    pub fn col_sums(&self) -> &[u64] {
+        &self.col_sums
+    }
+
+    /// Total number of objects counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(labels: &[i64]) -> Vec<Option<ClusterId>> {
+        labels
+            .iter()
+            .map(|&l| (l >= 0).then_some(ClusterId(l as usize)))
+            .collect()
+    }
+
+    #[test]
+    fn builds_dense_table() {
+        let u = ids(&[0, 0, 1, 1, 1]);
+        let v = ids(&[0, 1, 1, 1, 0]);
+        let t = ContingencyTable::build(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.row_sums(), &[2, 3]);
+        assert_eq!(t.col_sums(), &[2, 3]);
+        // U=0 ∩ V=0 = {obj0} → 1; U=1 ∩ V=1 = {obj2, obj3} → 2.
+        assert_eq!(t.count(0, 0), 1);
+        assert_eq!(t.count(1, 1), 2);
+    }
+
+    #[test]
+    fn exclude_drops_rows_with_outliers() {
+        let u = ids(&[0, -1, 1]);
+        let v = ids(&[0, 0, -1]);
+        let t = ContingencyTable::build(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    fn as_cluster_gives_outliers_a_slot() {
+        let u = ids(&[0, -1, 0, -1]);
+        let v = ids(&[0, 0, 0, 0]);
+        let t = ContingencyTable::build(&u, &v, OutlierPolicy::AsCluster).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 1);
+        assert_eq!(t.total(), 4);
+    }
+
+    #[test]
+    fn sparse_cluster_ids_are_compacted() {
+        let u = ids(&[7, 7, 42]);
+        let v = ids(&[100, 100, 100]);
+        let t = ContingencyTable::build(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 1);
+    }
+
+    #[test]
+    fn all_outliers_is_an_error_under_exclude() {
+        let u = ids(&[-1, -1]);
+        let v = ids(&[0, 1]);
+        assert!(ContingencyTable::build(&u, &v, OutlierPolicy::Exclude).is_err());
+    }
+
+    #[test]
+    fn cells_iterate_all_entries() {
+        let u = ids(&[0, 1]);
+        let v = ids(&[0, 1]);
+        let t = ContingencyTable::build(&u, &v, OutlierPolicy::Exclude).unwrap();
+        let total: u64 = t.cells().map(|(_, _, c)| c).sum();
+        assert_eq!(total, 2);
+        assert_eq!(t.cells().count(), 4);
+    }
+}

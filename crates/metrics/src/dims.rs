@@ -1,0 +1,209 @@
+//! Dimension-selection quality: how well an algorithm's selected dimensions
+//! match the planted relevant dimensions.
+//!
+//! The produced clusters are first aligned with the reference classes
+//! ([`crate::matching`]); each matched pair then contributes its selected
+//! vs. true dimension sets to micro-averaged precision / recall / F1.
+
+use crate::{matching, ContingencyTable, OutlierPolicy};
+use sspc_common::{ClusterId, DimId, Result};
+use std::collections::HashSet;
+
+/// Micro-averaged dimension-selection quality over matched clusters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimQuality {
+    /// Of all selected dimensions (over matched clusters), the fraction that
+    /// are truly relevant to the matched class.
+    pub precision: f64,
+    /// Of all truly relevant dimensions (over matched classes), the fraction
+    /// that were selected.
+    pub recall: f64,
+    /// Number of produced clusters that were matched to a class.
+    pub matched_clusters: usize,
+}
+
+impl DimQuality {
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let denom = self.precision + self.recall;
+        if denom == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / denom
+        }
+    }
+}
+
+/// Scores dimension selection.
+///
+/// * `truth_assignment` / `truth_dims` — the planted structure:
+///   per-object class (or `None`) and per-class relevant dimensions.
+/// * `produced_assignment` / `produced_dims` — the algorithm's output:
+///   per-object cluster (or `None`) and per-cluster selected dimensions,
+///   indexed by `ClusterId` value.
+///
+/// # Errors
+///
+/// Propagates contingency/matching failures (length mismatches, empty
+/// overlap).
+pub fn dim_selection_quality(
+    truth_assignment: &[Option<ClusterId>],
+    truth_dims: &[Vec<DimId>],
+    produced_assignment: &[Option<ClusterId>],
+    produced_dims: &[Vec<DimId>],
+) -> Result<DimQuality> {
+    let table = ContingencyTable::build(
+        truth_assignment,
+        produced_assignment,
+        OutlierPolicy::Exclude,
+    )?;
+
+    // The contingency table compacts ids; rebuild the compaction maps the
+    // same way (first-occurrence order over surviving objects).
+    let (u_order, v_order) = occurrence_orders(truth_assignment, produced_assignment);
+    let matching = matching::match_clusters_to_classes(&table)?;
+
+    let mut selected_and_relevant = 0usize;
+    let mut selected_total = 0usize;
+    let mut relevant_total = 0usize;
+    let mut matched = 0usize;
+    for (v_compact, class_compact) in matching.iter().enumerate() {
+        let Some(class_compact) = class_compact else {
+            continue;
+        };
+        let cluster = v_order[v_compact];
+        let class = u_order[*class_compact];
+        let sel = produced_dims
+            .get(cluster.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let rel: HashSet<DimId> = truth_dims
+            .get(class.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .collect();
+        matched += 1;
+        selected_total += sel.len();
+        relevant_total += rel.len();
+        selected_and_relevant += sel.iter().filter(|j| rel.contains(j)).count();
+    }
+
+    let precision = if selected_total == 0 {
+        0.0
+    } else {
+        selected_and_relevant as f64 / selected_total as f64
+    };
+    let recall = if relevant_total == 0 {
+        0.0
+    } else {
+        selected_and_relevant as f64 / relevant_total as f64
+    };
+    Ok(DimQuality {
+        precision,
+        recall,
+        matched_clusters: matched,
+    })
+}
+
+/// First-occurrence orders of U and V labels over objects surviving
+/// [`OutlierPolicy::Exclude`] — matching [`ContingencyTable::build`]'s
+/// internal compaction.
+fn occurrence_orders(
+    u: &[Option<ClusterId>],
+    v: &[Option<ClusterId>],
+) -> (Vec<ClusterId>, Vec<ClusterId>) {
+    let mut u_order = Vec::new();
+    let mut v_order = Vec::new();
+    for (cu, cv) in u.iter().zip(v.iter()) {
+        let (Some(cu), Some(cv)) = (cu, cv) else {
+            continue;
+        };
+        if !u_order.contains(cu) {
+            u_order.push(*cu);
+        }
+        if !v_order.contains(cv) {
+            v_order.push(*cv);
+        }
+    }
+    (u_order, v_order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(labels: &[i64]) -> Vec<Option<ClusterId>> {
+        labels
+            .iter()
+            .map(|&l| (l >= 0).then_some(ClusterId(l as usize)))
+            .collect()
+    }
+
+    fn dims(sets: &[&[usize]]) -> Vec<Vec<DimId>> {
+        sets.iter()
+            .map(|s| s.iter().map(|&j| DimId(j)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn perfect_selection_scores_one() {
+        let assign = ids(&[0, 0, 1, 1]);
+        let truth_dims = dims(&[&[0, 1], &[2, 3]]);
+        let q = dim_selection_quality(&assign, &truth_dims, &assign, &truth_dims).unwrap();
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1(), 1.0);
+        assert_eq!(q.matched_clusters, 2);
+    }
+
+    #[test]
+    fn handles_permuted_cluster_ids() {
+        let truth = ids(&[0, 0, 1, 1]);
+        let produced = ids(&[1, 1, 0, 0]); // swapped labels
+        let truth_dims = dims(&[&[0, 1], &[2, 3]]);
+        // produced cluster 1 ↔ class 0, so its dims must be class 0's.
+        let produced_dims = dims(&[&[2, 3], &[0, 1]]);
+        let q = dim_selection_quality(&truth, &truth_dims, &produced, &produced_dims).unwrap();
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_fractionally() {
+        let assign = ids(&[0, 0, 1, 1]);
+        let truth_dims = dims(&[&[0, 1, 2, 3], &[4, 5, 6, 7]]);
+        // Each cluster selects half right, plus one wrong.
+        let produced_dims = dims(&[&[0, 1, 9], &[4, 5, 9]]);
+        let q = dim_selection_quality(&assign, &truth_dims, &assign, &produced_dims).unwrap();
+        assert!((q.precision - 4.0 / 6.0).abs() < 1e-12);
+        assert!((q.recall - 4.0 / 8.0).abs() < 1e-12);
+        let f1 = q.f1();
+        assert!((f1 - 2.0 * (4.0 / 6.0) * 0.5 / (4.0 / 6.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_selection_scores_zero() {
+        let assign = ids(&[0, 0, 1, 1]);
+        let truth_dims = dims(&[&[0], &[1]]);
+        let produced_dims = dims(&[&[], &[]]);
+        let q = dim_selection_quality(&assign, &truth_dims, &assign, &produced_dims).unwrap();
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1(), 0.0);
+    }
+
+    #[test]
+    fn extra_unmatched_clusters_are_ignored() {
+        let truth = ids(&[0, 0, 0, 1, 1, 1]);
+        // Three produced clusters; the third is spurious and smaller.
+        let produced = ids(&[0, 0, 2, 1, 1, 1]);
+        let truth_dims = dims(&[&[0, 1], &[2, 3]]);
+        let produced_dims = dims(&[&[0, 1], &[2, 3], &[7, 8, 9]]);
+        let q = dim_selection_quality(&truth, &truth_dims, &produced, &produced_dims).unwrap();
+        assert_eq!(q.matched_clusters, 2);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Information-theoretic clustering metrics: mutual information, NMI,
+//! homogeneity / completeness / V-measure, and purity.
+//!
+//! The paper evaluates with ARI only; these are provided because the
+//! gene-expression literature the paper targets (e.g. Yeung & Ruzzo, the
+//! source of the paper's ARI) routinely reports NMI and purity alongside,
+//! and cross-metric agreement is a useful sanity check on experiment
+//! harnesses.
+
+use crate::{ContingencyTable, OutlierPolicy};
+use sspc_common::{ClusterId, Result};
+
+/// Entropy (nats) of a discrete distribution given as counts.
+fn entropy(counts: &[u64], total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Mutual information (nats) between two partitions.
+///
+/// # Errors
+///
+/// Propagates contingency-table failures.
+pub fn mutual_information(
+    u: &[Option<ClusterId>],
+    v: &[Option<ClusterId>],
+    policy: OutlierPolicy,
+) -> Result<f64> {
+    let t = ContingencyTable::build(u, v, policy)?;
+    let n = t.total() as f64;
+    let mut mi = 0.0;
+    for (r, c, count) in t.cells() {
+        if count == 0 {
+            continue;
+        }
+        let p_rc = count as f64 / n;
+        let p_r = t.row_sums()[r] as f64 / n;
+        let p_c = t.col_sums()[c] as f64 / n;
+        mi += p_rc * (p_rc / (p_r * p_c)).ln();
+    }
+    Ok(mi.max(0.0))
+}
+
+/// Normalized mutual information, `MI / √(H(U)·H(V))` — 1 for identical
+/// partitions, 0 for independent ones. Degenerate single-cluster
+/// partitions (zero entropy) score 0.
+///
+/// # Errors
+///
+/// Propagates contingency-table failures.
+pub fn normalized_mutual_information(
+    u: &[Option<ClusterId>],
+    v: &[Option<ClusterId>],
+    policy: OutlierPolicy,
+) -> Result<f64> {
+    let t = ContingencyTable::build(u, v, policy)?;
+    let h_u = entropy(t.row_sums(), t.total());
+    let h_v = entropy(t.col_sums(), t.total());
+    if h_u == 0.0 || h_v == 0.0 {
+        return Ok(0.0);
+    }
+    let mi = mutual_information(u, v, policy)?;
+    Ok((mi / (h_u * h_v).sqrt()).clamp(0.0, 1.0))
+}
+
+/// Homogeneity, completeness and their harmonic mean (V-measure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VMeasure {
+    /// 1 when every produced cluster contains members of one class only.
+    pub homogeneity: f64,
+    /// 1 when every class falls entirely inside one produced cluster.
+    pub completeness: f64,
+}
+
+impl VMeasure {
+    /// The harmonic mean of homogeneity and completeness.
+    pub fn v_measure(&self) -> f64 {
+        let s = self.homogeneity + self.completeness;
+        if s == 0.0 {
+            0.0
+        } else {
+            2.0 * self.homogeneity * self.completeness / s
+        }
+    }
+}
+
+/// Computes homogeneity/completeness of produced partition `v` against
+/// reference `u` (Rosenberg & Hirschberg's definitions via conditional
+/// entropies). Degenerate zero-entropy sides score 1 by convention.
+///
+/// # Errors
+///
+/// Propagates contingency-table failures.
+pub fn v_measure(
+    u: &[Option<ClusterId>],
+    v: &[Option<ClusterId>],
+    policy: OutlierPolicy,
+) -> Result<VMeasure> {
+    let t = ContingencyTable::build(u, v, policy)?;
+    let n = t.total() as f64;
+    let h_u = entropy(t.row_sums(), t.total());
+    let h_v = entropy(t.col_sums(), t.total());
+
+    // H(U|V) and H(V|U) from the joint.
+    let mut h_u_given_v = 0.0;
+    let mut h_v_given_u = 0.0;
+    for (r, c, count) in t.cells() {
+        if count == 0 {
+            continue;
+        }
+        let p_rc = count as f64 / n;
+        let p_c = t.col_sums()[c] as f64 / n;
+        let p_r = t.row_sums()[r] as f64 / n;
+        h_u_given_v -= p_rc * (p_rc / p_c).ln();
+        h_v_given_u -= p_rc * (p_rc / p_r).ln();
+    }
+
+    let homogeneity = if h_u == 0.0 {
+        1.0
+    } else {
+        (1.0 - h_u_given_v / h_u).clamp(0.0, 1.0)
+    };
+    let completeness = if h_v == 0.0 {
+        1.0
+    } else {
+        (1.0 - h_v_given_u / h_v).clamp(0.0, 1.0)
+    };
+    Ok(VMeasure {
+        homogeneity,
+        completeness,
+    })
+}
+
+/// Purity: the fraction of objects whose produced cluster's majority class
+/// matches their own. 1 is perfect; singleton clusters trivially maximize
+/// it, so read alongside ARI/NMI.
+///
+/// # Errors
+///
+/// Propagates contingency-table failures.
+pub fn purity(
+    u: &[Option<ClusterId>],
+    v: &[Option<ClusterId>],
+    policy: OutlierPolicy,
+) -> Result<f64> {
+    let t = ContingencyTable::build(u, v, policy)?;
+    let mut majority_total = 0u64;
+    for c in 0..t.n_cols() {
+        let best = (0..t.n_rows()).map(|r| t.count(r, c)).max().unwrap_or(0);
+        majority_total += best;
+    }
+    Ok(majority_total as f64 / t.total() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(labels: &[i64]) -> Vec<Option<ClusterId>> {
+        labels
+            .iter()
+            .map(|&l| (l >= 0).then_some(ClusterId(l as usize)))
+            .collect()
+    }
+
+    #[test]
+    fn identical_partitions_max_all_metrics() {
+        let u = ids(&[0, 0, 1, 1, 2, 2]);
+        let nmi = normalized_mutual_information(&u, &u, OutlierPolicy::Exclude).unwrap();
+        assert!((nmi - 1.0).abs() < 1e-12);
+        let vm = v_measure(&u, &u, OutlierPolicy::Exclude).unwrap();
+        assert!((vm.v_measure() - 1.0).abs() < 1e-12);
+        assert!((purity(&u, &u, OutlierPolicy::Exclude).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero_nmi() {
+        // A checkerboard: U splits by half, V alternates — independent.
+        let u = ids(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let v = ids(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        let nmi = normalized_mutual_information(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert!(nmi < 1e-9, "got {nmi}");
+        let mi = mutual_information(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert!(mi < 1e-9);
+    }
+
+    #[test]
+    fn homogeneity_vs_completeness_asymmetry() {
+        // V splits each class in two: perfectly homogeneous, incomplete.
+        let u = ids(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let v = ids(&[0, 0, 1, 1, 2, 2, 3, 3]);
+        let vm = v_measure(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert!((vm.homogeneity - 1.0).abs() < 1e-12);
+        assert!(vm.completeness < 0.8);
+        // Purity is still perfect under over-splitting (its known bias).
+        assert!((purity(&u, &v, OutlierPolicy::Exclude).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_degenerates() {
+        let u = ids(&[0, 0, 1, 1]);
+        let v = ids(&[0, 0, 0, 0]);
+        assert_eq!(
+            normalized_mutual_information(&u, &v, OutlierPolicy::Exclude).unwrap(),
+            0.0
+        );
+        let vm = v_measure(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert_eq!(vm.completeness, 1.0, "one cluster holds each class fully");
+        assert_eq!(vm.homogeneity, 0.0);
+    }
+
+    #[test]
+    fn purity_counts_majorities() {
+        // Cluster 0 of V: 2×class0 + 1×class1 → majority 2.
+        // Cluster 1 of V: 2×class1 → majority 2. Purity 4/5.
+        let u = ids(&[0, 0, 1, 1, 1]);
+        let v = ids(&[0, 0, 0, 1, 1]);
+        assert!((purity(&u, &v, OutlierPolicy::Exclude).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nmi_symmetric_and_bounded(
+            lu in prop::collection::vec(0usize..4, 8..60),
+            lv in prop::collection::vec(0usize..4, 8..60),
+        ) {
+            let n = lu.len().min(lv.len());
+            let u: Vec<_> = lu[..n].iter().map(|&l| Some(ClusterId(l))).collect();
+            let v: Vec<_> = lv[..n].iter().map(|&l| Some(ClusterId(l))).collect();
+            let ab = normalized_mutual_information(&u, &v, OutlierPolicy::Exclude).unwrap();
+            let ba = normalized_mutual_information(&v, &u, OutlierPolicy::Exclude).unwrap();
+            prop_assert!((ab - ba).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&ab));
+        }
+
+        #[test]
+        fn prop_v_measure_components_bounded(
+            lu in prop::collection::vec(0usize..4, 8..60),
+            lv in prop::collection::vec(0usize..4, 8..60),
+        ) {
+            let n = lu.len().min(lv.len());
+            let u: Vec<_> = lu[..n].iter().map(|&l| Some(ClusterId(l))).collect();
+            let v: Vec<_> = lv[..n].iter().map(|&l| Some(ClusterId(l))).collect();
+            let vm = v_measure(&u, &v, OutlierPolicy::Exclude).unwrap();
+            prop_assert!((0.0..=1.0).contains(&vm.homogeneity));
+            prop_assert!((0.0..=1.0).contains(&vm.completeness));
+            prop_assert!((0.0..=1.0).contains(&vm.v_measure()));
+        }
+
+        #[test]
+        fn prop_purity_at_least_largest_class_share(
+            labels in prop::collection::vec(0usize..3, 10..50),
+        ) {
+            let u: Vec<_> = labels.iter().map(|&l| Some(ClusterId(l))).collect();
+            let v: Vec<_> = labels.iter().map(|_| Some(ClusterId(0))).collect();
+            // All-in-one clustering: purity equals the largest class share.
+            let p = purity(&u, &v, OutlierPolicy::Exclude).unwrap();
+            let mut counts = [0u64; 3];
+            for &l in &labels {
+                counts[l] += 1;
+            }
+            let share = *counts.iter().max().unwrap() as f64 / labels.len() as f64;
+            prop_assert!((p - share).abs() < 1e-12);
+        }
+    }
+}

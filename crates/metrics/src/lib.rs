@@ -1,0 +1,32 @@
+//! Evaluation metrics for the SSPC reproduction.
+//!
+//! * [`PairCounts`] / [`adjusted_rand_index`] — the paper's accuracy metric
+//!   (Eq. 5), plus the standard Hubert–Arabie ARI and the plain Rand index
+//!   for cross-checking.
+//! * [`ContingencyTable`] — the cluster × class contingency table behind
+//!   the pair counts.
+//! * [`matching`] — optimal cluster-to-class assignment (Hungarian
+//!   algorithm), needed to score dimension selection when cluster ids are
+//!   arbitrary.
+//! * [`dims`] — precision / recall / F1 of selected dimensions against the
+//!   planted relevant dimensions.
+//! * [`outliers`] — precision / recall of outlier detection.
+//!
+//! All partition-level metrics take assignments as `&[Option<ClusterId>]`,
+//! where `None` marks an outlier; an [`OutlierPolicy`] controls how outlier
+//! objects enter the pair counting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod contingency;
+pub mod dims;
+pub mod info;
+pub mod matching;
+pub mod outliers;
+mod pairs;
+
+pub use contingency::ContingencyTable;
+pub use pairs::{
+    adjusted_rand_index, hubert_arabie_ari, rand_index, OutlierPolicy, PairCounts,
+};

@@ -1,0 +1,290 @@
+//! Optimal cluster-to-class matching via the Hungarian algorithm.
+//!
+//! Produced cluster ids are arbitrary, so scoring anything per-cluster
+//! (dimension selection, per-class accuracy) first requires aligning the
+//! produced clusters with the planted classes. We use the maximum-weight
+//! assignment on the contingency table — the standard choice — computed
+//! exactly with the O(n³) Hungarian (Kuhn–Munkres) algorithm. `k` is tiny
+//! in every experiment, so exactness costs nothing.
+
+use sspc_common::{Error, Result};
+
+/// Solves the assignment problem: given a `rows × cols` weight matrix
+/// (row-major), find a one-to-one matching of rows to columns maximizing
+/// total weight. When the matrix is rectangular, the smaller side is fully
+/// matched.
+///
+/// Returns `assignment[row] = Some(col)` for matched rows.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidShape`] when the weight slice does not have
+/// `rows × cols` entries, or [`Error::InvalidParameter`] on non-finite
+/// weights.
+pub fn max_weight_assignment(
+    weights: &[f64],
+    rows: usize,
+    cols: usize,
+) -> Result<Vec<Option<usize>>> {
+    if weights.len() != rows * cols {
+        return Err(Error::InvalidShape(format!(
+            "weight matrix needs {} entries for {rows}×{cols}, got {}",
+            rows * cols,
+            weights.len()
+        )));
+    }
+    if weights.iter().any(|w| !w.is_finite()) {
+        return Err(Error::InvalidParameter(
+            "weights must be finite".into(),
+        ));
+    }
+    if rows == 0 || cols == 0 {
+        return Ok(vec![None; rows]);
+    }
+
+    // Pad to a square cost matrix; Hungarian minimizes, so negate weights
+    // (shifted so all costs are non-negative, which the potentials handle
+    // anyway but keeps the arithmetic tame).
+    let n = rows.max(cols);
+    let max_w = weights.iter().cloned().fold(f64::MIN, f64::max);
+    let cost = |r: usize, c: usize| -> f64 {
+        if r < rows && c < cols {
+            max_w - weights[r * cols + c]
+        } else {
+            max_w // dummy row/col: uniform cost, never distorts the optimum
+        }
+    };
+
+    // Standard O(n³) Hungarian with potentials (Jonker-style shortest
+    // augmenting paths). 1-based internal arrays as in the classical
+    // formulation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (1-based)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; rows];
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i - 1 < rows && j - 1 < cols {
+            assignment[i - 1] = Some(j - 1);
+        }
+    }
+    Ok(assignment)
+}
+
+/// Matches produced clusters (rows) to reference classes (columns) by
+/// maximizing total overlap, using a contingency table's counts as weights.
+///
+/// Returns `matching[cluster] = Some(class)`.
+///
+/// # Errors
+///
+/// Propagates [`max_weight_assignment`] failures.
+pub fn match_clusters_to_classes(table: &crate::ContingencyTable) -> Result<Vec<Option<usize>>> {
+    // Rows of the contingency table are the reference (U); produced
+    // clusters are the columns (V). Transpose into cluster-major weights.
+    let rows = table.n_cols();
+    let cols = table.n_rows();
+    let mut weights = vec![0.0; rows * cols];
+    for (u_row, v_col, count) in table.cells() {
+        weights[v_col * cols + u_row] = count as f64;
+    }
+    max_weight_assignment(&weights, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_force_best(weights: &[f64], rows: usize, cols: usize) -> f64 {
+        // Enumerate all injective row→col maps (small sizes only).
+        fn rec(weights: &[f64], cols: usize, row: usize, rows: usize, used: &mut Vec<bool>) -> f64 {
+            if row == rows {
+                return 0.0;
+            }
+            let mut best = f64::NEG_INFINITY;
+            // Option: leave this row unmatched only if rows > cols handled
+            // by padding; for brute force, allow skipping when no cols left.
+            let free = used.iter().filter(|&&u| !u).count();
+            if free == 0 || rows - row > free {
+                // must skip some rows
+                best = best.max(rec(weights, cols, row + 1, rows, used));
+            }
+            for c in 0..cols {
+                if !used[c] {
+                    used[c] = true;
+                    let sub = rec(weights, cols, row + 1, rows, used);
+                    best = best.max(weights[row * cols + c] + sub);
+                    used[c] = false;
+                }
+            }
+            best
+        }
+        let mut used = vec![false; cols];
+        rec(weights, cols, 0, rows, &mut used)
+    }
+
+    fn assignment_weight(
+        weights: &[f64],
+        cols: usize,
+        assignment: &[Option<usize>],
+    ) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(r, c)| c.map(|c| weights[r * cols + c]))
+            .sum()
+    }
+
+    #[test]
+    fn identity_matrix_matches_diagonal() {
+        let w = vec![
+            1.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, //
+            0.0, 0.0, 1.0,
+        ];
+        let a = max_weight_assignment(&w, 3, 3).unwrap();
+        assert_eq!(a, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn picks_off_diagonal_when_better() {
+        let w = vec![
+            1.0, 10.0, //
+            10.0, 1.0,
+        ];
+        let a = max_weight_assignment(&w, 2, 2).unwrap();
+        assert_eq!(a, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_matrices_match_smaller_side() {
+        let w = vec![
+            5.0, 1.0, 1.0, //
+            1.0, 5.0, 1.0,
+        ];
+        let a = max_weight_assignment(&w, 2, 3).unwrap();
+        assert_eq!(a, vec![Some(0), Some(1)]);
+
+        let w_t = vec![
+            5.0, 1.0, //
+            1.0, 5.0, //
+            1.0, 1.0,
+        ];
+        let a = max_weight_assignment(&w_t, 3, 2).unwrap();
+        let matched: Vec<_> = a.iter().filter(|c| c.is_some()).collect();
+        assert_eq!(matched.len(), 2);
+        assert_eq!(a[0], Some(0));
+        assert_eq!(a[1], Some(1));
+        assert_eq!(a[2], None);
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_nan() {
+        assert!(max_weight_assignment(&[1.0; 5], 2, 3).is_err());
+        assert!(max_weight_assignment(&[1.0, f64::NAN, 0.0, 1.0], 2, 2).is_err());
+    }
+
+    #[test]
+    fn empty_dimensions() {
+        assert_eq!(max_weight_assignment(&[], 0, 0).unwrap(), Vec::<Option<usize>>::new());
+        assert_eq!(max_weight_assignment(&[], 2, 0).unwrap(), vec![None, None]);
+    }
+
+    #[test]
+    fn contingency_matching_aligns_permuted_labels() {
+        use crate::{ContingencyTable, OutlierPolicy};
+        use sspc_common::ClusterId;
+        // truth classes 0,1,2 / produced clusters are a permutation (2,0,1)
+        let u: Vec<_> = [0, 0, 1, 1, 2, 2]
+            .iter()
+            .map(|&l| Some(ClusterId(l)))
+            .collect();
+        let v: Vec<_> = [2, 2, 0, 0, 1, 1]
+            .iter()
+            .map(|&l| Some(ClusterId(l)))
+            .collect();
+        let t = ContingencyTable::build(&u, &v, OutlierPolicy::Exclude).unwrap();
+        let m = match_clusters_to_classes(&t).unwrap();
+        // Produced cluster 2 (first seen → compacted index 0) ↔ class 0 …
+        // Verify via total matched overlap instead of raw indices:
+        let total: u64 = m
+            .iter()
+            .enumerate()
+            .filter_map(|(cl, class)| class.map(|cls| t.count(cls, cl)))
+            .sum();
+        assert_eq!(total, 6, "perfect permutation should fully match");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hungarian_matches_brute_force(
+            rows in 1usize..5,
+            cols in 1usize..5,
+            seed in 0u64..1000,
+        ) {
+            use rand::Rng;
+            let mut rng = sspc_common::rng::seeded_rng(seed);
+            let weights: Vec<f64> = (0..rows * cols)
+                .map(|_| rng.gen_range(0.0..10.0))
+                .collect();
+            let a = max_weight_assignment(&weights, rows, cols).unwrap();
+            // Validity: injective.
+            let mut seen = std::collections::HashSet::new();
+            for c in a.iter().flatten() {
+                prop_assert!(seen.insert(*c));
+            }
+            let got = assignment_weight(&weights, cols, &a);
+            let best = brute_force_best(&weights, rows, cols);
+            prop_assert!((got - best).abs() < 1e-9, "got {got}, best {best}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Outlier-detection quality (paper Sec. 5.2: "the amount of objects
+//! detected as outliers also highly resembles the actual amount of outliers
+//! in the datasets").
+
+use sspc_common::{ClusterId, Error, Result};
+
+/// Precision / recall of outlier detection, plus the raw counts the paper
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutlierQuality {
+    /// Of objects reported as outliers, the fraction that truly are.
+    pub precision: f64,
+    /// Of true outliers, the fraction reported.
+    pub recall: f64,
+    /// Number of true outliers.
+    pub true_outliers: usize,
+    /// Number of reported outliers.
+    pub reported_outliers: usize,
+}
+
+impl OutlierQuality {
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let denom = self.precision + self.recall;
+        if denom == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / denom
+        }
+    }
+}
+
+/// Scores reported outliers (`None` entries of `produced`) against true
+/// outliers (`None` entries of `truth`).
+///
+/// Conventions for empty sets: precision is 1 when nothing was reported,
+/// recall is 1 when there are no true outliers — "no false alarms" and
+/// "nothing to find" are both perfect scores.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidShape`] on length mismatch.
+pub fn outlier_quality(
+    truth: &[Option<ClusterId>],
+    produced: &[Option<ClusterId>],
+) -> Result<OutlierQuality> {
+    if truth.len() != produced.len() {
+        return Err(Error::InvalidShape(format!(
+            "partitions cover {} and {} objects",
+            truth.len(),
+            produced.len()
+        )));
+    }
+    let mut true_outliers = 0usize;
+    let mut reported = 0usize;
+    let mut hits = 0usize;
+    for (t, p) in truth.iter().zip(produced.iter()) {
+        let is_true = t.is_none();
+        let is_reported = p.is_none();
+        true_outliers += is_true as usize;
+        reported += is_reported as usize;
+        hits += (is_true && is_reported) as usize;
+    }
+    let precision = if reported == 0 {
+        1.0
+    } else {
+        hits as f64 / reported as f64
+    };
+    let recall = if true_outliers == 0 {
+        1.0
+    } else {
+        hits as f64 / true_outliers as f64
+    };
+    Ok(OutlierQuality {
+        precision,
+        recall,
+        true_outliers,
+        reported_outliers: reported,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(labels: &[i64]) -> Vec<Option<ClusterId>> {
+        labels
+            .iter()
+            .map(|&l| (l >= 0).then_some(ClusterId(l as usize)))
+            .collect()
+    }
+
+    #[test]
+    fn exact_detection() {
+        let truth = ids(&[0, -1, 1, -1]);
+        let q = outlier_quality(&truth, &truth).unwrap();
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.true_outliers, 2);
+        assert_eq!(q.reported_outliers, 2);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn over_reporting_hurts_precision() {
+        let truth = ids(&[0, -1, 1, 1]);
+        let produced = ids(&[0, -1, -1, 1]);
+        let q = outlier_quality(&truth, &produced).unwrap();
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn under_reporting_hurts_recall() {
+        let truth = ids(&[-1, -1, 0, 0]);
+        let produced = ids(&[-1, 0, 0, 0]);
+        let q = outlier_quality(&truth, &produced).unwrap();
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.5);
+    }
+
+    #[test]
+    fn empty_sets_are_perfect() {
+        let truth = ids(&[0, 1]);
+        let q = outlier_quality(&truth, &truth).unwrap();
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_reports_score_zero_f1() {
+        let truth = ids(&[-1, 0]);
+        let produced = ids(&[0, -1]);
+        let q = outlier_quality(&truth, &produced).unwrap();
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1(), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        assert!(outlier_quality(&ids(&[0]), &ids(&[0, 1])).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+use sspc_common::{ClusterId, Error, Result};
+
+/// How outlier objects (`None` assignments) participate in pair counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutlierPolicy {
+    /// Objects that are an outlier in **either** partition are dropped
+    /// before counting pairs. This mirrors the paper's practice of scoring
+    /// only the clustered structure (labeled objects are also removed before
+    /// scoring in the semi-supervised runs — that removal is done by the
+    /// experiment harness, not here).
+    #[default]
+    Exclude,
+    /// Outliers form one ordinary extra cluster per partition. Penalizes
+    /// algorithms for discarding real members, rewards genuine outlier
+    /// agreement.
+    AsCluster,
+}
+
+/// Pair-counting summary of two partitions of the same objects.
+///
+/// Using the paper's notation: over all unordered object pairs,
+/// `a` = same cluster in both U and V, `b` = same in U only,
+/// `c` = same in V only, `d` = different in both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Pairs together in both partitions.
+    pub a: u64,
+    /// Pairs together in U, apart in V.
+    pub b: u64,
+    /// Pairs apart in U, together in V.
+    pub c: u64,
+    /// Pairs apart in both partitions.
+    pub d: u64,
+}
+
+impl PairCounts {
+    /// Counts pairs between partitions `u` (reference / real clusters) and
+    /// `v` (produced clusters).
+    ///
+    /// Runs in O(n + |U|·|V|) via the contingency table rather than O(n²)
+    /// pair enumeration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] if the slices differ in length or
+    /// fewer than two objects survive the outlier policy.
+    pub fn count(
+        u: &[Option<ClusterId>],
+        v: &[Option<ClusterId>],
+        policy: OutlierPolicy,
+    ) -> Result<Self> {
+        if u.len() != v.len() {
+            return Err(Error::InvalidShape(format!(
+                "partitions cover {} and {} objects",
+                u.len(),
+                v.len()
+            )));
+        }
+        let table = crate::ContingencyTable::build(u, v, policy)?;
+        let n = table.total();
+        if n < 2 {
+            return Err(Error::InvalidShape(format!(
+                "need at least 2 objects to count pairs, got {n}"
+            )));
+        }
+
+        let pairs = |x: u64| x * x.saturating_sub(1) / 2;
+        let a: u64 = table.cells().map(|(_, _, count)| pairs(count)).sum();
+        let same_u: u64 = table.row_sums().iter().map(|&s| pairs(s)).sum();
+        let same_v: u64 = table.col_sums().iter().map(|&s| pairs(s)).sum();
+        let total_pairs = pairs(n);
+        let b = same_u - a;
+        let c = same_v - a;
+        let d = total_pairs - a - b - c;
+        Ok(PairCounts { a, b, c, d })
+    }
+
+    /// Total number of unordered pairs counted.
+    pub fn total(&self) -> u64 {
+        self.a + self.b + self.c + self.d
+    }
+}
+
+/// The Adjusted Rand Index exactly as defined in the paper (Eq. 5):
+///
+/// ```text
+/// ARI(U, V) = 2(ad − bc) / ((a+b)(b+d) + (a+c)(c+d))
+/// ```
+///
+/// 1 for identical partitions, ≈0 for a random partition. (This is the
+/// classic Hubert 1977 normalization used by Yeung & Ruzzo; it differs
+/// slightly from the Hubert–Arabie expected-value form, provided as
+/// [`hubert_arabie_ari`] for cross-checking — the two agree closely on
+/// balanced partitions.)
+///
+/// # Errors
+///
+/// Propagates [`PairCounts::count`] failures. A degenerate case where the
+/// denominator is zero (e.g. both partitions put everything in one cluster)
+/// returns 0.
+pub fn adjusted_rand_index(
+    u: &[Option<ClusterId>],
+    v: &[Option<ClusterId>],
+    policy: OutlierPolicy,
+) -> Result<f64> {
+    let pc = PairCounts::count(u, v, policy)?;
+    let (a, b, c, d) = (pc.a as f64, pc.b as f64, pc.c as f64, pc.d as f64);
+    let denom = (a + b) * (b + d) + (a + c) * (c + d);
+    if denom == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(2.0 * (a * d - b * c) / denom)
+}
+
+/// The Hubert–Arabie ARI: `(RI − E[RI]) / (max RI − E[RI])` in its
+/// pair-count form. Provided for cross-checking against the paper's Eq. 5.
+///
+/// # Errors
+///
+/// Propagates [`PairCounts::count`] failures; degenerate denominators give 0.
+pub fn hubert_arabie_ari(
+    u: &[Option<ClusterId>],
+    v: &[Option<ClusterId>],
+    policy: OutlierPolicy,
+) -> Result<f64> {
+    let pc = PairCounts::count(u, v, policy)?;
+    let (a, b, c, d) = (pc.a as f64, pc.b as f64, pc.c as f64, pc.d as f64);
+    let n = a + b + c + d;
+    let expected = (a + b) * (a + c) / n;
+    let max = 0.5 * ((a + b) + (a + c));
+    let denom = max - expected;
+    if denom.abs() < f64::EPSILON {
+        return Ok(0.0);
+    }
+    Ok((a - expected) / denom)
+}
+
+/// The plain Rand index `(a + d) / (a + b + c + d)`.
+///
+/// # Errors
+///
+/// Propagates [`PairCounts::count`] failures.
+pub fn rand_index(
+    u: &[Option<ClusterId>],
+    v: &[Option<ClusterId>],
+    policy: OutlierPolicy,
+) -> Result<f64> {
+    let pc = PairCounts::count(u, v, policy)?;
+    Ok((pc.a + pc.d) as f64 / pc.total() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(labels: &[i64]) -> Vec<Option<ClusterId>> {
+        labels
+            .iter()
+            .map(|&l| (l >= 0).then_some(ClusterId(l as usize)))
+            .collect()
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let u = ids(&[0, 0, 1, 1, 2, 2]);
+        let ari = adjusted_rand_index(&u, &u, OutlierPolicy::Exclude).unwrap();
+        assert!((ari - 1.0).abs() < 1e-12);
+        assert!((rand_index(&u, &u, OutlierPolicy::Exclude).unwrap() - 1.0).abs() < 1e-12);
+        assert!((hubert_arabie_ari(&u, &u, OutlierPolicy::Exclude).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_counts_match_hand_enumeration() {
+        // U: {0,1},{2,3}; V: {0,1,2},{3}
+        let u = ids(&[0, 0, 1, 1]);
+        let v = ids(&[0, 0, 0, 1]);
+        let pc = PairCounts::count(&u, &v, OutlierPolicy::Exclude).unwrap();
+        // pairs: (01): same both → a. (02): diff U, same V → c. (03): diff both → d.
+        // (12): diff U, same V → c. (13): diff both → d. (23): same U, diff V → b.
+        assert_eq!(pc, PairCounts { a: 1, b: 1, c: 2, d: 2 });
+        assert_eq!(pc.total(), 6);
+    }
+
+    #[test]
+    fn label_renaming_is_invariant() {
+        let u = ids(&[0, 0, 1, 1, 2]);
+        let v = ids(&[2, 2, 0, 0, 1]);
+        let ari = adjusted_rand_index(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert!((ari - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclude_policy_drops_outliers_from_either_side() {
+        let u = ids(&[0, 0, 1, 1, -1]);
+        let v = ids(&[0, 0, 1, -1, 1]);
+        // Surviving objects: 0,1,2 → U: {0,1},{2}; V: {0,1},{2} → identical.
+        let ari = adjusted_rand_index(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert!((ari - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn as_cluster_policy_counts_outliers() {
+        let u = ids(&[0, 0, -1, -1]);
+        let v = ids(&[0, 0, -1, -1]);
+        let ari = adjusted_rand_index(&u, &v, OutlierPolicy::AsCluster).unwrap();
+        assert!((ari - 1.0).abs() < 1e-12);
+        // Disagreeing outliers hurt under AsCluster…
+        let w = ids(&[0, -1, 0, -1]);
+        let ari2 = adjusted_rand_index(&u, &w, OutlierPolicy::AsCluster).unwrap();
+        assert!(ari2 < 1.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_and_tiny_inputs_error() {
+        let u = ids(&[0, 1]);
+        let v = ids(&[0]);
+        assert!(PairCounts::count(&u, &v, OutlierPolicy::Exclude).is_err());
+        let u = ids(&[0, -1]);
+        let v = ids(&[0, -1]);
+        assert!(PairCounts::count(&u, &v, OutlierPolicy::Exclude).is_err());
+    }
+
+    #[test]
+    fn single_cluster_vs_singletons_is_degenerate_zero() {
+        let u = ids(&[0, 0, 0, 0]);
+        let v = ids(&[0, 1, 2, 3]);
+        let ari = adjusted_rand_index(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert_eq!(ari, 0.0);
+    }
+
+    #[test]
+    fn random_partition_scores_near_zero() {
+        use rand::Rng;
+        let mut rng = sspc_common::rng::seeded_rng(4);
+        let n = 2000;
+        let u: Vec<Option<ClusterId>> =
+            (0..n).map(|_| Some(ClusterId(rng.gen_range(0..4)))).collect();
+        let v: Vec<Option<ClusterId>> =
+            (0..n).map(|_| Some(ClusterId(rng.gen_range(0..4)))).collect();
+        let ari = adjusted_rand_index(&u, &v, OutlierPolicy::Exclude).unwrap();
+        assert!(ari.abs() < 0.02, "got {ari}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ari_symmetric(labels_u in prop::collection::vec(0usize..5, 10..60),
+                              labels_v in prop::collection::vec(0usize..5, 10..60)) {
+            let n = labels_u.len().min(labels_v.len());
+            let u: Vec<_> = labels_u[..n].iter().map(|&l| Some(ClusterId(l))).collect();
+            let v: Vec<_> = labels_v[..n].iter().map(|&l| Some(ClusterId(l))).collect();
+            let ab = adjusted_rand_index(&u, &v, OutlierPolicy::Exclude).unwrap();
+            let ba = adjusted_rand_index(&v, &u, OutlierPolicy::Exclude).unwrap();
+            prop_assert!((ab - ba).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_ari_bounded_above_by_one(labels_u in prop::collection::vec(0usize..4, 5..50),
+                                          labels_v in prop::collection::vec(0usize..4, 5..50)) {
+            let n = labels_u.len().min(labels_v.len());
+            let u: Vec<_> = labels_u[..n].iter().map(|&l| Some(ClusterId(l))).collect();
+            let v: Vec<_> = labels_v[..n].iter().map(|&l| Some(ClusterId(l))).collect();
+            let ari = adjusted_rand_index(&u, &v, OutlierPolicy::Exclude).unwrap();
+            prop_assert!(ari <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn prop_pair_counts_total_is_n_choose_2(labels in prop::collection::vec(0usize..6, 2..80)) {
+            let u: Vec<_> = labels.iter().map(|&l| Some(ClusterId(l))).collect();
+            let v: Vec<_> = labels.iter().rev().map(|&l| Some(ClusterId(l))).collect();
+            let pc = PairCounts::count(&u, &v, OutlierPolicy::Exclude).unwrap();
+            let n = labels.len() as u64;
+            prop_assert_eq!(pc.total(), n * (n - 1) / 2);
+        }
+
+        #[test]
+        fn prop_both_ari_forms_agree_in_sign_for_strong_structure(
+            k in 2usize..5, per in 5usize..20
+        ) {
+            // Identical partitions with k clusters of equal size.
+            let mut labels = Vec::new();
+            for c in 0..k {
+                labels.extend(std::iter::repeat(Some(ClusterId(c))).take(per));
+            }
+            let a1 = adjusted_rand_index(&labels, &labels, OutlierPolicy::Exclude).unwrap();
+            let a2 = hubert_arabie_ari(&labels, &labels, OutlierPolicy::Exclude).unwrap();
+            prop_assert!((a1 - 1.0).abs() < 1e-9);
+            prop_assert!((a2 - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! SSPC's outlier list in action (paper Sec. 5.2): objects that improve no
+//! cluster's objective score are set aside rather than forced into a
+//! cluster, and the size of the outlier list tracks the true contamination.
+//!
+//! ```text
+//! cargo run --release -p sspc-bench --example outlier_detection
+//! ```
+
+use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
+use sspc_datagen::{generate, GeneratorConfig};
+use sspc_metrics::outliers::outlier_quality;
+use sspc_metrics::{adjusted_rand_index, OutlierPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("contamination  ARI    true  reported  precision  recall");
+    println!("--------------------------------------------------------");
+    for pct in [0.0, 0.10, 0.20] {
+        let config = GeneratorConfig {
+            n: 500,
+            d: 60,
+            k: 4,
+            avg_cluster_dims: 10,
+            outlier_fraction: pct,
+            ..Default::default()
+        };
+        let data = generate(&config, 11)?;
+        let params = SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5));
+        let result = Sspc::new(params)?.run(&data.dataset, &Supervision::none(), 5)?;
+
+        let ari = adjusted_rand_index(
+            data.truth.assignment(),
+            result.assignment(),
+            OutlierPolicy::AsCluster,
+        )?;
+        let q = outlier_quality(data.truth.assignment(), result.assignment())?;
+        println!(
+            "{:>11.0}%  {:.3}  {:>4}  {:>8}  {:>9.2}  {:>6.2}",
+            pct * 100.0,
+            ari,
+            q.true_outliers,
+            q.reported_outliers,
+            q.precision,
+            q.recall
+        );
+    }
+    println!("\nThe reported outlier count tracks the planted contamination level.");
+    Ok(())
+}

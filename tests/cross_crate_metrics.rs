@@ -1,0 +1,125 @@
+//! Metric-level integration: ARI and dimension metrics evaluated on real
+//! generator output and real algorithm output, plus consistency between
+//! the paper's ARI (Eq. 5) and the Hubert–Arabie form.
+
+use sspc_common::{ClusterId, DimId, ObjectId};
+use sspc_datagen::{generate, GeneratorConfig};
+use sspc_metrics::{
+    adjusted_rand_index, hubert_arabie_ari, rand_index, ContingencyTable, OutlierPolicy,
+};
+
+fn data() -> sspc_datagen::GeneratedData {
+    generate(
+        &GeneratorConfig {
+            n: 300,
+            d: 40,
+            k: 4,
+            avg_cluster_dims: 8,
+            outlier_fraction: 0.1,
+            ..Default::default()
+        },
+        77,
+    )
+    .unwrap()
+}
+
+#[test]
+fn truth_against_itself_is_perfect_under_both_policies() {
+    let data = data();
+    let t = data.truth.assignment();
+    for policy in [OutlierPolicy::Exclude, OutlierPolicy::AsCluster] {
+        assert!((adjusted_rand_index(t, t, policy).unwrap() - 1.0).abs() < 1e-12);
+        assert!((rand_index(t, t, policy).unwrap() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn ari_forms_agree_on_real_partitions() {
+    // Eq. 5 and Hubert–Arabie coincide on balanced partitions to within a
+    // small gap; verify on a realistic perturbed partition.
+    let data = data();
+    let t = data.truth.assignment();
+    let mut v = t.to_vec();
+    // Perturb 10% of assignments.
+    for i in (0..v.len()).step_by(10) {
+        v[i] = Some(ClusterId((i / 10) % 4));
+    }
+    let eq5 = adjusted_rand_index(t, &v, OutlierPolicy::Exclude).unwrap();
+    let ha = hubert_arabie_ari(t, &v, OutlierPolicy::Exclude).unwrap();
+    assert!((eq5 - ha).abs() < 0.05, "eq5 {eq5} vs HA {ha}");
+    assert!(eq5 < 1.0 && eq5 > 0.4);
+}
+
+#[test]
+fn contingency_table_totals_match_policy() {
+    let data = data();
+    let t = data.truth.assignment();
+    let n = t.len() as u64;
+    let n_out = data.truth.n_outliers() as u64;
+
+    let excl = ContingencyTable::build(t, t, OutlierPolicy::Exclude).unwrap();
+    assert_eq!(excl.total(), n - n_out);
+    let asc = ContingencyTable::build(t, t, OutlierPolicy::AsCluster).unwrap();
+    assert_eq!(asc.total(), n);
+    // Outliers occupy exactly one extra row/column under AsCluster.
+    assert_eq!(asc.n_rows(), excl.n_rows() + 1);
+}
+
+#[test]
+fn dim_quality_perfect_on_ground_truth() {
+    let data = data();
+    let truth_dims: Vec<Vec<DimId>> = (0..4)
+        .map(|c| data.truth.relevant_dims(ClusterId(c)).to_vec())
+        .collect();
+    let q = sspc_metrics::dims::dim_selection_quality(
+        data.truth.assignment(),
+        &truth_dims,
+        data.truth.assignment(),
+        &truth_dims,
+    )
+    .unwrap();
+    assert_eq!(q.precision, 1.0);
+    assert_eq!(q.recall, 1.0);
+    assert_eq!(q.matched_clusters, 4);
+}
+
+#[test]
+fn outlier_quality_detects_truth_roundtrip() {
+    let data = data();
+    let q = sspc_metrics::outliers::outlier_quality(
+        data.truth.assignment(),
+        data.truth.assignment(),
+    )
+    .unwrap();
+    assert_eq!(q.precision, 1.0);
+    assert_eq!(q.recall, 1.0);
+    assert_eq!(q.true_outliers, 30);
+}
+
+#[test]
+fn ari_penalizes_shuffled_labels() {
+    let data = data();
+    let t = data.truth.assignment();
+    let mut shuffled = t.to_vec();
+    shuffled.rotate_right(t.len() / 3);
+    let ari = adjusted_rand_index(t, &shuffled, OutlierPolicy::Exclude).unwrap();
+    assert!(ari < 0.5, "rotation should destroy agreement, got {ari}");
+}
+
+#[test]
+fn members_and_outliers_partition_objects() {
+    let data = data();
+    let mut seen = vec![false; data.truth.n_objects()];
+    for c in 0..data.truth.n_classes() {
+        for o in data.truth.members_of(ClusterId(c)) {
+            assert!(!seen[o.index()]);
+            seen[o.index()] = true;
+        }
+    }
+    for o in data.truth.outliers() {
+        assert!(!seen[o.index()]);
+        seen[o.index()] = true;
+    }
+    assert!(seen.iter().all(|&s| s));
+    let _ = ObjectId(0);
+}

@@ -1,0 +1,69 @@
+//! Smoke tests of the experiment harness: the analytical figures run at
+//! full fidelity (they are cheap); the clustering experiments are validated
+//! on their building blocks so the suite stays fast — the full sweeps run
+//! via `cargo run --release -p sspc-bench --bin experiments -- all`.
+
+use sspc_bench::experiments;
+use sspc_bench::runner;
+use sspc_bench::table::Table;
+use sspc::{SspcParams, Supervision, ThresholdScheme};
+use sspc_baselines::proclus::ProclusParams;
+use sspc_datagen::{generate, GeneratorConfig};
+
+#[test]
+fn fig1_and_fig2_regenerate() {
+    let t1 = experiments::fig1().unwrap();
+    let t2 = experiments::fig2().unwrap();
+    assert_eq!(t1.len(), 1);
+    assert_eq!(t2.len(), 1);
+    assert_eq!(t1[0].rows.len(), 10);
+    assert_eq!(t2[0].rows.len(), 10);
+    // Every probability cell parses as a float in [0, 1] (or is a dash).
+    for table in t1.iter().chain(t2.iter()) {
+        for row in &table.rows {
+            for cell in &row[1..] {
+                if cell != "-" {
+                    let v: f64 = cell.parse().unwrap();
+                    assert!((0.0..=1.0).contains(&v), "{cell}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tables_render_to_text() {
+    let t = experiments::fig2().unwrap().remove(0);
+    let s = t.to_string();
+    assert!(s.contains("Fig. 2"));
+    assert!(s.lines().count() > 10);
+}
+
+#[test]
+fn runner_protocol_matches_paper_best_of_n() {
+    let data = generate(
+        &GeneratorConfig {
+            n: 200,
+            d: 30,
+            k: 3,
+            avg_cluster_dims: 6,
+            ..Default::default()
+        },
+        9,
+    )
+    .unwrap();
+    let params = SspcParams::new(3).with_threshold(ThresholdScheme::MFraction(0.5));
+    let t = runner::best_sspc_of(&data.dataset, &params, &Supervision::none(), 3, 4).unwrap();
+    let ari = runner::ari_vs_truth(&data.truth, t.value.assignment()).unwrap();
+    assert!(ari > 0.7, "best-of-3 ARI {ari}");
+
+    let p = runner::best_proclus_of(&data.dataset, &ProclusParams::new(3, 6), 3, 4).unwrap();
+    let ari = runner::ari_vs_truth(&data.truth, p.value.assignment()).unwrap();
+    assert!(ari > 0.5, "PROCLUS best-of-3 ARI {ari}");
+}
+
+#[test]
+fn table_num_formatting() {
+    assert_eq!(Table::num(Some(1.0)), "1.000");
+    assert_eq!(Table::num(None), "-");
+}

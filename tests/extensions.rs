@@ -1,0 +1,204 @@
+//! Integration tests of the Sec. 6 extension features working together:
+//! noisy labels → validation → clustering, fuzzy labels → hardening →
+//! clustering, Gaussian globals with the p-scheme, and dataset I/O.
+
+use sspc::validation::{validate_supervision, ValidationParams, Verdict};
+use sspc::{FuzzySupervision, Sspc, SspcParams, Supervision, ThresholdScheme};
+use sspc_common::io::{normalize, read_delimited, write_delimited, Normalization};
+use sspc_common::rng::derive_seed;
+use sspc_common::ClusterId;
+use sspc_datagen::supervision::{draw, draw_noisy, InputKind};
+use sspc_datagen::{generate, GeneratorConfig, GlobalDistribution};
+use sspc_metrics::{adjusted_rand_index, OutlierPolicy};
+
+fn config() -> GeneratorConfig {
+    GeneratorConfig {
+        n: 160,
+        d: 400,
+        k: 4,
+        avg_cluster_dims: 12,
+        ..Default::default()
+    }
+}
+
+fn ari(truth: &sspc_datagen::GroundTruth, produced: &[Option<ClusterId>]) -> f64 {
+    adjusted_rand_index(truth.assignment(), produced, OutlierPolicy::AsCluster).unwrap()
+}
+
+#[test]
+fn validation_pipeline_recovers_from_heavy_corruption() {
+    let data = generate(&config(), 71).unwrap();
+    // Half the labels wrong.
+    let noisy = draw_noisy(&data.truth, 400, InputKind::Both, 1.0, 6, 0.5, 3).unwrap();
+    let supervision = Supervision::new(noisy.labeled_objects, noisy.labeled_dims);
+    let report =
+        validate_supervision(&data.dataset, &supervision, &ValidationParams::default()).unwrap();
+    assert!(
+        report.n_rejected() > 0,
+        "half-corrupted labels must trigger rejections"
+    );
+    let cleaned = report.cleaned();
+    // Measure the cleaned label error rate: it should be clearly below 50%.
+    let wrong = cleaned
+        .labeled_objects()
+        .iter()
+        .filter(|&&(o, c)| data.truth.class_of(o) != Some(c))
+        .count();
+    let total = cleaned.labeled_objects().len().max(1);
+    assert!(
+        (wrong as f64 / total as f64) < 0.35,
+        "cleaned object labels still {wrong}/{total} wrong"
+    );
+}
+
+#[test]
+fn validation_keeps_clean_labels_intact() {
+    let data = generate(&config(), 73).unwrap();
+    let clean = draw(&data.truth, InputKind::Both, 1.0, 6, 5).unwrap();
+    let supervision = Supervision::new(clean.labeled_objects, clean.labeled_dims);
+    let report =
+        validate_supervision(&data.dataset, &supervision, &ValidationParams::default()).unwrap();
+    let rejected = report.n_rejected();
+    let total = supervision.labeled_objects().len() + supervision.labeled_dims().len();
+    assert!(
+        rejected * 10 <= total,
+        "validator rejected {rejected}/{total} correct labels"
+    );
+    // No correct dimension label may be rejected outright when the class
+    // has labeled objects backing it.
+    for (j, c, v) in &report.dim_verdicts {
+        if *v == Verdict::Rejected {
+            assert!(
+                !data.truth.is_relevant(*c, *j),
+                "correct dim label {j} for class {c} rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzzy_hardening_feeds_sspc() {
+    let data = generate(&config(), 77).unwrap();
+    let clean = draw(&data.truth, InputKind::Both, 1.0, 5, 7).unwrap();
+    let mut fuzzy = FuzzySupervision::none();
+    for &(o, c) in &clean.labeled_objects {
+        fuzzy = fuzzy.label_object(o, c, 0.9).unwrap();
+    }
+    for &(j, c) in &clean.labeled_dims {
+        fuzzy = fuzzy.label_dim(j, c, 0.8).unwrap();
+    }
+    let hard = fuzzy.harden(0.5);
+    let params = SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5));
+    let result = Sspc::new(params)
+        .unwrap()
+        .run(&data.dataset, &hard, 9)
+        .unwrap();
+    assert!(ari(&data.truth, result.assignment()) > 0.8);
+}
+
+#[test]
+fn fuzzy_sampling_integrates_over_runs() {
+    let data = generate(&config(), 79).unwrap();
+    let clean = draw(&data.truth, InputKind::Both, 1.0, 5, 11).unwrap();
+    let mut fuzzy = FuzzySupervision::none();
+    for &(o, c) in &clean.labeled_objects {
+        fuzzy = fuzzy.label_object(o, c, 0.7).unwrap();
+    }
+    for &(j, c) in &clean.labeled_dims {
+        fuzzy = fuzzy.label_dim(j, c, 0.7).unwrap();
+    }
+    let params = SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5));
+    let sspc = Sspc::new(params).unwrap();
+    let mut scores = Vec::new();
+    for r in 0..3u64 {
+        let hard = fuzzy.sample(derive_seed(100, r));
+        let result = sspc.run(&data.dataset, &hard, derive_seed(200, r)).unwrap();
+        scores.push(ari(&data.truth, result.assignment()));
+    }
+    let best = scores.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(best > 0.6, "sampled-label runs all failed: {scores:?}");
+}
+
+#[test]
+fn p_scheme_on_gaussian_globals_matches_its_assumption() {
+    // Gaussian globals have ~3× less variance than uniform ones over the
+    // same box, so the local-to-global contrast shrinks; keep the local
+    // spread at the tight end and the dimensionality moderate so the
+    // regime isolates the distributional assumption rather than raw
+    // difficulty.
+    let cfg = GeneratorConfig {
+        n: 300,
+        d: 100,
+        k: 4,
+        avg_cluster_dims: 12,
+        local_sd_frac_max: 0.04,
+        global_distribution: GlobalDistribution::Gaussian,
+        ..Default::default()
+    };
+    let data = generate(&cfg, 83).unwrap();
+    let params = SspcParams::new(4).with_threshold(ThresholdScheme::PValue(0.05));
+    let sspc = Sspc::new(params).unwrap();
+    let best = (0..4)
+        .map(|s| sspc.run(&data.dataset, &Supervision::none(), s).unwrap())
+        .max_by(|a, b| a.objective().partial_cmp(&b.objective()).unwrap())
+        .unwrap();
+    assert!(
+        ari(&data.truth, best.assignment()) > 0.7,
+        "p-scheme should excel under its stated Gaussian assumption"
+    );
+}
+
+#[test]
+fn io_roundtrip_preserves_clustering_behaviour() {
+    let data = generate(
+        &GeneratorConfig {
+            n: 60,
+            d: 20,
+            k: 3,
+            avg_cluster_dims: 6,
+            ..Default::default()
+        },
+        89,
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    write_delimited(&data.dataset, &mut buf, '\t').unwrap();
+    let reread = read_delimited(std::io::Cursor::new(buf), '\t').unwrap();
+    assert_eq!(data.dataset, reread);
+
+    let params = SspcParams::new(3).with_threshold(ThresholdScheme::MFraction(0.5));
+    let sspc = Sspc::new(params).unwrap();
+    let a = sspc.run(&data.dataset, &Supervision::none(), 5).unwrap();
+    let b = sspc.run(&reread, &Supervision::none(), 5).unwrap();
+    assert_eq!(a, b, "identical data + seed must give identical results");
+}
+
+#[test]
+fn normalization_preserves_projected_structure() {
+    // SSPC's threshold normalizes per dimension, so z-scoring must not
+    // change what it finds (up to numerical jitter in grid binning).
+    let data = generate(
+        &GeneratorConfig {
+            n: 120,
+            d: 30,
+            k: 3,
+            avg_cluster_dims: 8,
+            ..Default::default()
+        },
+        97,
+    )
+    .unwrap();
+    let normalized = normalize(&data.dataset, Normalization::ZScore).unwrap();
+    let params = SspcParams::new(3).with_threshold(ThresholdScheme::MFraction(0.5));
+    let sspc = Sspc::new(params).unwrap();
+    let raw_best = (0..3)
+        .map(|s| sspc.run(&data.dataset, &Supervision::none(), s).unwrap())
+        .map(|r| ari(&data.truth, r.assignment()))
+        .fold(f64::MIN, f64::max);
+    let norm_best = (0..3)
+        .map(|s| sspc.run(&normalized, &Supervision::none(), s).unwrap())
+        .map(|r| ari(&data.truth, r.assignment()))
+        .fold(f64::MIN, f64::max);
+    assert!(raw_best > 0.8, "raw {raw_best}");
+    assert!(norm_best > 0.8, "normalized {norm_best}");
+}

@@ -1,0 +1,197 @@
+//! Property-based invariants of the full pipeline: whatever the data and
+//! seeds, results must be structurally sound and internally consistent.
+
+use proptest::prelude::*;
+use sspc::objective::{total_score, ClusterModel};
+use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme, Thresholds};
+use sspc_baselines::{clarans, harp, proclus};
+use sspc_common::{ClusterId, Dataset};
+use sspc_datagen::{generate, GeneratorConfig};
+
+/// A small random generator configuration for fast property checks.
+fn small_config(k: usize, d: usize, l: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        n: 80,
+        d,
+        k,
+        avg_cluster_dims: l,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sspc_results_are_structurally_sound(
+        seed in 0u64..10_000,
+        k in 2usize..4,
+        m in 0.3f64..0.7,
+    ) {
+        let cfg = small_config(k, 20, 5);
+        let data = generate(&cfg, seed).unwrap();
+        let params = SspcParams::new(k).with_threshold(ThresholdScheme::MFraction(m));
+        let result = Sspc::new(params)
+            .unwrap()
+            .run(&data.dataset, &Supervision::none(), seed)
+            .unwrap();
+
+        // Every object is assigned or an outlier; cluster ids are in range.
+        prop_assert_eq!(result.assignment().len(), 80);
+        for c in result.assignment().iter().flatten() {
+            prop_assert!(c.index() < k);
+        }
+        prop_assert_eq!(result.n_clusters(), k);
+
+        // Selected dimensions are sorted, unique, in range.
+        for c in 0..k {
+            let dims = result.selected_dims(ClusterId(c));
+            prop_assert!(dims.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(dims.iter().all(|j| j.index() < 20));
+        }
+
+        // Members of clusters plus outliers partition the objects.
+        let covered: usize = (0..k)
+            .map(|c| result.members_of(ClusterId(c)).len())
+            .sum::<usize>()
+            + result.n_outliers();
+        prop_assert_eq!(covered, 80);
+    }
+
+    #[test]
+    fn sspc_objective_is_recomputable_from_the_result(
+        seed in 0u64..10_000,
+    ) {
+        // The recorded best objective must equal φ recomputed from the
+        // returned assignment and dimension sets.
+        let cfg = small_config(3, 20, 6);
+        let data = generate(&cfg, seed).unwrap();
+        let params = SspcParams::new(3).with_threshold(ThresholdScheme::MFraction(0.5));
+        let result = Sspc::new(params)
+            .unwrap()
+            .run(&data.dataset, &Supervision::none(), seed)
+            .unwrap();
+
+        let thresholds =
+            Thresholds::new(ThresholdScheme::MFraction(0.5), &data.dataset).unwrap();
+        let mut scores = Vec::new();
+        for c in 0..3 {
+            let members = result.members_of(ClusterId(c));
+            if members.is_empty() {
+                scores.push(0.0);
+                continue;
+            }
+            let model = ClusterModel::fit(&data.dataset, &members).unwrap();
+            scores.push(model.cluster_score(result.selected_dims(ClusterId(c)), &thresholds));
+        }
+        let recomputed = total_score(&scores, 80, 20);
+        prop_assert!(
+            (recomputed - result.objective()).abs() < 1e-9,
+            "recomputed {} vs recorded {}",
+            recomputed,
+            result.objective()
+        );
+    }
+
+    #[test]
+    fn sspc_selected_dims_satisfy_lemma_1(
+        seed in 0u64..10_000,
+    ) {
+        // Lemma 1: the returned dimension sets are exactly those passing
+        // the dispersion-below-threshold test on the returned members.
+        let cfg = small_config(2, 15, 5);
+        let data = generate(&cfg, seed).unwrap();
+        let params = SspcParams::new(2).with_threshold(ThresholdScheme::MFraction(0.5));
+        let result = Sspc::new(params)
+            .unwrap()
+            .run(&data.dataset, &Supervision::none(), seed)
+            .unwrap();
+        let thresholds =
+            Thresholds::new(ThresholdScheme::MFraction(0.5), &data.dataset).unwrap();
+        for c in 0..2 {
+            let members = result.members_of(ClusterId(c));
+            if members.is_empty() {
+                continue;
+            }
+            let model = ClusterModel::fit(&data.dataset, &members).unwrap();
+            let expected = model.select_dims(&thresholds);
+            prop_assert_eq!(
+                result.selected_dims(ClusterId(c)),
+                expected.as_slice(),
+                "cluster {} dims disagree with SelectDim",
+                c
+            );
+        }
+    }
+
+    #[test]
+    fn baselines_cover_objects_and_stay_in_range(
+        seed in 0u64..10_000,
+    ) {
+        let cfg = small_config(3, 12, 4);
+        let data = generate(&cfg, seed).unwrap();
+
+        let p = proclus::run(&data.dataset, &proclus::ProclusParams::new(3, 4), seed).unwrap();
+        prop_assert_eq!(p.assignment().len(), 80);
+        for c in p.assignment().iter().flatten() {
+            prop_assert!(c.index() < 3);
+        }
+
+        let h = harp::run(&data.dataset, &harp::HarpParams::new(3)).unwrap();
+        prop_assert_eq!(h.n_clusters(), 3);
+        prop_assert!(h.outliers().is_empty());
+
+        let cl = clarans::run(
+            &data.dataset,
+            &clarans::ClaransParams {
+                max_neighbor: Some(30),
+                ..clarans::ClaransParams::new(3)
+            },
+            seed,
+        )
+        .unwrap();
+        prop_assert!(cl.assignment().iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn supervised_runs_respect_pinning(
+        seed in 0u64..10_000,
+    ) {
+        let cfg = small_config(2, 15, 5);
+        let data = generate(&cfg, seed).unwrap();
+        let m0 = data.truth.members_of(ClusterId(0));
+        let m1 = data.truth.members_of(ClusterId(1));
+        prop_assume!(m0.len() >= 2 && m1.len() >= 2);
+        let sup = Supervision::none()
+            .label_object(m0[0], ClusterId(0))
+            .label_object(m0[1], ClusterId(0))
+            .label_object(m1[0], ClusterId(1))
+            .label_object(m1[1], ClusterId(1));
+        let params = SspcParams::new(2).with_threshold(ThresholdScheme::MFraction(0.5));
+        let result = Sspc::new(params)
+            .unwrap()
+            .run(&data.dataset, &sup, seed)
+            .unwrap();
+        prop_assert_eq!(result.cluster_of(m0[0]), Some(ClusterId(0)));
+        prop_assert_eq!(result.cluster_of(m0[1]), Some(ClusterId(0)));
+        prop_assert_eq!(result.cluster_of(m1[0]), Some(ClusterId(1)));
+        prop_assert_eq!(result.cluster_of(m1[1]), Some(ClusterId(1)));
+    }
+
+    #[test]
+    fn degenerate_datasets_do_not_panic(
+        n in 6usize..30,
+        d in 1usize..6,
+        value in -100.0f64..100.0,
+    ) {
+        // Constant datasets: everything equal. SSPC must return something
+        // structurally valid (no dimension is selectable).
+        let ds = Dataset::from_rows(n, d, vec![value; n * d]).unwrap();
+        let params = SspcParams::new(2).with_threshold(ThresholdScheme::MFraction(0.5));
+        let result = Sspc::new(params).unwrap().run(&ds, &Supervision::none(), 1);
+        if let Ok(result) = result {
+            prop_assert_eq!(result.assignment().len(), n);
+        }
+        // (An Err on pathological input is acceptable; a panic is not.)
+    }
+}

@@ -1,0 +1,186 @@
+//! Determinism and protocol guarantees across the workspace: every public
+//! entry point must replay bit-for-bit from a `u64` seed, and supervision
+//! must help, not hurt.
+
+use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
+use sspc_baselines::{clarans, doc, proclus};
+use sspc_common::rng::derive_seed;
+use sspc_common::ClusterId;
+use sspc_datagen::supervision::{draw, InputKind};
+use sspc_datagen::{generate, generate_multi_grouping, GeneratedData, GeneratorConfig};
+use sspc_metrics::{adjusted_rand_index, OutlierPolicy};
+
+fn hard_data() -> GeneratedData {
+    // 1% relevant dimensions — the paper's extreme regime, where raw
+    // accuracy is clearly imperfect and supervision has headroom to show.
+    generate(
+        &GeneratorConfig {
+            n: 200,
+            d: 1000,
+            k: 4,
+            avg_cluster_dims: 10,
+            ..Default::default()
+        },
+        101,
+    )
+    .unwrap()
+}
+
+fn ari(data: &GeneratedData, produced: &[Option<ClusterId>]) -> f64 {
+    adjusted_rand_index(data.truth.assignment(), produced, OutlierPolicy::AsCluster).unwrap()
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let data = hard_data();
+        let labels = draw(&data.truth, InputKind::Both, 1.0, 4, 55).unwrap();
+        let supervision = Supervision::new(labels.labeled_objects, labels.labeled_dims);
+        let params = SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5));
+        let result = Sspc::new(params)
+            .unwrap()
+            .run(&data.dataset, &supervision, 77)
+            .unwrap();
+        (ari(&data, result.assignment()), result)
+    };
+    let (score_a, result_a) = run();
+    let (score_b, result_b) = run();
+    assert_eq!(result_a, result_b);
+    assert_eq!(score_a, score_b);
+}
+
+#[test]
+fn different_seeds_explore_different_solutions() {
+    let data = hard_data();
+    let params = SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5));
+    let sspc = Sspc::new(params).unwrap();
+    let objectives: Vec<f64> = (0..6)
+        .map(|s| {
+            sspc.run(&data.dataset, &Supervision::none(), s)
+                .unwrap()
+                .objective()
+        })
+        .collect();
+    let distinct = objectives
+        .windows(2)
+        .filter(|w| (w[0] - w[1]).abs() > 1e-12)
+        .count();
+    assert!(distinct > 0, "all seeds produced identical objectives: {objectives:?}");
+}
+
+#[test]
+fn supervision_improves_median_accuracy_on_hard_data() {
+    let data = hard_data();
+    let params = SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5));
+    let sspc = Sspc::new(params).unwrap();
+    let runs = 5;
+
+    let mut raw = Vec::new();
+    let mut guided = Vec::new();
+    for r in 0..runs {
+        let seed = derive_seed(500, r);
+        raw.push(ari(
+            &data,
+            sspc.run(&data.dataset, &Supervision::none(), seed)
+                .unwrap()
+                .assignment(),
+        ));
+        let labels = draw(&data.truth, InputKind::Both, 1.0, 5, seed).unwrap();
+        let supervision = Supervision::new(labels.labeled_objects, labels.labeled_dims);
+        guided.push(ari(
+            &data,
+            sspc.run(&data.dataset, &supervision, derive_seed(seed, 1))
+                .unwrap()
+                .assignment(),
+        ));
+    }
+    let med = |v: &[f64]| {
+        let mut b = v.to_vec();
+        sspc_common::stats::median_in_place(&mut b)
+    };
+    let (raw_med, guided_med) = (med(&raw), med(&guided));
+    assert!(
+        guided_med >= raw_med,
+        "supervision should not hurt: raw {raw_med}, guided {guided_med}"
+    );
+}
+
+#[test]
+fn supervision_selects_the_requested_grouping() {
+    let config = GeneratorConfig {
+        n: 120,
+        d: 400,
+        k: 3,
+        avg_cluster_dims: 10,
+        ..Default::default()
+    };
+    let data = generate_multi_grouping(&config, 7).unwrap();
+    let params = SspcParams::new(3).with_threshold(ThresholdScheme::MFraction(0.5));
+    let sspc = Sspc::new(params).unwrap();
+
+    let labels = draw(&data.truth_b, InputKind::Both, 1.0, 5, 9).unwrap();
+    let supervision = Supervision::new(labels.labeled_objects, labels.labeled_dims);
+    let result = sspc.run(&data.dataset, &supervision, 10).unwrap();
+    let vs_b = adjusted_rand_index(
+        data.truth_b.assignment(),
+        result.assignment(),
+        OutlierPolicy::AsCluster,
+    )
+    .unwrap();
+    let vs_a = adjusted_rand_index(
+        data.truth_a.assignment(),
+        result.assignment(),
+        OutlierPolicy::AsCluster,
+    )
+    .unwrap();
+    assert!(
+        vs_b > vs_a,
+        "guided by B must match B better: vs_a {vs_a}, vs_b {vs_b}"
+    );
+}
+
+#[test]
+fn baselines_are_deterministic_in_seed() {
+    let data = generate(
+        &GeneratorConfig {
+            n: 150,
+            d: 30,
+            k: 3,
+            avg_cluster_dims: 6,
+            ..Default::default()
+        },
+        3,
+    )
+    .unwrap();
+    let p = proclus::ProclusParams::new(3, 6);
+    assert_eq!(
+        proclus::run(&data.dataset, &p, 5).unwrap(),
+        proclus::run(&data.dataset, &p, 5).unwrap()
+    );
+    let c = clarans::ClaransParams::new(3);
+    assert_eq!(
+        clarans::run(&data.dataset, &c, 5).unwrap(),
+        clarans::run(&data.dataset, &c, 5).unwrap()
+    );
+    let dd = doc::DocParams::new(3, 10.0);
+    assert_eq!(
+        doc::run(&data.dataset, &dd, 5).unwrap(),
+        doc::run(&data.dataset, &dd, 5).unwrap()
+    );
+}
+
+#[test]
+fn generators_are_deterministic_and_seed_sensitive() {
+    let cfg = GeneratorConfig {
+        n: 100,
+        d: 20,
+        k: 3,
+        avg_cluster_dims: 5,
+        ..Default::default()
+    };
+    let a = generate(&cfg, 1).unwrap();
+    let b = generate(&cfg, 1).unwrap();
+    let c = generate(&cfg, 2).unwrap();
+    assert_eq!(a.dataset, b.dataset);
+    assert_ne!(a.dataset, c.dataset);
+}
