@@ -179,7 +179,9 @@ fn hypergeom_from(good: u64, total: u64, c: u64) -> f64 {
     if good < c || total < c {
         return 0.0;
     }
-    (ln_choose(good, c) - ln_choose(total, c)).exp().clamp(0.0, 1.0)
+    (ln_choose(good, c) - ln_choose(total, c))
+        .exp()
+        .clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

@@ -25,7 +25,5 @@ mod labeled;
 mod synergy;
 
 pub use binomial::BinomialPmf;
-pub use labeled::{
-    prob_good_grid_labeled_dims, prob_good_grid_labeled_objects, AnalysisConfig,
-};
+pub use labeled::{prob_good_grid_labeled_dims, prob_good_grid_labeled_objects, AnalysisConfig};
 pub use synergy::prob_good_grid_both;

@@ -109,7 +109,7 @@ pub fn run(dataset: &Dataset, params: &ClaransParams, seed: u64) -> Result<Basel
                 failures += 1;
             }
         }
-        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, medoids));
         }
     }
@@ -180,8 +180,10 @@ mod tests {
             }
         }
         // And distinct true clusters map to distinct produced clusters.
-        let cs: std::collections::HashSet<_> =
-            [0, 20, 40].iter().map(|&o| r.cluster_of(ObjectId(o))).collect();
+        let cs: std::collections::HashSet<_> = [0, 20, 40]
+            .iter()
+            .map(|&o| r.cluster_of(ObjectId(o)))
+            .collect();
         assert_eq!(cs.len(), 3);
         let _ = truth;
     }

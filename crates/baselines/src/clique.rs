@@ -273,14 +273,13 @@ fn subsets_dense(candidate: &Unit, level: &BTreeMap<Unit, Vec<ObjectId>>) -> boo
 }
 
 fn in_unit(bins: &[usize], unit: &Unit) -> bool {
-    unit.iter().all(|&(j, interval)| bins[j.index()] == interval)
+    unit.iter()
+        .all(|&(j, interval)| bins[j.index()] == interval)
 }
 
 /// Groups dense units by subspace (dimension set) and unions adjacent ones
 /// (one interval step apart in exactly one dimension).
-fn connected_components(
-    dense: &[(Unit, Vec<ObjectId>)],
-) -> Vec<(Vec<DimId>, HashSet<ObjectId>)> {
+fn connected_components(dense: &[(Unit, Vec<ObjectId>)]) -> Vec<(Vec<DimId>, HashSet<ObjectId>)> {
     // Partition units by subspace.
     let mut by_subspace: BTreeMap<Vec<DimId>, Vec<usize>> = BTreeMap::new();
     for (idx, (unit, _)) in dense.iter().enumerate() {
@@ -369,9 +368,7 @@ mod tests {
             values[o * d + 2] = 45.0 + rng.gen_range(-1.0..1.0);
             values[o * d + 3] = 85.0 + rng.gen_range(-1.0..1.0);
         }
-        let truth = (0..n)
-            .map(|o| ClusterId(usize::from(o >= 40)))
-            .collect();
+        let truth = (0..n).map(|o| ClusterId(usize::from(o >= 40))).collect();
         (Dataset::from_rows(n, d, values).unwrap(), truth)
     }
 
@@ -417,7 +414,10 @@ mod tests {
         let noise_outliers = (80..100)
             .filter(|&o| r.cluster_of(ObjectId(o)).is_none())
             .count();
-        assert!(noise_outliers >= 12, "only {noise_outliers}/20 noise outliers");
+        assert!(
+            noise_outliers >= 12,
+            "only {noise_outliers}/20 noise outliers"
+        );
     }
 
     #[test]
@@ -445,13 +445,46 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         let (ds, _) = planted();
-        assert!(run(&ds, &CliqueParams { k: 0, ..CliqueParams::new(2) }).is_err());
-        assert!(run(&ds, &CliqueParams { xi: 1, ..CliqueParams::new(2) }).is_err());
-        assert!(run(&ds, &CliqueParams { tau: 0.0, ..CliqueParams::new(2) }).is_err());
-        assert!(run(&ds, &CliqueParams { tau: 1.0, ..CliqueParams::new(2) }).is_err());
-        assert!(
-            run(&ds, &CliqueParams { max_units: 0, ..CliqueParams::new(2) }).is_err()
-        );
+        assert!(run(
+            &ds,
+            &CliqueParams {
+                k: 0,
+                ..CliqueParams::new(2)
+            }
+        )
+        .is_err());
+        assert!(run(
+            &ds,
+            &CliqueParams {
+                xi: 1,
+                ..CliqueParams::new(2)
+            }
+        )
+        .is_err());
+        assert!(run(
+            &ds,
+            &CliqueParams {
+                tau: 0.0,
+                ..CliqueParams::new(2)
+            }
+        )
+        .is_err());
+        assert!(run(
+            &ds,
+            &CliqueParams {
+                tau: 1.0,
+                ..CliqueParams::new(2)
+            }
+        )
+        .is_err());
+        assert!(run(
+            &ds,
+            &CliqueParams {
+                max_units: 0,
+                ..CliqueParams::new(2)
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -143,7 +143,7 @@ pub fn run(dataset: &Dataset, params: &DocParams, seed: u64) -> Result<BaselineR
                 continue;
             }
             let score = mu(members.len(), dims.len(), params.beta);
-            if best.as_ref().map_or(true, |(s, ..)| score > *s) {
+            if best.as_ref().is_none_or(|(s, ..)| score > *s) {
                 best = Some((score, members, dims));
             }
         }
@@ -165,12 +165,14 @@ pub fn run(dataset: &Dataset, params: &DocParams, seed: u64) -> Result<BaselineR
 
 /// Dimensions on which all of `x` project within `w` of the seed.
 fn discriminate(dataset: &Dataset, seed: ObjectId, x: &[ObjectId], w: f64) -> Vec<DimId> {
-    let seed_row = dataset.row(seed);
     dataset
         .dim_ids()
         .filter(|&j| {
-            x.iter()
-                .all(|&o| (dataset.value(o, j) - seed_row[j.index()]).abs() <= w)
+            // Per-dimension scan of the contiguous column; the seed's
+            // projection is one more slot of the same column.
+            let col = dataset.column_slice(j);
+            let center = col[seed.index()];
+            x.iter().all(|&o| (col[o.index()] - center).abs() <= w)
         })
         .collect()
 }
@@ -286,12 +288,7 @@ mod tests {
 
     #[test]
     fn discriminate_respects_width() {
-        let ds = Dataset::from_rows(
-            3,
-            2,
-            vec![0.0, 0.0, 1.0, 50.0, -1.0, 0.5],
-        )
-        .unwrap();
+        let ds = Dataset::from_rows(3, 2, vec![0.0, 0.0, 1.0, 50.0, -1.0, 0.5]).unwrap();
         let dims = discriminate(&ds, ObjectId(0), &[ObjectId(1), ObjectId(2)], 2.0);
         assert_eq!(dims, vec![DimId(0)]);
         let dims = discriminate(&ds, ObjectId(0), &[ObjectId(2)], 2.0);

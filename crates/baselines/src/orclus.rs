@@ -236,7 +236,7 @@ pub fn run(dataset: &Dataset, params: &OrclusParams, seed: u64) -> Result<Baseli
                 for j in (i + 1)..clusters.len() {
                     let merged = merge_clusters(dataset, &clusters[i], &clusters[j], q)?;
                     let e = merged.energy(dataset);
-                    if best.as_ref().map_or(true, |(be, ..)| e < *be) {
+                    if best.as_ref().is_none_or(|(be, ..)| e < *be) {
                         best = Some((e, i, j, merged));
                     }
                 }
@@ -263,16 +263,15 @@ pub fn run(dataset: &Dataset, params: &OrclusParams, seed: u64) -> Result<Baseli
         dims.push(aligned_axes(&c.basis, d, params.l));
         total_energy += c.energy(dataset) * c.members.len() as f64;
     }
-    Ok(BaselineResult::new(assignment, dims, total_energy / n as f64))
+    Ok(BaselineResult::new(
+        assignment,
+        dims,
+        total_energy / n as f64,
+    ))
 }
 
 /// The union of two clusters with a recomputed centroid and basis.
-fn merge_clusters(
-    dataset: &Dataset,
-    a: &OrCluster,
-    b: &OrCluster,
-    q: usize,
-) -> Result<OrCluster> {
+fn merge_clusters(dataset: &Dataset, a: &OrCluster, b: &OrCluster, q: usize) -> Result<OrCluster> {
     let mut merged = OrCluster {
         centroid: a.centroid.clone(),
         basis: Vec::new(),
@@ -412,10 +411,7 @@ mod tests {
     #[test]
     fn aligned_axes_ranks_loadings() {
         // Basis strongly aligned with axes 1 and 3.
-        let basis = vec![
-            vec![0.1, 0.9, 0.1, 0.0],
-            vec![0.0, 0.1, 0.2, 0.95],
-        ];
+        let basis = vec![vec![0.1, 0.9, 0.1, 0.0], vec![0.0, 0.1, 0.2, 0.95]];
         let dims = aligned_axes(&basis, 4, 2);
         assert_eq!(dims, vec![DimId(1), DimId(3)]);
     }

@@ -139,7 +139,7 @@ pub fn run(dataset: &Dataset, params: &ProclusParams, seed: u64) -> Result<Basel
         let assignment = assign_points(dataset, &medoids, &dims);
         let cost = evaluate(dataset, &medoids, &dims, &assignment);
 
-        let improved = best.as_ref().map_or(true, |(c, ..)| cost < *c);
+        let improved = best.as_ref().is_none_or(|(c, ..)| cost < *c);
         if improved {
             best = Some((cost, medoids.clone(), dims, assignment.clone()));
             bad_swaps = 0;
@@ -255,9 +255,7 @@ fn find_dimensions(dataset: &Dataset, medoids: &[ObjectId], l: usize) -> Vec<Vec
             if o == medoids[i] {
                 continue;
             }
-            let dist = dataset
-                .sq_dist_between(o, medoids[i], &all_dims)
-                .sqrt();
+            let dist = dataset.sq_dist_between(o, medoids[i], &all_dims).sqrt();
             if dist <= deltas[i] {
                 counts[i] += 1;
                 let row = dataset.row(o);
@@ -268,10 +266,10 @@ fn find_dimensions(dataset: &Dataset, medoids: &[ObjectId], l: usize) -> Vec<Vec
             }
         }
     }
-    for i in 0..k {
-        let c = counts[i].max(1) as f64;
-        for j in 0..d {
-            x[i][j] /= c;
+    for (xi, &count) in x.iter_mut().zip(counts.iter()) {
+        let c = count.max(1) as f64;
+        for v in xi.iter_mut() {
+            *v /= c;
         }
     }
     zscore_pick(&x, l)
@@ -314,10 +312,10 @@ fn refine_dimensions(
             }
         }
     }
-    for i in 0..k {
-        let c = counts[i].max(1) as f64;
-        for j in 0..d {
-            x[i][j] /= c;
+    for (xi, &count) in x.iter_mut().zip(counts.iter()) {
+        let c = count.max(1) as f64;
+        for v in xi.iter_mut() {
+            *v /= c;
         }
     }
     zscore_pick(&x, l)
@@ -343,7 +341,7 @@ fn zscore_pick(x: &[Vec<f64>], l: usize) -> Vec<Vec<DimId>> {
     let mut dims: Vec<Vec<DimId>> = vec![Vec::new(); k];
     let mut picked = 0usize;
     // First pass: the two best dimensions of every cluster.
-    for i in 0..k {
+    for (i, di) in dims.iter_mut().enumerate() {
         let mut best: Vec<(f64, usize)> = scored
             .iter()
             .filter(|&&(_, ci, _)| ci == i)
@@ -351,7 +349,7 @@ fn zscore_pick(x: &[Vec<f64>], l: usize) -> Vec<Vec<DimId>> {
             .collect();
         best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         for &(_, j) in best.iter().take(2) {
-            dims[i].push(DimId(j));
+            di.push(DimId(j));
             picked += 1;
         }
     }
@@ -415,8 +413,12 @@ fn evaluate(
     let mut count = 0usize;
     for (o_idx, c) in assignment.iter().enumerate() {
         if let Some(c) = c {
-            total +=
-                segmental_distance(dataset, ObjectId(o_idx), medoids[c.index()], &dims[c.index()]);
+            total += segmental_distance(
+                dataset,
+                ObjectId(o_idx),
+                medoids[c.index()],
+                &dims[c.index()],
+            );
             count += 1;
         }
     }
@@ -450,8 +452,8 @@ fn mark_outliers(
         if medoids.contains(&o) {
             continue; // a medoid is never an outlier of its own cluster
         }
-        let within_any = (0..k)
-            .any(|i| segmental_distance(dataset, o, medoids[i], &dims[i]) <= spheres[i]);
+        let within_any =
+            (0..k).any(|i| segmental_distance(dataset, o, medoids[i], &dims[i]) <= spheres[i]);
         if !within_any {
             *slot = None;
         }
@@ -547,10 +549,7 @@ mod tests {
     #[test]
     fn zscore_pick_prefers_small_spreads() {
         // Cluster 0's smallest spreads are dims 0,1; cluster 1's are 2,3.
-        let x = vec![
-            vec![0.1, 0.2, 5.0, 5.0, 5.0],
-            vec![5.0, 5.0, 0.1, 0.2, 5.0],
-        ];
+        let x = vec![vec![0.1, 0.2, 5.0, 5.0, 5.0], vec![5.0, 5.0, 0.1, 0.2, 5.0]];
         let dims = zscore_pick(&x, 2);
         assert_eq!(dims[0], vec![DimId(0), DimId(1)]);
         assert_eq!(dims[1], vec![DimId(2), DimId(3)]);

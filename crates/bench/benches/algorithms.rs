@@ -28,10 +28,8 @@ fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithms_n300_d40");
     group.sample_size(10);
 
-    let sspc = Sspc::new(
-        SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5)),
-    )
-    .unwrap();
+    let sspc =
+        Sspc::new(SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5))).unwrap();
     let mut seed = 0u64;
     group.bench_function("sspc", |b| {
         b.iter(|| {

@@ -1,0 +1,144 @@
+//! The SSPC hot-loop A/B benchmark: the columnar + parallel + scratch-
+//! reusing fast path (`Sspc::run`) against the pre-columnar serial
+//! reference (`Sspc::run_naive`), on the issue's target workload — a
+//! 5000 × 1000 synthetic gene-expression-shaped matrix at k = 10.
+//!
+//! Both paths produce **bit-identical** `SspcResult`s (asserted here on
+//! every run); only memory layout, parallelism, and allocation behaviour
+//! differ. The measured comparison is appended to `BENCH_hotloop.json` in
+//! the workspace root so the perf trajectory is tracked from PR 1 onward.
+//!
+//! Environment knobs:
+//!
+//! * `HOTLOOP_N` / `HOTLOOP_D` / `HOTLOOP_K` — workload shape (default
+//!   5000 / 1000 / 10);
+//! * `HOTLOOP_ROUNDS` — timed rounds per path (default 3; min of the
+//!   rounds is reported);
+//! * `HOTLOOP_SMOKE=1` — 600 × 120 at k = 4, one round, for CI smoke jobs;
+//! * `BENCH_HOTLOOP_OUT` — output path for the JSON record.
+
+use sspc::{Sspc, SspcParams, SspcResult, Supervision, ThresholdScheme};
+use sspc_datagen::{generate, GeneratorConfig};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let smoke = std::env::var("HOTLOOP_SMOKE").is_ok_and(|v| v == "1");
+    let (n, d, k, rounds) = if smoke {
+        (600, 120, 4, 1)
+    } else {
+        (
+            env_usize("HOTLOOP_N", 5000),
+            env_usize("HOTLOOP_D", 1000),
+            env_usize("HOTLOOP_K", 10),
+            env_usize("HOTLOOP_ROUNDS", 3),
+        )
+    };
+
+    eprintln!("hotloop: generating {n}x{d} dataset, k={k} ...");
+    let config = GeneratorConfig {
+        n,
+        d,
+        k,
+        avg_cluster_dims: (d / 50).max(4),
+        ..Default::default()
+    };
+    let data = generate(&config, 20_250_101).unwrap();
+
+    // Three labeled objects per class: private seed groups for every
+    // cluster, so initialization (not under test) stays cheap and the
+    // measured time is dominated by the iteration phase this PR targets.
+    let mut supervision = Supervision::none();
+    for c in 0..k {
+        let class = sspc_common::ClusterId(c);
+        for &o in data.truth.members_of(class).iter().take(3) {
+            supervision = supervision.label_object(o, class);
+        }
+    }
+
+    let params = SspcParams::new(k)
+        .with_threshold(ThresholdScheme::MFraction(0.5))
+        .with_termination(3, 8);
+    let sspc = Sspc::new(params).unwrap();
+    let seed = 7u64;
+
+    let time_path = |label: &str, f: &dyn Fn() -> SspcResult| -> (f64, SspcResult) {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for round in 0..rounds.max(1) {
+            let start = Instant::now();
+            let r = f();
+            let secs = start.elapsed().as_secs_f64();
+            eprintln!(
+                "hotloop: {label} round {round}: {secs:.3} s ({} iterations)",
+                r.iterations()
+            );
+            best = best.min(secs);
+            result = Some(r);
+        }
+        (best, result.expect("at least one round"))
+    };
+
+    let (naive_secs, naive_result) = time_path("naive  ", &|| {
+        sspc.run_naive(&data.dataset, &supervision, seed).unwrap()
+    });
+    let (fast_secs, fast_result) = time_path("fast   ", &|| {
+        sspc.run(&data.dataset, &supervision, seed).unwrap()
+    });
+
+    assert_eq!(
+        naive_result, fast_result,
+        "hotloop: fast path diverged from the reference path"
+    );
+    assert_eq!(
+        naive_result.objective().to_bits(),
+        fast_result.objective().to_bits(),
+        "hotloop: objective bits diverged"
+    );
+
+    let speedup = naive_secs / fast_secs;
+    println!(
+        "hotloop n={n} d={d} k={k}: naive {naive_secs:.3} s, fast {fast_secs:.3} s, \
+         speedup {speedup:.2}x, bit-identical results"
+    );
+
+    // Append one JSON record per run; the workspace root is two levels up
+    // from this package's CARGO_MANIFEST_DIR.
+    let out_path = std::env::var("BENCH_HOTLOOP_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_hotloop.json", env!("CARGO_MANIFEST_DIR")));
+    let threads = sspc_common::parallel::num_threads();
+    let record = format!(
+        concat!(
+            "{{\"bench\":\"hotloop\",\"n\":{},\"d\":{},\"k\":{},\"rounds\":{},",
+            "\"threads\":{},\"naive_secs\":{:.6},\"fast_secs\":{:.6},",
+            "\"speedup\":{:.3},\"bit_identical\":true,\"iterations\":{}}}\n"
+        ),
+        n,
+        d,
+        k,
+        rounds,
+        threads,
+        naive_secs,
+        fast_secs,
+        speedup,
+        fast_result.iterations()
+    );
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+    {
+        Ok(mut f) => {
+            use std::io::Write;
+            let _ = f.write_all(record.as_bytes());
+            eprintln!("hotloop: appended record to {out_path}");
+        }
+        Err(e) => eprintln!("hotloop: could not write {out_path}: {e}"),
+    }
+}

@@ -5,7 +5,7 @@
 //! Hungarian matcher, and the synthetic generator.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use sspc::objective::ClusterModel;
+use sspc::objective::{ClusterModel, FitScratch};
 use sspc::{ThresholdScheme, Thresholds};
 use sspc_common::stats::ChiSquared;
 use sspc_common::{ClusterId, ObjectId};
@@ -28,8 +28,7 @@ fn bench_objective(c: &mut Criterion) {
     for (n, d) in [(1000usize, 100usize), (150, 3000)] {
         let data = generate(&config(n, d), 1).unwrap();
         let members: Vec<ObjectId> = data.truth.members_of(ClusterId(0));
-        let thresholds =
-            Thresholds::new(ThresholdScheme::MFraction(0.5), &data.dataset).unwrap();
+        let thresholds = Thresholds::new(ThresholdScheme::MFraction(0.5), &data.dataset).unwrap();
         group.bench_with_input(
             BenchmarkId::new("fit_and_select", format!("n{n}_d{d}")),
             &(&data, &members, &thresholds),
@@ -39,6 +38,39 @@ fn bench_objective(c: &mut Criterion) {
                     let dims = model.select_dims(thresholds);
                     black_box(model.cluster_score(&dims, thresholds))
                 })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Columnar gather (`fit_with_scratch`) vs the row-major strided reference
+/// (`fit_naive`) — the core of the PR-1 performance layer. The gap widens
+/// with `d` (stride `8·d` bytes between consecutive reads of one dimension
+/// in the naive path).
+fn bench_fit_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_layout");
+    for (n, d) in [(1000usize, 100usize), (150, 3000), (5000, 1000)] {
+        let data = generate(&config(n, d), 1).unwrap();
+        let members: Vec<ObjectId> = data.truth.members_of(ClusterId(0));
+        let mut scratch = FitScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("columnar", format!("n{n}_d{d}")),
+            &(&data, &members),
+            |b, (data, members)| {
+                b.iter(|| {
+                    black_box(
+                        ClusterModel::fit_with_scratch(&data.dataset, members, &mut scratch)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("n{n}_d{d}")),
+            &(&data, &members),
+            |b, (data, members)| {
+                b.iter(|| black_box(ClusterModel::fit_naive(&data.dataset, members).unwrap()))
             },
         );
     }
@@ -59,9 +91,7 @@ fn bench_ari(c: &mut Criterion) {
     shifted.rotate_right(7);
     c.bench_function("ari_n5000", |b| {
         b.iter(|| {
-            black_box(
-                adjusted_rand_index(&truth, &shifted, OutlierPolicy::AsCluster).unwrap(),
-            )
+            black_box(adjusted_rand_index(&truth, &shifted, OutlierPolicy::AsCluster).unwrap())
         })
     });
 }
@@ -95,6 +125,7 @@ fn bench_generator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_objective,
+    bench_fit_layouts,
     bench_chi_square_quantile,
     bench_ari,
     bench_hungarian,

@@ -147,7 +147,7 @@ pub fn extended_baselines(seed: u64) -> Result<Vec<Table>> {
             let mut best: Option<sspc_baselines::BaselineResult> = None;
             for r in 0..5u64 {
                 let result = orclus::run(&data.dataset, &params, derive_seed(base, 30 + r))?;
-                if best.as_ref().map_or(true, |b| result.cost() < b.cost()) {
+                if best.as_ref().is_none_or(|b| result.cost() < b.cost()) {
                     best = Some(result);
                 }
             }

@@ -7,9 +7,7 @@
 //! variance ratio `0.15`, and `k = 5` for Fig. 2.
 
 use crate::table::Table;
-use sspc_analysis::{
-    prob_good_grid_labeled_dims, prob_good_grid_labeled_objects, AnalysisConfig,
-};
+use sspc_analysis::{prob_good_grid_labeled_dims, prob_good_grid_labeled_objects, AnalysisConfig};
 use sspc_common::Result;
 
 /// The `dᵢ/d` ratios plotted (1 % … 40 %).

@@ -124,10 +124,7 @@ pub fn fig3(seed: u64) -> Result<Vec<Table>> {
 pub fn fig4(seed: u64) -> Result<Vec<Table>> {
     let data = generate(&dataset_config(10), derive_seed(seed, 100))?;
 
-    let mut proclus_t = Table::new(
-        "Fig. 4a — PROCLUS ARI vs l (l_real = 10)",
-        &["l", "ARI"],
-    );
+    let mut proclus_t = Table::new("Fig. 4a — PROCLUS ARI vs l (l_real = 10)", &["l", "ARI"]);
     for (i, l) in (2..=18).step_by(2).enumerate() {
         let run = best_proclus_of(
             &data.dataset,

@@ -7,9 +7,7 @@
 //! independent input sets**, and labeled objects are removed from the
 //! clusters before scoring.
 
-use crate::runner::{
-    ari_excluding_labeled, best_proclus_of, harp_once, median_score,
-};
+use crate::runner::{ari_excluding_labeled, best_proclus_of, harp_once, median_score};
 use crate::table::Table;
 use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
 use sspc_baselines::{harp::HarpParams, proclus::ProclusParams};
@@ -35,9 +33,7 @@ pub(crate) fn sspc_params() -> SspcParams {
 }
 
 /// Converts a datagen supervision draw into the SSPC input type.
-pub(crate) fn to_supervision(
-    draw: &sspc_datagen::supervision::SupervisionDraw,
-) -> Supervision {
+pub(crate) fn to_supervision(draw: &sspc_datagen::supervision::SupervisionDraw) -> Supervision {
     Supervision::new(draw.labeled_objects.clone(), draw.labeled_dims.clone())
 }
 
@@ -103,7 +99,8 @@ pub fn fig5(seed: u64) -> Result<Vec<Table>> {
     for size in 0..=8usize {
         let mut row = vec![size.to_string()];
         if size == 0 {
-            let raw = median_supervised_ari(&data, InputKind::None, 1.0, 0, derive_seed(seed, 510))?;
+            let raw =
+                median_supervised_ari(&data, InputKind::None, 1.0, 0, derive_seed(seed, 510))?;
             let cell = Table::num(raw);
             row.extend([cell.clone(), cell.clone(), cell]);
         } else {

@@ -52,7 +52,11 @@ pub fn fig7(seed: u64) -> Result<Vec<Table>> {
     // HARP (deterministic).
     let harp = harp_once(dataset, &HarpParams::new(5))?;
     let (a, b) = score_both(harp.value.assignment())?;
-    table.push_row(vec!["HARP".into(), Table::num(Some(a)), Table::num(Some(b))]);
+    table.push_row(vec![
+        "HARP".into(),
+        Table::num(Some(a)),
+        Table::num(Some(b)),
+    ]);
 
     // PROCLUS with the correct l.
     let proclus = best_proclus_of(

@@ -13,11 +13,7 @@ use sspc_datagen::{generate, GeneratorConfig};
 
 const RUNS: usize = 10;
 
-fn time_pair(
-    config: &GeneratorConfig,
-    l: usize,
-    seed: u64,
-) -> Result<(f64, f64)> {
+fn time_pair(config: &GeneratorConfig, l: usize, seed: u64) -> Result<(f64, f64)> {
     let data = generate(config, seed)?;
     let sspc_params = SspcParams::new(config.k).with_threshold(ThresholdScheme::MFraction(0.5));
     let sspc = best_sspc_of(
@@ -56,7 +52,11 @@ pub fn fig8a(seed: u64) -> Result<Vec<Table>> {
             ..Default::default()
         };
         let (s, p) = time_pair(&config, 10, derive_seed(seed, 800 + i as u64))?;
-        table.push_row(vec![n.to_string(), Table::num(Some(s)), Table::num(Some(p))]);
+        table.push_row(vec![
+            n.to_string(),
+            Table::num(Some(s)),
+            Table::num(Some(p)),
+        ]);
     }
     Ok(vec![table])
 }
@@ -82,7 +82,11 @@ pub fn fig8b(seed: u64) -> Result<Vec<Table>> {
             ..Default::default()
         };
         let (s, p) = time_pair(&config, l, derive_seed(seed, 850 + i as u64))?;
-        table.push_row(vec![d.to_string(), Table::num(Some(s)), Table::num(Some(p))]);
+        table.push_row(vec![
+            d.to_string(),
+            Table::num(Some(s)),
+            Table::num(Some(p)),
+        ]);
     }
     Ok(vec![table])
 }

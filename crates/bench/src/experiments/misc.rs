@@ -121,10 +121,7 @@ pub fn ablations(seed: u64) -> Result<Vec<Table>> {
     );
     let variants: Vec<(&str, SspcParams)> = vec![
         ("full algorithm", sspc_params()),
-        (
-            "no hill-climbing",
-            sspc_params().with_hill_climbing(false),
-        ),
+        ("no hill-climbing", sspc_params().with_hill_climbing(false)),
         (
             "no labeled-object pinning",
             sspc_params().with_pinning(false),

@@ -57,7 +57,7 @@ pub fn best_sspc_of(
         let result = sspc.run(dataset, supervision, derive_seed(base_seed, r as u64))?;
         if best
             .as_ref()
-            .map_or(true, |b| result.objective() > b.objective())
+            .is_none_or(|b| result.objective() > b.objective())
         {
             best = Some(result);
         }
@@ -84,7 +84,7 @@ pub fn best_proclus_of(
     let mut best: Option<BaselineResult> = None;
     for r in 0..runs.max(1) {
         let result = proclus::run(dataset, params, derive_seed(base_seed, r as u64))?;
-        if best.as_ref().map_or(true, |b| result.cost() < b.cost()) {
+        if best.as_ref().is_none_or(|b| result.cost() < b.cost()) {
             best = Some(result);
         }
     }
@@ -109,7 +109,7 @@ pub fn best_clarans_of(
     let mut best: Option<BaselineResult> = None;
     for r in 0..runs.max(1) {
         let result = clarans::run(dataset, params, derive_seed(base_seed, r as u64))?;
-        if best.as_ref().map_or(true, |b| result.cost() < b.cost()) {
+        if best.as_ref().is_none_or(|b| result.cost() < b.cost()) {
             best = Some(result);
         }
     }
@@ -149,7 +149,7 @@ pub fn best_doc_of(
     let mut best: Option<BaselineResult> = None;
     for r in 0..runs.max(1) {
         let result = doc::run(dataset, params, derive_seed(base_seed, r as u64))?;
-        if best.as_ref().map_or(true, |b| result.cost() < b.cost()) {
+        if best.as_ref().is_none_or(|b| result.cost() < b.cost()) {
             best = Some(result);
         }
     }
@@ -275,7 +275,10 @@ mod tests {
             .map(|o| (o, ClusterId(0)))
             .collect();
         let partial = ari_excluding_labeled(&data.truth, &produced, &labeled).unwrap();
-        assert!((partial - 1.0).abs() < 1e-12, "still perfect, fewer objects");
+        assert!(
+            (partial - 1.0).abs() < 1e-12,
+            "still perfect, fewer objects"
+        );
     }
 
     #[test]

@@ -47,19 +47,19 @@ impl fmt::Display for Table {
         fn cell(row: &[String], c: usize) -> &str {
             row.get(c).map(String::as_str).unwrap_or("")
         }
-        for c in 0..cols {
-            widths[c] = cell(&self.headers, c).len();
+        for (c, w) in widths.iter_mut().enumerate() {
+            *w = cell(&self.headers, c).len();
             for row in &self.rows {
-                widths[c] = widths[c].max(cell(row, c).len());
+                *w = (*w).max(cell(row, c).len());
             }
         }
         writeln!(f, "## {}", self.title)?;
         let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
-            for c in 0..cols {
+            for (c, &width) in widths.iter().enumerate() {
                 if c > 0 {
                     write!(f, "  ")?;
                 }
-                write!(f, "{:<width$}", cell(row, c), width = widths[c])?;
+                write!(f, "{:<width$}", cell(row, c), width = width)?;
             }
             writeln!(f)
         };

@@ -77,9 +77,8 @@ impl Flags {
     /// [`Error::InvalidParameter`] when missing or unparseable.
     pub fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T> {
         let raw = self.required(name)?;
-        raw.parse().map_err(|_| {
-            Error::InvalidParameter(format!("flag --{name}: cannot parse `{raw}`"))
-        })
+        raw.parse()
+            .map_err(|_| Error::InvalidParameter(format!("flag --{name}: cannot parse `{raw}`")))
     }
 
     /// Names of flags that were provided but not consumed by the command —

@@ -62,9 +62,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
 }
 
 fn cmd_generate(flags: &Flags) -> Result<()> {
-    flags.reject_unknown(&[
-        "out", "truth", "n", "d", "k", "dims", "outliers", "seed",
-    ])?;
+    flags.reject_unknown(&["out", "truth", "n", "d", "k", "dims", "outliers", "seed"])?;
     let out = flags.required("out")?;
     let truth_path = flags.required("truth")?;
     let config = GeneratorConfig {
@@ -98,10 +96,7 @@ fn cmd_cluster(flags: &Flags) -> Result<()> {
     ])?;
     let input = flags.required("input")?;
     let k: usize = flags.parsed("k")?;
-    let dataset = read_delimited(
-        BufReader::new(open(input)?),
-        '\t',
-    )?;
+    let dataset = read_delimited(BufReader::new(open(input)?), '\t')?;
 
     let threshold = match (flags.optional("m"), flags.optional("p")) {
         (Some(_), Some(_)) => {
@@ -109,12 +104,14 @@ fn cmd_cluster(flags: &Flags) -> Result<()> {
                 "give either --m or --p, not both".into(),
             ))
         }
-        (None, Some(p)) => ThresholdScheme::PValue(p.parse().map_err(|_| {
-            Error::InvalidParameter(format!("--p: cannot parse `{p}`"))
-        })?),
-        (Some(m), None) => ThresholdScheme::MFraction(m.parse().map_err(|_| {
-            Error::InvalidParameter(format!("--m: cannot parse `{m}`"))
-        })?),
+        (None, Some(p)) => ThresholdScheme::PValue(
+            p.parse()
+                .map_err(|_| Error::InvalidParameter(format!("--p: cannot parse `{p}`")))?,
+        ),
+        (Some(m), None) => ThresholdScheme::MFraction(
+            m.parse()
+                .map_err(|_| Error::InvalidParameter(format!("--m: cannot parse `{m}`")))?,
+        ),
         (None, None) => ThresholdScheme::MFraction(0.5),
     };
     let supervision = match flags.optional("labels") {
@@ -130,7 +127,7 @@ fn cmd_cluster(flags: &Flags) -> Result<()> {
         let result = sspc.run(&dataset, &supervision, derive_seed(seed, r as u64))?;
         if best
             .as_ref()
-            .map_or(true, |b| result.objective() > b.objective())
+            .is_none_or(|b| result.objective() > b.objective())
         {
             best = Some(result);
         }
@@ -302,13 +299,26 @@ mod tests {
 
         let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|x| x.to_string()).collect() };
         dispatch(&argv(&[
-            "generate", "--out", &data, "--truth", &truth, "--n", "120", "--d", "20",
-            "--k", "3", "--dims", "6", "--seed", "7",
+            "generate", "--out", &data, "--truth", &truth, "--n", "120", "--d", "20", "--k", "3",
+            "--dims", "6", "--seed", "7",
         ]))
         .unwrap();
         dispatch(&argv(&[
-            "cluster", "--input", &data, "--k", "3", "--m", "0.5", "--runs", "3",
-            "--seed", "2", "--out", &out, "--dims-out", &dims,
+            "cluster",
+            "--input",
+            &data,
+            "--k",
+            "3",
+            "--m",
+            "0.5",
+            "--runs",
+            "3",
+            "--seed",
+            "2",
+            "--out",
+            &out,
+            "--dims-out",
+            &dims,
         ]))
         .unwrap();
         dispatch(&argv(&["evaluate", "--truth", &truth, "--produced", &out])).unwrap();
@@ -359,10 +369,7 @@ mod tests {
         let path = temp_path("lab.txt");
         std::fs::write(&path, "0\n-\n2\n").unwrap();
         let labels = read_labels(&path).unwrap();
-        assert_eq!(
-            labels,
-            vec![Some(ClusterId(0)), None, Some(ClusterId(2))]
-        );
+        assert_eq!(labels, vec![Some(ClusterId(0)), None, Some(ClusterId(2))]);
         std::fs::write(&path, "abc\n").unwrap();
         assert!(read_labels(&path).is_err());
         std::fs::write(&path, "").unwrap();

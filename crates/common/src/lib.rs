@@ -3,8 +3,11 @@
 //! This crate provides the pieces every other crate in the workspace builds
 //! on:
 //!
-//! * [`Dataset`] — a dense, row-major numerical dataset with typed indices
-//!   ([`ObjectId`], [`DimId`]) and cached per-dimension global statistics.
+//! * [`Dataset`] — a dense numerical dataset with typed indices
+//!   ([`ObjectId`], [`DimId`]), a column-major mirror for per-dimension
+//!   kernels, and cached per-dimension global statistics.
+//! * [`parallel`] — deterministic data-parallel helpers (std-thread based;
+//!   results are bit-identical at any thread count).
 //! * [`stats`] — descriptive statistics (mean / variance / median computed
 //!   the way the paper's objective function needs them) and the special
 //!   functions backing the probabilistic selection-threshold scheme
@@ -23,6 +26,7 @@ mod error;
 mod ids;
 pub mod io;
 pub mod linalg;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 

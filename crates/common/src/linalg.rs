@@ -199,10 +199,7 @@ pub fn jacobi_eigen(matrix: &SymMatrix) -> Result<Eigen> {
         s.sqrt()
     };
 
-    let eps = 1e-12
-        * (0..n)
-            .map(|i| a[i * n + i].abs())
-            .fold(1.0f64, f64::max);
+    let eps = 1e-12 * (0..n).map(|i| a[i * n + i].abs()).fold(1.0f64, f64::max);
     let mut converged = false;
     for _sweep in 0..100 {
         if off_norm(&a) <= eps {
@@ -262,11 +259,7 @@ pub fn jacobi_eigen(matrix: &SymMatrix) -> Result<Eigen> {
     for (slot, &src) in order.iter().enumerate() {
         vectors[slot * n..(slot + 1) * n].copy_from_slice(&v[src * n..(src + 1) * n]);
     }
-    Ok(Eigen {
-        values,
-        vectors,
-        n,
-    })
+    Ok(Eigen { values, vectors, n })
 }
 
 /// Projects `point − origin` onto a set of basis vectors (rows of `basis`,
@@ -316,8 +309,7 @@ mod tests {
 
     #[test]
     fn eigen_of_diagonal_matrix() {
-        let m = SymMatrix::from_rows(3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
-            .unwrap();
+        let m = SymMatrix::from_rows(3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
         let e = jacobi_eigen(&m).unwrap();
         assert!((e.values[0] - 1.0).abs() < 1e-10);
         assert!((e.values[1] - 2.0).abs() < 1e-10);

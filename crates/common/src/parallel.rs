@@ -1,0 +1,185 @@
+//! Deterministic data-parallel helpers built on `std::thread::scope`.
+//!
+//! The build environment cannot vendor rayon, so the workspace carries this
+//! minimal substitute. The design constraint is **bit-identical results at
+//! any thread count**: work is only ever split into disjoint index ranges
+//! whose per-element computations are pure, so the partitioning cannot
+//! influence any floating-point operation order. Reductions are performed
+//! by the caller over the output buffer in index order, never across
+//! threads.
+//!
+//! Thread count resolution, in priority order: the `SSPC_NUM_THREADS`
+//! environment variable, then `RAYON_NUM_THREADS` (honored for familiarity
+//! — scripts tuned for the rayon convention keep working), then
+//! [`std::thread::available_parallelism`]. A value of `1` (or any parse
+//! failure) runs inline with zero spawn overhead.
+
+use std::num::NonZeroUsize;
+
+/// Resolved worker-thread count for data-parallel sections.
+pub fn num_threads() -> usize {
+    for var in ["SSPC_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Minimum number of elements per spawned thread; below this the spawn
+/// overhead dwarfs the work and everything runs inline.
+pub const MIN_CHUNK: usize = 256;
+
+/// Applies `f` to disjoint consecutive chunks of `out`, possibly in
+/// parallel. `f` receives the chunk's starting index in `out` plus the
+/// mutable chunk itself.
+///
+/// The chunking is **not observable** in the result as long as `f` writes
+/// `chunk[i]` purely from `(offset + i)` and shared read-only state — which
+/// is the only sanctioned usage. Runs inline when a single thread is
+/// resolved or the input is smaller than [`MIN_CHUNK`].
+pub fn for_each_chunk_mut<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = num_threads().min(out.len().div_ceil(MIN_CHUNK)).max(1);
+    if threads == 1 {
+        f(0, out);
+        return;
+    }
+    let chunk_len = out.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(idx * chunk_len, chunk));
+        }
+    });
+}
+
+/// Applies `f` to every element of `items`, possibly in parallel, where
+/// each element is processed independently (`f` receives the element's
+/// index and a mutable reference).
+///
+/// Used for "one task per cluster" parallelism where each task is large;
+/// spawns at most one thread per element and runs inline for a single
+/// resolved thread.
+pub fn for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    for_each_mut_with(items, || (), |i, item, ()| f(i, item));
+}
+
+/// [`for_each_mut`] with a per-worker scratch value: `init` runs once per
+/// spawned worker (once total when running inline) and the scratch is
+/// threaded through that worker's elements — the pattern for reusable
+/// gather buffers whose contents must not leak between results.
+pub fn for_each_mut_with<T, S, I, F>(items: &mut [T], init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut T, &mut S) + Sync,
+{
+    if num_threads() == 1 || items.len() <= 1 {
+        let mut scratch = init();
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item, &mut scratch);
+        }
+        return;
+    }
+    let threads = num_threads().min(items.len());
+    let chunk_len = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (c, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            let init = &init;
+            scope.spawn(move || {
+                let mut scratch = init();
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    f(c * chunk_len + i, item, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes env mutation across the tests in this module.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_threads<R>(n: &str, body: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SSPC_NUM_THREADS", n);
+        let r = body();
+        std::env::remove_var("SSPC_NUM_THREADS");
+        r
+    }
+
+    #[test]
+    fn chunked_fill_is_identical_across_thread_counts() {
+        let compute = || {
+            let mut out = vec![0.0f64; 10_000];
+            for_each_chunk_mut(&mut out, |offset, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let idx = (offset + i) as f64;
+                    *slot = (idx * 0.37).sin() + idx.sqrt();
+                }
+            });
+            out
+        };
+        let serial = with_threads("1", compute);
+        for n in ["2", "3", "8"] {
+            let parallel = with_threads(n, compute);
+            assert_eq!(serial, parallel, "thread count {n} changed the result");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element_once() {
+        let run = || {
+            let mut items = vec![0usize; 37];
+            for_each_mut(&mut items, |i, item| *item = i * 2);
+            items
+        };
+        let serial = with_threads("1", run);
+        let parallel = with_threads("4", run);
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn num_threads_honors_env_priority() {
+        with_threads("3", || {
+            assert_eq!(num_threads(), 3);
+        });
+        // RAYON_NUM_THREADS is honored when SSPC_NUM_THREADS is absent.
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("SSPC_NUM_THREADS");
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+        assert_eq!(num_threads(), 2);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let mut out = vec![0u8; 16];
+        for_each_chunk_mut(&mut out, |offset, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = (offset + i) as u8;
+            }
+        });
+        assert_eq!(out[15], 15);
+    }
+}

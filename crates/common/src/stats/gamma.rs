@@ -177,10 +177,7 @@ mod tests {
         let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, &f) in facts.iter().enumerate() {
             let x = (n + 1) as f64;
-            assert!(
-                (ln_gamma(x) - f.ln()).abs() < 1e-12,
-                "ln_gamma({x})"
-            );
+            assert!((ln_gamma(x) - f.ln()).abs() < 1e-12, "ln_gamma({x})");
         }
     }
 

@@ -15,13 +15,47 @@
 //! ```
 
 use crate::cluster::{ClusterState, SeedSource, Snapshot};
-use crate::objective::{assignment_gain, total_score, ClusterModel};
+use crate::objective::{assignment_gain, assignment_gain_row, ClusterModel, FitScratch};
 use crate::seeds::{draw_seed, Initializer, SeedGroups};
 use crate::{SspcParams, SspcResult, Supervision, Thresholds};
 use rand::rngs::StdRng;
 use rand::Rng;
+use sspc_common::parallel;
 use sspc_common::rng::seeded_rng;
 use sspc_common::{ClusterId, Dataset, Error, Result};
+use std::sync::Arc;
+
+/// Step 4 for one cluster on the fast path: `SelectDim` + scoring from a
+/// columnar fit, with the per-dimension medians cached for the
+/// median-representative step and the whole fit skipped when the member
+/// list is unchanged since the last fit (the fit is a pure function of the
+/// members, so the cached `dims` / `score` / `medians` are exactly what a
+/// refit would produce — stall iterations repeat most memberships).
+fn refit_cluster(
+    dataset: &Dataset,
+    thresholds: &Thresholds,
+    cl: &mut ClusterState,
+    scratch: &mut FitScratch,
+) {
+    if cl.members.is_empty() {
+        cl.score = 0.0;
+        cl.medians.clear();
+        cl.fitted_members.clear();
+        return;
+    }
+    if cl.fitted_members == cl.members {
+        return;
+    }
+    let model = ClusterModel::fit_with_scratch(dataset, &cl.members, scratch)
+        .expect("non-empty members fit");
+    let t_row = thresholds.row(model.size());
+    cl.dims = model.select_dims_row(&t_row);
+    cl.score = model.cluster_score_row(&cl.dims, &t_row);
+    cl.medians.clear();
+    cl.medians
+        .extend(dataset.dim_ids().map(|j| model.summary(j).median));
+    cl.fitted_members.clone_from(&cl.members);
+}
 
 /// The Semi-Supervised Projected Clustering algorithm.
 ///
@@ -66,6 +100,36 @@ impl Sspc {
         supervision: &Supervision,
         seed: u64,
     ) -> Result<SspcResult> {
+        // The `naive` feature routes the default entry point through the
+        // reference scalar path for whole-binary A/B runs.
+        self.run_impl(dataset, supervision, seed, cfg!(feature = "naive"))
+    }
+
+    /// [`Sspc::run`] through the pre-columnar, serial reference
+    /// implementation of every hot kernel. Produces **bit-identical**
+    /// results to [`Sspc::run`] — only memory-access patterns and
+    /// parallelism differ — and exists for A/B benchmarking
+    /// (`benches/hotloop.rs`) and the equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sspc::run`].
+    pub fn run_naive(
+        &self,
+        dataset: &Dataset,
+        supervision: &Supervision,
+        seed: u64,
+    ) -> Result<SspcResult> {
+        self.run_impl(dataset, supervision, seed, true)
+    }
+
+    fn run_impl(
+        &self,
+        dataset: &Dataset,
+        supervision: &Supervision,
+        seed: u64,
+        naive: bool,
+    ) -> Result<SspcResult> {
         let k = self.params.k;
         if dataset.n_objects() < 2 * k {
             return Err(Error::InvalidShape(format!(
@@ -102,37 +166,86 @@ impl Sspc {
         let mut stall = 0usize;
         let mut iterations = 0usize;
 
+        // Scratch reused across iterations: the assignment vector, the
+        // pinned-object mask, the fit gather buffer, and the median gather
+        // buffer. The main loop allocates nothing per iteration once the
+        // first iteration has sized these.
+        let mut assignment: Vec<Option<ClusterId>> = vec![None; n];
+        let mut pinned = vec![false; n];
+        let mut fit_scratch = FitScratch::new();
+        let mut median_scratch: Vec<f64> = Vec::new();
+
         while iterations < self.params.max_iterations {
             iterations += 1;
 
             // Step 3: assignment.
-            let assignment = self.assign(dataset, &mut clusters, supervision, &thresholds);
-
-            // Step 4: SelectDim + scoring with actual medians.
-            for cl in clusters.iter_mut() {
-                if cl.members.is_empty() {
-                    cl.score = 0.0;
-                    continue;
-                }
-                let model = ClusterModel::fit(dataset, &cl.members)?;
-                cl.dims = model.select_dims(&thresholds);
-                cl.score = model.cluster_score(&cl.dims, &thresholds);
-            }
-            let total = total_score(
-                &clusters.iter().map(|c| c.score).collect::<Vec<_>>(),
-                n,
-                d,
+            self.assign(
+                dataset,
+                &mut clusters,
+                supervision,
+                &thresholds,
+                naive,
+                &mut assignment,
+                &mut pinned,
             );
 
-            // Step 5: record / restore.
-            match &best {
+            // Step 4: SelectDim + scoring with actual medians. Each
+            // cluster's refit is independent; the fast path fans the `k`
+            // fits out across threads.
+            if naive {
+                for cl in clusters.iter_mut() {
+                    if cl.members.is_empty() {
+                        cl.score = 0.0;
+                        continue;
+                    }
+                    let model = ClusterModel::fit_naive(dataset, &cl.members)?;
+                    cl.dims = model.select_dims(&thresholds);
+                    cl.score = model.cluster_score(&cl.dims, &thresholds);
+                }
+            } else {
+                // Fan the fits out only when there is enough gather work
+                // to amortize thread spawns (each element here is a whole
+                // cluster fit, so the gate is on total members, not
+                // element count).
+                let total_members: usize = clusters.iter().map(|cl| cl.members.len()).sum();
+                if parallel::num_threads() == 1 || total_members < parallel::MIN_CHUNK {
+                    // Serial fast path: columnar fits sharing one gather
+                    // buffer across clusters and iterations.
+                    for cl in clusters.iter_mut() {
+                        refit_cluster(dataset, &thresholds, cl, &mut fit_scratch);
+                    }
+                } else {
+                    // Pre-warm the per-size threshold rows serially so
+                    // the worker threads only read the cache.
+                    for cl in clusters.iter() {
+                        if !cl.members.is_empty() {
+                            thresholds.row(cl.members.len());
+                        }
+                    }
+                    parallel::for_each_mut_with(
+                        &mut clusters,
+                        FitScratch::new,
+                        |_, cl, scratch| refit_cluster(dataset, &thresholds, cl, scratch),
+                    );
+                }
+            }
+            let score_sum: f64 = clusters.iter().map(|c| c.score).sum();
+            let total = score_sum / (n as f64 * d as f64);
+
+            // Step 5: record / restore, copying in place after the first
+            // iteration.
+            match &mut best {
                 Some(snap) if total <= snap.total_score => {
-                    clusters = snap.clusters.clone();
+                    snap.restore_clusters_into(&mut clusters);
                     stall += 1;
                 }
-                _ => {
+                Some(snap) => {
+                    snap.record(&assignment, &clusters, total);
+                    stall = 0;
+                }
+                None => {
                     best = Some(Snapshot {
-                        assignment,
+                        assignment: assignment.clone(),
                         clusters: clusters.clone(),
                         total_score: total,
                     });
@@ -149,7 +262,7 @@ impl Sspc {
                 if i == bad {
                     self.redraw_medoid(dataset, cl, &groups, &mut public_in_use, &mut rng);
                 } else if self.params.median_representatives {
-                    cl.replace_rep_with_median(dataset);
+                    cl.replace_rep_with_median_with(dataset, &mut median_scratch, naive);
                 }
                 cl.refresh_ref_size();
                 cl.members.clear();
@@ -202,6 +315,8 @@ impl Sspc {
                 score: 0.0,
                 source,
                 ref_size: expected_size,
+                medians: Vec::new(),
+                fitted_members: Vec::new(),
             });
         }
         Ok(clusters)
@@ -212,16 +327,28 @@ impl Sspc {
     /// median); objects improving nothing go to the outlier list. Labeled
     /// objects are pinned to their class's cluster when
     /// [`SspcParams::pin_labeled_objects`] is set.
+    ///
+    /// The per-object decision is a pure function of the (frozen) cluster
+    /// representatives, dimensions, and threshold rows, so the fast path
+    /// computes all decisions into `assignment` in parallel over disjoint
+    /// object ranges and then builds the member lists serially in object
+    /// order — bit-identical to the serial scan at any thread count.
+    #[allow(clippy::too_many_arguments)]
     fn assign(
         &self,
         dataset: &Dataset,
         clusters: &mut [ClusterState],
         supervision: &Supervision,
         thresholds: &Thresholds,
-    ) -> Vec<Option<ClusterId>> {
+        naive: bool,
+        assignment: &mut Vec<Option<ClusterId>>,
+        pinned: &mut Vec<bool>,
+    ) {
         let n = dataset.n_objects();
-        let mut assignment: Vec<Option<ClusterId>> = vec![None; n];
-        let mut pinned = vec![false; n];
+        assignment.clear();
+        assignment.resize(n, None);
+        pinned.clear();
+        pinned.resize(n, false);
         if self.params.pin_labeled_objects {
             for &(o, class) in supervision.labeled_objects() {
                 assignment[o.index()] = Some(class);
@@ -229,26 +356,65 @@ impl Sspc {
                 pinned[o.index()] = true;
             }
         }
+        if naive {
+            for o in dataset.object_ids() {
+                if pinned[o.index()] {
+                    continue;
+                }
+                let mut best_gain = 0.0f64;
+                let mut best_cluster: Option<usize> = None;
+                for (i, cl) in clusters.iter().enumerate() {
+                    let gain =
+                        assignment_gain(dataset, o, &cl.rep, &cl.dims, thresholds, cl.ref_size);
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_cluster = Some(i);
+                    }
+                }
+                if let Some(i) = best_cluster {
+                    assignment[o.index()] = Some(ClusterId(i));
+                    clusters[i].members.push(o);
+                }
+            }
+            return;
+        }
+
+        // Fast path: one threshold row per cluster for the whole pass
+        // (fetched once, not once per (object, dimension)), decisions in
+        // parallel, membership built serially in object order.
+        let rows: Vec<Arc<[f64]>> = clusters
+            .iter()
+            .map(|cl| thresholds.row(cl.ref_size))
+            .collect();
+        let frozen: &[ClusterState] = clusters;
+        let pinned_ref: &[bool] = pinned;
+        parallel::for_each_chunk_mut(assignment, |offset, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let o = sspc_common::ObjectId(offset + i);
+                if pinned_ref[o.index()] {
+                    continue;
+                }
+                let row = dataset.row(o);
+                let mut best_gain = 0.0f64;
+                let mut best_cluster: Option<usize> = None;
+                for (c, cl) in frozen.iter().enumerate() {
+                    let gain = assignment_gain_row(row, &cl.rep, &cl.dims, &rows[c]);
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_cluster = Some(c);
+                    }
+                }
+                *slot = best_cluster.map(ClusterId);
+            }
+        });
         for o in dataset.object_ids() {
             if pinned[o.index()] {
                 continue;
             }
-            let mut best_gain = 0.0f64;
-            let mut best_cluster: Option<usize> = None;
-            for (i, cl) in clusters.iter().enumerate() {
-                let gain =
-                    assignment_gain(dataset, o, &cl.rep, &cl.dims, thresholds, cl.ref_size);
-                if gain > best_gain {
-                    best_gain = gain;
-                    best_cluster = Some(i);
-                }
-            }
-            if let Some(i) = best_cluster {
-                assignment[o.index()] = Some(ClusterId(i));
-                clusters[i].members.push(o);
+            if let Some(c) = assignment[o.index()] {
+                clusters[c.index()].members.push(o);
             }
         }
-        assignment
     }
 
     /// Step 6's diagnosis: the bad cluster is (in priority order) an empty
@@ -269,8 +435,7 @@ impl Sspc {
         // Near-duplicate detection.
         for i in 0..clusters.len() {
             for j in (i + 1)..clusters.len() {
-                if let Some(loser) = self.duplicate_loser(&clusters[i], &clusters[j], thresholds)
-                {
+                if let Some(loser) = self.duplicate_loser(&clusters[i], &clusters[j], thresholds) {
                     return if loser == 0 { i } else { j };
                 }
             }
@@ -303,10 +468,9 @@ impl Sspc {
             return None;
         }
         let mut normalized = 0.0;
+        let t_row = thresholds.row(a.ref_size.min(b.ref_size));
         for &&j in &shared {
-            let t = thresholds
-                .threshold(a.ref_size.min(b.ref_size), j)
-                .max(f64::MIN_POSITIVE);
+            let t = t_row[j.index()].max(f64::MIN_POSITIVE);
             let diff = a.rep[j.index()] - b.rep[j.index()];
             normalized += diff * diff / t;
         }
@@ -344,9 +508,14 @@ impl Sspc {
             }
         };
         let medoid = draw_seed(group, rng);
-        cluster.rep = dataset.row(medoid).to_vec();
-        cluster.dims = group.dims.clone();
+        cluster.rep.clear();
+        cluster.rep.extend_from_slice(dataset.row(medoid));
+        cluster.dims.clone_from(&group.dims);
         cluster.score = 0.0;
+        // `dims`/`score` no longer come from a fit of any member list;
+        // invalidate the refit memoization and the median cache.
+        cluster.medians.clear();
+        cluster.fitted_members.clear();
     }
 }
 
@@ -374,9 +543,7 @@ mod tests {
             values[o * d + 2] = 80.0 + rng.gen_range(-1.5..1.5);
             values[o * d + 3] = 15.0 + rng.gen_range(-1.5..1.5);
         }
-        let truth = (0..n)
-            .map(|o| ClusterId(usize::from(o >= 20)))
-            .collect();
+        let truth = (0..n).map(|o| ClusterId(usize::from(o >= 20))).collect();
         (Dataset::from_rows(n, d, values).unwrap(), truth)
     }
 

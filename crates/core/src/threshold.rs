@@ -1,5 +1,7 @@
 use sspc_common::stats::ChiSquared;
 use sspc_common::{Dataset, DimId, Error, Result};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The two schemes from paper Sec. 4.1 for setting the selection threshold
 /// `ŝ²ᵢⱼ` — the variance level below which a dimension counts as relevant
@@ -53,17 +55,37 @@ impl ThresholdScheme {
 
 /// Precomputed threshold provider for one dataset.
 ///
-/// Caches the global variances `s²ⱼ` and, for the `p`-scheme, memoizes the
-/// per-cluster-size chi-square factor `χ²⁻¹(p; n−1)/(n−1)` — the factor
-/// depends only on the cluster size, and cluster sizes repeat heavily
-/// across iterations.
-#[derive(Debug, Clone)]
+/// Caches the global variances `s²ⱼ` and memoizes whole **threshold rows**
+/// — the vector `[ŝ²ᵢ₀, …, ŝ²ᵢ(d−1)]` for one cluster size — because the
+/// hot loop (assignment gains, `SelectDim`, cluster scoring) reads
+/// thresholds for every dimension at a handful of reference sizes that
+/// repeat across iterations. For the `m`-scheme there is exactly one row
+/// (size-independent), built at construction; for the `p`-scheme rows are
+/// built on demand, one chi-square quantile per distinct cluster size.
+///
+/// Rows are shared as `Arc<[f64]>` behind a `Mutex`, so a `Thresholds` can
+/// be read from the parallel assignment phase (`Sync`), and fetching a row
+/// costs one uncontended lock + one `Arc` clone.
+#[derive(Debug)]
 pub struct Thresholds {
     scheme: ThresholdScheme,
     global_var: Vec<f64>,
-    /// `chi_factor[n] = χ²⁻¹(p; n−1)/(n−1)` for the p-scheme, lazily filled.
-    /// Index 0 and 1 are unused (clusters of size < 2 select trivially).
-    chi_factor: std::cell::RefCell<Vec<f64>>,
+    /// The single size-independent row for the `m`-scheme (`None` for the
+    /// `p`-scheme).
+    m_row: Option<Arc<[f64]>>,
+    /// Memoized `p`-scheme rows keyed by clamped cluster size.
+    rows: Mutex<HashMap<usize, Arc<[f64]>>>,
+}
+
+impl Clone for Thresholds {
+    fn clone(&self) -> Self {
+        Thresholds {
+            scheme: self.scheme,
+            global_var: self.global_var.clone(),
+            m_row: self.m_row.clone(),
+            rows: Mutex::new(self.rows.lock().expect("threshold cache poisoned").clone()),
+        }
+    }
 }
 
 impl Thresholds {
@@ -78,10 +100,15 @@ impl Thresholds {
             .dim_ids()
             .map(|j| dataset.global_variance(j))
             .collect();
+        let m_row = match scheme {
+            ThresholdScheme::MFraction(m) => Some(global_var.iter().map(|&s2j| m * s2j).collect()),
+            ThresholdScheme::PValue(_) => None,
+        };
         Ok(Thresholds {
             scheme,
             global_var,
-            chi_factor: std::cell::RefCell::new(Vec::new()),
+            m_row,
+            rows: Mutex::new(HashMap::new()),
         })
     }
 
@@ -90,47 +117,50 @@ impl Thresholds {
         self.scheme
     }
 
+    /// The full threshold row `[ŝ²ᵢ₀, …, ŝ²ᵢ(d−1)]` for a cluster of
+    /// `cluster_size` objects: `row(s)[j.index()] == threshold(s, j)`.
+    ///
+    /// Memoized per cluster size; the hot loop fetches one row per cluster
+    /// per iteration and then indexes it with no locking.
+    pub fn row(&self, cluster_size: usize) -> Arc<[f64]> {
+        if let Some(row) = &self.m_row {
+            return Arc::clone(row);
+        }
+        let ThresholdScheme::PValue(p) = self.scheme else {
+            unreachable!("m-scheme always has m_row");
+        };
+        let size = cluster_size.max(2);
+        let mut rows = self.rows.lock().expect("threshold cache poisoned");
+        Arc::clone(rows.entry(size).or_insert_with(|| {
+            let factor = chi_factor(size, p);
+            self.global_var.iter().map(|&s2j| s2j * factor).collect()
+        }))
+    }
+
     /// The selection threshold `ŝ²ᵢⱼ` for a cluster of `cluster_size`
     /// objects on dimension `j`.
     ///
     /// For the `m`-scheme the size is ignored. For the `p`-scheme,
     /// `cluster_size < 2` falls back to the factor at size 2 (one degree of
     /// freedom) — the strictest well-defined setting.
+    ///
+    /// One row fetch per call; fetch [`Thresholds::row`] once when reading
+    /// many dimensions at the same size.
     pub fn threshold(&self, cluster_size: usize, j: DimId) -> f64 {
-        let s2j = self.global_var[j.index()];
-        match self.scheme {
-            ThresholdScheme::MFraction(m) => m * s2j,
-            ThresholdScheme::PValue(p) => {
-                let size = cluster_size.max(2);
-                s2j * self.chi_factor(size, p)
-            }
-        }
+        self.row(cluster_size)[j.index()]
     }
+}
 
-    fn chi_factor(&self, size: usize, p: f64) -> f64 {
-        {
-            let cache = self.chi_factor.borrow();
-            if let Some(&f) = cache.get(size) {
-                if f > 0.0 {
-                    return f;
-                }
-            }
-        }
-        let dof = (size - 1) as f64;
-        // ChiSquared::new / quantile can only fail on invalid parameters,
-        // which `validate` has excluded; fall back to the m=1 behaviour on
-        // a numeric failure rather than aborting a long experiment.
-        let factor = ChiSquared::new(dof)
-            .and_then(|chi| chi.quantile(p))
-            .map(|q| q / dof)
-            .unwrap_or(1.0);
-        let mut cache = self.chi_factor.borrow_mut();
-        if cache.len() <= size {
-            cache.resize(size + 1, 0.0);
-        }
-        cache[size] = factor;
-        factor
-    }
+/// The `p`-scheme factor `χ²⁻¹(p; n−1)/(n−1)` for one cluster size.
+fn chi_factor(size: usize, p: f64) -> f64 {
+    let dof = (size - 1) as f64;
+    // ChiSquared::new / quantile can only fail on invalid parameters,
+    // which `validate` has excluded; fall back to the m=1 behaviour on
+    // a numeric failure rather than aborting a long experiment.
+    ChiSquared::new(dof)
+        .and_then(|chi| chi.quantile(p))
+        .map(|q| q / dof)
+        .unwrap_or(1.0)
 }
 
 #[cfg(test)]
@@ -192,6 +222,50 @@ mod tests {
         let th = Thresholds::new(ThresholdScheme::PValue(0.05), &ds).unwrap();
         assert_eq!(th.threshold(0, DimId(0)), th.threshold(2, DimId(0)));
         assert_eq!(th.threshold(1, DimId(0)), th.threshold(2, DimId(0)));
+    }
+
+    #[test]
+    fn rows_agree_with_scalar_lookups() {
+        let ds = dataset();
+        for scheme in [
+            ThresholdScheme::MFraction(0.4),
+            ThresholdScheme::PValue(0.05),
+        ] {
+            let th = Thresholds::new(scheme, &ds).unwrap();
+            for size in [2, 5, 40] {
+                let row = th.row(size);
+                assert_eq!(row.len(), ds.n_dims());
+                for j in ds.dim_ids() {
+                    assert_eq!(row[j.index()], th.threshold(size, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_scheme_rows_are_memoized_and_shared() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::PValue(0.1), &ds).unwrap();
+        let a = th.row(17);
+        let b = th.row(17);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "same size must share a row");
+        // A clone carries the memoized rows along.
+        let cloned = th.clone();
+        assert_eq!(&*cloned.row(17), &*a);
+    }
+
+    #[test]
+    fn thresholds_are_usable_across_threads() {
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::PValue(0.05), &ds).unwrap();
+        let reference = th.threshold(7, DimId(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    assert_eq!(th.threshold(7, DimId(0)), reference);
+                });
+            }
+        });
     }
 
     #[test]

@@ -183,20 +183,22 @@ fn judge_object(
     // variance ratio (tens to hundreds) for mislabeled objects.
     let mut buf = vec![0.0f64; peers.len()];
     let mut ratios: Vec<f64> = Vec::new();
+    let t_row = thresholds.row(peers.len());
     for j in dataset.dim_ids() {
+        let col = dataset.column_slice(j);
         for (slot, &p) in buf.iter_mut().zip(peers.iter()) {
-            *slot = dataset.value(p, j);
+            *slot = col[p.index()];
         }
         let summary = match Summary::from_values(&mut buf) {
             Ok(s) => s,
             Err(_) => return Verdict::Undecided,
         };
-        let t = thresholds.threshold(peers.len(), j);
+        let t = t_row[j.index()];
         let dispersion = summary.median_dispersion();
         if t <= 0.0 || dispersion >= t {
             continue; // peers not tight here — dimension carries no signal
         }
-        let dev = dataset.value(o, j) - summary.median;
+        let dev = col[o.index()] - summary.median;
         ratios.push(dev * dev / dispersion.max(0.05 * t));
     }
     if ratios.is_empty() {
@@ -246,8 +248,7 @@ fn judge_dim(
     }
     let mut counts = vec![0usize; params.bins];
     for v in dataset.column(j) {
-        let bin = (((v - lo) / range * params.bins as f64).floor() as usize)
-            .min(params.bins - 1);
+        let bin = (((v - lo) / range * params.bins as f64).floor() as usize).min(params.bins - 1);
         counts[bin] += 1;
     }
     let peak = *counts.iter().max().expect("bins >= 2") as f64;

@@ -101,8 +101,7 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> Result<GeneratedData> {
     for dims in &relevant {
         let mut params = Vec::with_capacity(dims.len());
         for &j in dims {
-            let sd =
-                rng.gen_range(config.local_sd_frac_min..=config.local_sd_frac_max) * range;
+            let sd = rng.gen_range(config.local_sd_frac_min..=config.local_sd_frac_max) * range;
             // Keep ±2 SD inside the global range so local populations do not
             // spill over the bounding box; fall back to mid-range when the
             // SD is so large the margin inverts (cannot happen with the
@@ -159,7 +158,9 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> Result<GeneratedData> {
 /// Splits `n` objects into `k` positive sizes proportional to
 /// `1 + U(0, imbalance)`, each at least 2 and summing exactly to `n`.
 fn cluster_sizes<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize, imbalance: f64) -> Vec<usize> {
-    let weights: Vec<f64> = (0..k).map(|_| 1.0 + rng.gen_range(0.0..=imbalance)).collect();
+    let weights: Vec<f64> = (0..k)
+        .map(|_| 1.0 + rng.gen_range(0.0..=imbalance))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut sizes: Vec<usize> = weights
         .iter()
@@ -294,8 +295,8 @@ mod tests {
             for &j in data.truth.relevant_dims(class) {
                 let vals: Vec<f64> = members.iter().map(|&o| ds.value(o, j)).collect();
                 let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-                let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                    / (vals.len() - 1) as f64;
+                let var =
+                    vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (vals.len() - 1) as f64;
                 // Local SD is at most 10% of range=100 → var ≤ ~100, far
                 // below the global uniform variance 100²/12 ≈ 833.
                 assert!(
@@ -311,9 +312,7 @@ mod tests {
     fn object_order_carries_no_class_runs() {
         // After shuffling, the first 10 objects should not all share a class.
         let data = generate(&small_config(), 17).unwrap();
-        let first: Vec<_> = (0..10)
-            .map(|o| data.truth.class_of(ObjectId(o)))
-            .collect();
+        let first: Vec<_> = (0..10).map(|o| data.truth.class_of(ObjectId(o))).collect();
         assert!(first.windows(2).any(|w| w[0] != w[1]));
     }
 
@@ -376,8 +375,7 @@ mod tests {
         let uniform_var = 100.0f64 * 100.0 / 12.0;
         let mut checked = 0;
         for j in ds.dim_ids() {
-            let relevant_somewhere =
-                (0..4).any(|c| data.truth.is_relevant(ClusterId(c), j));
+            let relevant_somewhere = (0..4).any(|c| data.truth.is_relevant(ClusterId(c), j));
             if relevant_somewhere {
                 continue;
             }

@@ -295,8 +295,7 @@ mod tests {
         let mut wrong = 0usize;
         let mut total = 0usize;
         for seed in 0..30 {
-            let noisy =
-                draw_noisy(&t, 30, InputKind::ObjectsOnly, 1.0, 5, 0.3, seed).unwrap();
+            let noisy = draw_noisy(&t, 30, InputKind::ObjectsOnly, 1.0, 5, 0.3, seed).unwrap();
             for &(o, c) in &noisy.labeled_objects {
                 total += 1;
                 if t.class_of(o) != Some(c) {

@@ -84,7 +84,9 @@ impl GroundTruth {
 
     /// True if `dim` is relevant to `class`.
     pub fn is_relevant(&self, class: ClusterId, dim: DimId) -> bool {
-        self.relevant_dims[class.index()].binary_search(&dim).is_ok()
+        self.relevant_dims[class.index()]
+            .binary_search(&dim)
+            .is_ok()
     }
 }
 

@@ -101,9 +101,8 @@ impl ContingencyTable {
 
     /// Iterator over `(row, col, count)` for all cells.
     pub fn cells(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        (0..self.rows).flat_map(move |r| {
-            (0..self.cols).map(move |c| (r, c, self.counts[r * self.cols + c]))
-        })
+        (0..self.rows)
+            .flat_map(move |r| (0..self.cols).map(move |c| (r, c, self.counts[r * self.cols + c])))
     }
 
     /// Per-row totals (U-cluster sizes).

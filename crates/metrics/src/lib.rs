@@ -27,6 +27,4 @@ pub mod outliers;
 mod pairs;
 
 pub use contingency::ContingencyTable;
-pub use pairs::{
-    adjusted_rand_index, hubert_arabie_ari, rand_index, OutlierPolicy, PairCounts,
-};
+pub use pairs::{adjusted_rand_index, hubert_arabie_ari, rand_index, OutlierPolicy, PairCounts};

@@ -34,9 +34,7 @@ pub fn max_weight_assignment(
         )));
     }
     if weights.iter().any(|w| !w.is_finite()) {
-        return Err(Error::InvalidParameter(
-            "weights must be finite".into(),
-        ));
+        return Err(Error::InvalidParameter("weights must be finite".into()));
     }
     if rows == 0 || cols == 0 {
         return Ok(vec![None; rows]);
@@ -110,8 +108,7 @@ pub fn max_weight_assignment(
     }
 
     let mut assignment = vec![None; rows];
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(n + 1).skip(1) {
         if i >= 1 && i - 1 < rows && j - 1 < cols {
             assignment[i - 1] = Some(j - 1);
         }
@@ -172,11 +169,7 @@ mod tests {
         rec(weights, cols, 0, rows, &mut used)
     }
 
-    fn assignment_weight(
-        weights: &[f64],
-        cols: usize,
-        assignment: &[Option<usize>],
-    ) -> f64 {
+    fn assignment_weight(weights: &[f64], cols: usize, assignment: &[Option<usize>]) -> f64 {
         assignment
             .iter()
             .enumerate()
@@ -235,7 +228,10 @@ mod tests {
 
     #[test]
     fn empty_dimensions() {
-        assert_eq!(max_weight_assignment(&[], 0, 0).unwrap(), Vec::<Option<usize>>::new());
+        assert_eq!(
+            max_weight_assignment(&[], 0, 0).unwrap(),
+            Vec::<Option<usize>>::new()
+        );
         assert_eq!(max_weight_assignment(&[], 2, 0).unwrap(), vec![None, None]);
     }
 

@@ -178,7 +178,15 @@ mod tests {
         let pc = PairCounts::count(&u, &v, OutlierPolicy::Exclude).unwrap();
         // pairs: (01): same both → a. (02): diff U, same V → c. (03): diff both → d.
         // (12): diff U, same V → c. (13): diff both → d. (23): same U, diff V → b.
-        assert_eq!(pc, PairCounts { a: 1, b: 1, c: 2, d: 2 });
+        assert_eq!(
+            pc,
+            PairCounts {
+                a: 1,
+                b: 1,
+                c: 2,
+                d: 2
+            }
+        );
         assert_eq!(pc.total(), 6);
     }
 
@@ -234,10 +242,12 @@ mod tests {
         use rand::Rng;
         let mut rng = sspc_common::rng::seeded_rng(4);
         let n = 2000;
-        let u: Vec<Option<ClusterId>> =
-            (0..n).map(|_| Some(ClusterId(rng.gen_range(0..4)))).collect();
-        let v: Vec<Option<ClusterId>> =
-            (0..n).map(|_| Some(ClusterId(rng.gen_range(0..4)))).collect();
+        let u: Vec<Option<ClusterId>> = (0..n)
+            .map(|_| Some(ClusterId(rng.gen_range(0..4))))
+            .collect();
+        let v: Vec<Option<ClusterId>> = (0..n)
+            .map(|_| Some(ClusterId(rng.gen_range(0..4))))
+            .collect();
         let ari = adjusted_rand_index(&u, &v, OutlierPolicy::Exclude).unwrap();
         assert!(ari.abs() < 0.02, "got {ari}");
     }
@@ -280,7 +290,7 @@ mod tests {
             // Identical partitions with k clusters of equal size.
             let mut labels = Vec::new();
             for c in 0..k {
-                labels.extend(std::iter::repeat(Some(ClusterId(c))).take(per));
+                labels.extend(std::iter::repeat_n(Some(ClusterId(c)), per));
             }
             let a1 = adjusted_rand_index(&labels, &labels, OutlierPolicy::Exclude).unwrap();
             let a2 = hubert_arabie_ari(&labels, &labels, OutlierPolicy::Exclude).unwrap();

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ari(&data.truth_b, raw.assignment()),
     );
 
-    for (label, guide, stream) in [("guide with A", &data.truth_a, 2u64), ("guide with B", &data.truth_b, 3)] {
+    for (label, guide, stream) in [
+        ("guide with A", &data.truth_a, 2u64),
+        ("guide with B", &data.truth_b, 3),
+    ] {
         let labels = draw(guide, InputKind::Both, 1.0, 5, derive_seed(seed, stream))?;
         let supervision = Supervision::new(labels.labeled_objects, labels.labeled_dims);
         let result = sspc.run(&data.dataset, &supervision, derive_seed(seed, stream + 10))?;

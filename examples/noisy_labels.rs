@@ -33,8 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = generate(&config, seed)?;
     let sspc = Sspc::new(SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5)))?;
     let score = |assignment: &[Option<sspc_common::ClusterId>]| {
-        adjusted_rand_index(data.truth.assignment(), assignment, OutlierPolicy::AsCluster)
-            .unwrap_or(0.0)
+        adjusted_rand_index(
+            data.truth.assignment(),
+            assignment,
+            OutlierPolicy::AsCluster,
+        )
+        .unwrap_or(0.0)
     };
 
     println!(
@@ -90,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let median = |v: &mut Vec<f64>| median_in_place(v);
     println!("median ARI over {REPEATS} label draws:");
-    println!("  trusting all labels:          {:.3}", median(&mut blind_scores));
+    println!(
+        "  trusting all labels:          {:.3}",
+        median(&mut blind_scores)
+    );
     println!(
         "  after model-based validation: {:.3}  ({:.1} labels rejected per draw)",
         median(&mut validated_scores),

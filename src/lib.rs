@@ -1,0 +1,13 @@
+//! Workspace facade for the SSPC reproduction.
+//!
+//! The real code lives in the `crates/` members; this package exists so the
+//! workspace-level integration tests (`tests/`) and examples (`examples/`)
+//! have a home. It re-exports the member crates for discoverability.
+
+pub use sspc::{Sspc, SspcParams, SspcResult, Supervision, ThresholdScheme, Thresholds};
+pub use sspc_analysis as analysis;
+pub use sspc_baselines as baselines;
+pub use sspc_bench as bench;
+pub use sspc_common as common;
+pub use sspc_datagen as datagen;
+pub use sspc_metrics as metrics;

@@ -86,11 +86,9 @@ fn dim_quality_perfect_on_ground_truth() {
 #[test]
 fn outlier_quality_detects_truth_roundtrip() {
     let data = data();
-    let q = sspc_metrics::outliers::outlier_quality(
-        data.truth.assignment(),
-        data.truth.assignment(),
-    )
-    .unwrap();
+    let q =
+        sspc_metrics::outliers::outlier_quality(data.truth.assignment(), data.truth.assignment())
+            .unwrap();
     assert_eq!(q.precision, 1.0);
     assert_eq!(q.recall, 1.0);
     assert_eq!(q.true_outliers, 30);

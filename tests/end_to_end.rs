@@ -46,8 +46,15 @@ fn best_sspc(data: &GeneratedData, params: SspcParams, runs: usize, seed: u64) -
     let sspc = Sspc::new(params)?;
     let mut best: Option<sspc::SspcResult> = None;
     for r in 0..runs {
-        let result = sspc.run(&data.dataset, &Supervision::none(), derive_seed(seed, r as u64))?;
-        if best.as_ref().map_or(true, |b| result.objective() > b.objective()) {
+        let result = sspc.run(
+            &data.dataset,
+            &Supervision::none(),
+            derive_seed(seed, r as u64),
+        )?;
+        if best
+            .as_ref()
+            .is_none_or(|b| result.objective() > b.objective())
+        {
             best = Some(result);
         }
     }
@@ -189,11 +196,8 @@ fn outlier_contaminated_data_is_handled() {
     let score = ari(&data, result.assignment());
     assert!(score > 0.6, "ARI {score} under 15% contamination");
     // Reported outliers should be within a factor of ~2 of the truth.
-    let q = sspc_metrics::outliers::outlier_quality(
-        data.truth.assignment(),
-        result.assignment(),
-    )
-    .unwrap();
+    let q = sspc_metrics::outliers::outlier_quality(data.truth.assignment(), result.assignment())
+        .unwrap();
     assert!(
         q.reported_outliers >= q.true_outliers / 2
             && q.reported_outliers <= q.true_outliers * 2 + 20,

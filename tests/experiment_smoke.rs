@@ -3,11 +3,11 @@
 //! on their building blocks so the suite stays fast — the full sweeps run
 //! via `cargo run --release -p sspc-bench --bin experiments -- all`.
 
+use sspc::{SspcParams, Supervision, ThresholdScheme};
+use sspc_baselines::proclus::ProclusParams;
 use sspc_bench::experiments;
 use sspc_bench::runner;
 use sspc_bench::table::Table;
-use sspc::{SspcParams, Supervision, ThresholdScheme};
-use sspc_baselines::proclus::ProclusParams;
 use sspc_datagen::{generate, GeneratorConfig};
 
 #[test]

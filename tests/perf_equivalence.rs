@@ -1,0 +1,191 @@
+//! The performance layer's contract: the columnar / parallel fast paths
+//! must be **bit-identical** to the row-major serial reference paths, at
+//! any thread count.
+//!
+//! Thread counts are driven through `SSPC_NUM_THREADS` (the env var
+//! `sspc_common::parallel::num_threads` resolves first); all runs happen
+//! inside one `#[test]` per scenario so the env mutation cannot race a
+//! concurrently running test in this binary.
+
+use proptest::prelude::*;
+use rand::Rng;
+use sspc::objective::{ClusterModel, FitScratch};
+use sspc::{Sspc, SspcParams, SspcResult, Supervision, ThresholdScheme, Thresholds};
+use sspc_common::rng::seeded_rng;
+use sspc_common::{ClusterId, Dataset, ObjectId};
+
+/// Serializes SSPC_NUM_THREADS mutation across tests in this binary.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_thread_count<R>(n: usize, body: impl FnOnce() -> R) -> R {
+    std::env::set_var("SSPC_NUM_THREADS", n.to_string());
+    let r = body();
+    std::env::remove_var("SSPC_NUM_THREADS");
+    r
+}
+
+/// A planted dataset: `k` clusters of `per` objects, each compact on two
+/// of the `d` dimensions, values elsewhere uniform over [0, 100].
+fn planted(n: usize, d: usize, k: usize, seed: u64) -> Dataset {
+    let mut rng = seeded_rng(seed);
+    let mut values = vec![0.0f64; n * d];
+    for v in values.iter_mut() {
+        *v = rng.gen_range(0.0..100.0);
+    }
+    let per = n / k;
+    for c in 0..k {
+        let j0 = (2 * c) % d.saturating_sub(1).max(1);
+        let center0 = rng.gen_range(10.0..90.0);
+        let center1 = rng.gen_range(10.0..90.0);
+        for o in (c * per)..((c + 1) * per) {
+            values[o * d + j0] = center0 + rng.gen_range(-1.0..1.0);
+            values[o * d + j0 + 1] = center1 + rng.gen_range(-1.0..1.0);
+        }
+    }
+    Dataset::from_rows(n, d, values).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Columnar `fit` equals the row-major naive `fit` to the last ulp on
+    /// random datasets and member subsets, and so do the selections and
+    /// scores derived from it.
+    #[test]
+    fn prop_columnar_fit_equals_naive(
+        n in 4usize..40,
+        d in 1usize..24,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let values: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-1e4..1e4)).collect();
+        let ds = Dataset::from_rows(n, d, values).unwrap();
+        // A random non-empty member subset.
+        let members: Vec<ObjectId> = (0..n)
+            .filter(|_| rng.gen_range(0.0..1.0) < 0.5)
+            .map(ObjectId)
+            .collect();
+        prop_assume!(!members.is_empty());
+
+        let fast = ClusterModel::fit_with_scratch(&ds, &members, &mut FitScratch::new()).unwrap();
+        let naive = ClusterModel::fit_naive(&ds, &members).unwrap();
+        for j in ds.dim_ids() {
+            let (f, g) = (fast.summary(j), naive.summary(j));
+            prop_assert_eq!(f.mean.to_bits(), g.mean.to_bits(), "mean differs at {}", j);
+            prop_assert_eq!(f.variance.to_bits(), g.variance.to_bits(), "variance differs at {}", j);
+            prop_assert_eq!(f.median.to_bits(), g.median.to_bits(), "median differs at {}", j);
+        }
+        for scheme in [ThresholdScheme::MFraction(0.5), ThresholdScheme::PValue(0.05)] {
+            let th = Thresholds::new(scheme, &ds).unwrap();
+            prop_assert_eq!(fast.select_dims(&th), naive.select_dims(&th));
+            let dims = fast.select_dims(&th);
+            prop_assert_eq!(
+                fast.cluster_score(&dims, &th).to_bits(),
+                naive.cluster_score(&dims, &th).to_bits()
+            );
+        }
+    }
+}
+
+fn assert_results_identical(a: &SspcResult, b: &SspcResult, what: &str) {
+    assert_eq!(a, b, "{what}: results differ");
+    // `==` on f64 treats -0.0 == 0.0; pin the objective to the exact bits.
+    assert_eq!(
+        a.objective().to_bits(),
+        b.objective().to_bits(),
+        "{what}: objective bits differ"
+    );
+}
+
+/// `Sspc::run` output is identical across thread counts, with and without
+/// supervision, for both threshold schemes.
+#[test]
+fn run_is_reproducible_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = planted(120, 16, 3, 42);
+    let sup_none = Supervision::none();
+    let sup_labeled = Supervision::none()
+        .label_object(ObjectId(0), ClusterId(0))
+        .label_object(ObjectId(1), ClusterId(0))
+        .label_object(ObjectId(40), ClusterId(1))
+        .label_object(ObjectId(41), ClusterId(1));
+    for scheme in [
+        ThresholdScheme::MFraction(0.5),
+        ThresholdScheme::PValue(0.05),
+    ] {
+        for sup in [&sup_none, &sup_labeled] {
+            let sspc = Sspc::new(SspcParams::new(3).with_threshold(scheme)).unwrap();
+            let reference = with_thread_count(1, || sspc.run(&ds, sup, 7).unwrap());
+            for threads in [2, 3, 8] {
+                let result = with_thread_count(threads, || sspc.run(&ds, sup, 7).unwrap());
+                assert_results_identical(
+                    &reference,
+                    &result,
+                    &format!("{scheme:?} at {threads} threads"),
+                );
+            }
+        }
+    }
+}
+
+/// The full fast path (columnar + parallel + scratch reuse) reproduces the
+/// reference scalar path bit-for-bit.
+#[test]
+fn run_equals_run_naive_bitwise() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = planted(150, 24, 3, 99);
+    let sup = Supervision::none()
+        .label_object(ObjectId(2), ClusterId(0))
+        .label_object(ObjectId(3), ClusterId(0));
+    for scheme in [
+        ThresholdScheme::MFraction(0.5),
+        ThresholdScheme::PValue(0.05),
+    ] {
+        let sspc = Sspc::new(SspcParams::new(3).with_threshold(scheme)).unwrap();
+        for seed in 0..3u64 {
+            let naive = sspc.run_naive(&ds, &sup, seed).unwrap();
+            for threads in [1, 4] {
+                let fast = with_thread_count(threads, || sspc.run(&ds, &sup, seed).unwrap());
+                assert_results_identical(
+                    &naive,
+                    &fast,
+                    &format!("{scheme:?} seed {seed} threads {threads}"),
+                );
+            }
+        }
+    }
+}
+
+/// The rayon-convention env var is honored too: `RAYON_NUM_THREADS=1,2,8`
+/// all produce the same output.
+#[test]
+fn run_is_reproducible_across_rayon_num_threads() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = planted(200, 20, 2, 5);
+    let sspc =
+        Sspc::new(SspcParams::new(2).with_threshold(ThresholdScheme::MFraction(0.5))).unwrap();
+    let mut results = Vec::new();
+    for threads in [1, 2, 8] {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        results.push(sspc.run(&ds, &Supervision::none(), 3).unwrap());
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+    assert_results_identical(&results[0], &results[1], "RAYON_NUM_THREADS 1 vs 2");
+    assert_results_identical(&results[0], &results[2], "RAYON_NUM_THREADS 1 vs 8");
+}
+
+/// Thread-count independence also holds for larger-than-toy inputs where
+/// the parallel chunking actually splits the data.
+#[test]
+fn chunked_assignment_matches_serial_on_larger_input() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = planted(900, 12, 4, 7);
+    let sspc = Sspc::new(
+        SspcParams::new(4)
+            .with_threshold(ThresholdScheme::MFraction(0.5))
+            .with_termination(3, 12),
+    )
+    .unwrap();
+    let serial = with_thread_count(1, || sspc.run(&ds, &Supervision::none(), 11).unwrap());
+    let parallel = with_thread_count(6, || sspc.run(&ds, &Supervision::none(), 11).unwrap());
+    assert_results_identical(&serial, &parallel, "900-object run");
+}

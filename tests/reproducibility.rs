@@ -65,7 +65,10 @@ fn different_seeds_explore_different_solutions() {
         .windows(2)
         .filter(|w| (w[0] - w[1]).abs() > 1e-12)
         .count();
-    assert!(distinct > 0, "all seeds produced identical objectives: {objectives:?}");
+    assert!(
+        distinct > 0,
+        "all seeds produced identical objectives: {objectives:?}"
+    );
 }
 
 #[test]
