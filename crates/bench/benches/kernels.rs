@@ -5,10 +5,11 @@
 //! Hungarian matcher, and the synthetic generator.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use sspc::objective::{ClusterModel, FitScratch};
+use sspc::objective::{assignment_gain_row, ClusterModel, FitScratch, IncrementalModel};
 use sspc::{ThresholdScheme, Thresholds};
+use sspc_common::orderstat::MedianSet;
 use sspc_common::stats::ChiSquared;
-use sspc_common::{ClusterId, ObjectId};
+use sspc_common::{ClusterId, DimId, ObjectId};
 use sspc_datagen::{generate, GeneratorConfig};
 use sspc_metrics::{adjusted_rand_index, matching, ContingencyTable, OutlierPolicy};
 use std::hint::black_box;
@@ -77,6 +78,148 @@ fn bench_fit_layouts(c: &mut Criterion) {
     group.finish();
 }
 
+/// The delta-size sweep behind the incremental refit engine's cutover
+/// policy: one stabilized-iteration refit of a ~n/5-member cluster over
+/// `d` dimensions — incremental (`apply_delta` + order-statistics
+/// selection) vs the batch fit — across delta sizes. The crossover this
+/// sweep shows is what `DELTA_CUTOVER_DIV` in the main loop encodes.
+fn bench_incremental_delta_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_refit");
+    let (n, d) = (2500usize, 1000usize);
+    let data = generate(&config(n, d), 3).unwrap();
+    let members: Vec<ObjectId> = data.truth.members_of(ClusterId(0));
+    let spares: Vec<ObjectId> = data.truth.members_of(ClusterId(1));
+    let thresholds = Thresholds::new(ThresholdScheme::MFraction(0.5), &data.dataset).unwrap();
+    let t_row = thresholds.row(members.len());
+    let mut scratch = FitScratch::new();
+
+    group.bench_with_input(
+        BenchmarkId::new("batch_fit", format!("m{}_d{d}", members.len())),
+        &(&data, &members),
+        |b, (data, members)| {
+            b.iter(|| {
+                let model =
+                    ClusterModel::fit_with_scratch(&data.dataset, members, &mut scratch).unwrap();
+                black_box(model.select_dims_row(&t_row))
+            })
+        },
+    );
+
+    for delta in [1usize, 4, 8, 16, 32] {
+        let removed: Vec<ObjectId> = members.iter().copied().take(delta).collect();
+        let added: Vec<ObjectId> = spares.iter().copied().take(delta).collect();
+        let mut inc = IncrementalModel::new(d);
+        inc.rebuild_with_scratch(&data.dataset, &members, &mut scratch)
+            .unwrap();
+        let (mut dims, mut medians) = (Vec::new(), Vec::new());
+        group.bench_with_input(
+            BenchmarkId::new("apply_delta_select", format!("delta{delta}")),
+            &(&data, &removed, &added),
+            |b, (data, removed, added)| {
+                b.iter(|| {
+                    // Swap the same objects out and back in: two deltas of
+                    // the given size, leaving the model unchanged for the
+                    // next measurement.
+                    inc.apply_delta(&data.dataset, removed, added);
+                    inc.apply_delta(&data.dataset, added, removed);
+                    black_box(inc.select_and_score_row(&t_row, &mut dims, &mut medians))
+                })
+            },
+        );
+    }
+
+    // The bulk-load investment (sorted rebuild of every per-dimension
+    // multiset) that a delta-dominated stretch must amortize.
+    let mut inc = IncrementalModel::new(d);
+    group.bench_with_input(
+        BenchmarkId::new("rebuild", format!("m{}_d{d}", members.len())),
+        &(&data, &members),
+        |b, (data, members)| {
+            b.iter(|| {
+                inc.rebuild_with_scratch(&data.dataset, members, &mut scratch)
+                    .unwrap();
+                black_box(inc.size())
+            })
+        },
+    );
+    group.finish();
+}
+
+/// Raw order-statistics multiset operations — the per-(object, dimension)
+/// cost every incremental refit pays.
+fn bench_medianset_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("medianset");
+    for n in [128usize, 512, 2048] {
+        let values: Vec<f64> = (0..n).map(|i| ((i * 193) % 1009) as f64).collect();
+        let mut set = MedianSet::new();
+        let mut keys = Vec::new();
+        set.rebuild_from_unsorted(&values, &mut keys);
+        group.bench_with_input(
+            BenchmarkId::new("swap_and_median", format!("n{n}")),
+            &values,
+            |b, values| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let v = values[i % values.len()];
+                    set.remove(v);
+                    set.insert(v + 0.5);
+                    set.remove(v + 0.5);
+                    set.insert(v);
+                    i += 1;
+                    black_box(set.median())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_unsorted", format!("n{n}")),
+            &values,
+            |b, values| b.iter(|| set.rebuild_from_unsorted(black_box(values), &mut keys)),
+        );
+    }
+    group.finish();
+}
+
+/// The assignment-phase gain kernel (order-exact 4-wide unroll) at
+/// realistic selected-dimension counts.
+fn bench_gain_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gain_row");
+    let d = 1000usize;
+    let data = generate(&config(2000, d), 4).unwrap();
+    let row = data.dataset.row(ObjectId(0)).to_vec();
+    let rep = data.dataset.row(ObjectId(1)).to_vec();
+    let thresholds = Thresholds::new(ThresholdScheme::MFraction(0.5), &data.dataset).unwrap();
+    let t_row = thresholds.row(400);
+    // The pre-unroll formulation, kept here as the measured baseline the
+    // order-exact unroll in `assignment_gain_row` is compared against
+    // (PERFORMANCE.md quotes this A/B).
+    let sequential = |dims: &[DimId]| -> f64 {
+        dims.iter()
+            .map(|&j| {
+                let t = t_row[j.index()];
+                if t <= 0.0 {
+                    return 0.0;
+                }
+                let diff = row[j.index()] - rep[j.index()];
+                1.0 - diff * diff / t
+            })
+            .sum()
+    };
+    for n_dims in [8usize, 20, 100] {
+        let dims: Vec<DimId> = (0..n_dims).map(|j| DimId(j * (d / n_dims))).collect();
+        group.bench_with_input(
+            BenchmarkId::new("unrolled", format!("dims{n_dims}")),
+            &dims,
+            |b, dims| b.iter(|| black_box(assignment_gain_row(&row, &rep, dims, &t_row))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("dims{n_dims}")),
+            &dims,
+            |b, dims| b.iter(|| black_box(sequential(dims))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_chi_square_quantile(c: &mut Criterion) {
     c.bench_function("chi_square_quantile_dof30", |b| {
         let chi = ChiSquared::new(30.0).unwrap();
@@ -126,6 +269,9 @@ criterion_group!(
     benches,
     bench_objective,
     bench_fit_layouts,
+    bench_incremental_delta_sweep,
+    bench_medianset_ops,
+    bench_gain_row,
     bench_chi_square_quantile,
     bench_ari,
     bench_hungarian,

@@ -6,6 +6,9 @@
 //! * [`Dataset`] — a dense numerical dataset with typed indices
 //!   ([`ObjectId`], [`DimId`]), a column-major mirror for per-dimension
 //!   kernels, and cached per-dimension global statistics.
+//! * [`orderstat`] — indexable order statistics over `f64` multisets
+//!   (`total_cmp` order), the substrate for incremental median maintenance
+//!   in the hot loop.
 //! * [`parallel`] — deterministic data-parallel helpers (std-thread based;
 //!   results are bit-identical at any thread count).
 //! * [`stats`] — descriptive statistics (mean / variance / median computed
@@ -26,6 +29,7 @@ mod error;
 mod ids;
 pub mod io;
 pub mod linalg;
+pub mod orderstat;
 pub mod parallel;
 pub mod rng;
 pub mod stats;

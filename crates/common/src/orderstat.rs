@@ -1,0 +1,514 @@
+//! Indexable order statistics over `f64` multisets.
+//!
+//! The SSPC hot loop re-selects the median of every (cluster, dimension)
+//! projection each iteration, yet once the assignment phase stabilizes only
+//! a handful of objects move between consecutive iterations. [`MedianSet`]
+//! turns that delta into sub-linear work: it maintains a multiset of `f64`
+//! values under the [`f64::total_cmp`] order and answers arbitrary order
+//! statistics — in particular the median — without re-scanning the members.
+//!
+//! # Exactness contract
+//!
+//! `total_cmp` is a *total* order, so the element at a given sorted
+//! position is a deterministic function of the input multiset — any correct
+//! selection algorithm agrees bit-for-bit. [`MedianSet::median`] therefore
+//! returns **exactly** the bits `sspc_common::stats::median_in_place`
+//! would select from the same multiset (lower-middle convention for even
+//! sizes), which is what the incremental refit engine's bit-identity
+//! guarantees lean on.
+//!
+//! # Representation
+//!
+//! A sorted-chunk list: values are stored as order-preserving `u64` keys
+//! (sign-magnitude flip of the IEEE bits, so unsigned comparison equals
+//! `total_cmp`) in a vector of sorted chunks of at most
+//! [`MAX_CHUNK`] keys each. Insert and remove locate the chunk by binary
+//! search over chunk maxima (`O(log(n / chunk))`) and shift within one
+//! small chunk (`O(chunk)` — a sub-cache-line `memmove` in practice);
+//! selection walks the chunk lengths (`O(n / chunk)`). For the per-cluster
+//! per-dimension sets the hot loop maintains (hundreds to a few thousand
+//! elements) every operation is a handful of nanoseconds; a Fenwick tree
+//! over chunk lengths would make selection logarithmic if much larger sets
+//! ever matter.
+
+/// Chunk capacity: a full chunk splits in two. 64 keys = 512 bytes, so a
+/// within-chunk shift stays inside a few cache lines.
+const MAX_CHUNK: usize = 64;
+
+/// Maps an `f64` to a `u64` whose unsigned order equals [`f64::total_cmp`]:
+/// positive floats get the sign bit set (ordering them above all negatives),
+/// negative floats are bit-complemented (reversing their magnitude order).
+#[inline]
+fn key_of(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b & (1 << 63) == 0 {
+        b | (1 << 63)
+    } else {
+        !b
+    }
+}
+
+/// Inverse of [`key_of`]; bijective on all bit patterns.
+#[inline]
+fn value_of(k: u64) -> f64 {
+    let b = if k & (1 << 63) != 0 {
+        k & !(1 << 63)
+    } else {
+        !k
+    };
+    f64::from_bits(b)
+}
+
+/// An indexable `f64` multiset ordered by [`f64::total_cmp`], supporting
+/// insert, remove, and order-statistic queries (median, select) without
+/// re-sorting. See the [module docs](self) for the exactness contract and
+/// complexity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MedianSet {
+    /// Non-empty sorted chunks of order-preserving keys; chunk maxima are
+    /// globally non-decreasing.
+    chunks: Vec<Vec<u64>>,
+    /// `maxima[i] == *chunks[i].last()`, kept in a flat array so the
+    /// chunk search binary-searches contiguous memory instead of chasing
+    /// one heap pointer per probe — the incremental refit engine walks
+    /// thousands of cold `MedianSet`s per delta, where those chases
+    /// dominate.
+    maxima: Vec<u64>,
+    len: usize,
+}
+
+impl MedianSet {
+    /// An empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of values currently stored (counting multiplicity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the multiset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every value, keeping the chunk allocations for reuse.
+    pub fn clear(&mut self) {
+        // Keep at most one chunk's allocation; a cleared set is usually
+        // either rebuilt wholesale (which re-chunks anyway) or left empty.
+        self.chunks.truncate(1);
+        if let Some(c) = self.chunks.first_mut() {
+            c.clear();
+        }
+        self.maxima.clear();
+        self.len = 0;
+    }
+
+    /// Index of the chunk an existing `key` must live in (the first chunk
+    /// whose maximum is `>= key`), or the last chunk for keys above every
+    /// maximum (the insertion case).
+    #[inline]
+    fn chunk_for(&self, key: u64) -> usize {
+        let i = self.maxima.partition_point(|&max| max < key);
+        i.min(self.maxima.len().saturating_sub(1))
+    }
+
+    /// Inserts one value (duplicates accumulate).
+    pub fn insert(&mut self, x: f64) {
+        let key = key_of(x);
+        if self.len == 0 {
+            if self.chunks.is_empty() {
+                self.chunks.push(Vec::with_capacity(MAX_CHUNK + 1));
+            }
+            self.chunks.truncate(1);
+            self.chunks[0].clear();
+            self.chunks[0].push(key);
+            self.maxima.clear();
+            self.maxima.push(key);
+            self.len = 1;
+            return;
+        }
+        let ci = self.chunk_for(key);
+        let chunk = &mut self.chunks[ci];
+        let pos = chunk.partition_point(|&k| k < key);
+        chunk.insert(pos, key);
+        self.len += 1;
+        if pos == chunk.len() - 1 {
+            self.maxima[ci] = key;
+        }
+        if chunk.len() > MAX_CHUNK {
+            let tail = chunk.split_off(chunk.len() / 2);
+            self.maxima[ci] = *self.chunks[ci].last().expect("left split non-empty");
+            self.maxima
+                .insert(ci + 1, *tail.last().expect("right split non-empty"));
+            self.chunks.insert(ci + 1, tail);
+        }
+    }
+
+    /// Removes one occurrence of `x` (matched by exact bits under the
+    /// `total_cmp` order). Returns whether a value was removed.
+    pub fn remove(&mut self, x: f64) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let key = key_of(x);
+        let ci = self.chunk_for(key);
+        let chunk = &mut self.chunks[ci];
+        let pos = chunk.partition_point(|&k| k < key);
+        if pos >= chunk.len() || chunk[pos] != key {
+            return false;
+        }
+        chunk.remove(pos);
+        self.len -= 1;
+        match chunk.last() {
+            Some(&max) => self.maxima[ci] = max,
+            None => {
+                if self.chunks.len() > 1 {
+                    self.chunks.remove(ci);
+                }
+                self.maxima.remove(ci);
+            }
+        }
+        true
+    }
+
+    /// The value at sorted position `rank` (0-based, `total_cmp` order), or
+    /// `None` when `rank >= len`.
+    pub fn select(&self, mut rank: usize) -> Option<f64> {
+        if rank >= self.len {
+            return None;
+        }
+        for chunk in &self.chunks {
+            if rank < chunk.len() {
+                return Some(value_of(chunk[rank]));
+            }
+            rank -= chunk.len();
+        }
+        unreachable!("len() covers all chunks")
+    }
+
+    /// The multiset median — the value at rank `(len − 1) / 2`, matching
+    /// the lower-middle convention of
+    /// [`median_in_place`](crate::stats::median_in_place) bit-for-bit.
+    /// `None` when empty.
+    #[inline]
+    pub fn median(&self) -> Option<f64> {
+        self.select((self.len.wrapping_sub(1)) / 2)
+    }
+
+    /// Replaces the contents with `values`, which **must already be sorted
+    /// by `total_cmp`** (checked in debug builds). Reuses existing chunk
+    /// allocations; `O(n)`.
+    pub fn rebuild_from_sorted(&mut self, values: &[f64]) {
+        debug_assert!(
+            values.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "rebuild_from_sorted requires total_cmp-sorted input"
+        );
+        self.fill_chunks(values.iter().map(|&v| key_of(v)), values.len());
+    }
+
+    /// Replaces the contents with `values`, in any order. The rebuild maps
+    /// to order-preserving keys first and sorts those — a branchless
+    /// integer sort, measurably faster than `sort_by(total_cmp)` on the
+    /// floats — using `key_scratch` as the staging buffer (grown on demand,
+    /// reused across calls). `O(n log n)`; the bulk-load path of the
+    /// incremental refit engine.
+    pub fn rebuild_from_unsorted(&mut self, values: &[f64], key_scratch: &mut Vec<u64>) {
+        key_scratch.clear();
+        key_scratch.extend(values.iter().map(|&v| key_of(v)));
+        key_scratch.sort_unstable();
+        let n = key_scratch.len();
+        self.fill_chunks(key_scratch.drain(..), n);
+    }
+
+    /// Rebuilds the chunk list from an ascending key sequence, reusing
+    /// chunk allocations. Half-full chunks leave headroom so the first few
+    /// inserts after a rebuild don't immediately split.
+    fn fill_chunks(&mut self, mut keys: impl Iterator<Item = u64>, n: usize) {
+        let target = MAX_CHUNK / 2;
+        let n_chunks = n.div_ceil(target).max(1);
+        self.chunks.truncate(n_chunks);
+        while self.chunks.len() < n_chunks {
+            self.chunks.push(Vec::with_capacity(MAX_CHUNK + 1));
+        }
+        self.maxima.clear();
+        for chunk in self.chunks.iter_mut() {
+            chunk.clear();
+            chunk.extend(keys.by_ref().take(target));
+            if let Some(&max) = chunk.last() {
+                self.maxima.push(max);
+            }
+        }
+        // `n` may be zero: keep the single mandatory chunk empty.
+        if n == 0 {
+            self.chunks.truncate(1);
+            if let Some(c) = self.chunks.first_mut() {
+                c.clear();
+            }
+        }
+        self.len = n;
+    }
+
+    /// Iterates the values in `total_cmp` order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.iter().map(|&k| value_of(k)))
+    }
+
+    /// Checks the internal invariants (tests only): chunk sizes, sorted
+    /// chunks with globally non-decreasing boundaries, and the maxima
+    /// mirror.
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        let non_empty: Vec<&Vec<u64>> = self.chunks.iter().filter(|c| !c.is_empty()).collect();
+        assert!(
+            self.chunks.len() - non_empty.len() <= 1,
+            "at most the mandatory chunk may be empty"
+        );
+        assert_eq!(self.maxima.len(), non_empty.len(), "maxima per chunk");
+        assert_eq!(self.len, non_empty.iter().map(|c| c.len()).sum::<usize>());
+        let mut prev = None;
+        for (chunk, &max) in non_empty.iter().zip(&self.maxima) {
+            assert!(chunk.len() <= MAX_CHUNK, "chunk overflow");
+            assert!(chunk.windows(2).all(|w| w[0] <= w[1]), "chunk unsorted");
+            assert_eq!(*chunk.last().unwrap(), max, "stale maximum");
+            if let Some(p) = prev {
+                assert!(chunk[0] >= p, "chunk boundaries out of order");
+            }
+            prev = Some(max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::median_in_place;
+    use proptest::prelude::*;
+
+    /// Sort-based oracle over the same multiset.
+    fn oracle_median(values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut buf = values.to_vec();
+        Some(median_in_place(&mut buf))
+    }
+
+    #[test]
+    fn key_mapping_is_monotone_and_bijective() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.0,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            2.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in samples.windows(2) {
+            assert!(key_of(w[0]) < key_of(w[1]), "{} !< {}", w[0], w[1]);
+        }
+        for &v in &samples {
+            assert_eq!(value_of(key_of(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn insert_remove_median_small() {
+        let mut s = MedianSet::new();
+        assert_eq!(s.median(), None);
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.median(), Some(3.0));
+        assert!(s.remove(3.0));
+        // Even size: lower middle of {1,2,4,5} is 2.
+        assert_eq!(s.median(), Some(2.0));
+        assert!(!s.remove(3.0), "3.0 no longer present");
+        assert_eq!(s.select(0), Some(1.0));
+        assert_eq!(s.select(3), Some(5.0));
+        assert_eq!(s.select(4), None);
+    }
+
+    #[test]
+    fn duplicates_accumulate_and_remove_one_at_a_time() {
+        let mut s = MedianSet::new();
+        for _ in 0..5 {
+            s.insert(7.0);
+        }
+        s.insert(1.0);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.median(), Some(7.0));
+        assert!(s.remove(7.0));
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.iter().filter(|&v| v == 7.0).count(), 4);
+    }
+
+    #[test]
+    fn negative_zero_is_distinct_from_positive_zero() {
+        let mut s = MedianSet::new();
+        s.insert(0.0);
+        s.insert(-0.0);
+        // total_cmp order: -0.0 < +0.0; rank 0 must be -0.0's bits.
+        assert_eq!(s.select(0).unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(s.select(1).unwrap().to_bits(), 0.0f64.to_bits());
+        assert!(s.remove(-0.0));
+        assert_eq!(s.select(0).unwrap().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn chunk_splits_keep_order() {
+        let mut s = MedianSet::new();
+        // Enough ascending + descending interleave to force several splits.
+        for i in 0..500 {
+            s.insert(f64::from(if i % 2 == 0 { i } else { 1000 - i }));
+        }
+        assert_eq!(s.len(), 500);
+        let collected: Vec<f64> = s.iter().collect();
+        assert!(collected.windows(2).all(|w| w[0] <= w[1]));
+        assert!(s.chunks.len() > 1, "expected multiple chunks");
+        assert!(s
+            .chunks
+            .iter()
+            .all(|c| !c.is_empty() && c.len() <= MAX_CHUNK));
+    }
+
+    #[test]
+    fn rebuild_from_sorted_matches_inserts() {
+        let mut values: Vec<f64> = (0..300).map(|i| f64::from((i * 37) % 100)).collect();
+        values.sort_unstable_by(f64::total_cmp);
+        let mut rebuilt = MedianSet::new();
+        rebuilt.rebuild_from_sorted(&values);
+        let mut inserted = MedianSet::new();
+        for &v in &values {
+            inserted.insert(v);
+        }
+        assert_eq!(rebuilt.len(), inserted.len());
+        assert_eq!(
+            rebuilt.median().unwrap().to_bits(),
+            inserted.median().unwrap().to_bits()
+        );
+        assert_eq!(
+            rebuilt.iter().collect::<Vec<_>>(),
+            inserted.iter().collect::<Vec<_>>()
+        );
+        rebuilt.rebuild_from_sorted(&[]);
+        assert!(rebuilt.is_empty());
+        assert_eq!(rebuilt.median(), None);
+    }
+
+    #[test]
+    fn rebuild_from_unsorted_matches_sorted_rebuild() {
+        let unsorted: Vec<f64> = (0..257)
+            .map(|i| f64::from((i * 193) % 251) - 100.0)
+            .collect();
+        let mut sorted = unsorted.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let mut a = MedianSet::new();
+        a.rebuild_from_sorted(&sorted);
+        let mut b = MedianSet::new();
+        let mut keys = Vec::new();
+        b.rebuild_from_unsorted(&unsorted, &mut keys);
+        assert_eq!(a, b);
+        assert_eq!(a.median().unwrap().to_bits(), b.median().unwrap().to_bits());
+        // The scratch is reusable and the set rebuildable to empty.
+        b.rebuild_from_unsorted(&[], &mut keys);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_and_allows_reuse() {
+        let mut s = MedianSet::new();
+        for i in 0..200 {
+            s.insert(f64::from(i));
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.median(), None);
+        s.insert(9.0);
+        assert_eq!(s.median(), Some(9.0));
+    }
+
+    /// Applies a (possibly invalid-remove) op sequence to both the set and
+    /// a mirror Vec, checking median/select agreement throughout.
+    fn check_against_oracle(ops: &[(bool, f64)]) {
+        let mut s = MedianSet::new();
+        let mut mirror: Vec<f64> = Vec::new();
+        for &(is_insert, v) in ops {
+            if is_insert {
+                s.insert(v);
+                mirror.push(v);
+            } else {
+                let removed = s.remove(v);
+                let oracle_removed = mirror
+                    .iter()
+                    .position(|m| m.to_bits() == v.to_bits())
+                    .map(|i| {
+                        mirror.swap_remove(i);
+                    })
+                    .is_some();
+                assert_eq!(removed, oracle_removed, "remove({v}) disagreed");
+            }
+            s.assert_invariants();
+            assert_eq!(s.len(), mirror.len());
+            match (s.median(), oracle_median(&mirror)) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits(), "median mismatch"),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        // Full order-statistic sweep at the end.
+        let mut sorted = mirror.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        for (rank, &expect) in sorted.iter().enumerate() {
+            assert_eq!(s.select(rank).unwrap().to_bits(), expect.to_bits());
+        }
+    }
+
+    proptest! {
+        /// Random insert/remove sequences over continuous values agree with
+        /// the sort-based oracle for median and every order statistic.
+        #[test]
+        fn prop_matches_sort_oracle(
+            ops in prop::collection::vec((any::<bool>(), -1e6f64..1e6), 1..300)
+        ) {
+            check_against_oracle(&ops);
+        }
+
+        /// Duplicate-heavy inputs (values drawn from a tiny discrete set)
+        /// exercise equal-key runs spanning chunk boundaries.
+        #[test]
+        fn prop_duplicate_heavy_matches_oracle(
+            ops in prop::collection::vec((any::<bool>(), 0u8..6), 1..400)
+        ) {
+            let mapped: Vec<(bool, f64)> =
+                ops.iter().map(|&(i, v)| (i, f64::from(v))).collect();
+            check_against_oracle(&mapped);
+        }
+
+        /// Pure insert streams: median equals `median_in_place` bits for
+        /// every prefix.
+        #[test]
+        fn prop_median_bits_equal_median_in_place(
+            values in prop::collection::vec(-1e9f64..1e9, 1..200)
+        ) {
+            let mut s = MedianSet::new();
+            for (i, &v) in values.iter().enumerate() {
+                s.insert(v);
+                let mut prefix = values[..=i].to_vec();
+                let expect = median_in_place(&mut prefix);
+                prop_assert_eq!(s.median().unwrap().to_bits(), expect.to_bits());
+            }
+        }
+    }
+}

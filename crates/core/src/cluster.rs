@@ -75,6 +75,17 @@ impl Clone for ClusterState {
 }
 
 impl ClusterState {
+    /// Resets the fit-derived fields for an empty member set: zero score,
+    /// no cached medians, no fitted member list. The selected dimensions
+    /// are deliberately kept — the reference path leaves the last selection
+    /// in place for empty clusters, and the bad-cluster redraw will replace
+    /// them.
+    pub fn reset_empty_fit(&mut self) {
+        self.score = 0.0;
+        self.medians.clear();
+        self.fitted_members.clear();
+    }
+
     /// Replaces the representative by the member-wise median (paper step 6:
     /// "the medoid of each other cluster is replaced by the cluster
     /// median"). No-op for empty clusters.

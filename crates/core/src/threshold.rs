@@ -1,7 +1,7 @@
 use sspc_common::stats::ChiSquared;
 use sspc_common::{Dataset, DimId, Error, Result};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 /// The two schemes from paper Sec. 4.1 for setting the selection threshold
 /// `ŝ²ᵢⱼ` — the variance level below which a dimension counts as relevant
@@ -63,9 +63,12 @@ impl ThresholdScheme {
 /// (size-independent), built at construction; for the `p`-scheme rows are
 /// built on demand, one chi-square quantile per distinct cluster size.
 ///
-/// Rows are shared as `Arc<[f64]>` behind a `Mutex`, so a `Thresholds` can
-/// be read from the parallel assignment phase (`Sync`), and fetching a row
-/// costs one uncontended lock + one `Arc` clone.
+/// Rows are shared as `Arc<[f64]>` behind an `RwLock`, so a `Thresholds`
+/// can be read from the parallel assignment and refit phases (`Sync`)
+/// **without serializing the readers**: a memoized row costs one shared
+/// read lock (uncontended even when every worker fetches rows
+/// concurrently) plus one `Arc` clone; only the first computation of a row
+/// for a new cluster size takes the write lock.
 #[derive(Debug)]
 pub struct Thresholds {
     scheme: ThresholdScheme,
@@ -74,7 +77,7 @@ pub struct Thresholds {
     /// `p`-scheme).
     m_row: Option<Arc<[f64]>>,
     /// Memoized `p`-scheme rows keyed by clamped cluster size.
-    rows: Mutex<HashMap<usize, Arc<[f64]>>>,
+    rows: RwLock<HashMap<usize, Arc<[f64]>>>,
 }
 
 impl Clone for Thresholds {
@@ -83,7 +86,7 @@ impl Clone for Thresholds {
             scheme: self.scheme,
             global_var: self.global_var.clone(),
             m_row: self.m_row.clone(),
-            rows: Mutex::new(self.rows.lock().expect("threshold cache poisoned").clone()),
+            rows: RwLock::new(self.rows.read().expect("threshold cache poisoned").clone()),
         }
     }
 }
@@ -108,7 +111,7 @@ impl Thresholds {
             scheme,
             global_var,
             m_row,
-            rows: Mutex::new(HashMap::new()),
+            rows: RwLock::new(HashMap::new()),
         })
     }
 
@@ -130,11 +133,23 @@ impl Thresholds {
             unreachable!("m-scheme always has m_row");
         };
         let size = cluster_size.max(2);
-        let mut rows = self.rows.lock().expect("threshold cache poisoned");
-        Arc::clone(rows.entry(size).or_insert_with(|| {
-            let factor = chi_factor(size, p);
-            self.global_var.iter().map(|&s2j| s2j * factor).collect()
-        }))
+        // Hot path: a shared read lock — parallel workers never serialize
+        // on memoized rows.
+        if let Some(row) = self
+            .rows
+            .read()
+            .expect("threshold cache poisoned")
+            .get(&size)
+        {
+            return Arc::clone(row);
+        }
+        // Miss: compute the quantile outside any lock, then publish under
+        // the write lock (keeping whichever row won a computation race, so
+        // shared `Arc`s stay unique per size).
+        let factor = chi_factor(size, p);
+        let fresh: Arc<[f64]> = self.global_var.iter().map(|&s2j| s2j * factor).collect();
+        let mut rows = self.rows.write().expect("threshold cache poisoned");
+        Arc::clone(rows.entry(size).or_insert(fresh))
     }
 
     /// The selection threshold `ŝ²ᵢⱼ` for a cluster of `cluster_size`
@@ -266,6 +281,26 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn concurrent_row_misses_converge_to_one_shared_row() {
+        // Several threads racing the first computation of the same row must
+        // all end up sharing a single allocation (the publish step keeps
+        // whichever row won).
+        let ds = dataset();
+        let th = Thresholds::new(ThresholdScheme::PValue(0.07), &ds).unwrap();
+        let rows: Vec<std::sync::Arc<[f64]>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| th.row(23))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &rows[1..] {
+            assert!(
+                std::sync::Arc::ptr_eq(&rows[0], r),
+                "racing fetches must share one row"
+            );
+        }
+        assert!(std::sync::Arc::ptr_eq(&rows[0], &th.row(23)));
     }
 
     #[test]

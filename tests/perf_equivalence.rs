@@ -173,6 +173,67 @@ fn run_is_reproducible_across_rayon_num_threads() {
     assert_results_identical(&results[0], &results[2], "RAYON_NUM_THREADS 1 vs 8");
 }
 
+/// The delta-driven incremental refit engine (PR 2) must be invisible in
+/// the results: `incremental = true` (the default) and `incremental =
+/// false` (the PR-1 batch path) produce bit-identical `SspcResult`s, and
+/// both match `run_naive`, at 1, 2, and 8 threads.
+///
+/// The engine's own routing thresholds would send most of this small
+/// workload's deltas to batch refits, so the test also runs with the
+/// policy overrides forcing *every* changed cluster through the
+/// incremental structures (`SSPC_DELTA_CUTOVER_DIV=1`,
+/// `SSPC_INCR_STREAK=0`) — exercising the order-statistics maintenance,
+/// the moment-drift margins, and the re-canonicalization machinery as
+/// hard as possible.
+#[test]
+fn incremental_equals_batch_and_naive_bitwise() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = planted(600, 24, 3, 4242);
+    let sup = Supervision::none()
+        .label_object(ObjectId(0), ClusterId(0))
+        .label_object(ObjectId(1), ClusterId(0))
+        .label_object(ObjectId(200), ClusterId(1))
+        .label_object(ObjectId(201), ClusterId(1));
+    for scheme in [
+        ThresholdScheme::MFraction(0.5),
+        ThresholdScheme::PValue(0.05),
+    ] {
+        // Long runs (library-default termination) so the trajectory has a
+        // genuine stabilized, delta-dominated phase.
+        let params = SspcParams::new(3).with_threshold(scheme);
+        let incremental = Sspc::new(params.clone()).unwrap();
+        let batch = Sspc::new(params.with_incremental(false)).unwrap();
+        for seed in [7u64, 19] {
+            let naive = incremental.run_naive(&ds, &sup, seed).unwrap();
+            let reference = with_thread_count(1, || batch.run(&ds, &sup, seed).unwrap());
+            assert_results_identical(&naive, &reference, &format!("{scheme:?} batch vs naive"));
+            for threads in [1usize, 2, 8] {
+                let incr = with_thread_count(threads, || incremental.run(&ds, &sup, seed).unwrap());
+                assert_results_identical(
+                    &naive,
+                    &incr,
+                    &format!("{scheme:?} seed {seed} incremental at {threads} threads"),
+                );
+            }
+            // Forced-incremental stress run: every changed cluster routes
+            // through the delta structures, at several thread counts.
+            std::env::set_var("SSPC_DELTA_CUTOVER_DIV", "1");
+            std::env::set_var("SSPC_INCR_STREAK", "0");
+            for threads in [1usize, 2, 8] {
+                let forced =
+                    with_thread_count(threads, || incremental.run(&ds, &sup, seed).unwrap());
+                assert_results_identical(
+                    &naive,
+                    &forced,
+                    &format!("{scheme:?} seed {seed} forced-incremental at {threads} threads"),
+                );
+            }
+            std::env::remove_var("SSPC_DELTA_CUTOVER_DIV");
+            std::env::remove_var("SSPC_INCR_STREAK");
+        }
+    }
+}
+
 /// Thread-count independence also holds for larger-than-toy inputs where
 /// the parallel chunking actually splits the data.
 #[test]

@@ -79,6 +79,66 @@ impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
     }
 }
 
+/// Types with a canonical "draw any value" strategy (upstream `Arbitrary`,
+/// reduced to the simple types the workspace generates).
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_range(0u32..2) == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                // Inclusive: upstream's Arbitrary covers the full domain,
+                // MAX included — boundary values are exactly what property
+                // tests exist to reach.
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, i8, i16, i32);
+
+/// The strategy behind [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — upstream's canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Tuples of strategies are strategies for tuples, as upstream.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
 /// Collection strategies.
 pub mod collection {
     use super::{StdRng, Strategy};
@@ -218,8 +278,8 @@ macro_rules! prop_assert_ne {
 /// The glob-importable prelude, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
     };
 
     /// The `prop` module alias (`prop::collection::vec(...)`).
