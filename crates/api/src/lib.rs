@@ -1,0 +1,37 @@
+//! The frontend layer of the SSPC workspace: a dynamic algorithm registry
+//! and the paper's experiment protocol, both speaking the unified
+//! [`ProjectedClusterer`] contract from `sspc-common`.
+//!
+//! * [`registry`] — [`AnyClusterer`]: every algorithm in the workspace
+//!   (SSPC plus the six baselines) constructed from a **name and string
+//!   parameters**, for frontends that pick algorithms at runtime (the CLI,
+//!   config files, a future server).
+//! * [`experiment`] — the Sec. 5 protocol: N seeded restarts per
+//!   algorithm, best-of-N by each algorithm's own objective sense, and
+//!   outlier-aware ARI/NMI/purity against optional ground truth.
+//!
+//! ```
+//! use sspc_api::registry::{AnyClusterer, ParamMap};
+//! use sspc_common::{Dataset, ProjectedClusterer, Supervision};
+//!
+//! let dataset = Dataset::from_rows(6, 2, vec![
+//!     1.0, 1.1, 1.1, 0.9, 0.9, 1.0,
+//!     9.0, 9.1, 9.1, 8.9, 8.9, 9.0,
+//! ]).unwrap();
+//! let clusterer =
+//!     AnyClusterer::from_spec("clarans", 2, &ParamMap::default()).unwrap();
+//! let clustering = clusterer
+//!     .cluster(&dataset, &Supervision::none(), 7)
+//!     .unwrap();
+//! assert_eq!(clustering.algorithm(), "clarans");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod registry;
+
+pub use experiment::{best_of, compare_algorithms, AlgorithmReport, BestOf};
+pub use registry::{AnyClusterer, ParamMap};
+pub use sspc_common::{Clustering, ObjectiveSense, ProjectedClusterer, Supervision};

@@ -1,0 +1,466 @@
+//! Name-and-string-parameters construction of any workspace algorithm.
+//!
+//! Frontends that choose algorithms at runtime (the CLI's `--algorithm`,
+//! a config file, a request payload) go through [`AnyClusterer::from_spec`]:
+//! a registry name from [`ALGORITHMS`] plus a [`ParamMap`] of `key=value`
+//! overrides. Every algorithm gets workable defaults for everything except
+//! `k`; unknown names and unrecognized keys fail with messages that list
+//! what *is* available.
+
+use sspc::{Sspc, SspcParams, ThresholdScheme};
+use sspc_baselines::clarans::ClaransParams;
+use sspc_baselines::clique::CliqueParams;
+use sspc_baselines::doc::DocParams;
+use sspc_baselines::harp::HarpParams;
+use sspc_baselines::orclus::OrclusParams;
+use sspc_baselines::proclus::ProclusParams;
+use sspc_baselines::{Clarans, Clique, Doc, Harp, Orclus, Proclus};
+use sspc_common::{Clustering, Dataset, Error, ProjectedClusterer, Result, Supervision};
+use std::collections::BTreeMap;
+
+/// Registry names of every available algorithm, in the order the paper's
+/// comparison discusses them.
+pub const ALGORITHMS: [&str; 7] = [
+    "sspc", "proclus", "clarans", "harp", "doc", "orclus", "clique",
+];
+
+/// String parameters for [`AnyClusterer::from_spec`]: a `key=value` map
+/// parsed from a comma-separated list (e.g. `"l=6,alpha=0.4"`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamMap {
+    values: BTreeMap<String, String>,
+}
+
+impl ParamMap {
+    /// Parses a comma-separated `key=value` list. Empty input (or empty
+    /// segments from trailing commas) yields an empty map.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] on segments without `=`, empty keys, or
+    /// repeated keys.
+    pub fn parse(spec: &str) -> Result<Self> {
+        let mut values = BTreeMap::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(Error::InvalidParameter(format!(
+                    "parameter `{part}` is not of the form key=value"
+                )));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key.is_empty() {
+                return Err(Error::InvalidParameter(format!(
+                    "parameter `{part}` has an empty key"
+                )));
+            }
+            if values.insert(key.to_string(), value.to_string()).is_some() {
+                return Err(Error::InvalidParameter(format!(
+                    "parameter `{key}` given twice"
+                )));
+            }
+        }
+        Ok(ParamMap { values })
+    }
+
+    /// Parses a comma-separated `algorithm.key=value` list into one
+    /// [`ParamMap`] per algorithm name — the `compare` frontend's format,
+    /// where each override must say which algorithm it belongs to.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] on entries without the `algorithm.`
+    /// prefix or malformed `key=value` parts; repeated keys for the same
+    /// algorithm.
+    pub fn parse_scoped(spec: &str) -> Result<BTreeMap<String, ParamMap>> {
+        let mut scoped: BTreeMap<String, ParamMap> = BTreeMap::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((scope, rest)) = part.split_once('.') else {
+                return Err(Error::InvalidParameter(format!(
+                    "scoped parameter `{part}` must be algorithm.key=value \
+                     (e.g. proclus.l=6)"
+                )));
+            };
+            let Some((key, value)) = rest.split_once('=') else {
+                return Err(Error::InvalidParameter(format!(
+                    "scoped parameter `{part}` is not of the form algorithm.key=value"
+                )));
+            };
+            let (scope, key, value) = (scope.trim(), key.trim(), value.trim());
+            if scope.is_empty() || key.is_empty() {
+                return Err(Error::InvalidParameter(format!(
+                    "scoped parameter `{part}` has an empty algorithm or key"
+                )));
+            }
+            let map = scoped.entry(scope.to_string()).or_default();
+            if map
+                .values
+                .insert(key.to_string(), value.to_string())
+                .is_some()
+            {
+                return Err(Error::InvalidParameter(format!(
+                    "parameter `{scope}.{key}` given twice"
+                )));
+            }
+        }
+        Ok(scoped)
+    }
+
+    /// Inserts (or replaces) one key, builder-style.
+    #[must_use]
+    pub fn set(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.values.insert(key.into(), value.into());
+        self
+    }
+
+    /// Inserts one key, erroring when it is already present — for
+    /// frontends merging a dedicated flag into a generic parameter list,
+    /// where a silent overwrite would hide a conflicting user input.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] naming the duplicated key.
+    pub fn set_new(mut self, key: &str, value: impl Into<String>) -> Result<Self> {
+        if self.values.contains_key(key) {
+            return Err(Error::InvalidParameter(format!(
+                "parameter `{key}` given twice (as a flag and in the parameter list)"
+            )));
+        }
+        self.values.insert(key.to_string(), value.into());
+        Ok(self)
+    }
+
+    /// True when no parameters are present.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Rejects keys outside `known`, naming the offender and what the
+    /// algorithm accepts.
+    fn check_known(&self, algorithm: &str, known: &[&str]) -> Result<()> {
+        for key in self.values.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(Error::InvalidParameter(format!(
+                    "algorithm `{algorithm}` does not accept parameter `{key}` \
+                     (accepted: {})",
+                    if known.is_empty() {
+                        "none".to_string()
+                    } else {
+                        known.join(", ")
+                    }
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A parsed value, when present.
+    fn parsed_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| {
+                Error::InvalidParameter(format!("parameter `{key}`: cannot parse `{raw}`"))
+            }),
+        }
+    }
+
+    /// A parsed value with a default.
+    fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        Ok(self.parsed_opt(key)?.unwrap_or(default))
+    }
+}
+
+/// Any workspace algorithm behind one concrete type — the dynamic-dispatch
+/// face of [`ProjectedClusterer`], for frontends that pick algorithms by
+/// name at runtime. Construct with [`AnyClusterer::from_spec`] or wrap a
+/// concrete clusterer via the `From` impls.
+#[derive(Debug, Clone)]
+pub enum AnyClusterer {
+    /// Semi-supervised projected clustering (the paper's algorithm).
+    Sspc(Sspc),
+    /// PROCLUS (Aggarwal et al., SIGMOD 1999).
+    Proclus(Proclus),
+    /// CLARANS (Ng & Han, VLDB 1994) — the non-projected reference.
+    Clarans(Clarans),
+    /// HARP (Yip, Cheung & Ng, TKDE 2004).
+    Harp(Harp),
+    /// DOC/FastDOC (Procopiuc et al., SIGMOD 2002).
+    Doc(Doc),
+    /// ORCLUS (Aggarwal & Yu, SIGMOD 2000).
+    Orclus(Orclus),
+    /// CLIQUE (Agrawal et al., SIGMOD 1998).
+    Clique(Clique),
+}
+
+impl AnyClusterer {
+    /// Builds an algorithm from its registry name, the target cluster
+    /// count `k`, and string parameter overrides.
+    ///
+    /// Accepted keys per algorithm (all optional):
+    ///
+    /// | name      | keys                                                        |
+    /// |-----------|-------------------------------------------------------------|
+    /// | `sspc`    | `m` (threshold fraction) **xor** `p` (p-value)              |
+    /// | `proclus` | `l` (avg dims/cluster, default 4)                           |
+    /// | `clarans` | `num-local`, `max-neighbor`                                 |
+    /// | `harp`    | `levels`                                                    |
+    /// | `doc`     | `w` (half-width, default 4.0 — tuned to the datagen range), `beta`, `alpha` |
+    /// | `orclus`  | `l` (subspace dims, default 4), `alpha`, `k0`               |
+    /// | `clique`  | `xi`, `tau`, `max-dim`, `max-units`                         |
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] for unknown names (the message lists
+    /// [`ALGORITHMS`]), unrecognized keys (the message lists the accepted
+    /// keys), unparseable values, or out-of-domain parameters caught by the
+    /// algorithm's own validation.
+    pub fn from_spec(name: &str, k: usize, params: &ParamMap) -> Result<AnyClusterer> {
+        match name {
+            "sspc" => {
+                params.check_known(name, &["m", "p"])?;
+                let m: Option<f64> = params.parsed_opt("m")?;
+                let p: Option<f64> = params.parsed_opt("p")?;
+                let threshold = match (m, p) {
+                    (Some(_), Some(_)) => {
+                        return Err(Error::InvalidParameter(
+                            "give either m or p, not both".into(),
+                        ))
+                    }
+                    (Some(m), None) => ThresholdScheme::MFraction(m),
+                    (None, Some(p)) => ThresholdScheme::PValue(p),
+                    (None, None) => ThresholdScheme::MFraction(0.5),
+                };
+                Ok(AnyClusterer::Sspc(Sspc::new(
+                    SspcParams::new(k).with_threshold(threshold),
+                )?))
+            }
+            "proclus" => {
+                params.check_known(name, &["l"])?;
+                let l = params.parsed_or("l", 4)?;
+                Ok(AnyClusterer::Proclus(ProclusParams::new(k, l).build()))
+            }
+            "clarans" => {
+                params.check_known(name, &["num-local", "max-neighbor"])?;
+                let mut p = ClaransParams::new(k);
+                p.num_local = params.parsed_or("num-local", p.num_local)?;
+                p.max_neighbor = params.parsed_opt("max-neighbor")?;
+                Ok(AnyClusterer::Clarans(p.build()))
+            }
+            "harp" => {
+                params.check_known(name, &["levels"])?;
+                let mut p = HarpParams::new(k);
+                p.levels = params.parsed_or("levels", p.levels)?;
+                Ok(AnyClusterer::Harp(p.build()))
+            }
+            "doc" => {
+                params.check_known(name, &["w", "beta", "alpha"])?;
+                // The default half-width matches what the bench experiments
+                // use on sspc-datagen's default [0, 100] value range; real
+                // data wants an explicit `w`.
+                let w = params.parsed_or("w", 4.0)?;
+                let mut p = DocParams::new(k, w);
+                p.beta = params.parsed_or("beta", p.beta)?;
+                p.alpha = params.parsed_or("alpha", p.alpha)?;
+                Ok(AnyClusterer::Doc(p.build()))
+            }
+            "orclus" => {
+                params.check_known(name, &["l", "alpha", "k0"])?;
+                let l = params.parsed_or("l", 4)?;
+                let mut p = OrclusParams::new(k, l);
+                p.alpha = params.parsed_or("alpha", p.alpha)?;
+                p.k0_factor = params.parsed_or("k0", p.k0_factor)?;
+                Ok(AnyClusterer::Orclus(p.build()))
+            }
+            "clique" => {
+                params.check_known(name, &["xi", "tau", "max-dim", "max-units"])?;
+                let mut p = CliqueParams::new(k);
+                p.xi = params.parsed_or("xi", p.xi)?;
+                p.tau = params.parsed_or("tau", p.tau)?;
+                p.max_subspace_dim = params.parsed_or("max-dim", p.max_subspace_dim)?;
+                p.max_units = params.parsed_or("max-units", p.max_units)?;
+                Ok(AnyClusterer::Clique(p.build()))
+            }
+            other => Err(Error::InvalidParameter(format!(
+                "unknown algorithm `{other}` (available: {})",
+                ALGORITHMS.join(", ")
+            ))),
+        }
+    }
+
+    /// The inner clusterer as a trait object.
+    fn inner(&self) -> &dyn ProjectedClusterer {
+        match self {
+            AnyClusterer::Sspc(c) => c,
+            AnyClusterer::Proclus(c) => c,
+            AnyClusterer::Clarans(c) => c,
+            AnyClusterer::Harp(c) => c,
+            AnyClusterer::Doc(c) => c,
+            AnyClusterer::Orclus(c) => c,
+            AnyClusterer::Clique(c) => c,
+        }
+    }
+}
+
+impl ProjectedClusterer for AnyClusterer {
+    fn name(&self) -> &str {
+        self.inner().name()
+    }
+
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        supervision: &Supervision,
+        seed: u64,
+    ) -> Result<Clustering> {
+        self.inner().cluster(dataset, supervision, seed)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.inner().is_deterministic()
+    }
+}
+
+impl From<Sspc> for AnyClusterer {
+    fn from(c: Sspc) -> Self {
+        AnyClusterer::Sspc(c)
+    }
+}
+impl From<Proclus> for AnyClusterer {
+    fn from(c: Proclus) -> Self {
+        AnyClusterer::Proclus(c)
+    }
+}
+impl From<Clarans> for AnyClusterer {
+    fn from(c: Clarans) -> Self {
+        AnyClusterer::Clarans(c)
+    }
+}
+impl From<Harp> for AnyClusterer {
+    fn from(c: Harp) -> Self {
+        AnyClusterer::Harp(c)
+    }
+}
+impl From<Doc> for AnyClusterer {
+    fn from(c: Doc) -> Self {
+        AnyClusterer::Doc(c)
+    }
+}
+impl From<Orclus> for AnyClusterer {
+    fn from(c: Orclus) -> Self {
+        AnyClusterer::Orclus(c)
+    }
+}
+impl From<Clique> for AnyClusterer {
+    fn from(c: Clique) -> Self {
+        AnyClusterer::Clique(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_map_parses_and_rejects() {
+        let m = ParamMap::parse("l=6, alpha=0.4,").unwrap();
+        assert_eq!(m.parsed_opt::<usize>("l").unwrap(), Some(6));
+        assert_eq!(m.parsed_or("alpha", 0.0).unwrap(), 0.4);
+        assert_eq!(m.parsed_or("missing", 7usize).unwrap(), 7);
+        assert!(ParamMap::parse("").unwrap().is_empty());
+
+        assert!(ParamMap::parse("novalue").is_err());
+        assert!(ParamMap::parse("=3").is_err());
+        assert!(ParamMap::parse("a=1,a=2").is_err());
+        assert!(m.parsed_opt::<usize>("alpha").is_err());
+    }
+
+    #[test]
+    fn set_new_rejects_duplicates_set_replaces() {
+        let m = ParamMap::parse("m=0.3").unwrap();
+        assert!(m.clone().set_new("m", "0.5").is_err());
+        let merged = m.clone().set_new("p", "0.05").unwrap();
+        assert_eq!(merged.parsed_opt::<f64>("p").unwrap(), Some(0.05));
+        assert_eq!(m.set("m", "0.5").parsed_opt::<f64>("m").unwrap(), Some(0.5));
+    }
+
+    #[test]
+    fn scoped_param_map_splits_per_algorithm() {
+        let scoped = ParamMap::parse_scoped("proclus.l=6,doc.w=2.5,doc.beta=0.3").unwrap();
+        assert_eq!(scoped.len(), 2);
+        assert_eq!(scoped["proclus"].parsed_opt::<usize>("l").unwrap(), Some(6));
+        assert_eq!(scoped["doc"].parsed_opt::<f64>("w").unwrap(), Some(2.5));
+        assert!(ParamMap::parse_scoped("l=6").is_err());
+        assert!(ParamMap::parse_scoped("doc.w=1,doc.w=2").is_err());
+        assert!(ParamMap::parse_scoped("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_registry_name_constructs() {
+        for name in ALGORITHMS {
+            let c = AnyClusterer::from_spec(name, 3, &ParamMap::default()).unwrap();
+            assert_eq!(c.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_lists_available_names() {
+        let err = AnyClusterer::from_spec("kmeans", 3, &ParamMap::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown algorithm `kmeans`"), "{msg}");
+        for name in ALGORITHMS {
+            assert!(msg.contains(name), "{msg} missing {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_key_lists_accepted_keys() {
+        let params = ParamMap::default().set("w", "3.0");
+        let err = AnyClusterer::from_spec("proclus", 3, &params).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("does not accept parameter `w`"), "{msg}");
+        assert!(msg.contains('l'), "{msg}");
+    }
+
+    #[test]
+    fn sspc_threshold_keys_are_exclusive_and_validated() {
+        let both = ParamMap::default().set("m", "0.5").set("p", "0.05");
+        assert!(AnyClusterer::from_spec("sspc", 3, &both).is_err());
+        // Out-of-domain m is caught by SspcParams::validate.
+        let bad = ParamMap::default().set("m", "0.0");
+        assert!(AnyClusterer::from_spec("sspc", 3, &bad).is_err());
+        let p = ParamMap::default().set("p", "0.05");
+        AnyClusterer::from_spec("sspc", 3, &p).unwrap();
+    }
+
+    #[test]
+    fn overrides_reach_the_params() {
+        let params = ParamMap::default().set("l", "7");
+        let AnyClusterer::Proclus(p) = AnyClusterer::from_spec("proclus", 3, &params).unwrap()
+        else {
+            panic!("expected proclus");
+        };
+        assert_eq!(p.params().l, 7);
+
+        let params = ParamMap::default().set("tau", "0.2").set("max-dim", "3");
+        let AnyClusterer::Clique(c) = AnyClusterer::from_spec("clique", 2, &params).unwrap() else {
+            panic!("expected clique");
+        };
+        assert_eq!(c.params().tau, 0.2);
+        assert_eq!(c.params().max_subspace_dim, 3);
+    }
+
+    #[test]
+    fn determinism_flags_survive_dispatch() {
+        let harp = AnyClusterer::from_spec("harp", 2, &ParamMap::default()).unwrap();
+        let doc = AnyClusterer::from_spec("doc", 2, &ParamMap::default()).unwrap();
+        assert!(harp.is_deterministic());
+        assert!(!doc.is_deterministic());
+    }
+}

@@ -14,7 +14,9 @@
 use crate::BaselineResult;
 use rand::Rng;
 use sspc_common::rng::{sample_indices, seeded_rng};
-use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+use sspc_common::{
+    ClusterId, Clustering, Dataset, DimId, Error, ObjectId, ProjectedClusterer, Result, Supervision,
+};
 
 /// CLARANS parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,12 +67,61 @@ impl ClaransParams {
     }
 }
 
+impl ClaransParams {
+    /// Finishes the builder into a [`Clarans`] clusterer — the
+    /// [`ProjectedClusterer`] entry point.
+    pub fn build(self) -> Clarans {
+        Clarans::new(self)
+    }
+}
+
+/// CLARANS behind the workspace-wide [`ProjectedClusterer`] contract.
+///
+/// Construct via [`ClaransParams::build`] (or [`Clarans::new`]);
+/// dataset-dependent parameter validation happens at cluster time, exactly
+/// as in the free [`run`] function this wraps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clarans {
+    params: ClaransParams,
+}
+
+impl Clarans {
+    /// Wraps the parameters.
+    pub fn new(params: ClaransParams) -> Self {
+        Clarans { params }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &ClaransParams {
+        &self.params
+    }
+}
+
+impl ProjectedClusterer for Clarans {
+    fn name(&self) -> &str {
+        "clarans"
+    }
+
+    /// Runs CLARANS, timed. CLARANS is unsupervised: `supervision` is
+    /// ignored, per the trait contract.
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        _supervision: &Supervision,
+        seed: u64,
+    ) -> Result<Clustering> {
+        sspc_common::clusterer::timed_cluster(|| {
+            Ok(run(dataset, &self.params, seed)?.into_clustering(self.name()))
+        })
+    }
+}
+
 /// Runs CLARANS. Deterministic in `seed`. Every cluster reports **all**
 /// dimensions as selected (it is a non-projected algorithm).
 ///
 /// # Errors
 ///
-/// Parameter/shape errors per [`ClaransParams::validate`].
+/// Parameter/shape errors per `ClaransParams::validate`.
 pub fn run(dataset: &Dataset, params: &ClaransParams, seed: u64) -> Result<BaselineResult> {
     params.validate(dataset)?;
     let mut rng = seeded_rng(seed);

@@ -2,7 +2,7 @@
 //! Data Mining Applications* (Agrawal, Gehrke, Gunopulos & Raghavan,
 //! SIGMOD 1998).
 //!
-//! Reference [3] of the SSPC paper and the origin of the grid/density view
+//! Reference \[3\] of the SSPC paper and the origin of the grid/density view
 //! of subspace structure that SSPC's seed-group grids descend from. CLIQUE
 //! partitions every dimension into `ξ` equal intervals and mines **dense
 //! units** (grid cells with at least `τ·n` objects) bottom-up, apriori
@@ -23,7 +23,9 @@
 //! not safety.
 
 use crate::BaselineResult;
-use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+use sspc_common::{
+    ClusterId, Clustering, Dataset, DimId, Error, ObjectId, ProjectedClusterer, Result, Supervision,
+};
 use std::collections::{BTreeMap, HashSet};
 
 /// CLIQUE parameters.
@@ -90,11 +92,66 @@ impl CliqueParams {
 /// dimension.
 type Unit = Vec<(DimId, usize)>;
 
+impl CliqueParams {
+    /// Finishes the builder into a [`Clique`] clusterer — the
+    /// [`ProjectedClusterer`] entry point.
+    pub fn build(self) -> Clique {
+        Clique::new(self)
+    }
+}
+
+/// CLIQUE behind the workspace-wide [`ProjectedClusterer`] contract.
+///
+/// Construct via [`CliqueParams::build`] (or [`Clique::new`]);
+/// dataset-dependent parameter validation happens at cluster time, exactly
+/// as in the free [`run`] function this wraps. CLIQUE involves no
+/// randomness, so [`ProjectedClusterer::is_deterministic`] is `true` and
+/// restart protocols run it once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clique {
+    params: CliqueParams,
+}
+
+impl Clique {
+    /// Wraps the parameters.
+    pub fn new(params: CliqueParams) -> Self {
+        Clique { params }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &CliqueParams {
+        &self.params
+    }
+}
+
+impl ProjectedClusterer for Clique {
+    fn name(&self) -> &str {
+        "clique"
+    }
+
+    /// Runs CLIQUE, timed. CLIQUE is unsupervised (`supervision` ignored)
+    /// and deterministic (`seed` ignored), per the trait contract.
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        _supervision: &Supervision,
+        _seed: u64,
+    ) -> Result<Clustering> {
+        sspc_common::clusterer::timed_cluster(|| {
+            Ok(run(dataset, &self.params)?.into_clustering(self.name()))
+        })
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+}
+
 /// Runs CLIQUE. Deterministic (no randomness).
 ///
 /// # Errors
 ///
-/// Parameter/shape errors per [`CliqueParams::validate`].
+/// Parameter/shape errors per `CliqueParams::validate`.
 pub fn run(dataset: &Dataset, params: &CliqueParams) -> Result<BaselineResult> {
     params.validate(dataset)?;
     let n = dataset.n_objects();

@@ -25,7 +25,9 @@
 use crate::BaselineResult;
 use rand::Rng;
 use sspc_common::rng::{sample_indices, seeded_rng};
-use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+use sspc_common::{
+    ClusterId, Clustering, Dataset, DimId, Error, ObjectId, ProjectedClusterer, Result, Supervision,
+};
 
 /// DOC parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,12 +102,61 @@ impl DocParams {
     }
 }
 
+impl DocParams {
+    /// Finishes the builder into a [`Doc`] clusterer — the
+    /// [`ProjectedClusterer`] entry point.
+    pub fn build(self) -> Doc {
+        Doc::new(self)
+    }
+}
+
+/// DOC/FastDOC behind the workspace-wide [`ProjectedClusterer`] contract.
+///
+/// Construct via [`DocParams::build`] (or [`Doc::new`]);
+/// dataset-dependent parameter validation happens at cluster time, exactly
+/// as in the free [`run`] function this wraps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Doc {
+    params: DocParams,
+}
+
+impl Doc {
+    /// Wraps the parameters.
+    pub fn new(params: DocParams) -> Self {
+        Doc { params }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &DocParams {
+        &self.params
+    }
+}
+
+impl ProjectedClusterer for Doc {
+    fn name(&self) -> &str {
+        "doc"
+    }
+
+    /// Runs DOC/FastDOC, timed. DOC is unsupervised: `supervision` is
+    /// ignored, per the trait contract.
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        _supervision: &Supervision,
+        seed: u64,
+    ) -> Result<Clustering> {
+        sspc_common::clusterer::timed_cluster(|| {
+            Ok(run(dataset, &self.params, seed)?.into_clustering(self.name()))
+        })
+    }
+}
+
 /// Runs DOC/FastDOC. Deterministic in `seed`. Objects not captured by any
 /// of the `k` hypercubes are reported as outliers.
 ///
 /// # Errors
 ///
-/// Parameter/shape errors per [`DocParams::validate`].
+/// Parameter/shape errors per `DocParams::validate`.
 pub fn run(dataset: &Dataset, params: &DocParams, seed: u64) -> Result<BaselineResult> {
     params.validate(dataset)?;
     let mut rng = seeded_rng(seed);

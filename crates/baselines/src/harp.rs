@@ -27,7 +27,9 @@
 
 use crate::BaselineResult;
 use sspc_common::stats::RunningStats;
-use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+use sspc_common::{
+    ClusterId, Clustering, Dataset, DimId, Error, ObjectId, ProjectedClusterer, Result, Supervision,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -127,11 +129,66 @@ impl PartialOrd for Candidate {
     }
 }
 
+impl HarpParams {
+    /// Finishes the builder into a [`Harp`] clusterer — the
+    /// [`ProjectedClusterer`] entry point.
+    pub fn build(self) -> Harp {
+        Harp::new(self)
+    }
+}
+
+/// HARP behind the workspace-wide [`ProjectedClusterer`] contract.
+///
+/// Construct via [`HarpParams::build`] (or [`Harp::new`]);
+/// dataset-dependent parameter validation happens at cluster time, exactly
+/// as in the free [`run`] function this wraps. HARP involves no
+/// randomness, so [`ProjectedClusterer::is_deterministic`] is `true` and
+/// restart protocols run it once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Harp {
+    params: HarpParams,
+}
+
+impl Harp {
+    /// Wraps the parameters.
+    pub fn new(params: HarpParams) -> Self {
+        Harp { params }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &HarpParams {
+        &self.params
+    }
+}
+
+impl ProjectedClusterer for Harp {
+    fn name(&self) -> &str {
+        "harp"
+    }
+
+    /// Runs HARP, timed. HARP is unsupervised (`supervision` ignored) and
+    /// deterministic (`seed` ignored), per the trait contract.
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        _supervision: &Supervision,
+        _seed: u64,
+    ) -> Result<Clustering> {
+        sspc_common::clusterer::timed_cluster(|| {
+            Ok(run(dataset, &self.params)?.into_clustering(self.name()))
+        })
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+}
+
 /// Runs HARP. Deterministic (no randomness is involved).
 ///
 /// # Errors
 ///
-/// Parameter/shape errors per [`HarpParams::validate`].
+/// Parameter/shape errors per `HarpParams::validate`.
 pub fn run(dataset: &Dataset, params: &HarpParams) -> Result<BaselineResult> {
     params.validate(dataset)?;
     let n = dataset.n_objects();

@@ -7,6 +7,15 @@
 //! outliers, for the algorithms that produce them) and per-cluster selected
 //! dimensions (every dimension, for the non-projected CLARANS).
 //!
+//! Every algorithm is also reachable through the workspace-wide
+//! [`ProjectedClusterer`] contract: each module pairs its `FooParams` with
+//! a `Foo` clusterer (`FooParams::new(..).build()`), whose
+//! [`cluster`](ProjectedClusterer::cluster) call returns the canonical
+//! [`sspc_common::Clustering`] with timing attached. The free `run`
+//! functions remain the plain entry points. The baselines are unsupervised;
+//! the trait's `Supervision` argument is ignored — the paper's comparison
+//! hands the same labels to every algorithm and only SSPC can use them.
+//!
 //! These are from-scratch implementations of the published algorithms:
 //!
 //! * [`proclus`] — Aggarwal et al., *Fast Algorithms for Projected
@@ -28,7 +37,7 @@
 //!   subspaces instead of axis-parallel dimensions, plus a merge phase.
 //! * [`clique`] — Agrawal et al., *Automatic Subspace Clustering of High
 //!   Dimensional Data*, SIGMOD 1998. The original bottom-up dense-unit
-//!   subspace-clustering algorithm (the paper's reference [3]).
+//!   subspace-clustering algorithm (the paper's reference \[3\]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,4 +50,11 @@ pub mod orclus;
 pub mod proclus;
 mod result;
 
+pub use clarans::Clarans;
+pub use clique::Clique;
+pub use doc::Doc;
+pub use harp::Harp;
+pub use orclus::Orclus;
+pub use proclus::Proclus;
 pub use result::BaselineResult;
+pub use sspc_common::ProjectedClusterer;

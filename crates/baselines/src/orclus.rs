@@ -26,7 +26,9 @@
 use crate::BaselineResult;
 use sspc_common::linalg::{jacobi_eigen, projected_sq_norm, SymMatrix};
 use sspc_common::rng::{sample_indices, seeded_rng};
-use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+use sspc_common::{
+    ClusterId, Clustering, Dataset, DimId, Error, ObjectId, ProjectedClusterer, Result, Supervision,
+};
 
 /// ORCLUS parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,11 +170,60 @@ impl OrCluster {
     }
 }
 
+impl OrclusParams {
+    /// Finishes the builder into an [`Orclus`] clusterer — the
+    /// [`ProjectedClusterer`] entry point.
+    pub fn build(self) -> Orclus {
+        Orclus::new(self)
+    }
+}
+
+/// ORCLUS behind the workspace-wide [`ProjectedClusterer`] contract.
+///
+/// Construct via [`OrclusParams::build`] (or [`Orclus::new`]);
+/// dataset-dependent parameter validation happens at cluster time, exactly
+/// as in the free [`run`] function this wraps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Orclus {
+    params: OrclusParams,
+}
+
+impl Orclus {
+    /// Wraps the parameters.
+    pub fn new(params: OrclusParams) -> Self {
+        Orclus { params }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &OrclusParams {
+        &self.params
+    }
+}
+
+impl ProjectedClusterer for Orclus {
+    fn name(&self) -> &str {
+        "orclus"
+    }
+
+    /// Runs ORCLUS, timed. ORCLUS is unsupervised: `supervision` is
+    /// ignored, per the trait contract.
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        _supervision: &Supervision,
+        seed: u64,
+    ) -> Result<Clustering> {
+        sspc_common::clusterer::timed_cluster(|| {
+            Ok(run(dataset, &self.params, seed)?.into_clustering(self.name()))
+        })
+    }
+}
+
 /// Runs ORCLUS. Deterministic in `seed`.
 ///
 /// # Errors
 ///
-/// Parameter/shape errors per [`OrclusParams::validate`]; numeric failures
+/// Parameter/shape errors per `OrclusParams::validate`; numeric failures
 /// propagate from the eigensolver (not observed on finite input).
 pub fn run(dataset: &Dataset, params: &OrclusParams, seed: u64) -> Result<BaselineResult> {
     params.validate(dataset)?;

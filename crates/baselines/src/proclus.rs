@@ -29,7 +29,9 @@ use crate::BaselineResult;
 use rand::rngs::StdRng;
 use rand::Rng;
 use sspc_common::rng::{sample_indices, seeded_rng};
-use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+use sspc_common::{
+    ClusterId, Clustering, Dataset, DimId, Error, ObjectId, ProjectedClusterer, Result, Supervision,
+};
 
 /// PROCLUS parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +102,55 @@ impl ProclusParams {
             ));
         }
         Ok(())
+    }
+}
+
+impl ProclusParams {
+    /// Finishes the builder into a [`Proclus`] clusterer — the
+    /// [`ProjectedClusterer`] entry point.
+    pub fn build(self) -> Proclus {
+        Proclus::new(self)
+    }
+}
+
+/// PROCLUS behind the workspace-wide [`ProjectedClusterer`] contract.
+///
+/// Construct via [`ProclusParams::build`] (or [`Proclus::new`]);
+/// dataset-dependent parameter validation happens at cluster time, exactly
+/// as in the free [`run`] function this wraps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proclus {
+    params: ProclusParams,
+}
+
+impl Proclus {
+    /// Wraps the parameters.
+    pub fn new(params: ProclusParams) -> Self {
+        Proclus { params }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &ProclusParams {
+        &self.params
+    }
+}
+
+impl ProjectedClusterer for Proclus {
+    fn name(&self) -> &str {
+        "proclus"
+    }
+
+    /// Runs PROCLUS, timed. PROCLUS is unsupervised: `supervision` is
+    /// ignored, per the trait contract.
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        _supervision: &Supervision,
+        seed: u64,
+    ) -> Result<Clustering> {
+        sspc_common::clusterer::timed_cluster(|| {
+            Ok(run(dataset, &self.params, seed)?.into_clustering(self.name()))
+        })
     }
 }
 

@@ -1,4 +1,4 @@
-use sspc_common::{ClusterId, DimId, ObjectId};
+use sspc_common::{ClusterId, Clustering, DimId, ObjectId, ObjectiveSense};
 
 /// The common output shape of every baseline algorithm.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +77,23 @@ impl BaselineResult {
     pub fn cost(&self) -> f64 {
         self.cost
     }
+
+    /// Adapter into the workspace-wide canonical
+    /// [`Clustering`](sspc_common::Clustering), tagged with the producing
+    /// algorithm's registry name. Every baseline reports a lower-is-better
+    /// cost (DOC and CLIQUE negate their quality scores on construction),
+    /// so the sense is fixed here. Timing is attached by the
+    /// [`ProjectedClusterer`](sspc_common::ProjectedClusterer) impls,
+    /// which measure the runs they wrap.
+    pub fn into_clustering(self, algorithm: &str) -> Clustering {
+        Clustering::new(
+            algorithm,
+            self.assignment,
+            self.selected_dims,
+            self.cost,
+            ObjectiveSense::LowerIsBetter,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -96,5 +113,21 @@ mod tests {
         assert_eq!(r.outliers(), vec![ObjectId(1)]);
         assert_eq!(r.cost(), 3.5);
         assert_eq!(r.cluster_of(ObjectId(1)), None);
+    }
+
+    #[test]
+    fn converts_into_canonical_clustering() {
+        let r = BaselineResult::new(
+            vec![Some(ClusterId(0)), None, Some(ClusterId(1))],
+            vec![vec![DimId(2), DimId(0)], vec![DimId(1)]],
+            3.5,
+        );
+        let c = r.clone().into_clustering("proclus");
+        assert_eq!(c.algorithm(), "proclus");
+        assert_eq!(c.sense(), ObjectiveSense::LowerIsBetter);
+        assert_eq!(c.assignment(), r.assignment());
+        assert_eq!(c.all_selected_dims(), r.all_selected_dims());
+        assert_eq!(c.objective(), r.cost());
+        assert_eq!(c.iterations(), None);
     }
 }

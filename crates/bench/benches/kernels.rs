@@ -170,6 +170,26 @@ fn bench_medianset_ops(c: &mut Criterion) {
                 })
             },
         );
+        // A/B of the two median read paths under the same mutation load:
+        // `median()` reads through the O(1) maintained cursor;
+        // `select(median_rank)` pays the chunk-length walk the cursor
+        // removed (PERFORMANCE.md "Incremental refits" follow-up).
+        group.bench_with_input(
+            BenchmarkId::new("swap_and_median_select_walk", format!("n{n}")),
+            &values,
+            |b, values| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let v = values[i % values.len()];
+                    set.remove(v);
+                    set.insert(v + 0.5);
+                    set.remove(v + 0.5);
+                    set.insert(v);
+                    i += 1;
+                    black_box(set.select((set.len() - 1) / 2))
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("rebuild_unsorted", format!("n{n}")),
             &values,

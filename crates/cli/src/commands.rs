@@ -1,13 +1,19 @@
-//! The three subcommands: `generate`, `cluster`, `evaluate`.
+//! The four subcommands: `generate`, `cluster`, `compare`, `evaluate`.
+//!
+//! `cluster` and `compare` are thin shells over the `sspc-api` layer:
+//! algorithms are constructed by name through the [`AnyClusterer`]
+//! registry and driven through the workspace-wide
+//! [`ProjectedClusterer`](sspc_common::ProjectedClusterer) contract, so
+//! every algorithm the workspace knows (SSPC and the six baselines) is
+//! reachable from the shell with one flag.
 
 use crate::args::Flags;
-use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
+use sspc_api::registry::{AnyClusterer, ParamMap};
+use sspc_api::{best_of, compare_algorithms, AlgorithmReport};
 use sspc_common::io::{read_delimited, write_delimited};
-use sspc_common::rng::derive_seed;
-use sspc_common::{ClusterId, DimId, Error, ObjectId, Result};
+use sspc_common::{ClusterId, DimId, Error, ObjectId, ObjectiveSense, Result, Supervision};
 use sspc_datagen::{generate, GeneratorConfig};
-use sspc_metrics::info::{normalized_mutual_information, purity};
-use sspc_metrics::{adjusted_rand_index, OutlierPolicy};
+use sspc_metrics::{evaluate_partition, OutlierPolicy};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -21,19 +27,36 @@ subcommands:
       Write a synthetic dataset (TSV) and its true labels (one per line,
       `-` for outliers).
 
-  cluster   --input FILE --k K [--m 0.5 | --p 0.05] [--labels FILE]
-            [--runs 10] [--seed 1] [--out FILE] [--dims-out FILE]
-      Cluster a delimited matrix; best-of-N by objective score. Optional
-      supervision file: lines `o <object-id> <class>` and
-      `d <dim-id> <class>`. Writes one cluster label per line (`-` for
-      outliers) to --out (default stdout) and selected dimensions per
-      cluster to --dims-out.
+  cluster   --input FILE --k K [--algorithm sspc] [--m 0.5 | --p 0.05]
+            [--params \"key=value,...\"] [--labels FILE] [--runs 10]
+            [--seed 1] [--threads N] [--out FILE] [--dims-out FILE]
+      Cluster a delimited matrix with any algorithm: sspc, proclus,
+      clarans, harp, doc, orclus or clique; best-of-N restarts by the
+      algorithm's own objective score. --params passes algorithm-specific
+      overrides (e.g. `l=6` for proclus, `w=2.5` for doc); --m/--p are
+      shorthand for SSPC's threshold. Optional supervision file (SSPC
+      only): lines `o <object-id> <class>` and `d <dim-id> <class>`.
+      Writes one cluster label per line (`-` for outliers) to --out
+      (default stdout) and selected dimensions per cluster to --dims-out.
+
+  compare   --input FILE --k K [--truth FILE]
+            [--algorithms sspc,proclus,clarans,harp,doc] [--runs 5]
+            [--seed 1] [--threads N] [--labels FILE]
+            [--params \"algorithm.key=value,...\"] [--format text|json]
+      Run several algorithms on one dataset (best-of-N restarts each, the
+      paper's Sec. 5 protocol) and print one row per algorithm: internal
+      objective, cluster/outlier counts, time, and — when --truth is given
+      — ARI, NMI and purity. --params scopes overrides per algorithm,
+      e.g. `proclus.l=6,doc.w=2.5`.
 
   evaluate  --truth FILE --produced FILE
       Print ARI, NMI and purity of produced labels against true labels.
 
   help
-      This message.";
+      This message.
+
+`--threads N` (cluster, compare) sets SSPC_NUM_THREADS for the run, sizing
+the deterministic parallel assignment/refit phases without env fiddling.";
 
 /// Dispatches a full argv (without the program name).
 ///
@@ -50,6 +73,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
     match command.as_str() {
         "generate" => cmd_generate(&flags),
         "cluster" => cmd_cluster(&flags),
+        "compare" => cmd_compare(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
@@ -92,28 +116,40 @@ fn cmd_generate(flags: &Flags) -> Result<()> {
 
 fn cmd_cluster(flags: &Flags) -> Result<()> {
     flags.reject_unknown(&[
-        "input", "k", "m", "p", "labels", "runs", "seed", "out", "dims-out",
+        "input",
+        "algorithm",
+        "k",
+        "m",
+        "p",
+        "params",
+        "labels",
+        "runs",
+        "seed",
+        "threads",
+        "out",
+        "dims-out",
     ])?;
+    apply_threads(flags)?;
     let input = flags.required("input")?;
     let k: usize = flags.parsed("k")?;
     let dataset = read_delimited(BufReader::new(open(input)?), '\t')?;
 
-    let threshold = match (flags.optional("m"), flags.optional("p")) {
-        (Some(_), Some(_)) => {
-            return Err(Error::InvalidParameter(
-                "give either --m or --p, not both".into(),
-            ))
-        }
-        (None, Some(p)) => ThresholdScheme::PValue(
-            p.parse()
-                .map_err(|_| Error::InvalidParameter(format!("--p: cannot parse `{p}`")))?,
-        ),
-        (Some(m), None) => ThresholdScheme::MFraction(
-            m.parse()
-                .map_err(|_| Error::InvalidParameter(format!("--m: cannot parse `{m}`")))?,
-        ),
-        (None, None) => ThresholdScheme::MFraction(0.5),
+    let algorithm = flags.optional("algorithm").unwrap_or("sspc");
+    let mut params = match flags.optional("params") {
+        Some(spec) => ParamMap::parse(spec)?,
+        None => ParamMap::default(),
     };
+    // --m / --p are first-class shorthands for SSPC's threshold knob; the
+    // registry rejects them for other algorithms and enforces exclusivity,
+    // and `set_new` rejects the same key arriving via --params too.
+    if let Some(m) = flags.optional("m") {
+        params = params.set_new("m", m)?;
+    }
+    if let Some(p) = flags.optional("p") {
+        params = params.set_new("p", p)?;
+    }
+    let clusterer = AnyClusterer::from_spec(algorithm, k, &params)?;
+
     let supervision = match flags.optional("labels") {
         Some(path) => read_supervision(path)?,
         None => Supervision::none(),
@@ -121,18 +157,8 @@ fn cmd_cluster(flags: &Flags) -> Result<()> {
     let runs: usize = flags.parsed_or("runs", 10)?;
     let seed: u64 = flags.parsed_or("seed", 1)?;
 
-    let sspc = Sspc::new(SspcParams::new(k).with_threshold(threshold))?;
-    let mut best: Option<sspc::SspcResult> = None;
-    for r in 0..runs.max(1) {
-        let result = sspc.run(&dataset, &supervision, derive_seed(seed, r as u64))?;
-        if best
-            .as_ref()
-            .is_none_or(|b| result.objective() > b.objective())
-        {
-            best = Some(result);
-        }
-    }
-    let best = best.expect("runs >= 1");
+    let outcome = best_of(&clusterer, &dataset, &supervision, runs, seed)?;
+    let best = outcome.best;
 
     match flags.optional("out") {
         Some(path) => {
@@ -160,12 +186,101 @@ fn cmd_cluster(flags: &Flags) -> Result<()> {
         }
         flush(writer, path)?;
     }
+    let iterations = match best.iterations() {
+        Some(it) => format!(", {it} iterations"),
+        None => String::new(),
+    };
     eprintln!(
-        "objective {:.6}, {} outliers, {} iterations",
+        "{algorithm}: objective {:.6} ({}), {} clusters, {} outliers{iterations}, \
+         best of {} run(s) in {:.2}s",
         best.objective(),
+        sense_label(best.sense()),
+        best.n_clusters(),
         best.n_outliers(),
-        best.iterations()
+        outcome.runs_executed,
+        outcome.total_seconds,
     );
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&[
+        "input",
+        "truth",
+        "k",
+        "algorithms",
+        "runs",
+        "seed",
+        "threads",
+        "labels",
+        "params",
+        "format",
+    ])?;
+    apply_threads(flags)?;
+    let input = flags.required("input")?;
+    let k: usize = flags.parsed("k")?;
+    let dataset = read_delimited(BufReader::new(open(input)?), '\t')?;
+    let truth = match flags.optional("truth") {
+        Some(path) => Some(read_labels(path)?),
+        None => None,
+    };
+    let supervision = match flags.optional("labels") {
+        Some(path) => read_supervision(path)?,
+        None => Supervision::none(),
+    };
+
+    let names: Vec<&str> = flags
+        .optional("algorithms")
+        .unwrap_or("sspc,proclus,clarans,harp,doc")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err(Error::InvalidParameter(
+            "--algorithms names no algorithms".into(),
+        ));
+    }
+    let scoped = match flags.optional("params") {
+        Some(spec) => ParamMap::parse_scoped(spec)?,
+        None => Default::default(),
+    };
+    for scope in scoped.keys() {
+        if !names.contains(&scope.as_str()) {
+            return Err(Error::InvalidParameter(format!(
+                "--params names `{scope}`, which is not in --algorithms ({})",
+                names.join(", ")
+            )));
+        }
+    }
+    let roster: Vec<AnyClusterer> = names
+        .iter()
+        .map(|name| {
+            let params = scoped.get(*name).cloned().unwrap_or_default();
+            AnyClusterer::from_spec(name, k, &params)
+        })
+        .collect::<Result<_>>()?;
+
+    let runs: usize = flags.parsed_or("runs", 5)?;
+    let seed: u64 = flags.parsed_or("seed", 1)?;
+    let reports = compare_algorithms(
+        &roster,
+        &dataset,
+        &supervision,
+        truth.as_deref(),
+        runs,
+        seed,
+    )?;
+
+    match flags.optional("format").unwrap_or("text") {
+        "text" => print_comparison_text(&reports, truth.is_some()),
+        "json" => print_comparison_json(&reports),
+        other => {
+            return Err(Error::InvalidParameter(format!(
+                "--format must be text or json, got `{other}`"
+            )))
+        }
+    }
     Ok(())
 }
 
@@ -173,12 +288,145 @@ fn cmd_evaluate(flags: &Flags) -> Result<()> {
     flags.reject_unknown(&["truth", "produced"])?;
     let truth = read_labels(flags.required("truth")?)?;
     let produced = read_labels(flags.required("produced")?)?;
-    let ari = adjusted_rand_index(&truth, &produced, OutlierPolicy::AsCluster)?;
-    let nmi = normalized_mutual_information(&truth, &produced, OutlierPolicy::AsCluster)?;
-    let pur = purity(&truth, &produced, OutlierPolicy::AsCluster)?;
-    println!("ARI    {ari:.4}");
-    println!("NMI    {nmi:.4}");
-    println!("purity {pur:.4}");
+    let e = evaluate_partition(&truth, &produced, OutlierPolicy::AsCluster)?;
+    println!("ARI    {:.4}", e.ari);
+    println!("NMI    {:.4}", e.nmi);
+    println!("purity {:.4}", e.purity);
+    Ok(())
+}
+
+// ---- comparison rendering --------------------------------------------------
+
+fn sense_label(sense: ObjectiveSense) -> &'static str {
+    match sense {
+        ObjectiveSense::HigherIsBetter => "max",
+        ObjectiveSense::LowerIsBetter => "min",
+    }
+}
+
+/// Prints one aligned row per algorithm; metric columns appear only when a
+/// ground truth was supplied.
+fn print_comparison_text(reports: &[AlgorithmReport], with_truth: bool) {
+    let mut header = vec![
+        "algorithm".to_string(),
+        "objective".to_string(),
+        "clusters".to_string(),
+        "outliers".to_string(),
+        "runs".to_string(),
+        "seconds".to_string(),
+    ];
+    if with_truth {
+        header.extend(["ARI".to_string(), "NMI".to_string(), "purity".to_string()]);
+    }
+    let mut rows = vec![header];
+    for r in reports {
+        let mut row = vec![
+            r.algorithm.clone(),
+            format!(
+                "{:.4} ({})",
+                r.best.objective(),
+                sense_label(r.best.sense())
+            ),
+            r.best.n_clusters().to_string(),
+            r.best.n_outliers().to_string(),
+            r.runs_executed.to_string(),
+            format!("{:.2}", r.total_seconds),
+        ];
+        if with_truth {
+            match r.evaluation {
+                Some(e) => row.extend([
+                    format!("{:.4}", e.ari),
+                    format!("{:.4}", e.nmi),
+                    format!("{:.4}", e.purity),
+                ]),
+                None => row.extend(["-".into(), "-".into(), "-".into()]),
+            }
+        }
+        rows.push(row);
+    }
+    let n_cols = rows[0].len();
+    let widths: Vec<usize> = (0..n_cols)
+        .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+        .collect();
+    for row in &rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .enumerate()
+            .map(|(c, (cell, w))| {
+                // Left-align the name column, right-align the numbers.
+                if c == 0 {
+                    format!("{cell:<w$}")
+                } else {
+                    format!("{cell:>w$}")
+                }
+            })
+            .collect();
+        println!("{}", line.join("  ").trim_end());
+    }
+}
+
+/// A JSON number (or `null` for non-finite values, which bare JSON cannot
+/// represent).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn print_comparison_json(reports: &[AlgorithmReport]) {
+    let entries: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                format!("\"algorithm\":{:?}", r.algorithm),
+                format!("\"objective\":{}", json_num(r.best.objective())),
+                format!(
+                    "\"sense\":\"{}\"",
+                    match r.best.sense() {
+                        ObjectiveSense::HigherIsBetter => "higher_is_better",
+                        ObjectiveSense::LowerIsBetter => "lower_is_better",
+                    }
+                ),
+                format!("\"clusters\":{}", r.best.n_clusters()),
+                format!("\"outliers\":{}", r.best.n_outliers()),
+                format!("\"runs\":{}", r.runs_executed),
+                format!("\"seconds\":{}", json_num(r.total_seconds)),
+            ];
+            if let Some(it) = r.best.iterations() {
+                fields.push(format!("\"iterations\":{it}"));
+            }
+            if let Some(e) = r.evaluation {
+                fields.push(format!("\"ari\":{}", json_num(e.ari)));
+                fields.push(format!("\"nmi\":{}", json_num(e.nmi)));
+                fields.push(format!("\"purity\":{}", json_num(e.purity)));
+            }
+            format!("{{{}}}", fields.join(","))
+        })
+        .collect();
+    println!("[{}]", entries.join(","));
+}
+
+// ---- flags shared by cluster and compare -----------------------------------
+
+/// Maps `--threads N` onto `SSPC_NUM_THREADS`, the knob the deterministic
+/// parallel helpers in `sspc_common::parallel` resolve their worker count
+/// from. Results are bit-identical at any thread count, so this is purely
+/// a speed dial.
+fn apply_threads(flags: &Flags) -> Result<()> {
+    if let Some(raw) = flags.optional("threads") {
+        let n: usize = raw
+            .parse()
+            .map_err(|_| Error::InvalidParameter(format!("--threads: cannot parse `{raw}`")))?;
+        if n == 0 {
+            return Err(Error::InvalidParameter(
+                "--threads must be at least 1".into(),
+            ));
+        }
+        std::env::set_var("SSPC_NUM_THREADS", n.to_string());
+    }
     Ok(())
 }
 
@@ -275,12 +523,17 @@ fn flush(mut writer: BufWriter<File>, path: &str) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sspc_api::registry::ALGORITHMS;
     use std::path::PathBuf;
 
     fn temp_path(name: &str) -> String {
         let mut p: PathBuf = std::env::temp_dir();
         p.push(format!("sspc_cli_test_{}_{name}", std::process::id()));
         p.to_string_lossy().into_owned()
+    }
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
     }
 
     #[test]
@@ -290,63 +543,189 @@ mod tests {
         assert!(dispatch(&["frobnicate".into()]).is_err());
     }
 
+    /// `generate → cluster --algorithm X → evaluate` for SSPC and two
+    /// baselines, all through the registry path.
     #[test]
-    fn generate_cluster_evaluate_roundtrip() {
+    fn generate_cluster_evaluate_roundtrip_per_algorithm() {
         let data = temp_path("data.tsv");
         let truth = temp_path("truth.tsv");
-        let out = temp_path("out.tsv");
-        let dims = temp_path("dims.tsv");
 
-        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|x| x.to_string()).collect() };
         dispatch(&argv(&[
             "generate", "--out", &data, "--truth", &truth, "--n", "120", "--d", "20", "--k", "3",
             "--dims", "6", "--seed", "7",
         ]))
         .unwrap();
-        dispatch(&argv(&[
+
+        for (algorithm, extra) in [
+            ("sspc", &["--m", "0.5"][..]),
+            ("proclus", &["--params", "l=6"][..]),
+            ("clarans", &[][..]),
+        ] {
+            let out = temp_path(&format!("{algorithm}_out.tsv"));
+            let dims = temp_path(&format!("{algorithm}_dims.tsv"));
+            let mut args = argv(&[
+                "cluster",
+                "--input",
+                &data,
+                "--algorithm",
+                algorithm,
+                "--k",
+                "3",
+                "--runs",
+                "2",
+                "--seed",
+                "2",
+                "--out",
+                &out,
+                "--dims-out",
+                &dims,
+            ]);
+            args.extend(extra.iter().map(|s| s.to_string()));
+            dispatch(&args).unwrap();
+            dispatch(&argv(&["evaluate", "--truth", &truth, "--produced", &out])).unwrap();
+
+            let labels = read_labels(&out).unwrap();
+            assert_eq!(labels.len(), 120, "{algorithm} label count");
+            let dim_lines = std::fs::read_to_string(&dims).unwrap();
+            assert_eq!(dim_lines.lines().count(), 3, "{algorithm} dims lines");
+            for p in [out, dims] {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+        for p in [data, truth] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn cluster_rejects_unknown_algorithm_naming_the_options() {
+        let data = temp_path("unknown_alg.tsv");
+        std::fs::write(&data, "1\t2\n3\t4\n5\t6\n7\t8\n").unwrap();
+        let err = dispatch(&argv(&[
             "cluster",
             "--input",
             &data,
             "--k",
-            "3",
-            "--m",
-            "0.5",
-            "--runs",
-            "3",
-            "--seed",
             "2",
-            "--out",
-            &out,
-            "--dims-out",
-            &dims,
+            "--algorithm",
+            "kmeans",
         ]))
-        .unwrap();
-        dispatch(&argv(&["evaluate", "--truth", &truth, "--produced", &out])).unwrap();
-
-        // The produced labels parse and cover all objects.
-        let labels = read_labels(&out).unwrap();
-        assert_eq!(labels.len(), 120);
-        // A dims line per cluster.
-        let dim_lines = std::fs::read_to_string(&dims).unwrap();
-        assert_eq!(dim_lines.lines().count(), 3);
-
-        for p in [data, truth, out, dims] {
-            let _ = std::fs::remove_file(p);
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown algorithm `kmeans`"), "{msg}");
+        for name in ALGORITHMS {
+            assert!(msg.contains(name), "{msg} should list {name}");
         }
+        let _ = std::fs::remove_file(data);
     }
 
     #[test]
     fn cluster_rejects_conflicting_thresholds() {
         let data = temp_path("conflict.tsv");
         std::fs::write(&data, "1\t2\n3\t4\n5\t6\n7\t8\n").unwrap();
-        let argv: Vec<String> = [
+        assert!(dispatch(&argv(&[
             "cluster", "--input", &data, "--k", "2", "--m", "0.5", "--p", "0.05",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-        assert!(dispatch(&argv).is_err());
+        ]))
+        .is_err());
+        // The same key arriving as a flag *and* inside --params is a
+        // conflict, not a silent overwrite.
+        assert!(dispatch(&argv(&[
+            "cluster", "--input", &data, "--k", "2", "--m", "0.5", "--params", "m=0.3",
+        ]))
+        .is_err());
         let _ = std::fs::remove_file(data);
+    }
+
+    #[test]
+    fn threads_flag_validates_and_sets_env() {
+        let data = temp_path("threads.tsv");
+        std::fs::write(&data, "1\t2\n3\t4\n5\t6\n7\t8\n").unwrap();
+        // Invalid values fail before any clustering happens.
+        for bad in ["0", "many"] {
+            assert!(dispatch(&argv(&[
+                "cluster",
+                "--input",
+                &data,
+                "--k",
+                "2",
+                "--threads",
+                bad,
+            ]))
+            .is_err());
+        }
+        let flags = Flags::parse(&argv(&["--threads", "2"])).unwrap();
+        apply_threads(&flags).unwrap();
+        assert_eq!(std::env::var("SSPC_NUM_THREADS").unwrap(), "2");
+        std::env::remove_var("SSPC_NUM_THREADS");
+        let _ = std::fs::remove_file(data);
+    }
+
+    #[test]
+    fn compare_produces_rows_and_json() {
+        let data = temp_path("cmp_data.tsv");
+        let truth = temp_path("cmp_truth.tsv");
+        dispatch(&argv(&[
+            "generate", "--out", &data, "--truth", &truth, "--n", "90", "--d", "12", "--k", "2",
+            "--dims", "4", "--seed", "5",
+        ]))
+        .unwrap();
+
+        for format in ["text", "json"] {
+            dispatch(&argv(&[
+                "compare",
+                "--input",
+                &data,
+                "--truth",
+                &truth,
+                "--k",
+                "2",
+                "--algorithms",
+                "sspc,clarans,harp",
+                "--runs",
+                "2",
+                "--seed",
+                "3",
+                "--params",
+                "clarans.num-local=1",
+                "--format",
+                format,
+            ]))
+            .unwrap();
+        }
+        // Truth-free comparison and format validation.
+        dispatch(&argv(&[
+            "compare",
+            "--input",
+            &data,
+            "--k",
+            "2",
+            "--algorithms",
+            "clarans",
+            "--runs",
+            "1",
+        ]))
+        .unwrap();
+        assert!(dispatch(&argv(&[
+            "compare", "--input", &data, "--k", "2", "--format", "xml",
+        ]))
+        .is_err());
+        // Scoped params must name algorithms that are actually in the run.
+        assert!(dispatch(&argv(&[
+            "compare",
+            "--input",
+            &data,
+            "--k",
+            "2",
+            "--algorithms",
+            "clarans",
+            "--params",
+            "doc.w=2.0",
+        ]))
+        .is_err());
+
+        for p in [data, truth] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

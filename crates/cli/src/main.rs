@@ -1,8 +1,10 @@
-//! `sspc-cli` — cluster delimited numeric matrices from the shell.
+//! `sspc-cli` — cluster delimited numeric matrices from the shell, with
+//! any algorithm in the workspace (SSPC plus the six baselines).
 //!
 //! ```text
 //! sspc-cli generate --out data.tsv --truth truth.tsv --n 300 --d 50 --k 4 --dims 8
-//! sspc-cli cluster  --input data.tsv --k 4 --m 0.5 --out clusters.tsv
+//! sspc-cli cluster  --input data.tsv --k 4 --algorithm proclus --params l=8 --out clusters.tsv
+//! sspc-cli compare  --input data.tsv --truth truth.tsv --k 4 --runs 5
 //! sspc-cli evaluate --truth truth.tsv --produced clusters.tsv
 //! ```
 //!

@@ -1,0 +1,364 @@
+//! The unified projected-clustering contract.
+//!
+//! The SSPC paper's deliverable (Sec. 5) is a head-to-head comparison of
+//! SSPC against PROCLUS, CLARANS, HARP and friends. This module defines the
+//! one API surface that comparison runs through:
+//!
+//! * [`ProjectedClusterer`] — the trait every algorithm in the workspace
+//!   implements: `cluster(dataset, supervision, seed) → Clustering`.
+//! * [`Clustering`] — the single canonical result type: a per-object
+//!   [`Option<ClusterId>`] assignment (`None` = outlier), per-cluster
+//!   selected dimensions, the algorithm's internal objective score with its
+//!   [`ObjectiveSense`], and run metadata (algorithm name, wall-clock
+//!   seconds, iteration count where meaningful).
+//!
+//! New algorithms (DOC-family, ORCLUS-style generalizations, …) and new
+//! frontends (CLI, experiment runners, servers) meet at this contract
+//! instead of growing pairwise ad-hoc adapters. The `sspc-api` crate builds
+//! the dynamic-dispatch registry and the paper's best-of-N experiment
+//! protocol on top.
+
+use crate::{ClusterId, Dataset, DimId, ObjectId, Result, Supervision};
+
+/// Whether larger or smaller objective values indicate a better solution.
+///
+/// SSPC maximizes its φ score; the distance-based baselines (PROCLUS,
+/// CLARANS, HARP, ORCLUS) minimize a cost, and DOC/CLIQUE report negated
+/// quality so they minimize too. Best-of-N selection must respect this —
+/// comparing raw numbers across algorithms is meaningless either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectiveSense {
+    /// Larger objective values are better (SSPC's φ).
+    HigherIsBetter,
+    /// Smaller objective values are better (distance-style costs).
+    LowerIsBetter,
+}
+
+impl ObjectiveSense {
+    /// True when `a` is a strictly better objective than `b` under this
+    /// sense. `NaN` is never better than anything (and anything finite is
+    /// better than `NaN`), so best-of-N selection cannot latch onto a
+    /// degenerate run.
+    pub fn is_better(self, a: f64, b: f64) -> bool {
+        if a.is_nan() {
+            return false;
+        }
+        if b.is_nan() {
+            return true;
+        }
+        match self {
+            ObjectiveSense::HigherIsBetter => a > b,
+            ObjectiveSense::LowerIsBetter => a < b,
+        }
+    }
+}
+
+/// The canonical output of any projected-clustering run.
+///
+/// One shape for every algorithm: SSPC's `SspcResult` and the baselines'
+/// `BaselineResult` both convert into this (see their crates' `From`/
+/// `into_clustering` adapters), so frontends — the CLI, the experiment
+/// runner, the metrics pipeline — handle a single type.
+///
+/// The objective score is the algorithm's **internal** score and is
+/// comparable only between runs of the *same* algorithm on the *same*
+/// dataset; [`Clustering::is_better_than`] encodes the per-algorithm
+/// direction via [`ObjectiveSense`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    algorithm: String,
+    assignment: Vec<Option<ClusterId>>,
+    selected_dims: Vec<Vec<DimId>>,
+    objective: f64,
+    sense: ObjectiveSense,
+    seconds: f64,
+    iterations: Option<usize>,
+    cluster_scores: Option<Vec<f64>>,
+}
+
+impl Clustering {
+    /// Builds a clustering result. Selected-dimension lists are normalized
+    /// (sorted ascending, deduplicated) so downstream consumers can rely on
+    /// a canonical order.
+    pub fn new(
+        algorithm: impl Into<String>,
+        assignment: Vec<Option<ClusterId>>,
+        mut selected_dims: Vec<Vec<DimId>>,
+        objective: f64,
+        sense: ObjectiveSense,
+    ) -> Self {
+        for dims in &mut selected_dims {
+            dims.sort_unstable();
+            dims.dedup();
+        }
+        Clustering {
+            algorithm: algorithm.into(),
+            assignment,
+            selected_dims,
+            objective,
+            sense,
+            seconds: 0.0,
+            iterations: None,
+            cluster_scores: None,
+        }
+    }
+
+    /// Attaches the wall-clock seconds the run took.
+    #[must_use]
+    pub fn with_seconds(mut self, seconds: f64) -> Self {
+        self.seconds = seconds;
+        self
+    }
+
+    /// Attaches the number of iterations the run executed (meaningful for
+    /// the iterative algorithms; absent otherwise).
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = Some(iterations);
+        self
+    }
+
+    /// Attaches per-cluster scores (SSPC's φᵢ; absent for algorithms that
+    /// only report a global cost).
+    #[must_use]
+    pub fn with_cluster_scores(mut self, scores: Vec<f64>) -> Self {
+        self.cluster_scores = Some(scores);
+        self
+    }
+
+    /// Name of the algorithm that produced this result (registry name,
+    /// e.g. `"sspc"` or `"proclus"`).
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Per-object cluster assignment; `None` marks an outlier.
+    pub fn assignment(&self) -> &[Option<ClusterId>] {
+        &self.assignment
+    }
+
+    /// The cluster of one object (`None` = outlier).
+    pub fn cluster_of(&self, o: ObjectId) -> Option<ClusterId> {
+        self.assignment[o.index()]
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.selected_dims.len()
+    }
+
+    /// Selected dimensions of a cluster, ascending.
+    pub fn selected_dims(&self, c: ClusterId) -> &[DimId] {
+        &self.selected_dims[c.index()]
+    }
+
+    /// All selected-dimension lists, indexed by cluster.
+    pub fn all_selected_dims(&self) -> &[Vec<DimId>] {
+        &self.selected_dims
+    }
+
+    /// Members of a cluster, ascending by object id.
+    pub fn members_of(&self, c: ClusterId) -> Vec<ObjectId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(o, cl)| (*cl == Some(c)).then_some(ObjectId(o)))
+            .collect()
+    }
+
+    /// Objects assigned to no cluster, ascending.
+    pub fn outliers(&self) -> Vec<ObjectId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(o, cl)| cl.is_none().then_some(ObjectId(o)))
+            .collect()
+    }
+
+    /// Number of outliers.
+    pub fn n_outliers(&self) -> usize {
+        self.assignment.iter().filter(|c| c.is_none()).count()
+    }
+
+    /// The algorithm's internal objective score; interpret via
+    /// [`Clustering::sense`].
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Whether larger or smaller [`Clustering::objective`] values are
+    /// better for this algorithm.
+    pub fn sense(&self) -> ObjectiveSense {
+        self.sense
+    }
+
+    /// Wall-clock seconds the producing run took (0 when not recorded).
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Iterations executed, for the iterative algorithms.
+    pub fn iterations(&self) -> Option<usize> {
+        self.iterations
+    }
+
+    /// Per-cluster scores, when the algorithm reports them (SSPC's φᵢ).
+    pub fn cluster_scores(&self) -> Option<&[f64]> {
+        self.cluster_scores.as_deref()
+    }
+
+    /// True when this solution's objective beats `other`'s under this
+    /// result's [`ObjectiveSense`] — the best-of-N comparison of the
+    /// paper's protocol. Only meaningful between runs of the same
+    /// algorithm.
+    pub fn is_better_than(&self, other: &Clustering) -> bool {
+        self.sense.is_better(self.objective, other.objective)
+    }
+}
+
+/// Runs `body` and attaches the elapsed wall-clock seconds to the
+/// [`Clustering`] it returns — the one timing policy every
+/// [`ProjectedClusterer`] implementation in the workspace shares, so a
+/// future change (CPU time, per-phase splits) edits a single site.
+///
+/// # Errors
+///
+/// Propagates `body`'s error unchanged.
+pub fn timed_cluster(body: impl FnOnce() -> Result<Clustering>) -> Result<Clustering> {
+    let start = std::time::Instant::now();
+    let clustering = body()?;
+    Ok(clustering.with_seconds(start.elapsed().as_secs_f64()))
+}
+
+/// A projected-clustering algorithm: anything that partitions a dataset's
+/// objects into clusters-with-relevant-dimensions (plus optional outliers).
+///
+/// This is the workspace-wide contract — `Sspc` and all six baselines
+/// implement it, the `sspc-api` registry erases the concrete type behind
+/// it, and the experiment runner and CLI drive any implementor
+/// interchangeably.
+///
+/// # Supervision
+///
+/// SSPC consumes [`Supervision`] (that is the paper's contribution); the
+/// unsupervised baselines **ignore** it, by design — the paper's comparison
+/// hands the same labeled inputs to every algorithm and only SSPC can
+/// exploit them. Implementations must not error on non-empty supervision.
+///
+/// # Determinism
+///
+/// `cluster` must be deterministic in `(dataset, supervision, seed)`.
+/// Algorithms with no internal randomness (HARP, CLIQUE) return
+/// [`ProjectedClusterer::is_deterministic`] `= true` so restart loops can
+/// skip redundant runs.
+pub trait ProjectedClusterer {
+    /// Registry name of the algorithm (lowercase, e.g. `"sspc"`).
+    fn name(&self) -> &str;
+
+    /// Runs the algorithm. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific parameter/shape validation failures; never
+    /// fails for non-empty supervision (unsupervised algorithms ignore it).
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        supervision: &Supervision,
+        seed: u64,
+    ) -> Result<Clustering>;
+
+    /// True when the result is independent of `seed`; restart protocols
+    /// run such algorithms once instead of N times.
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustering(objective: f64, sense: ObjectiveSense) -> Clustering {
+        Clustering::new(
+            "test",
+            vec![Some(ClusterId(0)), None, Some(ClusterId(1))],
+            vec![vec![DimId(2), DimId(0), DimId(2)], vec![DimId(1)]],
+            objective,
+            sense,
+        )
+    }
+
+    #[test]
+    fn accessors_and_dim_normalization() {
+        let c = clustering(0.5, ObjectiveSense::HigherIsBetter)
+            .with_seconds(1.25)
+            .with_iterations(7)
+            .with_cluster_scores(vec![2.0, 3.0]);
+        assert_eq!(c.algorithm(), "test");
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.selected_dims(ClusterId(0)), &[DimId(0), DimId(2)]);
+        assert_eq!(c.cluster_of(ObjectId(1)), None);
+        assert_eq!(c.members_of(ClusterId(1)), vec![ObjectId(2)]);
+        assert_eq!(c.outliers(), vec![ObjectId(1)]);
+        assert_eq!(c.n_outliers(), 1);
+        assert_eq!(c.objective(), 0.5);
+        assert_eq!(c.seconds(), 1.25);
+        assert_eq!(c.iterations(), Some(7));
+        assert_eq!(c.cluster_scores(), Some(&[2.0, 3.0][..]));
+    }
+
+    #[test]
+    fn best_of_respects_sense() {
+        let hi_a = clustering(1.0, ObjectiveSense::HigherIsBetter);
+        let hi_b = clustering(2.0, ObjectiveSense::HigherIsBetter);
+        assert!(hi_b.is_better_than(&hi_a));
+        assert!(!hi_a.is_better_than(&hi_b));
+
+        let lo_a = clustering(1.0, ObjectiveSense::LowerIsBetter);
+        let lo_b = clustering(2.0, ObjectiveSense::LowerIsBetter);
+        assert!(lo_a.is_better_than(&lo_b));
+        assert!(!lo_b.is_better_than(&lo_a));
+    }
+
+    #[test]
+    fn nan_is_never_better() {
+        let nan = clustering(f64::NAN, ObjectiveSense::HigherIsBetter);
+        let finite = clustering(-1.0, ObjectiveSense::HigherIsBetter);
+        assert!(!nan.is_better_than(&finite));
+        assert!(finite.is_better_than(&nan));
+        assert!(!nan.is_better_than(&nan));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        struct Fixed;
+        impl ProjectedClusterer for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn cluster(
+                &self,
+                dataset: &Dataset,
+                _supervision: &Supervision,
+                _seed: u64,
+            ) -> Result<Clustering> {
+                Ok(Clustering::new(
+                    self.name(),
+                    vec![Some(ClusterId(0)); dataset.n_objects()],
+                    vec![vec![DimId(0)]],
+                    0.0,
+                    ObjectiveSense::LowerIsBetter,
+                ))
+            }
+            fn is_deterministic(&self) -> bool {
+                true
+            }
+        }
+        let boxed: Box<dyn ProjectedClusterer> = Box::new(Fixed);
+        let dataset = Dataset::from_rows(2, 1, vec![1.0, 2.0]).unwrap();
+        let c = boxed.cluster(&dataset, &Supervision::none(), 3).unwrap();
+        assert_eq!(c.assignment().len(), 2);
+        assert!(boxed.is_deterministic());
+    }
+}

@@ -19,11 +19,18 @@
 //!   experiment in the workspace is reproducible from a single `u64` seed.
 //! * [`Error`] — the shared error type for fallible public APIs.
 //!
-//! Nothing in this crate knows about clustering; it is a pure substrate.
+//! On top of the substrate sits the workspace's one **abstract clustering
+//! contract** ([`clusterer`]): the [`ProjectedClusterer`] trait, the
+//! canonical [`Clustering`] result, and the [`Supervision`] input type that
+//! semi-supervised algorithms consume and unsupervised ones ignore. No
+//! concrete algorithm lives here — implementations are in `sspc` (core) and
+//! `sspc-baselines`, the dynamic registry and experiment protocol in
+//! `sspc-api`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod clusterer;
 mod dataset;
 mod error;
 mod ids;
@@ -33,10 +40,13 @@ pub mod orderstat;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
+mod supervision;
 
+pub use clusterer::{Clustering, ObjectiveSense, ProjectedClusterer};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use error::Error;
 pub use ids::{ClusterId, DimId, ObjectId};
+pub use supervision::Supervision;
 
 /// Convenient result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -25,10 +25,13 @@
 //! [`MAX_CHUNK`] keys each. Insert and remove locate the chunk by binary
 //! search over chunk maxima (`O(log(n / chunk))`) and shift within one
 //! small chunk (`O(chunk)` — a sub-cache-line `memmove` in practice);
-//! selection walks the chunk lengths (`O(n / chunk)`). For the per-cluster
-//! per-dimension sets the hot loop maintains (hundreds to a few thousand
-//! elements) every operation is a handful of nanoseconds; a Fenwick tree
-//! over chunk lengths would make selection logarithmic if much larger sets
+//! selection walks the chunk lengths (`O(n / chunk)`). The **median** is
+//! exempt from that walk: a cursor (chunk index + base rank) tracks the
+//! median position and is maintained in O(1) per mutation, so
+//! [`MedianSet::median`] is O(1). For the per-cluster per-dimension sets
+//! the hot loop maintains (hundreds to a few thousand elements) every
+//! operation is a handful of nanoseconds; a Fenwick tree over chunk
+//! lengths would make arbitrary selection logarithmic if much larger sets
 //! ever matter.
 
 /// Chunk capacity: a full chunk splits in two. 64 keys = 512 bytes, so a
@@ -63,7 +66,7 @@ fn value_of(k: u64) -> f64 {
 /// insert, remove, and order-statistic queries (median, select) without
 /// re-sorting. See the [module docs](self) for the exactness contract and
 /// complexity.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct MedianSet {
     /// Non-empty sorted chunks of order-preserving keys; chunk maxima are
     /// globally non-decreasing.
@@ -75,7 +78,27 @@ pub struct MedianSet {
     /// dominate.
     maxima: Vec<u64>,
     len: usize,
+    /// Median cursor: index of the chunk holding the median rank
+    /// `(len − 1) / 2`, and the number of elements in the chunks before it.
+    /// One insert or remove moves the median rank by at most one and shifts
+    /// chunk contents by at most one element, so the cursor is maintained
+    /// in O(1) per mutation and [`MedianSet::median`] is O(1) — no
+    /// chunk-length walk, which `select` still pays for arbitrary ranks.
+    /// Meaningless (0, 0) while the set is empty.
+    cur_chunk: usize,
+    cur_base: usize,
 }
+
+/// Equality is over the stored multiset *structure* (chunk layout included,
+/// as before the cursor existed); the cursor is a query accelerator and
+/// deliberately does not participate.
+impl PartialEq for MedianSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.chunks == other.chunks
+    }
+}
+
+impl Eq for MedianSet {}
 
 impl MedianSet {
     /// An empty multiset.
@@ -105,6 +128,8 @@ impl MedianSet {
         }
         self.maxima.clear();
         self.len = 0;
+        self.cur_chunk = 0;
+        self.cur_base = 0;
     }
 
     /// Index of the chunk an existing `key` must live in (the first chunk
@@ -129,6 +154,8 @@ impl MedianSet {
             self.maxima.clear();
             self.maxima.push(key);
             self.len = 1;
+            self.cur_chunk = 0;
+            self.cur_base = 0;
             return;
         }
         let ci = self.chunk_for(key);
@@ -139,13 +166,25 @@ impl MedianSet {
         if pos == chunk.len() - 1 {
             self.maxima[ci] = key;
         }
+        if ci < self.cur_chunk {
+            self.cur_base += 1;
+        }
         if chunk.len() > MAX_CHUNK {
             let tail = chunk.split_off(chunk.len() / 2);
             self.maxima[ci] = *self.chunks[ci].last().expect("left split non-empty");
             self.maxima
                 .insert(ci + 1, *tail.last().expect("right split non-empty"));
             self.chunks.insert(ci + 1, tail);
+            if ci < self.cur_chunk {
+                // A split moves no elements across the cursor, but it does
+                // shift every later chunk index by one.
+                self.cur_chunk += 1;
+            }
+            // A split *of* the cursor chunk leaves `cur_base` valid for its
+            // left half; `reseat_cursor` hops right if the median rank now
+            // lives in the tail.
         }
+        self.reseat_cursor();
     }
 
     /// Removes one occurrence of `x` (matched by exact bits under the
@@ -163,16 +202,53 @@ impl MedianSet {
         }
         chunk.remove(pos);
         self.len -= 1;
+        if ci < self.cur_chunk {
+            self.cur_base -= 1;
+        }
         match chunk.last() {
             Some(&max) => self.maxima[ci] = max,
             None => {
                 if self.chunks.len() > 1 {
                     self.chunks.remove(ci);
+                    if ci < self.cur_chunk {
+                        self.cur_chunk -= 1;
+                    }
+                    // When the cursor chunk itself vanished, `cur_chunk`
+                    // now names the next chunk, whose base rank is exactly
+                    // `cur_base`; if it was the last chunk, `reseat_cursor`
+                    // clamps back in range.
                 }
                 self.maxima.remove(ci);
             }
         }
+        if self.len == 0 {
+            self.cur_chunk = 0;
+            self.cur_base = 0;
+            return true;
+        }
+        self.reseat_cursor();
         true
+    }
+
+    /// Re-aligns the median cursor after a mutation. The median rank and
+    /// the cursor's base drift by at most one element per mutation, so the
+    /// walk crosses at most one chunk boundary — O(1), not a scan.
+    #[inline]
+    fn reseat_cursor(&mut self) {
+        debug_assert!(self.len > 0);
+        if self.cur_chunk >= self.chunks.len() {
+            self.cur_chunk = self.chunks.len() - 1;
+            self.cur_base = self.len - self.chunks[self.cur_chunk].len();
+        }
+        let target = (self.len - 1) / 2;
+        while target < self.cur_base {
+            self.cur_chunk -= 1;
+            self.cur_base -= self.chunks[self.cur_chunk].len();
+        }
+        while target >= self.cur_base + self.chunks[self.cur_chunk].len() {
+            self.cur_base += self.chunks[self.cur_chunk].len();
+            self.cur_chunk += 1;
+        }
     }
 
     /// The value at sorted position `rank` (0-based, `total_cmp` order), or
@@ -194,9 +270,24 @@ impl MedianSet {
     /// the lower-middle convention of
     /// [`median_in_place`](crate::stats::median_in_place) bit-for-bit.
     /// `None` when empty.
+    ///
+    /// O(1): reads through the maintained median cursor instead of
+    /// [`MedianSet::select`]'s chunk-length walk (the per-dimension cost
+    /// `select_and_score_row` used to pay on every incremental refit; the
+    /// kernels bench A/Bs the two paths).
     #[inline]
     pub fn median(&self) -> Option<f64> {
-        self.select((self.len.wrapping_sub(1)) / 2)
+        if self.len == 0 {
+            return None;
+        }
+        let target = (self.len - 1) / 2;
+        debug_assert!(
+            target >= self.cur_base && target - self.cur_base < self.chunks[self.cur_chunk].len(),
+            "median cursor out of position"
+        );
+        Some(value_of(
+            self.chunks[self.cur_chunk][target - self.cur_base],
+        ))
     }
 
     /// Replaces the contents with `values`, which **must already be sorted
@@ -250,6 +341,17 @@ impl MedianSet {
             }
         }
         self.len = n;
+        // Seat the median cursor directly: rebuilt chunks all hold `target`
+        // elements (the last possibly fewer), so the median chunk is a
+        // division away.
+        if n == 0 {
+            self.cur_chunk = 0;
+            self.cur_base = 0;
+        } else {
+            let median_rank = (n - 1) / 2;
+            self.cur_chunk = median_rank / target;
+            self.cur_base = self.cur_chunk * target;
+        }
     }
 
     /// Iterates the values in `total_cmp` order.
@@ -280,6 +382,16 @@ impl MedianSet {
                 assert!(chunk[0] >= p, "chunk boundaries out of order");
             }
             prev = Some(max);
+        }
+        if self.len > 0 {
+            let target = (self.len - 1) / 2;
+            let base: usize = self.chunks[..self.cur_chunk].iter().map(|c| c.len()).sum();
+            assert_eq!(base, self.cur_base, "median cursor base out of sync");
+            assert!(
+                target >= self.cur_base
+                    && target - self.cur_base < self.chunks[self.cur_chunk].len(),
+                "median cursor chunk does not cover the median rank"
+            );
         }
     }
 }

@@ -1,4 +1,4 @@
-use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
+use crate::{ClusterId, Dataset, DimId, Error, ObjectId, Result};
 
 /// Domain knowledge for a semi-supervised run: labeled objects (`Iᵒ`) and
 /// labeled dimensions (`Iᵛ`).

@@ -338,6 +338,24 @@ pub struct Sspc {
     params: SspcParams,
 }
 
+/// The unified workspace contract: wraps [`Sspc::run`] with wall-clock
+/// timing and converts the rich [`SspcResult`] into the canonical
+/// [`Clustering`](sspc_common::Clustering).
+impl sspc_common::ProjectedClusterer for Sspc {
+    fn name(&self) -> &str {
+        "sspc"
+    }
+
+    fn cluster(
+        &self,
+        dataset: &Dataset,
+        supervision: &Supervision,
+        seed: u64,
+    ) -> Result<sspc_common::Clustering> {
+        sspc_common::clusterer::timed_cluster(|| Ok(self.run(dataset, supervision, seed)?.into()))
+    }
+}
+
 impl Sspc {
     /// Validates the parameters and builds the algorithm.
     ///
@@ -393,6 +411,26 @@ impl Sspc {
         seed: u64,
     ) -> Result<SspcResult> {
         self.run_impl(dataset, supervision, seed, true)
+    }
+
+    /// [`Sspc::run_naive`] through the unified contract: identical to
+    /// [`ProjectedClusterer::cluster`](sspc_common::ProjectedClusterer)
+    /// except every hot kernel takes the serial reference path. Exists so
+    /// the perf-equivalence suite can assert fast == naive through the new
+    /// API as well.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sspc::run`].
+    pub fn cluster_naive(
+        &self,
+        dataset: &Dataset,
+        supervision: &Supervision,
+        seed: u64,
+    ) -> Result<sspc_common::Clustering> {
+        sspc_common::clusterer::timed_cluster(|| {
+            Ok(self.run_naive(dataset, supervision, seed)?.into())
+        })
     }
 
     fn run_impl(

@@ -30,8 +30,14 @@
 //!
 //! # Quick start
 //!
+//! Build parameters with the builder API, finish into an [`Sspc`]
+//! clusterer, and run it through the workspace-wide
+//! [`ProjectedClusterer`] trait — every algorithm in the workspace
+//! (`sspc-baselines`, the `sspc-api` registry) speaks the same contract
+//! and returns the same canonical [`Clustering`] result:
+//!
 //! ```
-//! use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
+//! use sspc::{ProjectedClusterer, Sspc, SspcParams, Supervision, ThresholdScheme};
 //! use sspc_common::Dataset;
 //!
 //! // Six objects in 4-D: two clusters, each compact in two dimensions.
@@ -44,13 +50,18 @@
 //!     8.9, 9.0, 40.0, 50.0,
 //! ]).unwrap();
 //!
-//! let params = SspcParams::new(2)
-//!     .with_threshold(ThresholdScheme::MFraction(0.5));
-//! let result = Sspc::new(params).unwrap()
-//!     .run(&dataset, &Supervision::none(), 7)
+//! let clusterer = Sspc::new(
+//!     SspcParams::new(2).with_threshold(ThresholdScheme::MFraction(0.5)),
+//! ).unwrap();
+//! let clustering = clusterer
+//!     .cluster(&dataset, &Supervision::none(), 7)
 //!     .unwrap();
-//! assert_eq!(result.n_clusters(), 2);
+//! assert_eq!(clustering.algorithm(), "sspc");
+//! assert_eq!(clustering.n_clusters(), 2);
 //! ```
+//!
+//! [`Sspc::run`] remains available for the richer [`SspcResult`]
+//! (per-cluster φᵢ scores *and* representative points).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -63,7 +74,6 @@ pub mod objective;
 mod params;
 mod result;
 mod seeds;
-mod supervision;
 mod threshold;
 pub mod validation;
 
@@ -71,5 +81,8 @@ pub use algorithm::Sspc;
 pub use fuzzy::FuzzySupervision;
 pub use params::SspcParams;
 pub use result::SspcResult;
-pub use supervision::Supervision;
+// The supervision input type and the unified clustering contract live in
+// `sspc_common::clusterer`; re-exported here so `sspc::Supervision` (and
+// friends) remain the natural paths for core users.
+pub use sspc_common::{Clustering, ObjectiveSense, ProjectedClusterer, Supervision};
 pub use threshold::{ThresholdScheme, Thresholds};

@@ -36,7 +36,7 @@ pub struct ClusterModel {
 /// main loop fit `k` models per iteration without per-fit allocation.
 #[derive(Debug, Clone, Default)]
 pub struct FitScratch {
-    /// Gather buffer for [`LANES`] dimensions at a time; grown on demand,
+    /// Gather buffer for `LANES` dimensions at a time; grown on demand,
     /// never shrunk.
     buf: Vec<f64>,
 }
@@ -151,7 +151,7 @@ impl ClusterModel {
     /// [`ClusterModel::fit`] with caller-owned scratch buffers; the hot
     /// loop reuses one [`FitScratch`] across all fits of a run.
     ///
-    /// Processes [`LANES`] dimensions per pass: the gather from each
+    /// Processes `LANES` dimensions per pass: the gather from each
     /// column is fused with the Welford accumulation (one read per
     /// element), and the interleaved chains hide the division latency.
     ///
@@ -336,7 +336,7 @@ pub struct IncrementalScore {
 /// * **Moments drift**: floating-point summation is order-sensitive, so
 ///   incrementally updated mean/variance can differ from the batch Welford
 ///   chain in the last ulps. Every decision derived from them therefore
-///   carries an explicit error budget ([`DISP_EPS_REL`] / [`DISP_EPS_ABS`]):
+///   carries an explicit error budget (`DISP_EPS_REL` / `DISP_EPS_ABS`):
 ///   a comparison closer than the budget returns "uncertain" and the caller
 ///   re-canonicalizes ([`IncrementalModel::canonicalize_moments`] — a batch
 ///   gather + Welford pass that resets drift to zero) before deciding.

@@ -1,4 +1,4 @@
-use sspc_common::{ClusterId, DimId, ObjectId};
+use sspc_common::{ClusterId, Clustering, DimId, ObjectId, ObjectiveSense};
 
 /// The output of one SSPC run: `k` clusters with selected dimensions, an
 /// outlier list, and the achieved objective score.
@@ -101,6 +101,24 @@ impl SspcResult {
     }
 }
 
+/// Adapter into the workspace-wide canonical result. The representative
+/// points have no slot in [`Clustering`]; use [`SspcResult`] directly when
+/// they matter. Timing is attached by the [`crate::ProjectedClusterer`]
+/// impl, which measures the run it wraps.
+impl From<SspcResult> for Clustering {
+    fn from(r: SspcResult) -> Clustering {
+        Clustering::new(
+            "sspc",
+            r.assignment,
+            r.selected_dims,
+            r.objective,
+            ObjectiveSense::HigherIsBetter,
+        )
+        .with_iterations(r.iterations)
+        .with_cluster_scores(r.cluster_scores)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +150,19 @@ mod tests {
         assert_eq!(r.representative(ClusterId(1)), &[4.0, 5.0, 6.0]);
         assert_eq!(r.objective(), 0.42);
         assert_eq!(r.iterations(), 9);
+    }
+
+    #[test]
+    fn converts_into_canonical_clustering() {
+        let r = result();
+        let c = Clustering::from(r.clone());
+        assert_eq!(c.algorithm(), "sspc");
+        assert_eq!(c.sense(), ObjectiveSense::HigherIsBetter);
+        assert_eq!(c.assignment(), r.assignment());
+        assert_eq!(c.all_selected_dims(), r.all_selected_dims());
+        assert_eq!(c.objective(), r.objective());
+        assert_eq!(c.iterations(), Some(r.iterations()));
+        assert_eq!(c.cluster_scores(), Some(&[3.5, 1.25][..]));
     }
 
     #[test]

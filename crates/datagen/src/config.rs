@@ -55,8 +55,8 @@ pub struct GeneratorConfig {
     pub global_distribution: GlobalDistribution,
     /// Fraction of each cluster's relevant dimensions inherited from the
     /// previous cluster's, in `[0, 1)`. The PROCLUS/ORCLUS synthetic
-    /// generators (which the paper cites as its template, refs. [1] and
-    /// [24]) share about half the dimensions between consecutive clusters;
+    /// generators (which the paper cites as its template, refs. \[1\] and
+    /// \[24\]) share about half the dimensions between consecutive clusters;
     /// `0` (the default) draws each cluster's dimensions independently.
     pub shared_dim_fraction: f64,
 }

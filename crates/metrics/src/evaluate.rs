@@ -1,0 +1,88 @@
+//! One-call, outlier-aware evaluation of a produced partition against
+//! ground truth.
+//!
+//! The paper's Sec. 5 tables report several external metrics per algorithm;
+//! the experiment runner and the CLI both need the same bundle (ARI, NMI,
+//! purity) computed under one consistent [`OutlierPolicy`]. This module is
+//! that single entry point — callers that need individual metrics or
+//! different policies can still reach the underlying functions directly.
+
+use crate::info::{normalized_mutual_information, purity};
+use crate::{adjusted_rand_index, OutlierPolicy};
+use sspc_common::{ClusterId, Result};
+
+/// The bundled external metrics of one produced partition against a
+/// reference partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionEvaluation {
+    /// Adjusted Rand index (the paper's Eq. 5 variant), in `[-1, 1]`.
+    pub ari: f64,
+    /// Normalized mutual information, in `[0, 1]`.
+    pub nmi: f64,
+    /// Purity, in `(0, 1]`.
+    pub purity: f64,
+}
+
+/// Evaluates `produced` against `truth` under one outlier policy, returning
+/// ARI, NMI and purity together.
+///
+/// `None` entries mark outliers on either side; `policy` controls how they
+/// enter every metric (the consistent choice across algorithms with and
+/// without outlier lists is [`OutlierPolicy::AsCluster`], which makes
+/// discarding real members cost accuracy).
+///
+/// # Errors
+///
+/// Propagates metric failures (assignment length mismatch, empty
+/// partitions).
+pub fn evaluate_partition(
+    truth: &[Option<ClusterId>],
+    produced: &[Option<ClusterId>],
+    policy: OutlierPolicy,
+) -> Result<PartitionEvaluation> {
+    Ok(PartitionEvaluation {
+        ari: adjusted_rand_index(truth, produced, policy)?,
+        nmi: normalized_mutual_information(truth, produced, policy)?,
+        purity: purity(truth, produced, policy)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(raw: &[i64]) -> Vec<Option<ClusterId>> {
+        raw.iter()
+            .map(|&v| (v >= 0).then_some(ClusterId(v as usize)))
+            .collect()
+    }
+
+    #[test]
+    fn perfect_partition_scores_one_everywhere() {
+        let truth = labels(&[0, 0, 1, 1, 2, 2]);
+        let e = evaluate_partition(&truth, &truth, OutlierPolicy::AsCluster).unwrap();
+        assert_eq!(e.ari, 1.0);
+        assert_eq!(e.nmi, 1.0);
+        assert_eq!(e.purity, 1.0);
+    }
+
+    #[test]
+    fn outlier_policy_reaches_all_metrics() {
+        let truth = labels(&[0, 0, 1, 1]);
+        let produced = labels(&[0, -1, 1, 1]);
+        let as_cluster = evaluate_partition(&truth, &produced, OutlierPolicy::AsCluster).unwrap();
+        let exclude = evaluate_partition(&truth, &produced, OutlierPolicy::Exclude).unwrap();
+        // Ignoring the outlier object leaves a perfect sub-partition;
+        // treating it as its own cluster does not.
+        assert_eq!(exclude.ari, 1.0);
+        assert!(as_cluster.ari < 1.0);
+        assert!(as_cluster.nmi < 1.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_propagate_errors() {
+        let truth = labels(&[0, 0, 1]);
+        let produced = labels(&[0, 0]);
+        assert!(evaluate_partition(&truth, &produced, OutlierPolicy::AsCluster).is_err());
+    }
+}

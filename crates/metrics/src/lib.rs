@@ -11,6 +11,8 @@
 //! * [`dims`] — precision / recall / F1 of selected dimensions against the
 //!   planted relevant dimensions.
 //! * [`outliers`] — precision / recall of outlier detection.
+//! * [`evaluate`] — the one-call, outlier-aware bundle (ARI + NMI +
+//!   purity) the experiment runner and CLI score every algorithm with.
 //!
 //! All partition-level metrics take assignments as `&[Option<ClusterId>]`,
 //! where `None` marks an outlier; an [`OutlierPolicy`] controls how outlier
@@ -21,10 +23,12 @@
 
 mod contingency;
 pub mod dims;
+pub mod evaluate;
 pub mod info;
 pub mod matching;
 pub mod outliers;
 mod pairs;
 
 pub use contingency::ContingencyTable;
+pub use evaluate::{evaluate_partition, PartitionEvaluation};
 pub use pairs::{adjusted_rand_index, hubert_arabie_ari, rand_index, OutlierPolicy, PairCounts};

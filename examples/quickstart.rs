@@ -1,14 +1,16 @@
-//! Quickstart: generate a small projected-clustering dataset, run SSPC
-//! without any supervision, and inspect what it found.
+//! Quickstart: generate a small projected-clustering dataset, run SSPC and
+//! a baseline through the unified `ProjectedClusterer` contract, and
+//! inspect what they found.
 //!
 //! ```text
-//! cargo run --release -p sspc-bench --example quickstart
+//! cargo run --release -p sspc-repro --example quickstart
 //! ```
 
-use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
-use sspc_common::ClusterId;
+use sspc::{ProjectedClusterer, Sspc, SspcParams, Supervision, ThresholdScheme};
+use sspc_api::registry::{AnyClusterer, ParamMap};
+use sspc_common::{ClusterId, Clustering};
 use sspc_datagen::{generate, GeneratorConfig};
-use sspc_metrics::{adjusted_rand_index, OutlierPolicy};
+use sspc_metrics::{evaluate_partition, OutlierPolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 300 objects, 50 dimensions, 4 hidden classes; each class is compact
@@ -29,35 +31,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.truth.avg_dims(),
     );
 
-    // SSPC with the m-scheme threshold; m = 0.5 is the paper's middle-of-
-    // the-road recommendation (any value in [0.3, 0.7] behaves similarly).
-    let params = SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5));
-    let result = Sspc::new(params)?.run(&data.dataset, &Supervision::none(), 42)?;
+    // SSPC via the builder API: parameters → clusterer, then the
+    // workspace-wide `cluster` entry point. m = 0.5 is the paper's
+    // middle-of-the-road threshold (any value in [0.3, 0.7] behaves
+    // similarly).
+    let sspc = Sspc::new(SspcParams::new(4).with_threshold(ThresholdScheme::MFraction(0.5)))?;
+    let clustering = sspc.cluster(&data.dataset, &Supervision::none(), 42)?;
+    report(&clustering);
 
+    // Any other algorithm is one registry lookup away — same trait, same
+    // canonical `Clustering` result.
+    let proclus = AnyClusterer::from_spec("proclus", 4, &ParamMap::default().set("l", "8"))?;
+    let baseline = proclus.cluster(&data.dataset, &Supervision::none(), 42)?;
+    report(&baseline);
+
+    // Score both against the planted classes with the outlier-aware
+    // metric bundle.
+    for c in [&clustering, &baseline] {
+        let e = evaluate_partition(
+            data.truth.assignment(),
+            c.assignment(),
+            OutlierPolicy::AsCluster,
+        )?;
+        println!(
+            "{}: ARI {:.3}, NMI {:.3}, purity {:.3}",
+            c.algorithm(),
+            e.ari,
+            e.nmi,
+            e.purity
+        );
+    }
+    Ok(())
+}
+
+fn report(clustering: &Clustering) {
     println!(
-        "\nSSPC finished after {} iterations, objective score {:.4}",
-        result.iterations(),
-        result.objective()
+        "\n{} finished in {:.2}s{}, objective {:.4}",
+        clustering.algorithm(),
+        clustering.seconds(),
+        match clustering.iterations() {
+            Some(it) => format!(" after {it} iterations"),
+            None => String::new(),
+        },
+        clustering.objective(),
     );
-    for c in 0..result.n_clusters() {
+    for c in 0..clustering.n_clusters() {
         let cluster = ClusterId(c);
         println!(
             "cluster {c}: {} members, selected dims {:?}",
-            result.members_of(cluster).len(),
-            result
+            clustering.members_of(cluster).len(),
+            clustering
                 .selected_dims(cluster)
                 .iter()
                 .map(|j| j.index())
                 .collect::<Vec<_>>(),
         );
     }
-    println!("outliers: {}", result.n_outliers());
-
-    let ari = adjusted_rand_index(
-        data.truth.assignment(),
-        result.assignment(),
-        OutlierPolicy::AsCluster,
-    )?;
-    println!("\nAdjusted Rand Index vs planted classes: {ari:.3}");
-    Ok(())
+    println!("outliers: {}", clustering.n_outliers());
 }

@@ -3,11 +3,36 @@
 //! The real code lives in the `crates/` members; this package exists so the
 //! workspace-level integration tests (`tests/`) and examples (`examples/`)
 //! have a home. It re-exports the member crates for discoverability.
+//!
+//! The workspace's one API surface is the [`ProjectedClusterer`] trait and
+//! the canonical [`Clustering`] result (defined in `sspc-common`,
+//! implemented by `sspc` and every `sspc-baselines` algorithm, dispatched
+//! dynamically by [`api`]'s `AnyClusterer` registry):
+//!
+//! ```
+//! use sspc_repro::api::registry::{AnyClusterer, ParamMap};
+//! use sspc_repro::{ProjectedClusterer, Supervision};
+//! use sspc_repro::common::Dataset;
+//!
+//! let dataset = Dataset::from_rows(6, 4, vec![
+//!     1.0, 1.1, 50.0, 90.0,
+//!     1.1, 0.9, 10.0, 30.0,
+//!     0.9, 1.0, 80.0, 60.0,
+//!     9.0, 9.1, 20.0, 70.0,
+//!     9.1, 8.9, 60.0, 20.0,
+//!     8.9, 9.0, 40.0, 50.0,
+//! ]).unwrap();
+//! let clusterer = AnyClusterer::from_spec("sspc", 2, &ParamMap::default()).unwrap();
+//! let clustering = clusterer.cluster(&dataset, &Supervision::none(), 7).unwrap();
+//! assert_eq!(clustering.algorithm(), "sspc");
+//! ```
 
-pub use sspc::{Sspc, SspcParams, SspcResult, Supervision, ThresholdScheme, Thresholds};
+pub use sspc::{Sspc, SspcParams, SspcResult, ThresholdScheme, Thresholds};
 pub use sspc_analysis as analysis;
+pub use sspc_api as api;
 pub use sspc_baselines as baselines;
 pub use sspc_bench as bench;
 pub use sspc_common as common;
+pub use sspc_common::{Clustering, ObjectiveSense, ProjectedClusterer, Supervision};
 pub use sspc_datagen as datagen;
 pub use sspc_metrics as metrics;

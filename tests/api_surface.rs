@@ -1,0 +1,127 @@
+//! The unified-API contract, end to end: every algorithm in the workspace
+//! is reachable through `ProjectedClusterer`/`AnyClusterer`, returns a
+//! well-formed canonical `Clustering`, and the experiment protocol on top
+//! reproduces the paper's comparison shape (best-of-N per algorithm,
+//! ARI/NMI/purity against truth).
+
+use sspc_api::registry::{AnyClusterer, ParamMap, ALGORITHMS};
+use sspc_api::{best_of, compare_algorithms};
+use sspc_common::{ClusterId, ProjectedClusterer, Supervision};
+use sspc_datagen::{generate, GeneratedData, GeneratorConfig};
+
+fn small_data(seed: u64) -> GeneratedData {
+    generate(
+        &GeneratorConfig {
+            n: 150,
+            d: 16,
+            k: 3,
+            avg_cluster_dims: 5,
+            ..Default::default()
+        },
+        seed,
+    )
+    .unwrap()
+}
+
+/// All seven registry algorithms run through the one trait and produce a
+/// structurally valid `Clustering` on the same dataset.
+#[test]
+fn every_algorithm_clusters_through_the_unified_api() {
+    let data = small_data(11);
+    let n = data.dataset.n_objects();
+    for name in ALGORITHMS {
+        // Keep the heavyweight baselines quick on this small smoke input.
+        let params = match name {
+            "doc" => ParamMap::default().set("alpha", "0.05"),
+            "clique" => ParamMap::default().set("max-dim", "3"),
+            _ => ParamMap::default(),
+        };
+        let clusterer = AnyClusterer::from_spec(name, 3, &params).unwrap();
+        let c = clusterer
+            .cluster(&data.dataset, &Supervision::none(), 5)
+            .unwrap();
+        assert_eq!(c.algorithm(), name);
+        assert_eq!(c.assignment().len(), n, "{name}: assignment length");
+        assert!(c.n_clusters() <= 3, "{name}: cluster count");
+        for (o, assigned) in c.assignment().iter().enumerate() {
+            if let Some(cl) = assigned {
+                assert!(cl.index() < c.n_clusters(), "{name}: object {o} cluster id");
+            }
+        }
+        // Membership and outlier queries partition the objects.
+        let from_clusters: usize = (0..c.n_clusters())
+            .map(|i| c.members_of(ClusterId(i)).len())
+            .sum();
+        assert_eq!(from_clusters + c.n_outliers(), n, "{name}: partition");
+        assert!(c.seconds() >= 0.0);
+        assert!(c.objective().is_finite(), "{name}: objective");
+    }
+}
+
+/// Seeded restarts through the trait are reproducible, and best-of-N never
+/// returns something a single restart beats.
+#[test]
+fn best_of_is_deterministic_and_optimal_over_restarts() {
+    let data = small_data(23);
+    for name in ["sspc", "proclus", "doc"] {
+        let clusterer = AnyClusterer::from_spec(name, 3, &ParamMap::default()).unwrap();
+        let a = best_of(&clusterer, &data.dataset, &Supervision::none(), 3, 17).unwrap();
+        let b = best_of(&clusterer, &data.dataset, &Supervision::none(), 3, 17).unwrap();
+        assert_eq!(
+            a.best.assignment(),
+            b.best.assignment(),
+            "{name}: restart determinism"
+        );
+        assert_eq!(
+            a.best.objective().to_bits(),
+            b.best.objective().to_bits(),
+            "{name}: objective determinism"
+        );
+        assert_eq!(a.runs_executed, 3, "{name}");
+    }
+}
+
+/// The full Sec. 5 shape: SSPC plus four baselines on one generated
+/// dataset, each scored against truth — and SSPC, with dimension-selection
+/// built for exactly this planted structure, lands a strong ARI.
+#[test]
+fn comparison_protocol_reproduces_paper_shape() {
+    let data = small_data(31);
+    let roster: Vec<AnyClusterer> = ["sspc", "proclus", "clarans", "harp", "doc"]
+        .iter()
+        .map(|name| {
+            let params = match *name {
+                "proclus" => ParamMap::default().set("l", "5"),
+                _ => ParamMap::default(),
+            };
+            AnyClusterer::from_spec(name, 3, &params).unwrap()
+        })
+        .collect();
+    let reports = compare_algorithms(
+        &roster,
+        &data.dataset,
+        &Supervision::none(),
+        Some(data.truth.assignment()),
+        3,
+        7,
+    )
+    .unwrap();
+    assert_eq!(reports.len(), 5);
+    for r in &reports {
+        let e = r.evaluation.expect("truth supplied");
+        assert!(
+            (-1.0..=1.0).contains(&e.ari) && (0.0..=1.0).contains(&e.nmi),
+            "{}: metric ranges (ari {}, nmi {})",
+            r.algorithm,
+            e.ari,
+            e.nmi
+        );
+        assert!(r.total_seconds >= 0.0);
+    }
+    assert_eq!(
+        reports[3].runs_executed, 1,
+        "harp runs once (deterministic)"
+    );
+    let sspc_ari = reports[0].evaluation.unwrap().ari;
+    assert!(sspc_ari > 0.7, "SSPC ARI on planted data: {sspc_ari}");
+}

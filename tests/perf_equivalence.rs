@@ -234,6 +234,50 @@ fn incremental_equals_batch_and_naive_bitwise() {
     }
 }
 
+/// The unified `ProjectedClusterer` API is a bit-transparent wrapper: the
+/// fast path through `cluster()` equals the naive path through
+/// `cluster_naive()` at 1, 2, and 8 threads — same guarantee as
+/// `run`/`run_naive`, asserted on the canonical `Clustering` (timing
+/// excluded: it is the one legitimately run-dependent field).
+#[test]
+fn trait_cluster_equals_cluster_naive_bitwise() {
+    use sspc::ProjectedClusterer;
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = planted(150, 24, 3, 99);
+    let sup = Supervision::none()
+        .label_object(ObjectId(2), ClusterId(0))
+        .label_object(ObjectId(3), ClusterId(0));
+    let sspc =
+        Sspc::new(SspcParams::new(3).with_threshold(ThresholdScheme::MFraction(0.5))).unwrap();
+    for seed in 0..2u64 {
+        let naive = sspc.cluster_naive(&ds, &sup, seed).unwrap();
+        let direct = sspc.run(&ds, &sup, seed).unwrap();
+        for threads in [1usize, 2, 8] {
+            let fast = with_thread_count(threads, || sspc.cluster(&ds, &sup, seed).unwrap());
+            let what = format!("trait path, seed {seed}, {threads} threads");
+            assert_eq!(fast.assignment(), naive.assignment(), "{what}: assignment");
+            assert_eq!(
+                fast.all_selected_dims(),
+                naive.all_selected_dims(),
+                "{what}: dims"
+            );
+            assert_eq!(
+                fast.objective().to_bits(),
+                naive.objective().to_bits(),
+                "{what}: objective bits"
+            );
+            assert_eq!(fast.iterations(), naive.iterations(), "{what}: iterations");
+            // And the trait path reports exactly what `Sspc::run` reports.
+            assert_eq!(fast.assignment(), direct.assignment(), "{what}: vs run()");
+            assert_eq!(
+                fast.objective().to_bits(),
+                direct.objective().to_bits(),
+                "{what}: objective vs run()"
+            );
+        }
+    }
+}
+
 /// Thread-count independence also holds for larger-than-toy inputs where
 /// the parallel chunking actually splits the data.
 #[test]
