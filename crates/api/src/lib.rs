@@ -10,6 +10,10 @@
 //!   algorithm, best-of-N by each algorithm's own objective sense, and
 //!   outlier-aware ARI/NMI/purity against optional ground truth.
 //!
+//! # Registry usage
+//!
+//! Construct any algorithm from a name and `key=value` overrides:
+//!
 //! ```
 //! use sspc_api::registry::{AnyClusterer, ParamMap};
 //! use sspc_common::{Dataset, ProjectedClusterer, Supervision};
@@ -25,6 +29,46 @@
 //!     .unwrap();
 //! assert_eq!(clustering.algorithm(), "clarans");
 //! ```
+//!
+//! # The experiment protocol
+//!
+//! [`compare_algorithms`] runs the paper's full Sec. 5 loop — a roster of
+//! algorithms (built in one call with [`AnyClusterer::roster`]), N seeded
+//! restarts each, winner by *internal* objective, external metrics against
+//! ground truth:
+//!
+//! ```
+//! use sspc_api::registry::{AnyClusterer, ParamMap};
+//! use sspc_api::compare_algorithms;
+//! use sspc_common::{ClusterId, Dataset, Supervision};
+//!
+//! let dataset = Dataset::from_rows(6, 2, vec![
+//!     1.0, 1.1, 1.1, 0.9, 0.9, 1.0,
+//!     9.0, 9.1, 9.1, 8.9, 8.9, 9.0,
+//! ]).unwrap();
+//! let truth: Vec<Option<ClusterId>> =
+//!     vec![Some(ClusterId(0)), Some(ClusterId(0)), Some(ClusterId(0)),
+//!          Some(ClusterId(1)), Some(ClusterId(1)), Some(ClusterId(1))];
+//!
+//! let scoped = ParamMap::parse_scoped("clarans.num-local=1").unwrap();
+//! let roster = AnyClusterer::roster(&["clarans", "harp"], 2, &scoped).unwrap();
+//! let reports = compare_algorithms(
+//!     &roster, &dataset, &Supervision::none(), Some(&truth),
+//!     /* runs */ 3, /* base seed */ 11,
+//! ).unwrap();
+//!
+//! assert_eq!(reports.len(), 2);
+//! assert_eq!(reports[1].runs_executed, 1); // HARP is deterministic
+//! for report in &reports {
+//!     let eval = report.evaluation.expect("truth was supplied");
+//!     assert_eq!(eval.ari, 1.0); // two well-separated pairs of triples
+//! }
+//! ```
+//!
+//! The batch frontend over this API — JSON job submissions, a bounded
+//! worker queue, status/result/health endpoints — lives in `sspc-server`;
+//! the CLI's `cluster`/`compare`/`submit` subcommands are thin shells over
+//! the same two modules.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -142,6 +142,13 @@ impl ParamMap {
         self.values.is_empty()
     }
 
+    /// The parameter names, sorted — for frontends reusing the `key=value`
+    /// grammar for their own key sets (e.g. the CLI's `--generate` spec)
+    /// that need to reject typos themselves.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
     /// Rejects keys outside `known`, naming the offender and what the
     /// algorithm accepts.
     fn check_known(&self, algorithm: &str, known: &[&str]) -> Result<()> {
@@ -162,7 +169,11 @@ impl ParamMap {
     }
 
     /// A parsed value, when present.
-    fn parsed_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>> {
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when the value does not parse as `T`.
+    pub fn parsed_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>> {
         match self.values.get(key) {
             None => Ok(None),
             Some(raw) => raw.parse().map(Some).map_err(|_| {
@@ -292,6 +303,44 @@ impl AnyClusterer {
                 ALGORITHMS.join(", ")
             ))),
         }
+    }
+
+    /// Builds the roster every `compare` frontend shares: one clusterer
+    /// per registry name, each configured from its entry in `scoped` (the
+    /// output of [`ParamMap::parse_scoped`]). A scope naming an algorithm
+    /// that is not in `names` is rejected — a parameter silently applying
+    /// to nothing is almost certainly a typo.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] for an empty `names`, a stray scope, or
+    /// any [`AnyClusterer::from_spec`] failure.
+    pub fn roster(
+        names: &[&str],
+        k: usize,
+        scoped: &BTreeMap<String, ParamMap>,
+    ) -> Result<Vec<AnyClusterer>> {
+        if names.is_empty() {
+            return Err(Error::InvalidParameter(
+                "the algorithm roster is empty".into(),
+            ));
+        }
+        for scope in scoped.keys() {
+            if !names.contains(&scope.as_str()) {
+                return Err(Error::InvalidParameter(format!(
+                    "parameters name `{scope}`, which is not among the requested \
+                     algorithms ({})",
+                    names.join(", ")
+                )));
+            }
+        }
+        names
+            .iter()
+            .map(|name| {
+                let params = scoped.get(*name).cloned().unwrap_or_default();
+                AnyClusterer::from_spec(name, k, &params)
+            })
+            .collect()
     }
 
     /// The inner clusterer as a trait object.
@@ -454,6 +503,26 @@ mod tests {
         };
         assert_eq!(c.params().tau, 0.2);
         assert_eq!(c.params().max_subspace_dim, 3);
+    }
+
+    #[test]
+    fn roster_builds_and_rejects_stray_scopes() {
+        let scoped = ParamMap::parse_scoped("proclus.l=7,clarans.num-local=1").unwrap();
+        let roster = AnyClusterer::roster(&["sspc", "proclus", "clarans"], 3, &scoped).unwrap();
+        assert_eq!(roster.len(), 3);
+        let AnyClusterer::Proclus(p) = &roster[1] else {
+            panic!("expected proclus at index 1");
+        };
+        assert_eq!(p.params().l, 7);
+
+        // Scopes must refer to algorithms actually in the roster.
+        let err = AnyClusterer::roster(&["sspc"], 3, &scoped).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("not among the requested algorithms"),
+            "{err}"
+        );
+        assert!(AnyClusterer::roster(&[], 3, &Default::default()).is_err());
     }
 
     #[test]

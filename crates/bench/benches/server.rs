@@ -1,0 +1,163 @@
+//! Batch-service throughput benchmark: jobs/sec through the full stack —
+//! HTTP submission over a real loopback socket, the bounded queue, the
+//! worker pool, `sspc_api::experiment` execution, and result polling —
+//! at 1, 2 and 8 workers.
+//!
+//! Per-job intra-algorithm parallelism is pinned to one thread
+//! (`SSPC_NUM_THREADS=1`) so the sweep isolates the *worker pool's*
+//! scaling; `threads`/`cores` are recorded like `BENCH_hotloop.json` does
+//! so multi-core re-baselines stay interpretable. The record is appended
+//! to `BENCH_server.json` in the workspace root.
+//!
+//! Environment knobs:
+//!
+//! * `SERVER_BENCH_JOBS` — jobs per sweep point (default 24);
+//! * `SERVER_BENCH_N` / `SERVER_BENCH_D` / `SERVER_BENCH_K` — per-job
+//!   workload shape (default 200 × 20, k = 3);
+//! * `SERVER_SMOKE=1` — 8 jobs of 80 × 10 for CI smoke runs;
+//! * `BENCH_SERVER_OUT` — output path for the JSON record.
+
+use sspc_common::json::Value;
+use sspc_server::{client, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Workload {
+    jobs: usize,
+    n: usize,
+    d: usize,
+    k: usize,
+    dims: usize,
+    runs: usize,
+    algorithms: &'static str,
+}
+
+/// One sweep point: a fresh server with `workers` workers, `jobs` jobs
+/// submitted up front, wall-clock measured to the last completion.
+fn measure(workers: usize, w: &Workload) -> (f64, f64) {
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: w.jobs + 8,
+    })
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+
+    let started = Instant::now();
+    let ids: Vec<u64> = (0..w.jobs)
+        .map(|i| {
+            let job = Value::object()
+                .with("k", w.k as u64)
+                .with(
+                    "dataset",
+                    Value::object().with(
+                        "generate",
+                        Value::object()
+                            .with("n", w.n as u64)
+                            .with("d", w.d as u64)
+                            .with("dims", w.dims as u64)
+                            // A different dataset per job: no accidental
+                            // sharing of anything between jobs.
+                            .with("seed", i as u64 + 1),
+                    ),
+                )
+                .with("algorithms", w.algorithms)
+                .with("runs", w.runs as u64)
+                .with("seed", 1u64)
+                .with("truth", true);
+            client::submit(&addr, &job).expect("submit")
+        })
+        .collect();
+    for id in ids {
+        let done = client::wait_for(
+            &addr,
+            id,
+            Duration::from_millis(5),
+            Duration::from_secs(600),
+        )
+        .expect("job finishes");
+        assert_eq!(
+            done.get("status").and_then(Value::as_str),
+            Some("done"),
+            "job {id} failed: {done}"
+        );
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    server.shutdown();
+    (seconds, w.jobs as f64 / seconds)
+}
+
+fn main() {
+    let smoke = std::env::var("SERVER_SMOKE").is_ok_and(|v| v == "1");
+    // Pin per-job parallelism so the sweep measures the worker pool.
+    std::env::set_var("SSPC_NUM_THREADS", "1");
+    let w = if smoke {
+        Workload {
+            jobs: 8,
+            n: 80,
+            d: 10,
+            k: 2,
+            dims: 4,
+            runs: 2,
+            algorithms: "clarans,harp",
+        }
+    } else {
+        Workload {
+            jobs: env_usize("SERVER_BENCH_JOBS", 24),
+            n: env_usize("SERVER_BENCH_N", 200),
+            d: env_usize("SERVER_BENCH_D", 20),
+            k: env_usize("SERVER_BENCH_K", 3),
+            dims: 6,
+            runs: 2,
+            algorithms: "clarans,harp",
+        }
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut sweep = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let (seconds, jobs_per_sec) = measure(workers, &w);
+        println!(
+            "server bench: {:2} workers  {} jobs in {seconds:.3}s  ({jobs_per_sec:.1} jobs/s)",
+            workers, w.jobs
+        );
+        sweep.push(
+            Value::object()
+                .with("workers", workers)
+                .with("seconds", (seconds * 1e6).round() / 1e6)
+                .with("jobs_per_sec", (jobs_per_sec * 1e3).round() / 1e3),
+        );
+    }
+
+    let record = Value::object()
+        .with("bench", "server")
+        .with("smoke", smoke)
+        .with("jobs", w.jobs)
+        .with("n", w.n)
+        .with("d", w.d)
+        .with("k", w.k)
+        .with("algorithms", w.algorithms)
+        .with("runs_per_algorithm", w.runs)
+        .with("threads", 1u64) // per-job SSPC_NUM_THREADS, pinned above
+        .with("cores", cores)
+        .with("sweep", sweep);
+
+    let out_path = std::env::var("BENCH_SERVER_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_server.json", env!("CARGO_MANIFEST_DIR")));
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .and_then(|mut f| writeln!(f, "{record}"))
+    {
+        Ok(()) => eprintln!("server bench: appended record to {out_path}"),
+        Err(e) => eprintln!("server bench: could not write {out_path}: {e}"),
+    }
+}

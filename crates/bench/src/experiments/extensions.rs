@@ -2,13 +2,12 @@
 //! Sec. 6 future-work features implemented in this reproduction.
 
 use super::fig56::to_supervision;
-use crate::runner::{
-    ari_excluding_labeled, ari_vs_truth, best_doc_of, best_sspc_of, median_score, time,
-};
+use crate::runner::{ari_excluding_labeled, best_clustering_of, median_score};
 use crate::table::Table;
 use sspc::validation::{validate_supervision, ValidationParams};
 use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
-use sspc_baselines::{clique, doc, orclus};
+use sspc_api::compare_algorithms;
+use sspc_api::registry::{AnyClusterer, ParamMap};
 use sspc_common::rng::derive_seed;
 use sspc_common::Result;
 use sspc_datagen::supervision::{draw_noisy, InputKind};
@@ -91,6 +90,10 @@ pub fn noisy_inputs(seed: u64) -> Result<Vec<Table>> {
 /// low-dimensionality dataset. ORCLUS runs at a reduced `d` (its
 /// covariance eigendecompositions are O(d³)); CLIQUE and DOC run on both.
 ///
+/// The whole roster flows through [`compare_algorithms`] with scoped
+/// overrides parsed by the same `alg.key=v` grammar the CLI and the batch
+/// server use — one protocol implementation, three frontends.
+///
 /// # Errors
 ///
 /// Propagates generation or clustering failures.
@@ -129,40 +132,25 @@ pub fn extended_baselines(seed: u64) -> Result<Vec<Table>> {
         let k = config.k;
         let l = config.avg_cluster_dims;
 
-        let sspc = best_sspc_of(
+        // m=0.5 and w=4.0 are the registry defaults; ORCLUS gets the true
+        // subspace dimensionality, as the old per-algorithm loops did.
+        let scoped = ParamMap::parse_scoped(&format!("orclus.l={l}"))?;
+        let roster = AnyClusterer::roster(&["sspc", "doc", "orclus", "clique"], k, &scoped)?;
+        let reports = compare_algorithms(
+            &roster,
             &data.dataset,
-            &SspcParams::new(k).with_threshold(ThresholdScheme::MFraction(0.5)),
             &Supervision::none(),
+            Some(data.truth.assignment()),
             5,
-            derive_seed(base, 1),
+            base,
         )?;
-        let doc_run = best_doc_of(
-            &data.dataset,
-            &doc::DocParams::new(k, 4.0),
-            5,
-            derive_seed(base, 2),
-        )?;
-        let orclus_run = time(|| {
-            let params = orclus::OrclusParams::new(k, l);
-            let mut best: Option<sspc_baselines::BaselineResult> = None;
-            for r in 0..5u64 {
-                let result = orclus::run(&data.dataset, &params, derive_seed(base, 30 + r))?;
-                if best.as_ref().is_none_or(|b| result.cost() < b.cost()) {
-                    best = Some(result);
-                }
-            }
-            Ok::<_, sspc_common::Error>(best.expect("5 runs"))
-        });
-        let orclus_result = orclus_run.value?;
-        let clique_result = clique::run(&data.dataset, &clique::CliqueParams::new(k))?;
 
-        table.push_row(vec![
-            label.into(),
-            Table::num(Some(ari_vs_truth(&data.truth, sspc.value.assignment())?)),
-            Table::num(Some(ari_vs_truth(&data.truth, doc_run.value.assignment())?)),
-            Table::num(Some(ari_vs_truth(&data.truth, orclus_result.assignment())?)),
-            Table::num(Some(ari_vs_truth(&data.truth, clique_result.assignment())?)),
-        ]);
+        let mut row = vec![label.to_string()];
+        for report in &reports {
+            let ari = report.evaluation.expect("truth supplied").ari;
+            row.push(Table::num(Some(ari)));
+        }
+        table.push_row(row);
     }
     Ok(vec![table])
 }
@@ -201,10 +189,10 @@ pub fn threshold_vs_distribution(seed: u64) -> Result<Vec<Table>> {
         .into_iter()
         .enumerate()
         {
-            let params = SspcParams::new(5).with_threshold(scheme);
-            let run = best_sspc_of(
+            let sspc = Sspc::new(SspcParams::new(5).with_threshold(scheme))?;
+            let run = best_clustering_of(
+                &sspc,
                 &data.dataset,
-                &params,
                 &Supervision::none(),
                 RUNS,
                 derive_seed(seed, 1310 + (di * 2 + si) as u64),

@@ -1,11 +1,11 @@
 //! Figures 3 and 4 — raw (unsupervised) accuracy.
 
-use crate::runner::{ari_vs_truth, best_clarans_of, best_proclus_of, best_sspc_of, harp_once};
+use crate::runner::{ari_vs_truth, best_clustering_of};
 use crate::table::Table;
-use sspc::{SspcParams, ThresholdScheme};
+use sspc::{Sspc, SspcParams, ThresholdScheme};
 use sspc_baselines::{clarans::ClaransParams, harp::HarpParams, proclus::ProclusParams};
 use sspc_common::rng::derive_seed;
-use sspc_common::Result;
+use sspc_common::{Result, Supervision};
 use sspc_datagen::{generate, GeneratedData, GeneratorConfig};
 
 /// The paper's repetition count.
@@ -36,11 +36,11 @@ fn best_sspc_over<T: Copy>(
 ) -> Result<f64> {
     let mut best = f64::NEG_INFINITY;
     for (i, &v) in values.iter().enumerate() {
-        let params = SspcParams::new(5).with_threshold(make(v));
-        let run = best_sspc_of(
+        let sspc = Sspc::new(SspcParams::new(5).with_threshold(make(v)))?;
+        let run = best_clustering_of(
+            &sspc,
             &data.dataset,
-            &params,
-            &sspc::Supervision::none(),
+            &Supervision::none(),
             RUNS,
             derive_seed(seed, i as u64),
         )?;
@@ -58,8 +58,13 @@ fn best_proclus_over(data: &GeneratedData, l_real: usize, seed: u64) -> Result<f
         .enumerate()
     {
         let l = ((l_real as f64 * factor).round() as usize).clamp(2, d);
-        let params = ProclusParams::new(5, l);
-        let run = best_proclus_of(&data.dataset, &params, RUNS, derive_seed(seed, i as u64))?;
+        let run = best_clustering_of(
+            &ProclusParams::new(5, l).build(),
+            &data.dataset,
+            &Supervision::none(),
+            RUNS,
+            derive_seed(seed, i as u64),
+        )?;
         best = best.max(ari_vs_truth(&data.truth, run.value.assignment())?);
     }
     Ok(best)
@@ -81,13 +86,20 @@ pub fn fig3(seed: u64) -> Result<Vec<Table>> {
         let ds_seed = derive_seed(seed, idx as u64);
         let data = generate(&dataset_config(l_real), ds_seed)?;
 
-        let clarans = best_clarans_of(
+        let clarans = best_clustering_of(
+            &ClaransParams::new(5).build(),
             &data.dataset,
-            &ClaransParams::new(5),
+            &Supervision::none(),
             RUNS,
             derive_seed(ds_seed, 1),
         )?;
-        let harp = harp_once(&data.dataset, &HarpParams::new(5))?;
+        let harp = best_clustering_of(
+            &HarpParams::new(5).build(),
+            &data.dataset,
+            &Supervision::none(),
+            1,
+            derive_seed(ds_seed, 5),
+        )?;
         let proclus_ari = best_proclus_over(&data, l_real, derive_seed(ds_seed, 2))?;
         let sspc_m = best_sspc_over(
             &data,
@@ -126,9 +138,10 @@ pub fn fig4(seed: u64) -> Result<Vec<Table>> {
 
     let mut proclus_t = Table::new("Fig. 4a — PROCLUS ARI vs l (l_real = 10)", &["l", "ARI"]);
     for (i, l) in (2..=18).step_by(2).enumerate() {
-        let run = best_proclus_of(
+        let run = best_clustering_of(
+            &ProclusParams::new(5, l).build(),
             &data.dataset,
-            &ProclusParams::new(5, l),
+            &Supervision::none(),
             RUNS,
             derive_seed(seed, 200 + i as u64),
         )?;
@@ -143,11 +156,11 @@ pub fn fig4(seed: u64) -> Result<Vec<Table>> {
         &["scheme", "value", "ARI"],
     );
     for (i, &m) in [0.1, 0.3, 0.5, 0.7, 0.9].iter().enumerate() {
-        let params = SspcParams::new(5).with_threshold(ThresholdScheme::MFraction(m));
-        let run = best_sspc_of(
+        let sspc = Sspc::new(SspcParams::new(5).with_threshold(ThresholdScheme::MFraction(m)))?;
+        let run = best_clustering_of(
+            &sspc,
             &data.dataset,
-            &params,
-            &sspc::Supervision::none(),
+            &Supervision::none(),
             RUNS,
             derive_seed(seed, 300 + i as u64),
         )?;
@@ -158,11 +171,11 @@ pub fn fig4(seed: u64) -> Result<Vec<Table>> {
         ]);
     }
     for (i, &p) in [0.005, 0.01, 0.05, 0.1, 0.2].iter().enumerate() {
-        let params = SspcParams::new(5).with_threshold(ThresholdScheme::PValue(p));
-        let run = best_sspc_of(
+        let sspc = Sspc::new(SspcParams::new(5).with_threshold(ThresholdScheme::PValue(p)))?;
+        let run = best_clustering_of(
+            &sspc,
             &data.dataset,
-            &params,
-            &sspc::Supervision::none(),
+            &Supervision::none(),
             RUNS,
             derive_seed(seed, 400 + i as u64),
         )?;

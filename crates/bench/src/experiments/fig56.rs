@@ -7,7 +7,7 @@
 //! independent input sets**, and labeled objects are removed from the
 //! clusters before scoring.
 
-use crate::runner::{ari_excluding_labeled, best_proclus_of, harp_once, median_score};
+use crate::runner::{ari_excluding_labeled, best_clustering_of, median_score};
 use crate::table::Table;
 use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
 use sspc_baselines::{harp::HarpParams, proclus::ProclusParams};
@@ -68,11 +68,18 @@ pub(crate) fn median_supervised_ari(
 /// Reference scores quoted alongside Fig. 5: HARP and PROCLUS (with the
 /// correct `l` supplied) on the same dataset.
 fn reference_rows(data: &GeneratedData, seed: u64) -> Result<Vec<Vec<String>>> {
-    let harp = harp_once(&data.dataset, &HarpParams::new(5))?;
-    let harp_ari = crate::runner::ari_vs_truth(&data.truth, harp.value.assignment())?;
-    let proclus = best_proclus_of(
+    let harp = best_clustering_of(
+        &HarpParams::new(5).build(),
         &data.dataset,
-        &ProclusParams::new(5, 30),
+        &Supervision::none(),
+        1,
+        derive_seed(seed, 9998),
+    )?;
+    let harp_ari = crate::runner::ari_vs_truth(&data.truth, harp.value.assignment())?;
+    let proclus = best_clustering_of(
+        &ProclusParams::new(5, 30).build(),
+        &data.dataset,
+        &Supervision::none(),
         RUNS,
         derive_seed(seed, 9999),
     )?;

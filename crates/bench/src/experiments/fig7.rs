@@ -9,7 +9,7 @@
 //! against **both** ground truths.
 
 use super::fig56::{sspc_params, to_supervision};
-use crate::runner::{ari_vs_truth, best_proclus_of, best_sspc_of, harp_once, median_score};
+use crate::runner::{ari_vs_truth, best_clustering_of, median_score};
 use crate::table::Table;
 use sspc_baselines::{harp::HarpParams, proclus::ProclusParams};
 use sspc_common::rng::derive_seed;
@@ -50,7 +50,13 @@ pub fn fig7(seed: u64) -> Result<Vec<Table>> {
     };
 
     // HARP (deterministic).
-    let harp = harp_once(dataset, &HarpParams::new(5))?;
+    let harp = best_clustering_of(
+        &HarpParams::new(5).build(),
+        dataset,
+        &sspc::Supervision::none(),
+        1,
+        derive_seed(seed, 700),
+    )?;
     let (a, b) = score_both(harp.value.assignment())?;
     table.push_row(vec![
         "HARP".into(),
@@ -59,9 +65,10 @@ pub fn fig7(seed: u64) -> Result<Vec<Table>> {
     ]);
 
     // PROCLUS with the correct l.
-    let proclus = best_proclus_of(
+    let proclus = best_clustering_of(
+        &ProclusParams::new(5, 30).build(),
         dataset,
-        &ProclusParams::new(5, 30),
+        &sspc::Supervision::none(),
         RUNS,
         derive_seed(seed, 701),
     )?;
@@ -73,9 +80,9 @@ pub fn fig7(seed: u64) -> Result<Vec<Table>> {
     ]);
 
     // SSPC raw: best-of-10 by objective, like Fig. 3.
-    let raw = best_sspc_of(
+    let raw = best_clustering_of(
+        &sspc::Sspc::new(sspc_params())?,
         dataset,
-        &sspc_params(),
         &sspc::Supervision::none(),
         RUNS,
         derive_seed(seed, 702),

@@ -3,9 +3,9 @@
 //! dimensionality (d), using the execution time of PROCLUS as reference."
 //! Both algorithms should scale linearly in `n` and in `d`.
 
-use crate::runner::{best_proclus_of, best_sspc_of};
+use crate::runner::best_clustering_of;
 use crate::table::Table;
-use sspc::{SspcParams, Supervision, ThresholdScheme};
+use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
 use sspc_baselines::proclus::ProclusParams;
 use sspc_common::rng::derive_seed;
 use sspc_common::Result;
@@ -15,17 +15,17 @@ const RUNS: usize = 10;
 
 fn time_pair(config: &GeneratorConfig, l: usize, seed: u64) -> Result<(f64, f64)> {
     let data = generate(config, seed)?;
-    let sspc_params = SspcParams::new(config.k).with_threshold(ThresholdScheme::MFraction(0.5));
-    let sspc = best_sspc_of(
+    let sspc = best_clustering_of(
+        &Sspc::new(SspcParams::new(config.k).with_threshold(ThresholdScheme::MFraction(0.5)))?,
         &data.dataset,
-        &sspc_params,
         &Supervision::none(),
         RUNS,
         derive_seed(seed, 1),
     )?;
-    let proclus = best_proclus_of(
+    let proclus = best_clustering_of(
+        &ProclusParams::new(config.k, l).build(),
         &data.dataset,
-        &ProclusParams::new(config.k, l),
+        &Supervision::none(),
         RUNS,
         derive_seed(seed, 2),
     )?;

@@ -1,7 +1,7 @@
 //! Sec. 5.2 (outlier immunity) and the DESIGN.md ablation studies.
 
 use super::fig56::{gene_like_config, sspc_params, to_supervision};
-use crate::runner::{ari_excluding_labeled, ari_vs_truth, best_sspc_of, median_score};
+use crate::runner::{ari_excluding_labeled, ari_vs_truth, best_clustering_of, median_score};
 use crate::table::Table;
 use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
 use sspc_common::rng::derive_seed;
@@ -42,10 +42,10 @@ pub fn outliers(seed: u64) -> Result<Vec<Table>> {
             ..Default::default()
         };
         let data = generate(&config, derive_seed(seed, 900 + i as u64))?;
-        let params = SspcParams::new(5).with_threshold(ThresholdScheme::MFraction(0.5));
-        let run = best_sspc_of(
+        let sspc = Sspc::new(SspcParams::new(5).with_threshold(ThresholdScheme::MFraction(0.5)))?;
+        let run = best_clustering_of(
+            &sspc,
             &data.dataset,
-            &params,
             &Supervision::none(),
             RUNS,
             derive_seed(seed, 910 + i as u64),
@@ -99,9 +99,9 @@ pub fn ablations(seed: u64) -> Result<Vec<Table>> {
         ),
     ];
     for (i, (label, params)) in variants.into_iter().enumerate() {
-        let run = best_sspc_of(
+        let run = best_clustering_of(
+            &Sspc::new(params)?,
             &data.dataset,
-            &params,
             &Supervision::none(),
             RUNS,
             derive_seed(seed, 1010 + i as u64),

@@ -1,22 +1,29 @@
-//! The four subcommands: `generate`, `cluster`, `compare`, `evaluate`.
+//! The subcommands: `generate`, `cluster`, `compare`, `evaluate` run
+//! locally; `serve`, `submit`, `poll`, `health` run (or talk to) the
+//! batch service.
 //!
 //! `cluster` and `compare` are thin shells over the `sspc-api` layer:
 //! algorithms are constructed by name through the [`AnyClusterer`]
 //! registry and driven through the workspace-wide
 //! [`ProjectedClusterer`](sspc_common::ProjectedClusterer) contract, so
 //! every algorithm the workspace knows (SSPC and the six baselines) is
-//! reachable from the shell with one flag.
+//! reachable from the shell with one flag. The service commands speak the
+//! same protocol through `sspc-server` — a job submitted over the wire
+//! returns exactly what the in-process call would.
 
 use crate::args::Flags;
 use sspc_api::registry::{AnyClusterer, ParamMap};
 use sspc_api::{best_of, compare_algorithms, AlgorithmReport};
 use sspc_common::io::{read_delimited, write_delimited};
+use sspc_common::json::Value;
 use sspc_common::{ClusterId, DimId, Error, ObjectId, ObjectiveSense, Result, Supervision};
 use sspc_datagen::{generate, GeneratorConfig};
 use sspc_metrics::{evaluate_partition, OutlierPolicy};
+use sspc_server::{client, Server, ServerConfig};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+use std::time::Duration;
 
 const HELP: &str = "\
 sspc-cli — Semi-Supervised Projected Clustering (ICDE 2005 reproduction)
@@ -52,11 +59,40 @@ subcommands:
   evaluate  --truth FILE --produced FILE
       Print ARI, NMI and purity of produced labels against true labels.
 
+  serve     [--addr 127.0.0.1:7878] [--workers 2] [--queue-cap 64]
+            [--threads N]
+      Run the batch experiment service: JSON job submissions over HTTP
+      (POST /jobs), status/result polling (GET /jobs/<id>), and /healthz
+      with queue depth and per-algorithm throughput. Jobs execute on a
+      bounded multi-worker queue; a full queue answers 503 (backpressure).
+
+  submit    --addr HOST:PORT --k K
+            (--input FILE [--truth-path FILE] | --generate \"n=1000,d=100,...\")
+            [--type compare|cluster] [--algorithms sspc,clarans,...]
+            [--params \"algorithm.key=value,...\"] [--runs 5] [--seed 1]
+            [--truth true] [--include-assignment true]
+            [--wait true] [--interval-ms 250] [--timeout-sec 600]
+      Submit a job to a running service and print the job id — or, with
+      --wait true, block until it finishes and print the full result JSON.
+      --generate accepts n, d, k, dims, outliers, seed and evaluates the
+      synthetic dataset server-side; --truth true scores against its
+      planted labels. --input paths are resolved to absolute paths but
+      must be readable by the *server* process.
+
+  poll      --addr HOST:PORT --job ID [--wait true] [--interval-ms 250]
+            [--timeout-sec 600]
+      Print a submitted job's status/result JSON (optionally waiting for
+      it to finish).
+
+  health    --addr HOST:PORT
+      Print the service's /healthz JSON.
+
   help
       This message.
 
-`--threads N` (cluster, compare) sets SSPC_NUM_THREADS for the run, sizing
-the deterministic parallel assignment/refit phases without env fiddling.";
+`--threads N` (cluster, compare, serve) sets SSPC_NUM_THREADS for the run,
+sizing the deterministic parallel assignment/refit phases without env
+fiddling.";
 
 /// Dispatches a full argv (without the program name).
 ///
@@ -75,6 +111,10 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
         "cluster" => cmd_cluster(&flags),
         "compare" => cmd_compare(&flags),
         "evaluate" => cmd_evaluate(&flags),
+        "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&flags),
+        "poll" => cmd_poll(&flags),
+        "health" => cmd_health(&flags),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -236,30 +276,13 @@ fn cmd_compare(flags: &Flags) -> Result<()> {
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .collect();
-    if names.is_empty() {
-        return Err(Error::InvalidParameter(
-            "--algorithms names no algorithms".into(),
-        ));
-    }
     let scoped = match flags.optional("params") {
         Some(spec) => ParamMap::parse_scoped(spec)?,
         None => Default::default(),
     };
-    for scope in scoped.keys() {
-        if !names.contains(&scope.as_str()) {
-            return Err(Error::InvalidParameter(format!(
-                "--params names `{scope}`, which is not in --algorithms ({})",
-                names.join(", ")
-            )));
-        }
-    }
-    let roster: Vec<AnyClusterer> = names
-        .iter()
-        .map(|name| {
-            let params = scoped.get(*name).cloned().unwrap_or_default();
-            AnyClusterer::from_spec(name, k, &params)
-        })
-        .collect::<Result<_>>()?;
+    // The shared roster builder (also used by the batch server and the
+    // bench harness) validates names and rejects stray parameter scopes.
+    let roster = AnyClusterer::roster(&names, k, &scoped)?;
 
     let runs: usize = flags.parsed_or("runs", 5)?;
     let seed: u64 = flags.parsed_or("seed", 1)?;
@@ -292,6 +315,183 @@ fn cmd_evaluate(flags: &Flags) -> Result<()> {
     println!("ARI    {:.4}", e.ari);
     println!("NMI    {:.4}", e.nmi);
     println!("purity {:.4}", e.purity);
+    Ok(())
+}
+
+// ---- the batch service -----------------------------------------------------
+
+fn cmd_serve(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&["addr", "workers", "queue-cap", "threads"])?;
+    apply_threads(flags)?;
+    let workers = flags.parsed_or("workers", 2usize)?;
+    if workers == 0 {
+        return Err(Error::InvalidParameter(
+            "--workers must be at least 1".into(),
+        ));
+    }
+    let config = ServerConfig {
+        addr: flags
+            .optional("addr")
+            .unwrap_or("127.0.0.1:7878")
+            .to_string(),
+        workers,
+        queue_capacity: flags.parsed_or("queue-cap", 64usize)?,
+    };
+    let server = Server::start(&config)?;
+    eprintln!(
+        "sspc-server listening on {} ({} workers, queue capacity {})",
+        server.addr(),
+        config.workers,
+        config.queue_capacity
+    );
+    server.wait();
+    Ok(())
+}
+
+/// Builds the `dataset` member of a job from `--input` or `--generate`.
+fn submit_dataset(flags: &Flags) -> Result<Value> {
+    match (flags.optional("input"), flags.optional("generate")) {
+        (Some(path), None) => {
+            // Resolve to an absolute path so the job does not depend on the
+            // server process's working directory (it still must be readable
+            // from the server's filesystem).
+            let absolute = std::fs::canonicalize(path)
+                .map_err(|e| Error::InvalidParameter(format!("--input {path}: {e}")))?;
+            Ok(Value::object().with("path", absolute.to_string_lossy().into_owned()))
+        }
+        (None, Some(spec)) => {
+            let params = ParamMap::parse(spec)?;
+            const KNOWN: [&str; 6] = ["n", "d", "k", "dims", "outliers", "seed"];
+            if let Some(unknown) = params.keys().find(|key| !KNOWN.contains(key)) {
+                return Err(Error::InvalidParameter(format!(
+                    "--generate does not accept `{unknown}` (accepted: {})",
+                    KNOWN.join(", ")
+                )));
+            }
+            let mut generate = Value::object();
+            for key in ["n", "d", "k", "dims", "seed"] {
+                if let Some(v) = params.parsed_opt::<u64>(key)? {
+                    generate = generate.with(key, v);
+                }
+            }
+            if let Some(v) = params.parsed_opt::<f64>("outliers")? {
+                generate = generate.with("outliers", v);
+            }
+            Ok(Value::object().with("generate", generate))
+        }
+        _ => Err(Error::InvalidParameter(
+            "give exactly one of --input FILE or --generate \"n=...,d=...\"".into(),
+        )),
+    }
+}
+
+fn cmd_submit(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&[
+        "addr",
+        "input",
+        "generate",
+        "type",
+        "k",
+        "algorithms",
+        "params",
+        "runs",
+        "seed",
+        "truth",
+        "truth-path",
+        "include-assignment",
+        "wait",
+        "interval-ms",
+        "timeout-sec",
+    ])?;
+    let addr = flags.required("addr")?;
+    let k: u64 = flags.parsed("k")?;
+
+    let mut job = Value::object()
+        .with("k", k)
+        .with("dataset", submit_dataset(flags)?)
+        .with("runs", flags.parsed_or("runs", 5u64)?)
+        .with("seed", flags.parsed_or("seed", 1u64)?);
+    let kind = flags.optional("type");
+    if let Some(kind) = kind {
+        job = job.with("type", kind);
+    }
+    // The compare default is the paper's roster; a cluster job takes
+    // exactly one algorithm, so its default is SSPC alone.
+    let default_algorithms = if kind == Some("cluster") {
+        "sspc"
+    } else {
+        "sspc,proclus,clarans,harp,doc"
+    };
+    job = job.with(
+        "algorithms",
+        flags.optional("algorithms").unwrap_or(default_algorithms),
+    );
+    if let Some(params) = flags.optional("params") {
+        job = job.with("params", params);
+    }
+    if flags.parsed_or("truth", false)? {
+        job = job.with("truth", true);
+    }
+    if let Some(path) = flags.optional("truth-path") {
+        let absolute = std::fs::canonicalize(path)
+            .map_err(|e| Error::InvalidParameter(format!("--truth-path {path}: {e}")))?;
+        job = job.with("truth_path", absolute.to_string_lossy().into_owned());
+    }
+    if flags.optional("include-assignment").is_some() {
+        job = job.with(
+            "include_assignment",
+            flags.parsed::<bool>("include-assignment")?,
+        );
+    }
+
+    let id = client::submit(addr, &job)?;
+    eprintln!("job {id} submitted to {addr}");
+    if flags.parsed_or("wait", false)? {
+        print_job(wait_flags(flags, addr, id)?)
+    } else {
+        println!("{id}");
+        Ok(())
+    }
+}
+
+fn cmd_poll(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&["addr", "job", "wait", "interval-ms", "timeout-sec"])?;
+    let addr = flags.required("addr")?;
+    let id: u64 = flags.parsed("job")?;
+    let status = if flags.parsed_or("wait", false)? {
+        wait_flags(flags, addr, id)?
+    } else {
+        client::job_status(addr, id)?
+    };
+    print_job(status)
+}
+
+fn cmd_health(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&["addr"])?;
+    println!("{}", client::healthz(flags.required("addr")?)?);
+    Ok(())
+}
+
+/// Polls the job per the `--interval-ms`/`--timeout-sec` flags.
+fn wait_flags(flags: &Flags, addr: &str, id: u64) -> Result<Value> {
+    client::wait_for(
+        addr,
+        id,
+        Duration::from_millis(flags.parsed_or("interval-ms", 250u64)?),
+        Duration::from_secs(flags.parsed_or("timeout-sec", 600u64)?),
+    )
+}
+
+/// Prints the job document; a failed job becomes this process's error.
+fn print_job(status: Value) -> Result<()> {
+    if status.get("status").and_then(Value::as_str) == Some("failed") {
+        return Err(Error::InvalidParameter(format!(
+            "job {} failed: {}",
+            status.get("job").and_then(Value::as_u64).unwrap_or(0),
+            status.get("error").and_then(Value::as_str).unwrap_or("?")
+        )));
+    }
+    println!("{status}");
     Ok(())
 }
 
@@ -432,42 +632,14 @@ fn apply_threads(flags: &Flags) -> Result<()> {
 
 // ---- label and supervision file formats -----------------------------------
 
-/// Writes one label per line: the cluster index or `-`.
+/// Writes one label per line: the cluster index or `-` (the shared
+/// workspace format from `sspc_common::io`).
 fn write_labels<W: Write>(writer: &mut W, labels: &[Option<ClusterId>]) -> Result<()> {
-    for label in labels {
-        let line = match label {
-            Some(c) => format!("{}\n", c.index()),
-            None => "-\n".to_string(),
-        };
-        writer
-            .write_all(line.as_bytes())
-            .map_err(|e| Error::InvalidParameter(format!("write: {e}")))?;
-    }
-    Ok(())
+    sspc_common::io::write_labels(writer, labels)
 }
 
 fn read_labels(path: &str) -> Result<Vec<Option<ClusterId>>> {
-    let reader = BufReader::new(open(path)?);
-    let mut labels = Vec::new();
-    for (no, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| Error::InvalidParameter(format!("{path}: {e}")))?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('#') {
-            continue;
-        }
-        if t == "-" {
-            labels.push(None);
-        } else {
-            let c: usize = t.parse().map_err(|_| {
-                Error::InvalidParameter(format!("{path}:{}: bad label `{t}`", no + 1))
-            })?;
-            labels.push(Some(ClusterId(c)));
-        }
-    }
-    if labels.is_empty() {
-        return Err(Error::InvalidShape(format!("{path}: no labels")));
-    }
-    Ok(labels)
+    sspc_common::io::read_labels(BufReader::new(open(path)?), path)
 }
 
 /// Supervision file: lines `o <object-id> <class>` / `d <dim-id> <class>`.
@@ -726,6 +898,115 @@ mod tests {
         for p in [data, truth] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    /// `submit --wait` / `poll` / `health` against a real in-process
+    /// service; also the client-side validation paths.
+    #[test]
+    fn submit_poll_health_against_a_live_service() {
+        let server = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+
+        dispatch(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--k",
+            "2",
+            "--generate",
+            "n=60,d=8,dims=4,seed=3",
+            "--algorithms",
+            "clarans,harp",
+            "--runs",
+            "2",
+            "--truth",
+            "true",
+            "--wait",
+            "true",
+            "--interval-ms",
+            "20",
+        ]))
+        .unwrap();
+
+        // The waited job is job 1; poll sees its final state.
+        dispatch(&argv(&["poll", "--addr", &addr, "--job", "1"])).unwrap();
+        dispatch(&argv(&["health", "--addr", &addr])).unwrap();
+
+        // Unknown job ids and client-side validation failures error out.
+        assert!(dispatch(&argv(&["poll", "--addr", &addr, "--job", "99"])).is_err());
+        assert!(dispatch(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--k",
+            "2",
+            "--generate",
+            "n=60,bogus=1",
+        ]))
+        .is_err());
+        assert!(dispatch(&argv(&["submit", "--addr", &addr, "--k", "2"])).is_err());
+        assert!(dispatch(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--k",
+            "2",
+            "--generate",
+            "n=60,d=8,dims=4",
+            "--input",
+            "also-a-file.tsv",
+        ]))
+        .is_err());
+
+        // A cluster job without --algorithms defaults to SSPC alone (the
+        // 5-name compare default would be rejected server-side).
+        dispatch(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--k",
+            "2",
+            "--generate",
+            "n=60,d=8,dims=4,seed=3",
+            "--type",
+            "cluster",
+            "--runs",
+            "1",
+            "--wait",
+            "true",
+            "--interval-ms",
+            "20",
+        ]))
+        .unwrap();
+
+        // A job that fails server-side surfaces as a CLI error on --wait.
+        assert!(dispatch(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--k",
+            "2",
+            "--generate",
+            "n=60,d=8,dims=4",
+            "--algorithms",
+            "kmeans",
+            "--wait",
+            "true",
+            "--interval-ms",
+            "20",
+        ]))
+        .is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_zero_workers() {
+        assert!(dispatch(&argv(&["serve", "--workers", "0"])).is_err());
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! sspc-cli cluster  --input data.tsv --k 4 --algorithm proclus --params l=8 --out clusters.tsv
 //! sspc-cli compare  --input data.tsv --truth truth.tsv --k 4 --runs 5
 //! sspc-cli evaluate --truth truth.tsv --produced clusters.tsv
+//! sspc-cli serve    --addr 127.0.0.1:7878 --workers 4          # batch service
+//! sspc-cli submit   --addr 127.0.0.1:7878 --k 4 --generate "n=500,d=50,dims=8" \
+//!                   --truth true --wait true                   # job over the wire
+//! sspc-cli poll     --addr 127.0.0.1:7878 --job 1
+//! sspc-cli health   --addr 127.0.0.1:7878
 //! ```
 //!
 //! See `sspc-cli help` for every flag. Label files are one line per

@@ -10,7 +10,7 @@
 //! blank lines ignored, optional non-numeric header line auto-detected and
 //! skipped.
 
-use crate::{Dataset, DatasetBuilder, DimId, Error, Result};
+use crate::{ClusterId, Dataset, DatasetBuilder, DimId, Error, Result};
 use std::io::{BufRead, Write};
 
 /// Reads a delimited numeric matrix into a [`Dataset`].
@@ -83,6 +83,57 @@ pub fn write_delimited<W: Write>(dataset: &Dataset, writer: &mut W, delimiter: c
             .map_err(|e| Error::InvalidParameter(format!("I/O error: {e}")))?;
     }
     Ok(())
+}
+
+/// Writes a cluster-label file: one label per line — the cluster index,
+/// or `-` for outliers. The format every frontend (CLI, server, datagen
+/// truth files) shares.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] wrapping any I/O failure.
+pub fn write_labels<W: Write>(writer: &mut W, labels: &[Option<ClusterId>]) -> Result<()> {
+    for label in labels {
+        let line = match label {
+            Some(c) => format!("{}\n", c.index()),
+            None => "-\n".to_string(),
+        };
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| Error::InvalidParameter(format!("I/O error: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Reads a cluster-label file written by [`write_labels`]: one label per
+/// line (`-` = outlier), blank and `#`-comment lines ignored. `origin`
+/// names the source in error messages (a path, a URL, ...).
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] on unparseable labels,
+/// [`Error::InvalidShape`] when no labels are present.
+pub fn read_labels<R: BufRead>(reader: R, origin: &str) -> Result<Vec<Option<ClusterId>>> {
+    let mut labels = Vec::new();
+    for (no, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::InvalidParameter(format!("{origin}: {e}")))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if t == "-" {
+            labels.push(None);
+        } else {
+            let c: usize = t.parse().map_err(|_| {
+                Error::InvalidParameter(format!("{origin}:{}: bad label `{t}`", no + 1))
+            })?;
+            labels.push(Some(ClusterId(c)));
+        }
+    }
+    if labels.is_empty() {
+        return Err(Error::InvalidShape(format!("{origin}: no labels")));
+    }
+    Ok(labels)
 }
 
 /// Per-dimension normalization schemes.
@@ -180,6 +231,23 @@ mod tests {
         write_delimited(&ds, &mut buf, '\t').unwrap();
         let back = read_delimited(Cursor::new(buf), '\t').unwrap();
         assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn label_files_roundtrip_and_validate() {
+        let labels = vec![Some(ClusterId(0)), None, Some(ClusterId(2))];
+        let mut buf = Vec::new();
+        write_labels(&mut buf, &labels).unwrap();
+        assert_eq!(String::from_utf8(buf.clone()).unwrap(), "0\n-\n2\n");
+        let back = read_labels(Cursor::new(buf), "test").unwrap();
+        assert_eq!(back, labels);
+
+        // Comments and blanks are ignored; bad and empty inputs rejected.
+        let back = read_labels(Cursor::new("# truth\n\n1\n"), "t").unwrap();
+        assert_eq!(back, vec![Some(ClusterId(1))]);
+        let err = read_labels(Cursor::new("abc\n"), "somefile").unwrap_err();
+        assert!(err.to_string().contains("somefile:1"), "{err}");
+        assert!(read_labels(Cursor::new(""), "t").is_err());
     }
 
     #[test]

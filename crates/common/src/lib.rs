@@ -10,7 +10,12 @@
 //!   (`total_cmp` order), the substrate for incremental median maintenance
 //!   in the hot loop.
 //! * [`parallel`] — deterministic data-parallel helpers (std-thread based;
-//!   results are bit-identical at any thread count).
+//!   results are bit-identical at any thread count) plus the bounded
+//!   [`parallel::TaskQueue`] that feeds long-lived worker pools (the batch
+//!   server's job queue).
+//! * [`json`] — dependency-free JSON parsing/serialization (the offline
+//!   environment has no serde) used by the batch server, the CLI client
+//!   mode, and the bench records.
 //! * [`stats`] — descriptive statistics (mean / variance / median computed
 //!   the way the paper's objective function needs them) and the special
 //!   functions backing the probabilistic selection-threshold scheme
@@ -35,6 +40,7 @@ mod dataset;
 mod error;
 mod ids;
 pub mod io;
+pub mod json;
 pub mod linalg;
 pub mod orderstat;
 pub mod parallel;

@@ -22,7 +22,7 @@
 //! A sorted-chunk list: values are stored as order-preserving `u64` keys
 //! (sign-magnitude flip of the IEEE bits, so unsigned comparison equals
 //! `total_cmp`) in a vector of sorted chunks of at most
-//! [`MAX_CHUNK`] keys each. Insert and remove locate the chunk by binary
+//! `MAX_CHUNK` (64) keys each. Insert and remove locate the chunk by binary
 //! search over chunk maxima (`O(log(n / chunk))`) and shift within one
 //! small chunk (`O(chunk)` — a sub-cache-line `memmove` in practice);
 //! selection walks the chunk lengths (`O(n / chunk)`). The **median** is

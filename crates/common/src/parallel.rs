@@ -14,7 +14,9 @@
 //! [`std::thread::available_parallelism`]. A value of `1` (or any parse
 //! failure) runs inline with zero spawn overhead.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::{Condvar, Mutex};
 
 /// Resolved worker-thread count for data-parallel sections.
 pub fn num_threads() -> usize {
@@ -111,6 +113,115 @@ where
     });
 }
 
+/// Why a [`TaskQueue::try_push`] was refused; the rejected task is handed
+/// back so the producer can report or retry it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure; retry later.
+    Full(T),
+    /// The queue was closed; no further tasks will ever be accepted.
+    Closed(T),
+}
+
+/// Guarded queue state: the buffer plus the closed flag, updated together.
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer task queue for long-lived
+/// worker pools (Mutex + Condvar; no dependencies).
+///
+/// This is the *control-plane* counterpart to the data-parallel helpers
+/// above: [`for_each_chunk_mut`] splits one computation across threads,
+/// while `TaskQueue` feeds a pool of persistent workers a stream of
+/// independent tasks — the batch server's job queue. Pushing never blocks:
+/// at capacity, [`TaskQueue::try_push`] refuses with [`PushError::Full`]
+/// so the producer can surface backpressure instead of buffering without
+/// bound. Popping blocks until a task or queue shutdown arrives.
+pub struct TaskQueue<T> {
+    state: Mutex<QueueState<T>>,
+    task_ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> TaskQueue<T> {
+    /// A queue refusing pushes beyond `capacity` pending tasks
+    /// (capacity 0 refuses every push — useful for drills that need a
+    /// deterministically full queue).
+    pub fn bounded(capacity: usize) -> Self {
+        TaskQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            task_ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a task and returns the queue depth including it, or hands
+    /// the task back when the queue is full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`TaskQueue::close`].
+    pub fn try_push(&self, task: T) -> std::result::Result<usize, PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(task));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(task));
+        }
+        state.items.push_back(task);
+        let depth = state.items.len();
+        drop(state);
+        self.task_ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a task is available and returns it, or `None` once the
+    /// queue is closed **and** drained — the worker-loop exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(task) = state.items.pop_front() {
+                return Some(task);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.task_ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending tasks still drain, further pushes fail,
+    /// and blocked/future [`TaskQueue::pop`] calls return `None` once the
+    /// buffer empties.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.task_ready.notify_all();
+    }
+
+    /// Number of tasks currently waiting (excludes tasks already popped by
+    /// a worker).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when no tasks are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of pending tasks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +281,55 @@ mod tests {
         assert_eq!(num_threads(), 2);
         std::env::remove_var("RAYON_NUM_THREADS");
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn task_queue_delivers_every_task_exactly_once() {
+        let queue = std::sync::Arc::new(TaskQueue::bounded(64));
+        let total = 50usize;
+        let done = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let queue = std::sync::Arc::clone(&queue);
+                let done = std::sync::Arc::clone(&done);
+                std::thread::spawn(move || {
+                    while let Some(task) = queue.pop() {
+                        done.lock().unwrap().push(task);
+                    }
+                })
+            })
+            .collect();
+        for i in 0..total {
+            queue.try_push(i).unwrap();
+        }
+        queue.close();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut seen = done.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..total).collect::<Vec<_>>());
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn task_queue_enforces_capacity_and_close() {
+        let queue = TaskQueue::bounded(2);
+        assert_eq!(queue.capacity(), 2);
+        assert_eq!(queue.try_push(1).unwrap(), 1);
+        assert_eq!(queue.try_push(2).unwrap(), 2);
+        assert!(matches!(queue.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(queue.len(), 2);
+
+        queue.close();
+        assert!(matches!(queue.try_push(4), Err(PushError::Closed(4))));
+        // Pending tasks drain after close, then pop signals shutdown.
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), None);
+
+        let zero = TaskQueue::bounded(0);
+        assert!(matches!(zero.try_push(9), Err(PushError::Full(9))));
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Blocking client for the batch service — what `sspc-cli submit`/`poll`
+//! and the end-to-end tests speak.
+
+use crate::http::request;
+use sspc_common::json::Value;
+use sspc_common::{Error, Result};
+use std::time::{Duration, Instant};
+
+/// Submits a job document and returns the assigned job id.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] on connection failures or any non-`202`
+/// answer (the server's `error` text is included — `400` for invalid
+/// jobs, `503` for a full queue).
+pub fn submit(addr: &str, job: &Value) -> Result<u64> {
+    let (status, body) = request(addr, "POST", "/jobs", Some(job))?;
+    if status != 202 {
+        return Err(Error::InvalidParameter(format!(
+            "submit refused with {status}: {}",
+            body.get("error").and_then(Value::as_str).unwrap_or("?")
+        )));
+    }
+    body.get("job")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| Error::InvalidParameter("202 without a job id".into()))
+}
+
+/// Fetches a job's status document (`status` ∈ `queued` / `running` /
+/// `done` / `failed`; `result` present once done).
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] on connection failures or unknown ids.
+pub fn job_status(addr: &str, id: u64) -> Result<Value> {
+    let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), None)?;
+    if status != 200 {
+        return Err(Error::InvalidParameter(format!(
+            "job {id} lookup failed with {status}: {}",
+            body.get("error").and_then(Value::as_str).unwrap_or("?")
+        )));
+    }
+    Ok(body)
+}
+
+/// Polls until the job leaves the queue/running states and returns its
+/// final document (`done` **or** `failed` — inspect `status`).
+///
+/// # Errors
+///
+/// Lookup failures, or [`Error::NoConvergence`] after `timeout`.
+pub fn wait_for(addr: &str, id: u64, poll_every: Duration, timeout: Duration) -> Result<Value> {
+    let started = Instant::now();
+    loop {
+        let status = job_status(addr, id)?;
+        match status.get("status").and_then(Value::as_str) {
+            Some("done" | "failed") => return Ok(status),
+            _ => {
+                if started.elapsed() > timeout {
+                    return Err(Error::NoConvergence(format!(
+                        "job {id} still not finished after {:.1}s",
+                        timeout.as_secs_f64()
+                    )));
+                }
+                std::thread::sleep(poll_every);
+            }
+        }
+    }
+}
+
+/// Fetches the `/healthz` document (queue depth, job counters,
+/// per-algorithm throughput).
+///
+/// # Errors
+///
+/// Connection failures or a non-`200` answer.
+pub fn healthz(addr: &str) -> Result<Value> {
+    let (status, body) = request(addr, "GET", "/healthz", None)?;
+    if status != 200 {
+        return Err(Error::InvalidParameter(format!(
+            "healthz returned {status}"
+        )));
+    }
+    Ok(body)
+}

@@ -1,0 +1,293 @@
+//! The minimal slice of HTTP/1.1 the batch service needs.
+//!
+//! The build environment has no async runtime and no HTTP crates, so this
+//! module implements exactly what the job API requires over
+//! `std::net::TcpStream`: request-line + headers + `Content-Length` body
+//! parsing on the server side, and a one-shot `Connection: close` client.
+//! Chunked encoding, keep-alive, TLS, and query strings are deliberately
+//! out of scope — payloads are small JSON documents on a trusted network.
+
+use sspc_common::json::Value;
+use sspc_common::{Error, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body; protects the server from unbounded
+/// buffering on a misbehaving client.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Largest accepted request line + headers combined; with
+/// [`MAX_BODY_BYTES`] this bounds the total buffering any one connection
+/// can force (a peer streaming an endless header line hits this cap, not
+/// the allocator).
+pub const MAX_HEAD_BYTES: u64 = 64 * 1024;
+
+/// Per-connection socket timeout: a stalled peer cannot pin a handler
+/// thread forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request: method, path, and the (possibly empty) body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased by the client already).
+    pub method: String,
+    /// The request path, e.g. `/jobs/3`.
+    pub path: String,
+    /// Raw body bytes (`Content-Length` framing only).
+    pub body: Vec<u8>,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::InvalidParameter(format!("{context}: {e}"))
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] on malformed request lines or headers, a
+/// body larger than [`MAX_BODY_BYTES`], or socket failures/timeouts.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request> {
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| io_err("set_read_timeout", e))?;
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| io_err("set_write_timeout", e))?;
+    let mut reader = BufReader::new(stream);
+    let mut head_budget = MAX_HEAD_BYTES;
+
+    let mut request_line = String::new();
+    read_head_line(&mut reader, &mut head_budget, &mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(Error::InvalidParameter(format!(
+            "malformed request line `{}`",
+            request_line.trim_end()
+        )));
+    };
+    let request = (method.to_string(), path.to_string());
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        read_head_line(&mut reader, &mut head_budget, &mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    Error::InvalidParameter(format!("bad Content-Length `{}`", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Error::InvalidParameter(format!(
+            "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| io_err("read body", e))?;
+    Ok(Request {
+        method: request.0,
+        path: request.1,
+        body,
+    })
+}
+
+/// Reads one head line (request line or header) against the shared
+/// [`MAX_HEAD_BYTES`] budget, so a peer cannot force unbounded buffering
+/// by never sending a newline.
+fn read_head_line<R: BufRead>(reader: &mut R, budget: &mut u64, line: &mut String) -> Result<()> {
+    let mut limited = reader.by_ref().take(*budget);
+    limited
+        .read_line(line)
+        .map_err(|e| io_err("read head line", e))?;
+    *budget -= line.len() as u64;
+    if *budget == 0 && !line.ends_with('\n') {
+        return Err(Error::InvalidParameter(format!(
+            "request head exceeds the {MAX_HEAD_BYTES}-byte limit"
+        )));
+    }
+    Ok(())
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a JSON response with the given status and closes the exchange.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] wrapping socket failures.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &Value) -> Result<()> {
+    let payload = body.to_string();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        status_text(status),
+        payload.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_err("write response", e))
+}
+
+/// One-shot HTTP client call: connects to `addr`, sends `body` (when
+/// given) as JSON, and returns `(status, parsed response body)`.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] on connect/socket failures, a malformed
+/// status line, or a non-JSON response body.
+pub fn request(addr: &str, method: &str, path: &str, body: Option<&Value>) -> Result<(u16, Value)> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| Error::InvalidParameter(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| io_err("set_read_timeout", e))?;
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| io_err("set_write_timeout", e))?;
+
+    let payload = body.map(Value::to_string).unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .map_err(|e| io_err("write request", e))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| io_err("read status line", e))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            Error::InvalidParameter(format!(
+                "malformed status line `{}`",
+                status_line.trim_end()
+            ))
+        })?;
+    // Skip headers; the connection closes after the body, so read to EOF.
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| io_err("read header", e))?;
+        if line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut body_bytes = Vec::new();
+    reader
+        .read_to_end(&mut body_bytes)
+        .map_err(|e| io_err("read response body", e))?;
+    let text = String::from_utf8(body_bytes)
+        .map_err(|_| Error::InvalidParameter("response body is not UTF-8".into()))?;
+    let value = Value::parse(&text)
+        .map_err(|e| Error::InvalidParameter(format!("response body is not JSON: {e}")))?;
+    Ok((status, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips one exchange through a real socket pair: the client
+    /// helper against the server-side parser and writer.
+    #[test]
+    fn request_response_roundtrip_over_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/jobs");
+            let body = Value::parse(std::str::from_utf8(&req.body).unwrap()).unwrap();
+            assert_eq!(body.get("k").and_then(Value::as_u64), Some(3));
+            write_response(&mut stream, 202, &Value::object().with("job", 1u64)).unwrap();
+        });
+        let job = Value::object().with("k", 3u64);
+        let (status, response) = request(&addr, "POST", "/jobs", Some(&job)).unwrap();
+        assert_eq!(status, 202);
+        assert_eq!(response.get("job").and_then(Value::as_u64), Some(1));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn bodyless_get_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "GET");
+            assert!(req.body.is_empty());
+            write_response(&mut stream, 404, &Value::object().with("error", "no")).unwrap();
+        });
+        let (status, response) = request(&addr, "GET", "/jobs/99", None).unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(response.get("error").and_then(Value::as_str), Some("no"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (mut stream, _) = listener.accept().unwrap();
+                assert!(read_request(&mut stream).is_err());
+            }
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n")
+            .unwrap();
+        drop(s);
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"\r\n\r\n").unwrap();
+        drop(s);
+        // A header stream that never terminates is cut off at
+        // MAX_HEAD_BYTES, not buffered until the socket timeout.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /jobs HTTP/1.1\r\nx-junk: ").unwrap();
+        let chunk = vec![b'a'; 8 * 1024];
+        for _ in 0..((MAX_HEAD_BYTES / 8192) + 2) {
+            if s.write_all(&chunk).is_err() {
+                break; // server already rejected and closed
+            }
+        }
+        drop(s);
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,705 @@
+//! Job specifications and their execution.
+//!
+//! A job is one run of the paper's Sec. 5 protocol: a dataset (a file on
+//! the server's disk, or a synthetic-generator spec evaluated server-side),
+//! a roster of algorithms with scoped parameter overrides, a restart count
+//! and a base seed. Execution flows through the same two `sspc-api` entry
+//! points every other frontend uses — [`best_of`] for single-algorithm
+//! `cluster` jobs, [`compare_algorithms`] for `compare` jobs — so a result
+//! fetched over the wire is the result an in-process call would produce.
+
+use sspc_api::registry::{AnyClusterer, ParamMap};
+use sspc_api::{best_of, compare_algorithms, AlgorithmReport, Clustering, ObjectiveSense};
+use sspc_common::io::read_labels;
+use sspc_common::json::Value;
+use sspc_common::{ClusterId, Dataset, DimId, Error, ObjectId, Result, Supervision};
+use sspc_datagen::{generate, GeneratorConfig};
+use sspc_metrics::{evaluate_partition, OutlierPolicy, PartitionEvaluation};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+
+/// What protocol the job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One algorithm, best-of-N restarts via [`best_of`]; the result
+    /// carries the winning assignment and selected dimensions.
+    Cluster,
+    /// A roster via [`compare_algorithms`]: one report per algorithm.
+    Compare,
+}
+
+/// Where the job's dataset comes from.
+#[derive(Debug, Clone)]
+pub enum DatasetSource {
+    /// A delimited matrix on the server's filesystem.
+    Path(String),
+    /// A synthetic dataset generated server-side (config + seed); its
+    /// planted ground truth is available for evaluation.
+    Generate(Box<GeneratorConfig>, u64),
+}
+
+/// A validated job submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Protocol to run.
+    pub kind: JobKind,
+    /// Dataset source.
+    pub source: DatasetSource,
+    /// Target cluster count handed to every algorithm.
+    pub k: usize,
+    /// Registry names, in execution order.
+    pub algorithms: Vec<String>,
+    /// Per-algorithm parameter overrides (scoped `alg.key=v` format).
+    pub scoped: BTreeMap<String, ParamMap>,
+    /// Restarts per algorithm (deterministic algorithms still run once).
+    pub runs: usize,
+    /// Base seed for the restart derivation.
+    pub seed: u64,
+    /// Score winners against the generator's planted truth.
+    pub use_generated_truth: bool,
+    /// Score winners against a label file on the server's filesystem.
+    pub truth_path: Option<String>,
+    /// Labeled objects/dimensions handed to every algorithm (only SSPC
+    /// exploits them — the paper's setup).
+    pub supervision: Supervision,
+    /// Include per-object assignments in the result payload.
+    pub include_assignment: bool,
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::InvalidParameter(msg.into())
+}
+
+/// `key` as usize with a default, rejecting non-integral values.
+fn field_usize(v: &Value, key: &str, default: usize) -> Result<usize> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| bad(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn field_f64(v: &Value, key: &str, default: f64) -> Result<f64> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| bad(format!("`{key}` must be a number"))),
+    }
+}
+
+fn field_bool(v: &Value, key: &str, default: bool) -> Result<bool> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_bool()
+            .ok_or_else(|| bad(format!("`{key}` must be true or false"))),
+    }
+}
+
+fn check_known_keys(v: &Value, context: &str, known: &[&str]) -> Result<()> {
+    let Some(map) = v.as_object() else {
+        return Err(bad(format!("{context} must be a JSON object")));
+    };
+    for key in map.keys() {
+        if !known.contains(&key.as_str()) {
+            return Err(bad(format!(
+                "{context} does not accept `{key}` (accepted: {})",
+                known.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+impl JobSpec {
+    /// Parses and validates a job submission document.
+    ///
+    /// Schema (all keys except `k`, `dataset` and `algorithms` optional):
+    ///
+    /// ```json
+    /// {
+    ///   "type": "compare",
+    ///   "dataset": {"path": "data.tsv"}
+    ///           or {"generate": {"n":500,"d":50,"k":4,"dims":8,"outliers":0.1,"seed":7}},
+    ///   "k": 4,
+    ///   "algorithms": ["sspc", "proclus"],
+    ///   "params": "proclus.l=6,doc.w=2.5",
+    ///   "runs": 5,
+    ///   "seed": 1,
+    ///   "truth": true,
+    ///   "truth_path": "truth.tsv",
+    ///   "supervision": {"objects": [[3, 0]], "dims": [[17, 1]]},
+    ///   "include_assignment": false
+    /// }
+    /// ```
+    ///
+    /// `truth: true` is only meaningful for generated datasets (the planted
+    /// truth); file-backed datasets use `truth_path`. `params` uses the
+    /// same scoped `algorithm.key=value` grammar as `sspc-cli compare`
+    /// ([`ParamMap::parse_scoped`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] naming the offending key on any schema
+    /// violation.
+    pub fn from_json(v: &Value) -> Result<JobSpec> {
+        check_known_keys(
+            v,
+            "a job",
+            &[
+                "type",
+                "dataset",
+                "k",
+                "algorithms",
+                "algorithm",
+                "params",
+                "runs",
+                "seed",
+                "truth",
+                "truth_path",
+                "supervision",
+                "include_assignment",
+            ],
+        )?;
+
+        let kind = match v.get("type").map(|t| t.as_str()) {
+            None => JobKind::Compare,
+            Some(Some("compare")) => JobKind::Compare,
+            Some(Some("cluster")) => JobKind::Cluster,
+            Some(other) => {
+                return Err(bad(format!(
+                    "`type` must be \"cluster\" or \"compare\", got {}",
+                    other.map_or_else(|| "a non-string".to_string(), |s| format!("\"{s}\""))
+                )))
+            }
+        };
+
+        let k = field_usize(v, "k", 0)?;
+        if k == 0 {
+            return Err(bad("`k` (cluster count) is required and must be positive"));
+        }
+
+        let source = Self::parse_source(
+            v.get("dataset").ok_or_else(|| {
+                bad("`dataset` is required: {\"path\": ...} or {\"generate\": ...}")
+            })?,
+            k,
+        )?;
+
+        let algorithms = Self::parse_algorithms(v, kind)?;
+
+        let scoped = match v.get("params") {
+            None => BTreeMap::new(),
+            Some(Value::Str(spec)) => ParamMap::parse_scoped(spec)?,
+            Some(_) => {
+                return Err(bad(
+                    "`params` must be a scoped string like \"proclus.l=6,doc.w=2.5\"",
+                ))
+            }
+        };
+
+        let use_generated_truth = field_bool(v, "truth", false)?;
+        let truth_path = match v.get("truth_path") {
+            None => None,
+            Some(Value::Str(p)) => Some(p.clone()),
+            Some(_) => return Err(bad("`truth_path` must be a string")),
+        };
+        if use_generated_truth && truth_path.is_some() {
+            return Err(bad("give either `truth` or `truth_path`, not both"));
+        }
+        if use_generated_truth && !matches!(source, DatasetSource::Generate(..)) {
+            return Err(bad(
+                "`truth: true` needs a generated dataset (file-backed jobs use `truth_path`)",
+            ));
+        }
+
+        let supervision = match v.get("supervision") {
+            None => Supervision::none(),
+            Some(s) => Self::parse_supervision(s)?,
+        };
+
+        Ok(JobSpec {
+            kind,
+            source,
+            k,
+            algorithms,
+            scoped,
+            runs: field_usize(v, "runs", 5)?.max(1),
+            seed: v.get("seed").map_or(Ok(1), |s| {
+                s.as_u64()
+                    .ok_or_else(|| bad("`seed` must be a non-negative integer"))
+            })?,
+            use_generated_truth,
+            truth_path,
+            supervision,
+            include_assignment: field_bool(v, "include_assignment", kind == JobKind::Cluster)?,
+        })
+    }
+
+    fn parse_source(v: &Value, job_k: usize) -> Result<DatasetSource> {
+        check_known_keys(v, "`dataset`", &["path", "generate"])?;
+        match (v.get("path"), v.get("generate")) {
+            (Some(Value::Str(p)), None) => Ok(DatasetSource::Path(p.clone())),
+            (None, Some(spec)) => {
+                check_known_keys(
+                    spec,
+                    "`dataset.generate`",
+                    &["n", "d", "k", "dims", "outliers", "seed"],
+                )?;
+                let config = GeneratorConfig {
+                    n: field_usize(spec, "n", 1000)?,
+                    d: field_usize(spec, "d", 100)?,
+                    // The generator's class count defaults to the job's k:
+                    // the common case asks the algorithms for as many
+                    // clusters as were planted.
+                    k: field_usize(spec, "k", job_k)?,
+                    avg_cluster_dims: field_usize(spec, "dims", 10)?,
+                    outlier_fraction: field_f64(spec, "outliers", 0.0)?,
+                    ..Default::default()
+                };
+                config.validate()?;
+                let seed = spec.get("seed").map_or(Ok(1), |s| {
+                    s.as_u64().ok_or_else(|| {
+                        bad("`dataset.generate.seed` must be a non-negative integer")
+                    })
+                })?;
+                Ok(DatasetSource::Generate(Box::new(config), seed))
+            }
+            _ => Err(bad(
+                "`dataset` must have exactly one of `path` or `generate`",
+            )),
+        }
+    }
+
+    fn parse_algorithms(v: &Value, kind: JobKind) -> Result<Vec<String>> {
+        let names: Vec<String> = match (v.get("algorithm"), v.get("algorithms")) {
+            (Some(Value::Str(one)), None) => vec![one.clone()],
+            (None, Some(Value::Str(list))) => list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect(),
+            (None, Some(Value::Arr(items))) => items
+                .iter()
+                .map(|x| {
+                    x.as_str()
+                        .map(String::from)
+                        .ok_or_else(|| bad("`algorithms` entries must be strings"))
+                })
+                .collect::<Result<_>>()?,
+            (Some(_), Some(_)) => {
+                return Err(bad("give either `algorithm` or `algorithms`, not both"))
+            }
+            _ => {
+                return Err(bad(
+                    "`algorithms` is required: an array of registry names or a \
+                     comma-separated string (or `algorithm` for a single one)",
+                ))
+            }
+        };
+        if names.is_empty() {
+            return Err(bad("`algorithms` names no algorithms"));
+        }
+        if kind == JobKind::Cluster && names.len() != 1 {
+            return Err(bad("a `cluster` job takes exactly one algorithm"));
+        }
+        Ok(names)
+    }
+
+    fn parse_supervision(v: &Value) -> Result<Supervision> {
+        check_known_keys(v, "`supervision`", &["objects", "dims"])?;
+        fn pairs(v: Option<&Value>, what: &str) -> Result<Vec<(usize, usize)>> {
+            let Some(v) = v else { return Ok(Vec::new()) };
+            let items = v.as_array().ok_or_else(|| {
+                bad(format!(
+                    "`supervision.{what}` must be an array of [id, class] pairs"
+                ))
+            })?;
+            items
+                .iter()
+                .map(|pair| {
+                    let two = pair.as_array().filter(|a| a.len() == 2);
+                    let id = two.and_then(|a| a[0].as_u64());
+                    let class = two.and_then(|a| a[1].as_u64());
+                    match (id, class) {
+                        (Some(id), Some(class)) => Ok((id as usize, class as usize)),
+                        _ => Err(bad(format!(
+                            "`supervision.{what}` entries must be [id, class] integer pairs"
+                        ))),
+                    }
+                })
+                .collect()
+        }
+        let objects = pairs(v.get("objects"), "objects")?
+            .into_iter()
+            .map(|(o, c)| (ObjectId(o), ClusterId(c)))
+            .collect();
+        let dims = pairs(v.get("dims"), "dims")?
+            .into_iter()
+            .map(|(d, c)| (DimId(d), ClusterId(c)))
+            .collect();
+        Ok(Supervision::new(objects, dims))
+    }
+
+    /// Loads the dataset (reading or generating) and the optional ground
+    /// truth to score against.
+    ///
+    /// # Errors
+    ///
+    /// I/O or generator failures, and label/object count mismatches.
+    fn load(&self) -> Result<(Dataset, Option<Vec<Option<ClusterId>>>)> {
+        match &self.source {
+            DatasetSource::Path(path) => {
+                let file = File::open(path)
+                    .map_err(|e| bad(format!("cannot open dataset `{path}`: {e}")))?;
+                let dataset = sspc_common::io::read_delimited(BufReader::new(file), '\t')?;
+                let truth = match &self.truth_path {
+                    None => None,
+                    Some(tp) => {
+                        let file = File::open(tp)
+                            .map_err(|e| bad(format!("cannot open truth `{tp}`: {e}")))?;
+                        Some(read_labels(BufReader::new(file), tp)?)
+                    }
+                };
+                Ok((dataset, truth))
+            }
+            DatasetSource::Generate(config, seed) => {
+                let data = generate(config, *seed)?;
+                let truth = self
+                    .use_generated_truth
+                    .then(|| data.truth.assignment().to_vec());
+                Ok((data.dataset, truth))
+            }
+        }
+    }
+
+    /// Runs the job to completion and renders its result document.
+    ///
+    /// # Errors
+    ///
+    /// Any load, roster-construction, clustering, or evaluation failure —
+    /// reported to the submitter as the job's failure message.
+    pub fn execute(&self) -> Result<JobOutcome> {
+        let (dataset, truth) = self.load()?;
+        let names: Vec<&str> = self.algorithms.iter().map(String::as_str).collect();
+        let roster = AnyClusterer::roster(&names, self.k, &self.scoped)?;
+
+        let reports: Vec<AlgorithmReport> = match self.kind {
+            JobKind::Compare => compare_algorithms(
+                &roster,
+                &dataset,
+                &self.supervision,
+                truth.as_deref(),
+                self.runs,
+                self.seed,
+            )?,
+            JobKind::Cluster => {
+                let outcome = best_of(
+                    &roster[0],
+                    &dataset,
+                    &self.supervision,
+                    self.runs,
+                    self.seed,
+                )?;
+                let evaluation = match &truth {
+                    Some(t) => Some(evaluate_partition(
+                        t,
+                        outcome.best.assignment(),
+                        OutlierPolicy::AsCluster,
+                    )?),
+                    None => None,
+                };
+                vec![AlgorithmReport {
+                    algorithm: self.algorithms[0].clone(),
+                    best: outcome.best,
+                    runs_executed: outcome.runs_executed,
+                    total_seconds: outcome.total_seconds,
+                    evaluation,
+                }]
+            }
+        };
+
+        let throughput = reports
+            .iter()
+            .map(|r| AlgorithmCost {
+                algorithm: r.algorithm.clone(),
+                restarts: r.runs_executed,
+                busy_seconds: r.total_seconds,
+            })
+            .collect();
+        let rendered: Vec<Value> = reports
+            .iter()
+            .map(|r| report_to_value(r, self.include_assignment))
+            .collect();
+        let result = match self.kind {
+            JobKind::Cluster => rendered.into_iter().next().expect("one report"),
+            JobKind::Compare => Value::object().with("reports", rendered),
+        };
+        Ok(JobOutcome { result, throughput })
+    }
+}
+
+/// What one algorithm cost to run — the unit the server's throughput
+/// counters aggregate.
+#[derive(Debug, Clone)]
+pub struct AlgorithmCost {
+    /// Registry name.
+    pub algorithm: String,
+    /// Restarts actually executed.
+    pub restarts: usize,
+    /// Wall-clock seconds summed over those restarts.
+    pub busy_seconds: f64,
+}
+
+/// A finished job: the JSON result document plus per-algorithm costs.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The document served under the job's `result` key.
+    pub result: Value,
+    /// Per-algorithm execution costs for the health counters.
+    pub throughput: Vec<AlgorithmCost>,
+}
+
+fn sense_str(sense: ObjectiveSense) -> &'static str {
+    match sense {
+        ObjectiveSense::HigherIsBetter => "higher_is_better",
+        ObjectiveSense::LowerIsBetter => "lower_is_better",
+    }
+}
+
+fn assignment_to_value(best: &Clustering) -> Value {
+    Value::Arr(
+        best.assignment()
+            .iter()
+            .map(|label| match label {
+                Some(c) => Value::Num(c.index() as f64),
+                None => Value::Null,
+            })
+            .collect(),
+    )
+}
+
+fn dims_to_value(best: &Clustering) -> Value {
+    Value::Arr(
+        best.all_selected_dims()
+            .iter()
+            .map(|dims| Value::Arr(dims.iter().map(|j| Value::from(j.index())).collect()))
+            .collect(),
+    )
+}
+
+fn evaluation_to_value(e: &PartitionEvaluation) -> Value {
+    Value::object()
+        .with("ari", e.ari)
+        .with("nmi", e.nmi)
+        .with("purity", e.purity)
+}
+
+/// Renders one [`AlgorithmReport`] as the wire document. Numbers use
+/// shortest-roundtrip formatting, so the objective and metric values a
+/// client parses back are bit-identical to the in-process ones.
+pub fn report_to_value(r: &AlgorithmReport, include_assignment: bool) -> Value {
+    let mut v = Value::object()
+        .with("algorithm", r.algorithm.as_str())
+        .with("objective", r.best.objective())
+        .with("sense", sense_str(r.best.sense()))
+        .with("clusters", r.best.n_clusters())
+        .with("outliers", r.best.n_outliers())
+        .with("runs", r.runs_executed)
+        .with("seconds", r.total_seconds);
+    if let Some(it) = r.best.iterations() {
+        v = v.with("iterations", it);
+    }
+    if let Some(e) = &r.evaluation {
+        v = v.with("evaluation", evaluation_to_value(e));
+    }
+    if include_assignment {
+        v = v
+            .with("assignment", assignment_to_value(&r.best))
+            .with("dims", dims_to_value(&r.best));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_compare() -> Value {
+        Value::object()
+            .with("k", 2u64)
+            .with(
+                "dataset",
+                Value::object().with(
+                    "generate",
+                    Value::object()
+                        .with("n", 40u64)
+                        .with("d", 8u64)
+                        .with("dims", 4u64)
+                        .with("seed", 3u64),
+                ),
+            )
+            .with("algorithms", "clarans,harp")
+            .with("runs", 2u64)
+            .with("truth", true)
+    }
+
+    #[test]
+    fn parses_and_executes_a_generate_compare_job() {
+        let spec = JobSpec::from_json(&minimal_compare()).unwrap();
+        assert_eq!(spec.kind, JobKind::Compare);
+        assert_eq!(spec.algorithms, vec!["clarans", "harp"]);
+        assert!(spec.use_generated_truth);
+        assert!(!spec.include_assignment);
+        let DatasetSource::Generate(config, seed) = &spec.source else {
+            panic!("expected a generate source");
+        };
+        assert_eq!((config.n, config.d, config.k, *seed), (40, 8, 2, 3));
+
+        let outcome = spec.execute().unwrap();
+        let reports = outcome.result.get("reports").unwrap().as_array().unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in reports {
+            assert!(r.get("evaluation").is_some(), "truth requested");
+            assert!(r.get("assignment").is_none(), "not requested");
+        }
+        assert_eq!(outcome.throughput.len(), 2);
+        assert_eq!(outcome.throughput[1].restarts, 1, "harp is deterministic");
+    }
+
+    #[test]
+    fn cluster_jobs_return_the_assignment() {
+        let job = Value::object()
+            .with("type", "cluster")
+            .with("k", 2u64)
+            .with(
+                "dataset",
+                Value::object().with(
+                    "generate",
+                    Value::object()
+                        .with("n", 30u64)
+                        .with("d", 6u64)
+                        .with("dims", 3u64),
+                ),
+            )
+            .with("algorithm", "clarans")
+            .with("runs", 1u64);
+        let spec = JobSpec::from_json(&job).unwrap();
+        assert_eq!(spec.kind, JobKind::Cluster);
+        assert!(spec.include_assignment, "cluster default");
+        let outcome = spec.execute().unwrap();
+        let assignment = outcome
+            .result
+            .get("assignment")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(assignment.len(), 30);
+        assert_eq!(
+            outcome.result.get("algorithm").and_then(Value::as_str),
+            Some("clarans")
+        );
+    }
+
+    #[test]
+    fn scoped_params_flow_into_the_roster() {
+        let job = minimal_compare().with("params", "clarans.num-local=1");
+        let spec = JobSpec::from_json(&job).unwrap();
+        assert!(spec.scoped.contains_key("clarans"));
+        // A scope outside the roster is caught at execution (roster build).
+        let job = minimal_compare().with("params", "doc.w=2.0");
+        let spec = JobSpec::from_json(&job).unwrap();
+        assert!(spec.execute().is_err());
+    }
+
+    #[test]
+    fn supervision_parses_into_labels() {
+        let job = minimal_compare().with(
+            "supervision",
+            Value::object()
+                .with(
+                    "objects",
+                    vec![Value::Arr(vec![Value::Num(3.0), Value::Num(0.0)])],
+                )
+                .with(
+                    "dims",
+                    vec![Value::Arr(vec![Value::Num(5.0), Value::Num(1.0)])],
+                ),
+        );
+        let spec = JobSpec::from_json(&job).unwrap();
+        assert_eq!(
+            spec.supervision.labeled_objects(),
+            &[(ObjectId(3), ClusterId(0))]
+        );
+        assert_eq!(spec.supervision.labeled_dims(), &[(DimId(5), ClusterId(1))]);
+    }
+
+    #[test]
+    fn rejects_schema_violations_with_named_keys() {
+        let cases: Vec<(Value, &str)> = vec![
+            (Value::object(), "`k`"),
+            (minimal_compare().with("k", 0u64), "`k`"),
+            (minimal_compare().with("frobnicate", 1u64), "frobnicate"),
+            (minimal_compare().with("type", "sort"), "`type`"),
+            (
+                minimal_compare().with("algorithms", Value::Arr(vec![])),
+                "no algorithms",
+            ),
+            (minimal_compare().with("params", 7u64), "`params`"),
+            (
+                minimal_compare()
+                    .with("truth_path", "x")
+                    .with("truth", true),
+                "not both",
+            ),
+            (
+                minimal_compare()
+                    .with("dataset", Value::object().with("path", "x"))
+                    .with("truth", true),
+                "generated",
+            ),
+            (
+                minimal_compare().with("type", "cluster"),
+                "exactly one algorithm",
+            ),
+            (
+                minimal_compare().with("supervision", Value::object().with("objects", 1u64)),
+                "supervision",
+            ),
+        ];
+        for (job, needle) in cases {
+            let err = JobSpec::from_json(&job).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{err}` should mention {needle}");
+        }
+        // Malformed dataset objects.
+        let bad_ds = Value::object()
+            .with("k", 2u64)
+            .with("algorithms", "harp")
+            .with(
+                "dataset",
+                Value::object()
+                    .with("path", "x")
+                    .with("generate", Value::object()),
+            );
+        assert!(JobSpec::from_json(&bad_ds).is_err());
+    }
+
+    #[test]
+    fn missing_dataset_file_fails_at_execution() {
+        let job = Value::object()
+            .with("k", 2u64)
+            .with("algorithms", "harp")
+            .with(
+                "dataset",
+                Value::object().with("path", "/nonexistent/x.tsv"),
+            );
+        let spec = JobSpec::from_json(&job).unwrap();
+        let err = spec.execute().unwrap_err().to_string();
+        assert!(err.contains("/nonexistent/x.tsv"), "{err}");
+    }
+}

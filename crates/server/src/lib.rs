@@ -1,0 +1,80 @@
+//! `sspc-server` — a batch experiment service over the `sspc-api`
+//! registry.
+//!
+//! The paper's Sec. 5 protocol (seeded restarts, best-of selection,
+//! algorithm comparison) is a batch workload; this crate serves it over
+//! plain TCP/JSON with **no dependencies beyond the workspace**: a
+//! `std::net::TcpListener` acceptor, a bounded
+//! [`TaskQueue`](sspc_common::parallel::TaskQueue) of jobs, and a pool of
+//! worker threads that execute each job through
+//! [`sspc_api::experiment`] — the same code path as the CLI and the bench
+//! harness, so a result fetched over the wire is the result an in-process
+//! call would produce (numbers travel in shortest-roundtrip JSON and parse
+//! back bit-identically).
+//!
+//! # Endpoints
+//!
+//! | method & path   | answer |
+//! |-----------------|--------|
+//! | `POST /jobs`    | `202 {"job": id, "queue_depth": …}` — or `400` (invalid job), `503` (queue full: backpressure) |
+//! | `GET /jobs/<id>`| job status; `result` once `done`, `error` once `failed` |
+//! | `GET /jobs`     | all job summaries (no result payloads) |
+//! | `GET /healthz`  | queue depth/capacity, job counters, per-algorithm throughput |
+//!
+//! See [`job::JobSpec::from_json`] for the job schema.
+//!
+//! # Example
+//!
+//! A complete round trip on a loopback socket — start, submit a
+//! generated-dataset comparison, poll to completion, shut down:
+//!
+//! ```
+//! use sspc_common::json::Value;
+//! use sspc_server::{client, Server, ServerConfig};
+//! use std::time::Duration;
+//!
+//! let server = Server::start(&ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // free port; server.addr() resolves it
+//!     workers: 1,
+//!     queue_capacity: 8,
+//! }).unwrap();
+//! let addr = server.addr().to_string();
+//!
+//! let job = Value::object()
+//!     .with("k", 2u64)
+//!     .with("dataset", Value::object().with(
+//!         "generate",
+//!         Value::object().with("n", 40u64).with("d", 8u64)
+//!             .with("dims", 4u64).with("seed", 3u64),
+//!     ))
+//!     .with("algorithms", "clarans,harp")
+//!     .with("runs", 2u64)
+//!     .with("truth", true);
+//!
+//! let id = client::submit(&addr, &job).unwrap();
+//! let done = client::wait_for(
+//!     &addr, id, Duration::from_millis(20), Duration::from_secs(30),
+//! ).unwrap();
+//! assert_eq!(done.get("status").and_then(Value::as_str), Some("done"));
+//! let reports = done.get("result").unwrap().get("reports").unwrap();
+//! assert_eq!(reports.as_array().unwrap().len(), 2);
+//!
+//! let health = client::healthz(&addr).unwrap();
+//! assert_eq!(
+//!     health.get("jobs").unwrap().get("completed").and_then(Value::as_u64),
+//!     Some(1),
+//! );
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod metrics;
+mod service;
+
+pub use job::{JobKind, JobSpec};
+pub use service::{Server, ServerConfig};

@@ -1,0 +1,186 @@
+//! Service health counters: queue pressure, job outcomes, and
+//! per-algorithm throughput, rendered as the `/healthz` document.
+
+use crate::job::AlgorithmCost;
+use sspc_common::json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Accumulated execution cost of one algorithm across all finished jobs.
+#[derive(Debug, Default, Clone)]
+struct AlgorithmThroughput {
+    jobs: u64,
+    restarts: u64,
+    busy_seconds: f64,
+}
+
+/// Monotonic counters updated by the acceptor and workers; all reads
+/// happen in [`Metrics::healthz_value`].
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    submitted: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_invalid: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    per_algorithm: Mutex<BTreeMap<String, AlgorithmThroughput>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            per_algorithm: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl Metrics {
+    /// A job was accepted onto the queue.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job was refused because the queue was at capacity.
+    pub fn record_rejected_full(&self) {
+        self.rejected_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request failed validation (malformed JSON or schema).
+    pub fn record_rejected_invalid(&self) {
+        self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job finished successfully; fold its per-algorithm costs into the
+    /// throughput table.
+    pub fn record_completed(&self, costs: &[AlgorithmCost]) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let mut table = self.per_algorithm.lock().expect("metrics poisoned");
+        for cost in costs {
+            let entry = table.entry(cost.algorithm.clone()).or_default();
+            entry.jobs += 1;
+            entry.restarts += cost.restarts as u64;
+            entry.busy_seconds += cost.busy_seconds;
+        }
+    }
+
+    /// A job failed.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the `/healthz` document. `queue_depth`/`queue_capacity`
+    /// describe the bounded queue; `workers` is the pool size.
+    pub fn healthz_value(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        workers: usize,
+    ) -> Value {
+        let mut algorithms = Value::object();
+        for (name, t) in self.per_algorithm.lock().expect("metrics poisoned").iter() {
+            let per_sec = if t.busy_seconds > 0.0 {
+                t.restarts as f64 / t.busy_seconds
+            } else {
+                0.0
+            };
+            algorithms = algorithms.with(
+                name.as_str(),
+                Value::object()
+                    .with("jobs", t.jobs)
+                    .with("restarts", t.restarts)
+                    .with("busy_seconds", t.busy_seconds)
+                    .with("restarts_per_busy_second", per_sec),
+            );
+        }
+        Value::object()
+            .with("status", "ok")
+            .with("uptime_seconds", self.started.elapsed().as_secs_f64())
+            .with("workers", workers)
+            .with(
+                "queue",
+                Value::object()
+                    .with("depth", queue_depth)
+                    .with("capacity", queue_capacity),
+            )
+            .with(
+                "jobs",
+                Value::object()
+                    .with("submitted", self.submitted.load(Ordering::Relaxed))
+                    .with(
+                        "rejected_queue_full",
+                        self.rejected_full.load(Ordering::Relaxed),
+                    )
+                    .with(
+                        "rejected_invalid",
+                        self.rejected_invalid.load(Ordering::Relaxed),
+                    )
+                    .with("completed", self.completed.load(Ordering::Relaxed))
+                    .with("failed", self.failed.load(Ordering::Relaxed)),
+            )
+            .with("algorithms", algorithms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_flow_into_healthz() {
+        let m = Metrics::default();
+        m.record_submitted();
+        m.record_submitted();
+        m.record_rejected_full();
+        m.record_rejected_invalid();
+        m.record_failed();
+        m.record_completed(&[
+            AlgorithmCost {
+                algorithm: "sspc".into(),
+                restarts: 5,
+                busy_seconds: 2.5,
+            },
+            AlgorithmCost {
+                algorithm: "harp".into(),
+                restarts: 1,
+                busy_seconds: 0.5,
+            },
+        ]);
+        m.record_completed(&[AlgorithmCost {
+            algorithm: "sspc".into(),
+            restarts: 5,
+            busy_seconds: 2.5,
+        }]);
+
+        let h = m.healthz_value(3, 64, 2);
+        assert_eq!(h.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(h.get("workers").and_then(Value::as_u64), Some(2));
+        let queue = h.get("queue").unwrap();
+        assert_eq!(queue.get("depth").and_then(Value::as_u64), Some(3));
+        assert_eq!(queue.get("capacity").and_then(Value::as_u64), Some(64));
+        let jobs = h.get("jobs").unwrap();
+        assert_eq!(jobs.get("submitted").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            jobs.get("rejected_queue_full").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(jobs.get("completed").and_then(Value::as_u64), Some(2));
+        assert_eq!(jobs.get("failed").and_then(Value::as_u64), Some(1));
+        let sspc = h.get("algorithms").unwrap().get("sspc").unwrap();
+        assert_eq!(sspc.get("jobs").and_then(Value::as_u64), Some(2));
+        assert_eq!(sspc.get("restarts").and_then(Value::as_u64), Some(10));
+        assert_eq!(sspc.get("busy_seconds").and_then(Value::as_f64), Some(5.0));
+        assert_eq!(
+            sspc.get("restarts_per_busy_second").and_then(Value::as_f64),
+            Some(2.0)
+        );
+    }
+}

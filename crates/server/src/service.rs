@@ -1,0 +1,342 @@
+//! The service itself: listener, bounded job queue, worker pool, routes.
+//!
+//! Threading model — all std, no async runtime:
+//!
+//! * one **acceptor** thread owns the `TcpListener` and spawns a short-lived
+//!   handler thread per connection (requests are tiny; job work never runs
+//!   on a handler);
+//! * `workers` long-lived **worker** threads block on the bounded
+//!   [`TaskQueue`] and execute jobs through `sspc_api::experiment`;
+//! * submissions never block: a full queue answers `503` immediately —
+//!   backpressure is the client's signal to slow down.
+//!
+//! Shutdown closes the queue (pending jobs drain), wakes the acceptor with
+//! a loopback connection, and joins every thread.
+
+use crate::http::{read_request, write_response, Request};
+use crate::job::JobSpec;
+use crate::metrics::Metrics;
+use sspc_common::json::Value;
+use sspc_common::parallel::{PushError, TaskQueue};
+use sspc_common::{Error, Result};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs. `0` is accepted and means *nothing
+    /// ever drains the queue* — only useful for backpressure drills.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before submissions get `503`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done { result: Value, seconds: f64 },
+    Failed { error: String },
+}
+
+/// One tracked job: the parsed spec plus its current status.
+struct JobRecord {
+    spec: JobSpec,
+    status: JobStatus,
+}
+
+impl JobRecord {
+    /// The status document served by `GET /jobs/<id>`; `result` appears
+    /// only once done, `error` only once failed.
+    fn to_value(&self, id: u64, with_result: bool) -> Value {
+        let algorithms: Vec<Value> = self
+            .spec
+            .algorithms
+            .iter()
+            .map(|a| Value::from(a.as_str()))
+            .collect();
+        let mut v = Value::object()
+            .with("job", id)
+            .with("algorithms", algorithms)
+            .with("runs", self.spec.runs)
+            .with("seed", self.spec.seed);
+        match &self.status {
+            JobStatus::Queued => v = v.with("status", "queued"),
+            JobStatus::Running => v = v.with("status", "running"),
+            JobStatus::Done { result, seconds } => {
+                v = v.with("status", "done").with("seconds", *seconds);
+                if with_result {
+                    v = v.with("result", result.clone());
+                }
+            }
+            JobStatus::Failed { error } => {
+                v = v.with("status", "failed").with("error", error.as_str());
+            }
+        }
+        v
+    }
+}
+
+/// State shared by the acceptor, handlers, and workers.
+struct ServerState {
+    queue: TaskQueue<u64>,
+    jobs: Mutex<BTreeMap<u64, JobRecord>>,
+    next_id: AtomicU64,
+    metrics: Metrics,
+    shutting_down: AtomicBool,
+    workers: usize,
+}
+
+/// A running batch service; dropping the handle does **not** stop it —
+/// call [`Server::shutdown`] (tests) or [`Server::wait`] (the CLI).
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the service (acceptor + worker pool).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when the address cannot be bound.
+    pub fn start(config: &ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::InvalidParameter(format!("cannot bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::InvalidParameter(format!("local_addr: {e}")))?;
+        let state = Arc::new(ServerState {
+            queue: TaskQueue::bounded(config.queue_capacity),
+            jobs: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            metrics: Metrics::default(),
+            shutting_down: AtomicBool::new(false),
+            workers: config.workers,
+        });
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("sspc-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("sspc-acceptor".into())
+            .spawn(move || acceptor_loop(&listener, &acceptor_state))
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            addr,
+            state,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the acceptor exits — i.e. forever, short of a
+    /// [`Server::shutdown`] from another thread or process death. The CLI
+    /// `serve` command parks here.
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Stops accepting, drains queued jobs, and joins every thread.
+    pub fn shutdown(self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+        // Wake the acceptor out of `accept()` with a loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(state: &ServerState) {
+    while let Some(id) = state.queue.pop() {
+        let spec = {
+            let mut jobs = state.jobs.lock().expect("jobs poisoned");
+            let Some(record) = jobs.get_mut(&id) else {
+                continue;
+            };
+            record.status = JobStatus::Running;
+            record.spec.clone()
+        };
+        let started = Instant::now();
+        let outcome = spec.execute();
+        let seconds = started.elapsed().as_secs_f64();
+        let status = match outcome {
+            Ok(outcome) => {
+                state.metrics.record_completed(&outcome.throughput);
+                JobStatus::Done {
+                    result: outcome.result,
+                    seconds,
+                }
+            }
+            Err(e) => {
+                state.metrics.record_failed();
+                JobStatus::Failed {
+                    error: e.to_string(),
+                }
+            }
+        };
+        state
+            .jobs
+            .lock()
+            .expect("jobs poisoned")
+            .get_mut(&id)
+            .expect("job vanished")
+            .status = status;
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        // Handlers are short-lived (parse, route, respond); job execution
+        // happens on the worker pool, never here.
+        let _ = std::thread::Builder::new()
+            .name("sspc-handler".into())
+            .spawn(move || handle_connection(stream, &state));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(&request, state),
+        Err(e) => (400, Value::object().with("error", e.to_string())),
+    };
+    let _ = write_response(&mut stream, response.0, &response.1);
+}
+
+fn error_body(msg: impl Into<String>) -> Value {
+    Value::object().with("error", msg.into())
+}
+
+fn route(request: &Request, state: &ServerState) -> (u16, Value) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/jobs") => submit_job(&request.body, state),
+        ("GET", "/jobs") => list_jobs(state),
+        ("GET", path) if path.starts_with("/jobs/") => get_job(path, state),
+        ("GET", "/healthz") => (
+            200,
+            state
+                .metrics
+                .healthz_value(state.queue.len(), state.queue.capacity(), state.workers),
+        ),
+        (_, "/jobs" | "/healthz") => (405, error_body("method not allowed")),
+        (_, path) if path.starts_with("/jobs/") => (405, error_body("method not allowed")),
+        _ => (404, error_body("no such endpoint")),
+    }
+}
+
+fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
+    let parsed = std::str::from_utf8(body)
+        .map_err(|_| Error::InvalidParameter("body is not UTF-8".into()))
+        .and_then(Value::parse)
+        .and_then(|v| JobSpec::from_json(&v));
+    let spec = match parsed {
+        Ok(spec) => spec,
+        Err(e) => {
+            state.metrics.record_rejected_invalid();
+            return (400, error_body(e.to_string()));
+        }
+    };
+
+    let id = state.next_id.fetch_add(1, Ordering::SeqCst);
+    // Insert before enqueueing so a fast worker always finds the record;
+    // a refused push removes it again.
+    state.jobs.lock().expect("jobs poisoned").insert(
+        id,
+        JobRecord {
+            spec,
+            status: JobStatus::Queued,
+        },
+    );
+    match state.queue.try_push(id) {
+        Ok(depth) => {
+            state.metrics.record_submitted();
+            (
+                202,
+                Value::object()
+                    .with("job", id)
+                    .with("status", "queued")
+                    .with("queue_depth", depth),
+            )
+        }
+        Err(refusal) => {
+            state.jobs.lock().expect("jobs poisoned").remove(&id);
+            match refusal {
+                PushError::Full(_) => {
+                    state.metrics.record_rejected_full();
+                    (
+                        503,
+                        error_body("queue full, retry later")
+                            .with("queue_depth", state.queue.len())
+                            .with("queue_capacity", state.queue.capacity()),
+                    )
+                }
+                PushError::Closed(_) => (503, error_body("server is shutting down")),
+            }
+        }
+    }
+}
+
+fn get_job(path: &str, state: &ServerState) -> (u16, Value) {
+    let id_text = &path["/jobs/".len()..];
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (404, error_body(format!("bad job id `{id_text}`")));
+    };
+    match state.jobs.lock().expect("jobs poisoned").get(&id) {
+        Some(record) => (200, record.to_value(id, true)),
+        None => (404, error_body(format!("no job {id}"))),
+    }
+}
+
+fn list_jobs(state: &ServerState) -> (u16, Value) {
+    let jobs = state.jobs.lock().expect("jobs poisoned");
+    let items: Vec<Value> = jobs
+        .iter()
+        .map(|(id, record)| record.to_value(*id, false))
+        .collect();
+    (200, Value::object().with("jobs", items))
+}

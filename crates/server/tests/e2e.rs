@@ -1,0 +1,339 @@
+//! End-to-end tests over a real socket: a submitted job's wire result must
+//! be **identical** to the equivalent in-process `sspc_api` call, and the
+//! error paths (malformed submissions, backpressure) must answer with the
+//! right statuses without wedging the service.
+
+use sspc_api::compare_algorithms;
+use sspc_api::registry::{AnyClusterer, ParamMap};
+use sspc_common::json::Value;
+use sspc_common::{ClusterId, Supervision};
+use sspc_datagen::{generate, GeneratorConfig};
+use sspc_server::{client, Server, ServerConfig};
+use std::time::Duration;
+
+fn start(workers: usize, queue_capacity: usize) -> (Server, String) {
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity,
+    })
+    .expect("bind a loopback port");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+/// The experiment a job and the in-process reference both run.
+const N: usize = 120;
+const D: usize = 16;
+const K: usize = 3;
+const DIMS: usize = 5;
+const DATA_SEED: u64 = 7;
+const JOB_SEED: u64 = 11;
+const RUNS: usize = 2;
+const ALGORITHMS: [&str; 3] = ["sspc", "clarans", "harp"];
+const PARAMS: &str = "clarans.num-local=1";
+
+fn compare_job() -> Value {
+    Value::object()
+        .with("k", K as u64)
+        .with(
+            "dataset",
+            Value::object().with(
+                "generate",
+                Value::object()
+                    .with("n", N as u64)
+                    .with("d", D as u64)
+                    .with("dims", DIMS as u64)
+                    .with("seed", DATA_SEED),
+            ),
+        )
+        .with("algorithms", ALGORITHMS.join(","))
+        .with("params", PARAMS)
+        .with("runs", RUNS as u64)
+        .with("seed", JOB_SEED)
+        .with("truth", true)
+        .with("include_assignment", true)
+}
+
+/// Submit over the socket, poll to completion, and check the result equals
+/// a direct [`compare_algorithms`] call — algorithm by algorithm, field by
+/// field, down to the f64 bits (shortest-roundtrip JSON) and the full
+/// per-object assignment.
+#[test]
+fn socket_compare_job_matches_in_process_result() {
+    let (server, addr) = start(2, 16);
+    let id = client::submit(&addr, &compare_job()).unwrap();
+    let done = client::wait_for(
+        &addr,
+        id,
+        Duration::from_millis(25),
+        Duration::from_secs(120),
+    )
+    .expect("job finishes");
+    assert_eq!(done.get("status").and_then(Value::as_str), Some("done"));
+    let wire_reports = done
+        .get("result")
+        .and_then(|r| r.get("reports"))
+        .and_then(Value::as_array)
+        .expect("reports array")
+        .to_vec();
+
+    // The reference: same dataset, same roster, same protocol, in-process.
+    let data = generate(
+        &GeneratorConfig {
+            n: N,
+            d: D,
+            k: K,
+            avg_cluster_dims: DIMS,
+            ..Default::default()
+        },
+        DATA_SEED,
+    )
+    .unwrap();
+    let scoped = ParamMap::parse_scoped(PARAMS).unwrap();
+    let roster = AnyClusterer::roster(&ALGORITHMS, K, &scoped).unwrap();
+    let reference = compare_algorithms(
+        &roster,
+        &data.dataset,
+        &Supervision::none(),
+        Some(data.truth.assignment()),
+        RUNS,
+        JOB_SEED,
+    )
+    .unwrap();
+
+    assert_eq!(wire_reports.len(), reference.len());
+    for (wire, local) in wire_reports.iter().zip(&reference) {
+        let name = local.algorithm.as_str();
+        assert_eq!(wire.get("algorithm").and_then(Value::as_str), Some(name));
+        let wire_objective = wire.get("objective").and_then(Value::as_f64).unwrap();
+        assert_eq!(
+            wire_objective.to_bits(),
+            local.best.objective().to_bits(),
+            "{name}: objective drifted across the wire"
+        );
+        assert_eq!(
+            wire.get("clusters").and_then(Value::as_u64),
+            Some(local.best.n_clusters() as u64),
+            "{name}"
+        );
+        assert_eq!(
+            wire.get("outliers").and_then(Value::as_u64),
+            Some(local.best.n_outliers() as u64),
+            "{name}"
+        );
+        assert_eq!(
+            wire.get("runs").and_then(Value::as_u64),
+            Some(local.runs_executed as u64),
+            "{name}"
+        );
+
+        let eval = local.evaluation.expect("truth supplied");
+        let wire_eval = wire.get("evaluation").expect("truth supplied");
+        for (key, value) in [
+            ("ari", eval.ari),
+            ("nmi", eval.nmi),
+            ("purity", eval.purity),
+        ] {
+            let wire_value = wire_eval.get(key).and_then(Value::as_f64).unwrap();
+            assert_eq!(
+                wire_value.to_bits(),
+                value.to_bits(),
+                "{name}: {key} drifted across the wire"
+            );
+        }
+
+        let wire_assignment: Vec<Option<ClusterId>> = wire
+            .get("assignment")
+            .and_then(Value::as_array)
+            .expect("assignment requested")
+            .iter()
+            .map(|v| v.as_u64().map(|c| ClusterId(c as usize)))
+            .collect();
+        assert_eq!(
+            wire_assignment,
+            local.best.assignment().to_vec(),
+            "{name}: assignment drifted across the wire"
+        );
+    }
+
+    // The health counters saw exactly this one job.
+    let health = client::healthz(&addr).unwrap();
+    let jobs = health.get("jobs").unwrap();
+    assert_eq!(jobs.get("submitted").and_then(Value::as_u64), Some(1));
+    assert_eq!(jobs.get("completed").and_then(Value::as_u64), Some(1));
+    assert_eq!(jobs.get("failed").and_then(Value::as_u64), Some(0));
+    let harp = health.get("algorithms").unwrap().get("harp").unwrap();
+    assert_eq!(harp.get("restarts").and_then(Value::as_u64), Some(1));
+    server.shutdown();
+}
+
+/// A job on a dataset file written to disk: the path + `truth_path` route.
+#[test]
+fn file_backed_cluster_job_roundtrips() {
+    let dir = std::env::temp_dir();
+    let data_path = dir.join(format!("sspc_e2e_{}_data.tsv", std::process::id()));
+    let truth_path = dir.join(format!("sspc_e2e_{}_truth.tsv", std::process::id()));
+    let data = generate(
+        &GeneratorConfig {
+            n: 80,
+            d: 10,
+            k: 2,
+            avg_cluster_dims: 4,
+            ..Default::default()
+        },
+        5,
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    sspc_common::io::write_delimited(&data.dataset, &mut buf, '\t').unwrap();
+    std::fs::write(&data_path, buf).unwrap();
+    let mut buf = Vec::new();
+    sspc_common::io::write_labels(&mut buf, data.truth.assignment()).unwrap();
+    std::fs::write(&truth_path, buf).unwrap();
+
+    let (server, addr) = start(1, 8);
+    let job = Value::object()
+        .with("type", "cluster")
+        .with("k", 2u64)
+        .with(
+            "dataset",
+            Value::object().with("path", data_path.to_string_lossy().into_owned()),
+        )
+        .with("truth_path", truth_path.to_string_lossy().into_owned())
+        .with("algorithm", "clarans")
+        .with("runs", 2u64)
+        .with("seed", 9u64);
+    let id = client::submit(&addr, &job).unwrap();
+    let done = client::wait_for(
+        &addr,
+        id,
+        Duration::from_millis(25),
+        Duration::from_secs(60),
+    )
+    .unwrap();
+    assert_eq!(done.get("status").and_then(Value::as_str), Some("done"));
+    let result = done.get("result").unwrap();
+    assert_eq!(
+        result
+            .get("assignment")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(80)
+    );
+    assert!(result.get("evaluation").is_some());
+    server.shutdown();
+    let _ = std::fs::remove_file(&data_path);
+    let _ = std::fs::remove_file(&truth_path);
+}
+
+/// Invalid submissions answer 400 with a useful message; unknown routes
+/// and ids 404; wrong methods 405. The service keeps serving afterwards.
+#[test]
+fn malformed_requests_get_4xx_answers() {
+    let (server, addr) = start(1, 8);
+
+    // Not JSON at all: raw bytes straight down the socket.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 4\r\n\r\n}{!!")
+            .unwrap();
+        let mut answer = String::new();
+        stream.read_to_string(&mut answer).unwrap();
+        assert!(answer.starts_with("HTTP/1.1 400"), "{answer}");
+    }
+
+    // A JSON document that is not an object.
+    let (status, body) =
+        sspc_server::http::request(&addr, "POST", "/jobs", Some(&Value::Str("}{".into()))).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.get("error").is_some());
+
+    // JSON, but schema-invalid (missing k/dataset/algorithms).
+    let (status, body) =
+        sspc_server::http::request(&addr, "POST", "/jobs", Some(&Value::object())).unwrap();
+    assert_eq!(status, 400);
+    let msg = body.get("error").and_then(Value::as_str).unwrap();
+    assert!(msg.contains("`k`"), "{msg}");
+
+    // Unknown algorithm passes the schema, fails at execution → job fails.
+    let job = compare_job()
+        .with("algorithms", "kmeans")
+        .with("params", "");
+    let id = client::submit(&addr, &job).unwrap();
+    let done = client::wait_for(
+        &addr,
+        id,
+        Duration::from_millis(10),
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    assert_eq!(done.get("status").and_then(Value::as_str), Some("failed"));
+    let msg = done.get("error").and_then(Value::as_str).unwrap();
+    assert!(msg.contains("unknown algorithm"), "{msg}");
+
+    // Unknown routes, ids, and methods.
+    let (status, _) = sspc_server::http::request(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = sspc_server::http::request(&addr, "GET", "/jobs/999", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = sspc_server::http::request(&addr, "DELETE", "/jobs/1", None).unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = sspc_server::http::request(&addr, "POST", "/healthz", None).unwrap();
+    assert_eq!(status, 405);
+
+    // The counters recorded the three invalid submissions and the service
+    // still answers.
+    let health = client::healthz(&addr).unwrap();
+    let jobs = health.get("jobs").unwrap();
+    assert_eq!(
+        jobs.get("rejected_invalid").and_then(Value::as_u64),
+        Some(3)
+    );
+    assert_eq!(jobs.get("failed").and_then(Value::as_u64), Some(1));
+    server.shutdown();
+}
+
+/// Backpressure: with no workers draining, the queue fills to capacity and
+/// the next submission is refused with 503 — it does **not** block or grow
+/// the queue without bound.
+#[test]
+fn full_queue_answers_503_backpressure() {
+    let (server, addr) = start(0, 2);
+    let job = compare_job();
+    assert!(client::submit(&addr, &job).is_ok());
+    assert!(client::submit(&addr, &job).is_ok());
+
+    let (status, body) = sspc_server::http::request(&addr, "POST", "/jobs", Some(&job)).unwrap();
+    assert_eq!(status, 503);
+    assert_eq!(body.get("queue_depth").and_then(Value::as_u64), Some(2));
+    assert_eq!(body.get("queue_capacity").and_then(Value::as_u64), Some(2));
+
+    // The refused job left no trace; the two accepted ones are queued.
+    let health = client::healthz(&addr).unwrap();
+    assert_eq!(
+        health
+            .get("queue")
+            .unwrap()
+            .get("depth")
+            .and_then(Value::as_u64),
+        Some(2)
+    );
+    let jobs = health.get("jobs").unwrap();
+    assert_eq!(jobs.get("submitted").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        jobs.get("rejected_queue_full").and_then(Value::as_u64),
+        Some(1)
+    );
+    let (_, listing) = sspc_server::http::request(&addr, "GET", "/jobs", None).unwrap();
+    assert_eq!(
+        listing
+            .get("jobs")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(2)
+    );
+    server.shutdown();
+}

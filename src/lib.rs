@@ -36,3 +36,4 @@ pub use sspc_common as common;
 pub use sspc_common::{Clustering, ObjectiveSense, ProjectedClusterer, Supervision};
 pub use sspc_datagen as datagen;
 pub use sspc_metrics as metrics;
+pub use sspc_server as server;

@@ -3,7 +3,7 @@
 //! on their building blocks so the suite stays fast — the full sweeps run
 //! via `cargo run --release -p sspc-bench --bin experiments -- all`.
 
-use sspc::{SspcParams, Supervision, ThresholdScheme};
+use sspc::{Sspc, SspcParams, Supervision, ThresholdScheme};
 use sspc_baselines::proclus::ProclusParams;
 use sspc_bench::experiments;
 use sspc_bench::runner;
@@ -52,12 +52,20 @@ fn runner_protocol_matches_paper_best_of_n() {
         9,
     )
     .unwrap();
-    let params = SspcParams::new(3).with_threshold(ThresholdScheme::MFraction(0.5));
-    let t = runner::best_sspc_of(&data.dataset, &params, &Supervision::none(), 3, 4).unwrap();
+    let sspc =
+        Sspc::new(SspcParams::new(3).with_threshold(ThresholdScheme::MFraction(0.5))).unwrap();
+    let t = runner::best_clustering_of(&sspc, &data.dataset, &Supervision::none(), 3, 4).unwrap();
     let ari = runner::ari_vs_truth(&data.truth, t.value.assignment()).unwrap();
     assert!(ari > 0.7, "best-of-3 ARI {ari}");
 
-    let p = runner::best_proclus_of(&data.dataset, &ProclusParams::new(3, 6), 3, 4).unwrap();
+    let p = runner::best_clustering_of(
+        &ProclusParams::new(3, 6).build(),
+        &data.dataset,
+        &Supervision::none(),
+        3,
+        4,
+    )
+    .unwrap();
     let ari = runner::ari_vs_truth(&data.truth, p.value.assignment()).unwrap();
     assert!(ari > 0.5, "PROCLUS best-of-3 ARI {ari}");
 }
