@@ -1,7 +1,11 @@
 //! Batch-service throughput benchmark: jobs/sec through the full stack —
-//! HTTP submission over a real loopback socket, the bounded queue, the
-//! worker pool, `sspc_api::experiment` execution, and result polling —
-//! at 1, 2 and 8 workers.
+//! HTTP submission over a real loopback socket (keep-alive: the driver
+//! reuses one connection for submits and another per poller), the bounded
+//! queue, the worker pool, `sspc_api::experiment` execution, and result
+//! polling — at 1, 2 and 8 workers, for **both job stores**: the
+//! in-memory map and the fsynced disk journal. The memory-vs-disk delta
+//! at equal workers is the measured persistence overhead (fsync per
+//! submission + per completion).
 //!
 //! Per-job intra-algorithm parallelism is pinned to one thread
 //! (`SSPC_NUM_THREADS=1`) so the sweep isolates the *worker pool's*
@@ -18,7 +22,9 @@
 //! * `BENCH_SERVER_OUT` — output path for the JSON record.
 
 use sspc_common::json::Value;
-use sspc_server::{client, Server, ServerConfig};
+use sspc_server::client::Client;
+use sspc_server::{Server, ServerConfig};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -38,16 +44,23 @@ struct Workload {
     algorithms: &'static str,
 }
 
-/// One sweep point: a fresh server with `workers` workers, `jobs` jobs
-/// submitted up front, wall-clock measured to the last completion.
-fn measure(workers: usize, w: &Workload) -> (f64, f64) {
+/// One sweep point: a fresh server with `workers` workers and the given
+/// store, `jobs` jobs submitted up front, wall-clock measured to the
+/// last completion.
+fn measure(workers: usize, state_dir: Option<&PathBuf>, w: &Workload) -> (f64, f64) {
+    if let Some(dir) = state_dir {
+        let _ = std::fs::remove_dir_all(dir); // fresh journal per point
+    }
     let server = Server::start(&ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers,
         queue_capacity: w.jobs + 8,
+        state_dir: state_dir.cloned(),
+        ..Default::default()
     })
     .expect("bind loopback");
     let addr = server.addr().to_string();
+    let mut client = Client::new(&addr);
 
     let started = Instant::now();
     let ids: Vec<u64> = (0..w.jobs)
@@ -71,17 +84,13 @@ fn measure(workers: usize, w: &Workload) -> (f64, f64) {
                 .with("runs", w.runs as u64)
                 .with("seed", 1u64)
                 .with("truth", true);
-            client::submit(&addr, &job).expect("submit")
+            client.submit(&job).expect("submit")
         })
         .collect();
     for id in ids {
-        let done = client::wait_for(
-            &addr,
-            id,
-            Duration::from_millis(5),
-            Duration::from_secs(600),
-        )
-        .expect("job finishes");
+        let done = client
+            .wait_for(id, Duration::from_millis(5), Duration::from_secs(600))
+            .expect("job finishes");
         assert_eq!(
             done.get("status").and_then(Value::as_str),
             Some("done"),
@@ -90,6 +99,9 @@ fn measure(workers: usize, w: &Workload) -> (f64, f64) {
     }
     let seconds = started.elapsed().as_secs_f64();
     server.shutdown();
+    if let Some(dir) = state_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     (seconds, w.jobs as f64 / seconds)
 }
 
@@ -120,19 +132,24 @@ fn main() {
     };
 
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let disk_dir = std::env::temp_dir().join(format!("sspc_bench_state_{}", std::process::id()));
     let mut sweep = Vec::new();
-    for workers in [1usize, 2, 8] {
-        let (seconds, jobs_per_sec) = measure(workers, &w);
-        println!(
-            "server bench: {:2} workers  {} jobs in {seconds:.3}s  ({jobs_per_sec:.1} jobs/s)",
-            workers, w.jobs
-        );
-        sweep.push(
-            Value::object()
-                .with("workers", workers)
-                .with("seconds", (seconds * 1e6).round() / 1e6)
-                .with("jobs_per_sec", (jobs_per_sec * 1e3).round() / 1e3),
-        );
+    for (store, state_dir) in [("memory", None), ("disk", Some(&disk_dir))] {
+        for workers in [1usize, 2, 8] {
+            let (seconds, jobs_per_sec) = measure(workers, state_dir, &w);
+            println!(
+                "server bench: {store:6} store  {workers:2} workers  {} jobs in {seconds:.3}s  \
+                 ({jobs_per_sec:.1} jobs/s)",
+                w.jobs
+            );
+            sweep.push(
+                Value::object()
+                    .with("store", store)
+                    .with("workers", workers)
+                    .with("seconds", (seconds * 1e6).round() / 1e6)
+                    .with("jobs_per_sec", (jobs_per_sec * 1e3).round() / 1e3),
+            );
+        }
     }
 
     let record = Value::object()
@@ -150,12 +167,18 @@ fn main() {
 
     let out_path = std::env::var("BENCH_SERVER_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_server.json", env!("CARGO_MANIFEST_DIR")));
+    // Checked serialization: the trajectory tooling parses these records
+    // back, so a non-finite number must fail the bench, not degrade to
+    // null silently.
+    let line = record
+        .to_string_checked()
+        .expect("bench record contains a non-finite number");
     use std::io::Write;
     match std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(&out_path)
-        .and_then(|mut f| writeln!(f, "{record}"))
+        .and_then(|mut f| writeln!(f, "{line}"))
     {
         Ok(()) => eprintln!("server bench: appended record to {out_path}"),
         Err(e) => eprintln!("server bench: could not write {out_path}: {e}"),

@@ -60,11 +60,18 @@ subcommands:
       Print ARI, NMI and purity of produced labels against true labels.
 
   serve     [--addr 127.0.0.1:7878] [--workers 2] [--queue-cap 64]
+            [--state-dir DIR] [--result-ttl SECONDS] [--max-jobs N]
             [--threads N]
       Run the batch experiment service: JSON job submissions over HTTP
       (POST /jobs), status/result polling (GET /jobs/<id>), and /healthz
       with queue depth and per-algorithm throughput. Jobs execute on a
       bounded multi-worker queue; a full queue answers 503 (backpressure).
+      With --state-dir, jobs and results are journaled to DIR and survive
+      restart (completed results bit-identically; interrupted jobs
+      re-run). --result-ttl evicts finished jobs that long after
+      completion; --max-jobs caps the store, evicting oldest-finished
+      first. Connections are HTTP/1.1 keep-alive, so pollers reuse one
+      socket.
 
   submit    --addr HOST:PORT --k K
             (--input FILE [--truth-path FILE] | --generate \"n=1000,d=100,...\")
@@ -79,10 +86,13 @@ subcommands:
       planted labels. --input paths are resolved to absolute paths but
       must be readable by the *server* process.
 
-  poll      --addr HOST:PORT --job ID [--wait true] [--interval-ms 250]
-            [--timeout-sec 600]
+  poll      --addr HOST:PORT (--job ID | --list true) [--wait true]
+            [--interval-ms 250] [--timeout-sec 600]
+            [--status queued|running|done|failed] [--limit N]
       Print a submitted job's status/result JSON (optionally waiting for
-      it to finish).
+      it to finish) — or, with --list true, a bounded job listing (newest
+      first; --status filters, --limit caps, `total` reports the uncapped
+      match count).
 
   health    --addr HOST:PORT
       Print the service's /healthz JSON.
@@ -321,7 +331,15 @@ fn cmd_evaluate(flags: &Flags) -> Result<()> {
 // ---- the batch service -----------------------------------------------------
 
 fn cmd_serve(flags: &Flags) -> Result<()> {
-    flags.reject_unknown(&["addr", "workers", "queue-cap", "threads"])?;
+    flags.reject_unknown(&[
+        "addr",
+        "workers",
+        "queue-cap",
+        "state-dir",
+        "result-ttl",
+        "max-jobs",
+        "threads",
+    ])?;
     apply_threads(flags)?;
     let workers = flags.parsed_or("workers", 2usize)?;
     if workers == 0 {
@@ -329,6 +347,35 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
             "--workers must be at least 1".into(),
         ));
     }
+    let result_ttl = match flags.optional("result-ttl") {
+        None => None,
+        Some(_) => {
+            let seconds: f64 = flags.parsed("result-ttl")?;
+            if !seconds.is_finite() || seconds <= 0.0 {
+                return Err(Error::InvalidParameter(
+                    "--result-ttl must be a positive number of seconds".into(),
+                ));
+            }
+            // try_from: an absurdly large value overflows Duration and
+            // must be a clean CLI error, not a panic.
+            Some(
+                Duration::try_from_secs_f64(seconds)
+                    .map_err(|e| Error::InvalidParameter(format!("--result-ttl {seconds}: {e}")))?,
+            )
+        }
+    };
+    let max_jobs = match flags.optional("max-jobs") {
+        None => None,
+        Some(_) => {
+            let n: usize = flags.parsed("max-jobs")?;
+            if n == 0 {
+                return Err(Error::InvalidParameter(
+                    "--max-jobs must be at least 1".into(),
+                ));
+            }
+            Some(n)
+        }
+    };
     let config = ServerConfig {
         addr: flags
             .optional("addr")
@@ -336,10 +383,17 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
             .to_string(),
         workers,
         queue_capacity: flags.parsed_or("queue-cap", 64usize)?,
+        state_dir: flags.optional("state-dir").map(std::path::PathBuf::from),
+        result_ttl,
+        max_jobs,
     };
     let server = Server::start(&config)?;
+    let store = match &config.state_dir {
+        Some(dir) => format!("disk store at {}", dir.display()),
+        None => "memory store".to_string(),
+    };
     eprintln!(
-        "sspc-server listening on {} ({} workers, queue capacity {})",
+        "sspc-server listening on {} ({} workers, queue capacity {}, {store})",
         server.addr(),
         config.workers,
         config.queue_capacity
@@ -444,10 +498,13 @@ fn cmd_submit(flags: &Flags) -> Result<()> {
         );
     }
 
-    let id = client::submit(addr, &job)?;
+    // One keep-alive client carries the submission AND the whole polling
+    // loop — one TCP connect for the entire `submit --wait`.
+    let mut client = client::Client::new(addr);
+    let id = client.submit(&job)?;
     eprintln!("job {id} submitted to {addr}");
     if flags.parsed_or("wait", false)? {
-        print_job(wait_flags(flags, addr, id)?)
+        print_job(wait_flags(flags, &mut client, id)?)
     } else {
         println!("{id}");
         Ok(())
@@ -455,13 +512,36 @@ fn cmd_submit(flags: &Flags) -> Result<()> {
 }
 
 fn cmd_poll(flags: &Flags) -> Result<()> {
-    flags.reject_unknown(&["addr", "job", "wait", "interval-ms", "timeout-sec"])?;
+    flags.reject_unknown(&[
+        "addr",
+        "job",
+        "list",
+        "status",
+        "limit",
+        "wait",
+        "interval-ms",
+        "timeout-sec",
+    ])?;
     let addr = flags.required("addr")?;
+    let mut client = client::Client::new(addr);
+    if flags.parsed_or("list", false)? {
+        if flags.optional("job").is_some() {
+            return Err(Error::InvalidParameter(
+                "give either --job ID or --list true, not both".into(),
+            ));
+        }
+        let limit = match flags.optional("limit") {
+            None => None,
+            Some(_) => Some(flags.parsed::<usize>("limit")?),
+        };
+        println!("{}", client.list_jobs(flags.optional("status"), limit)?);
+        return Ok(());
+    }
     let id: u64 = flags.parsed("job")?;
     let status = if flags.parsed_or("wait", false)? {
-        wait_flags(flags, addr, id)?
+        wait_flags(flags, &mut client, id)?
     } else {
-        client::job_status(addr, id)?
+        client.job_status(id)?
     };
     print_job(status)
 }
@@ -472,10 +552,10 @@ fn cmd_health(flags: &Flags) -> Result<()> {
     Ok(())
 }
 
-/// Polls the job per the `--interval-ms`/`--timeout-sec` flags.
-fn wait_flags(flags: &Flags, addr: &str, id: u64) -> Result<Value> {
-    client::wait_for(
-        addr,
+/// Polls the job per the `--interval-ms`/`--timeout-sec` flags, reusing
+/// the given keep-alive client.
+fn wait_flags(flags: &Flags, client: &mut client::Client, id: u64) -> Result<Value> {
+    client.wait_for(
         id,
         Duration::from_millis(flags.parsed_or("interval-ms", 250u64)?),
         Duration::from_secs(flags.parsed_or("timeout-sec", 600u64)?),
@@ -908,6 +988,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             queue_capacity: 8,
+            ..Default::default()
         })
         .unwrap();
         let addr = server.addr().to_string();
@@ -936,6 +1017,21 @@ mod tests {
         // The waited job is job 1; poll sees its final state.
         dispatch(&argv(&["poll", "--addr", &addr, "--job", "1"])).unwrap();
         dispatch(&argv(&["health", "--addr", &addr])).unwrap();
+
+        // The listing mode: filtered, capped, and exclusive with --job.
+        dispatch(&argv(&["poll", "--addr", &addr, "--list", "true"])).unwrap();
+        dispatch(&argv(&[
+            "poll", "--addr", &addr, "--list", "true", "--status", "done", "--limit", "1",
+        ]))
+        .unwrap();
+        assert!(dispatch(&argv(&[
+            "poll", "--addr", &addr, "--list", "true", "--job", "1",
+        ]))
+        .is_err());
+        assert!(dispatch(&argv(&[
+            "poll", "--addr", &addr, "--list", "true", "--status", "bogus",
+        ]))
+        .is_err());
 
         // Unknown job ids and client-side validation failures error out.
         assert!(dispatch(&argv(&["poll", "--addr", &addr, "--job", "99"])).is_err());
@@ -1007,6 +1103,63 @@ mod tests {
     #[test]
     fn serve_rejects_zero_workers() {
         assert!(dispatch(&argv(&["serve", "--workers", "0"])).is_err());
+    }
+
+    /// The store flags validate before anything binds.
+    #[test]
+    fn serve_validates_store_flags() {
+        for bad in [
+            &["serve", "--result-ttl", "0"][..],
+            &["serve", "--result-ttl", "-3"][..],
+            &["serve", "--result-ttl", "soon"][..],
+            &["serve", "--result-ttl", "1e30"][..], // Duration overflow: error, not panic
+            &["serve", "--max-jobs", "0"][..],
+            &["serve", "--max-jobs", "many"][..],
+        ] {
+            assert!(dispatch(&argv(bad)).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    /// `serve --state-dir` end to end *through the CLI config path*:
+    /// results survive a stop/start cycle on the same directory.
+    #[test]
+    fn state_dir_flag_survives_a_restart() {
+        let dir = temp_path("state_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            state_dir: Some(std::path::PathBuf::from(&dir)),
+            ..Default::default()
+        };
+        let server = Server::start(&config).unwrap();
+        let addr = server.addr().to_string();
+        dispatch(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--k",
+            "2",
+            "--generate",
+            "n=40,d=6,dims=3,seed=2",
+            "--algorithms",
+            "harp",
+            "--runs",
+            "1",
+            "--wait",
+            "true",
+            "--interval-ms",
+            "20",
+        ]))
+        .unwrap();
+        server.shutdown();
+
+        let server = Server::start(&config).unwrap();
+        let addr = server.addr().to_string();
+        dispatch(&argv(&["poll", "--addr", &addr, "--job", "1"])).unwrap();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

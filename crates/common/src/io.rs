@@ -1,4 +1,4 @@
-//! Dataset I/O and normalization.
+//! Dataset I/O, normalization, and durable-write primitives.
 //!
 //! The paper's stated next step (Sec. 6) is applying SSPC to real datasets
 //! such as gene-expression profiles, which ship as delimited text matrices.
@@ -9,9 +9,16 @@
 //! delimiter (default tab, comma accepted), `#`-prefixed comment lines and
 //! blank lines ignored, optional non-numeric header line auto-detected and
 //! skipped.
+//!
+//! The durable-write helpers ([`append_line_durable`], [`write_atomic`])
+//! are the substrate under the batch server's job journal: fsynced
+//! appends for crash-safe logging and atomic whole-file replacement for
+//! journal compaction.
 
 use crate::{ClusterId, Dataset, DatasetBuilder, DimId, Error, Result};
+use std::fs::File;
 use std::io::{BufRead, Write};
+use std::path::Path;
 
 /// Reads a delimited numeric matrix into a [`Dataset`].
 ///
@@ -136,6 +143,74 @@ pub fn read_labels<R: BufRead>(reader: R, origin: &str) -> Result<Vec<Option<Clu
     Ok(labels)
 }
 
+/// Appends `line` plus a trailing newline to an open file and syncs the
+/// data to disk before returning — the building block for append-only
+/// journals whose every record must survive a process kill.
+///
+/// The line itself must not contain `\n` (one record per line is the
+/// journal's framing).
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] when `line` embeds a newline, or wrapping
+/// any write/sync failure.
+pub fn append_line_durable(file: &mut File, line: &str) -> Result<()> {
+    if line.contains('\n') {
+        return Err(Error::InvalidParameter(
+            "journal records must be single lines".into(),
+        ));
+    }
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    file.write_all(&buf)
+        .and_then(|()| file.sync_data())
+        .map_err(|e| Error::InvalidParameter(format!("durable append: {e}")))
+}
+
+/// Replaces `path` with `contents` atomically: writes a sibling temporary
+/// file, fsyncs it, renames it over `path`, and fsyncs the parent
+/// directory so the rename itself is durable. Readers never observe a
+/// partially-written file — they see the old content or the new, nothing
+/// in between. Used for journal compaction.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] wrapping any create/write/sync/rename
+/// failure (including a `path` with no parent directory).
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<()> {
+    let wrap = |context: &str, e: std::io::Error| {
+        Error::InvalidParameter(format!("atomic write {}: {context}: {e}", path.display()))
+    };
+    let parent = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .ok_or_else(|| {
+            Error::InvalidParameter(format!(
+                "atomic write {}: path has no parent directory",
+                path.display()
+            ))
+        })?;
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = parent.join(name);
+    let mut file = File::create(&tmp).map_err(|e| wrap("create", e))?;
+    file.write_all(contents)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| wrap("write", e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| wrap("rename", e))?;
+    // Make the rename itself durable. Directory fsync is best-effort on
+    // platforms where directories cannot be opened (e.g. Windows).
+    if let Ok(dir) = File::open(parent) {
+        let _ = dir.sync_all();
+    }
+    Ok(())
+}
+
 /// Per-dimension normalization schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Normalization {
@@ -248,6 +323,40 @@ mod tests {
         let err = read_labels(Cursor::new("abc\n"), "somefile").unwrap_err();
         assert!(err.to_string().contains("somefile:1"), "{err}");
         assert!(read_labels(Cursor::new(""), "t").is_err());
+    }
+
+    #[test]
+    fn durable_append_writes_one_line_per_record() {
+        let path = std::env::temp_dir().join(format!("sspc_io_journal_{}", std::process::id()));
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap();
+        append_line_durable(&mut file, "{\"event\":\"submit\"}").unwrap();
+        append_line_durable(&mut file, "{\"event\":\"done\"}").unwrap();
+        assert!(append_line_durable(&mut file, "two\nlines").is_err());
+        drop(file);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"event\":\"submit\"}\n{\"event\":\"done\"}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let dir = std::env::temp_dir().join(format!("sspc_io_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "second, longer contents"
+        );
+        // No temporary files are left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

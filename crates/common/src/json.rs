@@ -151,6 +151,34 @@ impl Value {
         }
         self
     }
+
+    /// Serializes like `Display`, but **rejects** non-finite numbers
+    /// instead of silently degrading them to `null`. Use this where a
+    /// lossy serialization must be an error rather than a surprise —
+    /// e.g. the bench records that trajectory tooling parses back. (The
+    /// server's journal deliberately uses `Display` instead: the wire
+    /// response degrades non-finite values to `null` too, so journaling
+    /// the same `null` is exactly what keeps restart replay
+    /// byte-identical.)
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] naming the offending value when the
+    /// tree contains a NaN or infinity.
+    pub fn to_string_checked(&self) -> Result<String> {
+        fn check(v: &Value) -> Result<()> {
+            match v {
+                Value::Num(x) if !x.is_finite() => Err(Error::InvalidParameter(format!(
+                    "cannot serialize non-finite number {x}"
+                ))),
+                Value::Arr(items) => items.iter().try_for_each(check),
+                Value::Obj(map) => map.values().try_for_each(check),
+                _ => Ok(()),
+            }
+        }
+        check(self)?;
+        Ok(self.to_string())
+    }
 }
 
 impl From<bool> for Value {
@@ -567,6 +595,81 @@ mod tests {
         assert!(Value::parse(&deep).is_err());
         let ok = "[".repeat(100) + &"]".repeat(100);
         assert!(Value::parse(&ok).is_ok());
+    }
+
+    /// The parser's depth limit is what keeps journal replay safe against
+    /// hostile or corrupted state files: no input, however nested and in
+    /// whatever mix of shapes, can recurse past `MAX_DEPTH` frames.
+    #[test]
+    fn hostile_state_files_cannot_overflow_the_parser() {
+        // Deep objects, not just arrays.
+        let deep_obj = "{\"k\":".repeat(200) + "1" + &"}".repeat(200);
+        let err = Value::parse(&deep_obj).unwrap_err().to_string();
+        assert!(err.contains("nesting too deep"), "{err}");
+        // Alternating object/array nesting counts every level.
+        let mixed = "{\"k\":[".repeat(100) + "1" + &"]}".repeat(100);
+        assert!(Value::parse(&mixed).is_err());
+        // At the limit the error is a clean rejection, never a panic, and
+        // one level below it still parses.
+        let ok_obj = "{\"k\":".repeat(100) + "1" + &"}".repeat(100);
+        assert!(Value::parse(&ok_obj).is_ok());
+        // A deep document embedded *inside* a well-formed journal record
+        // (the realistic attack shape) is rejected the same way.
+        let record = format!("{{\"event\":\"submit\",\"spec\":{deep_obj}}}");
+        assert!(Value::parse(&record).is_err());
+    }
+
+    /// Every escape the writer emits parses back to the original string,
+    /// including the short forms, raw control bytes, and characters that
+    /// need surrogate pairs.
+    #[test]
+    fn escape_sequences_roundtrip_exhaustively() {
+        // Every C0 control character forces an escape; the writer's
+        // output must parse back identically.
+        let controls: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let cases = [
+            controls.as_str(),
+            "\u{8}\u{c}\n\r\t",    // the named short escapes
+            "\\ \" / plain",       // backslash, quote, solidus
+            "💯 𝄞 é ñ \u{10FFFF}", // astral plane + combining-free BMP
+            "ends with backslash \\",
+            "",
+        ];
+        for original in cases {
+            let rendered = Value::Str(original.into()).to_string();
+            let back = Value::parse(&rendered).unwrap();
+            assert_eq!(back, Value::Str(original.into()), "via `{rendered}`");
+        }
+        // The explicit \u forms — BMP, surrogate pair, and the escaped
+        // short forms — decode to the same characters.
+        assert_eq!(
+            Value::parse("\"\\u0041\\ud83d\\ude00\\b\\f\"").unwrap(),
+            Value::Str("A\u{1F600}\u{8}\u{c}".into())
+        );
+        // Keys are escaped by the same writer path as values.
+        let v = Value::object().with("ta\tb\"", 1u64);
+        assert_eq!(Value::parse(&v.to_string()).unwrap(), v);
+    }
+
+    /// `Display` degrades non-finite numbers to `null` (documented, keeps
+    /// wire/journal identity since the parse-back is `null` on both
+    /// sides); `to_string_checked` refuses them loudly, wherever they
+    /// hide in the tree.
+    #[test]
+    fn non_finite_floats_are_rejected_by_checked_serialization() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Value::Num(bad).to_string_checked().unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{err}");
+            // Nested inside arrays and objects.
+            let nested = Value::object().with("xs", vec![Value::Num(1.0), Value::Num(bad)]);
+            assert!(nested.to_string_checked().is_err());
+            // Display still degrades to null, parseable on the other side.
+            assert_eq!(nested.to_string(), r#"{"xs":[1,null]}"#);
+        }
+        let fine = Value::object()
+            .with("x", 0.1)
+            .with("arr", vec![Value::Num(f64::MAX), Value::Num(f64::MIN)]);
+        assert_eq!(fine.to_string_checked().unwrap(), fine.to_string());
     }
 
     #[test]

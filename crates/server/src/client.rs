@@ -1,85 +1,287 @@
 //! Blocking client for the batch service — what `sspc-cli submit`/`poll`
 //! and the end-to-end tests speak.
+//!
+//! [`Client`] holds one keep-alive [`HttpConnection`] and reuses it
+//! across calls, so a `submit --wait` polling loop costs one TCP connect
+//! total instead of one per poll. When a reused connection turns out to
+//! be dead (the server restarted, or closed it after the idle timeout),
+//! **idempotent GETs are retried once** on a fresh connection instead of
+//! surfacing the transient error; POSTs are never retried (a submission
+//! must not be duplicated).
+//!
+//! The module-level free functions ([`submit`], [`job_status`], …) are
+//! one-shot conveniences over a throwaway [`Client`].
 
-use crate::http::request;
+use crate::http::HttpConnection;
 use sspc_common::json::Value;
 use sspc_common::{Error, Result};
 use std::time::{Duration, Instant};
 
-/// Submits a job document and returns the assigned job id.
-///
-/// # Errors
-///
-/// [`Error::InvalidParameter`] on connection failures or any non-`202`
-/// answer (the server's `error` text is included — `400` for invalid
-/// jobs, `503` for a full queue).
-pub fn submit(addr: &str, job: &Value) -> Result<u64> {
-    let (status, body) = request(addr, "POST", "/jobs", Some(job))?;
-    if status != 202 {
-        return Err(Error::InvalidParameter(format!(
-            "submit refused with {status}: {}",
-            body.get("error").and_then(Value::as_str).unwrap_or("?")
-        )));
-    }
-    body.get("job")
-        .and_then(Value::as_u64)
-        .ok_or_else(|| Error::InvalidParameter("202 without a job id".into()))
+/// A reusable connection to one server address.
+pub struct Client {
+    addr: String,
+    conn: Option<HttpConnection>,
 }
 
-/// Fetches a job's status document (`status` ∈ `queued` / `running` /
-/// `done` / `failed`; `result` present once done).
-///
-/// # Errors
-///
-/// [`Error::InvalidParameter`] on connection failures or unknown ids.
-pub fn job_status(addr: &str, id: u64) -> Result<Value> {
-    let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), None)?;
-    if status != 200 {
-        return Err(Error::InvalidParameter(format!(
-            "job {id} lookup failed with {status}: {}",
-            body.get("error").and_then(Value::as_str).unwrap_or("?")
-        )));
+impl Client {
+    /// A client for `addr` (connects lazily on the first call).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            conn: None,
+        }
     }
-    Ok(body)
-}
 
-/// Polls until the job leaves the queue/running states and returns its
-/// final document (`done` **or** `failed` — inspect `status`).
-///
-/// # Errors
-///
-/// Lookup failures, or [`Error::NoConvergence`] after `timeout`.
-pub fn wait_for(addr: &str, id: u64, poll_every: Duration, timeout: Duration) -> Result<Value> {
-    let started = Instant::now();
-    loop {
-        let status = job_status(addr, id)?;
-        match status.get("status").and_then(Value::as_str) {
-            Some("done" | "failed") => return Ok(status),
-            _ => {
-                if started.elapsed() > timeout {
-                    return Err(Error::NoConvergence(format!(
-                        "job {id} still not finished after {:.1}s",
-                        timeout.as_secs_f64()
-                    )));
+    /// One exchange, reusing the held connection when possible. A dropped
+    /// keep-alive connection is retried once on a fresh socket for
+    /// idempotent GETs; POST failures surface immediately.
+    fn call(&mut self, method: &str, path: &str, body: Option<&Value>) -> Result<(u16, Value)> {
+        let (mut conn, reused) = match self.conn.take() {
+            Some(conn) if !conn.server_closed() => (conn, true),
+            _ => (HttpConnection::connect(&self.addr)?, false),
+        };
+        let outcome = conn.roundtrip(method, path, body);
+        let outcome = match outcome {
+            Err(_) if reused && method == "GET" => {
+                // The held connection died between exchanges (restart or
+                // idle close) — transparent single retry, fresh socket.
+                conn = HttpConnection::connect(&self.addr)?;
+                conn.roundtrip(method, path, body)
+            }
+            other => other,
+        };
+        if outcome.is_ok() && !conn.server_closed() {
+            self.conn = Some(conn);
+        }
+        outcome
+    }
+
+    /// Submits a job document and returns the assigned job id.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] on connection failures or any
+    /// non-`202` answer (the server's `error` text is included — `400`
+    /// for invalid jobs, `503` for a full queue).
+    pub fn submit(&mut self, job: &Value) -> Result<u64> {
+        let (status, body) = self.call("POST", "/jobs", Some(job))?;
+        if status != 202 {
+            return Err(Error::InvalidParameter(format!(
+                "submit refused with {status}: {}",
+                body.get("error").and_then(Value::as_str).unwrap_or("?")
+            )));
+        }
+        body.get("job")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::InvalidParameter("202 without a job id".into()))
+    }
+
+    /// Fetches a job's status document (`status` ∈ `queued` / `running` /
+    /// `done` / `failed`; `result` present once done).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] on connection failures or unknown ids
+    /// (including results already evicted by TTL or the job cap).
+    pub fn job_status(&mut self, id: u64) -> Result<Value> {
+        let (status, body) = self.call("GET", &format!("/jobs/{id}"), None)?;
+        if status != 200 {
+            return Err(Error::InvalidParameter(format!(
+                "job {id} lookup failed with {status}: {}",
+                body.get("error").and_then(Value::as_str).unwrap_or("?")
+            )));
+        }
+        Ok(body)
+    }
+
+    /// Lists job summaries, optionally filtered by status name and capped
+    /// at `limit` (the server applies its own cap when `None`). The
+    /// answer carries `jobs` (newest first) and `total` (matching count
+    /// before the cap).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures or a non-`200` answer (e.g. `400` for an
+    /// unknown status name).
+    pub fn list_jobs(&mut self, status: Option<&str>, limit: Option<usize>) -> Result<Value> {
+        let mut query = Vec::new();
+        if let Some(status) = status {
+            query.push(format!("status={status}"));
+        }
+        if let Some(limit) = limit {
+            query.push(format!("limit={limit}"));
+        }
+        let path = if query.is_empty() {
+            "/jobs".to_string()
+        } else {
+            format!("/jobs?{}", query.join("&"))
+        };
+        let (code, body) = self.call("GET", &path, None)?;
+        if code != 200 {
+            return Err(Error::InvalidParameter(format!(
+                "listing failed with {code}: {}",
+                body.get("error").and_then(Value::as_str).unwrap_or("?")
+            )));
+        }
+        Ok(body)
+    }
+
+    /// Polls until the job leaves the queue/running states and returns
+    /// its final document (`done` **or** `failed` — inspect `status`).
+    /// All polls ride the same keep-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// Lookup failures, or [`Error::NoConvergence`] after `timeout`.
+    pub fn wait_for(&mut self, id: u64, poll_every: Duration, timeout: Duration) -> Result<Value> {
+        let started = Instant::now();
+        loop {
+            let status = self.job_status(id)?;
+            match status.get("status").and_then(Value::as_str) {
+                Some("done" | "failed") => return Ok(status),
+                _ => {
+                    if started.elapsed() > timeout {
+                        return Err(Error::NoConvergence(format!(
+                            "job {id} still not finished after {:.1}s",
+                            timeout.as_secs_f64()
+                        )));
+                    }
+                    std::thread::sleep(poll_every);
                 }
-                std::thread::sleep(poll_every);
             }
         }
     }
+
+    /// Fetches the `/healthz` document (queue depth, job counters, store
+    /// stats, per-algorithm throughput).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures or a non-`200` answer.
+    pub fn healthz(&mut self) -> Result<Value> {
+        let (status, body) = self.call("GET", "/healthz", None)?;
+        if status != 200 {
+            return Err(Error::InvalidParameter(format!(
+                "healthz returned {status}"
+            )));
+        }
+        Ok(body)
+    }
 }
 
-/// Fetches the `/healthz` document (queue depth, job counters,
-/// per-algorithm throughput).
+/// One-shot [`Client::submit`].
 ///
 /// # Errors
 ///
-/// Connection failures or a non-`200` answer.
+/// See [`Client::submit`].
+pub fn submit(addr: &str, job: &Value) -> Result<u64> {
+    Client::new(addr).submit(job)
+}
+
+/// One-shot [`Client::job_status`].
+///
+/// # Errors
+///
+/// See [`Client::job_status`].
+pub fn job_status(addr: &str, id: u64) -> Result<Value> {
+    Client::new(addr).job_status(id)
+}
+
+/// [`Client::wait_for`] on a fresh client (the polling loop itself still
+/// reuses one connection).
+///
+/// # Errors
+///
+/// See [`Client::wait_for`].
+pub fn wait_for(addr: &str, id: u64, poll_every: Duration, timeout: Duration) -> Result<Value> {
+    Client::new(addr).wait_for(id, poll_every, timeout)
+}
+
+/// One-shot [`Client::healthz`].
+///
+/// # Errors
+///
+/// See [`Client::healthz`].
 pub fn healthz(addr: &str) -> Result<Value> {
-    let (status, body) = request(addr, "GET", "/healthz", None)?;
-    if status != 200 {
-        return Err(Error::InvalidParameter(format!(
-            "healthz returned {status}"
-        )));
+    Client::new(addr).healthz()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{read_request, write_response};
+    use std::io::BufReader;
+    use std::net::TcpListener;
+
+    /// A scripted server: serves `per_connection` keep-alive exchanges on
+    /// each accepted connection, then closes it cold (no `Connection:
+    /// close` header — the drop the retry logic must absorb). Returns the
+    /// number of connections accepted.
+    fn flaky_server(listener: TcpListener, per_connection: usize, connections: usize) -> usize {
+        let mut accepted = 0;
+        for _ in 0..connections {
+            let Ok((mut stream, _)) = listener.accept() else {
+                break;
+            };
+            accepted += 1;
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            for _ in 0..per_connection {
+                match read_request(&mut reader) {
+                    Ok(Some(req)) => {
+                        let body = Value::object().with("status", "done").with("job", 1u64);
+                        let _ = write_response(&mut stream, 200, &body, false);
+                        let _ = req;
+                    }
+                    _ => break,
+                }
+            }
+            // Cold close: the client's next write/read on this socket
+            // fails mid-exchange.
+        }
+        accepted
     }
-    Ok(body)
+
+    /// The satellite contract: a GET over a dropped keep-alive connection
+    /// is retried once on a fresh socket instead of surfacing a transient
+    /// error to `submit --wait`.
+    #[test]
+    fn idempotent_gets_retry_once_on_a_dropped_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || flaky_server(listener, 1, 2));
+
+        let mut client = Client::new(&addr);
+        // Exchange 1 succeeds and the connection is kept...
+        client.job_status(1).unwrap();
+        // ...but the server hangs up after it. The next GET hits the dead
+        // socket, reconnects, and succeeds — no error escapes.
+        client.job_status(1).unwrap();
+        drop(client);
+        assert_eq!(
+            server.join().unwrap(),
+            2,
+            "retry opened a second connection"
+        );
+    }
+
+    /// A fresh-connection failure is NOT retried (nothing was reused),
+    /// and POSTs are never retried.
+    #[test]
+    fn no_retry_on_fresh_connections_or_posts() {
+        // Nobody listening: the very first GET fails without a retry loop.
+        let mut client = Client::new("127.0.0.1:1");
+        assert!(client.job_status(1).is_err());
+
+        // A server that dies after one exchange: the POST on the reused
+        // connection errors out rather than re-submitting.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || flaky_server(listener, 1, 1));
+        let mut client = Client::new(&addr);
+        client.job_status(1).unwrap();
+        let job = Value::object().with("k", 1u64);
+        assert!(client.submit(&job).is_err(), "POST must not be retried");
+        drop(client);
+        server.join().unwrap();
+    }
 }

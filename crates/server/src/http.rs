@@ -1,11 +1,20 @@
-//! The minimal slice of HTTP/1.1 the batch service needs.
+//! The slice of HTTP/1.1 the batch service needs — now with keep-alive.
 //!
 //! The build environment has no async runtime and no HTTP crates, so this
 //! module implements exactly what the job API requires over
 //! `std::net::TcpStream`: request-line + headers + `Content-Length` body
-//! parsing on the server side, and a one-shot `Connection: close` client.
-//! Chunked encoding, keep-alive, TLS, and query strings are deliberately
-//! out of scope — payloads are small JSON documents on a trusted network.
+//! parsing on the server side, and a client that can either hold one
+//! **keep-alive** connection across many exchanges ([`HttpConnection`] —
+//! what `submit --wait` polls through, one TCP connect total) or do a
+//! one-shot `Connection: close` round trip ([`request`]).
+//!
+//! Framing is `Content-Length` only, on both directions — every response
+//! carries the header, so a reader always knows where the body ends
+//! without waiting for EOF. `Connection: close` is honored in both
+//! directions; an idle keep-alive connection is closed by the server
+//! after [`IO_TIMEOUT`]. Chunked encoding, TLS, and `%`-decoding of query
+//! strings are deliberately out of scope — payloads are small JSON
+//! documents on a trusted network.
 
 use sspc_common::json::Value;
 use sspc_common::{Error, Result};
@@ -18,70 +27,102 @@ use std::time::Duration;
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
 /// Largest accepted request line + headers combined; with
-/// [`MAX_BODY_BYTES`] this bounds the total buffering any one connection
+/// [`MAX_BODY_BYTES`] this bounds the total buffering any one request
 /// can force (a peer streaming an endless header line hits this cap, not
 /// the allocator).
 pub const MAX_HEAD_BYTES: u64 = 64 * 1024;
 
-/// Per-connection socket timeout: a stalled peer cannot pin a handler
-/// thread forever.
+/// Per-connection socket timeout. Doubles as the keep-alive **idle
+/// timeout**: a connection with no next request within this window is
+/// closed, so stalled peers cannot pin handler threads forever.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// A parsed HTTP request: method, path, and the (possibly empty) body.
+/// A parsed HTTP request: method, path, query, body, and whether the
+/// peer asked to close the connection after this exchange.
 #[derive(Debug)]
 pub struct Request {
     /// `GET`, `POST`, ... (uppercased by the client already).
     pub method: String,
-    /// The request path, e.g. `/jobs/3`.
+    /// The request path with the query string stripped, e.g. `/jobs/3`.
     pub path: String,
+    /// Query parameters in order of appearance (`?status=done&limit=5` →
+    /// `[("status","done"),("limit","5")]`); no `%`-decoding.
+    pub query: Vec<(String, String)>,
     /// Raw body bytes (`Content-Length` framing only).
     pub body: Vec<u8>,
+    /// The peer sent `Connection: close`.
+    pub close: bool,
 }
 
 fn io_err(context: &str, e: std::io::Error) -> Error {
     Error::InvalidParameter(format!("{context}: {e}"))
 }
 
-/// Reads one request from the stream.
+/// True for the error kinds a quietly-departed or idle peer produces
+/// (as opposed to a malformed request).
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+    )
+}
+
+/// Reads one request from a connection's buffered reader. The reader
+/// must persist across calls on a keep-alive connection — its buffer may
+/// already hold the next pipelined request.
+///
+/// Returns `Ok(None)` when the peer closed the connection (or went idle
+/// past the socket timeout) *between* requests — the clean end of a
+/// keep-alive session, not an error.
 ///
 /// # Errors
 ///
 /// [`Error::InvalidParameter`] on malformed request lines or headers, a
-/// body larger than [`MAX_BODY_BYTES`], or socket failures/timeouts.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request> {
-    stream
-        .set_read_timeout(Some(IO_TIMEOUT))
-        .map_err(|e| io_err("set_read_timeout", e))?;
-    stream
-        .set_write_timeout(Some(IO_TIMEOUT))
-        .map_err(|e| io_err("set_write_timeout", e))?;
-    let mut reader = BufReader::new(stream);
+/// body larger than [`MAX_BODY_BYTES`], or socket failures mid-request.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>> {
     let mut head_budget = MAX_HEAD_BYTES;
 
     let mut request_line = String::new();
-    read_head_line(&mut reader, &mut head_budget, &mut request_line)?;
+    match read_head_line(reader, &mut head_budget, &mut request_line) {
+        Ok(0) => return Ok(None), // EOF between requests: clean close
+        Ok(_) => {}
+        Err(e) if request_line.is_empty() && is_disconnect(&e) => return Ok(None),
+        Err(e) => return Err(io_err("read request line", e)),
+    }
     let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
         return Err(Error::InvalidParameter(format!(
             "malformed request line `{}`",
             request_line.trim_end()
         )));
     };
-    let request = (method.to_string(), path.to_string());
+    let method = method.to_string();
+    let (path, query) = parse_target(target);
 
     let mut content_length = 0usize;
+    let mut close = false;
     loop {
         let mut line = String::new();
-        read_head_line(&mut reader, &mut head_budget, &mut line)?;
+        read_head_line(reader, &mut head_budget, &mut line)
+            .map_err(|e| io_err("read header", e))?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    Error::InvalidParameter(format!("bad Content-Length `{}`", value.trim()))
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    Error::InvalidParameter(format!("bad Content-Length `{value}`"))
                 })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.eq_ignore_ascii_case("close");
             }
         }
     }
@@ -95,28 +136,50 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request> {
     reader
         .read_exact(&mut body)
         .map_err(|e| io_err("read body", e))?;
-    Ok(Request {
-        method: request.0,
-        path: request.1,
+    Ok(Some(Request {
+        method,
+        path,
+        query,
         body,
-    })
+        close,
+    }))
+}
+
+/// Splits a request target into path and parsed query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| match p.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (p.to_string(), String::new()),
+                })
+                .collect();
+            (path.to_string(), pairs)
+        }
+    }
 }
 
 /// Reads one head line (request line or header) against the shared
 /// [`MAX_HEAD_BYTES`] budget, so a peer cannot force unbounded buffering
-/// by never sending a newline.
-fn read_head_line<R: BufRead>(reader: &mut R, budget: &mut u64, line: &mut String) -> Result<()> {
+/// by never sending a newline. Returns the bytes read (0 = EOF).
+fn read_head_line<R: BufRead>(
+    reader: &mut R,
+    budget: &mut u64,
+    line: &mut String,
+) -> std::io::Result<usize> {
     let mut limited = reader.by_ref().take(*budget);
-    limited
-        .read_line(line)
-        .map_err(|e| io_err("read head line", e))?;
+    let n = limited.read_line(line)?;
     *budget -= line.len() as u64;
     if *budget == 0 && !line.ends_with('\n') {
-        return Err(Error::InvalidParameter(format!(
+        return Err(std::io::Error::other(format!(
             "request head exceeds the {MAX_HEAD_BYTES}-byte limit"
         )));
     }
-    Ok(())
+    Ok(n)
 }
 
 fn status_text(status: u16) -> &'static str {
@@ -132,88 +195,214 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Writes a JSON response with the given status and closes the exchange.
+/// Writes a JSON response. `close` controls the `Connection` header —
+/// the caller closes the stream after a `close: true` response; a
+/// `keep-alive` response leaves the connection open for the next
+/// request. Always `Content-Length`-framed.
 ///
 /// # Errors
 ///
 /// [`Error::InvalidParameter`] wrapping socket failures.
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &Value) -> Result<()> {
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Value,
+    close: bool,
+) -> Result<()> {
     let payload = body.to_string();
+    let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
         "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n",
+         content-length: {}\r\nconnection: {connection}\r\n\r\n",
         status_text(status),
         payload.len()
     );
+    let mut message = head.into_bytes();
+    message.extend_from_slice(payload.as_bytes());
     stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .write_all(&message)
         .and_then(|()| stream.flush())
         .map_err(|e| io_err("write response", e))
 }
 
-/// One-shot HTTP client call: connects to `addr`, sends `body` (when
-/// given) as JSON, and returns `(status, parsed response body)`.
+/// A client-side keep-alive connection: many request/response exchanges
+/// over one TCP socket. This is what turns an N-poll `submit --wait`
+/// from N connects into one.
+///
+/// After the server answers `Connection: close` (or the socket drops),
+/// [`HttpConnection::server_closed`] turns true and further round trips
+/// fail — callers reconnect (see `client::Client`, which does this
+/// automatically and retries idempotent GETs once).
+pub struct HttpConnection {
+    reader: BufReader<TcpStream>,
+    addr: String,
+    server_closed: bool,
+}
+
+impl HttpConnection {
+    /// Connects with the standard socket timeouts applied.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] on connect/configure failures.
+    pub fn connect(addr: &str) -> Result<HttpConnection> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| Error::InvalidParameter(format!("cannot connect to {addr}: {e}")))?;
+        stream
+            .set_read_timeout(Some(IO_TIMEOUT))
+            .map_err(|e| io_err("set_read_timeout", e))?;
+        stream
+            .set_write_timeout(Some(IO_TIMEOUT))
+            .map_err(|e| io_err("set_write_timeout", e))?;
+        Ok(HttpConnection {
+            reader: BufReader::new(stream),
+            addr: addr.to_string(),
+            server_closed: false,
+        })
+    }
+
+    /// True once the server has signalled (or forced) a close; the next
+    /// exchange needs a fresh connection.
+    pub fn server_closed(&self) -> bool {
+        self.server_closed
+    }
+
+    /// One keep-alive exchange: sends the request, returns
+    /// `(status, parsed JSON body)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] on socket failures, a malformed
+    /// response, or when the connection was already closed by the server.
+    pub fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<(u16, Value)> {
+        self.exchange(method, path, body, false)
+    }
+
+    fn exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+        close: bool,
+    ) -> Result<(u16, Value)> {
+        if self.server_closed {
+            return Err(Error::InvalidParameter(
+                "connection already closed by the server".into(),
+            ));
+        }
+        let payload = body.map(Value::to_string).unwrap_or_default();
+        let connection = if close { "close" } else { "keep-alive" };
+        // Host is mandatory in HTTP/1.1 — intermediaries (nginx, haproxy)
+        // reject requests without it.
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: {connection}\r\n\r\n",
+            self.addr,
+            payload.len()
+        );
+        let mut message = head.into_bytes();
+        message.extend_from_slice(payload.as_bytes());
+        let outcome = self.exchange_inner(&message);
+        if outcome.is_err() {
+            self.server_closed = true;
+        }
+        outcome
+    }
+
+    fn exchange_inner(&mut self, message: &[u8]) -> Result<(u16, Value)> {
+        self.reader
+            .get_mut()
+            .write_all(message)
+            .map_err(|e| io_err("write request", e))?;
+
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .map_err(|e| io_err("read status line", e))?;
+        if status_line.is_empty() {
+            return Err(Error::InvalidParameter(
+                "connection closed before a response arrived".into(),
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                Error::InvalidParameter(format!(
+                    "malformed status line `{}`",
+                    status_line.trim_end()
+                ))
+            })?;
+
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            self.reader
+                .read_line(&mut line)
+                .map_err(|e| io_err("read header", e))?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim();
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = Some(value.parse().map_err(|_| {
+                        Error::InvalidParameter(format!("bad response Content-Length `{value}`"))
+                    })?);
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.eq_ignore_ascii_case("close")
+                {
+                    self.server_closed = true;
+                }
+            }
+        }
+
+        let body_bytes = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                self.reader
+                    .read_exact(&mut buf)
+                    .map_err(|e| io_err("read response body", e))?;
+                buf
+            }
+            // No Content-Length: only legal on a closing response; the
+            // body runs to EOF.
+            None => {
+                self.server_closed = true;
+                let mut buf = Vec::new();
+                self.reader
+                    .read_to_end(&mut buf)
+                    .map_err(|e| io_err("read response body", e))?;
+                buf
+            }
+        };
+        let text = String::from_utf8(body_bytes)
+            .map_err(|_| Error::InvalidParameter("response body is not UTF-8".into()))?;
+        let value = Value::parse(&text)
+            .map_err(|e| Error::InvalidParameter(format!("response body is not JSON: {e}")))?;
+        Ok((status, value))
+    }
+}
+
+/// One-shot HTTP exchange: connects to `addr`, sends `body` (when given)
+/// as JSON with `Connection: close`, and returns `(status, parsed
+/// response body)`. For repeated calls against the same server, hold an
+/// [`HttpConnection`] (or a `client::Client`) instead.
 ///
 /// # Errors
 ///
 /// [`Error::InvalidParameter`] on connect/socket failures, a malformed
 /// status line, or a non-JSON response body.
 pub fn request(addr: &str, method: &str, path: &str, body: Option<&Value>) -> Result<(u16, Value)> {
-    let mut stream = TcpStream::connect(addr)
-        .map_err(|e| Error::InvalidParameter(format!("cannot connect to {addr}: {e}")))?;
-    stream
-        .set_read_timeout(Some(IO_TIMEOUT))
-        .map_err(|e| io_err("set_read_timeout", e))?;
-    stream
-        .set_write_timeout(Some(IO_TIMEOUT))
-        .map_err(|e| io_err("set_write_timeout", e))?;
-
-    let payload = body.map(Value::to_string).unwrap_or_default();
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n",
-        payload.len()
-    );
-    stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(payload.as_bytes()))
-        .map_err(|e| io_err("write request", e))?;
-
-    let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader
-        .read_line(&mut status_line)
-        .map_err(|e| io_err("read status line", e))?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
-            Error::InvalidParameter(format!(
-                "malformed status line `{}`",
-                status_line.trim_end()
-            ))
-        })?;
-    // Skip headers; the connection closes after the body, so read to EOF.
-    loop {
-        let mut line = String::new();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| io_err("read header", e))?;
-        if line.trim_end().is_empty() {
-            break;
-        }
-    }
-    let mut body_bytes = Vec::new();
-    reader
-        .read_to_end(&mut body_bytes)
-        .map_err(|e| io_err("read response body", e))?;
-    let text = String::from_utf8(body_bytes)
-        .map_err(|_| Error::InvalidParameter("response body is not UTF-8".into()))?;
-    let value = Value::parse(&text)
-        .map_err(|e| Error::InvalidParameter(format!("response body is not JSON: {e}")))?;
-    Ok((status, value))
+    HttpConnection::connect(addr)?.exchange(method, path, body, true)
 }
 
 #[cfg(test)]
@@ -229,12 +418,14 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
-            let req = read_request(&mut stream).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let req = read_request(&mut reader).unwrap().unwrap();
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/jobs");
+            assert!(req.close, "one-shot client announces close");
             let body = Value::parse(std::str::from_utf8(&req.body).unwrap()).unwrap();
             assert_eq!(body.get("k").and_then(Value::as_u64), Some(3));
-            write_response(&mut stream, 202, &Value::object().with("job", 1u64)).unwrap();
+            write_response(&mut stream, 202, &Value::object().with("job", 1u64), true).unwrap();
         });
         let job = Value::object().with("k", 3u64);
         let (status, response) = request(&addr, "POST", "/jobs", Some(&job)).unwrap();
@@ -243,21 +434,79 @@ mod tests {
         server.join().unwrap();
     }
 
+    /// One [`HttpConnection`] carries several exchanges over a single
+    /// accepted socket — the keep-alive loop in both directions.
     #[test]
-    fn bodyless_get_roundtrip() {
+    fn keep_alive_reuses_one_socket_for_many_exchanges() {
+        const EXCHANGES: usize = 4;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Exactly ONE accept: every request must arrive on it.
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            for i in 0..EXCHANGES {
+                let req = read_request(&mut reader).unwrap().expect("request arrives");
+                assert_eq!(req.path, format!("/jobs/{i}"));
+                assert!(!req.close, "keep-alive client does not ask to close");
+                write_response(
+                    &mut stream,
+                    200,
+                    &Value::object().with("job", i as u64),
+                    false,
+                )
+                .unwrap();
+            }
+            // The client hangs up after the last exchange.
+            assert!(read_request(&mut reader).unwrap().is_none());
+        });
+        let mut conn = HttpConnection::connect(&addr).unwrap();
+        for i in 0..EXCHANGES {
+            let (status, body) = conn.roundtrip("GET", &format!("/jobs/{i}"), None).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body.get("job").and_then(Value::as_u64), Some(i as u64));
+            assert!(!conn.server_closed());
+        }
+        drop(conn);
+        server.join().unwrap();
+    }
+
+    /// A `Connection: close` response flips `server_closed`, and the
+    /// next round trip refuses instead of writing into a dead socket.
+    #[test]
+    fn server_close_is_honored_by_the_client() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
-            let req = read_request(&mut stream).unwrap();
-            assert_eq!(req.method, "GET");
-            assert!(req.body.is_empty());
-            write_response(&mut stream, 404, &Value::object().with("error", "no")).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let _ = read_request(&mut reader).unwrap().unwrap();
+            write_response(&mut stream, 200, &Value::object(), true).unwrap();
         });
-        let (status, response) = request(&addr, "GET", "/jobs/99", None).unwrap();
-        assert_eq!(status, 404);
-        assert_eq!(response.get("error").and_then(Value::as_str), Some("no"));
+        let mut conn = HttpConnection::connect(&addr).unwrap();
+        let (status, _) = conn.roundtrip("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(conn.server_closed());
+        assert!(conn.roundtrip("GET", "/healthz", None).is_err());
         server.join().unwrap();
+    }
+
+    #[test]
+    fn query_strings_parse_and_strip() {
+        let (path, query) = parse_target("/jobs?status=done&limit=5");
+        assert_eq!(path, "/jobs");
+        assert_eq!(
+            query,
+            vec![
+                ("status".to_string(), "done".to_string()),
+                ("limit".to_string(), "5".to_string())
+            ]
+        );
+        let (path, query) = parse_target("/jobs");
+        assert_eq!(path, "/jobs");
+        assert!(query.is_empty());
+        let (_, query) = parse_target("/jobs?flag");
+        assert_eq!(query, vec![("flag".to_string(), String::new())]);
     }
 
     #[test]
@@ -266,8 +515,10 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
             for _ in 0..3 {
-                let (mut stream, _) = listener.accept().unwrap();
-                assert!(read_request(&mut stream).is_err());
+                let (stream, _) = listener.accept().unwrap();
+                stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+                let mut reader = BufReader::new(stream);
+                assert!(read_request(&mut reader).is_err());
             }
         });
         let mut s = TcpStream::connect(addr).unwrap();
@@ -289,5 +540,20 @@ mod tests {
         }
         drop(s);
         server.join().unwrap();
+    }
+
+    /// A clean disconnect between requests is `Ok(None)`, not an error.
+    #[test]
+    fn eof_between_requests_is_a_clean_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            drop(s); // connect, say nothing, hang up
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        assert!(read_request(&mut reader).unwrap().is_none());
+        client.join().unwrap();
     }
 }

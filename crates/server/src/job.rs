@@ -240,6 +240,25 @@ impl JobSpec {
         })
     }
 
+    /// A synthetic spec backing journal records whose original submission
+    /// no longer validates (written by an older build): it only ever
+    /// renders a `failed` status document and is never executed.
+    pub(crate) fn placeholder() -> JobSpec {
+        JobSpec {
+            kind: JobKind::Compare,
+            source: DatasetSource::Path(String::new()),
+            k: 0,
+            algorithms: Vec::new(),
+            scoped: BTreeMap::new(),
+            runs: 0,
+            seed: 0,
+            use_generated_truth: false,
+            truth_path: None,
+            supervision: Supervision::none(),
+            include_assignment: false,
+        }
+    }
+
     fn parse_source(v: &Value, job_k: usize) -> Result<DatasetSource> {
         check_known_keys(v, "`dataset`", &["path", "generate"])?;
         match (v.get("path"), v.get("generate")) {

@@ -4,24 +4,34 @@
 //! The paper's Sec. 5 protocol (seeded restarts, best-of selection,
 //! algorithm comparison) is a batch workload; this crate serves it over
 //! plain TCP/JSON with **no dependencies beyond the workspace**: a
-//! `std::net::TcpListener` acceptor, a bounded
-//! [`TaskQueue`](sspc_common::parallel::TaskQueue) of jobs, and a pool of
-//! worker threads that execute each job through
+//! `std::net::TcpListener` acceptor serving keep-alive connections, a
+//! bounded [`TaskQueue`](sspc_common::parallel::TaskQueue) of jobs, and a
+//! pool of worker threads that execute each job through
 //! [`sspc_api::experiment`] — the same code path as the CLI and the bench
 //! harness, so a result fetched over the wire is the result an in-process
 //! call would produce (numbers travel in shortest-roundtrip JSON and parse
 //! back bit-identically).
+//!
+//! Job state lives behind the [`store::JobStore`] seam: in memory by
+//! default, or journaled to disk ([`ServerConfig::state_dir`]) so
+//! completed results survive restart **bit-identically** and interrupted
+//! jobs re-run. Finished jobs can be evicted by TTL
+//! ([`ServerConfig::result_ttl`]) or a store cap
+//! ([`ServerConfig::max_jobs`]).
 //!
 //! # Endpoints
 //!
 //! | method & path   | answer |
 //! |-----------------|--------|
 //! | `POST /jobs`    | `202 {"job": id, "queue_depth": …}` — or `400` (invalid job), `503` (queue full: backpressure) |
-//! | `GET /jobs/<id>`| job status; `result` once `done`, `error` once `failed` |
-//! | `GET /jobs`     | all job summaries (no result payloads) |
-//! | `GET /healthz`  | queue depth/capacity, job counters, per-algorithm throughput |
+//! | `GET /jobs/<id>`| job status; `result` once `done`, `error` once `failed`; `404` once evicted |
+//! | `GET /jobs`     | job summaries, newest first, `?status=` filter, `?limit=` cap (default 100), plus `total` |
+//! | `GET /healthz`  | queue depth/capacity, job/connection counters, store stats (kind, held jobs, evictions), per-algorithm throughput |
 //!
-//! See [`job::JobSpec::from_json`] for the job schema.
+//! See [`job::JobSpec::from_json`] for the job schema. Connections are
+//! HTTP/1.1 keep-alive (`Content-Length`-framed both ways, `Connection:
+//! close` honored, idle timeout); the [`client::Client`] reuses one
+//! socket across submissions and polls.
 //!
 //! # Example
 //!
@@ -37,6 +47,7 @@
 //!     addr: "127.0.0.1:0".into(), // free port; server.addr() resolves it
 //!     workers: 1,
 //!     queue_capacity: 8,
+//!     ..Default::default()        // in-memory store, no eviction
 //! }).unwrap();
 //! let addr = server.addr().to_string();
 //!
@@ -75,6 +86,8 @@ pub mod http;
 pub mod job;
 pub mod metrics;
 mod service;
+pub mod store;
 
 pub use job::{JobKind, JobSpec};
 pub use service::{Server, ServerConfig};
+pub use store::{DiskStore, EvictionPolicy, JobStore, MemoryStore};

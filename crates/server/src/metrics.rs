@@ -17,15 +17,18 @@ struct AlgorithmThroughput {
 }
 
 /// Monotonic counters updated by the acceptor and workers; all reads
-/// happen in [`Metrics::healthz_value`].
+/// happen in [`Metrics::healthz_value`]. Counters are process-lifetime —
+/// a restart starts them at zero even when the job store is disk-backed.
 #[derive(Debug)]
 pub struct Metrics {
     started: Instant,
     submitted: AtomicU64,
+    recovered: AtomicU64,
     rejected_full: AtomicU64,
     rejected_invalid: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    connections: AtomicU64,
     per_algorithm: Mutex<BTreeMap<String, AlgorithmThroughput>>,
 }
 
@@ -34,10 +37,12 @@ impl Default for Metrics {
         Metrics {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
             rejected_invalid: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
             per_algorithm: Mutex::new(BTreeMap::new()),
         }
     }
@@ -47,6 +52,17 @@ impl Metrics {
     /// A job was accepted onto the queue.
     pub fn record_submitted(&self) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job was re-enqueued from the journal at startup.
+    pub fn record_recovered(&self) {
+        self.recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The acceptor took a new TCP connection (each may carry many
+    /// keep-alive requests — the keep-alive tests assert on this).
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A job was refused because the queue was at capacity.
@@ -78,12 +94,15 @@ impl Metrics {
     }
 
     /// Renders the `/healthz` document. `queue_depth`/`queue_capacity`
-    /// describe the bounded queue; `workers` is the pool size.
+    /// describe the bounded queue; `workers` is the pool size; `store`
+    /// is the job store's own stats section (kind, held jobs, evictions,
+    /// configured limits).
     pub fn healthz_value(
         &self,
         queue_depth: usize,
         queue_capacity: usize,
         workers: usize,
+        store: Value,
     ) -> Value {
         let mut algorithms = Value::object();
         for (name, t) in self.per_algorithm.lock().expect("metrics poisoned").iter() {
@@ -106,15 +125,21 @@ impl Metrics {
             .with("uptime_seconds", self.started.elapsed().as_secs_f64())
             .with("workers", workers)
             .with(
+                "connections_accepted",
+                self.connections.load(Ordering::Relaxed),
+            )
+            .with(
                 "queue",
                 Value::object()
                     .with("depth", queue_depth)
                     .with("capacity", queue_capacity),
             )
+            .with("store", store)
             .with(
                 "jobs",
                 Value::object()
                     .with("submitted", self.submitted.load(Ordering::Relaxed))
+                    .with("recovered", self.recovered.load(Ordering::Relaxed))
                     .with(
                         "rejected_queue_full",
                         self.rejected_full.load(Ordering::Relaxed),
@@ -139,6 +164,10 @@ mod tests {
         let m = Metrics::default();
         m.record_submitted();
         m.record_submitted();
+        m.record_recovered();
+        m.record_connection();
+        m.record_connection();
+        m.record_connection();
         m.record_rejected_full();
         m.record_rejected_invalid();
         m.record_failed();
@@ -160,14 +189,24 @@ mod tests {
             busy_seconds: 2.5,
         }]);
 
-        let h = m.healthz_value(3, 64, 2);
+        let store = Value::object().with("kind", "memory").with("jobs", 2u64);
+        let h = m.healthz_value(3, 64, 2, store);
         assert_eq!(h.get("status").and_then(Value::as_str), Some("ok"));
         assert_eq!(h.get("workers").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            h.get("connections_accepted").and_then(Value::as_u64),
+            Some(3)
+        );
         let queue = h.get("queue").unwrap();
         assert_eq!(queue.get("depth").and_then(Value::as_u64), Some(3));
         assert_eq!(queue.get("capacity").and_then(Value::as_u64), Some(64));
+        assert_eq!(
+            h.get("store").unwrap().get("kind").and_then(Value::as_str),
+            Some("memory")
+        );
         let jobs = h.get("jobs").unwrap();
         assert_eq!(jobs.get("submitted").and_then(Value::as_u64), Some(2));
+        assert_eq!(jobs.get("recovered").and_then(Value::as_u64), Some(1));
         assert_eq!(
             jobs.get("rejected_queue_full").and_then(Value::as_u64),
             Some(1)

@@ -2,29 +2,43 @@
 //!
 //! Threading model — all std, no async runtime:
 //!
-//! * one **acceptor** thread owns the `TcpListener` and spawns a short-lived
-//!   handler thread per connection (requests are tiny; job work never runs
-//!   on a handler);
+//! * one **acceptor** thread owns the `TcpListener` and spawns a handler
+//!   thread per connection; a handler serves **many requests** over its
+//!   keep-alive connection (requests are tiny; job work never runs on a
+//!   handler) and exits on `Connection: close`, peer EOF, or the idle
+//!   timeout;
 //! * `workers` long-lived **worker** threads block on the bounded
 //!   [`TaskQueue`] and execute jobs through `sspc_api::experiment`;
 //! * submissions never block: a full queue answers `503` immediately —
 //!   backpressure is the client's signal to slow down.
 //!
-//! Shutdown closes the queue (pending jobs drain), wakes the acceptor with
-//! a loopback connection, and joins every thread.
+//! Job state lives behind the [`JobStore`] seam: in-memory by default, or
+//! the journaled disk store when [`ServerConfig::state_dir`] is set — in
+//! which case completed results survive restart bit-identically and
+//! interrupted jobs are re-enqueued on startup.
+//!
+//! Shutdown closes the queue (pending jobs drain), wakes the acceptor
+//! with a loopback connection, and joins the acceptor and workers.
 
 use crate::http::{read_request, write_response, Request};
 use crate::job::JobSpec;
 use crate::metrics::Metrics;
+use crate::store::{DiskStore, EvictionPolicy, JobStore, MemoryStore};
 use sspc_common::json::Value;
 use sspc_common::parallel::{PushError, TaskQueue};
 use sspc_common::{Error, Result};
-use std::collections::BTreeMap;
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Default cap on `GET /jobs` items when the request names none.
+pub const DEFAULT_LIST_LIMIT: usize = 100;
+/// Hard ceiling on `GET /jobs` items regardless of `?limit=`.
+pub const MAX_LIST_LIMIT: usize = 1000;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -36,6 +50,16 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Maximum queued (not yet running) jobs before submissions get `503`.
     pub queue_capacity: usize,
+    /// Journal directory for the disk-backed job store. `None` (default)
+    /// keeps jobs in memory only; `Some(dir)` makes results survive
+    /// restart and re-enqueues interrupted jobs on startup.
+    pub state_dir: Option<PathBuf>,
+    /// Evict finished jobs this long after completion (`None`: keep
+    /// forever).
+    pub result_ttl: Option<Duration>,
+    /// Cap the store at this many jobs, evicting oldest-finished first
+    /// (`None`: unbounded).
+    pub max_jobs: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -44,61 +68,17 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".into(),
             workers: 2,
             queue_capacity: 64,
+            state_dir: None,
+            result_ttl: None,
+            max_jobs: None,
         }
-    }
-}
-
-/// Lifecycle of one job.
-#[derive(Debug, Clone)]
-enum JobStatus {
-    Queued,
-    Running,
-    Done { result: Value, seconds: f64 },
-    Failed { error: String },
-}
-
-/// One tracked job: the parsed spec plus its current status.
-struct JobRecord {
-    spec: JobSpec,
-    status: JobStatus,
-}
-
-impl JobRecord {
-    /// The status document served by `GET /jobs/<id>`; `result` appears
-    /// only once done, `error` only once failed.
-    fn to_value(&self, id: u64, with_result: bool) -> Value {
-        let algorithms: Vec<Value> = self
-            .spec
-            .algorithms
-            .iter()
-            .map(|a| Value::from(a.as_str()))
-            .collect();
-        let mut v = Value::object()
-            .with("job", id)
-            .with("algorithms", algorithms)
-            .with("runs", self.spec.runs)
-            .with("seed", self.spec.seed);
-        match &self.status {
-            JobStatus::Queued => v = v.with("status", "queued"),
-            JobStatus::Running => v = v.with("status", "running"),
-            JobStatus::Done { result, seconds } => {
-                v = v.with("status", "done").with("seconds", *seconds);
-                if with_result {
-                    v = v.with("result", result.clone());
-                }
-            }
-            JobStatus::Failed { error } => {
-                v = v.with("status", "failed").with("error", error.as_str());
-            }
-        }
-        v
     }
 }
 
 /// State shared by the acceptor, handlers, and workers.
 struct ServerState {
     queue: TaskQueue<u64>,
-    jobs: Mutex<BTreeMap<u64, JobRecord>>,
+    store: Arc<dyn JobStore>,
     next_id: AtomicU64,
     metrics: Metrics,
     shutting_down: AtomicBool,
@@ -115,12 +95,29 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds and starts the service (acceptor + worker pool).
+    /// Binds and starts the service (acceptor + worker pool), opening —
+    /// and, for a disk store, replaying — the job store first. Jobs that
+    /// were `queued`/`running` when a previous process died are
+    /// re-enqueued before the listener starts accepting.
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidParameter`] when the address cannot be bound.
+    /// [`Error::InvalidParameter`] when the address cannot be bound or
+    /// the state directory cannot be opened/replayed.
     pub fn start(config: &ServerConfig) -> Result<Server> {
+        let policy = EvictionPolicy {
+            result_ttl: config.result_ttl,
+            max_jobs: config.max_jobs,
+        };
+        let (store, recovered, next_id): (Arc<dyn JobStore>, Vec<u64>, u64) =
+            match &config.state_dir {
+                None => (Arc::new(MemoryStore::new(policy)), Vec::new(), 1),
+                Some(dir) => {
+                    let recovery = DiskStore::open(dir, policy)?;
+                    (Arc::new(recovery.store), recovery.pending, recovery.next_id)
+                }
+            };
+
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| Error::InvalidParameter(format!("cannot bind {}: {e}", config.addr)))?;
         let addr = listener
@@ -128,12 +125,25 @@ impl Server {
             .map_err(|e| Error::InvalidParameter(format!("local_addr: {e}")))?;
         let state = Arc::new(ServerState {
             queue: TaskQueue::bounded(config.queue_capacity),
-            jobs: Mutex::new(BTreeMap::new()),
-            next_id: AtomicU64::new(1),
+            store,
+            next_id: AtomicU64::new(next_id),
             metrics: Metrics::default(),
             shutting_down: AtomicBool::new(false),
             workers: config.workers,
         });
+
+        // Re-enqueue interrupted work before anything else can fill the
+        // queue. A recovery larger than the queue fails the overflow
+        // loudly rather than dropping it silently.
+        for id in recovered {
+            state.metrics.record_recovered();
+            if state.queue.try_push(id).is_err() {
+                state
+                    .store
+                    .fail(id, "recovery: job queue full, not re-enqueued".into());
+                state.metrics.record_failed();
+            }
+        }
 
         let workers = (0..config.workers)
             .map(|i| {
@@ -174,7 +184,8 @@ impl Server {
         }
     }
 
-    /// Stops accepting, drains queued jobs, and joins every thread.
+    /// Stops accepting, drains queued jobs, and joins the acceptor and
+    /// workers.
     pub fn shutdown(self) {
         self.state.shutting_down.store(true, Ordering::SeqCst);
         self.state.queue.close();
@@ -189,39 +200,24 @@ impl Server {
 
 fn worker_loop(state: &ServerState) {
     while let Some(id) = state.queue.pop() {
-        let spec = {
-            let mut jobs = state.jobs.lock().expect("jobs poisoned");
-            let Some(record) = jobs.get_mut(&id) else {
-                continue;
-            };
-            record.status = JobStatus::Running;
-            record.spec.clone()
+        // `begin` marks the job running; None means it vanished (evicted
+        // or forgotten) between push and pop.
+        let Some(spec) = state.store.begin(id) else {
+            continue;
         };
         let started = Instant::now();
         let outcome = spec.execute();
         let seconds = started.elapsed().as_secs_f64();
-        let status = match outcome {
+        match outcome {
             Ok(outcome) => {
                 state.metrics.record_completed(&outcome.throughput);
-                JobStatus::Done {
-                    result: outcome.result,
-                    seconds,
-                }
+                state.store.complete(id, outcome.result, seconds);
             }
             Err(e) => {
                 state.metrics.record_failed();
-                JobStatus::Failed {
-                    error: e.to_string(),
-                }
+                state.store.fail(id, e.to_string());
             }
-        };
-        state
-            .jobs
-            .lock()
-            .expect("jobs poisoned")
-            .get_mut(&id)
-            .expect("job vanished")
-            .status = status;
+        }
     }
 }
 
@@ -231,21 +227,52 @@ fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        state.metrics.record_connection();
         let state = Arc::clone(state);
-        // Handlers are short-lived (parse, route, respond); job execution
-        // happens on the worker pool, never here.
+        // Handlers parse, route, and respond — possibly many times over
+        // one keep-alive connection; job execution happens on the worker
+        // pool, never here.
         let _ = std::thread::Builder::new()
             .name("sspc-handler".into())
             .spawn(move || handle_connection(stream, &state));
     }
 }
 
+/// Serves one connection until the peer asks to close, goes idle past
+/// the socket timeout, hangs up, or sends something malformed.
 fn handle_connection(mut stream: TcpStream, state: &ServerState) {
-    let response = match read_request(&mut stream) {
-        Ok(request) => route(&request, state),
-        Err(e) => (400, Value::object().with("error", e.to_string())),
+    if stream
+        .set_read_timeout(Some(crate::http::IO_TIMEOUT))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(crate::http::IO_TIMEOUT))
+            .is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
     };
-    let _ = write_response(&mut stream, response.0, &response.1);
+    let mut reader = BufReader::new(read_half);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                // Close when the peer asked to, or when we are draining.
+                let close = request.close || state.shutting_down.load(Ordering::SeqCst);
+                let (status, body) = route(&request, state);
+                if write_response(&mut stream, status, &body, close).is_err() || close {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean close (EOF or idle timeout)
+            Err(e) => {
+                // Malformed request: answer 400 and drop the connection —
+                // the stream position is no longer trustworthy.
+                let _ = write_response(&mut stream, 400, &error_body(e.to_string()), true);
+                break;
+            }
+        }
+    }
 }
 
 fn error_body(msg: impl Into<String>) -> Value {
@@ -255,13 +282,16 @@ fn error_body(msg: impl Into<String>) -> Value {
 fn route(request: &Request, state: &ServerState) -> (u16, Value) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/jobs") => submit_job(&request.body, state),
-        ("GET", "/jobs") => list_jobs(state),
+        ("GET", "/jobs") => list_jobs(request, state),
         ("GET", path) if path.starts_with("/jobs/") => get_job(path, state),
         ("GET", "/healthz") => (
             200,
-            state
-                .metrics
-                .healthz_value(state.queue.len(), state.queue.capacity(), state.workers),
+            state.metrics.healthz_value(
+                state.queue.len(),
+                state.queue.capacity(),
+                state.workers,
+                state.store.stats(),
+            ),
         ),
         (_, "/jobs" | "/healthz") => (405, error_body("method not allowed")),
         (_, path) if path.starts_with("/jobs/") => (405, error_body("method not allowed")),
@@ -273,9 +303,9 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
     let parsed = std::str::from_utf8(body)
         .map_err(|_| Error::InvalidParameter("body is not UTF-8".into()))
         .and_then(Value::parse)
-        .and_then(|v| JobSpec::from_json(&v));
-    let spec = match parsed {
-        Ok(spec) => spec,
+        .and_then(|raw| JobSpec::from_json(&raw).map(|spec| (spec, raw)));
+    let (spec, raw) = match parsed {
+        Ok(pair) => pair,
         Err(e) => {
             state.metrics.record_rejected_invalid();
             return (400, error_body(e.to_string()));
@@ -283,15 +313,11 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
     };
 
     let id = state.next_id.fetch_add(1, Ordering::SeqCst);
-    // Insert before enqueueing so a fast worker always finds the record;
-    // a refused push removes it again.
-    state.jobs.lock().expect("jobs poisoned").insert(
-        id,
-        JobRecord {
-            spec,
-            status: JobStatus::Queued,
-        },
-    );
+    // Insert (and journal) before enqueueing so a fast worker always
+    // finds the record; a refused push forgets it again.
+    if let Err(e) = state.store.insert(id, spec, raw) {
+        return (500, error_body(format!("job store: {e}")));
+    }
     match state.queue.try_push(id) {
         Ok(depth) => {
             state.metrics.record_submitted();
@@ -304,7 +330,7 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
             )
         }
         Err(refusal) => {
-            state.jobs.lock().expect("jobs poisoned").remove(&id);
+            state.store.forget(id);
             match refusal {
                 PushError::Full(_) => {
                     state.metrics.record_rejected_full();
@@ -326,17 +352,53 @@ fn get_job(path: &str, state: &ServerState) -> (u16, Value) {
     let Ok(id) = id_text.parse::<u64>() else {
         return (404, error_body(format!("bad job id `{id_text}`")));
     };
-    match state.jobs.lock().expect("jobs poisoned").get(&id) {
-        Some(record) => (200, record.to_value(id, true)),
+    match state.store.get(id) {
+        Some(doc) => (200, doc),
         None => (404, error_body(format!("no job {id}"))),
     }
 }
 
-fn list_jobs(state: &ServerState) -> (u16, Value) {
-    let jobs = state.jobs.lock().expect("jobs poisoned");
-    let items: Vec<Value> = jobs
-        .iter()
-        .map(|(id, record)| record.to_value(*id, false))
-        .collect();
-    (200, Value::object().with("jobs", items))
+const STATUS_NAMES: [&str; 4] = ["queued", "running", "done", "failed"];
+
+/// `GET /jobs[?status=NAME][&limit=N]` — summaries newest first, capped
+/// so listing a long-lived store stays bounded. `total` reports the
+/// matching count before the cap.
+fn list_jobs(request: &Request, state: &ServerState) -> (u16, Value) {
+    let mut status: Option<&str> = None;
+    let mut limit = DEFAULT_LIST_LIMIT;
+    for (key, value) in &request.query {
+        match key.as_str() {
+            "status" => {
+                if !STATUS_NAMES.contains(&value.as_str()) {
+                    return (
+                        400,
+                        error_body(format!(
+                            "unknown status `{value}` (one of: {})",
+                            STATUS_NAMES.join(", ")
+                        )),
+                    );
+                }
+                status = Some(value.as_str());
+            }
+            "limit" => match value.parse::<usize>() {
+                Ok(n) => limit = n.min(MAX_LIST_LIMIT),
+                Err(_) => {
+                    return (400, error_body(format!("bad limit `{value}`")));
+                }
+            },
+            other => {
+                return (
+                    400,
+                    error_body(format!(
+                        "unknown query parameter `{other}` (accepted: status, limit)"
+                    )),
+                );
+            }
+        }
+    }
+    let (total, items) = state.store.list(status, limit);
+    (
+        200,
+        Value::object().with("jobs", items).with("total", total),
+    )
 }

@@ -1,0 +1,1263 @@
+//! The job-store layer: where submitted jobs and their results live.
+//!
+//! `service.rs` used to keep every job in an inline `Mutex<HashMap>`;
+//! this module extracts that into an explicit, swappable seam — the
+//! [`JobStore`] trait — with two implementations:
+//!
+//! * [`MemoryStore`] — the original behavior: everything in one
+//!   process-lifetime map;
+//! * [`DiskStore`] — the same map, **journaled**: every submission and
+//!   every terminal transition is appended as one JSON line to
+//!   `<state-dir>/journal.jsonl` with an fsync
+//!   ([`sspc_common::io::append_line_durable`]), replayed on startup
+//!   (completed results come back bit-identically; interrupted
+//!   `queued`/`running` jobs are re-enqueued), and compacted on boot into
+//!   a journal holding only live records
+//!   ([`sspc_common::io::write_atomic`]).
+//!
+//! Both stores share the same [eviction policy](EvictionPolicy) layered
+//! on top of the map: finished jobs expire `result_ttl` after completion
+//! (checked lazily on every read and on submission), and `max_jobs` caps
+//! the store by evicting the oldest *finished* jobs first — queued and
+//! running jobs are never evicted. Evictions are journaled too, so a
+//! restart does not resurrect them.
+//!
+//! # Journal format
+//!
+//! One JSON object per line, in event order:
+//!
+//! ```json
+//! {"event":"submit","job":3,"at":1721901000.5,"spec":{...}}
+//! {"event":"done","job":3,"at":1721901002.1,"seconds":1.37,"result":{...}}
+//! {"event":"failed","job":4,"at":1721901003.0,"error":"..."}
+//! {"event":"evict","job":3}
+//! ```
+//!
+//! `spec` is the client's original submission document, so replay
+//! revalidates through the same [`JobSpec::from_json`] path as a live
+//! submission. A torn final line (a crash mid-append) is tolerated and
+//! dropped; corruption anywhere else is a startup error. The parser's
+//! nesting-depth limit bounds replay recursion on hostile state files.
+
+use crate::job::JobSpec;
+use sspc_common::io::{append_line_durable, write_atomic};
+use sspc_common::json::Value;
+use sspc_common::{Error, Result};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Executing on a worker right now.
+    Running,
+    /// Finished successfully.
+    Done {
+        /// The result document served under the job's `result` key.
+        result: Value,
+        /// Wall-clock execution seconds.
+        seconds: f64,
+    },
+    /// Finished with an error.
+    Failed {
+        /// The failure message served under the job's `error` key.
+        error: String,
+    },
+}
+
+impl JobStatus {
+    /// The wire name (`queued` / `running` / `done` / `failed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done { .. } => "done",
+            JobStatus::Failed { .. } => "failed",
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        matches!(self, JobStatus::Done { .. } | JobStatus::Failed { .. })
+    }
+}
+
+/// One tracked job: the parsed spec, the client's original submission
+/// document (what the disk store journals), and the current status.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Parsed, validated spec (what workers execute).
+    pub spec: JobSpec,
+    /// The original submission JSON (what replay re-parses).
+    pub raw: Value,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Submission wall-clock time (seconds since the Unix epoch).
+    pub submitted_at: f64,
+    /// Terminal-transition wall-clock time; `None` until finished.
+    pub finished_at: Option<f64>,
+}
+
+impl JobRecord {
+    /// The status document served by `GET /jobs/<id>`; `result` appears
+    /// only once done (and only when `with_result`), `error` only once
+    /// failed. Built purely from journaled fields, so the document is
+    /// byte-identical before and after a restart.
+    pub fn to_value(&self, id: u64, with_result: bool) -> Value {
+        let algorithms: Vec<Value> = self
+            .spec
+            .algorithms
+            .iter()
+            .map(|a| Value::from(a.as_str()))
+            .collect();
+        let mut v = Value::object()
+            .with("job", id)
+            .with("algorithms", algorithms)
+            .with("runs", self.spec.runs)
+            .with("seed", self.spec.seed)
+            .with("status", self.status.name());
+        match &self.status {
+            JobStatus::Done { result, seconds } => {
+                v = v.with("seconds", *seconds);
+                if with_result {
+                    v = v.with("result", result.clone());
+                }
+            }
+            JobStatus::Failed { error } => {
+                v = v.with("error", error.as_str());
+            }
+            JobStatus::Queued | JobStatus::Running => {}
+        }
+        v
+    }
+}
+
+/// When finished jobs leave the store.
+#[derive(Debug, Clone, Default)]
+pub struct EvictionPolicy {
+    /// Evict a finished job this long after it finished. `None` keeps
+    /// results forever (the pre-PR-5 behavior).
+    pub result_ttl: Option<Duration>,
+    /// Hard cap on stored jobs; exceeding it evicts the oldest *finished*
+    /// jobs first. Queued/running jobs are never evicted, so the store
+    /// can transiently exceed the cap when everything in it is live work.
+    pub max_jobs: Option<usize>,
+}
+
+/// Where jobs and results live — the swappable seam between the service
+/// and its persistence. All methods take `&self`; implementations are
+/// internally synchronized (the service shares one store across the
+/// acceptor, handler, and worker threads).
+pub trait JobStore: Send + Sync {
+    /// Tracks a new job as `queued`.
+    ///
+    /// # Errors
+    ///
+    /// Journal-write failures (disk store); the service answers `500`.
+    fn insert(&self, id: u64, spec: JobSpec, raw: Value) -> Result<()>;
+
+    /// Forgets a job whose queue push was refused (it was never really
+    /// admitted).
+    fn forget(&self, id: u64);
+
+    /// Marks the job `running` and returns the spec to execute; `None`
+    /// when the job has vanished (evicted between pop and begin).
+    fn begin(&self, id: u64) -> Option<JobSpec>;
+
+    /// Records a successful completion.
+    fn complete(&self, id: u64, result: Value, seconds: f64);
+
+    /// Records a failure.
+    fn fail(&self, id: u64, error: String);
+
+    /// The rendered status document (with the result payload), or `None`
+    /// for unknown/evicted/expired ids. Expiry is checked lazily here, so
+    /// a TTL-expired job 404s even if no sweep ran since it expired.
+    fn get(&self, id: u64) -> Option<Value>;
+
+    /// Summaries (no result payloads), newest first, optionally filtered
+    /// by status name, capped at `limit`. Returns `(total_matching,
+    /// capped_items)` so clients can detect truncation.
+    fn list(&self, status: Option<&str>, limit: usize) -> (usize, Vec<Value>);
+
+    /// The `/healthz` `store` section: kind, held-job count, eviction
+    /// counter, and the configured limits.
+    fn stats(&self) -> Value;
+}
+
+/// Wall-clock seconds since the Unix epoch (journaled timestamps).
+fn now_epoch() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0.0, |d| d.as_secs_f64())
+}
+
+/// The job map plus an index of finished jobs ordered by finish time.
+///
+/// The index keys are `(finished_at.to_bits(), id)` — epoch seconds are
+/// non-negative, so the IEEE bit pattern is order-preserving and the set
+/// iterates oldest-finished first. It makes TTL expiry O(expired · log n)
+/// per call instead of a full-map scan, and cap eviction O(log n) per
+/// evicted job.
+#[derive(Default)]
+struct CoreState {
+    jobs: BTreeMap<u64, JobRecord>,
+    finished: std::collections::BTreeSet<(u64, u64)>,
+}
+
+impl CoreState {
+    fn index_finished(&mut self, id: u64, at: f64) {
+        self.finished.insert((at.to_bits(), id));
+    }
+
+    /// Removes a job and its finished-index entry (if any).
+    fn remove(&mut self, id: u64) -> Option<JobRecord> {
+        let record = self.jobs.remove(&id)?;
+        if let Some(at) = record.finished_at {
+            self.finished.remove(&(at.to_bits(), id));
+        }
+        Some(record)
+    }
+
+    /// Rebuilds the finished index from the map (journal replay).
+    fn reindex(&mut self) {
+        self.finished = self
+            .jobs
+            .iter()
+            .filter_map(|(id, r)| r.finished_at.map(|at| (at.to_bits(), *id)))
+            .collect();
+    }
+}
+
+/// The in-memory core both stores share: the job state, the eviction
+/// policy, and the eviction counter. Mutation methods return the ids
+/// they evicted so the disk store can journal them.
+struct Core {
+    state: Mutex<CoreState>,
+    policy: EvictionPolicy,
+    evicted: AtomicU64,
+}
+
+impl Core {
+    fn new(policy: EvictionPolicy) -> Core {
+        Core {
+            state: Mutex::new(CoreState::default()),
+            policy,
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Drops TTL-expired finished jobs — oldest first off the finished
+    /// index, stopping at the first unexpired one. Called on every read
+    /// and write entry point, so expiry needs no background thread.
+    fn expire_locked(&self, state: &mut CoreState) -> Vec<u64> {
+        let Some(ttl) = self.policy.result_ttl else {
+            return Vec::new();
+        };
+        let deadline = now_epoch() - ttl.as_secs_f64();
+        let mut dead = Vec::new();
+        while let Some(&(bits, id)) = state.finished.first() {
+            if f64::from_bits(bits) > deadline {
+                break;
+            }
+            state.finished.remove(&(bits, id));
+            state.jobs.remove(&id);
+            dead.push(id);
+        }
+        self.evicted.fetch_add(dead.len() as u64, Ordering::Relaxed);
+        dead
+    }
+
+    /// Enforces `max_jobs` by evicting the oldest-*finished* jobs (by
+    /// finish time, not submission order — an early-submitted job may
+    /// have finished last). Called after every insert.
+    fn cap_locked(&self, state: &mut CoreState) -> Vec<u64> {
+        let Some(max) = self.policy.max_jobs else {
+            return Vec::new();
+        };
+        let mut dead = Vec::new();
+        while state.jobs.len() > max {
+            let Some(&(bits, id)) = state.finished.first() else {
+                break; // everything left is queued/running: never evicted
+            };
+            state.finished.remove(&(bits, id));
+            state.jobs.remove(&id);
+            dead.push(id);
+        }
+        self.evicted.fetch_add(dead.len() as u64, Ordering::Relaxed);
+        dead
+    }
+
+    fn insert(&self, id: u64, record: JobRecord) -> Vec<u64> {
+        let mut state = self.state.lock().expect("store poisoned");
+        let mut dead = self.expire_locked(&mut state);
+        state.jobs.insert(id, record);
+        dead.extend(self.cap_locked(&mut state));
+        dead
+    }
+
+    fn forget(&self, id: u64) -> bool {
+        self.state
+            .lock()
+            .expect("store poisoned")
+            .remove(id)
+            .is_some()
+    }
+
+    fn begin(&self, id: u64) -> Option<JobSpec> {
+        let mut state = self.state.lock().expect("store poisoned");
+        let record = state.jobs.get_mut(&id)?;
+        record.status = JobStatus::Running;
+        Some(record.spec.clone())
+    }
+
+    fn finish(&self, id: u64, status: JobStatus) -> Option<f64> {
+        let mut state = self.state.lock().expect("store poisoned");
+        let at = now_epoch();
+        let record = state.jobs.get_mut(&id)?;
+        record.status = status;
+        record.finished_at = Some(at);
+        state.index_finished(id, at);
+        Some(at)
+    }
+
+    fn get(&self, id: u64) -> (Option<Value>, Vec<u64>) {
+        let mut state = self.state.lock().expect("store poisoned");
+        let dead = self.expire_locked(&mut state);
+        (state.jobs.get(&id).map(|r| r.to_value(id, true)), dead)
+    }
+
+    fn list(&self, status: Option<&str>, limit: usize) -> ((usize, Vec<Value>), Vec<u64>) {
+        let mut state = self.state.lock().expect("store poisoned");
+        let dead = self.expire_locked(&mut state);
+        let matching = |r: &&JobRecord| status.is_none_or(|s| r.status.name() == s);
+        let total = state.jobs.values().filter(matching).count();
+        let items: Vec<Value> = state
+            .jobs
+            .iter()
+            .rev() // newest first: a capped listing shows recent work
+            .filter(|(_, r)| matching(r))
+            .take(limit)
+            .map(|(id, r)| r.to_value(*id, false))
+            .collect();
+        ((total, items), dead)
+    }
+
+    fn stats(&self, kind: &str) -> Value {
+        let mut state = self.state.lock().expect("store poisoned");
+        let _ = self.expire_locked(&mut state);
+        let mut v = Value::object()
+            .with("kind", kind)
+            .with("jobs", state.jobs.len())
+            .with("evicted", self.evicted.load(Ordering::Relaxed));
+        if let Some(ttl) = self.policy.result_ttl {
+            v = v.with("result_ttl_seconds", ttl.as_secs_f64());
+        }
+        if let Some(max) = self.policy.max_jobs {
+            v = v.with("max_jobs", max);
+        }
+        v
+    }
+}
+
+/// The original store: jobs live (and die) with the process.
+pub struct MemoryStore {
+    core: Core,
+}
+
+impl MemoryStore {
+    /// An empty in-memory store under the given eviction policy.
+    pub fn new(policy: EvictionPolicy) -> MemoryStore {
+        MemoryStore {
+            core: Core::new(policy),
+        }
+    }
+}
+
+impl JobStore for MemoryStore {
+    fn insert(&self, id: u64, spec: JobSpec, raw: Value) -> Result<()> {
+        let _ = self.core.insert(
+            id,
+            JobRecord {
+                spec,
+                raw,
+                status: JobStatus::Queued,
+                submitted_at: now_epoch(),
+                finished_at: None,
+            },
+        );
+        Ok(())
+    }
+
+    fn forget(&self, id: u64) {
+        self.core.forget(id);
+    }
+
+    fn begin(&self, id: u64) -> Option<JobSpec> {
+        self.core.begin(id)
+    }
+
+    fn complete(&self, id: u64, result: Value, seconds: f64) {
+        self.core.finish(id, JobStatus::Done { result, seconds });
+    }
+
+    fn fail(&self, id: u64, error: String) {
+        self.core.finish(id, JobStatus::Failed { error });
+    }
+
+    fn get(&self, id: u64) -> Option<Value> {
+        self.core.get(id).0
+    }
+
+    fn list(&self, status: Option<&str>, limit: usize) -> (usize, Vec<Value>) {
+        self.core.list(status, limit).0
+    }
+
+    fn stats(&self) -> Value {
+        self.core.stats("memory")
+    }
+}
+
+/// What [`DiskStore::open`] recovered from the journal.
+pub struct Recovery {
+    /// The store, replayed and compacted, ready to serve.
+    pub store: DiskStore,
+    /// Jobs that were `queued`/`running` at the kill, in submission
+    /// order — the service re-enqueues them.
+    pub pending: Vec<u64>,
+    /// The next job id to assign (max replayed id + 1).
+    pub next_id: u64,
+}
+
+/// The durable store: the in-memory map plus an fsynced append-only
+/// journal, replayed and compacted on open.
+pub struct DiskStore {
+    core: Core,
+    journal: Mutex<File>,
+    path: PathBuf,
+    lock_path: PathBuf,
+}
+
+const JOURNAL_FILE: &str = "journal.jsonl";
+const LOCK_FILE: &str = "lock";
+
+/// Claims `<dir>/lock` for this process. Two live processes on one state
+/// directory would corrupt each other (the second boot's compaction
+/// renames the journal out from under the first's append fd, silently
+/// dropping its acknowledged events), so a second open fails loudly. A
+/// lock left by a dead process (crash) or by this same process (an
+/// in-process restart) is taken over.
+fn acquire_dir_lock(dir: &Path) -> Result<PathBuf> {
+    let lock_path = dir.join(LOCK_FILE);
+    let pid = std::process::id();
+    for _ in 0..2 {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock_path)
+        {
+            Ok(mut file) => {
+                use std::io::Write;
+                let _ = write!(file, "{pid}");
+                return Ok(lock_path);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder: Option<u32> = std::fs::read_to_string(&lock_path)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok());
+                let stale = match holder {
+                    Some(p) if p == pid => true, // our own earlier instance
+                    // With procfs, a dead holder is detectable; without
+                    // it, stay conservative and refuse.
+                    Some(p) => {
+                        Path::new("/proc/self").exists()
+                            && !Path::new(&format!("/proc/{p}")).exists()
+                    }
+                    None => true, // unreadable/empty: a torn write
+                };
+                if !stale {
+                    return Err(Error::InvalidParameter(format!(
+                        "state dir {} is locked by running process {} \
+                         (two servers must not share a state dir; remove `{}` if this is wrong)",
+                        dir.display(),
+                        holder.unwrap_or(0),
+                        lock_path.display()
+                    )));
+                }
+                let _ = std::fs::remove_file(&lock_path);
+            }
+            Err(e) => {
+                return Err(Error::InvalidParameter(format!(
+                    "cannot lock state dir {}: {e}",
+                    dir.display()
+                )))
+            }
+        }
+    }
+    Err(Error::InvalidParameter(format!(
+        "cannot lock state dir {} (lock file keeps reappearing)",
+        dir.display()
+    )))
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        // Release the dir lock only if it is still ours.
+        let ours = std::fs::read_to_string(&self.lock_path)
+            .ok()
+            .is_some_and(|s| s.trim() == std::process::id().to_string());
+        if ours {
+            let _ = std::fs::remove_file(&self.lock_path);
+        }
+    }
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the state directory, claims its lock
+    /// file, replays the journal, compacts it, and returns the store
+    /// plus what recovery found.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when the directory is locked by
+    /// another live process, on I/O failures, or on a corrupt journal
+    /// (anything but a torn final line).
+    pub fn open(dir: &Path, policy: EvictionPolicy) -> Result<Recovery> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            Error::InvalidParameter(format!("cannot create state dir {}: {e}", dir.display()))
+        })?;
+        let lock_path = acquire_dir_lock(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut jobs = BTreeMap::new();
+        // Ids must never be reused, even for jobs that were evicted and
+        // compacted away — a client may still hold an old id, and serving
+        // it a different job's document would be silent corruption. The
+        // id floor comes from the compacted journal's meta line AND the
+        // max id of every submit event replayed (evicted or not).
+        let mut id_floor = 1;
+        if path.exists() {
+            id_floor = replay(&path, &mut jobs)?;
+        }
+        let next_id = id_floor.max(jobs.keys().next_back().map_or(1, |id| id + 1));
+
+        // Interrupted work re-runs: anything not finished was queued or
+        // running at the kill and goes back on the queue as `queued`.
+        let mut pending = Vec::new();
+        for (id, record) in &mut jobs {
+            if !record.status.is_finished() {
+                record.status = JobStatus::Queued;
+                pending.push(*id);
+            }
+        }
+
+        // Results that expired while the service was down stay dead.
+        let core = Core::new(policy);
+        {
+            let mut held = core.state.lock().expect("store poisoned");
+            held.jobs = jobs;
+            held.reindex();
+            let _ = core.expire_locked(&mut held);
+            core.evicted.store(0, Ordering::Relaxed); // counters are process-lifetime
+        }
+
+        // Boot-time compaction: rewrite the journal with only live
+        // records (plus the meta line carrying the id floor), atomically,
+        // then append from there.
+        let compacted = render_journal(&core.state.lock().expect("store poisoned").jobs, next_id);
+        write_atomic(&path, compacted.as_bytes())?;
+        let journal = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| {
+                Error::InvalidParameter(format!("cannot open journal {}: {e}", path.display()))
+            })?;
+        Ok(Recovery {
+            store: DiskStore {
+                core,
+                journal: Mutex::new(journal),
+                path,
+                lock_path,
+            },
+            pending,
+            next_id,
+        })
+    }
+
+    /// Appends one event line to an already-locked journal, fsynced.
+    /// Failures after admission (a full disk mid-run) are reported on
+    /// stderr but do not take the in-memory state down with them — the
+    /// next boot simply replays less.
+    fn append_locked(&self, journal: &mut File, event: &Value) {
+        if let Err(e) = append_line_durable(journal, &event.to_string()) {
+            eprintln!(
+                "sspc-server: journal append failed ({}): {e}",
+                self.path.display()
+            );
+        }
+    }
+
+    fn append(&self, event: &Value) {
+        let mut journal = self.journal.lock().expect("journal poisoned");
+        self.append_locked(&mut journal, event);
+    }
+
+    /// Journals a batch of evictions as one write + one fsync. Lazy TTL
+    /// expiry can surface thousands of evictions on a single read after
+    /// an idle period; per-line fsyncs would stall that request (and
+    /// every other journal writer) for seconds.
+    fn append_evictions(&self, dead: &[u64]) {
+        if dead.is_empty() {
+            return;
+        }
+        let mut block = String::new();
+        for id in dead {
+            block.push_str(
+                &Value::object()
+                    .with("event", "evict")
+                    .with("job", *id)
+                    .to_string(),
+            );
+            block.push('\n');
+        }
+        use std::io::Write;
+        let mut journal = self.journal.lock().expect("journal poisoned");
+        if let Err(e) = journal
+            .write_all(block.as_bytes())
+            .and_then(|()| journal.sync_data())
+        {
+            eprintln!(
+                "sspc-server: journal append failed ({}): {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+impl JobStore for DiskStore {
+    fn insert(&self, id: u64, spec: JobSpec, raw: Value) -> Result<()> {
+        let at = now_epoch();
+        // Journal first: a job the journal never saw must not be
+        // admitted, or a restart would silently drop it.
+        let event = Value::object()
+            .with("event", "submit")
+            .with("job", id)
+            .with("at", at)
+            .with("spec", raw.clone());
+        {
+            let mut journal = self.journal.lock().expect("journal poisoned");
+            append_line_durable(&mut journal, &event.to_string())?;
+        }
+        let dead = self.core.insert(
+            id,
+            JobRecord {
+                spec,
+                raw,
+                status: JobStatus::Queued,
+                submitted_at: at,
+                finished_at: None,
+            },
+        );
+        self.append_evictions(&dead);
+        Ok(())
+    }
+
+    fn forget(&self, id: u64) {
+        if self.core.forget(id) {
+            self.append(&Value::object().with("event", "evict").with("job", id));
+        }
+    }
+
+    fn begin(&self, id: u64) -> Option<JobSpec> {
+        // `running` is transient and deliberately not journaled: on
+        // replay it is indistinguishable from `queued` (re-enqueue).
+        self.core.begin(id)
+    }
+
+    fn complete(&self, id: u64, result: Value, seconds: f64) {
+        // Hold the journal lock ACROSS the state transition and the
+        // append. A concurrent evicter only sees the job as finished
+        // (evictable) after `finish` runs — which happens while we hold
+        // the journal lock — so its `evict` line necessarily lands after
+        // our `done` line and the on-disk order matches memory order.
+        // (A done-after-evict journal would refuse to replay cleanly.)
+        let mut journal = self.journal.lock().expect("journal poisoned");
+        let Some(at) = self.core.finish(
+            id,
+            JobStatus::Done {
+                result: result.clone(),
+                seconds,
+            },
+        ) else {
+            return;
+        };
+        self.append_locked(
+            &mut journal,
+            &Value::object()
+                .with("event", "done")
+                .with("job", id)
+                .with("at", at)
+                .with("seconds", seconds)
+                .with("result", result),
+        );
+    }
+
+    fn fail(&self, id: u64, error: String) {
+        // Same lock-across-transition discipline as `complete`.
+        let mut journal = self.journal.lock().expect("journal poisoned");
+        let Some(at) = self.core.finish(
+            id,
+            JobStatus::Failed {
+                error: error.clone(),
+            },
+        ) else {
+            return;
+        };
+        self.append_locked(
+            &mut journal,
+            &Value::object()
+                .with("event", "failed")
+                .with("job", id)
+                .with("at", at)
+                .with("error", error),
+        );
+    }
+
+    fn get(&self, id: u64) -> Option<Value> {
+        let (value, dead) = self.core.get(id);
+        self.append_evictions(&dead);
+        value
+    }
+
+    fn list(&self, status: Option<&str>, limit: usize) -> (usize, Vec<Value>) {
+        let (out, dead) = self.core.list(status, limit);
+        self.append_evictions(&dead);
+        out
+    }
+
+    fn stats(&self) -> Value {
+        self.core.stats("disk")
+    }
+}
+
+/// Replays a journal file into a job map. Returns the id floor: one past
+/// the highest job id the journal has ever named (including evicted
+/// jobs), combined with any compaction-time `meta` line — ids below it
+/// must never be assigned again.
+fn replay(path: &Path, jobs: &mut BTreeMap<u64, JobRecord>) -> Result<u64> {
+    let file = File::open(path).map_err(|e| {
+        Error::InvalidParameter(format!("cannot open journal {}: {e}", path.display()))
+    })?;
+    let reader = std::io::BufReader::new(file);
+    let lines: Vec<String> = reader
+        .lines()
+        .collect::<std::io::Result<_>>()
+        .map_err(|e| Error::InvalidParameter(format!("journal {}: {e}", path.display())))?;
+    let last = lines.len().saturating_sub(1);
+    let mut id_floor = 1u64;
+    for (no, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = match Value::parse(line) {
+            Ok(v) => v,
+            // A torn final line is the signature of a crash mid-append:
+            // the record was never acknowledged, dropping it is correct.
+            Err(_) if no == last => break,
+            Err(e) => {
+                return Err(Error::InvalidParameter(format!(
+                    "journal {} line {}: {e}",
+                    path.display(),
+                    no + 1
+                )))
+            }
+        };
+        if event.get("event").and_then(Value::as_str) == Some("meta") {
+            if let Some(floor) = event.get("next_id").and_then(Value::as_u64) {
+                id_floor = id_floor.max(floor);
+            }
+            continue;
+        }
+        let id = apply_event(&event, jobs).map_err(|e| {
+            Error::InvalidParameter(format!("journal {} line {}: {e}", path.display(), no + 1))
+        })?;
+        id_floor = id_floor.max(id + 1);
+    }
+    Ok(id_floor)
+}
+
+/// Applies one journal event; returns the job id it named.
+fn apply_event(event: &Value, jobs: &mut BTreeMap<u64, JobRecord>) -> Result<u64> {
+    let bad = |msg: &str| Error::InvalidParameter(msg.to_string());
+    let id = event
+        .get("job")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad("event without a job id"))?;
+    let at = event.get("at").and_then(Value::as_f64).unwrap_or(0.0);
+    match event.get("event").and_then(Value::as_str) {
+        Some("submit") => {
+            let raw = event
+                .get("spec")
+                .ok_or_else(|| bad("submit without spec"))?;
+            let record = match JobSpec::from_json(raw) {
+                Ok(spec) => JobRecord {
+                    spec,
+                    raw: raw.clone(),
+                    status: JobStatus::Queued,
+                    submitted_at: at,
+                    finished_at: None,
+                },
+                // A spec the current schema rejects (journal written by
+                // an older build): keep the job visible as failed rather
+                // than refusing to boot or silently dropping it. The
+                // synthetic spec only backs the status document.
+                Err(e) => JobRecord {
+                    spec: JobSpec::placeholder(),
+                    raw: raw.clone(),
+                    status: JobStatus::Failed {
+                        error: format!("unreplayable spec: {e}"),
+                    },
+                    submitted_at: at,
+                    finished_at: Some(at),
+                },
+            };
+            jobs.insert(id, record);
+        }
+        // Terminal events for a job not in the map are stale, not
+        // corrupt: the job was evicted, and the writer's terminal line
+        // happened to land after the evict line. Dropping them is the
+        // same outcome in either order — the job is gone.
+        Some("done") => {
+            if let Some(record) = jobs.get_mut(&id) {
+                record.status = JobStatus::Done {
+                    result: event
+                        .get("result")
+                        .ok_or_else(|| bad("done without result"))?
+                        .clone(),
+                    seconds: event.get("seconds").and_then(Value::as_f64).unwrap_or(0.0),
+                };
+                record.finished_at = Some(at);
+            }
+        }
+        Some("failed") => {
+            if let Some(record) = jobs.get_mut(&id) {
+                record.status = JobStatus::Failed {
+                    error: event
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                };
+                record.finished_at = Some(at);
+            }
+        }
+        Some("evict") => {
+            jobs.remove(&id);
+        }
+        _ => return Err(bad("unknown event")),
+    }
+    Ok(id)
+}
+
+/// Renders the compacted journal: a meta line carrying the id floor
+/// (compaction drops evicted submits, but their ids must stay burned),
+/// then one submit line per live record plus its terminal line when
+/// finished, in id order.
+fn render_journal(jobs: &BTreeMap<u64, JobRecord>, next_id: u64) -> String {
+    let mut out = String::new();
+    let meta = Value::object()
+        .with("event", "meta")
+        .with("next_id", next_id);
+    out.push_str(&meta.to_string());
+    out.push('\n');
+    for (id, record) in jobs {
+        let submit = Value::object()
+            .with("event", "submit")
+            .with("job", *id)
+            .with("at", record.submitted_at)
+            .with("spec", record.raw.clone());
+        out.push_str(&submit.to_string());
+        out.push('\n');
+        let at = record.finished_at.unwrap_or(0.0);
+        match &record.status {
+            JobStatus::Done { result, seconds } => {
+                let done = Value::object()
+                    .with("event", "done")
+                    .with("job", *id)
+                    .with("at", at)
+                    .with("seconds", *seconds)
+                    .with("result", result.clone());
+                out.push_str(&done.to_string());
+                out.push('\n');
+            }
+            JobStatus::Failed { error } => {
+                let failed = Value::object()
+                    .with("event", "failed")
+                    .with("job", *id)
+                    .with("at", at)
+                    .with("error", error.as_str());
+                out.push_str(&failed.to_string());
+                out.push('\n');
+            }
+            JobStatus::Queued | JobStatus::Running => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_raw() -> (JobSpec, Value) {
+        let raw = Value::object()
+            .with("k", 2u64)
+            .with(
+                "dataset",
+                Value::object().with(
+                    "generate",
+                    Value::object()
+                        .with("n", 30u64)
+                        .with("d", 6u64)
+                        .with("dims", 3u64),
+                ),
+            )
+            .with("algorithms", "harp");
+        (JobSpec::from_json(&raw).unwrap(), raw)
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sspc_store_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_store_lifecycle_and_listing() {
+        let store = MemoryStore::new(EvictionPolicy::default());
+        let (spec, raw) = spec_raw();
+        store.insert(1, spec.clone(), raw.clone()).unwrap();
+        store.insert(2, spec.clone(), raw.clone()).unwrap();
+        assert_eq!(store.begin(1).unwrap().algorithms, vec!["harp"]);
+        store.complete(1, Value::object().with("x", 1u64), 0.5);
+        store.fail(2, "boom".into());
+
+        let one = store.get(1).unwrap();
+        assert_eq!(one.get("status").and_then(Value::as_str), Some("done"));
+        assert_eq!(one.get("seconds").and_then(Value::as_f64), Some(0.5));
+        assert!(one.get("result").is_some());
+        let two = store.get(2).unwrap();
+        assert_eq!(two.get("status").and_then(Value::as_str), Some("failed"));
+        assert_eq!(two.get("error").and_then(Value::as_str), Some("boom"));
+        assert!(store.get(3).is_none());
+
+        // Listing: newest first, filterable, capped, result-free.
+        let (total, items) = store.list(None, 10);
+        assert_eq!(total, 2);
+        assert_eq!(items[0].get("job").and_then(Value::as_u64), Some(2));
+        assert!(items[0].get("result").is_none());
+        let (total, items) = store.list(Some("done"), 10);
+        assert_eq!((total, items.len()), (1, 1));
+        let (total, items) = store.list(None, 1);
+        assert_eq!((total, items.len()), (2, 1));
+
+        store.forget(1);
+        assert!(store.get(1).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.get("kind").and_then(Value::as_str), Some("memory"));
+        assert_eq!(stats.get("jobs").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn max_jobs_evicts_oldest_finished_only() {
+        let store = MemoryStore::new(EvictionPolicy {
+            result_ttl: None,
+            max_jobs: Some(2),
+        });
+        let (spec, raw) = spec_raw();
+        for id in 1..=2 {
+            store.insert(id, spec.clone(), raw.clone()).unwrap();
+        }
+        store.complete(1, Value::object(), 0.1);
+        // Job 3 pushes the store past the cap: job 1 (oldest finished)
+        // goes; job 2 (still queued) is untouchable.
+        store.insert(3, spec.clone(), raw.clone()).unwrap();
+        assert!(store.get(1).is_none());
+        assert!(store.get(2).is_some());
+        assert!(store.get(3).is_some());
+        assert_eq!(
+            store.stats().get("evicted").and_then(Value::as_u64),
+            Some(1)
+        );
+        // All unfinished: the cap is allowed to overflow.
+        store.insert(4, spec, raw).unwrap();
+        let (total, _) = store.list(None, 10);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn ttl_expires_lazily_on_read() {
+        let store = MemoryStore::new(EvictionPolicy {
+            result_ttl: Some(Duration::from_millis(30)),
+            max_jobs: None,
+        });
+        let (spec, raw) = spec_raw();
+        store.insert(1, spec, raw).unwrap();
+        store.complete(1, Value::object(), 0.1);
+        assert!(store.get(1).is_some(), "fresh result still served");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(store.get(1).is_none(), "expired result evicted on read");
+        assert_eq!(
+            store.stats().get("evicted").and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn disk_store_replays_results_bit_identically() {
+        let dir = temp_dir("replay");
+        let result = Value::object().with("objective", 0.30000000000000004).with(
+            "xs",
+            vec![Value::Num(1.0 / 3.0), Value::Num(f64::MIN_POSITIVE)],
+        );
+        let rendered_before;
+        {
+            let recovery = DiskStore::open(&dir, EvictionPolicy::default()).unwrap();
+            assert_eq!(recovery.next_id, 1);
+            assert!(recovery.pending.is_empty());
+            let store = recovery.store;
+            let (spec, raw) = spec_raw();
+            store.insert(1, spec.clone(), raw.clone()).unwrap();
+            store.begin(1);
+            store.complete(1, result.clone(), 1.25);
+            store.insert(2, spec.clone(), raw.clone()).unwrap();
+            store.fail(2, "exploded".into());
+            store.insert(3, spec, raw).unwrap(); // queued at "kill"
+            rendered_before = store.get(1).unwrap().to_string();
+        }
+        let recovery = DiskStore::open(&dir, EvictionPolicy::default()).unwrap();
+        assert_eq!(recovery.next_id, 4);
+        assert_eq!(recovery.pending, vec![3]);
+        let store = recovery.store;
+        assert_eq!(
+            store.get(1).unwrap().to_string(),
+            rendered_before,
+            "served document must be byte-identical across restart"
+        );
+        assert_eq!(
+            store
+                .get(2)
+                .unwrap()
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap(),
+            "exploded"
+        );
+        assert_eq!(
+            store.get(3).unwrap().get("status").and_then(Value::as_str),
+            Some("queued")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_journals_evictions_and_compacts() {
+        let dir = temp_dir("compact");
+        {
+            let recovery = DiskStore::open(
+                &dir,
+                EvictionPolicy {
+                    result_ttl: None,
+                    max_jobs: Some(1),
+                },
+            )
+            .unwrap();
+            let store = recovery.store;
+            let (spec, raw) = spec_raw();
+            store.insert(1, spec.clone(), raw.clone()).unwrap();
+            store.complete(1, Value::object(), 0.1);
+            store.insert(2, spec, raw).unwrap(); // evicts job 1
+            store.complete(2, Value::object(), 0.1);
+        }
+        // Journal now holds submit(1), done(1), submit(2), evict(1),
+        // done(2). Replay must not resurrect job 1, and compaction
+        // shrinks the journal to the meta line plus job 2's two lines.
+        let recovery = DiskStore::open(&dir, EvictionPolicy::default()).unwrap();
+        assert!(recovery.store.get(1).is_none());
+        assert!(recovery.store.get(2).is_some());
+        assert_eq!(recovery.next_id, 3, "evicted ids stay burned");
+        let journal = std::fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(journal.lines().count(), 3, "{journal}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Ids are never reused, even when eviction + compaction erase every
+    /// trace of the jobs that held them — a client polling an old id must
+    /// get a 404, never another job's document.
+    #[test]
+    fn job_ids_are_never_reused_across_restarts() {
+        let dir = temp_dir("id_reuse");
+        let ttl = EvictionPolicy {
+            result_ttl: Some(Duration::from_nanos(1)),
+            max_jobs: None,
+        };
+        {
+            let recovery = DiskStore::open(&dir, ttl.clone()).unwrap();
+            let (spec, raw) = spec_raw();
+            recovery.store.insert(1, spec.clone(), raw.clone()).unwrap();
+            recovery.store.complete(1, Value::object(), 0.1);
+            recovery.store.insert(2, spec, raw).unwrap();
+            recovery.store.complete(2, Value::object(), 0.1);
+        }
+        // Boot 2: both results have outlived the 1ns TTL; the store comes
+        // up empty and compaction writes a journal with no job lines.
+        {
+            let recovery = DiskStore::open(&dir, ttl.clone()).unwrap();
+            assert!(recovery.store.get(1).is_none());
+            assert!(recovery.store.get(2).is_none());
+            assert_eq!(recovery.next_id, 3, "empty store must not reset ids");
+        }
+        // Boot 3: only the meta line is left to carry the floor.
+        let recovery = DiskStore::open(&dir, ttl).unwrap();
+        assert_eq!(recovery.next_id, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The cap evicts by *finish time*, not submission order: an early
+    /// job that finished last outlives a late job that finished first.
+    #[test]
+    fn cap_evicts_by_finish_time_not_submission_order() {
+        let store = MemoryStore::new(EvictionPolicy {
+            result_ttl: None,
+            max_jobs: Some(2),
+        });
+        let (spec, raw) = spec_raw();
+        for id in 1..=2 {
+            store.insert(id, spec.clone(), raw.clone()).unwrap();
+        }
+        // Job 2 finishes first; job 1 finishes measurably later.
+        store.complete(2, Value::object(), 0.1);
+        std::thread::sleep(Duration::from_millis(15));
+        store.complete(1, Value::object(), 0.1);
+        store.insert(3, spec, raw).unwrap();
+        assert!(store.get(2).is_none(), "oldest-finished is the one evicted");
+        assert!(store.get(1).is_some());
+        assert!(store.get(3).is_some());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_corruption_elsewhere_is_fatal() {
+        let dir = temp_dir("torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, raw) = spec_raw();
+        let submit = Value::object()
+            .with("event", "submit")
+            .with("job", 1u64)
+            .with("at", 5.0)
+            .with("spec", raw);
+        let path = dir.join(JOURNAL_FILE);
+        // Torn tail: the crash-mid-append shape — recoverable.
+        std::fs::write(&path, format!("{submit}\n{{\"event\":\"do")).unwrap();
+        let recovery = DiskStore::open(&dir, EvictionPolicy::default()).unwrap();
+        assert_eq!(recovery.pending, vec![1]);
+        drop(recovery);
+        // Corruption in the middle: refuse to boot on a half-trusted map.
+        std::fs::write(&path, format!("not json\n{submit}\n")).unwrap();
+        let err = match DiskStore::open(&dir, EvictionPolicy::default()) {
+            Ok(_) => panic!("corrupt journal accepted"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two live stores must never share a state dir; locks from dead or
+    /// same-process holders are taken over.
+    #[test]
+    fn state_dir_lock_refuses_a_second_live_holder() {
+        let dir = temp_dir("lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A lock naming a live foreign process refuses (use our own pid
+        // written as if by another holder? — our pid is the same-process
+        // takeover case, so fake a live holder with pid 1, which always
+        // exists when procfs does).
+        if Path::new("/proc/1").exists() {
+            std::fs::write(dir.join(LOCK_FILE), "1").unwrap();
+            let err = match DiskStore::open(&dir, EvictionPolicy::default()) {
+                Ok(_) => panic!("locked dir accepted"),
+                Err(e) => e.to_string(),
+            };
+            assert!(err.contains("locked by running process"), "{err}");
+        }
+        // A stale lock from a dead pid is taken over.
+        std::fs::write(dir.join(LOCK_FILE), "4294967295").unwrap();
+        let recovery = DiskStore::open(&dir, EvictionPolicy::default()).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join(LOCK_FILE)).unwrap(),
+            std::process::id().to_string()
+        );
+        // Dropping the store releases the lock; reopening works.
+        drop(recovery);
+        assert!(!dir.join(LOCK_FILE).exists());
+        let _ = DiskStore::open(&dir, EvictionPolicy::default()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A terminal line that landed after the evict line for the same job
+    /// (the write-race shape older journals can contain) replays as a
+    /// no-op — never as a boot-refusing corruption error.
+    #[test]
+    fn stale_terminal_events_after_evict_replay_cleanly() {
+        let dir = temp_dir("stale_terminal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, raw) = spec_raw();
+        let submit = Value::object()
+            .with("event", "submit")
+            .with("job", 1u64)
+            .with("at", 5.0)
+            .with("spec", raw);
+        let evict = Value::object().with("event", "evict").with("job", 1u64);
+        let done = Value::object()
+            .with("event", "done")
+            .with("job", 1u64)
+            .with("at", 6.0)
+            .with("seconds", 0.5)
+            .with("result", Value::object());
+        std::fs::write(
+            dir.join(JOURNAL_FILE),
+            format!("{submit}\n{evict}\n{done}\n"),
+        )
+        .unwrap();
+        let recovery = DiskStore::open(&dir, EvictionPolicy::default()).unwrap();
+        assert!(recovery.store.get(1).is_none(), "evicted stays evicted");
+        assert_eq!(recovery.next_id, 2, "the id stays burned");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreplayable_specs_surface_as_failed_jobs() {
+        let dir = temp_dir("unreplayable");
+        std::fs::create_dir_all(&dir).unwrap();
+        let submit = Value::object()
+            .with("event", "submit")
+            .with("job", 7u64)
+            .with("at", 5.0)
+            .with("spec", Value::object().with("not_a_job", true));
+        std::fs::write(dir.join(JOURNAL_FILE), format!("{submit}\n")).unwrap();
+        let recovery = DiskStore::open(&dir, EvictionPolicy::default()).unwrap();
+        assert!(recovery.pending.is_empty(), "failed jobs are not re-run");
+        let doc = recovery.store.get(7).unwrap();
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("failed"));
+        assert!(doc
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("unreplayable"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

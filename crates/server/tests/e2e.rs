@@ -1,14 +1,18 @@
 //! End-to-end tests over a real socket: a submitted job's wire result must
-//! be **identical** to the equivalent in-process `sspc_api` call, and the
+//! be **identical** to the equivalent in-process `sspc_api` call, the
 //! error paths (malformed submissions, backpressure) must answer with the
-//! right statuses without wedging the service.
+//! right statuses without wedging the service, and the PR-5 store layer
+//! must deliver its contracts — restart recovery (results byte-identical,
+//! interrupted jobs re-run), TTL/cap eviction, and keep-alive connection
+//! reuse.
 
 use sspc_api::compare_algorithms;
 use sspc_api::registry::{AnyClusterer, ParamMap};
 use sspc_common::json::Value;
 use sspc_common::{ClusterId, Supervision};
 use sspc_datagen::{generate, GeneratorConfig};
-use sspc_server::{client, Server, ServerConfig};
+use sspc_server::{client, client::Client, Server, ServerConfig};
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn start(workers: usize, queue_capacity: usize) -> (Server, String) {
@@ -16,10 +20,17 @@ fn start(workers: usize, queue_capacity: usize) -> (Server, String) {
         addr: "127.0.0.1:0".into(),
         workers,
         queue_capacity,
+        ..Default::default()
     })
     .expect("bind a loopback port");
     let addr = server.addr().to_string();
     (server, addr)
+}
+
+fn temp_state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sspc_e2e_state_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 /// The experiment a job and the in-process reference both run.
@@ -233,12 +244,13 @@ fn file_backed_cluster_job_roundtrips() {
 fn malformed_requests_get_4xx_answers() {
     let (server, addr) = start(1, 8);
 
-    // Not JSON at all: raw bytes straight down the socket.
+    // Not JSON at all: raw bytes straight down the socket (announcing
+    // close, so read_to_string returns as soon as the server answers).
     {
         use std::io::{Read, Write};
         let mut stream = std::net::TcpStream::connect(&addr).unwrap();
         stream
-            .write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 4\r\n\r\n}{!!")
+            .write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 4\r\nconnection: close\r\n\r\n}{!!")
             .unwrap();
         let mut answer = String::new();
         stream.read_to_string(&mut answer).unwrap();
@@ -293,6 +305,244 @@ fn malformed_requests_get_4xx_answers() {
         Some(3)
     );
     assert_eq!(jobs.get("failed").and_then(Value::as_u64), Some(1));
+    server.shutdown();
+}
+
+/// A small, fast, deterministic job for the store-layer tests.
+fn tiny_job(seed: u64) -> Value {
+    Value::object()
+        .with("k", 2u64)
+        .with(
+            "dataset",
+            Value::object().with(
+                "generate",
+                Value::object()
+                    .with("n", 30u64)
+                    .with("d", 6u64)
+                    .with("dims", 3u64)
+                    .with("seed", seed),
+            ),
+        )
+        .with("algorithms", "harp")
+        .with("runs", 1u64)
+}
+
+fn start_disk(workers: usize, dir: &std::path::Path) -> (Server, String) {
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: 16,
+        state_dir: Some(dir.to_path_buf()),
+        ..Default::default()
+    })
+    .expect("bind a loopback port");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+/// The tentpole's restart contract, end to end over real sockets and a
+/// real kill/restart cycle: a completed job's result polled after restart
+/// is **byte-identical** to the pre-restart response, and a job queued at
+/// kill time re-runs to completion after restart.
+#[test]
+fn restart_recovery_preserves_results_and_reruns_interrupted_jobs() {
+    let dir = temp_state_dir("recovery");
+
+    // Life 1: run a job to completion, capture its exact wire document.
+    let (server, addr) = start_disk(1, &dir);
+    let mut client = Client::new(&addr);
+    let id = client.submit(&tiny_job(7)).unwrap();
+    let before = client
+        .wait_for(id, Duration::from_millis(20), Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(before.get("status").and_then(Value::as_str), Some("done"));
+    server.shutdown();
+
+    // Life 2: no workers — a freshly submitted job stays queued and the
+    // process "dies" with it in flight.
+    let (server, addr) = start_disk(0, &dir);
+    let mut client = Client::new(&addr);
+    let interrupted = client.submit(&tiny_job(8)).unwrap();
+    assert_eq!(
+        client
+            .job_status(interrupted)
+            .unwrap()
+            .get("status")
+            .and_then(Value::as_str),
+        Some("queued")
+    );
+    // The completed result from life 1 is already being served again.
+    assert_eq!(
+        client.job_status(id).unwrap().to_string(),
+        before.to_string()
+    );
+    server.shutdown();
+
+    // Life 3: recovery re-enqueues the interrupted job and it completes.
+    let (server, addr) = start_disk(1, &dir);
+    let mut client = Client::new(&addr);
+    let after = client
+        .wait_for(
+            interrupted,
+            Duration::from_millis(20),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+    assert_eq!(after.get("status").and_then(Value::as_str), Some("done"));
+    let health = client.healthz().unwrap();
+    assert_eq!(
+        health
+            .get("jobs")
+            .unwrap()
+            .get("recovered")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        health
+            .get("store")
+            .unwrap()
+            .get("kind")
+            .and_then(Value::as_str),
+        Some("disk")
+    );
+    // The byte-identity core of the acceptance criteria.
+    assert_eq!(
+        client.job_status(id).unwrap().to_string(),
+        before.to_string(),
+        "result drifted across restart"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// TTL eviction: a finished result outlives its TTL only until the next
+/// read, then 404s; the eviction is counted in `/healthz`.
+#[test]
+fn ttl_evicts_finished_results() {
+    let ttl = Duration::from_millis(100);
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 8,
+        result_ttl: Some(ttl),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::new(server.addr().to_string());
+    let id = client.submit(&tiny_job(3)).unwrap();
+    let done = client
+        .wait_for(id, Duration::from_millis(10), Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(done.get("status").and_then(Value::as_str), Some("done"));
+
+    std::thread::sleep(ttl + Duration::from_millis(300));
+    let err = client.job_status(id).unwrap_err().to_string();
+    assert!(err.contains("404"), "{err}");
+    let store = client.healthz().unwrap().get("store").unwrap().clone();
+    assert_eq!(store.get("evicted").and_then(Value::as_u64), Some(1));
+    assert_eq!(store.get("jobs").and_then(Value::as_u64), Some(0));
+    assert_eq!(
+        store.get("result_ttl_seconds").and_then(Value::as_f64),
+        Some(0.1)
+    );
+    server.shutdown();
+}
+
+/// `max_jobs` eviction: fully deterministic — the store never exceeds
+/// the cap, and the oldest finished job is the one that goes.
+#[test]
+fn max_jobs_evicts_oldest_finished() {
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 8,
+        max_jobs: Some(1),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::new(server.addr().to_string());
+    let first = client.submit(&tiny_job(1)).unwrap();
+    client
+        .wait_for(first, Duration::from_millis(10), Duration::from_secs(60))
+        .unwrap();
+    let second = client.submit(&tiny_job(2)).unwrap();
+    client
+        .wait_for(second, Duration::from_millis(10), Duration::from_secs(60))
+        .unwrap();
+    // Submitting the second job pushed the store past the cap; the first
+    // (finished) job was evicted, the second survived.
+    assert!(client.job_status(first).is_err());
+    assert!(client.job_status(second).is_ok());
+    let store = client.healthz().unwrap().get("store").unwrap().clone();
+    assert_eq!(store.get("max_jobs").and_then(Value::as_u64), Some(1));
+    assert_eq!(store.get("evicted").and_then(Value::as_u64), Some(1));
+    server.shutdown();
+}
+
+/// Keep-alive over the full service: one `Client` drives a submission,
+/// the whole polling loop, a listing, and two health checks over ONE TCP
+/// connection — asserted via the server's own accepted-connection
+/// counter.
+#[test]
+fn polling_reuses_one_connection() {
+    let (server, addr) = start(1, 8);
+    let mut client = Client::new(&addr);
+    let id = client.submit(&tiny_job(5)).unwrap();
+    let done = client
+        .wait_for(id, Duration::from_millis(10), Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(done.get("status").and_then(Value::as_str), Some("done"));
+    let listing = client.list_jobs(Some("done"), Some(10)).unwrap();
+    assert_eq!(listing.get("total").and_then(Value::as_u64), Some(1));
+    let _ = client.healthz().unwrap();
+    let health = client.healthz().unwrap();
+    assert_eq!(
+        health.get("connections_accepted").and_then(Value::as_u64),
+        Some(1),
+        "every request should have ridden the same socket"
+    );
+    server.shutdown();
+}
+
+/// The `GET /jobs` satellite: `?status=` filters, `?limit=` caps (with
+/// `total` reporting the uncapped count), and bad parameters answer 400.
+#[test]
+fn listing_filters_and_caps() {
+    let (server, addr) = start(0, 8); // no workers: jobs stay queued
+    let mut client = Client::new(&addr);
+    for seed in 0..3 {
+        client.submit(&tiny_job(seed)).unwrap();
+    }
+    let all = client.list_jobs(None, None).unwrap();
+    assert_eq!(all.get("total").and_then(Value::as_u64), Some(3));
+    let jobs = all.get("jobs").and_then(Value::as_array).unwrap();
+    assert_eq!(jobs.len(), 3);
+    // Newest first.
+    assert_eq!(jobs[0].get("job").and_then(Value::as_u64), Some(3));
+    assert!(jobs[0].get("result").is_none());
+
+    let queued = client.list_jobs(Some("queued"), Some(2)).unwrap();
+    assert_eq!(queued.get("total").and_then(Value::as_u64), Some(3));
+    assert_eq!(
+        queued.get("jobs").and_then(Value::as_array).unwrap().len(),
+        2
+    );
+    let done = client.list_jobs(Some("done"), None).unwrap();
+    assert_eq!(done.get("total").and_then(Value::as_u64), Some(0));
+
+    let (status, body) =
+        sspc_server::http::request(&addr, "GET", "/jobs?status=bogus", None).unwrap();
+    assert_eq!(status, 400);
+    assert!(body
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("bogus"));
+    let (status, _) = sspc_server::http::request(&addr, "GET", "/jobs?limit=x", None).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = sspc_server::http::request(&addr, "GET", "/jobs?frob=1", None).unwrap();
+    assert_eq!(status, 400);
     server.shutdown();
 }
 
