@@ -36,7 +36,10 @@ pub struct BestOf {
 ///
 /// # Errors
 ///
-/// Propagates the first run failure.
+/// Propagates the first run failure, including
+/// [`sspc_common::Error::DeadlineExceeded`] when the caller installed a
+/// cooperative deadline (checked once per restart here, and once per
+/// iteration inside the core loop).
 pub fn best_of<C: ProjectedClusterer + ?Sized>(
     clusterer: &C,
     dataset: &Dataset,
@@ -52,6 +55,9 @@ pub fn best_of<C: ProjectedClusterer + ?Sized>(
     let mut best: Option<Clustering> = None;
     let mut total_seconds = 0.0;
     for r in 0..runs {
+        // Cancellation point between restarts: algorithms without an
+        // internal check (the baselines) still stop at restart granularity.
+        sspc_common::cancel::check()?;
         let result = clusterer.cluster(dataset, supervision, derive_seed(base_seed, r as u64))?;
         total_seconds += result.seconds();
         if best.as_ref().is_none_or(|b| result.is_better_than(b)) {

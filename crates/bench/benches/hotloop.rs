@@ -248,10 +248,22 @@ fn main() {
         incr.run(&data.dataset, &supervision, seed).unwrap()
     });
 
+    // Cancellation-overhead A/B: the cooperative deadline check sits in
+    // the outer iteration loop. The `incr` timing above runs it unarmed
+    // (a thread-local read); this run installs a far-future deadline so
+    // every check also pays its `Instant::now()`. Both must be noise.
+    let far_deadline = Instant::now() + std::time::Duration::from_secs(86_400);
+    let (deadline_secs, deadline_result) = time_path("incr+dl", &|| {
+        let _deadline = sspc_common::cancel::deadline_guard(far_deadline);
+        incr.run(&data.dataset, &supervision, seed).unwrap()
+    });
+
     let bit_identical = naive_result == batch_result
         && naive_result == incr_result
+        && naive_result == deadline_result
         && naive_result.objective().to_bits() == batch_result.objective().to_bits()
-        && naive_result.objective().to_bits() == incr_result.objective().to_bits();
+        && naive_result.objective().to_bits() == incr_result.objective().to_bits()
+        && naive_result.objective().to_bits() == deadline_result.objective().to_bits();
     assert!(
         bit_identical,
         "hotloop: fast paths diverged from the reference path"
@@ -259,10 +271,12 @@ fn main() {
 
     let speedup = naive_secs / incr_secs;
     let speedup_incr = batch_secs / incr_secs;
+    let deadline_overhead = deadline_secs / incr_secs - 1.0;
     println!(
         "hotloop n={n} d={d} k={k}: naive {naive_secs:.3} s, batch {batch_secs:.3} s, \
          incr {incr_secs:.3} s, speedup {speedup:.2}x (incr vs batch {speedup_incr:.2}x), \
-         bit-identical results"
+         armed-deadline overhead {:+.1}%, bit-identical results",
+        deadline_overhead * 100.0
     );
 
     // The stabilized-regime A/B on the same workload: delta-dominated
@@ -318,7 +332,8 @@ fn main() {
             "\"incr_secs\":{:.6},\"fast_secs\":{:.6},\"speedup\":{:.3},",
             "\"speedup_incr_vs_batch\":{:.3},\"stabilized_batch_secs\":{:.6},",
             "\"stabilized_incr_secs\":{:.6},\"stabilized_speedup\":{:.3},",
-            "\"stabilized_delta\":{},\"bit_identical\":{},\"iterations\":{}}}\n"
+            "\"stabilized_delta\":{},\"deadline_incr_secs\":{:.6},",
+            "\"deadline_overhead\":{:.4},\"bit_identical\":{},\"iterations\":{}}}\n"
         ),
         n,
         d,
@@ -336,6 +351,8 @@ fn main() {
         stab_incr,
         stab_speedup,
         stab_delta,
+        deadline_secs,
+        deadline_overhead,
         bit_identical && stab_identical,
         incr_result.iterations()
     );

@@ -77,14 +77,17 @@ subcommands:
             (--input FILE [--truth-path FILE] | --generate \"n=1000,d=100,...\")
             [--type compare|cluster] [--algorithms sspc,clarans,...]
             [--params \"algorithm.key=value,...\"] [--runs 5] [--seed 1]
-            [--truth true] [--include-assignment true]
+            [--truth true] [--include-assignment true] [--timeout SECONDS]
             [--wait true] [--interval-ms 250] [--timeout-sec 600]
       Submit a job to a running service and print the job id — or, with
       --wait true, block until it finishes and print the full result JSON.
       --generate accepts n, d, k, dims, outliers, seed and evaluates the
       synthetic dataset server-side; --truth true scores against its
       planted labels. --input paths are resolved to absolute paths but
-      must be readable by the *server* process.
+      must be readable by the *server* process. --timeout sets the job's
+      server-side deadline (`timeout_secs`): a job still running that many
+      seconds after it starts is cancelled and marked failed. (The
+      separate --timeout-sec bounds only how long --wait polls.)
 
   poll      --addr HOST:PORT (--job ID | --list true) [--wait true]
             [--interval-ms 250] [--timeout-sec 600]
@@ -95,7 +98,9 @@ subcommands:
       match count).
 
   health    --addr HOST:PORT
-      Print the service's /healthz JSON.
+      Print the service's /healthz JSON (stdout) and a one-line summary —
+      status, queue, workers alive, job counters, degraded flag — to
+      stderr.
 
   help
       This message.
@@ -453,6 +458,7 @@ fn cmd_submit(flags: &Flags) -> Result<()> {
         "truth",
         "truth-path",
         "include-assignment",
+        "timeout",
         "wait",
         "interval-ms",
         "timeout-sec",
@@ -465,6 +471,12 @@ fn cmd_submit(flags: &Flags) -> Result<()> {
         .with("dataset", submit_dataset(flags)?)
         .with("runs", flags.parsed_or("runs", 5u64)?)
         .with("seed", flags.parsed_or("seed", 1u64)?);
+    if flags.optional("timeout").is_some() {
+        // Validation (positive, finite, Duration-representable) happens
+        // server-side in JobSpec::from_json; the flag just ships the
+        // number.
+        job = job.with("timeout_secs", flags.parsed::<f64>("timeout")?);
+    }
     let kind = flags.optional("type");
     if let Some(kind) = kind {
         job = job.with("type", kind);
@@ -548,8 +560,49 @@ fn cmd_poll(flags: &Flags) -> Result<()> {
 
 fn cmd_health(flags: &Flags) -> Result<()> {
     flags.reject_unknown(&["addr"])?;
-    println!("{}", client::healthz(flags.required("addr")?)?);
+    let health = client::healthz(flags.required("addr")?)?;
+    // Raw JSON on stdout (scripts and CI grep it); the summary goes to
+    // stderr like every other human-facing line.
+    println!("{health}");
+    eprintln!("{}", health_summary(&health));
     Ok(())
+}
+
+/// One human-readable line from the `/healthz` document: overall status,
+/// queue pressure, worker liveness, job outcomes, and the failure-domain
+/// counters added for fault isolation.
+fn health_summary(health: &Value) -> String {
+    let str_at = |keys: &[&str]| -> &str {
+        let mut v = Some(health);
+        for k in keys {
+            v = v.and_then(|v| v.get(k));
+        }
+        v.and_then(Value::as_str).unwrap_or("?")
+    };
+    let num_at = |keys: &[&str]| -> u64 {
+        let mut v = Some(health);
+        for k in keys {
+            v = v.and_then(|v| v.get(k));
+        }
+        v.and_then(Value::as_u64).unwrap_or(0)
+    };
+    let mut line = format!(
+        "status {}: queue {}/{}, workers {}/{} alive, \
+         {} completed, {} failed ({} panicked, {} past deadline)",
+        str_at(&["status"]),
+        num_at(&["queue", "depth"]),
+        num_at(&["queue", "capacity"]),
+        num_at(&["workers_alive"]),
+        num_at(&["workers"]),
+        num_at(&["jobs", "completed"]),
+        num_at(&["jobs", "failed"]),
+        num_at(&["jobs_panicked"]),
+        num_at(&["jobs_deadline_exceeded"]),
+    );
+    if health.get("store_degraded").and_then(Value::as_bool) == Some(true) {
+        line.push_str("; STORE DEGRADED (read-only; restart to recover)");
+    }
+    line
 }
 
 /// Polls the job per the `--interval-ms`/`--timeout-sec` flags, reusing
@@ -1098,6 +1151,38 @@ mod tests {
         ]))
         .is_err());
         server.shutdown();
+    }
+
+    #[test]
+    fn health_summary_renders_counters_and_degraded_flag() {
+        let health = Value::object()
+            .with("status", "degraded")
+            .with("workers", 2u64)
+            .with("workers_alive", 1u64)
+            .with(
+                "queue",
+                Value::object().with("depth", 3u64).with("capacity", 64u64),
+            )
+            .with(
+                "jobs",
+                Value::object().with("completed", 5u64).with("failed", 2u64),
+            )
+            .with("jobs_panicked", 1u64)
+            .with("jobs_deadline_exceeded", 1u64)
+            .with("store_degraded", true);
+        let line = health_summary(&health);
+        assert!(line.contains("status degraded"), "{line}");
+        assert!(line.contains("queue 3/64"), "{line}");
+        assert!(line.contains("workers 1/2 alive"), "{line}");
+        assert!(line.contains("5 completed"), "{line}");
+        assert!(
+            line.contains("2 failed (1 panicked, 1 past deadline)"),
+            "{line}"
+        );
+        assert!(line.contains("STORE DEGRADED"), "{line}");
+        // A healthy doc omits the degraded suffix.
+        let ok = health_summary(&Value::object().with("status", "ok"));
+        assert!(!ok.contains("DEGRADED"), "{ok}");
     }
 
     #[test]

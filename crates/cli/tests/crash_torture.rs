@@ -1,0 +1,223 @@
+//! Crash-torture sweep (`--features fault-injection`): for EVERY named
+//! fault point in [`sspc_server::FAULT_POINTS`], crash a real `sspc-cli
+//! serve` process at that point mid-workload (`SSPC_FAULT=<point>:1:crash`
+//! aborts without unwinding — the closest stand-in for a power cut),
+//! restart it clean, and assert the store contracts survived:
+//!
+//! * a result completed before the crash is served **byte-identically**
+//!   after it;
+//! * work that was queued or running at the crash re-runs to completion;
+//! * job ids are never reused, no matter where the crash landed;
+//! * the torn journal the crash may leave behind replays cleanly (no
+//!   panic, no invented jobs — the restart itself is the assertion).
+
+#![cfg(feature = "fault-injection")]
+
+use sspc_common::json::Value;
+use sspc_server::{client, client::Client, FAULT_POINTS};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+fn tiny_job(seed: u64) -> Value {
+    Value::object()
+        .with("k", 2u64)
+        .with(
+            "dataset",
+            Value::object().with(
+                "generate",
+                Value::object()
+                    .with("n", 30u64)
+                    .with("d", 6u64)
+                    .with("dims", 3u64)
+                    .with("seed", seed),
+            ),
+        )
+        .with("algorithms", "harp")
+        .with("runs", 1u64)
+}
+
+/// A real `sspc-cli serve` child process. Its stderr is drained on a
+/// thread that announces the bound address (the `--addr 127.0.0.1:0`
+/// port is only knowable from the startup line) and returns the full
+/// transcript at join — an armed process may abort before, during, or
+/// long after that line prints, so the address arrives (or never does)
+/// through a channel.
+struct ServerProc {
+    child: Child,
+    addr_rx: mpsc::Receiver<String>,
+    stderr_thread: std::thread::JoinHandle<String>,
+}
+
+impl ServerProc {
+    fn spawn(state_dir: &Path, fault: Option<&str>) -> ServerProc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_sspc-cli"));
+        cmd.args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--state-dir",
+        ])
+        .arg(state_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+        match fault {
+            Some(spec) => cmd.env("SSPC_FAULT", spec),
+            None => cmd.env_remove("SSPC_FAULT"),
+        };
+        let mut child = cmd.spawn().expect("spawn sspc-cli serve");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let (tx, addr_rx) = mpsc::channel();
+        let stderr_thread = std::thread::spawn(move || {
+            let mut transcript = String::new();
+            for line in std::io::BufReader::new(stderr).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rest) = line.strip_prefix("sspc-server listening on ") {
+                    if let Some(addr) = rest.split_whitespace().next() {
+                        let _ = tx.send(addr.to_string());
+                    }
+                }
+                transcript.push_str(&line);
+                transcript.push('\n');
+            }
+            transcript
+        });
+        ServerProc {
+            child,
+            addr_rx,
+            stderr_thread,
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.addr_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("server announces its address")
+    }
+
+    /// SIGKILL + reap: the mid-flight power cut between phases.
+    fn kill(mut self) -> String {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.stderr_thread.join().expect("stderr drain")
+    }
+
+    /// Waits (bounded) for the process to die on its own, poking it with
+    /// submissions once it is reachable so runtime fault points get hit.
+    /// Returns the stderr transcript.
+    fn drive_until_death(mut self, deadline: Duration) -> String {
+        let started = Instant::now();
+        let mut addr = None;
+        let mut seed = 1000;
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                assert!(!status.success(), "an aborted server cannot exit 0");
+                break;
+            }
+            assert!(
+                started.elapsed() < deadline,
+                "armed server survived the whole workload"
+            );
+            if addr.is_none() {
+                addr = self.addr_rx.try_recv().ok();
+            }
+            if let Some(addr) = &addr {
+                // Every outcome is fine — refused, reset mid-response,
+                // or even accepted; the next loop turn sees the abort.
+                let _ = client::submit(addr, &tiny_job(seed));
+                seed += 1;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.stderr_thread.join().expect("stderr drain")
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sspc_torture_{}_{}",
+        std::process::id(),
+        name.replace('.', "_")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The sweep. One pass per registered fault point, three server lives
+/// per pass: (A) a clean life establishes durable state and is killed
+/// mid-flight, (B) an armed life aborts at the point under test, (C) a
+/// clean life must recover everything.
+#[test]
+fn crash_torture_sweep_recovers_at_every_fault_point() {
+    for point in FAULT_POINTS {
+        let dir = temp_dir(point);
+
+        // Phase A: complete job 1 durably, leave job 2 in flight, and
+        // cut the power.
+        let server = ServerProc::spawn(&dir, None);
+        let addr = server.addr();
+        let mut c = Client::new(&addr);
+        let job1 = c.submit(&tiny_job(1)).unwrap();
+        let done = c
+            .wait_for(job1, Duration::from_millis(10), Duration::from_secs(120))
+            .unwrap();
+        assert_eq!(
+            done.get("status").and_then(Value::as_str),
+            Some("done"),
+            "{point}: phase A job"
+        );
+        let job1_doc = c.job_status(job1).unwrap().to_string();
+        let job2 = c.submit(&tiny_job(2)).unwrap();
+        drop(c);
+        server.kill();
+
+        // Phase B: an armed life. Boot-time points (compaction, atomic
+        // replace) abort before the listener exists; runtime points need
+        // the workload poke. Either way the process must die at the
+        // armed point, not live through it.
+        let armed = ServerProc::spawn(&dir, Some(&format!("{point}:1:crash")));
+        let transcript = armed.drive_until_death(Duration::from_secs(120));
+        assert!(
+            transcript.contains(&format!("aborting at `{point}`")),
+            "{point}: died somewhere else:\n{transcript}"
+        );
+
+        // Phase C: clean restart — the recovery contracts.
+        let server = ServerProc::spawn(&dir, None);
+        let addr = server.addr();
+        let mut c = Client::new(&addr);
+        assert_eq!(
+            c.job_status(job1).unwrap().to_string(),
+            job1_doc,
+            "{point}: completed result drifted across the crash"
+        );
+        let after = c
+            .wait_for(job2, Duration::from_millis(10), Duration::from_secs(120))
+            .unwrap();
+        assert_eq!(
+            after.get("status").and_then(Value::as_str),
+            Some("done"),
+            "{point}: in-flight job was not recovered"
+        );
+        // Ids burned by ANY life (including ones the armed life admitted
+        // right before aborting) must never come back.
+        let fresh = c.submit(&tiny_job(3)).unwrap();
+        assert!(
+            fresh > job2,
+            "{point}: id {fresh} reused at or below {job2}"
+        );
+        let health = c.healthz().unwrap();
+        assert_eq!(
+            health.get("status").and_then(Value::as_str),
+            Some("ok"),
+            "{point}: store came back degraded"
+        );
+        drop(c);
+        server.kill();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -22,6 +22,9 @@ pub enum Error {
     /// The requested operation needs more data than was provided
     /// (e.g. variance of fewer than two points).
     InsufficientData(String),
+    /// Cooperative cancellation fired: the work ran past its installed
+    /// deadline (see [`crate::cancel`]) and stopped at a checkpoint.
+    DeadlineExceeded(String),
 }
 
 impl fmt::Display for Error {
@@ -32,6 +35,7 @@ impl fmt::Display for Error {
             Error::InvalidSupervision(msg) => write!(f, "invalid supervision: {msg}"),
             Error::NoConvergence(msg) => write!(f, "no convergence: {msg}"),
             Error::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            Error::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }

@@ -1,0 +1,203 @@
+//! Named fault-injection points for crash-torture testing.
+//!
+//! Production code calls [`point`] at the places where real deployments
+//! fail — journal appends, compaction, atomic replaces, response writes —
+//! and in a normal build every call compiles to `Ok(())` (an
+//! `#[inline(always)]` no-op the optimizer erases). With the
+//! `fault-injection` cargo feature the points become *armable*: a harness
+//! selects a point, an ordinal, and a failure mode, and the Nth time
+//! execution reaches that point it fails there, deterministically.
+//!
+//! # Arming
+//!
+//! Via the environment (read once, on the first armed hit):
+//!
+//! ```text
+//! SSPC_FAULT=journal.append:3:crash        # abort the process on hit 3
+//! SSPC_FAULT=journal.append:1:err,http.response:2:err
+//! ```
+//!
+//! or programmatically from a test in the same process with `arm` /
+//! `disarm` (feature-gated; they replace the table and reset all hit
+//! counters).
+//!
+//! Each spec is `point:nth:mode` where `nth` is the 1-based hit ordinal
+//! at which the fault fires (it fires on that hit only) and `mode` is:
+//!
+//! * `err` — the point returns [`Error::InvalidParameter`](crate::Error::InvalidParameter), exercising
+//!   the error path (graceful degradation);
+//! * `panic` — the point panics, exercising unwind isolation
+//!   (`catch_unwind` worker domains);
+//! * `crash` — the process aborts without unwinding, the closest
+//!   stand-in for a power cut (crash-recovery invariants).
+//!
+//! The registered point names live with the harness that sweeps them
+//! (`sspc_server::FAULT_POINTS`); this module deliberately does not care
+//! what the names mean.
+
+#[cfg(feature = "fault-injection")]
+use crate::Error;
+use crate::Result;
+
+/// A named fault point. No-op (`Ok(())`) unless the `fault-injection`
+/// feature is enabled *and* a fault is armed for `name` — see the module
+/// docs for the arming grammar.
+///
+/// # Errors
+///
+/// Only with `fault-injection` on: an armed `err`-mode fault returns
+/// [`Error::InvalidParameter`](crate::Error::InvalidParameter) on its
+/// configured hit.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn point(_name: &str) -> Result<()> {
+    Ok(())
+}
+
+/// A named fault point. No-op (`Ok(())`) unless the `fault-injection`
+/// feature is enabled *and* a fault is armed for `name` — see the module
+/// docs for the arming grammar.
+///
+/// # Errors
+///
+/// An armed `err`-mode fault returns [`Error::InvalidParameter`] on its
+/// configured hit. `panic` and `crash` modes do not return.
+#[cfg(feature = "fault-injection")]
+pub fn point(name: &str) -> Result<()> {
+    armed::hit(name)
+}
+
+/// Replaces the armed-fault table from a `point:nth:mode` spec string
+/// (same grammar as `SSPC_FAULT`), resetting all hit counters. Test-only:
+/// exists only with the `fault-injection` feature.
+///
+/// # Panics
+///
+/// On a malformed spec — arming is test tooling, and a silently ignored
+/// typo would make a torture run vacuously pass.
+#[cfg(feature = "fault-injection")]
+pub fn arm(spec: &str) {
+    armed::rearm(spec);
+}
+
+/// Clears every armed fault (subsequent [`point`] calls all pass). Also
+/// prevents a later first-hit from re-reading `SSPC_FAULT`.
+#[cfg(feature = "fault-injection")]
+pub fn disarm() {
+    armed::rearm("");
+}
+
+#[cfg(feature = "fault-injection")]
+mod armed {
+    use super::{Error, Result};
+    use std::sync::Mutex;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Mode {
+        Err,
+        Panic,
+        Crash,
+    }
+
+    #[derive(Debug)]
+    struct Armed {
+        name: String,
+        nth: u64,
+        mode: Mode,
+        hits: u64,
+    }
+
+    /// `None` until the first hit (or an explicit `arm`) parses the
+    /// environment; `Some(vec)` afterwards, possibly empty.
+    static FAULTS: Mutex<Option<Vec<Armed>>> = Mutex::new(None);
+
+    fn parse(spec: &str) -> Vec<Armed> {
+        spec.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|entry| {
+                let parts: Vec<&str> = entry.split(':').collect();
+                let [name, nth, mode] = parts[..] else {
+                    panic!("SSPC_FAULT entry `{entry}` is not `point:nth:mode`");
+                };
+                let nth: u64 =
+                    nth.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                        panic!("SSPC_FAULT nth `{nth}` must be an integer >= 1")
+                    });
+                let mode = match mode {
+                    "err" => Mode::Err,
+                    "panic" => Mode::Panic,
+                    "crash" => Mode::Crash,
+                    other => panic!("SSPC_FAULT mode `{other}` must be err, panic, or crash"),
+                };
+                Armed {
+                    name: name.to_string(),
+                    nth,
+                    mode,
+                    hits: 0,
+                }
+            })
+            .collect()
+    }
+
+    pub(super) fn rearm(spec: &str) {
+        let mut table = FAULTS.lock().expect("fault table poisoned");
+        *table = Some(parse(spec));
+    }
+
+    pub(super) fn hit(name: &str) -> Result<()> {
+        let fired = {
+            let mut table = FAULTS.lock().expect("fault table poisoned");
+            let faults = table.get_or_insert_with(|| {
+                std::env::var("SSPC_FAULT").map_or_else(|_| Vec::new(), |s| parse(&s))
+            });
+            let mut fired = None;
+            for fault in faults.iter_mut() {
+                if fault.name == name {
+                    fault.hits += 1;
+                    if fault.hits == fault.nth {
+                        fired = Some(fault.mode);
+                    }
+                }
+            }
+            fired
+            // Drop the lock before acting: a panic while holding it would
+            // poison the table for every later point in the process.
+        };
+        match fired {
+            None => Ok(()),
+            Some(Mode::Err) => Err(Error::InvalidParameter(format!("fault injected: {name}"))),
+            Some(Mode::Panic) => panic!("fault injected: {name}"),
+            Some(Mode::Crash) => {
+                eprintln!("sspc fault-injection: aborting at `{name}`");
+                std::process::abort();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(not(feature = "fault-injection"))]
+    fn unarmed_points_are_noops() {
+        assert!(point("journal.append").is_ok());
+    }
+
+    /// The one armed test in this binary — arming is process-global, so
+    /// the err-mode lifecycle is exercised in a single sequential story.
+    #[test]
+    #[cfg(feature = "fault-injection")]
+    fn err_mode_fires_on_the_nth_hit_only() {
+        arm("demo.point:2:err");
+        assert!(point("demo.point").is_ok(), "hit 1 passes");
+        assert!(point("other.point").is_ok(), "unarmed names always pass");
+        let err = point("demo.point").unwrap_err().to_string();
+        assert!(err.contains("fault injected: demo.point"), "{err}");
+        assert!(point("demo.point").is_ok(), "hit 3 passes again");
+        disarm();
+        assert!(point("demo.point").is_ok(), "disarmed");
+    }
+}

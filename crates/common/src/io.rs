@@ -179,6 +179,7 @@ pub fn append_line_durable(file: &mut File, line: &str) -> Result<()> {
 /// [`Error::InvalidParameter`] wrapping any create/write/sync/rename
 /// failure (including a `path` with no parent directory).
 pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<()> {
+    crate::fault::point("io.atomic_replace")?;
     let wrap = |context: &str, e: std::io::Error| {
         Error::InvalidParameter(format!("atomic write {}: {context}: {e}", path.display()))
     };

@@ -35,9 +35,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod clusterer;
 mod dataset;
 mod error;
+pub mod fault;
 mod ids;
 pub mod io;
 pub mod json;

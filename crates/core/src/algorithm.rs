@@ -495,6 +495,10 @@ impl Sspc {
 
         while iterations < self.params.max_iterations {
             iterations += 1;
+            // Cooperative cancellation point: one thread-local read per
+            // outer iteration, free unless a deadline is installed (the
+            // batch server's job timeouts; see sspc_common::cancel).
+            sspc_common::cancel::check()?;
 
             // Step 3: assignment.
             self.assign(

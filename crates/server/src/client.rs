@@ -11,16 +11,34 @@
 //!
 //! The module-level free functions ([`submit`], [`job_status`], …) are
 //! one-shot conveniences over a throwaway [`Client`].
+//!
+//! # Retry discipline
+//!
+//! All waiting rides [`crate::backoff::Backoff`] — capped exponential
+//! with deterministic jitter. A `503` whose body says `"reason":
+//! "queue_full"` is the one rejection the server proves it did **not**
+//! admit (the id was forgotten before answering), so [`Client::submit`]
+//! retries it a few times, honoring the `Retry-After` header the server
+//! attaches; every other non-`202` (including `store_degraded` and
+//! `shutting_down` 503s, where re-submitting may duplicate work or is
+//! pointless) surfaces immediately. Transport-level POST failures are
+//! never retried.
 
+use crate::backoff::Backoff;
 use crate::http::HttpConnection;
 use sspc_common::json::Value;
 use sspc_common::{Error, Result};
 use std::time::{Duration, Instant};
 
+/// Submit attempts per [`Client::submit`] call: the initial POST plus
+/// three queue-full retries.
+const SUBMIT_ATTEMPTS: u32 = 4;
+
 /// A reusable connection to one server address.
 pub struct Client {
     addr: String,
     conn: Option<HttpConnection>,
+    last_retry_after: Option<u64>,
 }
 
 impl Client {
@@ -29,6 +47,7 @@ impl Client {
         Client {
             addr: addr.into(),
             conn: None,
+            last_retry_after: None,
         }
     }
 
@@ -50,6 +69,7 @@ impl Client {
             }
             other => other,
         };
+        self.last_retry_after = conn.retry_after();
         if outcome.is_ok() && !conn.server_closed() {
             self.conn = Some(conn);
         }
@@ -58,22 +78,38 @@ impl Client {
 
     /// Submits a job document and returns the assigned job id.
     ///
+    /// A `503` with `"reason": "queue_full"` — the one refusal the server
+    /// guarantees left no trace, so re-POSTing cannot duplicate the job —
+    /// is retried up to three times with jittered exponential backoff,
+    /// sleeping at least the server's `Retry-After` hint.
+    ///
     /// # Errors
     ///
     /// [`Error::InvalidParameter`] on connection failures or any
     /// non-`202` answer (the server's `error` text is included — `400`
-    /// for invalid jobs, `503` for a full queue).
+    /// for invalid jobs, `503` for a full queue that stayed full).
     pub fn submit(&mut self, job: &Value) -> Result<u64> {
-        let (status, body) = self.call("POST", "/jobs", Some(job))?;
-        if status != 202 {
-            return Err(Error::InvalidParameter(format!(
-                "submit refused with {status}: {}",
-                body.get("error").and_then(Value::as_str).unwrap_or("?")
-            )));
+        let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 0x5b);
+        for attempt in 1..=SUBMIT_ATTEMPTS {
+            let (status, body) = self.call("POST", "/jobs", Some(job))?;
+            if status == 202 {
+                return body
+                    .get("job")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| Error::InvalidParameter("202 without a job id".into()));
+            }
+            let queue_full =
+                status == 503 && body.get("reason").and_then(Value::as_str) == Some("queue_full");
+            if !queue_full || attempt == SUBMIT_ATTEMPTS {
+                return Err(Error::InvalidParameter(format!(
+                    "submit refused with {status}: {}",
+                    body.get("error").and_then(Value::as_str).unwrap_or("?")
+                )));
+            }
+            let hint = Duration::from_secs(self.last_retry_after.unwrap_or(0));
+            std::thread::sleep(backoff.next_delay().max(hint));
         }
-        body.get("job")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| Error::InvalidParameter("202 without a job id".into()))
+        unreachable!("submit loop returns on every path")
     }
 
     /// Fetches a job's status document (`status` ∈ `queued` / `running` /
@@ -128,13 +164,16 @@ impl Client {
 
     /// Polls until the job leaves the queue/running states and returns
     /// its final document (`done` **or** `failed` — inspect `status`).
-    /// All polls ride the same keep-alive connection.
+    /// All polls ride the same keep-alive connection; the interval starts
+    /// at `poll_every` and backs off (jittered, seeded by the job id so
+    /// concurrent waiters decorrelate) up to `8 × poll_every`.
     ///
     /// # Errors
     ///
     /// Lookup failures, or [`Error::NoConvergence`] after `timeout`.
     pub fn wait_for(&mut self, id: u64, poll_every: Duration, timeout: Duration) -> Result<Value> {
         let started = Instant::now();
+        let mut backoff = Backoff::new(poll_every, poll_every.saturating_mul(8), id);
         loop {
             let status = self.job_status(id)?;
             match status.get("status").and_then(Value::as_str) {
@@ -146,7 +185,7 @@ impl Client {
                             timeout.as_secs_f64()
                         )));
                     }
-                    std::thread::sleep(poll_every);
+                    std::thread::sleep(backoff.next_delay());
                 }
             }
         }
@@ -209,7 +248,7 @@ pub fn healthz(addr: &str) -> Result<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::{read_request, write_response};
+    use crate::http::{read_request, write_response, write_response_with};
     use std::io::BufReader;
     use std::net::TcpListener;
 
@@ -283,5 +322,79 @@ mod tests {
         assert!(client.submit(&job).is_err(), "POST must not be retried");
         drop(client);
         server.join().unwrap();
+    }
+
+    /// A scripted server answering each request on one keep-alive
+    /// connection from `script` (status, body, `Retry-After` seconds).
+    /// Returns the number of requests served.
+    fn scripted_server(
+        listener: TcpListener,
+        script: Vec<(u16, Value, Option<u64>)>,
+    ) -> std::thread::JoinHandle<usize> {
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut served = 0;
+            for (status, body, retry_after) in script {
+                match read_request(&mut reader) {
+                    Ok(Some(_)) => {
+                        write_response_with(&mut stream, status, &body, false, retry_after)
+                            .unwrap();
+                        served += 1;
+                    }
+                    _ => break,
+                }
+            }
+            served
+        })
+    }
+
+    /// The retry-discipline contract: queue-full 503s (and only those)
+    /// are retried with backoff, honoring `Retry-After`, and the retries
+    /// ride the same keep-alive connection.
+    #[test]
+    fn submit_retries_queue_full_503s_until_accepted() {
+        let queue_full = Value::object()
+            .with("error", "queue full (capacity 2); retry later")
+            .with("reason", "queue_full");
+        let accepted = Value::object().with("job", 9u64).with("queue_depth", 1u64);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = scripted_server(
+            listener,
+            vec![
+                (503, queue_full.clone(), Some(0)),
+                (503, queue_full, Some(0)),
+                (202, accepted, None),
+            ],
+        );
+
+        let mut client = Client::new(&addr);
+        let job = Value::object().with("k", 1u64);
+        assert_eq!(client.submit(&job).unwrap(), 9);
+        drop(client);
+        assert_eq!(server.join().unwrap(), 3, "two retries then acceptance");
+    }
+
+    /// 503s whose reason is not `queue_full` (the server may have
+    /// admitted or cannot accept the job) surface immediately.
+    #[test]
+    fn submit_does_not_retry_other_503_reasons() {
+        let degraded = Value::object()
+            .with("error", "job store is degraded")
+            .with("reason", "store_degraded");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = scripted_server(listener, vec![(503, degraded, Some(1))]);
+
+        let mut client = Client::new(&addr);
+        let job = Value::object().with("k", 1u64);
+        let err = client.submit(&job).unwrap_err().to_string();
+        assert!(
+            err.contains("degraded"),
+            "error carries the server text: {err}"
+        );
+        drop(client);
+        assert_eq!(server.join().unwrap(), 1, "no retry was attempted");
     }
 }

@@ -209,11 +209,30 @@ pub fn write_response(
     body: &Value,
     close: bool,
 ) -> Result<()> {
+    write_response_with(stream, status, body, close, None)
+}
+
+/// [`write_response`] plus an optional `Retry-After: <seconds>` header —
+/// the backpressure hint the service attaches to every 503 so clients
+/// know how long to back off before resubmitting.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] wrapping socket failures.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Value,
+    close: bool,
+    retry_after: Option<u64>,
+) -> Result<()> {
+    sspc_common::fault::point("http.response")?;
     let payload = body.to_string();
     let connection = if close { "close" } else { "keep-alive" };
+    let retry = retry_after.map_or(String::new(), |secs| format!("retry-after: {secs}\r\n"));
     let head = format!(
         "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: {connection}\r\n\r\n",
+         content-length: {}\r\n{retry}connection: {connection}\r\n\r\n",
         status_text(status),
         payload.len()
     );
@@ -237,6 +256,7 @@ pub struct HttpConnection {
     reader: BufReader<TcpStream>,
     addr: String,
     server_closed: bool,
+    retry_after: Option<u64>,
 }
 
 impl HttpConnection {
@@ -258,6 +278,7 @@ impl HttpConnection {
             reader: BufReader::new(stream),
             addr: addr.to_string(),
             server_closed: false,
+            retry_after: None,
         })
     }
 
@@ -265,6 +286,13 @@ impl HttpConnection {
     /// exchange needs a fresh connection.
     pub fn server_closed(&self) -> bool {
         self.server_closed
+    }
+
+    /// The `Retry-After` seconds the **most recent** response carried
+    /// (`None` when it had no such header) — the server's backpressure
+    /// hint on 503s, consumed by the client's submit backoff.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.retry_after
     }
 
     /// One keep-alive exchange: sends the request, returns
@@ -315,6 +343,7 @@ impl HttpConnection {
     }
 
     fn exchange_inner(&mut self, message: &[u8]) -> Result<(u16, Value)> {
+        self.retry_after = None; // per-response; reset before each exchange
         self.reader
             .get_mut()
             .write_all(message)
@@ -361,6 +390,8 @@ impl HttpConnection {
                     && value.eq_ignore_ascii_case("close")
                 {
                     self.server_closed = true;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    self.retry_after = value.parse().ok();
                 }
             }
         }
@@ -488,6 +519,30 @@ mod tests {
         assert_eq!(status, 200);
         assert!(conn.server_closed());
         assert!(conn.roundtrip("GET", "/healthz", None).is_err());
+        server.join().unwrap();
+    }
+
+    /// `Retry-After` is carried per-response: present after a 503 that
+    /// sent it, cleared again by the next response without it.
+    #[test]
+    fn retry_after_header_roundtrips_and_resets() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let _ = read_request(&mut reader).unwrap().unwrap();
+            write_response_with(&mut stream, 503, &Value::object(), false, Some(7)).unwrap();
+            let _ = read_request(&mut reader).unwrap().unwrap();
+            write_response(&mut stream, 200, &Value::object(), true).unwrap();
+        });
+        let mut conn = HttpConnection::connect(&addr).unwrap();
+        let (status, _) = conn.roundtrip("POST", "/jobs", None).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(conn.retry_after(), Some(7));
+        let (status, _) = conn.roundtrip("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(conn.retry_after(), None, "reset by a header-free response");
         server.join().unwrap();
     }
 

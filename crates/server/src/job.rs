@@ -65,6 +65,11 @@ pub struct JobSpec {
     pub supervision: Supervision,
     /// Include per-object assignments in the result payload.
     pub include_assignment: bool,
+    /// Wall-clock deadline for the job body: the worker installs a
+    /// cooperative cancellation deadline (`sspc_common::cancel`) this many
+    /// seconds after execution starts, and the iteration loops fail the
+    /// job with `deadline exceeded` at their next check. `None` = no limit.
+    pub timeout_secs: Option<f64>,
 }
 
 fn bad(msg: impl Into<String>) -> Error {
@@ -133,7 +138,8 @@ impl JobSpec {
     ///   "truth": true,
     ///   "truth_path": "truth.tsv",
     ///   "supervision": {"objects": [[3, 0]], "dims": [[17, 1]]},
-    ///   "include_assignment": false
+    ///   "include_assignment": false,
+    ///   "timeout_secs": 30
     /// }
     /// ```
     ///
@@ -163,6 +169,7 @@ impl JobSpec {
                 "truth_path",
                 "supervision",
                 "include_assignment",
+                "timeout_secs",
             ],
         )?;
 
@@ -222,6 +229,19 @@ impl JobSpec {
             Some(s) => Self::parse_supervision(s)?,
         };
 
+        let timeout_secs = match v.get("timeout_secs") {
+            None => None,
+            Some(x) => {
+                let secs = x
+                    .as_f64()
+                    .filter(|&s| s > 0.0 && std::time::Duration::try_from_secs_f64(s).is_ok())
+                    .ok_or_else(|| {
+                        bad("`timeout_secs` must be a positive, finite number of seconds")
+                    })?;
+                Some(secs)
+            }
+        };
+
         Ok(JobSpec {
             kind,
             source,
@@ -237,6 +257,7 @@ impl JobSpec {
             truth_path,
             supervision,
             include_assignment: field_bool(v, "include_assignment", kind == JobKind::Cluster)?,
+            timeout_secs,
         })
     }
 
@@ -256,6 +277,7 @@ impl JobSpec {
             truth_path: None,
             supervision: Supervision::none(),
             include_assignment: false,
+            timeout_secs: None,
         }
     }
 
@@ -404,6 +426,7 @@ impl JobSpec {
     /// Any load, roster-construction, clustering, or evaluation failure —
     /// reported to the submitter as the job's failure message.
     pub fn execute(&self) -> Result<JobOutcome> {
+        sspc_common::fault::point("job.execute")?;
         let (dataset, truth) = self.load()?;
         let names: Vec<&str> = self.algorithms.iter().map(String::as_str).collect();
         let roster = AnyClusterer::roster(&names, self.k, &self.scoped)?;

@@ -33,6 +33,18 @@
 //! close` honored, idle timeout); the [`client::Client`] reuses one
 //! socket across submissions and polls.
 //!
+//! # Failure domains
+//!
+//! Each job body runs under an unwind barrier (a panicking clusterer
+//! fails the job, not the worker), `timeout_secs` installs a cooperative
+//! deadline ([`sspc_common::cancel`]), a runtime journal-write failure
+//! degrades the disk store to read-only instead of crashing the process,
+//! and every `503` carries a `Retry-After` hint honored by the client's
+//! jittered backoff ([`backoff::Backoff`]). The named fault points wired
+//! through these layers ([`FAULT_POINTS`], [`sspc_common::fault`]) let a
+//! harness crash a real server at each of them deterministically — see
+//! `docs/ARCHITECTURE.md` § "Failure domains".
+//!
 //! # Example
 //!
 //! A complete round trip on a loopback socket — start, submit a
@@ -81,6 +93,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod client;
 pub mod http;
 pub mod job;
@@ -91,3 +104,15 @@ pub mod store;
 pub use job::{JobKind, JobSpec};
 pub use service::{Server, ServerConfig};
 pub use store::{DiskStore, EvictionPolicy, JobStore, MemoryStore};
+
+/// Every named fault point the server stack registers with
+/// [`sspc_common::fault`], boot-time points first — the sweep list for
+/// crash-torture harnesses. Keep in sync with the `fault::point` call
+/// sites (the torture test exercises each entry).
+pub const FAULT_POINTS: &[&str] = &[
+    "journal.compact",   // DiskStore::open, before boot compaction
+    "io.atomic_replace", // sspc_common::io::write_atomic
+    "journal.append",    // DiskStore journal appends (submit/done/failed/evict)
+    "http.response",     // every response write
+    "job.execute",       // top of JobSpec::execute on a worker
+];

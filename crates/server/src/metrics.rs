@@ -28,6 +28,8 @@ pub struct Metrics {
     rejected_invalid: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    panicked: AtomicU64,
+    deadline_exceeded: AtomicU64,
     connections: AtomicU64,
     per_algorithm: Mutex<BTreeMap<String, AlgorithmThroughput>>,
 }
@@ -42,6 +44,8 @@ impl Default for Metrics {
             rejected_invalid: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             per_algorithm: Mutex::new(BTreeMap::new()),
         }
@@ -93,16 +97,54 @@ impl Metrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A job body panicked and was caught by the worker's unwind barrier
+    /// (the job is also counted in `failed`).
+    pub fn record_panicked(&self) {
+        self.panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job was cancelled at its cooperative deadline (also counted in
+    /// `failed`).
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Backpressure hint attached as `Retry-After` to every 503: the mean
+    /// wall-clock seconds per completed job observed so far (total
+    /// per-algorithm busy seconds over completed jobs), rounded up and
+    /// clamped to `[1, 60]`; `1` before anything has completed.
+    pub fn retry_after_seconds(&self) -> u64 {
+        let completed = self.completed.load(Ordering::Relaxed);
+        if completed == 0 {
+            return 1;
+        }
+        let busy: f64 = self
+            .per_algorithm
+            .lock()
+            .expect("metrics poisoned")
+            .values()
+            .map(|t| t.busy_seconds)
+            .sum();
+        (busy / completed as f64).ceil().clamp(1.0, 60.0) as u64
+    }
+
     /// Renders the `/healthz` document. `queue_depth`/`queue_capacity`
-    /// describe the bounded queue; `workers` is the pool size; `store`
+    /// describe the bounded queue; `workers` is the configured pool size
+    /// and `workers_alive` the threads currently in their loop; `store`
     /// is the job store's own stats section (kind, held jobs, evictions,
-    /// configured limits).
+    /// configured limits) and `store_degraded` its read-only flag.
+    ///
+    /// The document splits liveness from readiness: any answer at all is
+    /// liveness, while `ready` (mirrored by `status`: `"ok"` vs
+    /// `"degraded"`) says whether new submissions can be accepted.
     pub fn healthz_value(
         &self,
         queue_depth: usize,
         queue_capacity: usize,
         workers: usize,
+        workers_alive: usize,
         store: Value,
+        store_degraded: bool,
     ) -> Value {
         let mut algorithms = Value::object();
         for (name, t) in self.per_algorithm.lock().expect("metrics poisoned").iter() {
@@ -121,9 +163,11 @@ impl Metrics {
             );
         }
         Value::object()
-            .with("status", "ok")
+            .with("status", if store_degraded { "degraded" } else { "ok" })
+            .with("ready", !store_degraded)
             .with("uptime_seconds", self.started.elapsed().as_secs_f64())
             .with("workers", workers)
+            .with("workers_alive", workers_alive)
             .with(
                 "connections_accepted",
                 self.connections.load(Ordering::Relaxed),
@@ -151,6 +195,12 @@ impl Metrics {
                     .with("completed", self.completed.load(Ordering::Relaxed))
                     .with("failed", self.failed.load(Ordering::Relaxed)),
             )
+            .with("jobs_panicked", self.panicked.load(Ordering::Relaxed))
+            .with(
+                "jobs_deadline_exceeded",
+                self.deadline_exceeded.load(Ordering::Relaxed),
+            )
+            .with("store_degraded", store_degraded)
             .with("algorithms", algorithms)
     }
 }
@@ -171,6 +221,8 @@ mod tests {
         m.record_rejected_full();
         m.record_rejected_invalid();
         m.record_failed();
+        m.record_panicked();
+        m.record_deadline_exceeded();
         m.record_completed(&[
             AlgorithmCost {
                 algorithm: "sspc".into(),
@@ -190,9 +242,20 @@ mod tests {
         }]);
 
         let store = Value::object().with("kind", "memory").with("jobs", 2u64);
-        let h = m.healthz_value(3, 64, 2, store);
+        let h = m.healthz_value(3, 64, 2, 2, store, false);
         assert_eq!(h.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(h.get("ready").and_then(Value::as_bool), Some(true));
         assert_eq!(h.get("workers").and_then(Value::as_u64), Some(2));
+        assert_eq!(h.get("workers_alive").and_then(Value::as_u64), Some(2));
+        assert_eq!(h.get("jobs_panicked").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            h.get("jobs_deadline_exceeded").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            h.get("store_degraded").and_then(Value::as_bool),
+            Some(false)
+        );
         assert_eq!(
             h.get("connections_accepted").and_then(Value::as_u64),
             Some(3)
@@ -221,5 +284,32 @@ mod tests {
             sspc.get("restarts_per_busy_second").and_then(Value::as_f64),
             Some(2.0)
         );
+    }
+
+    #[test]
+    fn retry_after_tracks_mean_job_seconds() {
+        let m = Metrics::default();
+        assert_eq!(m.retry_after_seconds(), 1, "floor of 1 before completions");
+        m.record_completed(&[AlgorithmCost {
+            algorithm: "sspc".into(),
+            restarts: 1,
+            busy_seconds: 2.2,
+        }]);
+        assert_eq!(m.retry_after_seconds(), 3, "ceil of the mean");
+        m.record_completed(&[AlgorithmCost {
+            algorithm: "sspc".into(),
+            restarts: 1,
+            busy_seconds: 1000.0,
+        }]);
+        assert_eq!(m.retry_after_seconds(), 60, "clamped to a minute");
+    }
+
+    #[test]
+    fn degraded_store_flips_status_and_readiness() {
+        let m = Metrics::default();
+        let h = m.healthz_value(0, 4, 1, 1, Value::object(), true);
+        assert_eq!(h.get("status").and_then(Value::as_str), Some("degraded"));
+        assert_eq!(h.get("ready").and_then(Value::as_bool), Some(false));
+        assert_eq!(h.get("store_degraded").and_then(Value::as_bool), Some(true));
     }
 }

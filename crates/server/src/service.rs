@@ -20,17 +20,17 @@
 //! Shutdown closes the queue (pending jobs drain), wakes the acceptor
 //! with a loopback connection, and joins the acceptor and workers.
 
-use crate::http::{read_request, write_response, Request};
-use crate::job::JobSpec;
+use crate::http::{read_request, write_response, write_response_with, Request};
+use crate::job::{JobOutcome, JobSpec};
 use crate::metrics::Metrics;
 use crate::store::{DiskStore, EvictionPolicy, JobStore, MemoryStore};
 use sspc_common::json::Value;
 use sspc_common::parallel::{PushError, TaskQueue};
-use sspc_common::{Error, Result};
+use sspc_common::{cancel, Error, Result};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -83,6 +83,10 @@ struct ServerState {
     metrics: Metrics,
     shutting_down: AtomicBool,
     workers: usize,
+    /// Worker threads currently inside their loop — `/healthz` compares
+    /// this against `workers` to surface a crashed worker (it should
+    /// never diverge now that job bodies run under an unwind barrier).
+    workers_alive: AtomicUsize,
 }
 
 /// A running batch service; dropping the handle does **not** stop it —
@@ -130,6 +134,7 @@ impl Server {
             metrics: Metrics::default(),
             shutting_down: AtomicBool::new(false),
             workers: config.workers,
+            workers_alive: AtomicUsize::new(0),
         });
 
         // Re-enqueue interrupted work before anything else can fill the
@@ -199,6 +204,17 @@ impl Server {
 }
 
 fn worker_loop(state: &ServerState) {
+    state.workers_alive.fetch_add(1, Ordering::Relaxed);
+    // Keep the gauge honest even if something ever unwinds past the
+    // per-job barrier below (a panicking Drop, a non-unwind-safe bug).
+    struct AliveGuard<'a>(&'a AtomicUsize);
+    impl Drop for AliveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _alive = AliveGuard(&state.workers_alive);
+
     while let Some(id) = state.queue.pop() {
         // `begin` marks the job running; None means it vanished (evicted
         // or forgotten) between push and pop.
@@ -206,19 +222,50 @@ fn worker_loop(state: &ServerState) {
             continue;
         };
         let started = Instant::now();
-        let outcome = spec.execute();
+        let outcome = run_isolated(&spec);
         let seconds = started.elapsed().as_secs_f64();
         match outcome {
-            Ok(outcome) => {
+            Ok(Ok(outcome)) => {
                 state.metrics.record_completed(&outcome.throughput);
                 state.store.complete(id, outcome.result, seconds);
             }
-            Err(e) => {
+            Ok(Err(e)) => {
+                if matches!(e, Error::DeadlineExceeded(_)) {
+                    state.metrics.record_deadline_exceeded();
+                }
                 state.metrics.record_failed();
                 state.store.fail(id, e.to_string());
             }
+            Err(message) => {
+                state.metrics.record_panicked();
+                state.metrics.record_failed();
+                state.store.fail(id, message);
+            }
         }
     }
+}
+
+/// Runs one job body inside its own failure domain: a `timeout_secs`
+/// spec installs a cooperative deadline for the duration, and a panic in
+/// the clusterer is caught at this barrier — the worker thread survives
+/// and the panic payload becomes the job's error (`Err(message)`).
+fn run_isolated(spec: &JobSpec) -> std::result::Result<Result<JobOutcome>, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _deadline = spec
+            .timeout_secs
+            .and_then(|secs| Duration::try_from_secs_f64(secs).ok())
+            .and_then(|timeout| Instant::now().checked_add(timeout))
+            .map(cancel::deadline_guard);
+        spec.execute()
+    }))
+    .map_err(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("opaque panic payload");
+        format!("job panicked: {message}")
+    })
 }
 
 fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
@@ -260,7 +307,12 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
                 // Close when the peer asked to, or when we are draining.
                 let close = request.close || state.shutting_down.load(Ordering::SeqCst);
                 let (status, body) = route(&request, state);
-                if write_response(&mut stream, status, &body, close).is_err() || close {
+                // Every 503 carries a Retry-After hint sized from the
+                // mean job seconds observed so far.
+                let retry_after = (status == 503).then(|| state.metrics.retry_after_seconds());
+                if write_response_with(&mut stream, status, &body, close, retry_after).is_err()
+                    || close
+                {
                     break;
                 }
             }
@@ -290,7 +342,9 @@ fn route(request: &Request, state: &ServerState) -> (u16, Value) {
                 state.queue.len(),
                 state.queue.capacity(),
                 state.workers,
+                state.workers_alive.load(Ordering::Relaxed),
                 state.store.stats(),
+                state.store.degraded(),
             ),
         ),
         (_, "/jobs" | "/healthz") => (405, error_body("method not allowed")),
@@ -312,10 +366,30 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
         }
     };
 
+    // A degraded (read-only) store refuses submissions up front; 503
+    // rather than 500 because a restarted (repaired) server will accept
+    // the same job — `reason` tells retrying clients NOT to bother until
+    // then.
+    if state.store.degraded() {
+        return (
+            503,
+            error_body("job store is degraded (a journal write failed); submissions disabled")
+                .with("reason", "store_degraded"),
+        );
+    }
+
     let id = state.next_id.fetch_add(1, Ordering::SeqCst);
     // Insert (and journal) before enqueueing so a fast worker always
     // finds the record; a refused push forgets it again.
     if let Err(e) = state.store.insert(id, spec, raw) {
+        // An insert that degraded the store mid-flight is the same 503;
+        // anything else is a plain server error.
+        if state.store.degraded() {
+            return (
+                503,
+                error_body(format!("job store: {e}")).with("reason", "store_degraded"),
+            );
+        }
         return (500, error_body(format!("job store: {e}")));
     }
     match state.queue.try_push(id) {
@@ -334,14 +408,21 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
             match refusal {
                 PushError::Full(_) => {
                     state.metrics.record_rejected_full();
+                    // `reason: queue_full` is the one 503 a client may
+                    // safely retry: the job was provably not admitted
+                    // (we just forgot it).
                     (
                         503,
                         error_body("queue full, retry later")
+                            .with("reason", "queue_full")
                             .with("queue_depth", state.queue.len())
                             .with("queue_capacity", state.queue.capacity()),
                     )
                 }
-                PushError::Closed(_) => (503, error_body("server is shutting down")),
+                PushError::Closed(_) => (
+                    503,
+                    error_body("server is shutting down").with("reason", "shutting_down"),
+                ),
             }
         }
     }

@@ -556,10 +556,23 @@ fn full_queue_answers_503_backpressure() {
     assert!(client::submit(&addr, &job).is_ok());
     assert!(client::submit(&addr, &job).is_ok());
 
-    let (status, body) = sspc_server::http::request(&addr, "POST", "/jobs", Some(&job)).unwrap();
+    // Raw connection so the Retry-After header is observable (the
+    // Client would eat the 503 into its retry loop).
+    let mut conn = sspc_server::http::HttpConnection::connect(&addr).unwrap();
+    let (status, body) = conn.roundtrip("POST", "/jobs", Some(&job)).unwrap();
     assert_eq!(status, 503);
     assert_eq!(body.get("queue_depth").and_then(Value::as_u64), Some(2));
     assert_eq!(body.get("queue_capacity").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        body.get("reason").and_then(Value::as_str),
+        Some("queue_full"),
+        "the one reason a client may re-POST"
+    );
+    let retry_after = conn.retry_after().expect("every 503 carries Retry-After");
+    assert!(
+        (1..=60).contains(&retry_after),
+        "Retry-After {retry_after} outside its clamp"
+    );
 
     // The refused job left no trace; the two accepted ones are queued.
     let health = client::healthz(&addr).unwrap();
@@ -585,5 +598,48 @@ fn full_queue_answers_503_backpressure() {
             .map(<[Value]>::len),
         Some(2)
     );
+    server.shutdown();
+}
+
+/// The deadline tentpole, end to end with no fault-injection feature: a
+/// job whose `timeout_secs` has already passed by its first cooperative
+/// cancellation check fails with a descriptive error, the worker thread
+/// survives to complete the next job, and `/healthz` counts the
+/// cancellation — all on one server, no restart.
+#[test]
+fn deadline_exceeded_jobs_fail_without_killing_the_worker() {
+    let (server, addr) = start(1, 8);
+    let mut client = Client::new(&addr);
+
+    // ~1µs budget: expired before the first restart loop iteration runs.
+    let id = client
+        .submit(&tiny_job(1).with("timeout_secs", 1e-6))
+        .unwrap();
+    let done = client
+        .wait_for(id, Duration::from_millis(10), Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(done.get("status").and_then(Value::as_str), Some("failed"));
+    let msg = done.get("error").and_then(Value::as_str).unwrap();
+    assert!(msg.contains("deadline exceeded"), "{msg}");
+
+    // The same worker (pool of 1) completes the next, un-deadlined job —
+    // and the deadline guard was uninstalled between jobs.
+    let id = client.submit(&tiny_job(2)).unwrap();
+    let done = client
+        .wait_for(id, Duration::from_millis(10), Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(done.get("status").and_then(Value::as_str), Some("done"));
+
+    let health = client.healthz().unwrap();
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(
+        health.get("jobs_deadline_exceeded").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(health.get("jobs_panicked").and_then(Value::as_u64), Some(0));
+    assert_eq!(health.get("workers_alive").and_then(Value::as_u64), Some(1));
+    let jobs = health.get("jobs").unwrap();
+    assert_eq!(jobs.get("failed").and_then(Value::as_u64), Some(1));
+    assert_eq!(jobs.get("completed").and_then(Value::as_u64), Some(1));
     server.shutdown();
 }
