@@ -1,0 +1,157 @@
+//! Open-loop load-generator benchmark: drives the batch service with the
+//! `sspc_server::loadgen` traces — steady Poisson arrivals and a burst
+//! pattern that deliberately overruns the queue — and records what the
+//! service did under pressure: acked throughput, the submit/e2e latency
+//! percentiles (from the allocation-free log-linear histograms), and the
+//! full 503 taxonomy. Unlike `server.rs` (closed-loop capacity sweep),
+//! this measures behavior at *offered* load the server did not choose.
+//!
+//! Environment knobs:
+//!
+//! * `LOADGEN_BENCH_JOBS` — jobs per trace (default 200);
+//! * `LOADGEN_BENCH_RATE` — Poisson rate in jobs/s (default 100);
+//! * `SERVER_SMOKE=1` — 40 jobs at 50/s for CI smoke runs;
+//! * `BENCH_SERVER_OUT` — output path for the JSON record (defaults to
+//!   the workspace-root `BENCH_server.json`).
+
+use sspc_common::json::Value;
+use sspc_server::loadgen::{run, LoadgenConfig, Pattern};
+use sspc_server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One trace against a fresh server; returns the report as a JSON value
+/// plus the console line.
+fn trace(label: &str, workers: usize, queue_capacity: usize, config: &LoadgenConfig) -> Value {
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let config = LoadgenConfig {
+        addr: server.addr().to_string(),
+        ..config.clone()
+    };
+    let report = run(&config).expect("loadgen trace");
+    println!(
+        "loadgen bench: {label:18} {}/{} acked ({:.1}/s), {} rejected {:?}, \
+         submit p50/p99 {:.2}/{:.2}ms, e2e p50/p99 {:.1}/{:.1}ms",
+        report.acked.len(),
+        report.attempted,
+        report.acked_per_second,
+        report.rejected_total(),
+        report.rejected,
+        report.submit_latency.quantile(0.50).unwrap_or(0) as f64 / 1e3,
+        report.submit_latency.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+        report.e2e_latency.quantile(0.50).unwrap_or(0) as f64 / 1e3,
+        report.e2e_latency.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+    );
+    assert_eq!(
+        report.acked.len() as u64 + report.rejected_total(),
+        report.attempted as u64,
+        "{label}: every submission must be accounted for"
+    );
+    assert_eq!(
+        report.unfinished,
+        Vec::<u64>::new(),
+        "{label}: every acked job must reach a terminal state"
+    );
+    server.shutdown();
+    Value::object()
+        .with("trace", label)
+        .with("workers", workers)
+        .with("queue_capacity", queue_capacity)
+        .with("report", report.to_value())
+}
+
+fn main() {
+    let smoke = std::env::var("SERVER_SMOKE").is_ok_and(|v| v == "1");
+    // Pin per-job parallelism: offered-load behavior, not kernel scaling.
+    std::env::set_var("SSPC_NUM_THREADS", "1");
+    let (jobs, rate) = if smoke {
+        (40, 50.0)
+    } else {
+        (
+            env_usize("LOADGEN_BENCH_JOBS", 200),
+            env_f64("LOADGEN_BENCH_RATE", 100.0),
+        )
+    };
+
+    let base = LoadgenConfig {
+        addr: String::new(), // per-trace
+        jobs,
+        pattern: Pattern::Poisson { rate },
+        seed: 17,
+        wait_timeout: Duration::from_secs(600),
+        poll_every: Duration::from_millis(5),
+    };
+    let traces = vec![
+        // Steady state: arrivals a 2-worker pool can absorb.
+        trace("poisson_steady", 2, jobs + 8, &base),
+        // Overload: the same arrivals into a queue of 8 — the shed path
+        // (queue_full) is the thing being measured.
+        trace(
+            "poisson_overload",
+            1,
+            8,
+            &LoadgenConfig {
+                pattern: Pattern::Poisson { rate: rate * 2.0 },
+                ..base.clone()
+            },
+        ),
+        // Flash crowd: bursts into the same shallow queue.
+        trace(
+            "burst_overload",
+            1,
+            8,
+            &LoadgenConfig {
+                pattern: Pattern::Burst {
+                    size: (jobs / 4).max(1),
+                    every: Duration::from_millis(250),
+                },
+                ..base
+            },
+        ),
+    ];
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let record = Value::object()
+        .with("bench", "loadgen")
+        .with("smoke", smoke)
+        .with("jobs", jobs)
+        .with("rate", rate)
+        .with("threads", 1u64)
+        .with("cores", cores)
+        .with("traces", traces);
+
+    let out_path = std::env::var("BENCH_SERVER_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_server.json", env!("CARGO_MANIFEST_DIR")));
+    let line = record
+        .to_string_checked()
+        .expect("bench record contains a non-finite number");
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .and_then(|mut f| writeln!(f, "{line}"))
+    {
+        Ok(()) => eprintln!("loadgen bench: appended record to {out_path}"),
+        Err(e) => eprintln!("loadgen bench: could not write {out_path}: {e}"),
+    }
+}

@@ -1,6 +1,6 @@
 //! The subcommands: `generate`, `cluster`, `compare`, `evaluate` run
-//! locally; `serve`, `submit`, `poll`, `health` run (or talk to) the
-//! batch service.
+//! locally; `serve`, `submit`, `poll`, `health`, `loadgen` run (or talk
+//! to) the batch service.
 //!
 //! `cluster` and `compare` are thin shells over the `sspc-api` layer:
 //! algorithms are constructed by name through the [`AnyClusterer`]
@@ -19,7 +19,7 @@ use sspc_common::json::Value;
 use sspc_common::{ClusterId, DimId, Error, ObjectId, ObjectiveSense, Result, Supervision};
 use sspc_datagen::{generate, GeneratorConfig};
 use sspc_metrics::{evaluate_partition, OutlierPolicy};
-use sspc_server::{client, Server, ServerConfig};
+use sspc_server::{client, loadgen, Server, ServerConfig};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -60,18 +60,24 @@ subcommands:
       Print ARI, NMI and purity of produced labels against true labels.
 
   serve     [--addr 127.0.0.1:7878] [--workers 2] [--queue-cap 64]
-            [--state-dir DIR] [--result-ttl SECONDS] [--max-jobs N]
-            [--threads N]
+            [--max-conns 256] [--max-backlog-seconds S]
+            [--drain-timeout 30] [--state-dir DIR] [--result-ttl SECONDS]
+            [--max-jobs N] [--threads N]
       Run the batch experiment service: JSON job submissions over HTTP
       (POST /jobs), status/result polling (GET /jobs/<id>), and /healthz
-      with queue depth and per-algorithm throughput. Jobs execute on a
-      bounded multi-worker queue; a full queue answers 503 (backpressure).
-      With --state-dir, jobs and results are journaled to DIR and survive
-      restart (completed results bit-identically; interrupted jobs
-      re-run). --result-ttl evicts finished jobs that long after
-      completion; --max-jobs caps the store, evicting oldest-finished
-      first. Connections are HTTP/1.1 keep-alive, so pollers reuse one
-      socket.
+      with queue depth, latency percentiles, and per-algorithm
+      throughput. Jobs execute on a bounded multi-worker queue; every
+      overload answers 503 + Retry-After with a machine-readable reason
+      (full queue, connection cap via --max-conns, or — with
+      --max-backlog-seconds — an estimated work backlog over budget).
+      SIGTERM/SIGINT drains gracefully: /healthz turns \"draining\", new
+      submissions are refused, running jobs get up to --drain-timeout
+      seconds to finish, then the process exits 0. With --state-dir, jobs
+      and results are journaled to DIR and survive restart (completed
+      results bit-identically; interrupted jobs re-run). --result-ttl
+      evicts finished jobs that long after completion; --max-jobs caps
+      the store, evicting oldest-finished first. Connections are HTTP/1.1
+      keep-alive, so pollers reuse one socket.
 
   submit    --addr HOST:PORT --k K
             (--input FILE [--truth-path FILE] | --generate \"n=1000,d=100,...\")
@@ -99,8 +105,21 @@ subcommands:
 
   health    --addr HOST:PORT
       Print the service's /healthz JSON (stdout) and a one-line summary —
-      status, queue, workers alive, job counters, degraded flag — to
-      stderr.
+      status (including draining), queue, connections, workers alive, job
+      counters, latency percentiles, degraded flag — to stderr.
+
+  loadgen   --addr HOST:PORT [--jobs 50] [--pattern poisson|burst]
+            [--rate 20] [--burst-size 10] [--burst-every-ms 500]
+            [--seed 1] [--wait-timeout-sec 60] [--out FILE]
+      Replay an open-loop trace of mixed-size jobs against a running
+      service (Poisson arrivals at --rate jobs/s, or bursts of
+      --burst-size every --burst-every-ms) and print a report JSON —
+      acks, an error taxonomy keyed by 503 reason, submit/e2e latency
+      percentiles — to stdout plus a one-line summary to stderr. After
+      the trace, acked jobs are polled to a terminal state for up to
+      --wait-timeout-sec (0 skips the wait). --out appends the report as
+      one JSON line to FILE (the BENCH_server.json shape). Deterministic
+      in --seed.
 
   help
       This message.
@@ -130,6 +149,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
         "submit" => cmd_submit(&flags),
         "poll" => cmd_poll(&flags),
         "health" => cmd_health(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -340,6 +360,9 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
         "addr",
         "workers",
         "queue-cap",
+        "max-conns",
+        "max-backlog-seconds",
+        "drain-timeout",
         "state-dir",
         "result-ttl",
         "max-jobs",
@@ -352,6 +375,34 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
             "--workers must be at least 1".into(),
         ));
     }
+    let max_connections = flags.parsed_or("max-conns", 256usize)?;
+    if max_connections == 0 {
+        return Err(Error::InvalidParameter(
+            "--max-conns must be at least 1".into(),
+        ));
+    }
+    let max_backlog_seconds = match flags.optional("max-backlog-seconds") {
+        None => None,
+        Some(_) => {
+            let seconds: f64 = flags.parsed("max-backlog-seconds")?;
+            if !seconds.is_finite() || seconds <= 0.0 {
+                return Err(Error::InvalidParameter(
+                    "--max-backlog-seconds must be a positive number".into(),
+                ));
+            }
+            Some(seconds)
+        }
+    };
+    let drain_timeout = {
+        let seconds: f64 = flags.parsed_or("drain-timeout", 30.0f64)?;
+        if !seconds.is_finite() || seconds < 0.0 {
+            return Err(Error::InvalidParameter(
+                "--drain-timeout must be a non-negative number of seconds".into(),
+            ));
+        }
+        Duration::try_from_secs_f64(seconds)
+            .map_err(|e| Error::InvalidParameter(format!("--drain-timeout {seconds}: {e}")))?
+    };
     let result_ttl = match flags.optional("result-ttl") {
         None => None,
         Some(_) => {
@@ -388,10 +439,15 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
             .to_string(),
         workers,
         queue_capacity: flags.parsed_or("queue-cap", 64usize)?,
+        max_connections,
+        max_backlog_seconds,
         state_dir: flags.optional("state-dir").map(std::path::PathBuf::from),
         result_ttl,
         max_jobs,
     };
+    // Arm the SIGTERM/SIGINT latch before the listener exists so there is
+    // no window where a signal kills us without a drain.
+    crate::signal::install();
     let server = Server::start(&config)?;
     let store = match &config.state_dir {
         Some(dir) => format!("disk store at {}", dir.display()),
@@ -403,7 +459,87 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
         config.workers,
         config.queue_capacity
     );
-    server.wait();
+    // Supervision loop: a signal flips the latch; everything else keeps
+    // running inside the server's own threads.
+    while !crate::signal::triggered() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!(
+        "sspc-server caught a termination signal; draining (up to {:.0}s)",
+        drain_timeout.as_secs_f64()
+    );
+    if server.drain(drain_timeout) {
+        eprintln!("sspc-server drained cleanly");
+        Ok(())
+    } else {
+        Err(Error::InvalidParameter(format!(
+            "drain did not finish within {:.0}s; exiting with jobs still running \
+             (a --state-dir journal will re-run them on the next start)",
+            drain_timeout.as_secs_f64()
+        )))
+    }
+}
+
+fn cmd_loadgen(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&[
+        "addr",
+        "jobs",
+        "pattern",
+        "rate",
+        "burst-size",
+        "burst-every-ms",
+        "seed",
+        "wait-timeout-sec",
+        "out",
+    ])?;
+    let pattern = match flags.optional("pattern").unwrap_or("poisson") {
+        "poisson" => loadgen::Pattern::Poisson {
+            rate: flags.parsed_or("rate", 20.0f64)?,
+        },
+        "burst" => loadgen::Pattern::Burst {
+            size: flags.parsed_or("burst-size", 10usize)?,
+            every: Duration::from_millis(flags.parsed_or("burst-every-ms", 500u64)?),
+        },
+        other => {
+            return Err(Error::InvalidParameter(format!(
+                "--pattern must be poisson or burst, got `{other}`"
+            )));
+        }
+    };
+    let config = loadgen::LoadgenConfig {
+        addr: flags.required("addr")?.to_string(),
+        jobs: flags.parsed_or("jobs", 50usize)?,
+        pattern,
+        seed: flags.parsed_or("seed", 1u64)?,
+        wait_timeout: Duration::from_secs(flags.parsed_or("wait-timeout-sec", 60u64)?),
+        poll_every: Duration::from_millis(25),
+    };
+    let report = loadgen::run(&config)?;
+    let record = report.to_value();
+    println!("{record}");
+    eprintln!(
+        "loadgen: {}/{} acked ({:.1}/s), {} rejected, {} completed, {} failed, {} unfinished",
+        report.acked.len(),
+        report.attempted,
+        report.acked_per_second,
+        report.rejected_total(),
+        report.completed,
+        report.failed,
+        report.unfinished.len(),
+    );
+    if let Some(path) = flags.optional("out") {
+        use std::io::Write;
+        let line = record
+            .to_string_checked()
+            .map_err(|e| Error::InvalidParameter(format!("serializing report: {e}")))?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| Error::InvalidParameter(format!("--out {path}: {e}")))?;
+        writeln!(file, "{line}")
+            .map_err(|e| Error::InvalidParameter(format!("--out {path}: {e}")))?;
+    }
     Ok(())
 }
 
@@ -568,9 +704,10 @@ fn cmd_health(flags: &Flags) -> Result<()> {
     Ok(())
 }
 
-/// One human-readable line from the `/healthz` document: overall status,
-/// queue pressure, worker liveness, job outcomes, and the failure-domain
-/// counters added for fault isolation.
+/// One human-readable line from the `/healthz` document: overall status
+/// (draining included), queue pressure, connection occupancy, worker
+/// liveness, job outcomes, the failure-domain counters, and the latency
+/// percentiles added for overload observability.
 fn health_summary(health: &Value) -> String {
     let str_at = |keys: &[&str]| -> &str {
         let mut v = Some(health);
@@ -586,19 +723,36 @@ fn health_summary(health: &Value) -> String {
         }
         v.and_then(Value::as_u64).unwrap_or(0)
     };
+    let ms_at = |keys: &[&str]| -> f64 {
+        let mut v = Some(health);
+        for k in keys {
+            v = v.and_then(|v| v.get(k));
+        }
+        v.and_then(Value::as_f64).unwrap_or(0.0)
+    };
     let mut line = format!(
-        "status {}: queue {}/{}, workers {}/{} alive, \
-         {} completed, {} failed ({} panicked, {} past deadline)",
+        "status {}: queue {}/{}, conns {}/{}, workers {}/{} alive, \
+         {} completed, {} failed ({} panicked, {} past deadline), \
+         queue-wait p50/p99 {:.1}/{:.1}ms, job p50/p99 {:.1}/{:.1}ms",
         str_at(&["status"]),
         num_at(&["queue", "depth"]),
         num_at(&["queue", "capacity"]),
+        num_at(&["connections_active"]),
+        num_at(&["connections_limit"]),
         num_at(&["workers_alive"]),
         num_at(&["workers"]),
         num_at(&["jobs", "completed"]),
         num_at(&["jobs", "failed"]),
         num_at(&["jobs_panicked"]),
         num_at(&["jobs_deadline_exceeded"]),
+        ms_at(&["latency", "queue_wait", "p50_ms"]),
+        ms_at(&["latency", "queue_wait", "p99_ms"]),
+        ms_at(&["latency", "job", "p50_ms"]),
+        ms_at(&["latency", "job", "p99_ms"]),
     );
+    if str_at(&["status"]) == "draining" {
+        line.push_str("; DRAINING (refusing new jobs, finishing admitted ones)");
+    }
     if health.get("store_degraded").and_then(Value::as_bool) == Some(true) {
         line.push_str("; STORE DEGRADED (read-only; restart to recover)");
     }
@@ -1169,20 +1323,125 @@ mod tests {
             )
             .with("jobs_panicked", 1u64)
             .with("jobs_deadline_exceeded", 1u64)
+            .with("connections_active", 4u64)
+            .with("connections_limit", 256u64)
+            .with(
+                "latency",
+                Value::object()
+                    .with(
+                        "queue_wait",
+                        Value::object().with("p50_ms", 1.5).with("p99_ms", 9.0),
+                    )
+                    .with(
+                        "job",
+                        Value::object().with("p50_ms", 20.0).with("p99_ms", 80.5),
+                    ),
+            )
             .with("store_degraded", true);
         let line = health_summary(&health);
         assert!(line.contains("status degraded"), "{line}");
         assert!(line.contains("queue 3/64"), "{line}");
+        assert!(line.contains("conns 4/256"), "{line}");
         assert!(line.contains("workers 1/2 alive"), "{line}");
         assert!(line.contains("5 completed"), "{line}");
         assert!(
             line.contains("2 failed (1 panicked, 1 past deadline)"),
             "{line}"
         );
+        assert!(line.contains("queue-wait p50/p99 1.5/9.0ms"), "{line}");
+        assert!(line.contains("job p50/p99 20.0/80.5ms"), "{line}");
         assert!(line.contains("STORE DEGRADED"), "{line}");
-        // A healthy doc omits the degraded suffix.
+        // A healthy doc omits the degraded and draining suffixes.
         let ok = health_summary(&Value::object().with("status", "ok"));
         assert!(!ok.contains("DEGRADED"), "{ok}");
+        assert!(!ok.contains("DRAINING"), "{ok}");
+        // A draining doc announces it loudly.
+        let draining = health_summary(&Value::object().with("status", "draining"));
+        assert!(draining.contains("DRAINING"), "{draining}");
+    }
+
+    /// The new serve overload flags validate before anything binds.
+    #[test]
+    fn serve_validates_overload_flags() {
+        for bad in [
+            &["serve", "--max-conns", "0"][..],
+            &["serve", "--max-conns", "lots"][..],
+            &["serve", "--max-backlog-seconds", "0"][..],
+            &["serve", "--max-backlog-seconds", "-1"][..],
+            &["serve", "--drain-timeout", "-5"][..],
+            &["serve", "--drain-timeout", "soon"][..],
+        ] {
+            assert!(dispatch(&argv(bad)).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    /// `loadgen` flag validation: bad patterns and rates fail before any
+    /// socket work.
+    #[test]
+    fn loadgen_validates_flags() {
+        for bad in [
+            &["loadgen", "--addr", "127.0.0.1:1", "--pattern", "steady"][..],
+            &["loadgen", "--addr", "127.0.0.1:1", "--rate", "0"][..],
+            &[
+                "loadgen",
+                "--addr",
+                "127.0.0.1:1",
+                "--pattern",
+                "burst",
+                "--burst-size",
+                "0",
+            ][..],
+        ] {
+            assert!(dispatch(&argv(bad)).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    /// `loadgen` against a live service: the report JSON lands on stdout
+    /// is exercised by `run` directly here (stdout capture in-process),
+    /// and `--out` appends exactly one JSON line per run.
+    #[test]
+    fn loadgen_runs_against_a_live_service_and_appends_records() {
+        let server = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        let out = temp_path("loadgen_out.json");
+        let _ = std::fs::remove_file(&out);
+        for seed in [1, 2] {
+            dispatch(&argv(&[
+                "loadgen",
+                "--addr",
+                &server.addr().to_string(),
+                "--jobs",
+                "4",
+                "--pattern",
+                "burst",
+                "--burst-size",
+                "4",
+                "--burst-every-ms",
+                "10",
+                "--seed",
+                &seed.to_string(),
+                "--wait-timeout-sec",
+                "60",
+                "--out",
+                &out,
+            ]))
+            .unwrap();
+        }
+        let recorded = std::fs::read_to_string(&out).unwrap();
+        let lines: Vec<&str> = recorded.lines().collect();
+        assert_eq!(lines.len(), 2, "one record per run");
+        for line in lines {
+            let record = Value::parse(line).unwrap();
+            assert_eq!(record.get("attempted").and_then(Value::as_u64), Some(4));
+            assert!(record.get("e2e_latency").is_some());
+        }
+        let _ = std::fs::remove_file(&out);
+        server.shutdown();
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod signal;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

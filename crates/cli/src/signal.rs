@@ -1,0 +1,61 @@
+//! Minimal SIGTERM/SIGINT latch for graceful drain — no signal crate in
+//! the offline workspace, so this speaks to libc's `signal(2)` directly.
+//!
+//! The handler does the only thing that is async-signal-safe here: set a
+//! [`AtomicBool`]. `serve`'s supervision loop polls [`triggered`] and
+//! runs the actual drain on a normal thread. A **second** signal restores
+//! the default disposition first, so a stuck drain can always be
+//! interrupted by pressing Ctrl-C again.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SIGNALLED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    /// `SIG_DFL` — the default disposition, restored on the first hit so
+    /// a repeated signal kills a wedged process the normal way.
+    const SIG_DFL: usize = 0;
+
+    unsafe extern "C" {
+        /// POSIX `signal(2)`: identical signature on every libc this
+        /// workspace targets; the returned previous handler is unused.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+        unsafe {
+            signal(signum, SIG_DFL);
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op off unix: `serve` still works, it just cannot drain on a
+    /// signal (the process dies the platform's default way).
+    pub fn install() {}
+}
+
+/// Arms the SIGINT/SIGTERM latch. Idempotent; call before the serve loop.
+pub fn install() {
+    imp::install();
+}
+
+/// True once a termination signal arrived (never resets).
+pub fn triggered() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}

@@ -1,0 +1,191 @@
+//! Graceful-drain smoke over a real process: SIGTERM a live `sspc-cli
+//! serve`, observe the lame-duck window from outside (`/healthz` says
+//! `draining`, new submissions get `503 shutting_down`), and assert the
+//! process exits **0** within `--drain-timeout` with every admitted job
+//! finished and a clean journal (the next life recovers nothing).
+
+#![cfg(unix)]
+
+use sspc_common::json::Value;
+use sspc_server::client::Client;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// A job heavy enough (~hundreds of ms) that a queue of them keeps the
+/// single worker busy through the whole drain window.
+fn chunky_job(seed: u64) -> Value {
+    Value::object()
+        .with("k", 3u64)
+        .with(
+            "dataset",
+            Value::object().with(
+                "generate",
+                Value::object()
+                    .with("n", 200u64)
+                    .with("d", 16u64)
+                    .with("dims", 5u64)
+                    .with("seed", seed),
+            ),
+        )
+        .with("algorithms", "harp")
+        .with("runs", 3u64)
+}
+
+struct ServerProc {
+    child: Child,
+    addr_rx: mpsc::Receiver<String>,
+    stderr_thread: std::thread::JoinHandle<String>,
+}
+
+impl ServerProc {
+    fn spawn(state_dir: &Path) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_sspc-cli"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--drain-timeout",
+                "60",
+                "--state-dir",
+            ])
+            .arg(state_dir)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .env_remove("SSPC_FAULT")
+            .spawn()
+            .expect("spawn sspc-cli serve");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let (tx, addr_rx) = mpsc::channel();
+        let stderr_thread = std::thread::spawn(move || {
+            let mut transcript = String::new();
+            for line in std::io::BufReader::new(stderr).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rest) = line.strip_prefix("sspc-server listening on ") {
+                    if let Some(addr) = rest.split_whitespace().next() {
+                        let _ = tx.send(addr.to_string());
+                    }
+                }
+                transcript.push_str(&line);
+                transcript.push('\n');
+            }
+            transcript
+        });
+        ServerProc {
+            child,
+            addr_rx,
+            stderr_thread,
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.addr_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("server announces its address")
+    }
+
+    fn sigterm(&self) {
+        let status = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("run kill");
+        assert!(status.success(), "kill -TERM failed");
+    }
+
+    fn sigkill(mut self) -> String {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.stderr_thread.join().expect("stderr drain")
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sspc_drain_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sigterm_drains_gracefully_and_exits_zero() {
+    let dir = temp_dir("smoke");
+    let mut server = ServerProc::spawn(&dir);
+    let addr = server.addr();
+    let mut client = Client::new(&addr);
+
+    // Enough queued work that the 1-worker drain takes visible time.
+    let acked: Vec<u64> = (0..8)
+        .map(|s| client.submit(&chunky_job(s)).unwrap())
+        .collect();
+
+    server.sigterm();
+
+    // The lame-duck window, observed from outside: /healthz flips to
+    // draining (the supervision loop polls the signal every ~100ms).
+    let flipped = Instant::now();
+    let mut saw_draining = false;
+    while flipped.elapsed() < Duration::from_secs(10) {
+        match client.healthz() {
+            Ok(h) if h.get("status").and_then(Value::as_str) == Some("draining") => {
+                assert_eq!(h.get("ready").and_then(Value::as_bool), Some(false));
+                saw_draining = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(saw_draining, "/healthz observed status draining mid-drain");
+
+    // New submissions are refused with the drain reason.
+    let err = client.submit(&chunky_job(99)).unwrap_err().to_string();
+    assert!(
+        err.contains("draining") || err.contains("shutting"),
+        "refused with the drain reason: {err}"
+    );
+    drop(client);
+
+    // The process exits ZERO within the drain budget — jobs finished.
+    let deadline = Instant::now() + Duration::from_secs(90);
+    let status = loop {
+        if let Some(status) = server.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "drain overran its budget");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "graceful drain exits 0, got {status:?}");
+    let transcript = server.stderr_thread.join().expect("stderr drain");
+    assert!(
+        transcript.contains("drained cleanly"),
+        "transcript narrates the drain:\n{transcript}"
+    );
+
+    // The journal is clean: the next life recovers nothing and serves
+    // every admitted job as done.
+    let server = ServerProc::spawn(&dir);
+    let addr = server.addr();
+    let mut client = Client::new(&addr);
+    let health = client.healthz().unwrap();
+    assert_eq!(
+        health
+            .get("jobs")
+            .and_then(|j| j.get("recovered"))
+            .and_then(Value::as_u64),
+        Some(0),
+        "a clean drain leaves nothing to recover"
+    );
+    for id in acked {
+        let doc = client.job_status(id).unwrap();
+        assert_eq!(
+            doc.get("status").and_then(Value::as_str),
+            Some("done"),
+            "job {id} finished before the drain completed"
+        );
+    }
+    drop(client);
+    server.sigkill();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,6 +16,8 @@
 //! * [`json`] — dependency-free JSON parsing/serialization (the offline
 //!   environment has no serde) used by the batch server, the CLI client
 //!   mode, and the bench records.
+//! * [`hist`] — allocation-free log-linear histograms with a documented
+//!   quantile error bound (the batch server's latency observability).
 //! * [`stats`] — descriptive statistics (mean / variance / median computed
 //!   the way the paper's objective function needs them) and the special
 //!   functions backing the probabilistic selection-threshold scheme
@@ -40,6 +42,7 @@ pub mod clusterer;
 mod dataset;
 mod error;
 pub mod fault;
+pub mod hist;
 mod ids;
 pub mod io;
 pub mod json;

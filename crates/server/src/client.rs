@@ -168,16 +168,36 @@ impl Client {
     /// at `poll_every` and backs off (jittered, seeded by the job id so
     /// concurrent waiters decorrelate) up to `8 × poll_every`.
     ///
+    /// A draining server answers status polls for provably-stuck queued
+    /// jobs with `503` `reason: shutting_down`; that is terminal for this
+    /// wait — the job will never run in that process — so the poll loop
+    /// **fails fast** with a clear error instead of burning the rest of
+    /// its timeout against a server that is going away.
+    ///
     /// # Errors
     ///
-    /// Lookup failures, or [`Error::NoConvergence`] after `timeout`.
+    /// Lookup failures, a draining server
+    /// ([`Error::InvalidParameter`] mentioning the drain), or
+    /// [`Error::NoConvergence`] after `timeout`.
     pub fn wait_for(&mut self, id: u64, poll_every: Duration, timeout: Duration) -> Result<Value> {
         let started = Instant::now();
         let mut backoff = Backoff::new(poll_every, poll_every.saturating_mul(8), id);
         loop {
-            let status = self.job_status(id)?;
-            match status.get("status").and_then(Value::as_str) {
-                Some("done" | "failed") => return Ok(status),
+            let (code, body) = self.call("GET", &format!("/jobs/{id}"), None)?;
+            if code == 503 && body.get("reason").and_then(Value::as_str) == Some("shutting_down") {
+                return Err(Error::InvalidParameter(format!(
+                    "server is draining; job {id} will not finish there: {}",
+                    body.get("error").and_then(Value::as_str).unwrap_or("?")
+                )));
+            }
+            if code != 200 {
+                return Err(Error::InvalidParameter(format!(
+                    "job {id} lookup failed with {code}: {}",
+                    body.get("error").and_then(Value::as_str).unwrap_or("?")
+                )));
+            }
+            match body.get("status").and_then(Value::as_str) {
+                Some("done" | "failed") => return Ok(body),
                 _ => {
                     if started.elapsed() > timeout {
                         return Err(Error::NoConvergence(format!(
@@ -374,6 +394,41 @@ mod tests {
         assert_eq!(client.submit(&job).unwrap(), 9);
         drop(client);
         assert_eq!(server.join().unwrap(), 3, "two retries then acceptance");
+    }
+
+    /// The drain fail-fast contract: a `503 shutting_down` status poll
+    /// ends the wait immediately with a "draining" error instead of
+    /// polling until the timeout.
+    #[test]
+    fn wait_for_fails_fast_when_the_server_is_draining() {
+        let queued = Value::object().with("job", 3u64).with("status", "queued");
+        let draining = Value::object()
+            .with(
+                "error",
+                "server is draining; queued job 3 will not run here",
+            )
+            .with("reason", "shutting_down")
+            .with("job", 3u64);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = scripted_server(
+            listener,
+            vec![(200, queued, None), (503, draining, Some(1))],
+        );
+
+        let mut client = Client::new(&addr);
+        let started = Instant::now();
+        let err = client
+            .wait_for(3, Duration::from_millis(5), Duration::from_secs(30))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("draining"), "error names the drain: {err}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "failed fast, not at the 30s timeout"
+        );
+        drop(client);
+        assert_eq!(server.join().unwrap(), 2, "one poll, then the fail-fast");
     }
 
     /// 503s whose reason is not `queue_full` (the server may have

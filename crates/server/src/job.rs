@@ -261,6 +261,27 @@ impl JobSpec {
         })
     }
 
+    /// The spec's estimated execution cost in abstract units:
+    /// `n · d · k · runs · |algorithms|`, the dominant term of one
+    /// assignment/refit pass across the roster. File-backed datasets,
+    /// whose shape is unknown until the worker opens them, assume the
+    /// generator defaults (1000 × 100). The admission controller
+    /// multiplies these units by the measured seconds-per-unit rate to
+    /// estimate backlog seconds; the floor of 1 keeps even a degenerate
+    /// spec visible in the backlog gauge.
+    pub fn cost_units(&self) -> u64 {
+        let (n, d) = match &self.source {
+            DatasetSource::Generate(config, _) => (config.n, config.d),
+            DatasetSource::Path(_) => (1000, 100),
+        };
+        (n as u64)
+            .saturating_mul(d as u64)
+            .saturating_mul(self.k as u64)
+            .saturating_mul(self.runs as u64)
+            .saturating_mul(self.algorithms.len() as u64)
+            .max(1)
+    }
+
     /// A synthetic spec backing journal records whose original submission
     /// no longer validates (written by an older build): it only ever
     /// renders a `failed` status document and is never executed.

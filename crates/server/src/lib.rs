@@ -23,10 +23,10 @@
 //!
 //! | method & path   | answer |
 //! |-----------------|--------|
-//! | `POST /jobs`    | `202 {"job": id, "queue_depth": …}` — or `400` (invalid job), `503` (queue full: backpressure) |
+//! | `POST /jobs`    | `202 {"job": id, "queue_depth": …}` — or `400` (invalid job), `503` (queue full / backlog exceeded / draining: backpressure) |
 //! | `GET /jobs/<id>`| job status; `result` once `done`, `error` once `failed`; `404` once evicted |
 //! | `GET /jobs`     | job summaries, newest first, `?status=` filter, `?limit=` cap (default 100), plus `total` |
-//! | `GET /healthz`  | queue depth/capacity, job/connection counters, store stats (kind, held jobs, evictions), per-algorithm throughput |
+//! | `GET /healthz`  | queue depth/capacity, job/connection counters, latency percentiles, store stats (kind, held jobs, evictions), per-algorithm throughput |
 //!
 //! See [`job::JobSpec::from_json`] for the job schema. Connections are
 //! HTTP/1.1 keep-alive (`Content-Length`-framed both ways, `Connection:
@@ -44,6 +44,21 @@
 //! through these layers ([`FAULT_POINTS`], [`sspc_common::fault`]) let a
 //! harness crash a real server at each of them deterministically — see
 //! `docs/ARCHITECTURE.md` § "Failure domains".
+//!
+//! # Overload & lifecycle
+//!
+//! Ingress is bounded end to end: the acceptor sheds connections over
+//! [`ServerConfig::max_connections`] with an inline `503` +
+//! `Retry-After` (never a silent drop), the queue bounds accepted-but-
+//! unstarted jobs, and [`ServerConfig::max_backlog_seconds`] adds
+//! **cost-aware** admission — submissions are refused while the
+//! estimated seconds of queued + running work exceed the budget.
+//! Queue-wait and end-to-end job latency flow into allocation-free
+//! log-linear histograms ([`sspc_common::hist`]); `/healthz` reports
+//! their p50/p95/p99. [`Server::begin_drain`] + [`Server::drain`]
+//! implement lame-duck shutdown (SIGTERM in the CLI), and [`loadgen`] is
+//! the open-loop generator that soaks all of it — see
+//! `docs/ARCHITECTURE.md` § "Overload & lifecycle".
 //!
 //! # Example
 //!
@@ -97,6 +112,7 @@ pub mod backoff;
 pub mod client;
 pub mod http;
 pub mod job;
+pub mod loadgen;
 pub mod metrics;
 mod service;
 pub mod store;

@@ -1,12 +1,14 @@
-//! Service health counters: queue pressure, job outcomes, and
-//! per-algorithm throughput, rendered as the `/healthz` document.
+//! Service health counters: queue pressure, job outcomes, per-algorithm
+//! throughput, connection/ingress gauges, latency histograms, and the
+//! cost-based backlog estimator — rendered as the `/healthz` document.
 
 use crate::job::AlgorithmCost;
+use sspc_common::hist::Histogram;
 use sspc_common::json::Value;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Accumulated execution cost of one algorithm across all finished jobs.
 #[derive(Debug, Default, Clone)]
@@ -14,6 +16,33 @@ struct AlgorithmThroughput {
     jobs: u64,
     restarts: u64,
     busy_seconds: f64,
+}
+
+/// Cold-start prior for the backlog estimator: seconds per cost unit
+/// (`n·d·k·runs·algorithms`) assumed before any job has completed. Tiny
+/// on purpose — the first completions replace it with measured data.
+const COST_RATE_PRIOR: f64 = 1e-6;
+
+/// Point-in-time service state that lives outside [`Metrics`] (queue,
+/// worker pool, drain flag, configured limits), passed into
+/// [`Metrics::healthz_value`] by the route handler.
+#[derive(Debug, Clone, Copy)]
+pub struct Gauges {
+    /// Jobs currently queued (not yet running).
+    pub queue_depth: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Configured worker pool size.
+    pub workers: usize,
+    /// Worker threads currently inside their loop.
+    pub workers_alive: usize,
+    /// Lame-duck state: the server is finishing work but refusing new
+    /// submissions.
+    pub draining: bool,
+    /// Configured connection cap (the ingress semaphore).
+    pub connections_limit: usize,
+    /// Configured admission budget in estimated backlog seconds, if any.
+    pub max_backlog_seconds: Option<f64>,
 }
 
 /// Monotonic counters updated by the acceptor and workers; all reads
@@ -26,11 +55,26 @@ pub struct Metrics {
     recovered: AtomicU64,
     rejected_full: AtomicU64,
     rejected_invalid: AtomicU64,
+    rejected_backlog: AtomicU64,
+    rejected_draining: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     panicked: AtomicU64,
     deadline_exceeded: AtomicU64,
     connections: AtomicU64,
+    connections_active: AtomicU64,
+    connections_rejected: AtomicU64,
+    spawn_failures: AtomicU64,
+    requests_in_flight: AtomicU64,
+    /// Estimated cost units (`n·d·k·runs·algorithms`) of jobs currently
+    /// queued or running — the numerator of the admission estimate.
+    backlog_cost: AtomicU64,
+    /// Measured cost-vs-time: units and busy microseconds of successfully
+    /// completed jobs, giving the seconds-per-unit rate.
+    observed_cost: AtomicU64,
+    observed_busy_us: AtomicU64,
+    queue_wait: Histogram,
+    job_latency: Histogram,
     per_algorithm: Mutex<BTreeMap<String, AlgorithmThroughput>>,
 }
 
@@ -42,11 +86,22 @@ impl Default for Metrics {
             recovered: AtomicU64::new(0),
             rejected_full: AtomicU64::new(0),
             rejected_invalid: AtomicU64::new(0),
+            rejected_backlog: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            spawn_failures: AtomicU64::new(0),
+            requests_in_flight: AtomicU64::new(0),
+            backlog_cost: AtomicU64::new(0),
+            observed_cost: AtomicU64::new(0),
+            observed_busy_us: AtomicU64::new(0),
+            queue_wait: Histogram::new(),
+            job_latency: Histogram::new(),
             per_algorithm: Mutex::new(BTreeMap::new()),
         }
     }
@@ -69,6 +124,45 @@ impl Metrics {
         self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A handler thread took ownership of an accepted connection — pairs
+    /// with [`connection_closed`](Metrics::connection_closed) to maintain
+    /// the `connections_active` gauge the acceptor's cap checks.
+    pub fn connection_opened(&self) {
+        self.connections_active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A handler released its connection (clean close or any error path).
+    pub fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Handler connections currently open.
+    pub fn connections_active(&self) -> u64 {
+        self.connections_active.load(Ordering::SeqCst)
+    }
+
+    /// A connection was refused at the cap (answered `503
+    /// connections_exhausted` inline on the acceptor).
+    pub fn record_connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Spawning a handler thread failed (resource exhaustion); the
+    /// connection was answered `503` inline instead of dropped.
+    pub fn record_spawn_failure(&self) {
+        self.spawn_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered routing on some handler.
+    pub fn request_started(&self) {
+        self.requests_in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The response for a routed request was written (or failed to be).
+    pub fn request_finished(&self) {
+        self.requests_in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
     /// A job was refused because the queue was at capacity.
     pub fn record_rejected_full(&self) {
         self.rejected_full.fetch_add(1, Ordering::Relaxed);
@@ -77,6 +171,67 @@ impl Metrics {
     /// A request failed validation (malformed JSON or schema).
     pub fn record_rejected_invalid(&self) {
         self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job was refused because the estimated backlog exceeded the
+    /// configured `--max-backlog-seconds` budget.
+    pub fn record_rejected_backlog(&self) {
+        self.rejected_backlog.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission was refused because the server is draining.
+    pub fn record_rejected_draining(&self) {
+        self.rejected_draining.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job's estimated cost entered the backlog (admitted or recovered).
+    pub fn admit_cost(&self, cost: u64) {
+        self.backlog_cost.fetch_add(cost, Ordering::Relaxed);
+    }
+
+    /// A job's estimated cost left the backlog (finished, forgotten, or
+    /// vanished). Saturating: a double release cannot wrap the gauge.
+    pub fn release_cost(&self, cost: u64) {
+        let _ = self
+            .backlog_cost
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+                Some(current.saturating_sub(cost))
+            });
+    }
+
+    /// Feeds the measured seconds-per-cost-unit rate (successful
+    /// completions only — failures finish early and would bias it down).
+    pub fn observe_cost_rate(&self, cost: u64, busy_seconds: f64) {
+        if cost > 0 && busy_seconds > 0.0 {
+            self.observed_cost.fetch_add(cost, Ordering::Relaxed);
+            self.observed_busy_us
+                .fetch_add((busy_seconds * 1e6) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Estimated seconds of work currently queued or running: the backlog
+    /// cost units times the measured seconds-per-unit rate (a small prior
+    /// before anything has completed). This is what `--max-backlog-seconds`
+    /// admission control compares against its budget.
+    pub fn estimated_backlog_seconds(&self) -> f64 {
+        let backlog = self.backlog_cost.load(Ordering::Relaxed) as f64;
+        let observed = self.observed_cost.load(Ordering::Relaxed);
+        let rate = if observed == 0 {
+            COST_RATE_PRIOR
+        } else {
+            (self.observed_busy_us.load(Ordering::Relaxed) as f64 / 1e6) / observed as f64
+        };
+        backlog * rate
+    }
+
+    /// How long a job sat queued before a worker began it.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record_duration(wait);
+    }
+
+    /// Submission-to-terminal-state latency of a finished job.
+    pub fn record_job_latency(&self, latency: Duration) {
+        self.job_latency.record_duration(latency);
     }
 
     /// A job finished successfully; fold its per-algorithm costs into the
@@ -128,24 +283,29 @@ impl Metrics {
         (busy / completed as f64).ceil().clamp(1.0, 60.0) as u64
     }
 
-    /// Renders the `/healthz` document. `queue_depth`/`queue_capacity`
-    /// describe the bounded queue; `workers` is the configured pool size
-    /// and `workers_alive` the threads currently in their loop; `store`
-    /// is the job store's own stats section (kind, held jobs, evictions,
-    /// configured limits) and `store_degraded` its read-only flag.
+    /// Renders one latency histogram as `{count, p50_ms, p95_ms, p99_ms}`
+    /// (milliseconds; quantiles carry the histogram's documented 1/16
+    /// relative-error bound). Percentiles are 0 while empty.
+    fn latency_value(hist: &Histogram) -> Value {
+        let ms = |q: f64| hist.quantile(q).unwrap_or(0) as f64 / 1e3;
+        Value::object()
+            .with("count", hist.count())
+            .with("p50_ms", ms(0.50))
+            .with("p95_ms", ms(0.95))
+            .with("p99_ms", ms(0.99))
+    }
+
+    /// Renders the `/healthz` document. `gauges` carries the live service
+    /// state (queue, workers, drain flag, configured limits); `store` is
+    /// the job store's own stats section and `store_degraded` its
+    /// read-only flag.
     ///
     /// The document splits liveness from readiness: any answer at all is
-    /// liveness, while `ready` (mirrored by `status`: `"ok"` vs
-    /// `"degraded"`) says whether new submissions can be accepted.
-    pub fn healthz_value(
-        &self,
-        queue_depth: usize,
-        queue_capacity: usize,
-        workers: usize,
-        workers_alive: usize,
-        store: Value,
-        store_degraded: bool,
-    ) -> Value {
+    /// liveness, while `ready` says whether new submissions can be
+    /// accepted. `status` is `"ok"`, `"degraded"` (journal write failed;
+    /// read-only), or `"draining"` (lame duck — drain wins the tiebreak
+    /// because it is the operator-initiated, terminal state).
+    pub fn healthz_value(&self, gauges: &Gauges, store: Value, store_degraded: bool) -> Value {
         let mut algorithms = Value::object();
         for (name, t) in self.per_algorithm.lock().expect("metrics poisoned").iter() {
             let per_sec = if t.busy_seconds > 0.0 {
@@ -162,21 +322,61 @@ impl Metrics {
                     .with("restarts_per_busy_second", per_sec),
             );
         }
+        let status = if gauges.draining {
+            "draining"
+        } else if store_degraded {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let mut admission = Value::object()
+            .with(
+                "backlog_cost_units",
+                self.backlog_cost.load(Ordering::Relaxed),
+            )
+            .with(
+                "estimated_backlog_seconds",
+                self.estimated_backlog_seconds(),
+            );
+        if let Some(budget) = gauges.max_backlog_seconds {
+            admission = admission.with("max_backlog_seconds", budget);
+        }
         Value::object()
-            .with("status", if store_degraded { "degraded" } else { "ok" })
-            .with("ready", !store_degraded)
+            .with("status", status)
+            .with("ready", !store_degraded && !gauges.draining)
             .with("uptime_seconds", self.started.elapsed().as_secs_f64())
-            .with("workers", workers)
-            .with("workers_alive", workers_alive)
+            .with("workers", gauges.workers)
+            .with("workers_alive", gauges.workers_alive)
             .with(
                 "connections_accepted",
                 self.connections.load(Ordering::Relaxed),
             )
+            .with("connections_active", self.connections_active())
+            .with("connections_limit", gauges.connections_limit)
+            .with(
+                "connections_rejected",
+                self.connections_rejected.load(Ordering::Relaxed),
+            )
+            .with(
+                "handler_spawn_failures",
+                self.spawn_failures.load(Ordering::Relaxed),
+            )
+            .with(
+                "requests_in_flight",
+                self.requests_in_flight.load(Ordering::SeqCst),
+            )
             .with(
                 "queue",
                 Value::object()
-                    .with("depth", queue_depth)
-                    .with("capacity", queue_capacity),
+                    .with("depth", gauges.queue_depth)
+                    .with("capacity", gauges.queue_capacity),
+            )
+            .with("admission", admission)
+            .with(
+                "latency",
+                Value::object()
+                    .with("queue_wait", Self::latency_value(&self.queue_wait))
+                    .with("job", Self::latency_value(&self.job_latency)),
             )
             .with("store", store)
             .with(
@@ -191,6 +391,14 @@ impl Metrics {
                     .with(
                         "rejected_invalid",
                         self.rejected_invalid.load(Ordering::Relaxed),
+                    )
+                    .with(
+                        "rejected_backlog",
+                        self.rejected_backlog.load(Ordering::Relaxed),
+                    )
+                    .with(
+                        "rejected_draining",
+                        self.rejected_draining.load(Ordering::Relaxed),
                     )
                     .with("completed", self.completed.load(Ordering::Relaxed))
                     .with("failed", self.failed.load(Ordering::Relaxed)),
@@ -209,6 +417,18 @@ impl Metrics {
 mod tests {
     use super::*;
 
+    fn gauges(queue_depth: usize, queue_capacity: usize, workers: usize) -> Gauges {
+        Gauges {
+            queue_depth,
+            queue_capacity,
+            workers,
+            workers_alive: workers,
+            draining: false,
+            connections_limit: 256,
+            max_backlog_seconds: None,
+        }
+    }
+
     #[test]
     fn counters_flow_into_healthz() {
         let m = Metrics::default();
@@ -218,11 +438,21 @@ mod tests {
         m.record_connection();
         m.record_connection();
         m.record_connection();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.record_connection_rejected();
+        m.record_spawn_failure();
+        m.request_started();
         m.record_rejected_full();
         m.record_rejected_invalid();
+        m.record_rejected_backlog();
+        m.record_rejected_draining();
         m.record_failed();
         m.record_panicked();
         m.record_deadline_exceeded();
+        m.record_queue_wait(Duration::from_millis(4));
+        m.record_job_latency(Duration::from_millis(20));
         m.record_completed(&[
             AlgorithmCost {
                 algorithm: "sspc".into(),
@@ -242,7 +472,7 @@ mod tests {
         }]);
 
         let store = Value::object().with("kind", "memory").with("jobs", 2u64);
-        let h = m.healthz_value(3, 64, 2, 2, store, false);
+        let h = m.healthz_value(&gauges(3, 64, 2), store, false);
         assert_eq!(h.get("status").and_then(Value::as_str), Some("ok"));
         assert_eq!(h.get("ready").and_then(Value::as_bool), Some(true));
         assert_eq!(h.get("workers").and_then(Value::as_u64), Some(2));
@@ -260,6 +490,20 @@ mod tests {
             h.get("connections_accepted").and_then(Value::as_u64),
             Some(3)
         );
+        assert_eq!(h.get("connections_active").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            h.get("connections_limit").and_then(Value::as_u64),
+            Some(256)
+        );
+        assert_eq!(
+            h.get("connections_rejected").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            h.get("handler_spawn_failures").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(h.get("requests_in_flight").and_then(Value::as_u64), Some(1));
         let queue = h.get("queue").unwrap();
         assert_eq!(queue.get("depth").and_then(Value::as_u64), Some(3));
         assert_eq!(queue.get("capacity").and_then(Value::as_u64), Some(64));
@@ -274,8 +518,24 @@ mod tests {
             jobs.get("rejected_queue_full").and_then(Value::as_u64),
             Some(1)
         );
+        assert_eq!(
+            jobs.get("rejected_backlog").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            jobs.get("rejected_draining").and_then(Value::as_u64),
+            Some(1)
+        );
         assert_eq!(jobs.get("completed").and_then(Value::as_u64), Some(2));
         assert_eq!(jobs.get("failed").and_then(Value::as_u64), Some(1));
+        let latency = h.get("latency").unwrap();
+        let qw = latency.get("queue_wait").unwrap();
+        assert_eq!(qw.get("count").and_then(Value::as_u64), Some(1));
+        let p50 = qw.get("p50_ms").and_then(Value::as_f64).unwrap();
+        assert!((p50 - 4.0).abs() / 4.0 < 0.07, "queue-wait p50 {p50} ms");
+        let job = latency.get("job").unwrap();
+        let p99 = job.get("p99_ms").and_then(Value::as_f64).unwrap();
+        assert!((p99 - 20.0).abs() / 20.0 < 0.07, "job p99 {p99} ms");
         let sspc = h.get("algorithms").unwrap().get("sspc").unwrap();
         assert_eq!(sspc.get("jobs").and_then(Value::as_u64), Some(2));
         assert_eq!(sspc.get("restarts").and_then(Value::as_u64), Some(10));
@@ -307,9 +567,57 @@ mod tests {
     #[test]
     fn degraded_store_flips_status_and_readiness() {
         let m = Metrics::default();
-        let h = m.healthz_value(0, 4, 1, 1, Value::object(), true);
+        let h = m.healthz_value(&gauges(0, 4, 1), Value::object(), true);
         assert_eq!(h.get("status").and_then(Value::as_str), Some("degraded"));
         assert_eq!(h.get("ready").and_then(Value::as_bool), Some(false));
         assert_eq!(h.get("store_degraded").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn draining_wins_the_status_tiebreak_and_clears_readiness() {
+        let m = Metrics::default();
+        let mut g = gauges(0, 4, 1);
+        g.draining = true;
+        let h = m.healthz_value(&g, Value::object(), false);
+        assert_eq!(h.get("status").and_then(Value::as_str), Some("draining"));
+        assert_eq!(h.get("ready").and_then(Value::as_bool), Some(false));
+        // Draining masks degraded in `status` but not in the flag.
+        let h = m.healthz_value(&g, Value::object(), true);
+        assert_eq!(h.get("status").and_then(Value::as_str), Some("draining"));
+        assert_eq!(h.get("store_degraded").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn backlog_estimate_uses_prior_then_measured_rate() {
+        let m = Metrics::default();
+        assert_eq!(m.estimated_backlog_seconds(), 0.0, "empty backlog");
+        m.admit_cost(1_000_000);
+        let prior = m.estimated_backlog_seconds();
+        assert!(
+            (prior - 1.0).abs() < 1e-9,
+            "1M units at the 1µs prior ≈ 1s, got {prior}"
+        );
+        // A measured completion: 500k units in 2s => 4µs per unit.
+        m.release_cost(500_000);
+        m.observe_cost_rate(500_000, 2.0);
+        let measured = m.estimated_backlog_seconds();
+        assert!(
+            (measured - 2.0).abs() < 1e-6,
+            "500k backlog at 4µs/unit ≈ 2s, got {measured}"
+        );
+        // Releases saturate instead of wrapping.
+        m.release_cost(u64::MAX);
+        assert_eq!(m.estimated_backlog_seconds(), 0.0);
+    }
+
+    #[test]
+    fn connection_gauge_tracks_open_close() {
+        let m = Metrics::default();
+        assert_eq!(m.connections_active(), 0);
+        m.connection_opened();
+        m.connection_opened();
+        assert_eq!(m.connections_active(), 2);
+        m.connection_closed();
+        assert_eq!(m.connections_active(), 1);
     }
 }

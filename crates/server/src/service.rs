@@ -3,35 +3,53 @@
 //! Threading model — all std, no async runtime:
 //!
 //! * one **acceptor** thread owns the `TcpListener` and spawns a handler
-//!   thread per connection; a handler serves **many requests** over its
+//!   thread per connection, **bounded** by
+//!   [`ServerConfig::max_connections`]: a connection over the cap (or one
+//!   whose handler thread cannot be spawned) is answered `503` +
+//!   `Retry-After` inline on the acceptor thread and closed — shed, never
+//!   silently dropped. A handler serves **many requests** over its
 //!   keep-alive connection (requests are tiny; job work never runs on a
 //!   handler) and exits on `Connection: close`, peer EOF, or the idle
 //!   timeout;
 //! * `workers` long-lived **worker** threads block on the bounded
 //!   [`TaskQueue`] and execute jobs through `sspc_api::experiment`;
 //! * submissions never block: a full queue answers `503` immediately —
-//!   backpressure is the client's signal to slow down.
+//!   backpressure is the client's signal to slow down — and, with
+//!   [`ServerConfig::max_backlog_seconds`] set, submissions are also
+//!   **cost-aware**: a job is refused with `503 backlog_exceeded` when
+//!   the estimated seconds of work already queued or running exceed the
+//!   budget, so one pathologically-huge job cannot hide behind a shallow
+//!   queue-depth bound.
 //!
 //! Job state lives behind the [`JobStore`] seam: in-memory by default, or
 //! the journaled disk store when [`ServerConfig::state_dir`] is set — in
 //! which case completed results survive restart bit-identically and
 //! interrupted jobs are re-enqueued on startup.
 //!
-//! Shutdown closes the queue (pending jobs drain), wakes the acceptor
-//! with a loopback connection, and joins the acceptor and workers.
+//! # Lifecycle
+//!
+//! [`Server::shutdown`] stops everything promptly (tests). Operator
+//! shutdown goes through the **drain** pair instead:
+//! [`Server::begin_drain`] flips the lame-duck state — `/healthz` reports
+//! `status: "draining"`, new submissions get `503 shutting_down`, already
+//! queued and running jobs keep going — and [`Server::drain`] waits up to
+//! a deadline for the queue to empty and the workers to finish before
+//! stopping the acceptor. The CLI wires SIGTERM/SIGINT to exactly this
+//! pair.
 
 use crate::http::{read_request, write_response, write_response_with, Request};
 use crate::job::{JobOutcome, JobSpec};
-use crate::metrics::Metrics;
+use crate::metrics::{Gauges, Metrics};
 use crate::store::{DiskStore, EvictionPolicy, JobStore, MemoryStore};
 use sspc_common::json::Value;
 use sspc_common::parallel::{PushError, TaskQueue};
 use sspc_common::{cancel, Error, Result};
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,6 +68,14 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Maximum queued (not yet running) jobs before submissions get `503`.
     pub queue_capacity: usize,
+    /// Maximum concurrently open handler connections; the acceptor
+    /// answers connections over the cap with `503` + `Retry-After`
+    /// (`reason: connections_exhausted`) inline and closes them.
+    pub max_connections: usize,
+    /// Admission budget: refuse submissions (`503 backlog_exceeded`)
+    /// while the estimated seconds of queued + running work exceed this.
+    /// `None` (default) disables cost-aware admission control.
+    pub max_backlog_seconds: Option<f64>,
     /// Journal directory for the disk-backed job store. `None` (default)
     /// keeps jobs in memory only; `Some(dir)` makes results survive
     /// restart and re-enqueues interrupted jobs on startup.
@@ -68,11 +94,21 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".into(),
             workers: 2,
             queue_capacity: 64,
+            max_connections: 256,
+            max_backlog_seconds: None,
             state_dir: None,
             result_ttl: None,
             max_jobs: None,
         }
     }
+}
+
+/// Book-keeping for one job between admission and its terminal state:
+/// when it was accepted (latency histograms) and what it is estimated to
+/// cost (the admission backlog gauge).
+struct Admitted {
+    submitted: Instant,
+    cost: u64,
 }
 
 /// State shared by the acceptor, handlers, and workers.
@@ -82,15 +118,80 @@ struct ServerState {
     next_id: AtomicU64,
     metrics: Metrics,
     shutting_down: AtomicBool,
+    /// Lame-duck flag: accept reads, refuse new work, let the queue
+    /// empty. Set by [`Server::begin_drain`], never cleared.
+    draining: AtomicBool,
     workers: usize,
     /// Worker threads currently inside their loop — `/healthz` compares
     /// this against `workers` to surface a crashed worker (it should
     /// never diverge now that job bodies run under an unwind barrier).
     workers_alive: AtomicUsize,
+    max_connections: usize,
+    max_backlog_seconds: Option<f64>,
+    /// Jobs admitted (or recovered) but not yet terminal, keyed by id.
+    inflight: Mutex<HashMap<u64, Admitted>>,
+}
+
+impl ServerState {
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.workers,
+            workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::SeqCst),
+            connections_limit: self.max_connections,
+            max_backlog_seconds: self.max_backlog_seconds,
+        }
+    }
+
+    /// Enters a job into the in-flight table and charges its cost to the
+    /// admission backlog. `cost == 0` marks a recovered job whose spec
+    /// (and hence cost) is only known once a worker begins it.
+    fn admit_inflight(&self, id: u64, cost: u64) {
+        self.metrics.admit_cost(cost);
+        self.inflight.lock().expect("inflight poisoned").insert(
+            id,
+            Admitted {
+                submitted: Instant::now(),
+                cost,
+            },
+        );
+    }
+
+    /// A worker began job `id`: records its queue wait and, for recovered
+    /// jobs admitted with unknown cost, charges the now-known cost.
+    fn note_begin(&self, id: u64, spec: &JobSpec) {
+        let mut table = self.inflight.lock().expect("inflight poisoned");
+        let entry = table.entry(id).or_insert_with(|| Admitted {
+            submitted: Instant::now(),
+            cost: 0,
+        });
+        if entry.cost == 0 {
+            entry.cost = spec.cost_units();
+            self.metrics.admit_cost(entry.cost);
+        }
+        self.metrics.record_queue_wait(entry.submitted.elapsed());
+    }
+
+    /// Job `id` reached a terminal state (or vanished): releases its cost
+    /// from the backlog, records end-to-end latency, and — on success —
+    /// feeds the measured cost rate. `busy_seconds` is `None` for jobs
+    /// that never ran (forgotten or vanished).
+    fn finish_inflight(&self, id: u64, busy_seconds: Option<f64>) {
+        let entry = self.inflight.lock().expect("inflight poisoned").remove(&id);
+        let Some(entry) = entry else { return };
+        self.metrics.release_cost(entry.cost);
+        if let Some(busy) = busy_seconds {
+            self.metrics.record_job_latency(entry.submitted.elapsed());
+            self.metrics.observe_cost_rate(entry.cost, busy);
+        }
+    }
 }
 
 /// A running batch service; dropping the handle does **not** stop it —
-/// call [`Server::shutdown`] (tests) or [`Server::wait`] (the CLI).
+/// call [`Server::shutdown`] (tests), [`Server::begin_drain`] +
+/// [`Server::drain`] (operator shutdown), or [`Server::wait`] (the CLI).
 pub struct Server {
     addr: SocketAddr,
     state: Arc<ServerState>,
@@ -133,13 +234,19 @@ impl Server {
             next_id: AtomicU64::new(next_id),
             metrics: Metrics::default(),
             shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             workers: config.workers,
             workers_alive: AtomicUsize::new(0),
+            max_connections: config.max_connections.max(1),
+            max_backlog_seconds: config.max_backlog_seconds,
+            inflight: Mutex::new(HashMap::new()),
         });
 
         // Re-enqueue interrupted work before anything else can fill the
         // queue. A recovery larger than the queue fails the overflow
-        // loudly rather than dropping it silently.
+        // loudly rather than dropping it silently. Recovered jobs enter
+        // the in-flight table with cost 0 (their spec — and cost — is
+        // looked up when a worker begins them).
         for id in recovered {
             state.metrics.record_recovered();
             if state.queue.try_push(id).is_err() {
@@ -147,6 +254,8 @@ impl Server {
                     .store
                     .fail(id, "recovery: job queue full, not re-enqueued".into());
                 state.metrics.record_failed();
+            } else {
+                state.admit_inflight(id, 0);
             }
         }
 
@@ -180,8 +289,7 @@ impl Server {
     }
 
     /// Blocks until the acceptor exits — i.e. forever, short of a
-    /// [`Server::shutdown`] from another thread or process death. The CLI
-    /// `serve` command parks here.
+    /// [`Server::shutdown`] from another thread or process death.
     pub fn wait(self) {
         let _ = self.acceptor.join();
         for w in self.workers {
@@ -189,8 +297,56 @@ impl Server {
         }
     }
 
+    /// Flips the server into its lame-duck state: `/healthz` reports
+    /// `status: "draining"` (`ready: false`), new submissions are refused
+    /// with `503 reason: shutting_down`, and the job queue is closed so
+    /// workers exit once the already-admitted work is done. Status and
+    /// result reads keep being served. Idempotent; there is no way back.
+    pub fn begin_drain(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+    }
+
+    /// Waits up to `timeout` for the drain started by
+    /// [`Server::begin_drain`] to complete — queue empty and every worker
+    /// out of its loop — then stops the acceptor and returns whether the
+    /// drain finished in time. On `false`, worker threads may still be
+    /// mid-job; their handles are dropped (not joined), so the caller can
+    /// exit without waiting on them. With a disk store the journal is
+    /// consistent either way — an unfinished job is simply re-enqueued by
+    /// the next boot's replay.
+    #[must_use = "a false return means workers were still running at the deadline"]
+    pub fn drain(self, timeout: Duration) -> bool {
+        self.begin_drain();
+        let deadline = Instant::now() + timeout;
+        // Workers only leave their loop once the closed queue is empty,
+        // so `workers_alive == 0` alone means all admitted work finished
+        // (or there never were workers — then nothing is mid-job either;
+        // a disk store re-enqueues the stranded queue on the next boot).
+        let drained = loop {
+            if self.state.workers_alive.load(Ordering::Relaxed) == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()` with a loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        if drained {
+            for w in self.workers {
+                let _ = w.join();
+            }
+        }
+        drained
+    }
+
     /// Stops accepting, drains queued jobs, and joins the acceptor and
-    /// workers.
+    /// workers. The prompt path for tests; operators use
+    /// [`Server::begin_drain`] + [`Server::drain`].
     pub fn shutdown(self) {
         self.state.shutting_down.store(true, Ordering::SeqCst);
         self.state.queue.close();
@@ -219,8 +375,10 @@ fn worker_loop(state: &ServerState) {
         // `begin` marks the job running; None means it vanished (evicted
         // or forgotten) between push and pop.
         let Some(spec) = state.store.begin(id) else {
+            state.finish_inflight(id, None);
             continue;
         };
+        state.note_begin(id, &spec);
         let started = Instant::now();
         let outcome = run_isolated(&spec);
         let seconds = started.elapsed().as_secs_f64();
@@ -228,6 +386,7 @@ fn worker_loop(state: &ServerState) {
             Ok(Ok(outcome)) => {
                 state.metrics.record_completed(&outcome.throughput);
                 state.store.complete(id, outcome.result, seconds);
+                state.finish_inflight(id, Some(seconds));
             }
             Ok(Err(e)) => {
                 if matches!(e, Error::DeadlineExceeded(_)) {
@@ -235,11 +394,18 @@ fn worker_loop(state: &ServerState) {
                 }
                 state.metrics.record_failed();
                 state.store.fail(id, e.to_string());
+                // A failure still ends the job's latency story, but its
+                // (truncated) busy time must not feed the cost-rate
+                // estimator.
+                state.metrics.record_job_latency(started.elapsed());
+                state.finish_inflight(id, None);
             }
             Err(message) => {
                 state.metrics.record_panicked();
                 state.metrics.record_failed();
                 state.store.fail(id, message);
+                state.metrics.record_job_latency(started.elapsed());
+                state.finish_inflight(id, None);
             }
         }
     }
@@ -268,20 +434,82 @@ fn run_isolated(spec: &JobSpec) -> std::result::Result<Result<JobOutcome>, Strin
     })
 }
 
+/// Decrements the `connections_active` gauge when a handler releases its
+/// connection — on every exit path, including a panicking handler.
+struct ConnectionGuard(Arc<ServerState>);
+
+impl ConnectionGuard {
+    fn open(state: &Arc<ServerState>) -> ConnectionGuard {
+        state.metrics.connection_opened();
+        ConnectionGuard(Arc::clone(state))
+    }
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.metrics.connection_closed();
+    }
+}
+
+/// Answers a connection the service cannot take — over the connection
+/// cap, or no handler thread available — with `503` + `Retry-After`
+/// inline on the acceptor thread, then closes it. Shedding must be
+/// *visible* to the peer: a silently dropped connection looks like a
+/// network fault and teaches clients nothing about backing off.
+fn shed_connection(mut stream: TcpStream, state: &ServerState, message: &str) {
+    // A short write timeout so one unreadable peer cannot wedge the
+    // acceptor (this runs on the acceptor thread).
+    let _ = stream.set_write_timeout(Some(crate::http::IO_TIMEOUT));
+    let body = error_body(message).with("reason", "connections_exhausted");
+    let _ = write_response_with(
+        &mut stream,
+        503,
+        &body,
+        true,
+        Some(state.metrics.retry_after_seconds()),
+    );
+}
+
 fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     for stream in listener.incoming() {
         if state.shutting_down.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // The ingress bound: when `max_connections` handlers hold
+        // connections, shed instead of spawning an unbounded thread.
+        if state.metrics.connections_active() >= state.max_connections as u64 {
+            state.metrics.record_connection_rejected();
+            shed_connection(
+                stream,
+                state,
+                &format!(
+                    "connection limit reached ({} active), retry later",
+                    state.max_connections
+                ),
+            );
+            continue;
+        }
         state.metrics.record_connection();
-        let state = Arc::clone(state);
-        // Handlers parse, route, and respond — possibly many times over
-        // one keep-alive connection; job execution happens on the worker
-        // pool, never here.
-        let _ = std::thread::Builder::new()
+        let guard = ConnectionGuard::open(state);
+        // A duplicate handle so a failed spawn can still answer the peer
+        // (`stream` itself moves into the handler closure).
+        let reply = stream.try_clone();
+        let handler_state = Arc::clone(state);
+        let spawned = std::thread::Builder::new()
             .name("sspc-handler".into())
-            .spawn(move || handle_connection(stream, &state));
+            .spawn(move || {
+                let _guard = guard;
+                handle_connection(stream, &handler_state);
+            });
+        if spawned.is_err() {
+            // The closure (with `stream` and the gauge guard) was dropped
+            // by the failed spawn; the duplicate still reaches the peer.
+            state.metrics.record_spawn_failure();
+            if let Ok(reply) = reply {
+                shed_connection(reply, state, "no handler thread available, retry later");
+            }
+        }
     }
 }
 
@@ -304,15 +532,16 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     loop {
         match read_request(&mut reader) {
             Ok(Some(request)) => {
-                // Close when the peer asked to, or when we are draining.
+                // Close when the peer asked to, or when we are stopping.
                 let close = request.close || state.shutting_down.load(Ordering::SeqCst);
+                state.metrics.request_started();
                 let (status, body) = route(&request, state);
                 // Every 503 carries a Retry-After hint sized from the
                 // mean job seconds observed so far.
                 let retry_after = (status == 503).then(|| state.metrics.retry_after_seconds());
-                if write_response_with(&mut stream, status, &body, close, retry_after).is_err()
-                    || close
-                {
+                let written = write_response_with(&mut stream, status, &body, close, retry_after);
+                state.metrics.request_finished();
+                if written.is_err() || close {
                     break;
                 }
             }
@@ -339,10 +568,7 @@ fn route(request: &Request, state: &ServerState) -> (u16, Value) {
         ("GET", "/healthz") => (
             200,
             state.metrics.healthz_value(
-                state.queue.len(),
-                state.queue.capacity(),
-                state.workers,
-                state.workers_alive.load(Ordering::Relaxed),
+                &state.gauges(),
                 state.store.stats(),
                 state.store.degraded(),
             ),
@@ -354,6 +580,18 @@ fn route(request: &Request, state: &ServerState) -> (u16, Value) {
 }
 
 fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
+    // Lame duck first: during a drain nothing new is admitted, however
+    // well-formed. Same `reason` as the closed-queue race below — clients
+    // treat both as "this server is going away, find another".
+    if state.draining.load(Ordering::SeqCst) {
+        state.metrics.record_rejected_draining();
+        return (
+            503,
+            error_body("server is draining; not accepting new jobs")
+                .with("reason", "shutting_down"),
+        );
+    }
+
     let parsed = std::str::from_utf8(body)
         .map_err(|_| Error::InvalidParameter("body is not UTF-8".into()))
         .and_then(Value::parse)
@@ -378,9 +616,33 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
         );
     }
 
+    // Cost-aware admission: when the estimated seconds of work already
+    // queued or running exceed the budget, shed before burning an id or
+    // a journal write. Like `queue_full`, the job provably left no trace,
+    // so a client may retry this one safely.
+    if let Some(budget) = state.max_backlog_seconds {
+        let estimate = state.metrics.estimated_backlog_seconds();
+        if estimate > budget {
+            state.metrics.record_rejected_backlog();
+            return (
+                503,
+                error_body(format!(
+                    "estimated backlog {estimate:.3}s exceeds the {budget:.3}s budget, \
+                     retry later"
+                ))
+                .with("reason", "backlog_exceeded")
+                .with("estimated_backlog_seconds", estimate)
+                .with("max_backlog_seconds", budget),
+            );
+        }
+    }
+
+    let cost = spec.cost_units();
     let id = state.next_id.fetch_add(1, Ordering::SeqCst);
     // Insert (and journal) before enqueueing so a fast worker always
-    // finds the record; a refused push forgets it again.
+    // finds the record; a refused push forgets it again. The in-flight
+    // entry goes in before the push for the same reason — a worker that
+    // pops the id immediately must find the admission timestamp.
     if let Err(e) = state.store.insert(id, spec, raw) {
         // An insert that degraded the store mid-flight is the same 503;
         // anything else is a plain server error.
@@ -392,6 +654,7 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
         }
         return (500, error_body(format!("job store: {e}")));
     }
+    state.admit_inflight(id, cost);
     match state.queue.try_push(id) {
         Ok(depth) => {
             state.metrics.record_submitted();
@@ -405,6 +668,7 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
         }
         Err(refusal) => {
             state.store.forget(id);
+            state.finish_inflight(id, None);
             match refusal {
                 PushError::Full(_) => {
                     state.metrics.record_rejected_full();
@@ -434,7 +698,26 @@ fn get_job(path: &str, state: &ServerState) -> (u16, Value) {
         return (404, error_body(format!("bad job id `{id_text}`")));
     };
     match state.store.get(id) {
-        Some(doc) => (200, doc),
+        Some(doc) => {
+            // During a drain with no workers left, a still-queued job can
+            // provably never run in this process's lifetime. Saying so
+            // (`503 shutting_down`) lets pollers fail fast instead of
+            // burning their backoff budget against a terminal wait.
+            if state.draining.load(Ordering::SeqCst)
+                && doc.get("status").and_then(Value::as_str) == Some("queued")
+                && state.workers_alive.load(Ordering::Relaxed) == 0
+            {
+                return (
+                    503,
+                    error_body(format!(
+                        "server is draining; queued job {id} will not run here"
+                    ))
+                    .with("reason", "shutting_down")
+                    .with("job", id),
+                );
+            }
+            (200, doc)
+        }
         None => (404, error_body(format!("no job {id}"))),
     }
 }

@@ -643,3 +643,234 @@ fn deadline_exceeded_jobs_fail_without_killing_the_worker() {
     assert_eq!(jobs.get("completed").and_then(Value::as_u64), Some(1));
     server.shutdown();
 }
+
+/// The ingress bound: with `max_connections = 2` and both slots held by
+/// idle keep-alive connections, a third connection is shed with an
+/// **inline** `503` + `Retry-After` (`reason: connections_exhausted`) —
+/// visible backpressure, never a silent drop — and a slot freed by a
+/// close is reusable again.
+#[test]
+fn connection_cap_sheds_with_503_and_recovers() {
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 8,
+        max_connections: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // Two handlers occupy both slots (first exchange forces the accept).
+    let mut first = Client::new(&addr);
+    let mut second = Client::new(&addr);
+    first.healthz().unwrap();
+    second.healthz().unwrap();
+    let health = first.healthz().unwrap();
+    assert_eq!(
+        health.get("connections_active").and_then(Value::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        health.get("connections_limit").and_then(Value::as_u64),
+        Some(2)
+    );
+
+    // The third connection is answered 503 + Retry-After and closed. The
+    // shed races the accept loop, so allow a few attempts for the gauge
+    // to be observed at the cap.
+    let mut shed = None;
+    for _ in 0..20 {
+        match client::healthz(&addr) {
+            Ok(_) => std::thread::sleep(Duration::from_millis(5)),
+            Err(e) => {
+                shed = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    let shed = shed.expect("a third connection was eventually shed");
+    assert!(shed.contains("503"), "shed with a 503, got: {shed}");
+
+    // Releasing a slot makes room again.
+    drop(second);
+    let mut third = None;
+    for _ in 0..50 {
+        if let Ok(h) = client::healthz(&addr) {
+            third = Some(h);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let health = third.expect("freed slot is reusable");
+    let rejected = health
+        .get("connections_rejected")
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(rejected >= 1, "the shed connection was counted");
+    drop(first);
+    server.shutdown();
+}
+
+/// The drain lifecycle end to end: running work finishes, `/healthz`
+/// flips to `draining` (not ready), new submissions get `503
+/// shutting_down`, reads keep working, and `drain()` returns `true`
+/// within the deadline.
+#[test]
+fn drain_finishes_running_jobs_and_refuses_new_ones() {
+    let (server, addr) = start(1, 8);
+    let mut client = Client::new(&addr);
+    let id = client.submit(&tiny_job(5)).unwrap();
+
+    server.begin_drain();
+
+    // Lame-duck surface: health says draining, submissions are refused
+    // with the drain reason, reads still answer.
+    let health = client.healthz().unwrap();
+    assert_eq!(
+        health.get("status").and_then(Value::as_str),
+        Some("draining")
+    );
+    assert_eq!(health.get("ready").and_then(Value::as_bool), Some(false));
+    let err = client.submit(&tiny_job(6)).unwrap_err().to_string();
+    assert!(err.contains("503"), "refused: {err}");
+    assert!(
+        err.contains("draining") || err.contains("shutting"),
+        "{err}"
+    );
+    let jobs = client.healthz().unwrap();
+    assert!(
+        jobs.get("jobs")
+            .unwrap()
+            .get("rejected_draining")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+
+    // The admitted job still completes, and the drain observes it.
+    let done = client
+        .wait_for(id, Duration::from_millis(10), Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(done.get("status").and_then(Value::as_str), Some("done"));
+    drop(client);
+    assert!(
+        server.drain(Duration::from_secs(30)),
+        "drain completed within the deadline"
+    );
+}
+
+/// `wait_for` against a draining server with no workers left fails fast
+/// on the real server's `503 shutting_down` (the scripted-server variant
+/// of this lives in the client unit tests).
+#[test]
+fn wait_for_fails_fast_on_a_draining_server() {
+    // workers = 0: nothing will ever run the queued job (the CLI refuses
+    // this; the library allows it precisely for drills like this one).
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        queue_capacity: 8,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::new(&addr);
+    let id = client.submit(&tiny_job(9)).unwrap();
+
+    server.begin_drain();
+    let started = std::time::Instant::now();
+    let err = client
+        .wait_for(id, Duration::from_millis(10), Duration::from_secs(60))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("draining"), "fail-fast names the drain: {err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "did not poll out the full 60s timeout"
+    );
+    drop(client);
+    assert!(server.drain(Duration::from_secs(10)), "nothing was running");
+}
+
+/// Cost-aware admission: with a microscopic backlog budget and no workers
+/// to drain it, the first job is admitted (an idle server accepts
+/// anything) and the second is shed with `503 backlog_exceeded` carrying
+/// the estimate — deterministically, because the cost-rate prior is fixed.
+#[test]
+fn backlog_budget_sheds_submissions_deterministically() {
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        queue_capacity: 8,
+        // tiny_job costs 30·6·2·1·1 = 360 units ⇒ 360µs at the 1µs/unit
+        // prior, comfortably over a 100µs budget.
+        max_backlog_seconds: Some(0.0001),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::new(&addr);
+
+    let first = client.submit(&tiny_job(1));
+    assert!(first.is_ok(), "an idle server admits the first job");
+    let err = client.submit(&tiny_job(2)).unwrap_err().to_string();
+    assert!(err.contains("backlog"), "shed names the budget: {err}");
+
+    let health = client.healthz().unwrap();
+    let admission = health.get("admission").unwrap();
+    assert_eq!(
+        admission.get("backlog_cost_units").and_then(Value::as_u64),
+        Some(360)
+    );
+    assert!(
+        admission
+            .get("estimated_backlog_seconds")
+            .and_then(Value::as_f64)
+            .unwrap()
+            > 0.0001
+    );
+    assert_eq!(
+        health
+            .get("jobs")
+            .unwrap()
+            .get("rejected_backlog")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    drop(client);
+    server.shutdown();
+}
+
+/// Latency observability end to end: after a completed job, `/healthz`
+/// reports non-empty queue-wait and job-latency percentile blocks.
+#[test]
+fn healthz_reports_latency_percentiles_after_a_job() {
+    let (server, addr) = start(1, 8);
+    let mut client = Client::new(&addr);
+    let id = client.submit(&tiny_job(3)).unwrap();
+    client
+        .wait_for(id, Duration::from_millis(10), Duration::from_secs(60))
+        .unwrap();
+
+    let health = client.healthz().unwrap();
+    let latency = health.get("latency").expect("latency block present");
+    for block in ["queue_wait", "job"] {
+        let stats = latency.get(block).unwrap();
+        assert_eq!(
+            stats.get("count").and_then(Value::as_u64),
+            Some(1),
+            "{block} counted the job"
+        );
+        let p50 = stats.get("p50_ms").and_then(Value::as_f64).unwrap();
+        let p99 = stats.get("p99_ms").and_then(Value::as_f64).unwrap();
+        assert!(p50 >= 0.0 && p99 >= p50, "{block}: p50={p50} p99={p99}");
+    }
+    // One in-flight request: this very healthz GET.
+    assert_eq!(
+        health.get("requests_in_flight").and_then(Value::as_u64),
+        Some(1)
+    );
+    drop(client);
+    server.shutdown();
+}
