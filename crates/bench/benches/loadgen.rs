@@ -6,6 +6,13 @@
 //! full 503 taxonomy. Unlike `server.rs` (closed-loop capacity sweep),
 //! this measures behavior at *offered* load the server did not choose.
 //!
+//! The **shard sweep** drives the same overload arrivals through the
+//! consistent-hash router at 1, 2 and 4 one-worker shards (each with the
+//! same shallow queue and the spool enabled, i.e. the recommended
+//! multi-node deployment): aggregate admission capacity grows with the
+//! fleet, so the acked throughput at a fixed offered rate rises with the
+//! shard count — the 1-shard point is the single-shard baseline.
+//!
 //! Environment knobs:
 //!
 //! * `LOADGEN_BENCH_JOBS` — jobs per trace (default 200);
@@ -16,7 +23,7 @@
 
 use sspc_common::json::Value;
 use sspc_server::loadgen::{run, LoadgenConfig, Pattern};
-use sspc_server::{Server, ServerConfig};
+use sspc_server::{Router, RouterConfig, Server, ServerConfig};
 use std::time::Duration;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -79,6 +86,77 @@ fn trace(label: &str, workers: usize, queue_capacity: usize, config: &LoadgenCon
         .with("report", report.to_value())
 }
 
+/// One router-fronted trace: `shards` one-worker shard servers (each
+/// with its own `queue_capacity`-deep queue and the spool enabled)
+/// behind a consistent-hash router, the arrivals offered to the router.
+fn shard_trace(shards: usize, queue_capacity: usize, config: &LoadgenConfig) -> Value {
+    let spool = std::env::temp_dir().join(format!(
+        "sspc_loadgen_spool_{}_{shards}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&spool);
+    let mut servers = Vec::new();
+    let mut roster = Vec::new();
+    for shard in 0..shards as u16 {
+        let server = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity,
+            shard_id: shard,
+            spool_dir: Some(spool.clone()),
+            ..Default::default()
+        })
+        .expect("bind loopback");
+        roster.push((shard, server.addr().to_string()));
+        servers.push(server);
+    }
+    let router = Router::start(&RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: roster,
+        spool_dir: Some(spool.clone()),
+        ..Default::default()
+    })
+    .expect("bind router");
+    let config = LoadgenConfig {
+        addr: router.addr().to_string(),
+        ..config.clone()
+    };
+    let label = format!("router_shards_{shards}");
+    let report = run(&config).expect("loadgen trace");
+    println!(
+        "loadgen bench: {label:18} {}/{} acked ({:.1}/s), {} rejected {:?}, \
+         e2e p50/p99 {:.1}/{:.1}ms",
+        report.acked.len(),
+        report.attempted,
+        report.acked_per_second,
+        report.rejected_total(),
+        report.rejected,
+        report.e2e_latency.quantile(0.50).unwrap_or(0) as f64 / 1e3,
+        report.e2e_latency.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+    );
+    assert_eq!(
+        report.acked.len() as u64 + report.rejected_total(),
+        report.attempted as u64,
+        "{label}: every submission must be accounted for"
+    );
+    assert_eq!(
+        report.unfinished,
+        Vec::<u64>::new(),
+        "{label}: every acked job must reach a terminal state"
+    );
+    router.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&spool);
+    Value::object()
+        .with("trace", label)
+        .with("shards", shards)
+        .with("workers_per_shard", 1u64)
+        .with("queue_capacity", queue_capacity)
+        .with("report", report.to_value())
+}
+
 fn main() {
     let smoke = std::env::var("SERVER_SMOKE").is_ok_and(|v| v == "1");
     // Pin per-job parallelism: offered-load behavior, not kernel scaling.
@@ -100,7 +178,7 @@ fn main() {
         wait_timeout: Duration::from_secs(600),
         poll_every: Duration::from_millis(5),
     };
-    let traces = vec![
+    let mut traces = vec![
         // Steady state: arrivals a 2-worker pool can absorb.
         trace("poisson_steady", 2, jobs + 8, &base),
         // Overload: the same arrivals into a queue of 8 — the shed path
@@ -124,10 +202,26 @@ fn main() {
                     size: (jobs / 4).max(1),
                     every: Duration::from_millis(250),
                 },
-                ..base
+                ..base.clone()
             },
         ),
     ];
+    // The shard sweep: the flash-crowd arrivals from `burst_overload` —
+    // the pattern that actually overruns one shallow queue — offered to
+    // a router over 1, 2 and 4 shards. Aggregate admission capacity
+    // (queues and workers both) grows with the fleet, so the acked
+    // throughput at this offered load rises with the shard count;
+    // 1 shard is the single-shard baseline.
+    let overload = LoadgenConfig {
+        pattern: Pattern::Burst {
+            size: (jobs / 4).max(1),
+            every: Duration::from_millis(250),
+        },
+        ..base
+    };
+    for shards in [1usize, 2, 4] {
+        traces.push(shard_trace(shards, 8, &overload));
+    }
 
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let record = Value::object()

@@ -1,17 +1,21 @@
 //! Batch-service throughput benchmark: jobs/sec through the full stack —
 //! HTTP submission over a real loopback socket (keep-alive: the driver
-//! reuses one connection for submits and another per poller), the bounded
-//! queue, the worker pool, `sspc_api::experiment` execution, and result
-//! polling — at 1, 2 and 8 workers, for **both job stores**: the
-//! in-memory map and the fsynced disk journal. The memory-vs-disk delta
-//! at equal workers is the measured persistence overhead (fsync per
-//! submission + per completion).
+//! reuses one connection for submits and another per poller), the
+//! consistent-hash router tier, the bounded queue, the worker pool,
+//! `sspc_api::experiment` execution, and result polling — router-fronted
+//! at 1, 2 and 4 shards (one worker each, so the sweep isolates the
+//! *sharding* axis), for **both job stores**: the in-memory map and the
+//! fsynced disk journal. The memory-vs-disk delta at equal shards is the
+//! measured persistence overhead; the 1-shard point is the single-shard
+//! baseline the multi-shard points are judged against.
 //!
 //! Per-job intra-algorithm parallelism is pinned to one thread
-//! (`SSPC_NUM_THREADS=1`) so the sweep isolates the *worker pool's*
-//! scaling; `threads`/`cores` are recorded like `BENCH_hotloop.json` does
-//! so multi-core re-baselines stay interpretable. The record is appended
-//! to `BENCH_server.json` in the workspace root.
+//! (`SSPC_NUM_THREADS=1`); `threads`/`cores` are recorded like
+//! `BENCH_hotloop.json` does so multi-core re-baselines stay
+//! interpretable — on a single-core box the closed-loop sweep mostly
+//! measures router overhead, while the open-loop shard sweep in
+//! `loadgen.rs` shows the admission-capacity gain. The record is
+//! appended to `BENCH_server.json` in the workspace root.
 //!
 //! Environment knobs:
 //!
@@ -23,7 +27,7 @@
 
 use sspc_common::json::Value;
 use sspc_server::client::Client;
-use sspc_server::{Server, ServerConfig};
+use sspc_server::{Router, RouterConfig, Server, ServerConfig};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -44,22 +48,36 @@ struct Workload {
     algorithms: &'static str,
 }
 
-/// One sweep point: a fresh server with `workers` workers and the given
-/// store, `jobs` jobs submitted up front, wall-clock measured to the
-/// last completion.
-fn measure(workers: usize, state_dir: Option<&PathBuf>, w: &Workload) -> (f64, f64) {
-    if let Some(dir) = state_dir {
-        let _ = std::fs::remove_dir_all(dir); // fresh journal per point
+/// One sweep point: a fresh router over `shards` one-worker shard
+/// servers with the given store, `jobs` jobs submitted up front through
+/// the router, wall-clock measured to the last completion.
+fn measure(shards: usize, state_root: Option<&PathBuf>, w: &Workload) -> (f64, f64) {
+    let mut servers = Vec::new();
+    let mut roster = Vec::new();
+    for shard in 0..shards as u16 {
+        let state_dir = state_root.map(|root| root.join(format!("shard-{shard}")));
+        if let Some(dir) = &state_dir {
+            let _ = std::fs::remove_dir_all(dir); // fresh journal per point
+        }
+        let server = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: w.jobs + 8,
+            state_dir,
+            shard_id: shard,
+            ..Default::default()
+        })
+        .expect("bind loopback");
+        roster.push((shard, server.addr().to_string()));
+        servers.push(server);
     }
-    let server = Server::start(&ServerConfig {
+    let router = Router::start(&RouterConfig {
         addr: "127.0.0.1:0".into(),
-        workers,
-        queue_capacity: w.jobs + 8,
-        state_dir: state_dir.cloned(),
+        shards: roster,
         ..Default::default()
     })
-    .expect("bind loopback");
-    let addr = server.addr().to_string();
+    .expect("bind router");
+    let addr = router.addr().to_string();
     let mut client = Client::new(&addr);
 
     let started = Instant::now();
@@ -98,16 +116,20 @@ fn measure(workers: usize, state_dir: Option<&PathBuf>, w: &Workload) -> (f64, f
         );
     }
     let seconds = started.elapsed().as_secs_f64();
-    server.shutdown();
-    if let Some(dir) = state_dir {
-        let _ = std::fs::remove_dir_all(dir);
+    drop(client);
+    router.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+    if let Some(root) = state_root {
+        let _ = std::fs::remove_dir_all(root);
     }
     (seconds, w.jobs as f64 / seconds)
 }
 
 fn main() {
     let smoke = std::env::var("SERVER_SMOKE").is_ok_and(|v| v == "1");
-    // Pin per-job parallelism so the sweep measures the worker pool.
+    // Pin per-job parallelism so the sweep measures the shard axis.
     std::env::set_var("SSPC_NUM_THREADS", "1");
     let w = if smoke {
         Workload {
@@ -132,20 +154,21 @@ fn main() {
     };
 
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
-    let disk_dir = std::env::temp_dir().join(format!("sspc_bench_state_{}", std::process::id()));
+    let disk_root = std::env::temp_dir().join(format!("sspc_bench_state_{}", std::process::id()));
     let mut sweep = Vec::new();
-    for (store, state_dir) in [("memory", None), ("disk", Some(&disk_dir))] {
-        for workers in [1usize, 2, 8] {
-            let (seconds, jobs_per_sec) = measure(workers, state_dir, &w);
+    for (store, state_root) in [("memory", None), ("disk", Some(&disk_root))] {
+        for shards in [1usize, 2, 4] {
+            let (seconds, jobs_per_sec) = measure(shards, state_root, &w);
             println!(
-                "server bench: {store:6} store  {workers:2} workers  {} jobs in {seconds:.3}s  \
+                "server bench: {store:6} store  {shards:2} shards  {} jobs in {seconds:.3}s  \
                  ({jobs_per_sec:.1} jobs/s)",
                 w.jobs
             );
             sweep.push(
                 Value::object()
                     .with("store", store)
-                    .with("workers", workers)
+                    .with("shards", shards)
+                    .with("workers_per_shard", 1u64)
                     .with("seconds", (seconds * 1e6).round() / 1e6)
                     .with("jobs_per_sec", (jobs_per_sec * 1e3).round() / 1e3),
             );

@@ -1,6 +1,6 @@
 //! The subcommands: `generate`, `cluster`, `compare`, `evaluate` run
-//! locally; `serve`, `submit`, `poll`, `health`, `loadgen` run (or talk
-//! to) the batch service.
+//! locally; `serve`, `route`, `submit`, `poll`, `health`, `loadgen` run
+//! (or talk to) the batch service.
 //!
 //! `cluster` and `compare` are thin shells over the `sspc-api` layer:
 //! algorithms are constructed by name through the [`AnyClusterer`]
@@ -19,7 +19,7 @@ use sspc_common::json::Value;
 use sspc_common::{ClusterId, DimId, Error, ObjectId, ObjectiveSense, Result, Supervision};
 use sspc_datagen::{generate, GeneratorConfig};
 use sspc_metrics::{evaluate_partition, OutlierPolicy};
-use sspc_server::{client, loadgen, Server, ServerConfig};
+use sspc_server::{client, loadgen, Router, RouterConfig, Server, ServerConfig};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -62,7 +62,7 @@ subcommands:
   serve     [--addr 127.0.0.1:7878] [--workers 2] [--queue-cap 64]
             [--max-conns 256] [--max-backlog-seconds S]
             [--drain-timeout 30] [--state-dir DIR] [--result-ttl SECONDS]
-            [--max-jobs N] [--threads N]
+            [--max-jobs N] [--threads N] [--shard-id N] [--spool-dir DIR]
       Run the batch experiment service: JSON job submissions over HTTP
       (POST /jobs), status/result polling (GET /jobs/<id>), and /healthz
       with queue depth, latency percentiles, and per-algorithm
@@ -77,7 +77,26 @@ subcommands:
       results bit-identically; interrupted jobs re-run). --result-ttl
       evicts finished jobs that long after completion; --max-jobs caps
       the store, evicting oldest-finished first. Connections are HTTP/1.1
-      keep-alive, so pollers reuse one socket.
+      keep-alive, so pollers reuse one socket. Behind a router
+      (`route`), run one process per shard with a distinct --shard-id
+      (stamped into the top 16 bits of every job id) and the router's
+      shared --spool-dir, so acked jobs can fail over if this shard dies.
+
+  route     --shards \"0=HOST:PORT,1=HOST:PORT,...\" [--addr 127.0.0.1:7870]
+            [--spool-dir DIR] [--probe-interval 1] [--fail-after 3]
+            [--max-conns 256] [--drain-timeout 30]
+      Run the consistent-hash router tier in front of N `serve --shard-id`
+      processes. POST /jobs spreads submissions over live shards;
+      GET /jobs/<id> routes by the id's shard prefix; /healthz fans in
+      every shard (merged counters plus a per-shard section); GET /jobs
+      scatter-gathers listings. Shards are health-probed every
+      --probe-interval seconds and declared dead after --fail-after
+      consecutive failures; with --spool-dir, a dead shard's
+      acked-but-unfinished jobs are replayed onto survivors (finished
+      ones are served from the spool), so every 202 still completes.
+      Shard 503 reasons and Retry-After pass through unchanged; the
+      router adds its own `no_shards_available` shed. SIGTERM/SIGINT
+      drains like `serve`.
 
   submit    --addr HOST:PORT --k K
             (--input FILE [--truth-path FILE] | --generate \"n=1000,d=100,...\")
@@ -106,7 +125,10 @@ subcommands:
   health    --addr HOST:PORT
       Print the service's /healthz JSON (stdout) and a one-line summary —
       status (including draining), queue, connections, workers alive, job
-      counters, latency percentiles, degraded flag — to stderr.
+      counters, latency percentiles, degraded flag — to stderr. Against a
+      router, the summary covers the fleet and a per-shard table
+      (status, conns, queue depth, job p99) follows on stderr; stdout
+      stays the raw merged JSON either way.
 
   loadgen   --addr HOST:PORT [--jobs 50] [--pattern poisson|burst]
             [--rate 20] [--burst-size 10] [--burst-every-ms 500]
@@ -146,6 +168,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
         "compare" => cmd_compare(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "serve" => cmd_serve(&flags),
+        "route" => cmd_route(&flags),
         "submit" => cmd_submit(&flags),
         "poll" => cmd_poll(&flags),
         "health" => cmd_health(&flags),
@@ -367,6 +390,8 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
         "result-ttl",
         "max-jobs",
         "threads",
+        "shard-id",
+        "spool-dir",
     ])?;
     apply_threads(flags)?;
     let workers = flags.parsed_or("workers", 2usize)?;
@@ -432,6 +457,8 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
             Some(n)
         }
     };
+    let shard_id = flags.parsed_or("shard-id", 0u16)?;
+    let spool_dir = flags.optional("spool-dir").map(std::path::PathBuf::from);
     let config = ServerConfig {
         addr: flags
             .optional("addr")
@@ -444,15 +471,20 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
         state_dir: flags.optional("state-dir").map(std::path::PathBuf::from),
         result_ttl,
         max_jobs,
+        shard_id,
+        spool_dir,
     };
     // Arm the SIGTERM/SIGINT latch before the listener exists so there is
     // no window where a signal kills us without a drain.
     crate::signal::install();
     let server = Server::start(&config)?;
-    let store = match &config.state_dir {
+    let mut store = match &config.state_dir {
         Some(dir) => format!("disk store at {}", dir.display()),
         None => "memory store".to_string(),
     };
+    if config.shard_id != 0 || config.spool_dir.is_some() {
+        store.push_str(&format!(", shard {}", config.shard_id));
+    }
     eprintln!(
         "sspc-server listening on {} ({} workers, queue capacity {}, {store})",
         server.addr(),
@@ -475,6 +507,131 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
         Err(Error::InvalidParameter(format!(
             "drain did not finish within {:.0}s; exiting with jobs still running \
              (a --state-dir journal will re-run them on the next start)",
+            drain_timeout.as_secs_f64()
+        )))
+    }
+}
+
+/// Parses the `--shards` roster: comma-separated `id=host:port` pairs.
+fn parse_shards(spec: &str) -> Result<Vec<(u16, String)>> {
+    let mut shards = Vec::new();
+    for pair in spec.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let Some((id, addr)) = pair.split_once('=') else {
+            return Err(Error::InvalidParameter(format!(
+                "--shards: expected `id=host:port`, got `{pair}`"
+            )));
+        };
+        let id: u16 = id.trim().parse().map_err(|_| {
+            Error::InvalidParameter(format!(
+                "--shards: shard id `{}` must be an integer in 0..=65535",
+                id.trim()
+            ))
+        })?;
+        let addr = addr.trim();
+        if addr.is_empty() {
+            return Err(Error::InvalidParameter(format!(
+                "--shards: shard {id} has an empty address"
+            )));
+        }
+        if shards.iter().any(|(seen, _)| *seen == id) {
+            return Err(Error::InvalidParameter(format!(
+                "--shards: shard id {id} appears twice"
+            )));
+        }
+        shards.push((id, addr.to_string()));
+    }
+    if shards.is_empty() {
+        return Err(Error::InvalidParameter(
+            "--shards needs at least one `id=host:port` pair".into(),
+        ));
+    }
+    Ok(shards)
+}
+
+fn cmd_route(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&[
+        "addr",
+        "shards",
+        "spool-dir",
+        "probe-interval",
+        "fail-after",
+        "max-conns",
+        "drain-timeout",
+    ])?;
+    let shards = parse_shards(flags.required("shards")?)?;
+    let fail_after = flags.parsed_or("fail-after", 3u32)?;
+    if fail_after == 0 {
+        return Err(Error::InvalidParameter(
+            "--fail-after must be at least 1".into(),
+        ));
+    }
+    let max_connections = flags.parsed_or("max-conns", 256usize)?;
+    if max_connections == 0 {
+        return Err(Error::InvalidParameter(
+            "--max-conns must be at least 1".into(),
+        ));
+    }
+    let probe_interval = {
+        let seconds: f64 = flags.parsed_or("probe-interval", 1.0f64)?;
+        if !seconds.is_finite() || seconds <= 0.0 {
+            return Err(Error::InvalidParameter(
+                "--probe-interval must be a positive number of seconds".into(),
+            ));
+        }
+        Duration::try_from_secs_f64(seconds)
+            .map_err(|e| Error::InvalidParameter(format!("--probe-interval {seconds}: {e}")))?
+    };
+    let drain_timeout = {
+        let seconds: f64 = flags.parsed_or("drain-timeout", 30.0f64)?;
+        if !seconds.is_finite() || seconds < 0.0 {
+            return Err(Error::InvalidParameter(
+                "--drain-timeout must be a non-negative number of seconds".into(),
+            ));
+        }
+        Duration::try_from_secs_f64(seconds)
+            .map_err(|e| Error::InvalidParameter(format!("--drain-timeout {seconds}: {e}")))?
+    };
+    let config = RouterConfig {
+        addr: flags
+            .optional("addr")
+            .unwrap_or("127.0.0.1:7870")
+            .to_string(),
+        shards,
+        spool_dir: flags.optional("spool-dir").map(std::path::PathBuf::from),
+        probe_interval,
+        fail_after,
+        max_connections,
+    };
+    // Same drain discipline as `serve`: latch the signal before binding.
+    crate::signal::install();
+    let router = Router::start(&config)?;
+    let failover = match &config.spool_dir {
+        Some(dir) => format!("spool at {}", dir.display()),
+        None => "no spool (failover disabled)".to_string(),
+    };
+    eprintln!(
+        "sspc-router listening on {} ({} shards, {failover})",
+        router.addr(),
+        config.shards.len()
+    );
+    while !crate::signal::triggered() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!(
+        "sspc-router caught a termination signal; draining (up to {:.0}s)",
+        drain_timeout.as_secs_f64()
+    );
+    if router.drain(drain_timeout) {
+        eprintln!("sspc-router drained cleanly");
+        Ok(())
+    } else {
+        Err(Error::InvalidParameter(format!(
+            "drain did not finish within {:.0}s; exiting with clients still \
+             connected (shards keep executing whatever was admitted)",
             drain_timeout.as_secs_f64()
         )))
     }
@@ -698,17 +855,29 @@ fn cmd_health(flags: &Flags) -> Result<()> {
     flags.reject_unknown(&["addr"])?;
     let health = client::healthz(flags.required("addr")?)?;
     // Raw JSON on stdout (scripts and CI grep it); the summary goes to
-    // stderr like every other human-facing line.
+    // stderr like every other human-facing line. A router answer gets a
+    // per-shard table after the fleet summary — still stderr-only.
     println!("{health}");
     eprintln!("{}", health_summary(&health));
+    if let Some(table) = shard_table(&health) {
+        eprintln!("{table}");
+    }
     Ok(())
 }
 
 /// One human-readable line from the `/healthz` document: overall status
 /// (draining included), queue pressure, connection occupancy, worker
 /// liveness, job outcomes, the failure-domain counters, and the latency
-/// percentiles added for overload observability.
+/// percentiles added for overload observability. A router document (it
+/// carries a `router` section) summarizes the fleet instead.
 fn health_summary(health: &Value) -> String {
+    if health.get("router").is_some() {
+        return router_summary(health);
+    }
+    single_node_summary(health)
+}
+
+fn single_node_summary(health: &Value) -> String {
     let str_at = |keys: &[&str]| -> &str {
         let mut v = Some(health);
         for k in keys {
@@ -757,6 +926,122 @@ fn health_summary(health: &Value) -> String {
         line.push_str("; STORE DEGRADED (read-only; restart to recover)");
     }
     line
+}
+
+/// The fleet-level summary line for a router `/healthz` document.
+fn router_summary(health: &Value) -> String {
+    let num = |keys: &[&str]| -> u64 {
+        let mut v = Some(health);
+        for k in keys {
+            v = v.and_then(|v| v.get(k));
+        }
+        v.and_then(Value::as_u64).unwrap_or(0)
+    };
+    let ms = |keys: &[&str]| -> f64 {
+        let mut v = Some(health);
+        for k in keys {
+            v = v.and_then(|v| v.get(k));
+        }
+        v.and_then(Value::as_f64).unwrap_or(0.0)
+    };
+    let status = health.get("status").and_then(Value::as_str).unwrap_or("?");
+    let mut line = format!(
+        "status {status}: {}/{} shards alive, queue {}/{}, \
+         {} completed, {} failed, routed {}, shed {}, \
+         {} failovers ({} jobs replayed, {} owed), \
+         job p50/p99 {:.1}/{:.1}ms",
+        num(&["router", "shards_alive"]),
+        num(&["router", "shards"]),
+        num(&["queue", "depth"]),
+        num(&["queue", "capacity"]),
+        num(&["jobs", "completed"]),
+        num(&["jobs", "failed"]),
+        num(&["router", "routed"]),
+        num(&["router", "shed"]),
+        num(&["router", "failovers"]),
+        num(&["router", "replayed_jobs"]),
+        num(&["router", "owed_jobs"]),
+        ms(&["latency", "job", "p50_ms"]),
+        ms(&["latency", "job", "p99_ms"]),
+    );
+    if status == "draining" {
+        line.push_str("; DRAINING (refusing new jobs, finishing admitted ones)");
+    }
+    line
+}
+
+/// The per-shard table for a router `/healthz` document — `None` for a
+/// single-node answer (no `router`/`shards` sections). One row per
+/// shard: status, connection occupancy, queue depth, job p99.
+fn shard_table(health: &Value) -> Option<String> {
+    health.get("router")?;
+    let shards = health.get("shards").and_then(Value::as_object)?;
+    let mut rows: Vec<(u16, &Value)> = shards
+        .iter()
+        .filter_map(|(id, doc)| Some((id.parse::<u16>().ok()?, doc)))
+        .collect();
+    rows.sort_unstable_by_key(|(id, _)| *id);
+    let mut table = vec![vec![
+        "shard".to_string(),
+        "status".to_string(),
+        "conns".to_string(),
+        "queue".to_string(),
+        "job p99".to_string(),
+    ]];
+    for (id, doc) in rows {
+        let num = |keys: &[&str]| -> Option<u64> {
+            let mut v = Some(doc);
+            for k in keys {
+                v = v.and_then(|v| v.get(k));
+            }
+            v.and_then(Value::as_u64)
+        };
+        let status = doc.get("status").and_then(Value::as_str).unwrap_or("?");
+        // An unreachable shard has no gauges; dash its columns rather
+        // than rendering misleading zeros.
+        let reachable = doc.get("reachable").and_then(Value::as_bool) != Some(false);
+        let (conns, queue, p99) = if reachable {
+            (
+                format!(
+                    "{}/{}",
+                    num(&["connections_active"]).unwrap_or(0),
+                    num(&["connections_limit"]).unwrap_or(0)
+                ),
+                format!(
+                    "{}/{}",
+                    num(&["queue", "depth"]).unwrap_or(0),
+                    num(&["queue", "capacity"]).unwrap_or(0)
+                ),
+                format!(
+                    "{:.1}ms",
+                    doc.get("latency")
+                        .and_then(|l| l.get("job"))
+                        .and_then(|j| j.get("p99_ms"))
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0)
+                ),
+            )
+        } else {
+            ("-".to_string(), "-".to_string(), "-".to_string())
+        };
+        table.push(vec![id.to_string(), status.to_string(), conns, queue, p99]);
+    }
+    let widths: Vec<usize> = (0..table[0].len())
+        .map(|c| table.iter().map(|r| r[c].len()).max().unwrap_or(0))
+        .collect();
+    let lines: Vec<String> = table
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        })
+        .collect();
+    Some(lines.join("\n"))
 }
 
 /// Polls the job per the `--interval-ms`/`--timeout-sec` flags, reusing
@@ -1360,6 +1645,185 @@ mod tests {
         assert!(draining.contains("DRAINING"), "{draining}");
     }
 
+    /// A router /healthz document flips the summary to fleet form and
+    /// grows a per-shard table; a single-node document gets no table.
+    #[test]
+    fn router_health_renders_fleet_summary_and_shard_table() {
+        let shard_ok = Value::object()
+            .with("status", "ok")
+            .with("connections_active", 1u64)
+            .with("connections_limit", 256u64)
+            .with(
+                "queue",
+                Value::object().with("depth", 2u64).with("capacity", 64u64),
+            )
+            .with(
+                "latency",
+                Value::object().with("job", Value::object().with("p99_ms", 42.5)),
+            );
+        let shard_down = Value::object()
+            .with("status", "down")
+            .with("reachable", false)
+            .with("addr", "127.0.0.1:9999");
+        let health = Value::object()
+            .with("status", "degraded")
+            .with(
+                "router",
+                Value::object()
+                    .with("shards", 2u64)
+                    .with("shards_alive", 1u64)
+                    .with("routed", 9u64)
+                    .with("shed", 1u64)
+                    .with("failovers", 1u64)
+                    .with("replayed_jobs", 3u64)
+                    .with("owed_jobs", 2u64),
+            )
+            .with(
+                "shards",
+                Value::object().with("0", shard_ok).with("1", shard_down),
+            )
+            .with(
+                "jobs",
+                Value::object().with("completed", 7u64).with("failed", 1u64),
+            )
+            .with(
+                "queue",
+                Value::object().with("depth", 2u64).with("capacity", 64u64),
+            )
+            .with(
+                "latency",
+                Value::object().with(
+                    "job",
+                    Value::object().with("p50_ms", 10.0).with("p99_ms", 42.5),
+                ),
+            );
+        let line = health_summary(&health);
+        assert!(line.contains("status degraded"), "{line}");
+        assert!(line.contains("1/2 shards alive"), "{line}");
+        assert!(line.contains("routed 9"), "{line}");
+        assert!(line.contains("shed 1"), "{line}");
+        assert!(
+            line.contains("1 failovers (3 jobs replayed, 2 owed)"),
+            "{line}"
+        );
+        assert!(line.contains("job p50/p99 10.0/42.5ms"), "{line}");
+
+        let table = shard_table(&health).unwrap();
+        let rows: Vec<&str> = table.lines().collect();
+        assert_eq!(rows.len(), 3, "{table}");
+        assert!(rows[0].starts_with("shard"), "{table}");
+        assert!(
+            rows[1].contains("ok") && rows[1].contains("1/256"),
+            "{table}"
+        );
+        assert!(
+            rows[1].contains("2/64") && rows[1].contains("42.5ms"),
+            "{table}"
+        );
+        assert!(rows[2].contains("down") && rows[2].contains('-'), "{table}");
+
+        // Single-node documents keep the old summary and get no table.
+        let single = Value::object().with("status", "ok");
+        assert!(health_summary(&single).contains("workers"), "no fleet form");
+        assert!(shard_table(&single).is_none());
+    }
+
+    /// `route` flag validation fails before any socket binds.
+    #[test]
+    fn route_validates_flags() {
+        for bad in [
+            &["route"][..], // --shards is required
+            &["route", "--shards", ""][..],
+            &["route", "--shards", "0"][..],
+            &["route", "--shards", "zero=127.0.0.1:7878"][..],
+            &["route", "--shards", "0="][..],
+            &["route", "--shards", "0=a,0=b", "--addr", "127.0.0.1:0"][..],
+            &["route", "--shards", "0=127.0.0.1:1", "--fail-after", "0"][..],
+            &["route", "--shards", "0=127.0.0.1:1", "--max-conns", "0"][..],
+            &[
+                "route",
+                "--shards",
+                "0=127.0.0.1:1",
+                "--probe-interval",
+                "0",
+            ][..],
+            &[
+                "route",
+                "--shards",
+                "0=127.0.0.1:1",
+                "--probe-interval",
+                "-1",
+            ][..],
+            &[
+                "route",
+                "--shards",
+                "0=127.0.0.1:1",
+                "--drain-timeout",
+                "-5",
+            ][..],
+        ] {
+            assert!(dispatch(&argv(bad)).is_err(), "{bad:?} should be rejected");
+        }
+        let roster = parse_shards(" 0 = 127.0.0.1:7871 , 1=127.0.0.1:7872 ,").unwrap();
+        assert_eq!(
+            roster,
+            vec![(0, "127.0.0.1:7871".into()), (1, "127.0.0.1:7872".into())]
+        );
+    }
+
+    /// `submit`/`poll`/`health` through a live router over two shards:
+    /// the CLI is oblivious to sharding (same flags, same outputs).
+    #[test]
+    fn cli_commands_work_through_a_router() {
+        let a = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            shard_id: 0,
+            ..Default::default()
+        })
+        .unwrap();
+        let b = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            shard_id: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let router = Router::start(&RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: vec![(0, a.addr().to_string()), (1, b.addr().to_string())],
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = router.addr().to_string();
+
+        dispatch(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--k",
+            "2",
+            "--generate",
+            "n=40,d=6,dims=3,seed=2",
+            "--algorithms",
+            "harp",
+            "--runs",
+            "1",
+            "--wait",
+            "true",
+            "--interval-ms",
+            "20",
+        ]))
+        .unwrap();
+        dispatch(&argv(&["poll", "--addr", &addr, "--list", "true"])).unwrap();
+        dispatch(&argv(&["health", "--addr", &addr])).unwrap();
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+
     /// The new serve overload flags validate before anything binds.
     #[test]
     fn serve_validates_overload_flags() {
@@ -1459,6 +1923,8 @@ mod tests {
             &["serve", "--result-ttl", "1e30"][..], // Duration overflow: error, not panic
             &["serve", "--max-jobs", "0"][..],
             &["serve", "--max-jobs", "many"][..],
+            &["serve", "--shard-id", "70000"][..], // u16 overflow
+            &["serve", "--shard-id", "one"][..],
         ] {
             assert!(dispatch(&argv(bad)).is_err(), "{bad:?} should be rejected");
         }

@@ -7,6 +7,9 @@
 //! sspc-cli compare  --input data.tsv --truth truth.tsv --k 4 --runs 5
 //! sspc-cli evaluate --truth truth.tsv --produced clusters.tsv
 //! sspc-cli serve    --addr 127.0.0.1:7878 --workers 4          # batch service
+//! sspc-cli route    --addr 127.0.0.1:7870 \
+//!                   --shards "0=127.0.0.1:7871,1=127.0.0.1:7872" \
+//!                   --spool-dir /tmp/spool                     # shard router tier
 //! sspc-cli submit   --addr 127.0.0.1:7878 --k 4 --generate "n=500,d=50,dims=8" \
 //!                   --truth true --wait true                   # job over the wire
 //! sspc-cli poll     --addr 127.0.0.1:7878 --job 1

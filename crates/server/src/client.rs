@@ -19,10 +19,12 @@
 //! "queue_full"` is the one rejection the server proves it did **not**
 //! admit (the id was forgotten before answering), so [`Client::submit`]
 //! retries it a few times, honoring the `Retry-After` header the server
-//! attaches; every other non-`202` (including `store_degraded` and
-//! `shutting_down` 503s, where re-submitting may duplicate work or is
-//! pointless) surfaces immediately. Transport-level POST failures are
-//! never retried.
+//! attaches. The router's `no_shards_available` shed carries the same
+//! guarantee — no shard saw the job — so it is retried identically (a
+//! shard may come back within the backoff window). Every other non-`202`
+//! (including `store_degraded` and `shutting_down` 503s, where
+//! re-submitting may duplicate work or is pointless) surfaces
+//! immediately. Transport-level POST failures are never retried.
 
 use crate::backoff::Backoff;
 use crate::http::HttpConnection;
@@ -78,10 +80,12 @@ impl Client {
 
     /// Submits a job document and returns the assigned job id.
     ///
-    /// A `503` with `"reason": "queue_full"` — the one refusal the server
-    /// guarantees left no trace, so re-POSTing cannot duplicate the job —
-    /// is retried up to three times with jittered exponential backoff,
-    /// sleeping at least the server's `Retry-After` hint.
+    /// A `503` with `"reason": "queue_full"` (the one refusal a shard
+    /// guarantees left no trace, so re-POSTing cannot duplicate the job)
+    /// or `"reason": "no_shards_available"` (the router's shed: no shard
+    /// saw the job at all, and one may come back shortly) is retried up
+    /// to three times with jittered exponential backoff, sleeping at
+    /// least the server's `Retry-After` hint.
     ///
     /// # Errors
     ///
@@ -98,9 +102,12 @@ impl Client {
                     .and_then(Value::as_u64)
                     .ok_or_else(|| Error::InvalidParameter("202 without a job id".into()));
             }
-            let queue_full =
-                status == 503 && body.get("reason").and_then(Value::as_str) == Some("queue_full");
-            if !queue_full || attempt == SUBMIT_ATTEMPTS {
+            let retryable = status == 503
+                && matches!(
+                    body.get("reason").and_then(Value::as_str),
+                    Some("queue_full" | "no_shards_available")
+                );
+            if !retryable || attempt == SUBMIT_ATTEMPTS {
                 return Err(Error::InvalidParameter(format!(
                     "submit refused with {status}: {}",
                     body.get("error").and_then(Value::as_str).unwrap_or("?")
@@ -431,8 +438,36 @@ mod tests {
         assert_eq!(server.join().unwrap(), 2, "one poll, then the fail-fast");
     }
 
-    /// 503s whose reason is not `queue_full` (the server may have
-    /// admitted or cannot accept the job) surface immediately.
+    /// The router satellite: `no_shards_available` means no shard saw
+    /// the job, so it is retried exactly like `queue_full` — and a shard
+    /// coming back within the backoff window rescues the submission.
+    #[test]
+    fn submit_retries_router_no_shards_503s_like_queue_full() {
+        let shed = Value::object()
+            .with("error", "no live shard available (submission)")
+            .with("reason", "no_shards_available");
+        let accepted = Value::object().with("job", 4u64).with("queue_depth", 1u64);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = scripted_server(
+            listener,
+            vec![
+                (503, shed.clone(), Some(0)),
+                (503, shed, Some(0)),
+                (202, accepted, None),
+            ],
+        );
+
+        let mut client = Client::new(&addr);
+        let job = Value::object().with("k", 1u64);
+        assert_eq!(client.submit(&job).unwrap(), 4);
+        drop(client);
+        assert_eq!(server.join().unwrap(), 3, "two retries then acceptance");
+    }
+
+    /// 503s whose reason is not `queue_full`/`no_shards_available` (the
+    /// server may have admitted or cannot accept the job) surface
+    /// immediately.
     #[test]
     fn submit_does_not_retry_other_503_reasons() {
         let degraded = Value::object()

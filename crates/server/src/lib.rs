@@ -60,6 +60,18 @@
 //! the open-loop generator that soaks all of it — see
 //! `docs/ARCHITECTURE.md` § "Overload & lifecycle".
 //!
+//! # Sharding
+//!
+//! [`router::Router`] is a thin proxy tier fronting N shard processes
+//! (`serve --shard-id N --spool-dir …`), speaking the same protocol as a
+//! single shard: a deterministic consistent-hash ring
+//! ([`router::ring::Ring`]) spreads submissions, job ids carry their
+//! shard in the top 16 bits so status reads route without fan-out,
+//! `/healthz` and `GET /jobs` fan in across the fleet, and a dead
+//! shard's shipped journal ([`router::spool`]) is replayed onto
+//! survivors so every `202`-acked job still completes — see
+//! `docs/ARCHITECTURE.md` § "Sharding".
+//!
 //! # Example
 //!
 //! A complete round trip on a loopback socket — start, submit a
@@ -114,10 +126,12 @@ pub mod http;
 pub mod job;
 pub mod loadgen;
 pub mod metrics;
+pub mod router;
 mod service;
 pub mod store;
 
 pub use job::{JobKind, JobSpec};
+pub use router::{Router, RouterConfig};
 pub use service::{Server, ServerConfig};
 pub use store::{DiskStore, EvictionPolicy, JobStore, MemoryStore};
 

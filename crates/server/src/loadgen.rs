@@ -15,9 +15,13 @@
 //!
 //! Every answer is tallied into an **error taxonomy** keyed by the
 //! server's `503 reason` (`queue_full`, `backlog_exceeded`,
-//! `connections_exhausted`, `shutting_down`, `store_degraded`) plus
-//! `transport` (socket-level failures — a crashed server mid-soak) and
-//! `invalid` (4xx). After the trace, an optional **wait phase** polls
+//! `connections_exhausted`, `shutting_down`, `store_degraded` — and,
+//! when the target is the router tier, its `no_shards_available` and
+//! `shard_unavailable` sheds, which are filed under their own reason
+//! like any other, **including on the reconnect path** after a dropped
+//! connection) plus `transport` (socket-level failures — a crashed
+//! server mid-soak) and `invalid` (4xx). After the trace, an optional
+//! **wait phase** polls
 //! every acknowledged job to a terminal state — a `202` is the server's
 //! promise, and the chaos soak asserts the promise is kept across a
 //! crash/restart.
@@ -446,13 +450,69 @@ mod tests {
         // Refusals, if any, carry the server's taxonomy.
         for reason in report.rejected.keys() {
             assert!(
-                ["queue_full", "backlog_exceeded", "transport"].contains(&reason.as_str()),
+                [
+                    "queue_full",
+                    "backlog_exceeded",
+                    "no_shards_available",
+                    "transport"
+                ]
+                .contains(&reason.as_str()),
                 "unexpected refusal class {reason}"
             );
         }
         let record = report.to_value();
         assert!(record.get("submit_latency").is_some());
         server.shutdown();
+    }
+
+    /// A router-level `no_shards_available` 503 is filed under its own
+    /// reason — not `http_503`, not `transport` — and the reconnect path
+    /// (the generator's held connection was closed under it) files it
+    /// identically.
+    #[test]
+    fn router_sheds_land_in_their_own_taxonomy_bucket() {
+        use crate::http::{read_request, write_response_with};
+        use std::io::BufReader;
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Two connections, one shed each: the first response carries
+        // `Connection: close`, so the second submission must reconnect.
+        let router = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                if let Ok(Some(_)) = read_request(&mut reader) {
+                    let body = Value::object()
+                        .with("error", "no live shard available (submission)")
+                        .with("reason", "no_shards_available");
+                    write_response_with(&mut stream, 503, &body, true, Some(1)).unwrap();
+                }
+            }
+        });
+
+        let report = run(&LoadgenConfig {
+            addr,
+            jobs: 2,
+            pattern: Pattern::Burst {
+                size: 2,
+                every: Duration::from_millis(1),
+            },
+            seed: 5,
+            wait_timeout: Duration::ZERO,
+            ..Default::default()
+        })
+        .unwrap();
+        router.join().unwrap();
+        assert_eq!(
+            report.rejected.get("no_shards_available"),
+            Some(&2),
+            "both sheds (fresh + reconnect) share the router bucket: {:?}",
+            report.rejected
+        );
+        assert!(!report.rejected.contains_key("http_503"));
+        assert!(!report.rejected.contains_key("transport"));
     }
 
     /// Configuration errors are errors; wire trouble is not.

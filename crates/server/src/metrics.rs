@@ -43,6 +43,12 @@ pub struct Gauges {
     pub connections_limit: usize,
     /// Configured admission budget in estimated backlog seconds, if any.
     pub max_backlog_seconds: Option<f64>,
+    /// This server's shard id (0 for a plain single-node deployment);
+    /// the router reads it back out of `/healthz` fan-ins.
+    pub shard: u16,
+    /// Journal-shipping write failures, when a spool is configured
+    /// (`None` renders nothing — the server is not sharded).
+    pub spool_ship_failures: Option<u64>,
 }
 
 /// Monotonic counters updated by the acceptor and workers; all reads
@@ -341,9 +347,13 @@ impl Metrics {
         if let Some(budget) = gauges.max_backlog_seconds {
             admission = admission.with("max_backlog_seconds", budget);
         }
-        Value::object()
-            .with("status", status)
+        let mut doc = Value::object();
+        if let Some(failures) = gauges.spool_ship_failures {
+            doc = doc.with("spool_ship_failures", failures);
+        }
+        doc.with("status", status)
             .with("ready", !store_degraded && !gauges.draining)
+            .with("shard", u64::from(gauges.shard))
             .with("uptime_seconds", self.started.elapsed().as_secs_f64())
             .with("workers", gauges.workers)
             .with("workers_alive", gauges.workers_alive)
@@ -426,6 +436,8 @@ mod tests {
             draining: false,
             connections_limit: 256,
             max_backlog_seconds: None,
+            shard: 0,
+            spool_ship_failures: None,
         }
     }
 
@@ -475,6 +487,11 @@ mod tests {
         let h = m.healthz_value(&gauges(3, 64, 2), store, false);
         assert_eq!(h.get("status").and_then(Value::as_str), Some("ok"));
         assert_eq!(h.get("ready").and_then(Value::as_bool), Some(true));
+        assert_eq!(h.get("shard").and_then(Value::as_u64), Some(0));
+        assert!(
+            h.get("spool_ship_failures").is_none(),
+            "no spool configured, no spool field"
+        );
         assert_eq!(h.get("workers").and_then(Value::as_u64), Some(2));
         assert_eq!(h.get("workers_alive").and_then(Value::as_u64), Some(2));
         assert_eq!(h.get("jobs_panicked").and_then(Value::as_u64), Some(1));
@@ -543,6 +560,20 @@ mod tests {
         assert_eq!(
             sspc.get("restarts_per_busy_second").and_then(Value::as_f64),
             Some(2.0)
+        );
+    }
+
+    #[test]
+    fn shard_id_and_spool_failures_render_when_sharded() {
+        let m = Metrics::default();
+        let mut g = gauges(0, 4, 1);
+        g.shard = 3;
+        g.spool_ship_failures = Some(2);
+        let h = m.healthz_value(&g, Value::object(), false);
+        assert_eq!(h.get("shard").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            h.get("spool_ship_failures").and_then(Value::as_u64),
+            Some(2)
         );
     }
 

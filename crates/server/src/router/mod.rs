@@ -1,0 +1,1235 @@
+//! Multi-node sharding: a consistent-hash router tier in front of N
+//! shard servers.
+//!
+//! The router is a thin HTTP proxy speaking the exact same protocol as a
+//! single shard — clients (including [`crate::client::Client`], the CLI,
+//! and the load generator) point at the router unchanged:
+//!
+//! ```text
+//!                       POST /jobs ──ring──▶ shard 0  (serve --shard-id 0)
+//!   client ──▶ router   GET /jobs/<id> ────▶ shard_of(id)
+//!                       GET /jobs ──scatter▶ every live shard
+//!                       GET /healthz ─fan-in▶ every shard, merged
+//! ```
+//!
+//! **Routing.** Each shard stamps its id into the top 16 bits of every
+//! job id it assigns ([`id_base`]), so `GET /jobs/<id>` routes by
+//! [`shard_of`] — any job is findable without fan-out. `POST /jobs` picks
+//! a shard from a deterministic consistent-hash [`Ring`] keyed by a
+//! submission counter; when the preferred shard is unreachable the
+//! router walks the ring's candidate order instead of failing.
+//!
+//! **Liveness + failover.** A prober thread health-checks every shard
+//! over keep-alive connections with jittered backoff (reusing
+//! [`crate::backoff`]). [`RouterConfig::fail_after`] consecutive
+//! failures (probe or proxy) declare a shard dead: it leaves the ring
+//! and its shipped journal ([`spool`]) is replayed — jobs that already
+//! reached a terminal state are served from the router's own table, and
+//! acked-but-unfinished jobs are re-submitted to surviving shards with
+//! their old id remapped to the new one. Every `202`-acked job
+//! therefore still completes, and keeps its original id from the
+//! client's point of view. A shard that comes back is re-added to the
+//! ring; already-failed-over ids keep being served from the table
+//! (either copy computes the identical result — execution is
+//! deterministic).
+//!
+//! **Overload composition.** Shard `503`s (`queue_full`,
+//! `backlog_exceeded`, `connections_exhausted`, `shutting_down`,
+//! `store_degraded`) pass through the router unchanged, including their
+//! `Retry-After` hint. The router adds exactly two reasons of its own:
+//! `no_shards_available` (no live shard could take the request) and
+//! `shard_unavailable` (the owning shard is dead and the spool owes no
+//! record of that id).
+//!
+//! **Limits.** `GET /jobs` merges *live* shards only — terminal results
+//! held for a dead shard are reachable by id, not by listing. And a
+//! duplicate admission is possible when a shard dies between processing
+//! a `POST` and answering it: the orphaned copy completes harmlessly
+//! (results are deterministic) but occupies a second id.
+
+pub mod ring;
+pub mod spool;
+
+use crate::backoff::Backoff;
+use crate::http::{read_request, write_response, write_response_with, HttpConnection};
+use crate::service::{DEFAULT_LIST_LIMIT, MAX_LIST_LIMIT, STATUS_NAMES};
+use ring::Ring;
+use sspc_common::json::Value;
+use sspc_common::{Error, Result};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The lowest job id shard `shard` assigns: shard ids live in the top
+/// 16 bits of the 64-bit id space, so ids route without any lookup.
+/// Shard 0's ids are unchanged from a single-node deployment.
+pub fn id_base(shard: u16) -> u64 {
+    u64::from(shard) << 48
+}
+
+/// Which shard assigned job `id` (the top 16 bits).
+pub fn shard_of(id: u64) -> u16 {
+    (id >> 48) as u16
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks a free port (see [`Router::addr`]).
+    pub addr: String,
+    /// The shard fleet: `(shard id, address)` pairs. Ids must be
+    /// distinct and each shard must run `serve --shard-id <id>` so its
+    /// job ids carry the right prefix.
+    pub shards: Vec<(u16, String)>,
+    /// Directory the shards ship their journals into (see [`spool`]).
+    /// `None` disables failover replay: a dead shard's unfinished jobs
+    /// answer `503 shard_unavailable` instead of completing elsewhere.
+    pub spool_dir: Option<PathBuf>,
+    /// How often each live shard is health-probed.
+    pub probe_interval: Duration,
+    /// Consecutive probe/proxy failures before a shard is declared dead
+    /// and failed over.
+    pub fail_after: u32,
+    /// Maximum concurrently open client connections; everything over the
+    /// cap is shed with `503` + `Retry-After`, like a shard does.
+    pub max_connections: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:7870".into(),
+            shards: Vec::new(),
+            spool_dir: None,
+            probe_interval: Duration::from_secs(1),
+            fail_after: 3,
+            max_connections: 256,
+        }
+    }
+}
+
+/// One shard as the router sees it.
+struct Shard {
+    id: u16,
+    addr: String,
+    /// On the ring and eligible for proxying. Cleared when declared
+    /// dead, set again when a probe succeeds.
+    alive: AtomicBool,
+    /// Consecutive probe/proxy failures; reset by any success.
+    failures: AtomicU32,
+    /// This shard's spool has been replayed (set at most once; a
+    /// rejoined shard's old ids keep being served from the owed table).
+    failed_over: AtomicBool,
+}
+
+/// What the router owes for a job whose original shard died.
+enum Owed {
+    /// The job finished on the dead shard; serve its spooled document.
+    Terminal(Value),
+    /// The job was re-submitted to a survivor under a new id.
+    Remapped { shard: u16, new_id: u64 },
+}
+
+#[derive(Default)]
+struct RouterMetrics {
+    routed: AtomicU64,
+    shed: AtomicU64,
+    failovers: AtomicU64,
+    replayed: AtomicU64,
+    connections: AtomicU64,
+}
+
+struct RouterState {
+    shards: Vec<Shard>,
+    ring: Mutex<Ring>,
+    spool_dir: Option<PathBuf>,
+    /// Jobs the router answers for directly, keyed by their *original*
+    /// id.
+    owed: Mutex<HashMap<u64, Owed>>,
+    /// Serializes failover replays and makes `ensure_failed_over`
+    /// blocking: a reader never sees a half-replayed shard.
+    replay_lock: Mutex<()>,
+    route_counter: AtomicU64,
+    metrics: RouterMetrics,
+    fail_after: u32,
+    max_connections: usize,
+    shutting_down: AtomicBool,
+    draining: AtomicBool,
+    started: Instant,
+}
+
+impl RouterState {
+    fn shard(&self, id: u16) -> Option<&Shard> {
+        self.shards.iter().find(|s| s.id == id)
+    }
+
+    fn shards_alive(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.alive.load(Ordering::SeqCst))
+            .count()
+    }
+}
+
+/// A running router; like [`crate::Server`], dropping the handle does
+/// not stop it — call [`Router::shutdown`] (tests) or
+/// [`Router::begin_drain`] + [`Router::drain`] (operator shutdown).
+pub struct Router {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+    acceptor: JoinHandle<()>,
+    prober: JoinHandle<()>,
+}
+
+impl Router {
+    /// Binds and starts the router: acceptor plus the shard prober.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when no shards are configured, shard
+    /// ids repeat, or the address cannot be bound.
+    pub fn start(config: &RouterConfig) -> Result<Router> {
+        if config.shards.is_empty() {
+            return Err(Error::InvalidParameter(
+                "router needs at least one shard".into(),
+            ));
+        }
+        let mut ids: Vec<u16> = config.shards.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != config.shards.len() {
+            return Err(Error::InvalidParameter(
+                "duplicate shard ids in router config".into(),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::InvalidParameter(format!("cannot bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::InvalidParameter(format!("local_addr: {e}")))?;
+        let shards = config
+            .shards
+            .iter()
+            .map(|(id, addr)| Shard {
+                id: *id,
+                addr: addr.clone(),
+                alive: AtomicBool::new(true),
+                failures: AtomicU32::new(0),
+                failed_over: AtomicBool::new(false),
+            })
+            .collect();
+        let state = Arc::new(RouterState {
+            shards,
+            ring: Mutex::new(Ring::new(ids, Ring::DEFAULT_VNODES)),
+            spool_dir: config.spool_dir.clone(),
+            owed: Mutex::new(HashMap::new()),
+            replay_lock: Mutex::new(()),
+            route_counter: AtomicU64::new(0),
+            metrics: RouterMetrics::default(),
+            fail_after: config.fail_after.max(1),
+            max_connections: config.max_connections.max(1),
+            shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("sspc-router-acceptor".into())
+            .spawn(move || acceptor_loop(&listener, &acceptor_state))
+            .expect("spawn router acceptor");
+        let prober_state = Arc::clone(&state);
+        let probe_interval = config.probe_interval;
+        let prober = std::thread::Builder::new()
+            .name("sspc-router-prober".into())
+            .spawn(move || prober_loop(&prober_state, probe_interval))
+            .expect("spawn router prober");
+        Ok(Router {
+            addr,
+            state,
+            acceptor,
+            prober,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the acceptor exits — i.e. until [`Router::shutdown`]
+    /// from another thread or process death.
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        let _ = self.prober.join();
+    }
+
+    /// Lame duck: `/healthz` reports `status: "draining"`, new
+    /// submissions get `503 shutting_down`, reads keep being served.
+    /// Idempotent; there is no way back.
+    pub fn begin_drain(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits up to `timeout` for open client connections to finish
+    /// after [`Router::begin_drain`], then stops. Returns whether the
+    /// connection count reached zero in time. (The router holds no job
+    /// state — shards keep executing whatever was admitted — so an
+    /// expired timeout loses nothing.)
+    #[must_use = "a false return means clients were still connected at the deadline"]
+    pub fn drain(self, timeout: Duration) -> bool {
+        self.begin_drain();
+        let deadline = Instant::now() + timeout;
+        let drained = loop {
+            if self.state.metrics.connections.load(Ordering::SeqCst) == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        self.shutdown();
+        drained
+    }
+
+    /// Stops accepting and joins the acceptor and prober threads.
+    pub fn shutdown(self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()` with a loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        let _ = self.prober.join();
+    }
+}
+
+fn error_body(msg: impl Into<String>) -> Value {
+    Value::object().with("error", msg.into())
+}
+
+/// A router-level shed: `503 no_shards_available` + a short retry hint.
+fn no_shards(state: &RouterState, context: &str) -> (u16, Value, Option<u64>) {
+    state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    (
+        503,
+        error_body(format!("no live shard available ({context})"))
+            .with("reason", "no_shards_available"),
+        Some(1),
+    )
+}
+
+/// Per-handler cache of keep-alive connections to shards.
+type ShardConns = HashMap<u16, HttpConnection>;
+
+/// Proxies one request to `shard` over the handler's cached keep-alive
+/// connection, reconnecting once when a *reused* connection turns out to
+/// be stale (the shard idle-closed it). Returns the shard's status,
+/// body, and `Retry-After` so 503s pass through unchanged. An `Err` is a
+/// transport-level failure on a fresh connection — the caller should
+/// count it toward the shard's death.
+fn proxy(
+    conns: &mut ShardConns,
+    shard: &Shard,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+) -> Result<(u16, Value, Option<u64>)> {
+    let mut reused = true;
+    if let std::collections::hash_map::Entry::Vacant(slot) = conns.entry(shard.id) {
+        reused = false;
+        slot.insert(HttpConnection::connect(&shard.addr)?);
+    }
+    let conn = conns.get_mut(&shard.id).expect("just inserted");
+    let answer = match conn.roundtrip(method, path, body) {
+        Ok(answer) => answer,
+        Err(e) => {
+            conns.remove(&shard.id);
+            if !reused {
+                return Err(e);
+            }
+            // The cached connection was stale; one fresh attempt. (For a
+            // POST this risks a duplicate admission if the shard had in
+            // fact processed the first attempt — the orphaned copy
+            // completes harmlessly, results being deterministic.)
+            let mut fresh = HttpConnection::connect(&shard.addr)?;
+            let answer = fresh.roundtrip(method, path, body)?;
+            conns.insert(shard.id, fresh);
+            answer
+        }
+    };
+    let conn = conns.get_mut(&shard.id).expect("present after roundtrip");
+    let retry_after = conn.retry_after();
+    if conn.server_closed() {
+        conns.remove(&shard.id);
+    }
+    shard.failures.store(0, Ordering::SeqCst);
+    Ok((answer.0, answer.1, retry_after))
+}
+
+/// Counts one failure against `shard`; at `fail_after` consecutive
+/// failures the shard is declared dead — removed from the ring and its
+/// spool replayed onto the survivors.
+fn note_shard_failure(state: &RouterState, shard: &Shard) {
+    let failures = shard.failures.fetch_add(1, Ordering::SeqCst) + 1;
+    if failures >= state.fail_after && shard.alive.swap(false, Ordering::SeqCst) {
+        state.ring.lock().expect("ring poisoned").remove(shard.id);
+        state.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+        ensure_failed_over(state, shard);
+    }
+}
+
+/// Replays a dead shard's spool exactly once, blocking concurrent
+/// callers until the table is complete: terminal jobs become
+/// [`Owed::Terminal`], acked-but-unfinished jobs are re-submitted to
+/// surviving shards and become [`Owed::Remapped`].
+fn ensure_failed_over(state: &RouterState, shard: &Shard) {
+    let _serialize = state.replay_lock.lock().expect("replay lock poisoned");
+    if shard.failed_over.load(Ordering::SeqCst) {
+        return;
+    }
+    let Some(dir) = &state.spool_dir else {
+        shard.failed_over.store(true, Ordering::SeqCst);
+        return;
+    };
+    let debt = spool::replay(&spool::spool_path(dir, shard.id));
+    for (id, doc) in debt.terminal {
+        state
+            .owed
+            .lock()
+            .expect("owed poisoned")
+            .insert(id, Owed::Terminal(doc));
+    }
+    for (old_id, raw) in debt.pending {
+        if let Some((survivor, new_id)) = resubmit(state, old_id, &raw) {
+            state.metrics.replayed.fetch_add(1, Ordering::Relaxed);
+            state.owed.lock().expect("owed poisoned").insert(
+                old_id,
+                Owed::Remapped {
+                    shard: survivor,
+                    new_id,
+                },
+            );
+        }
+    }
+    shard.failed_over.store(true, Ordering::SeqCst);
+}
+
+/// Re-submits one spooled job to the ring's surviving candidates for
+/// its old id, with a few bounded passes for transient `503`s. Returns
+/// the survivor and the new id, or `None` when nobody would take it.
+fn resubmit(state: &RouterState, old_id: u64, raw: &Value) -> Option<(u16, u64)> {
+    for attempt in 0..3 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let candidates = state.ring.lock().expect("ring poisoned").candidates(old_id);
+        for shard_id in candidates {
+            let shard = state.shard(shard_id)?;
+            if !shard.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let Ok((status, body)) = crate::http::request(&shard.addr, "POST", "/jobs", Some(raw))
+            else {
+                continue;
+            };
+            if status == 202 {
+                if let Some(new_id) = body.get("job").and_then(Value::as_u64) {
+                    return Some((shard_id, new_id));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `POST /jobs`: walk the ring's candidate order for the next
+/// submission key; the first live shard that answers — with *any* HTTP
+/// status — wins, and its answer (including `503` + `Retry-After`)
+/// passes through unchanged.
+fn submit(state: &RouterState, conns: &mut ShardConns, body: &[u8]) -> (u16, Value, Option<u64>) {
+    if state.draining.load(Ordering::SeqCst) {
+        return (
+            503,
+            error_body("router is draining; not accepting new jobs")
+                .with("reason", "shutting_down"),
+            Some(1),
+        );
+    }
+    let parsed = std::str::from_utf8(body)
+        .map_err(|_| Error::InvalidParameter("body is not UTF-8".into()))
+        .and_then(Value::parse);
+    let raw = match parsed {
+        Ok(raw) => raw,
+        Err(e) => return (400, error_body(e.to_string()), None),
+    };
+    let key = state.route_counter.fetch_add(1, Ordering::SeqCst);
+    let candidates = state.ring.lock().expect("ring poisoned").candidates(key);
+    for shard_id in candidates {
+        let Some(shard) = state.shard(shard_id) else {
+            continue;
+        };
+        if !shard.alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        match proxy(conns, shard, "POST", "/jobs", Some(&raw)) {
+            Ok(answer) => {
+                state.metrics.routed.fetch_add(1, Ordering::Relaxed);
+                return answer;
+            }
+            Err(_) => note_shard_failure(state, shard),
+        }
+    }
+    no_shards(state, "submission")
+}
+
+/// `GET /jobs/<id>`: route by the id's shard prefix; when the owning
+/// shard is dead, serve from the failover table (terminal results
+/// directly, remapped jobs proxied with the `job` field rewritten back
+/// to the id the client was acked with).
+fn job_status(
+    state: &RouterState,
+    conns: &mut ShardConns,
+    path: &str,
+) -> (u16, Value, Option<u64>) {
+    let id_text = &path["/jobs/".len()..];
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (404, error_body(format!("bad job id `{id_text}`")), None);
+    };
+    if let Some(answer) = serve_owed(state, conns, id) {
+        return answer;
+    }
+    let shard_id = shard_of(id);
+    let Some(shard) = state.shard(shard_id) else {
+        return (404, error_body(format!("no job {id}")), None);
+    };
+    if shard.alive.load(Ordering::SeqCst) {
+        match proxy(conns, shard, "GET", path, None) {
+            Ok(answer) => {
+                state.metrics.routed.fetch_add(1, Ordering::Relaxed);
+                return answer;
+            }
+            Err(_) => note_shard_failure(state, shard),
+        }
+    }
+    if !shard.alive.load(Ordering::SeqCst) {
+        // Dead: make sure its spool has been folded, then try the owed
+        // table once more.
+        ensure_failed_over(state, shard);
+        if let Some(answer) = serve_owed(state, conns, id) {
+            return answer;
+        }
+    }
+    (
+        503,
+        error_body(format!(
+            "shard {shard_id} is unavailable; status of job {id} is unknown"
+        ))
+        .with("reason", "shard_unavailable")
+        .with("job", id),
+        Some(1),
+    )
+}
+
+/// Serves job `id` from the failover table, if the router owes it.
+fn serve_owed(
+    state: &RouterState,
+    conns: &mut ShardConns,
+    id: u64,
+) -> Option<(u16, Value, Option<u64>)> {
+    let (survivor, new_id) = {
+        let owed = state.owed.lock().expect("owed poisoned");
+        match owed.get(&id)? {
+            Owed::Terminal(doc) => return Some((200, doc.clone(), None)),
+            Owed::Remapped { shard, new_id } => (*shard, *new_id),
+        }
+    };
+    let shard = state.shard(survivor)?;
+    if !shard.alive.load(Ordering::SeqCst) {
+        // The survivor died too; its own failover remaps `new_id` in
+        // turn. One level of indirection per death, resolved lazily.
+        ensure_failed_over(state, shard);
+        let chained = serve_owed(state, conns, new_id);
+        if let Some((status, doc, ra)) = chained {
+            return Some((status, rewrite_job_id(doc, id), ra));
+        }
+    }
+    match proxy(conns, shard, "GET", &format!("/jobs/{new_id}"), None) {
+        Ok((status, doc, ra)) => Some((status, rewrite_job_id(doc, id), ra)),
+        Err(_) => {
+            note_shard_failure(state, shard);
+            None
+        }
+    }
+}
+
+/// Rewrites the `job` field back to the id the client knows.
+fn rewrite_job_id(doc: Value, id: u64) -> Value {
+    if doc.get("job").is_some() {
+        doc.with("job", id)
+    } else {
+        doc
+    }
+}
+
+/// `GET /jobs`: validate the query exactly like a shard would, scatter
+/// it to every live shard, and merge newest-first under the same
+/// `limit` cap.
+fn list(
+    state: &RouterState,
+    conns: &mut ShardConns,
+    query: &[(String, String)],
+) -> (u16, Value, Option<u64>) {
+    let mut status: Option<&str> = None;
+    let mut limit = DEFAULT_LIST_LIMIT;
+    for (key, value) in query {
+        match key.as_str() {
+            "status" => {
+                if !STATUS_NAMES.contains(&value.as_str()) {
+                    return (
+                        400,
+                        error_body(format!(
+                            "unknown status `{value}` (one of: {})",
+                            STATUS_NAMES.join(", ")
+                        )),
+                        None,
+                    );
+                }
+                status = Some(value.as_str());
+            }
+            "limit" => match value.parse::<usize>() {
+                Ok(n) => limit = n.min(MAX_LIST_LIMIT),
+                Err(_) => return (400, error_body(format!("bad limit `{value}`")), None),
+            },
+            other => {
+                return (
+                    400,
+                    error_body(format!(
+                        "unknown query parameter `{other}` (accepted: status, limit)"
+                    )),
+                    None,
+                );
+            }
+        }
+    }
+    let mut forward = format!("/jobs?limit={limit}");
+    if let Some(status) = status {
+        forward.push_str(&format!("&status={status}"));
+    }
+    let mut merged: Vec<Value> = Vec::new();
+    let mut total = 0u64;
+    let mut answered = false;
+    for shard in &state.shards {
+        if !shard.alive.load(Ordering::SeqCst) {
+            continue;
+        }
+        match proxy(conns, shard, "GET", &forward, None) {
+            Ok((200, body, _)) => {
+                answered = true;
+                total += body.get("total").and_then(Value::as_u64).unwrap_or(0);
+                if let Some(Value::Arr(jobs)) = body.get("jobs") {
+                    merged.extend(jobs.iter().cloned());
+                }
+            }
+            Ok((other_status, body, ra)) => return (other_status, body, ra),
+            Err(_) => note_shard_failure(state, shard),
+        }
+    }
+    if !answered {
+        return no_shards(state, "listing");
+    }
+    state.metrics.routed.fetch_add(1, Ordering::Relaxed);
+    // Newest first across shards; ids from different shards interleave
+    // by their full (prefixed) value, which still sorts each shard's
+    // jobs newest-first.
+    merged.sort_by(|a, b| {
+        let ka = a.get("job").and_then(Value::as_u64).unwrap_or(0);
+        let kb = b.get("job").and_then(Value::as_u64).unwrap_or(0);
+        kb.cmp(&ka)
+    });
+    merged.truncate(limit);
+    (
+        200,
+        Value::object()
+            .with("jobs", Value::Arr(merged))
+            .with("total", total),
+        None,
+    )
+}
+
+/// Reads `path` (e.g. `["latency", "job", "p99_ms"]`) out of a doc.
+fn lookup<'a>(doc: &'a Value, path: &[&str]) -> Option<&'a Value> {
+    let mut at = doc;
+    for key in path {
+        at = at.get(key)?;
+    }
+    Some(at)
+}
+
+fn sum_u64(docs: &[&Value], path: &[&str]) -> u64 {
+    docs.iter()
+        .filter_map(|d| lookup(d, path).and_then(Value::as_u64))
+        .sum()
+}
+
+fn sum_f64(docs: &[&Value], path: &[&str]) -> f64 {
+    docs.iter()
+        .filter_map(|d| lookup(d, path).and_then(Value::as_f64))
+        .sum()
+}
+
+fn max_f64(docs: &[&Value], path: &[&str]) -> f64 {
+    docs.iter()
+        .filter_map(|d| lookup(d, path).and_then(Value::as_f64))
+        .fold(0.0, f64::max)
+}
+
+/// `GET /healthz`: fan in every shard's health document. Reachable
+/// shards appear verbatim under `shards.<id>`; dead or unreachable ones
+/// appear as `{"status": "down", ...}`. Counters sum; latency
+/// percentiles report the worst shard; `status` degrades if any shard
+/// is not `ok`.
+fn healthz(state: &RouterState, conns: &mut ShardConns) -> (u16, Value, Option<u64>) {
+    let mut shard_docs: Vec<(u16, Option<Value>)> = Vec::new();
+    for shard in &state.shards {
+        let doc = if shard.alive.load(Ordering::SeqCst) {
+            proxy(conns, shard, "GET", "/healthz", None)
+                .ok()
+                .filter(|(status, _, _)| *status == 200)
+                .map(|(_, doc, _)| doc)
+        } else {
+            None
+        };
+        if doc.is_none() && shard.alive.load(Ordering::SeqCst) {
+            note_shard_failure(state, shard);
+        }
+        shard_docs.push((shard.id, doc));
+    }
+    let reachable: Vec<&Value> = shard_docs.iter().filter_map(|(_, d)| d.as_ref()).collect();
+    let draining = state.draining.load(Ordering::SeqCst);
+    let any_down = shard_docs.iter().any(|(_, d)| d.is_none());
+    let all_ok = !any_down
+        && reachable
+            .iter()
+            .all(|d| d.get("status").and_then(Value::as_str) == Some("ok"));
+    let status = if draining {
+        "draining"
+    } else if all_ok {
+        "ok"
+    } else {
+        "degraded"
+    };
+    let ready = !draining
+        && reachable
+            .iter()
+            .any(|d| d.get("ready").and_then(Value::as_bool) == Some(true));
+
+    let mut jobs = Value::object();
+    for counter in [
+        "submitted",
+        "recovered",
+        "rejected_queue_full",
+        "rejected_invalid",
+        "rejected_backlog",
+        "rejected_draining",
+        "completed",
+        "failed",
+    ] {
+        jobs = jobs.with(counter, sum_u64(&reachable, &["jobs", counter]));
+    }
+
+    // Per-algorithm throughput sums across shards; the rate is
+    // recomputed from the summed numerator/denominator rather than
+    // averaging per-shard rates.
+    let mut algorithms = Value::object();
+    let mut names: Vec<String> = Vec::new();
+    for doc in &reachable {
+        if let Some(per) = doc.get("algorithms").and_then(Value::as_object) {
+            for name in per.keys() {
+                if !names.contains(name) {
+                    names.push(name.clone());
+                }
+            }
+        }
+    }
+    for name in names {
+        let jobs_sum = sum_u64(&reachable, &["algorithms", &name, "jobs"]);
+        let restarts = sum_f64(&reachable, &["algorithms", &name, "restarts"]);
+        let busy = sum_f64(&reachable, &["algorithms", &name, "busy_seconds"]);
+        let rate = if busy > 0.0 { restarts / busy } else { 0.0 };
+        algorithms = algorithms.with(
+            name,
+            Value::object()
+                .with("jobs", jobs_sum)
+                .with("restarts", restarts)
+                .with("busy_seconds", busy)
+                .with("restarts_per_busy_second", rate),
+        );
+    }
+
+    let router = Value::object()
+        .with("shards", state.shards.len() as u64)
+        .with("shards_alive", state.shards_alive() as u64)
+        .with("routed", state.metrics.routed.load(Ordering::Relaxed))
+        .with("shed", state.metrics.shed.load(Ordering::Relaxed))
+        .with("failovers", state.metrics.failovers.load(Ordering::Relaxed))
+        .with(
+            "replayed_jobs",
+            state.metrics.replayed.load(Ordering::Relaxed),
+        )
+        .with(
+            "owed_jobs",
+            state.owed.lock().expect("owed poisoned").len() as u64,
+        )
+        .with("uptime_seconds", state.started.elapsed().as_secs_f64());
+
+    let queue = Value::object()
+        .with("depth", sum_u64(&reachable, &["queue", "depth"]))
+        .with("capacity", sum_u64(&reachable, &["queue", "capacity"]));
+    let latency = Value::object()
+        .with(
+            "queue_wait",
+            merge_latency_section(&reachable, "queue_wait"),
+        )
+        .with("job", merge_latency_section(&reachable, "job"));
+    drop(reachable);
+
+    let mut shards_value = Value::object();
+    for (id, doc) in shard_docs {
+        let entry = match doc {
+            Some(doc) => doc,
+            None => {
+                let addr = state.shard(id).map(|s| s.addr.clone()).unwrap_or_default();
+                Value::object()
+                    .with("status", "down")
+                    .with("reachable", false)
+                    .with("addr", addr)
+            }
+        };
+        shards_value = shards_value.with(id.to_string(), entry);
+    }
+
+    let doc = Value::object()
+        .with("status", status)
+        .with("ready", ready)
+        .with("router", router)
+        .with("shards", shards_value)
+        .with("jobs", jobs)
+        .with("queue", queue)
+        .with("latency", latency)
+        .with("algorithms", algorithms);
+    (200, doc, None)
+}
+
+/// Merges one latency section: counts add; percentiles take the worst
+/// shard (a merged p99 cannot be *better* than any member's, and
+/// without raw samples the honest summary is the upper envelope).
+fn merge_latency_section(docs: &[&Value], section: &str) -> Value {
+    Value::object()
+        .with("count", sum_u64(docs, &["latency", section, "count"]))
+        .with("p50_ms", max_f64(docs, &["latency", section, "p50_ms"]))
+        .with("p95_ms", max_f64(docs, &["latency", section, "p95_ms"]))
+        .with("p99_ms", max_f64(docs, &["latency", section, "p99_ms"]))
+}
+
+fn route_request(
+    state: &RouterState,
+    conns: &mut ShardConns,
+    request: &crate::http::Request,
+) -> (u16, Value, Option<u64>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/jobs") => submit(state, conns, &request.body),
+        ("GET", "/jobs") => list(state, conns, &request.query),
+        ("GET", path) if path.starts_with("/jobs/") => job_status(state, conns, path),
+        ("GET", "/healthz") => healthz(state, conns),
+        (_, "/jobs" | "/healthz") => (405, error_body("method not allowed"), None),
+        (_, path) if path.starts_with("/jobs/") => (405, error_body("method not allowed"), None),
+        _ => (404, error_body("no such endpoint"), None),
+    }
+}
+
+/// Decrements the connection gauge on every handler exit path.
+struct ConnGuard(Arc<RouterState>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.metrics.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, state: &Arc<RouterState>) {
+    for stream in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if state.metrics.connections.load(Ordering::SeqCst) >= state.max_connections as u64 {
+            state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_write_timeout(Some(crate::http::IO_TIMEOUT));
+            let body = error_body(format!(
+                "router connection limit reached ({} active), retry later",
+                state.max_connections
+            ))
+            .with("reason", "connections_exhausted");
+            let _ = write_response_with(&mut stream, 503, &body, true, Some(1));
+            continue;
+        }
+        state.metrics.connections.fetch_add(1, Ordering::SeqCst);
+        let guard = ConnGuard(Arc::clone(state));
+        let handler_state = Arc::clone(state);
+        let spawned = std::thread::Builder::new()
+            .name("sspc-router-handler".into())
+            .spawn(move || {
+                let _guard = guard;
+                handle_connection(stream, &handler_state);
+            });
+        if spawned.is_err() {
+            // The guard moved into the dropped closure, so the gauge is
+            // already back down; nothing to answer the peer with — the
+            // stream is gone too.
+            state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serves one client connection; the per-thread `conns` map keeps
+/// keep-alive connections to each shard warm across this client's
+/// requests.
+fn handle_connection(mut stream: TcpStream, state: &RouterState) {
+    if stream
+        .set_read_timeout(Some(crate::http::IO_TIMEOUT))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(crate::http::IO_TIMEOUT))
+            .is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut conns: ShardConns = HashMap::new();
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                let close = request.close || state.shutting_down.load(Ordering::SeqCst);
+                let (status, body, retry_after) = route_request(state, &mut conns, &request);
+                let retry_after = (status == 503).then(|| retry_after.unwrap_or(1));
+                let written = write_response_with(&mut stream, status, &body, close, retry_after);
+                if written.is_err() || close {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                let _ = write_response(&mut stream, 400, &error_body(e.to_string()), true);
+                break;
+            }
+        }
+    }
+}
+
+/// Health-probes every shard over keep-alive connections. Live shards
+/// are probed each `interval`; failing shards back off with jitter
+/// (capped at 8× the interval) and rejoin the ring on the first
+/// successful probe.
+fn prober_loop(state: &Arc<RouterState>, interval: Duration) {
+    let mut conns: ShardConns = HashMap::new();
+    let mut backoffs: HashMap<u16, Backoff> = HashMap::new();
+    let mut due: HashMap<u16, Instant> = HashMap::new();
+    let now = Instant::now();
+    for shard in &state.shards {
+        due.insert(shard.id, now);
+        backoffs.insert(
+            shard.id,
+            Backoff::new(
+                interval,
+                interval.saturating_mul(8),
+                0x7072_6f62_u64 ^ u64::from(shard.id),
+            ),
+        );
+    }
+    while !state.shutting_down.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        for shard in &state.shards {
+            if due.get(&shard.id).is_some_and(|&at| now < at) {
+                continue;
+            }
+            match proxy(&mut conns, shard, "GET", "/healthz", None) {
+                Ok(_) => {
+                    backoffs.insert(
+                        shard.id,
+                        Backoff::new(
+                            interval,
+                            interval.saturating_mul(8),
+                            0x7072_6f62_u64 ^ u64::from(shard.id),
+                        ),
+                    );
+                    if !shard.alive.swap(true, Ordering::SeqCst) {
+                        // Rejoin: back onto the ring for *new* work; ids
+                        // already failed over keep being served from the
+                        // owed table (identical results either way).
+                        state.ring.lock().expect("ring poisoned").add(shard.id);
+                    }
+                    due.insert(shard.id, now + interval);
+                }
+                Err(_) => {
+                    note_shard_failure(state, shard);
+                    let delay = backoffs
+                        .get_mut(&shard.id)
+                        .map(Backoff::next_delay)
+                        .unwrap_or(interval);
+                    due.insert(shard.id, now + delay);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::service::{Server, ServerConfig};
+
+    fn shard_config(shard_id: u16, workers: usize, spool_dir: Option<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_capacity: 64,
+            shard_id,
+            spool_dir,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn router_over(shards: &[(&Server, u16)], spool_dir: Option<PathBuf>) -> Router {
+        Router::start(&RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: shards
+                .iter()
+                .map(|(server, id)| (*id, server.addr().to_string()))
+                .collect(),
+            spool_dir,
+            probe_interval: Duration::from_millis(100),
+            fail_after: 1,
+            ..RouterConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn job_body(seed: u64) -> Value {
+        Value::parse(&format!(
+            r#"{{"k":2,"dataset":{{"generate":{{"n":32,"d":6,"dims":3,"seed":{}}}}},"algorithms":"harp","runs":1,"seed":7}}"#,
+            seed + 1
+        ))
+        .unwrap()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sspc-router-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn submissions_spread_and_ids_route_back() {
+        let a = Server::start(&shard_config(0, 1, None)).unwrap();
+        let b = Server::start(&shard_config(1, 1, None)).unwrap();
+        let router = router_over(&[(&a, 0), (&b, 1)], None);
+        let addr = router.addr().to_string();
+
+        let mut acked = Vec::new();
+        for seed in 0..8 {
+            let (status, body) =
+                crate::http::request(&addr, "POST", "/jobs", Some(&job_body(seed))).unwrap();
+            assert_eq!(status, 202, "submit: {body:?}");
+            acked.push(body.get("job").and_then(Value::as_u64).unwrap());
+        }
+        let shards_hit: std::collections::BTreeSet<u16> =
+            acked.iter().map(|&id| shard_of(id)).collect();
+        assert_eq!(
+            shards_hit.into_iter().collect::<Vec<_>>(),
+            vec![0, 1],
+            "8 submissions should land on both shards"
+        );
+        let mut client = Client::new(&addr);
+        for &id in &acked {
+            let doc = client
+                .wait_for(id, Duration::from_millis(5), Duration::from_secs(60))
+                .unwrap();
+            assert_eq!(doc.get("status").and_then(Value::as_str), Some("done"));
+            assert_eq!(doc.get("job").and_then(Value::as_u64), Some(id));
+        }
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn healthz_fans_in_and_list_scatters() {
+        let a = Server::start(&shard_config(0, 1, None)).unwrap();
+        let b = Server::start(&shard_config(1, 1, None)).unwrap();
+        let router = router_over(&[(&a, 0), (&b, 1)], None);
+        let addr = router.addr().to_string();
+
+        let mut client = Client::new(&addr);
+        let mut ids = Vec::new();
+        for seed in 0..6 {
+            ids.push(client.submit(&job_body(seed)).unwrap());
+        }
+        for &id in &ids {
+            client
+                .wait_for(id, Duration::from_millis(5), Duration::from_secs(60))
+                .unwrap();
+        }
+
+        let health = client.healthz().unwrap();
+        assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(health.get("ready").and_then(Value::as_bool), Some(true));
+        let shards = health.get("shards").and_then(Value::as_object).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert!(shards.contains_key("0") && shards.contains_key("1"));
+        let router_section = health.get("router").unwrap();
+        assert_eq!(
+            router_section.get("shards_alive").and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            lookup(&health, &["jobs", "completed"]).and_then(Value::as_u64),
+            Some(6)
+        );
+        // Sum of both shards' default queue capacity.
+        assert_eq!(
+            lookup(&health, &["queue", "capacity"]).and_then(Value::as_u64),
+            Some(128)
+        );
+
+        let listed = client.list_jobs(Some("done"), Some(10)).unwrap();
+        assert_eq!(listed.get("total").and_then(Value::as_u64), Some(6));
+        let jobs = listed.get("jobs").and_then(Value::as_array).unwrap();
+        assert_eq!(jobs.len(), 6);
+        let sorted_desc = jobs.windows(2).all(|w| {
+            w[0].get("job").and_then(Value::as_u64) >= w[1].get("job").and_then(Value::as_u64)
+        });
+        assert!(sorted_desc, "merged listing is newest-first");
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn shard_overload_reasons_pass_through_unchanged() {
+        // One shard, zero workers, queue of 1: the second submission is
+        // a genuine shard-side queue_full and must arrive verbatim.
+        let config = ServerConfig {
+            queue_capacity: 1,
+            ..shard_config(0, 0, None)
+        };
+        let shard = Server::start(&config).unwrap();
+        let router = router_over(&[(&shard, 0)], None);
+        let addr = router.addr().to_string();
+        let (status, _) = crate::http::request(&addr, "POST", "/jobs", Some(&job_body(1))).unwrap();
+        assert_eq!(status, 202);
+        let (status, body) =
+            crate::http::request(&addr, "POST", "/jobs", Some(&job_body(2))).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(
+            body.get("reason").and_then(Value::as_str),
+            Some("queue_full"),
+            "shard 503 reason must pass through: {body:?}"
+        );
+        router.shutdown();
+        shard.shutdown();
+    }
+
+    #[test]
+    fn no_live_shard_sheds_with_router_reason() {
+        // A shard address nobody listens on: bind, learn the port, drop.
+        let dead_addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let router = Router::start(&RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: vec![(0, dead_addr)],
+            fail_after: 1,
+            probe_interval: Duration::from_secs(60),
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let addr = router.addr().to_string();
+        let (status, body) =
+            crate::http::request(&addr, "POST", "/jobs", Some(&job_body(1))).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(
+            body.get("reason").and_then(Value::as_str),
+            Some("no_shards_available"),
+            "router shed: {body:?}"
+        );
+        let (status, health) = crate::http::request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            health.get("status").and_then(Value::as_str),
+            Some("degraded")
+        );
+        assert_eq!(health.get("ready").and_then(Value::as_bool), Some(false));
+        router.shutdown();
+    }
+
+    #[test]
+    fn dead_shard_jobs_fail_over_and_keep_their_ids() {
+        let spool = temp_dir("failover");
+        // Shard 0 has no workers: everything it acks stays queued —
+        // acked-but-unfinished debt. Shard 1 can actually work.
+        let stuck = Server::start(&shard_config(0, 0, Some(spool.clone()))).unwrap();
+        let healthy = Server::start(&shard_config(1, 2, Some(spool.clone()))).unwrap();
+        let router = router_over(&[(&stuck, 0), (&healthy, 1)], Some(spool.clone()));
+        let addr = router.addr().to_string();
+
+        let mut client = Client::new(&addr);
+        let mut ids = Vec::new();
+        for seed in 0..8 {
+            ids.push(client.submit(&job_body(seed)).unwrap());
+        }
+        let on_stuck: Vec<u64> = ids
+            .iter()
+            .copied()
+            .filter(|&id| shard_of(id) == 0)
+            .collect();
+        assert!(
+            !on_stuck.is_empty(),
+            "some of 8 submissions must land on shard 0"
+        );
+
+        stuck.shutdown();
+        // Every acked job — including those acked by the now-dead shard
+        // — completes, and answers under its original id.
+        for &id in &ids {
+            let doc = client
+                .wait_for(id, Duration::from_millis(5), Duration::from_secs(60))
+                .unwrap();
+            assert_eq!(
+                doc.get("status").and_then(Value::as_str),
+                Some("done"),
+                "job {id}: {doc:?}"
+            );
+            assert_eq!(doc.get("job").and_then(Value::as_u64), Some(id));
+            assert!(doc.get("result").is_some());
+        }
+        let health = client.healthz().unwrap();
+        assert_eq!(
+            lookup(&health, &["router", "replayed_jobs"]).and_then(Value::as_u64),
+            Some(on_stuck.len() as u64)
+        );
+        router.shutdown();
+        healthy.shutdown();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+}

@@ -40,6 +40,8 @@
 use crate::http::{read_request, write_response, write_response_with, Request};
 use crate::job::{JobOutcome, JobSpec};
 use crate::metrics::{Gauges, Metrics};
+use crate::router::spool::SpoolWriter;
+use crate::router::{id_base, spool};
 use crate::store::{DiskStore, EvictionPolicy, JobStore, MemoryStore};
 use sspc_common::json::Value;
 use sspc_common::parallel::{PushError, TaskQueue};
@@ -86,6 +88,18 @@ pub struct ServerConfig {
     /// Cap the store at this many jobs, evicting oldest-finished first
     /// (`None`: unbounded).
     pub max_jobs: Option<usize>,
+    /// This server's shard id when it runs behind the router tier: it is
+    /// stamped into the top 16 bits of every job id assigned here (see
+    /// [`crate::router::id_base`]), so the router can route `GET
+    /// /jobs/<id>` without fan-out. The default `0` leaves single-node
+    /// ids exactly as they always were.
+    pub shard_id: u16,
+    /// Journal-shipping spool directory (see [`crate::router::spool`]).
+    /// When set, every admission and terminal state is appended to
+    /// `<spool_dir>/shard-<shard_id>.jsonl` so the router can replay
+    /// this shard's acked-but-unfinished jobs onto survivors if this
+    /// process dies. `None` (default) ships nothing.
+    pub spool_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +113,8 @@ impl Default for ServerConfig {
             state_dir: None,
             result_ttl: None,
             max_jobs: None,
+            shard_id: 0,
+            spool_dir: None,
         }
     }
 }
@@ -130,6 +146,9 @@ struct ServerState {
     max_backlog_seconds: Option<f64>,
     /// Jobs admitted (or recovered) but not yet terminal, keyed by id.
     inflight: Mutex<HashMap<u64, Admitted>>,
+    shard_id: u16,
+    /// Journal shipping for router failover; `None` when not sharded.
+    spool: Option<SpoolWriter>,
 }
 
 impl ServerState {
@@ -142,6 +161,15 @@ impl ServerState {
             draining: self.draining.load(Ordering::SeqCst),
             connections_limit: self.max_connections,
             max_backlog_seconds: self.max_backlog_seconds,
+            shard: self.shard_id,
+            spool_ship_failures: self.spool.as_ref().map(SpoolWriter::failures),
+        }
+    }
+
+    /// Appends one event to the shard's spool, when shipping is on.
+    fn ship(&self, event: &Value) {
+        if let Some(spool) = &self.spool {
+            spool.ship(event);
         }
     }
 
@@ -214,14 +242,28 @@ impl Server {
             result_ttl: config.result_ttl,
             max_jobs: config.max_jobs,
         };
+        // Job ids start just above this shard's id-space base, so every
+        // id this process assigns routes back here by its prefix. A disk
+        // store's recovered counter wins when it is already past the
+        // base (same shard restarting); the clamp only matters when a
+        // state dir is first adopted by a non-zero shard id.
+        let base = id_base(config.shard_id);
         let (store, recovered, next_id): (Arc<dyn JobStore>, Vec<u64>, u64) =
             match &config.state_dir {
-                None => (Arc::new(MemoryStore::new(policy)), Vec::new(), 1),
+                None => (Arc::new(MemoryStore::new(policy)), Vec::new(), base + 1),
                 Some(dir) => {
                     let recovery = DiskStore::open(dir, policy)?;
-                    (Arc::new(recovery.store), recovery.pending, recovery.next_id)
+                    (
+                        Arc::new(recovery.store),
+                        recovery.pending,
+                        recovery.next_id.max(base + 1),
+                    )
                 }
             };
+        let spool = match &config.spool_dir {
+            None => None,
+            Some(dir) => Some(SpoolWriter::open(dir, config.shard_id)?),
+        };
 
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| Error::InvalidParameter(format!("cannot bind {}: {e}", config.addr)))?;
@@ -240,6 +282,8 @@ impl Server {
             max_connections: config.max_connections.max(1),
             max_backlog_seconds: config.max_backlog_seconds,
             inflight: Mutex::new(HashMap::new()),
+            shard_id: config.shard_id,
+            spool,
         });
 
         // Re-enqueue interrupted work before anything else can fill the
@@ -385,6 +429,10 @@ fn worker_loop(state: &ServerState) {
         match outcome {
             Ok(Ok(outcome)) => {
                 state.metrics.record_completed(&outcome.throughput);
+                // Ship the terminal line (with the result, so the router
+                // can serve this job even if we die right after) before
+                // the store consumes the result value.
+                state.ship(&spool::done_event(id, &outcome.result, seconds));
                 state.store.complete(id, outcome.result, seconds);
                 state.finish_inflight(id, Some(seconds));
             }
@@ -393,6 +441,7 @@ fn worker_loop(state: &ServerState) {
                     state.metrics.record_deadline_exceeded();
                 }
                 state.metrics.record_failed();
+                state.ship(&spool::failed_event(id, &e.to_string()));
                 state.store.fail(id, e.to_string());
                 // A failure still ends the job's latency story, but its
                 // (truncated) busy time must not feed the cost-rate
@@ -403,6 +452,7 @@ fn worker_loop(state: &ServerState) {
             Err(message) => {
                 state.metrics.record_panicked();
                 state.metrics.record_failed();
+                state.ship(&spool::failed_event(id, &message));
                 state.store.fail(id, message);
                 state.metrics.record_job_latency(started.elapsed());
                 state.finish_inflight(id, None);
@@ -639,6 +689,9 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
 
     let cost = spec.cost_units();
     let id = state.next_id.fetch_add(1, Ordering::SeqCst);
+    // The store consumes `raw`; the spool line needs its own copy (only
+    // taken when shipping is on).
+    let raw_for_spool = state.spool.as_ref().map(|_| raw.clone());
     // Insert (and journal) before enqueueing so a fast worker always
     // finds the record; a refused push forgets it again. The in-flight
     // entry goes in before the push for the same reason — a worker that
@@ -655,6 +708,14 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
         return (500, error_body(format!("job store: {e}")));
     }
     state.admit_inflight(id, cost);
+    // Ship the admission BEFORE the queue push (and hence strictly
+    // before the 202 leaves): a worker only sees the id after the push,
+    // so its terminal ship always lands after this line, and a shard
+    // killed at any point past here owes the router nothing it cannot
+    // replay.
+    if let Some(raw) = &raw_for_spool {
+        state.ship(&spool::submit_event(id, raw));
+    }
     match state.queue.try_push(id) {
         Ok(depth) => {
             state.metrics.record_submitted();
@@ -668,6 +729,9 @@ fn submit_job(body: &[u8], state: &ServerState) -> (u16, Value) {
         }
         Err(refusal) => {
             state.store.forget(id);
+            // Void the shipped admission — the client gets a 503, so
+            // the router is owed nothing for this id.
+            state.ship(&spool::evict_event(id));
             state.finish_inflight(id, None);
             match refusal {
                 PushError::Full(_) => {
@@ -722,7 +786,7 @@ fn get_job(path: &str, state: &ServerState) -> (u16, Value) {
     }
 }
 
-const STATUS_NAMES: [&str; 4] = ["queued", "running", "done", "failed"];
+pub(crate) const STATUS_NAMES: [&str; 4] = ["queued", "running", "done", "failed"];
 
 /// `GET /jobs[?status=NAME][&limit=N]` — summaries newest first, capped
 /// so listing a long-lived store stays bounded. `total` reports the
