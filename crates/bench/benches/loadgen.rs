@@ -13,6 +13,14 @@
 //! fleet, so the acked throughput at a fixed offered rate rises with the
 //! shard count — the 1-shard point is the single-shard baseline.
 //!
+//! The **rebalance leg** repeats the 2-shard overload point with a third
+//! shard joined *mid-trace* through `POST /admin/shards`: the record
+//! carries the join's own summary (planned/moved key counts and the
+//! handoff duration) next to the trace report, so the in-flight e2e p99
+//! with a live handoff — and any `rebalancing` sheds from the cutover
+//! window — is directly comparable to the static `router_shards_2`
+//! point.
+//!
 //! Environment knobs:
 //!
 //! * `LOADGEN_BENCH_JOBS` — jobs per trace (default 200);
@@ -22,7 +30,9 @@
 //!   the workspace-root `BENCH_server.json`).
 
 use sspc_common::json::Value;
+use sspc_server::client::Client;
 use sspc_server::loadgen::{run, LoadgenConfig, Pattern};
+use sspc_server::router::ring::{rebalance_plan, Ring};
 use sspc_server::{Router, RouterConfig, Server, ServerConfig};
 use std::time::Duration;
 
@@ -157,6 +167,157 @@ fn shard_trace(shards: usize, queue_capacity: usize, config: &LoadgenConfig) -> 
         .with("report", report.to_value())
 }
 
+/// The rebalance leg: the same overload arrivals offered to a 2-shard
+/// router while a third shard **joins at runtime** mid-trace. The
+/// returned record pairs the trace report (whose e2e p99 includes every
+/// job in flight across the handoff and cutover) with the join summary
+/// the admin endpoint returned: planned/moved key counts and
+/// `handoff_seconds`, the wall-clock cost of the spool-backed handoff.
+/// A plan-guided backlog is seeded first (submitting until the ring
+/// delta proves ≥ 2 acked keys will move to the joiner) so the handoff
+/// provably streams records instead of cutting over an empty plan.
+fn rebalance_trace(queue_capacity: usize, config: &LoadgenConfig) -> Value {
+    let spool =
+        std::env::temp_dir().join(format!("sspc_loadgen_spool_{}_join", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let mut servers = Vec::new();
+    let mut roster = Vec::new();
+    for shard in 0..2u16 {
+        let server = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity,
+            shard_id: shard,
+            spool_dir: Some(spool.clone()),
+            ..Default::default()
+        })
+        .expect("bind loopback");
+        roster.push((shard, server.addr().to_string()));
+        servers.push(server);
+    }
+    let router = Router::start(&RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: roster,
+        spool_dir: Some(spool.clone()),
+        ..Default::default()
+    })
+    .expect("bind router");
+    let config = LoadgenConfig {
+        addr: router.addr().to_string(),
+        ..config.clone()
+    };
+    let trace_config = config.clone();
+    let loadgen_thread = std::thread::spawn(move || run(&trace_config).expect("loadgen trace"));
+
+    // Seed a backlog the handoff must actually move: submit until the
+    // ring delta proves at least two acked keys will change owner to the
+    // joiner. The backlog jobs are chunky enough that the immediate join
+    // still finds them pending in the donors' spools.
+    let before = Ring::new([0u16, 1], Ring::DEFAULT_VNODES);
+    let mut after = before.clone();
+    after.add(2);
+    let mut client = Client::new(router.addr().to_string());
+    let mut backlog: Vec<u64> = Vec::new();
+    for seed in 0..24u64 {
+        let job = Value::object()
+            .with("k", 3u64)
+            .with(
+                "dataset",
+                Value::object().with(
+                    "generate",
+                    Value::object()
+                        .with("n", 200u64)
+                        .with("d", 16u64)
+                        .with("dims", 5u64)
+                        .with("seed", seed + 1),
+                ),
+            )
+            .with("algorithms", "harp")
+            .with("runs", 2u64)
+            .with("seed", 7u64);
+        backlog.push(client.submit(&job).expect("backlog submit"));
+        let moving = rebalance_plan(&before, &after, &backlog)
+            .iter()
+            .filter(|m| m.to == 2)
+            .count();
+        if moving >= 2 && backlog.len() >= 6 {
+            break;
+        }
+    }
+
+    // Join the third shard while arrivals are still being offered — the
+    // handoff streams against live traffic and the cutover's
+    // `rebalancing` window overlaps it.
+    let joiner = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity,
+        shard_id: 2,
+        spool_dir: Some(spool.clone()),
+        ..Default::default()
+    })
+    .expect("bind joiner");
+    let join = client
+        .add_shard(2, &joiner.addr().to_string())
+        .expect("runtime join under load");
+    servers.push(joiner);
+
+    let report = loadgen_thread.join().expect("loadgen thread");
+    let label = "rebalance_join";
+    println!(
+        "loadgen bench: {label:18} {}/{} acked ({:.1}/s), {} rejected {:?}, \
+         e2e p50/p99 {:.1}/{:.1}ms, handoff {:.3}s ({} moved / {} planned)",
+        report.acked.len(),
+        report.attempted,
+        report.acked_per_second,
+        report.rejected_total(),
+        report.rejected,
+        report.e2e_latency.quantile(0.50).unwrap_or(0) as f64 / 1e3,
+        report.e2e_latency.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+        join.get("handoff_seconds")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
+        join.get("moved").and_then(Value::as_u64).unwrap_or(0),
+        join.get("planned").and_then(Value::as_u64).unwrap_or(0),
+    );
+    assert_eq!(
+        report.acked.len() as u64 + report.rejected_total(),
+        report.attempted as u64,
+        "{label}: every submission must be accounted for"
+    );
+    assert_eq!(
+        report.unfinished,
+        Vec::<u64>::new(),
+        "{label}: every acked job must reach a terminal state through the join"
+    );
+    // The handed-off backlog completes under its original ids too.
+    for id in &backlog {
+        let done = client
+            .wait_for(*id, Duration::from_millis(10), Duration::from_secs(600))
+            .expect("backlog job finishes after the join");
+        assert_eq!(
+            done.get("status").and_then(Value::as_str),
+            Some("done"),
+            "backlog job {id} failed: {done}"
+        );
+    }
+    drop(client);
+    router.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&spool);
+    Value::object()
+        .with("trace", label)
+        .with("shards_before", 2u64)
+        .with("shards_after", 3u64)
+        .with("workers_per_shard", 1u64)
+        .with("queue_capacity", queue_capacity)
+        .with("backlog_jobs", backlog.len() as u64)
+        .with("join", join)
+        .with("report", report.to_value())
+}
+
 fn main() {
     let smoke = std::env::var("SERVER_SMOKE").is_ok_and(|v| v == "1");
     // Pin per-job parallelism: offered-load behavior, not kernel scaling.
@@ -222,6 +383,10 @@ fn main() {
     for shards in [1usize, 2, 4] {
         traces.push(shard_trace(shards, 8, &overload));
     }
+    // The rebalance leg: the 2-shard overload point again, but with a
+    // third shard joining mid-trace — membership churn under the same
+    // offered load the static points saw.
+    traces.push(rebalance_trace(8, &overload));
 
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let record = Value::object()

@@ -7,7 +7,10 @@
 //! *sharding* axis), for **both job stores**: the in-memory map and the
 //! fsynced disk journal. The memory-vs-disk delta at equal shards is the
 //! measured persistence overhead; the 1-shard point is the single-shard
-//! baseline the multi-shard points are judged against.
+//! baseline the multi-shard points are judged against. A final
+//! **dynamic-membership point** submits the batch to 2 shards and joins
+//! a third at runtime (`joined_at_runtime: true` in the record), pricing
+//! the spool-backed handoff against the static neighbours.
 //!
 //! Per-job intra-algorithm parallelism is pinned to one thread
 //! (`SSPC_NUM_THREADS=1`); `threads`/`cores` are recorded like
@@ -127,6 +130,96 @@ fn measure(shards: usize, state_root: Option<&PathBuf>, w: &Workload) -> (f64, f
     (seconds, w.jobs as f64 / seconds)
 }
 
+/// The dynamic-membership point: the full batch submitted to a 2-shard
+/// router, then a **third shard joined at runtime** while the queues are
+/// still deep — the handoff streams the moved pending keys out of the
+/// donors' spools before the cutover. Returns the wall-clock measurement
+/// plus the join summary (planned/moved counts, `handoff_seconds`).
+fn measure_runtime_join(w: &Workload) -> (f64, f64, Value) {
+    let spool = std::env::temp_dir().join(format!("sspc_bench_join_spool_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let mut servers = Vec::new();
+    let mut roster = Vec::new();
+    for shard in 0..2u16 {
+        let server = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: w.jobs + 8,
+            shard_id: shard,
+            spool_dir: Some(spool.clone()),
+            ..Default::default()
+        })
+        .expect("bind loopback");
+        roster.push((shard, server.addr().to_string()));
+        servers.push(server);
+    }
+    let router = Router::start(&RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: roster,
+        spool_dir: Some(spool.clone()),
+        ..Default::default()
+    })
+    .expect("bind router");
+    let mut client = Client::new(router.addr().to_string());
+
+    let started = Instant::now();
+    let ids: Vec<u64> = (0..w.jobs)
+        .map(|i| {
+            let job = Value::object()
+                .with("k", w.k as u64)
+                .with(
+                    "dataset",
+                    Value::object().with(
+                        "generate",
+                        Value::object()
+                            .with("n", w.n as u64)
+                            .with("d", w.d as u64)
+                            .with("dims", w.dims as u64)
+                            .with("seed", i as u64 + 1),
+                    ),
+                )
+                .with("algorithms", w.algorithms)
+                .with("runs", w.runs as u64)
+                .with("seed", 1u64)
+                .with("truth", true);
+            client.submit(&job).expect("submit")
+        })
+        .collect();
+    // Join while the batch is still pending: the donors' queues are the
+    // handoff's payload.
+    let joiner = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: w.jobs + 8,
+        shard_id: 2,
+        spool_dir: Some(spool.clone()),
+        ..Default::default()
+    })
+    .expect("bind joiner");
+    let join = client
+        .add_shard(2, &joiner.addr().to_string())
+        .expect("runtime join mid-batch");
+    servers.push(joiner);
+    for id in ids {
+        let done = client
+            .wait_for(id, Duration::from_millis(5), Duration::from_secs(600))
+            .expect("job finishes");
+        assert_eq!(
+            done.get("status").and_then(Value::as_str),
+            Some("done"),
+            "job {id} failed: {done}"
+        );
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    drop(client);
+    router.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&spool);
+    (seconds, w.jobs as f64 / seconds, join)
+}
+
 fn main() {
     let smoke = std::env::var("SERVER_SMOKE").is_ok_and(|v| v == "1");
     // Pin per-job parallelism so the sweep measures the shard axis.
@@ -173,6 +266,32 @@ fn main() {
                     .with("jobs_per_sec", (jobs_per_sec * 1e3).round() / 1e3),
             );
         }
+    }
+    // The dynamic-membership point: 2 shards grow to 3 mid-batch through
+    // the admin join, so the point prices the spool-backed handoff
+    // against the static 2- and 4-shard neighbours.
+    {
+        let (seconds, jobs_per_sec, join) = measure_runtime_join(&w);
+        println!(
+            "server bench: memory store  2+1 shards  {} jobs in {seconds:.3}s  \
+             ({jobs_per_sec:.1} jobs/s), handoff {:.3}s ({} moved / {} planned)",
+            w.jobs,
+            join.get("handoff_seconds")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            join.get("moved").and_then(Value::as_u64).unwrap_or(0),
+            join.get("planned").and_then(Value::as_u64).unwrap_or(0),
+        );
+        sweep.push(
+            Value::object()
+                .with("store", "memory")
+                .with("shards", 3u64)
+                .with("workers_per_shard", 1u64)
+                .with("joined_at_runtime", true)
+                .with("join", join)
+                .with("seconds", (seconds * 1e6).round() / 1e6)
+                .with("jobs_per_sec", (jobs_per_sec * 1e3).round() / 1e3),
+        );
     }
 
     let record = Value::object()

@@ -95,8 +95,21 @@ subcommands:
       acked-but-unfinished jobs are replayed onto survivors (finished
       ones are served from the spool), so every 202 still completes.
       Shard 503 reasons and Retry-After pass through unchanged; the
-      router adds its own `no_shards_available` shed. SIGTERM/SIGINT
+      router adds its own `no_shards_available` shed (and a momentary
+      `rebalancing` shed during a membership cutover). SIGTERM/SIGINT
       drains like `serve`.
+
+  route add-shard    --addr ROUTER --shard ID --shard-addr HOST:PORT
+  route remove-shard --addr ROUTER --shard ID [--dead true]
+      Change a running router's shard roster. add-shard health-checks
+      the new shard, streams it the spool records of exactly the keys
+      the ring delta moves (reads keep being served by the old owners),
+      then flips routing atomically — the join summary (planned/moved
+      counts, handoff seconds) prints as JSON. remove-shard is graceful
+      by default: the departing shard's keys hand off to the survivors
+      the same way before it leaves; --dead true skips the handoff for
+      an unreachable shard and folds its spool through the failover path
+      instead. Removing the last routable shard is refused.
 
   submit    --addr HOST:PORT --k K
             (--input FILE [--truth-path FILE] | --generate \"n=1000,d=100,...\")
@@ -127,8 +140,9 @@ subcommands:
       status (including draining), queue, connections, workers alive, job
       counters, latency percentiles, degraded flag — to stderr. Against a
       router, the summary covers the fleet and a per-shard table
-      (status, conns, queue depth, job p99) follows on stderr; stdout
-      stays the raw merged JSON either way.
+      (membership state — joining/active/leaving/down — plus status,
+      conns, queue depth, job p99) follows on stderr; stdout stays the
+      raw merged JSON either way.
 
   loadgen   --addr HOST:PORT [--jobs 50] [--pattern poisson|burst]
             [--rate 20] [--burst-size 10] [--burst-every-ms 500]
@@ -161,6 +175,16 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
         println!("{HELP}");
         return Ok(());
     };
+    // `route add-shard` / `route remove-shard` carry a bare verb before
+    // the flags; peel it off before flag parsing (which rejects bare
+    // words everywhere else).
+    if command == "route" {
+        match argv.get(1).map(String::as_str) {
+            Some("add-shard") => return cmd_route_add_shard(&Flags::parse(&argv[2..])?),
+            Some("remove-shard") => return cmd_route_remove_shard(&Flags::parse(&argv[2..])?),
+            _ => {}
+        }
+    }
     let flags = Flags::parse(&argv[1..])?;
     match command.as_str() {
         "generate" => cmd_generate(&flags),
@@ -605,6 +629,7 @@ fn cmd_route(flags: &Flags) -> Result<()> {
         probe_interval,
         fail_after,
         max_connections,
+        ..RouterConfig::default()
     };
     // Same drain discipline as `serve`: latch the signal before binding.
     crate::signal::install();
@@ -635,6 +660,53 @@ fn cmd_route(flags: &Flags) -> Result<()> {
             drain_timeout.as_secs_f64()
         )))
     }
+}
+
+/// `route add-shard`: join a shard to a running router at runtime. The
+/// router's join summary (planned/moved counts, handoff duration) goes
+/// to stdout as JSON; a one-line confirmation goes to stderr.
+fn cmd_route_add_shard(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&["addr", "shard", "shard-addr"])?;
+    let router = flags.required("addr")?;
+    let shard: u16 = flags.parsed("shard")?;
+    let shard_addr = flags.required("shard-addr")?;
+    let summary = client::Client::new(router).add_shard(shard, shard_addr)?;
+    println!("{summary}");
+    eprintln!(
+        "shard {shard} at {shard_addr} joined: {} of {} planned keys handed off in {:.3}s",
+        summary.get("moved").and_then(Value::as_u64).unwrap_or(0),
+        summary.get("planned").and_then(Value::as_u64).unwrap_or(0),
+        summary
+            .get("handoff_seconds")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
+    );
+    Ok(())
+}
+
+/// `route remove-shard`: remove a shard from a running router —
+/// gracefully (keys handed off first) unless `--dead true`.
+fn cmd_route_remove_shard(flags: &Flags) -> Result<()> {
+    flags.reject_unknown(&["addr", "shard", "dead"])?;
+    let router = flags.required("addr")?;
+    let shard: u16 = flags.parsed("shard")?;
+    let dead = flags.parsed_or("dead", false)?;
+    let summary = client::Client::new(router).remove_shard(shard, dead)?;
+    println!("{summary}");
+    if dead {
+        eprintln!("shard {shard} removed dead: its spool was folded through failover");
+    } else {
+        eprintln!(
+            "shard {shard} left gracefully: {} of {} planned keys handed off in {:.3}s",
+            summary.get("moved").and_then(Value::as_u64).unwrap_or(0),
+            summary.get("planned").and_then(Value::as_u64).unwrap_or(0),
+            summary
+                .get("handoff_seconds")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        );
+    }
+    Ok(())
 }
 
 fn cmd_loadgen(flags: &Flags) -> Result<()> {
@@ -972,7 +1044,8 @@ fn router_summary(health: &Value) -> String {
 
 /// The per-shard table for a router `/healthz` document — `None` for a
 /// single-node answer (no `router`/`shards` sections). One row per
-/// shard: status, connection occupancy, queue depth, job p99.
+/// shard: membership state (`joining`/`active`/`leaving`/`down`),
+/// status, connection occupancy, queue depth, job p99.
 fn shard_table(health: &Value) -> Option<String> {
     health.get("router")?;
     let shards = health.get("shards").and_then(Value::as_object)?;
@@ -983,6 +1056,7 @@ fn shard_table(health: &Value) -> Option<String> {
     rows.sort_unstable_by_key(|(id, _)| *id);
     let mut table = vec![vec![
         "shard".to_string(),
+        "membership".to_string(),
         "status".to_string(),
         "conns".to_string(),
         "queue".to_string(),
@@ -997,6 +1071,7 @@ fn shard_table(health: &Value) -> Option<String> {
             v.and_then(Value::as_u64)
         };
         let status = doc.get("status").and_then(Value::as_str).unwrap_or("?");
+        let membership = doc.get("membership").and_then(Value::as_str).unwrap_or("?");
         // An unreachable shard has no gauges; dash its columns rather
         // than rendering misleading zeros.
         let reachable = doc.get("reachable").and_then(Value::as_bool) != Some(false);
@@ -1024,7 +1099,14 @@ fn shard_table(health: &Value) -> Option<String> {
         } else {
             ("-".to_string(), "-".to_string(), "-".to_string())
         };
-        table.push(vec![id.to_string(), status.to_string(), conns, queue, p99]);
+        table.push(vec![
+            id.to_string(),
+            membership.to_string(),
+            status.to_string(),
+            conns,
+            queue,
+            p99,
+        ]);
     }
     let widths: Vec<usize> = (0..table[0].len())
         .map(|c| table.iter().map(|r| r[c].len()).max().unwrap_or(0))
@@ -1651,6 +1733,7 @@ mod tests {
     fn router_health_renders_fleet_summary_and_shard_table() {
         let shard_ok = Value::object()
             .with("status", "ok")
+            .with("membership", "active")
             .with("connections_active", 1u64)
             .with("connections_limit", 256u64)
             .with(
@@ -1663,6 +1746,7 @@ mod tests {
             );
         let shard_down = Value::object()
             .with("status", "down")
+            .with("membership", "down")
             .with("reachable", false)
             .with("addr", "127.0.0.1:9999");
         let health = Value::object()
@@ -1711,9 +1795,12 @@ mod tests {
         let table = shard_table(&health).unwrap();
         let rows: Vec<&str> = table.lines().collect();
         assert_eq!(rows.len(), 3, "{table}");
-        assert!(rows[0].starts_with("shard"), "{table}");
         assert!(
-            rows[1].contains("ok") && rows[1].contains("1/256"),
+            rows[0].starts_with("shard") && rows[0].contains("membership"),
+            "{table}"
+        );
+        assert!(
+            rows[1].contains("active") && rows[1].contains("ok") && rows[1].contains("1/256"),
             "{table}"
         );
         assert!(
@@ -1760,6 +1847,30 @@ mod tests {
                 "0=127.0.0.1:1",
                 "--drain-timeout",
                 "-5",
+            ][..],
+            // The admin verbs validate their flags before any socket work.
+            &["route", "add-shard", "--addr", "127.0.0.1:1"][..],
+            &["route", "add-shard", "--shard", "2", "--shard-addr", "a:1"][..],
+            &[
+                "route",
+                "add-shard",
+                "--addr",
+                "127.0.0.1:1",
+                "--shard",
+                "two",
+                "--shard-addr",
+                "a:1",
+            ][..],
+            &["route", "remove-shard", "--addr", "127.0.0.1:1"][..],
+            &[
+                "route",
+                "remove-shard",
+                "--addr",
+                "127.0.0.1:1",
+                "--shard",
+                "1",
+                "--mode",
+                "dead",
             ][..],
         ] {
             assert!(dispatch(&argv(bad)).is_err(), "{bad:?} should be rejected");
@@ -1819,6 +1930,49 @@ mod tests {
         .unwrap();
         dispatch(&argv(&["poll", "--addr", &addr, "--list", "true"])).unwrap();
         dispatch(&argv(&["health", "--addr", &addr])).unwrap();
+
+        // Membership from the shell: join a third shard at runtime, then
+        // remove it again (dead mode — this roster has no spool).
+        let c = Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            shard_id: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        dispatch(&argv(&[
+            "route",
+            "add-shard",
+            "--addr",
+            &addr,
+            "--shard",
+            "2",
+            "--shard-addr",
+            &c.addr().to_string(),
+        ]))
+        .unwrap();
+        let health = client::healthz(&addr).unwrap();
+        assert_eq!(
+            health
+                .get("shards")
+                .and_then(Value::as_object)
+                .map(std::collections::BTreeMap::len),
+            Some(3),
+            "the joiner shows up in /healthz: {health}"
+        );
+        dispatch(&argv(&[
+            "route",
+            "remove-shard",
+            "--addr",
+            &addr,
+            "--shard",
+            "2",
+            "--dead",
+            "true",
+        ]))
+        .unwrap();
+        c.shutdown();
         router.shutdown();
         a.shutdown();
         b.shutdown();

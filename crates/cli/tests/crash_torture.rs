@@ -14,7 +14,7 @@
 #![cfg(feature = "fault-injection")]
 
 use sspc_common::json::Value;
-use sspc_server::{client, client::Client, FAULT_POINTS};
+use sspc_server::{client, client::Client, FAULT_POINTS, ROUTER_FAULT_POINTS};
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -219,5 +219,220 @@ fn crash_torture_sweep_recovers_at_every_fault_point() {
         drop(c);
         server.kill();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A job heavy enough (~a second per run on a debug-build worker) that
+/// a shard's queue stays full of acked-but-unfinished work for many
+/// seconds — the pending debt a membership handoff streams.
+fn chunky_job(seed: u64) -> Value {
+    Value::object()
+        .with("k", 3u64)
+        .with(
+            "dataset",
+            Value::object().with(
+                "generate",
+                Value::object()
+                    .with("n", 220u64)
+                    .with("d", 16u64)
+                    .with("dims", 5u64)
+                    .with("seed", seed + 1),
+            ),
+        )
+        .with("algorithms", "harp")
+        .with("runs", 2u64)
+        .with("seed", 7u64)
+}
+
+/// A spawned `sspc-cli` process with an arbitrary subcommand, announcing
+/// `<prefix> listening on <addr>` on stderr. Unlike [`ServerProc`] this
+/// one can arm a *router* (`route`) with `SSPC_FAULT`.
+struct AnyProc {
+    child: Child,
+    addr_rx: mpsc::Receiver<String>,
+    stderr_thread: std::thread::JoinHandle<String>,
+}
+
+impl AnyProc {
+    fn spawn(prefix: &'static str, args: &[String], fault: Option<&str>) -> AnyProc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_sspc-cli"));
+        cmd.args(args).stdout(Stdio::null()).stderr(Stdio::piped());
+        match fault {
+            Some(spec) => cmd.env("SSPC_FAULT", spec),
+            None => cmd.env_remove("SSPC_FAULT"),
+        };
+        let mut child = cmd.spawn().expect("spawn sspc-cli");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let (tx, addr_rx) = mpsc::channel();
+        let stderr_thread = std::thread::spawn(move || {
+            let mut transcript = String::new();
+            for line in std::io::BufReader::new(stderr).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rest) = line.strip_prefix(prefix) {
+                    if let Some(rest) = rest.strip_prefix(" listening on ") {
+                        if let Some(addr) = rest.split_whitespace().next() {
+                            let _ = tx.send(addr.to_string());
+                        }
+                    }
+                }
+                transcript.push_str(&line);
+                transcript.push('\n');
+            }
+            transcript
+        });
+        AnyProc {
+            child,
+            addr_rx,
+            stderr_thread,
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.addr_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("process announces its address")
+    }
+
+    fn kill(mut self) -> String {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.stderr_thread.join().expect("stderr drain")
+    }
+
+    /// Waits (bounded) for the process to die on its own; returns the
+    /// stderr transcript.
+    fn await_death(mut self, deadline: Duration) -> String {
+        let started = Instant::now();
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                assert!(!status.success(), "an aborted router cannot exit 0");
+                break;
+            }
+            assert!(
+                started.elapsed() < deadline,
+                "armed router survived the handoff"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.stderr_thread.join().expect("stderr drain")
+    }
+}
+
+fn shard_proc(shard_id: u16, spool: &Path) -> AnyProc {
+    let mut args: Vec<String> = [
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "1",
+        "--shard-id",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.push(shard_id.to_string());
+    args.push("--spool-dir".into());
+    args.push(spool.to_string_lossy().into_owned());
+    AnyProc::spawn("sspc-server", &args, None)
+}
+
+fn router_proc(roster: &str, spool: &Path, fault: Option<&str>) -> AnyProc {
+    let args: Vec<String> = [
+        "route",
+        "--addr",
+        "127.0.0.1:0",
+        "--shards",
+        roster,
+        "--spool-dir",
+        &spool.to_string_lossy(),
+        "--probe-interval",
+        "0.2",
+        "--fail-after",
+        "1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    AnyProc::spawn("sspc-router", &args, fault)
+}
+
+/// The membership sweep: for each router-side handoff fault point,
+/// three *router* lives over the same long-lived shards: (A) a clean
+/// life acks a batch (the donor's share stays queued for many seconds —
+/// chunky jobs, one worker), (B) an armed life aborts at the point
+/// under test while joining a third shard mid-handoff, (C) a clean life
+/// re-runs the same join to completion, after which every id acked in
+/// life A completes under its original id — even once the donor is
+/// SIGKILLed outright.
+#[test]
+fn membership_handoff_crash_sweep_recovers_at_every_router_fault_point() {
+    use sspc_server::router::shard_of;
+
+    for point in ROUTER_FAULT_POINTS {
+        let spool = temp_dir(&format!("handoff_{point}"));
+        let shard0 = shard_proc(0, &spool);
+        let shard1 = shard_proc(1, &spool);
+        let joiner = shard_proc(2, &spool);
+        let roster = format!("0={},1={}", shard0.addr(), shard1.addr());
+        let joiner_addr = joiner.addr();
+
+        // Life A: ack a batch through a clean router. The donor (shard
+        // 1) ends up with a queue of acked-but-unfinished chunky jobs.
+        let router = router_proc(&roster, &spool, None);
+        let addr = router.addr();
+        let mut c = Client::new(&addr);
+        let acked: Vec<u64> = (0..8)
+            .map(|seed| c.submit(&chunky_job(seed)).unwrap())
+            .collect();
+        assert!(
+            acked.iter().any(|&id| shard_of(id) == 1),
+            "{point}: the donor owns part of the batch"
+        );
+        drop(c);
+        router.kill();
+
+        // Life B: an armed router. The join request drives it into the
+        // handoff, where it must abort at exactly the armed point.
+        let armed = router_proc(&roster, &spool, Some(&format!("{point}:1:crash")));
+        let armed_addr = armed.addr();
+        let _ = Client::new(&armed_addr).add_shard(2, &joiner_addr);
+        let transcript = armed.await_death(Duration::from_secs(120));
+        assert!(
+            transcript.contains(&format!("aborting at `{point}`")),
+            "{point}: died somewhere else:\n{transcript}"
+        );
+
+        // Life C: a clean router re-runs the same join (the joiner's
+        // spool may now hold partial handoff acks from life B — the
+        // rejoin-dedup path must absorb them), then the donor dies for
+        // real.
+        let router = router_proc(&roster, &spool, None);
+        let addr = router.addr();
+        let mut c = Client::new(&addr);
+        let joined = c
+            .add_shard(2, &joiner_addr)
+            .unwrap_or_else(|e| panic!("{point}: clean re-join failed: {e}"));
+        assert_eq!(
+            joined.get("membership").and_then(Value::as_str),
+            Some("active"),
+            "{point}: {joined}"
+        );
+        shard1.kill();
+        for &id in &acked {
+            let doc = c
+                .wait_for(id, Duration::from_millis(50), Duration::from_secs(300))
+                .unwrap_or_else(|e| panic!("{point}: job {id} lost across the crash: {e}"));
+            assert_eq!(
+                doc.get("status").and_then(Value::as_str),
+                Some("done"),
+                "{point}: job {id}: {doc}"
+            );
+            assert_eq!(doc.get("job").and_then(Value::as_u64), Some(id));
+        }
+        drop(c);
+        router.kill();
+        shard0.kill();
+        joiner.kill();
+        let _ = std::fs::remove_dir_all(&spool);
     }
 }

@@ -1,0 +1,330 @@
+//! Membership torture over real processes: a live router fronting two
+//! shards under open-loop loadgen traffic, a third shard **joined
+//! mid-burst**, and the donor shard SIGKILLed **mid-handoff** (the
+//! handoff is throttled via `SSPC_HANDOFF_THROTTLE_MS` so the kill
+//! provably lands while records are still streaming). The contracts:
+//!
+//! * every job 202-acked before or during the churn completes under its
+//!   **original id**;
+//! * the explicitly-tracked jobs' results are **byte-identical** to a
+//!   single-node baseline run of the same specs;
+//! * the donor's death counts as exactly one failover, the join as
+//!   exactly one handoff — membership churn is not failover.
+
+#![cfg(unix)]
+
+use sspc_common::json::Value;
+use sspc_server::client::Client;
+use sspc_server::loadgen;
+use sspc_server::router::ring::{rebalance_plan, Ring};
+use sspc_server::router::shard_of;
+use sspc_server::{Server, ServerConfig};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Deterministic and chunky enough (~a second on one debug-build
+/// worker) that the donor still holds a queue of acked-but-unfinished
+/// jobs when the handoff starts streaming.
+fn job_body(seed: u64) -> Value {
+    Value::object()
+        .with("k", 3u64)
+        .with(
+            "dataset",
+            Value::object().with(
+                "generate",
+                Value::object()
+                    .with("n", 220u64)
+                    .with("d", 16u64)
+                    .with("dims", 5u64)
+                    .with("seed", seed + 1),
+            ),
+        )
+        .with("algorithms", "harp")
+        .with("runs", 2u64)
+        .with("seed", 7u64)
+}
+
+/// A spawned `sspc-cli` process announcing its address on stderr.
+struct Proc {
+    child: Child,
+    addr_rx: mpsc::Receiver<String>,
+    stderr_thread: std::thread::JoinHandle<String>,
+}
+
+impl Proc {
+    fn spawn(prefix: &'static str, args: &[String], envs: &[(&str, &str)]) -> Proc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_sspc-cli"));
+        cmd.args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .env_remove("SSPC_FAULT")
+            .env_remove("SSPC_HANDOFF_THROTTLE_MS");
+        for (key, value) in envs {
+            cmd.env(key, value);
+        }
+        let mut child = cmd.spawn().expect("spawn sspc-cli");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let (tx, addr_rx) = mpsc::channel();
+        let stderr_thread = std::thread::spawn(move || {
+            let mut transcript = String::new();
+            for line in std::io::BufReader::new(stderr).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rest) = line.strip_prefix(prefix) {
+                    if let Some(rest) = rest.strip_prefix(" listening on ") {
+                        if let Some(addr) = rest.split_whitespace().next() {
+                            let _ = tx.send(addr.to_string());
+                        }
+                    }
+                }
+                transcript.push_str(&line);
+                transcript.push('\n');
+            }
+            transcript
+        });
+        Proc {
+            child,
+            addr_rx,
+            stderr_thread,
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.addr_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("process announces its address")
+    }
+
+    fn sigkill(mut self) -> String {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.stderr_thread.join().expect("stderr drain")
+    }
+}
+
+fn shard_proc(shard_id: u16, spool: &std::path::Path) -> Proc {
+    let mut args: Vec<String> = [
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "1",
+        "--shard-id",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.push(shard_id.to_string());
+    args.push("--spool-dir".into());
+    args.push(spool.to_string_lossy().into_owned());
+    Proc::spawn("sspc-server", &args, &[])
+}
+
+/// Zeroes the wall-clock fields of a result document; everything else
+/// must be byte-identical between a handed-off re-execution and the
+/// single-node baseline.
+fn normalized(result: &Value) -> String {
+    let mut doc = result.clone();
+    if let Some(reports) = result.get("reports").and_then(Value::as_array) {
+        let cleaned: Vec<Value> = reports
+            .iter()
+            .map(|report| report.clone().with("seconds", 0.0))
+            .collect();
+        doc = doc.with("reports", Value::Arr(cleaned));
+    }
+    doc.to_string_checked().unwrap()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sspc_membership_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const DONOR: u16 = 1;
+const JOINER: u16 = 2;
+/// Per-record handoff pause: with at least [`MIN_MOVED`] donor records
+/// to stream, the handoff takes ≥ `MIN_MOVED × THROTTLE_MS`, which is
+/// the window the donor SIGKILL must land inside.
+const THROTTLE_MS: u64 = 60;
+const MIN_MOVED: usize = 4;
+
+#[test]
+fn join_under_traffic_with_donor_killed_mid_handoff_loses_no_acked_job() {
+    let spool = temp_dir("spool");
+    let shard0 = shard_proc(0, &spool);
+    let shard1 = shard_proc(DONOR, &spool);
+    let roster = format!("0={},{DONOR}={}", shard0.addr(), shard1.addr());
+    let router = Proc::spawn(
+        "sspc-router",
+        &[
+            "route",
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            &roster,
+            "--spool-dir",
+            &spool.to_string_lossy(),
+            "--probe-interval",
+            "0.2",
+            "--fail-after",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
+        &[("SSPC_HANDOFF_THROTTLE_MS", &THROTTLE_MS.to_string())],
+    );
+    let addr = router.addr();
+
+    // Submit tracked jobs until the ring delta guarantees the join will
+    // move at least MIN_MOVED donor-acked keys to the joiner — that
+    // lower-bounds the streaming time the SIGKILL must interrupt.
+    let before = Ring::new([0, DONOR], Ring::DEFAULT_VNODES);
+    let mut after = before.clone();
+    after.add(JOINER);
+    let mut client = Client::new(&addr);
+    let mut acked: Vec<(u64, u64)> = Vec::new();
+    for seed in 0..40 {
+        acked.push((client.submit(&job_body(seed)).unwrap(), seed));
+        let donor_ids: Vec<u64> = acked
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|&id| shard_of(id) == DONOR)
+            .collect();
+        let moved = rebalance_plan(&before, &after, &donor_ids)
+            .iter()
+            .filter(|m| m.to == JOINER)
+            .count();
+        if moved >= MIN_MOVED && acked.len() >= 8 {
+            break;
+        }
+    }
+    assert!(
+        acked.iter().any(|(id, _)| shard_of(*id) == 0),
+        "a survivor owns part of the batch"
+    );
+
+    // Open-loop background traffic: the join happens mid-burst.
+    let loadgen_addr = addr.clone();
+    let loadgen_thread = std::thread::spawn(move || {
+        loadgen::run(&loadgen::LoadgenConfig {
+            addr: loadgen_addr,
+            jobs: 16,
+            pattern: loadgen::Pattern::Burst {
+                size: 4,
+                every: Duration::from_millis(100),
+            },
+            seed: 3,
+            wait_timeout: Duration::from_secs(300),
+            ..Default::default()
+        })
+        .unwrap()
+    });
+
+    // The join, from a second connection; it blocks through the whole
+    // throttled handoff.
+    let joiner = shard_proc(JOINER, &spool);
+    let joiner_addr = joiner.addr();
+    let join_router_addr = addr.clone();
+    let join_thread = std::thread::spawn(move || {
+        let summary = Client::new(&join_router_addr)
+            .add_shard(JOINER, &joiner_addr)
+            .expect("join survives the donor dying mid-handoff");
+        (summary, Instant::now())
+    });
+
+    // SIGKILL the donor while the handoff is still streaming. Streaming
+    // reads the donor's *spool*, not the donor itself, so the join must
+    // finish anyway; the concurrent failover path may replay the same
+    // records, and the cutover's or-insert merge keeps whichever landed
+    // first (both produce identical results).
+    std::thread::sleep(Duration::from_millis((THROTTLE_MS * 2).min(150)));
+    shard1.sigkill();
+    let donor_killed_at = Instant::now();
+
+    let (summary, join_finished_at) = join_thread.join().expect("join thread");
+    assert!(
+        join_finished_at > donor_killed_at,
+        "the donor must die while the handoff is still in progress \
+         (join summary: {summary})"
+    );
+    assert!(
+        summary.get("moved").and_then(Value::as_u64).unwrap_or(0) > 0,
+        "the join moved keys: {summary}"
+    );
+
+    // Every tracked 202 completes under its original id.
+    let mut results: Vec<(u64, String)> = Vec::new();
+    for (id, seed) in &acked {
+        let doc = client
+            .wait_for(*id, Duration::from_millis(50), Duration::from_secs(300))
+            .unwrap_or_else(|e| panic!("job {id} (seed {seed}) after the churn: {e}"));
+        assert_eq!(
+            doc.get("status").and_then(Value::as_str),
+            Some("done"),
+            "job {id}: {doc}"
+        );
+        assert_eq!(doc.get("job").and_then(Value::as_u64), Some(*id));
+        results.push((
+            *seed,
+            normalized(doc.get("result").expect("done carries result")),
+        ));
+    }
+
+    // The background traffic lost nothing either: every job loadgen got
+    // a 202 for reached a terminal state through the churn.
+    let report = loadgen_thread.join().expect("loadgen thread");
+    assert_eq!(
+        report.unfinished,
+        Vec::<u64>::new(),
+        "loadgen-acked jobs went unfinished: {:?}",
+        report.rejected
+    );
+    assert_eq!(report.completed + report.failed, report.acked.len());
+
+    // The router's own account: one failover (the killed donor), one
+    // handoff (the join) — and the roster is the two survivors.
+    let health = client.healthz().unwrap();
+    let router_section = health.get("router").expect("router section");
+    assert_eq!(
+        router_section.get("failovers").and_then(Value::as_u64),
+        Some(1),
+        "exactly the donor failed over: {health}"
+    );
+    assert_eq!(
+        router_section.get("handoffs").and_then(Value::as_u64),
+        Some(1),
+        "exactly the join cut over: {health}"
+    );
+    drop(client);
+
+    // Byte-identical to a single-node baseline.
+    let baseline = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 64,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut single = Client::new(baseline.addr().to_string());
+    for (seed, recovered) in results {
+        let id = single.submit(&job_body(seed)).unwrap();
+        let doc = single
+            .wait_for(id, Duration::from_millis(50), Duration::from_secs(300))
+            .unwrap();
+        let expected = normalized(doc.get("result").expect("baseline result"));
+        assert_eq!(
+            recovered, expected,
+            "seed {seed}: handed-off result drifted from the single-node baseline"
+        );
+    }
+    drop(single);
+    baseline.shutdown();
+    router.sigkill();
+    shard0.sigkill();
+    joiner.sigkill();
+    let _ = std::fs::remove_dir_all(&spool);
+}

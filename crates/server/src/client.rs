@@ -81,11 +81,13 @@ impl Client {
     /// Submits a job document and returns the assigned job id.
     ///
     /// A `503` with `"reason": "queue_full"` (the one refusal a shard
-    /// guarantees left no trace, so re-POSTing cannot duplicate the job)
-    /// or `"reason": "no_shards_available"` (the router's shed: no shard
-    /// saw the job at all, and one may come back shortly) is retried up
-    /// to three times with jittered exponential backoff, sleeping at
-    /// least the server's `Retry-After` hint.
+    /// guarantees left no trace, so re-POSTing cannot duplicate the job),
+    /// `"reason": "no_shards_available"` (the router's shed: no shard
+    /// saw the job at all, and one may come back shortly), or
+    /// `"reason": "rebalancing"` (the router is mid-cutover of a shard
+    /// membership change — over in milliseconds) is retried up to three
+    /// times with jittered exponential backoff, sleeping at least the
+    /// server's `Retry-After` hint.
     ///
     /// # Errors
     ///
@@ -105,7 +107,7 @@ impl Client {
             let retryable = status == 503
                 && matches!(
                     body.get("reason").and_then(Value::as_str),
-                    Some("queue_full" | "no_shards_available")
+                    Some("queue_full" | "no_shards_available" | "rebalancing")
                 );
             if !retryable || attempt == SUBMIT_ATTEMPTS {
                 return Err(Error::InvalidParameter(format!(
@@ -232,6 +234,58 @@ impl Client {
             )));
         }
         Ok(body)
+    }
+
+    /// Joins a shard to a running router's roster at runtime
+    /// (`POST /admin/shards`): the router health-checks the shard, hands
+    /// it the keys the ring delta moves onto it, and cuts routing over.
+    /// Returns the router's join summary (`planned`, `moved`,
+    /// `handoff_seconds`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, `409` for a duplicate shard id, `502` when
+    /// the shard is unreachable or the handoff aborted (the join is
+    /// rolled back).
+    pub fn add_shard(&mut self, shard: u16, shard_addr: &str) -> Result<Value> {
+        let body = Value::object()
+            .with("shard", u64::from(shard))
+            .with("addr", shard_addr);
+        let (status, answer) = self.call("POST", "/admin/shards", Some(&body))?;
+        if status != 200 {
+            return Err(Error::InvalidParameter(format!(
+                "join of shard {shard} refused with {status}: {}",
+                answer.get("error").and_then(Value::as_str).unwrap_or("?")
+            )));
+        }
+        Ok(answer)
+    }
+
+    /// Removes a shard from a running router's roster
+    /// (`DELETE /admin/shards/<id>`). Graceful by default — the shard's
+    /// keys are handed off before it leaves; `dead: true` skips the
+    /// handoff and folds the shard's spool through the failover path
+    /// instead (for a shard that is already unreachable).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, `404` for an unknown shard, `400` when it is
+    /// the last routable shard, `502` when a graceful handoff aborted
+    /// (the shard stays in the roster).
+    pub fn remove_shard(&mut self, shard: u16, dead: bool) -> Result<Value> {
+        let path = if dead {
+            format!("/admin/shards/{shard}?mode=dead")
+        } else {
+            format!("/admin/shards/{shard}")
+        };
+        let (status, answer) = self.call("DELETE", &path, None)?;
+        if status != 200 {
+            return Err(Error::InvalidParameter(format!(
+                "removal of shard {shard} refused with {status}: {}",
+                answer.get("error").and_then(Value::as_str).unwrap_or("?")
+            )));
+        }
+        Ok(answer)
     }
 }
 
@@ -465,9 +519,40 @@ mod tests {
         assert_eq!(server.join().unwrap(), 3, "two retries then acceptance");
     }
 
-    /// 503s whose reason is not `queue_full`/`no_shards_available` (the
-    /// server may have admitted or cannot accept the job) surface
-    /// immediately.
+    /// The membership satellite: a `503 rebalancing` (the router is
+    /// mid-cutover of a shard join/leave) is retried exactly like
+    /// `queue_full` — the flip is over in milliseconds, so backing off
+    /// and re-POSTing lands the job on the new ring.
+    #[test]
+    fn submit_retries_router_rebalancing_503s_like_queue_full() {
+        let rebalancing = Value::object()
+            .with(
+                "error",
+                "router is rebalancing shard membership; retry shortly",
+            )
+            .with("reason", "rebalancing");
+        let accepted = Value::object().with("job", 7u64).with("queue_depth", 1u64);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = scripted_server(
+            listener,
+            vec![
+                (503, rebalancing.clone(), Some(0)),
+                (503, rebalancing, Some(0)),
+                (202, accepted, None),
+            ],
+        );
+
+        let mut client = Client::new(&addr);
+        let job = Value::object().with("k", 1u64);
+        assert_eq!(client.submit(&job).unwrap(), 7);
+        drop(client);
+        assert_eq!(server.join().unwrap(), 3, "two retries then acceptance");
+    }
+
+    /// 503s whose reason is not `queue_full`/`no_shards_available`/
+    /// `rebalancing` (the server may have admitted or cannot accept the
+    /// job) surface immediately.
     #[test]
     fn submit_does_not_retry_other_503_reasons() {
         let degraded = Value::object()

@@ -146,3 +146,13 @@ pub const FAULT_POINTS: &[&str] = &[
     "http.response",     // every response write
     "job.execute",       // top of JobSpec::execute on a worker
 ];
+
+/// Fault points that only fire inside the **router** process (shard
+/// membership handoffs) — kept separate from [`FAULT_POINTS`] because
+/// the single-server crash-torture sweep would hang waiting on points
+/// that a `serve` process never reaches. The membership crash sweep in
+/// `crash_torture.rs` arms these against a `route` process instead.
+pub const ROUTER_FAULT_POINTS: &[&str] = &[
+    "handoff.stream",  // once per spool record streamed during a handoff
+    "handoff.cutover", // immediately before the atomic routing flip
+];

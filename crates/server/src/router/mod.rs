@@ -60,8 +60,8 @@ use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -98,6 +98,11 @@ pub struct RouterConfig {
     /// Maximum concurrently open client connections; everything over the
     /// cap is shed with `503` + `Retry-After`, like a shard does.
     pub max_connections: usize,
+    /// Pause between handoff records streamed during a membership change
+    /// (join/leave), bounding the handoff's impact on in-flight traffic.
+    /// Zero (the default) streams flat out. Overridable via the
+    /// `SSPC_HANDOFF_THROTTLE_MS` environment variable.
+    pub handoff_throttle: Duration,
 }
 
 impl Default for RouterConfig {
@@ -109,6 +114,41 @@ impl Default for RouterConfig {
             probe_interval: Duration::from_secs(1),
             fail_after: 3,
             max_connections: 256,
+            handoff_throttle: Duration::ZERO,
+        }
+    }
+}
+
+/// A shard's runtime membership state (ISSUE 9): `joining → active →
+/// leaving → gone`. `Joining` shards are being handed their keys and are
+/// not yet routable; `Leaving` shards still serve reads but take no new
+/// submissions while their keys drain; `Gone` shards have left the
+/// roster entirely. Liveness (`Shard::alive`) is orthogonal — an
+/// `Active` shard that stops answering probes renders as `down`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Membership {
+    Joining = 0,
+    Active = 1,
+    Leaving = 2,
+    Gone = 3,
+}
+
+impl Membership {
+    fn from_u8(raw: u8) -> Membership {
+        match raw {
+            0 => Membership::Joining,
+            2 => Membership::Leaving,
+            3 => Membership::Gone,
+            _ => Membership::Active,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Membership::Joining => "joining",
+            Membership::Active => "active",
+            Membership::Leaving => "leaving",
+            Membership::Gone => "gone",
         }
     }
 }
@@ -125,6 +165,39 @@ struct Shard {
     /// This shard's spool has been replayed (set at most once; a
     /// rejoined shard's old ids keep being served from the owed table).
     failed_over: AtomicBool,
+    /// Where in `joining → active → leaving → gone` this shard sits.
+    membership: AtomicU8,
+}
+
+impl Shard {
+    fn new(id: u16, addr: String, membership: Membership) -> Shard {
+        Shard {
+            id,
+            addr,
+            alive: AtomicBool::new(true),
+            failures: AtomicU32::new(0),
+            failed_over: AtomicBool::new(false),
+            membership: AtomicU8::new(membership as u8),
+        }
+    }
+
+    fn membership(&self) -> Membership {
+        Membership::from_u8(self.membership.load(Ordering::SeqCst))
+    }
+
+    fn set_membership(&self, m: Membership) {
+        self.membership.store(m as u8, Ordering::SeqCst);
+    }
+
+    /// The state rendered in `/healthz` and the CLI health table:
+    /// membership, except that an unreachable shard reads `down`.
+    fn display_state(&self) -> &'static str {
+        if self.alive.load(Ordering::SeqCst) {
+            self.membership().name()
+        } else {
+            "down"
+        }
+    }
 }
 
 /// What the router owes for a job whose original shard died.
@@ -142,10 +215,16 @@ struct RouterMetrics {
     failovers: AtomicU64,
     replayed: AtomicU64,
     connections: AtomicU64,
+    /// Completed membership handoffs (joins + graceful leaves).
+    handoffs: AtomicU64,
+    /// Spool records streamed to a new owner by membership handoffs.
+    handed_off: AtomicU64,
 }
 
 struct RouterState {
-    shards: Vec<Shard>,
+    /// The live roster. Mutable at runtime (ISSUE 9): admin join pushes,
+    /// admin leave removes; every reader takes a snapshot.
+    shards: RwLock<Vec<Arc<Shard>>>,
     ring: Mutex<Ring>,
     spool_dir: Option<PathBuf>,
     /// Jobs the router answers for directly, keyed by their *original*
@@ -154,6 +233,19 @@ struct RouterState {
     /// Serializes failover replays and makes `ensure_failed_over`
     /// blocking: a reader never sees a half-replayed shard.
     replay_lock: Mutex<()>,
+    /// Serializes membership changes (join / leave / prober rejoin).
+    membership_lock: Mutex<()>,
+    /// The per-key handoff staging table: remaps and terminal docs a
+    /// membership handoff has streamed but not yet cut over. The lock is
+    /// taken per key while streaming and once at cutover — never across
+    /// a whole handoff — so status reads and failover replays never
+    /// block behind a long transfer. Until cutover merges these into
+    /// `owed`, reads keep being served by the old owner.
+    handoff: Mutex<HashMap<u64, Owed>>,
+    /// True only inside the cutover critical section; submissions during
+    /// the flip answer `503` `reason: "rebalancing"`.
+    rebalancing: AtomicBool,
+    handoff_throttle: Duration,
     route_counter: AtomicU64,
     metrics: RouterMetrics,
     fail_after: u32,
@@ -164,15 +256,31 @@ struct RouterState {
 }
 
 impl RouterState {
-    fn shard(&self, id: u16) -> Option<&Shard> {
-        self.shards.iter().find(|s| s.id == id)
+    /// A point-in-time snapshot of the roster.
+    fn roster(&self) -> Vec<Arc<Shard>> {
+        self.shards.read().expect("roster poisoned").clone()
+    }
+
+    fn shard(&self, id: u16) -> Option<Arc<Shard>> {
+        self.shards
+            .read()
+            .expect("roster poisoned")
+            .iter()
+            .find(|s| s.id == id)
+            .cloned()
     }
 
     fn shards_alive(&self) -> usize {
         self.shards
+            .read()
+            .expect("roster poisoned")
             .iter()
             .filter(|s| s.alive.load(Ordering::SeqCst))
             .count()
+    }
+
+    fn owes(&self, id: u64) -> bool {
+        self.owed.lock().expect("owed poisoned").contains_key(&id)
     }
 }
 
@@ -215,20 +323,22 @@ impl Router {
         let shards = config
             .shards
             .iter()
-            .map(|(id, addr)| Shard {
-                id: *id,
-                addr: addr.clone(),
-                alive: AtomicBool::new(true),
-                failures: AtomicU32::new(0),
-                failed_over: AtomicBool::new(false),
-            })
+            .map(|(id, addr)| Arc::new(Shard::new(*id, addr.clone(), Membership::Active)))
             .collect();
+        let handoff_throttle = std::env::var("SSPC_HANDOFF_THROTTLE_MS")
+            .ok()
+            .and_then(|ms| ms.parse::<u64>().ok())
+            .map_or(config.handoff_throttle, Duration::from_millis);
         let state = Arc::new(RouterState {
-            shards,
+            shards: RwLock::new(shards),
             ring: Mutex::new(Ring::new(ids, Ring::DEFAULT_VNODES)),
             spool_dir: config.spool_dir.clone(),
             owed: Mutex::new(HashMap::new()),
             replay_lock: Mutex::new(()),
+            membership_lock: Mutex::new(()),
+            handoff: Mutex::new(HashMap::new()),
+            rebalancing: AtomicBool::new(false),
+            handoff_throttle,
             route_counter: AtomicU64::new(0),
             metrics: RouterMetrics::default(),
             fail_after: config.fail_after.max(1),
@@ -422,13 +532,31 @@ fn ensure_failed_over(state: &RouterState, shard: &Shard) {
 /// its old id, with a few bounded passes for transient `503`s. Returns
 /// the survivor and the new id, or `None` when nobody would take it.
 fn resubmit(state: &RouterState, old_id: u64, raw: &Value) -> Option<(u16, u64)> {
+    let ring = state.ring.lock().expect("ring poisoned").clone();
+    resubmit_on(state, &ring, old_id, raw, None)
+}
+
+/// [`resubmit`] against an explicit ring (a graceful leave resubmits on
+/// the *post-leave* ring before the cutover publishes it), optionally
+/// excluding one shard (the leaver).
+fn resubmit_on(
+    state: &RouterState,
+    ring: &Ring,
+    old_id: u64,
+    raw: &Value,
+    exclude: Option<u16>,
+) -> Option<(u16, u64)> {
     for attempt in 0..3 {
         if attempt > 0 {
             std::thread::sleep(Duration::from_millis(50));
         }
-        let candidates = state.ring.lock().expect("ring poisoned").candidates(old_id);
-        for shard_id in candidates {
-            let shard = state.shard(shard_id)?;
+        for shard_id in ring.candidates(old_id) {
+            if exclude == Some(shard_id) {
+                continue;
+            }
+            let Some(shard) = state.shard(shard_id) else {
+                continue;
+            };
             if !shard.alive.load(Ordering::SeqCst) {
                 continue;
             }
@@ -459,6 +587,18 @@ fn submit(state: &RouterState, conns: &mut ShardConns, body: &[u8]) -> (u16, Val
             Some(1),
         );
     }
+    if state.rebalancing.load(Ordering::SeqCst) {
+        // The cutover critical section of a membership change: routing
+        // is mid-flip, so the honest answer is "ask again in a moment" —
+        // retry-safe (nothing saw the job), like `queue_full`.
+        state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        return (
+            503,
+            error_body("router is rebalancing shard membership; retry shortly")
+                .with("reason", "rebalancing"),
+            Some(1),
+        );
+    }
     let parsed = std::str::from_utf8(body)
         .map_err(|_| Error::InvalidParameter("body is not UTF-8".into()))
         .and_then(Value::parse);
@@ -472,15 +612,17 @@ fn submit(state: &RouterState, conns: &mut ShardConns, body: &[u8]) -> (u16, Val
         let Some(shard) = state.shard(shard_id) else {
             continue;
         };
-        if !shard.alive.load(Ordering::SeqCst) {
+        if !shard.alive.load(Ordering::SeqCst) || shard.membership() != Membership::Active {
+            // A leaving shard is still on the ring until its cutover but
+            // takes no new submissions — its keys are draining.
             continue;
         }
-        match proxy(conns, shard, "POST", "/jobs", Some(&raw)) {
+        match proxy(conns, &shard, "POST", "/jobs", Some(&raw)) {
             Ok(answer) => {
                 state.metrics.routed.fetch_add(1, Ordering::Relaxed);
                 return answer;
             }
-            Err(_) => note_shard_failure(state, shard),
+            Err(_) => note_shard_failure(state, &shard),
         }
     }
     no_shards(state, "submission")
@@ -504,22 +646,30 @@ fn job_status(
     }
     let shard_id = shard_of(id);
     let Some(shard) = state.shard(shard_id) else {
+        // The prefix's shard has left the roster; anything it still owed
+        // was folded into the owed table by its leave — already checked.
         return (404, error_body(format!("no job {id}")), None);
     };
     if shard.alive.load(Ordering::SeqCst) {
-        match proxy(conns, shard, "GET", path, None) {
+        match proxy(conns, &shard, "GET", path, None) {
             Ok(answer) => {
                 state.metrics.routed.fetch_add(1, Ordering::Relaxed);
                 return answer;
             }
-            Err(_) => note_shard_failure(state, shard),
+            Err(_) => note_shard_failure(state, &shard),
         }
     }
     if !shard.alive.load(Ordering::SeqCst) {
         // Dead: make sure its spool has been folded, then try the owed
         // table once more.
-        ensure_failed_over(state, shard);
+        ensure_failed_over(state, &shard);
         if let Some(answer) = serve_owed(state, conns, id) {
+            return answer;
+        }
+        // Last resort: a handoff may have already streamed this job to
+        // its new owner without reaching cutover (the donor died
+        // mid-handoff). The staged copy is real and deterministic.
+        if let Some(answer) = serve_staged(state, conns, id) {
             return answer;
         }
     }
@@ -532,6 +682,34 @@ fn job_status(
         .with("job", id),
         Some(1),
     )
+}
+
+/// Serves job `id` from the handoff staging table — only consulted when
+/// the owning shard is dead and the owed table has nothing (a donor
+/// SIGKILLed mid-handoff before cutover).
+fn serve_staged(
+    state: &RouterState,
+    conns: &mut ShardConns,
+    id: u64,
+) -> Option<(u16, Value, Option<u64>)> {
+    let (survivor, new_id) = {
+        let staged = state.handoff.lock().expect("handoff poisoned");
+        match staged.get(&id)? {
+            Owed::Terminal(doc) => return Some((200, doc.clone(), None)),
+            Owed::Remapped { shard, new_id } => (*shard, *new_id),
+        }
+    };
+    let shard = state.shard(survivor)?;
+    if !shard.alive.load(Ordering::SeqCst) {
+        return None;
+    }
+    match proxy(conns, &shard, "GET", &format!("/jobs/{new_id}"), None) {
+        Ok((status, doc, ra)) => Some((status, rewrite_job_id(doc, id), ra)),
+        Err(_) => {
+            note_shard_failure(state, &shard);
+            None
+        }
+    }
 }
 
 /// Serves job `id` from the failover table, if the router owes it.
@@ -551,16 +729,16 @@ fn serve_owed(
     if !shard.alive.load(Ordering::SeqCst) {
         // The survivor died too; its own failover remaps `new_id` in
         // turn. One level of indirection per death, resolved lazily.
-        ensure_failed_over(state, shard);
+        ensure_failed_over(state, &shard);
         let chained = serve_owed(state, conns, new_id);
         if let Some((status, doc, ra)) = chained {
             return Some((status, rewrite_job_id(doc, id), ra));
         }
     }
-    match proxy(conns, shard, "GET", &format!("/jobs/{new_id}"), None) {
+    match proxy(conns, &shard, "GET", &format!("/jobs/{new_id}"), None) {
         Ok((status, doc, ra)) => Some((status, rewrite_job_id(doc, id), ra)),
         Err(_) => {
-            note_shard_failure(state, shard);
+            note_shard_failure(state, &shard);
             None
         }
     }
@@ -622,11 +800,11 @@ fn list(
     let mut merged: Vec<Value> = Vec::new();
     let mut total = 0u64;
     let mut answered = false;
-    for shard in &state.shards {
+    for shard in state.roster() {
         if !shard.alive.load(Ordering::SeqCst) {
             continue;
         }
-        match proxy(conns, shard, "GET", &forward, None) {
+        match proxy(conns, &shard, "GET", &forward, None) {
             Ok((200, body, _)) => {
                 answered = true;
                 total += body.get("total").and_then(Value::as_u64).unwrap_or(0);
@@ -635,7 +813,7 @@ fn list(
                 }
             }
             Ok((other_status, body, ra)) => return (other_status, body, ra),
-            Err(_) => note_shard_failure(state, shard),
+            Err(_) => note_shard_failure(state, &shard),
         }
     }
     if !answered {
@@ -693,10 +871,10 @@ fn max_f64(docs: &[&Value], path: &[&str]) -> f64 {
 /// percentiles report the worst shard; `status` degrades if any shard
 /// is not `ok`.
 fn healthz(state: &RouterState, conns: &mut ShardConns) -> (u16, Value, Option<u64>) {
-    let mut shard_docs: Vec<(u16, Option<Value>)> = Vec::new();
-    for shard in &state.shards {
+    let mut shard_docs: Vec<(u16, &'static str, Option<Value>)> = Vec::new();
+    for shard in state.roster() {
         let doc = if shard.alive.load(Ordering::SeqCst) {
-            proxy(conns, shard, "GET", "/healthz", None)
+            proxy(conns, &shard, "GET", "/healthz", None)
                 .ok()
                 .filter(|(status, _, _)| *status == 200)
                 .map(|(_, doc, _)| doc)
@@ -704,13 +882,16 @@ fn healthz(state: &RouterState, conns: &mut ShardConns) -> (u16, Value, Option<u
             None
         };
         if doc.is_none() && shard.alive.load(Ordering::SeqCst) {
-            note_shard_failure(state, shard);
+            note_shard_failure(state, &shard);
         }
-        shard_docs.push((shard.id, doc));
+        shard_docs.push((shard.id, shard.display_state(), doc));
     }
-    let reachable: Vec<&Value> = shard_docs.iter().filter_map(|(_, d)| d.as_ref()).collect();
+    let reachable: Vec<&Value> = shard_docs
+        .iter()
+        .filter_map(|(_, _, d)| d.as_ref())
+        .collect();
     let draining = state.draining.load(Ordering::SeqCst);
-    let any_down = shard_docs.iter().any(|(_, d)| d.is_none());
+    let any_down = shard_docs.iter().any(|(_, _, d)| d.is_none());
     let all_ok = !any_down
         && reachable
             .iter()
@@ -771,7 +952,7 @@ fn healthz(state: &RouterState, conns: &mut ShardConns) -> (u16, Value, Option<u
     }
 
     let router = Value::object()
-        .with("shards", state.shards.len() as u64)
+        .with("shards", state.roster().len() as u64)
         .with("shards_alive", state.shards_alive() as u64)
         .with("routed", state.metrics.routed.load(Ordering::Relaxed))
         .with("shed", state.metrics.shed.load(Ordering::Relaxed))
@@ -784,6 +965,12 @@ fn healthz(state: &RouterState, conns: &mut ShardConns) -> (u16, Value, Option<u
             "owed_jobs",
             state.owed.lock().expect("owed poisoned").len() as u64,
         )
+        .with("handoffs", state.metrics.handoffs.load(Ordering::Relaxed))
+        .with(
+            "handed_off_jobs",
+            state.metrics.handed_off.load(Ordering::Relaxed),
+        )
+        .with("rebalancing", state.rebalancing.load(Ordering::SeqCst))
         .with("uptime_seconds", state.started.elapsed().as_secs_f64());
 
     let queue = Value::object()
@@ -798,7 +985,7 @@ fn healthz(state: &RouterState, conns: &mut ShardConns) -> (u16, Value, Option<u
     drop(reachable);
 
     let mut shards_value = Value::object();
-    for (id, doc) in shard_docs {
+    for (id, membership, doc) in shard_docs {
         let entry = match doc {
             Some(doc) => doc,
             None => {
@@ -809,7 +996,7 @@ fn healthz(state: &RouterState, conns: &mut ShardConns) -> (u16, Value, Option<u
                     .with("addr", addr)
             }
         };
-        shards_value = shards_value.with(id.to_string(), entry);
+        shards_value = shards_value.with(id.to_string(), entry.with("membership", membership));
     }
 
     let doc = Value::object()
@@ -835,6 +1022,462 @@ fn merge_latency_section(docs: &[&Value], section: &str) -> Value {
         .with("p99_ms", max_f64(docs, &["latency", section, "p99_ms"]))
 }
 
+/// One handoff stream step: the `handoff.stream` fault point (an armed
+/// `err` aborts the membership change; `crash` kills the router there,
+/// which the crash-torture sweep exploits) plus the optional pacing
+/// throttle that bounds a handoff's pressure on in-flight traffic.
+fn stream_gate(state: &RouterState) -> sspc_common::Result<()> {
+    sspc_common::fault::point("handoff.stream")?;
+    if !state.handoff_throttle.is_zero() {
+        std::thread::sleep(state.handoff_throttle);
+    }
+    Ok(())
+}
+
+/// POSTs one spool record to `addr` with a few bounded passes for
+/// transient `503`s, returning the new id it was acked under.
+fn handoff_post(addr: &str, raw: &Value) -> Option<u64> {
+    for attempt in 0..3 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let Ok((status, body)) = crate::http::request(addr, "POST", "/jobs", Some(raw)) else {
+            continue;
+        };
+        if status == 202 {
+            if let Some(new_id) = body.get("job").and_then(Value::as_u64) {
+                return Some(new_id);
+            }
+        }
+    }
+    None
+}
+
+/// Stages one handed-off record under the per-key handoff lock. Returns
+/// whether the key was newly staged.
+fn stage(state: &RouterState, old_id: u64, entry: Owed) -> bool {
+    let mut staged = state.handoff.lock().expect("handoff poisoned");
+    if staged.contains_key(&old_id) {
+        return false;
+    }
+    staged.insert(old_id, entry);
+    true
+}
+
+/// Does the (alive) shard still answer for `id`? A restarted shard with
+/// a state dir recovered its journal and does; one without lost the job
+/// — that orphan is what the rejoin handoff rescues.
+fn shard_knows(shard: &Shard, id: u64) -> bool {
+    matches!(
+        crate::http::request(&shard.addr, "GET", &format!("/jobs/{id}"), None),
+        Ok((200, _))
+    )
+}
+
+/// The cutover: flips routing atomically under the `rebalancing` flag
+/// (submissions during the flip answer `503 rebalancing`), merging the
+/// staged handoff table into `owed`. Failover entries win ties — both
+/// copies compute identical results, and the failover one is already
+/// being served.
+fn cutover(state: &RouterState, flip: impl FnOnce(&mut Ring)) -> sspc_common::Result<()> {
+    sspc_common::fault::point("handoff.cutover")?;
+    state.rebalancing.store(true, Ordering::SeqCst);
+    flip(&mut state.ring.lock().expect("ring poisoned"));
+    let staged: Vec<(u64, Owed)> = state
+        .handoff
+        .lock()
+        .expect("handoff poisoned")
+        .drain()
+        .collect();
+    {
+        let mut owed = state.owed.lock().expect("owed poisoned");
+        for (id, entry) in staged {
+            owed.entry(id).or_insert(entry);
+        }
+    }
+    state.rebalancing.store(false, Ordering::SeqCst);
+    state.metrics.handoffs.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Streams a recovered/new shard's **own stale spool** through the
+/// handoff path: spool records the shard no longer answers for (killed
+/// before finishing, restarted without its state) are re-submitted to
+/// the shard and staged, so no previously-acked job is silently lost on
+/// rejoin. Returns `(planned, moved)` record counts.
+fn handoff_stale_spool(state: &RouterState, joiner: &Shard) -> sspc_common::Result<(u64, u64)> {
+    let Some(dir) = &state.spool_dir else {
+        return Ok((0, 0));
+    };
+    let stale = spool::replay(&spool::spool_path(dir, joiner.id));
+    let mut planned = 0u64;
+    let mut moved = 0u64;
+    for (old_id, doc) in stale.terminal {
+        if state.owes(old_id) || shard_knows(joiner, old_id) {
+            continue;
+        }
+        planned += 1;
+        stream_gate(state)?;
+        if stage(state, old_id, Owed::Terminal(doc)) {
+            moved += 1;
+        }
+    }
+    for (old_id, raw) in stale.pending {
+        if state.owes(old_id) || shard_knows(joiner, old_id) {
+            continue;
+        }
+        planned += 1;
+        stream_gate(state)?;
+        let Some(new_id) = handoff_post(&joiner.addr, &raw) else {
+            return Err(Error::InvalidParameter(format!(
+                "shard {} refused handoff of its stale job {old_id}",
+                joiner.id
+            )));
+        };
+        if stage(
+            state,
+            old_id,
+            Owed::Remapped {
+                shard: joiner.id,
+                new_id,
+            },
+        ) {
+            moved += 1;
+        }
+    }
+    Ok((planned, moved))
+}
+
+/// The join handoff: replay the joiner's stale spool, then stream every
+/// donor spool record whose ring owner the join moves onto the newcomer
+/// (the rebalance plan — exactly the keys whose owner changed), then cut
+/// over. Reads are served by the old owners throughout; only the cutover
+/// publishes the staged remaps and the new ring.
+fn handoff_join(state: &RouterState, joiner: &Shard) -> sspc_common::Result<(u64, u64)> {
+    let (mut planned, mut moved) = handoff_stale_spool(state, joiner)?;
+    if let Some(dir) = &state.spool_dir {
+        let before = state.ring.lock().expect("ring poisoned").clone();
+        let mut after = before.clone();
+        after.add(joiner.id);
+        for donor in state.roster() {
+            if donor.id == joiner.id
+                || !donor.alive.load(Ordering::SeqCst)
+                || donor.membership() != Membership::Active
+            {
+                continue;
+            }
+            let debt = spool::replay(&spool::spool_path(dir, donor.id));
+            let pending_ids: Vec<u64> = debt.pending.iter().map(|(id, _)| *id).collect();
+            let plan = ring::rebalance_plan(&before, &after, &pending_ids);
+            let moving: std::collections::BTreeSet<u64> = plan
+                .iter()
+                .filter(|m| m.to == joiner.id)
+                .map(|m| m.key)
+                .collect();
+            for (old_id, raw) in debt.pending {
+                if !moving.contains(&old_id) || state.owes(old_id) {
+                    continue;
+                }
+                planned += 1;
+                stream_gate(state)?;
+                let Some(new_id) = handoff_post(&joiner.addr, &raw) else {
+                    return Err(Error::InvalidParameter(format!(
+                        "shard {} refused handoff of job {old_id} from shard {}",
+                        joiner.id, donor.id
+                    )));
+                };
+                if stage(
+                    state,
+                    old_id,
+                    Owed::Remapped {
+                        shard: joiner.id,
+                        new_id,
+                    },
+                ) {
+                    moved += 1;
+                }
+            }
+        }
+    }
+    cutover(state, |ring| ring.add(joiner.id))?;
+    state.metrics.handed_off.fetch_add(moved, Ordering::Relaxed);
+    joiner.set_membership(Membership::Active);
+    Ok((planned, moved))
+}
+
+/// The graceful-leave handoff — the join in reverse: every record in the
+/// leaver's spool moves off it (terminal docs into the owed table,
+/// pending jobs re-submitted onto the post-leave ring), then the cutover
+/// removes the leaver. Reads are served by the leaver until cutover.
+fn handoff_leave(state: &RouterState, leaver: &Shard) -> sspc_common::Result<(u64, u64)> {
+    let dir = state.spool_dir.as_ref().ok_or_else(|| {
+        Error::InvalidParameter(
+            "graceful leave requires a spool (--spool-dir); without one the shard's \
+             acked jobs cannot be handed off"
+                .into(),
+        )
+    })?;
+    let before = state.ring.lock().expect("ring poisoned").clone();
+    let mut after = before.clone();
+    after.remove(leaver.id);
+    let debt = spool::replay(&spool::spool_path(dir, leaver.id));
+    let mut planned = 0u64;
+    let mut moved = 0u64;
+    for (old_id, doc) in debt.terminal {
+        if state.owes(old_id) {
+            continue;
+        }
+        planned += 1;
+        stream_gate(state)?;
+        if stage(state, old_id, Owed::Terminal(doc)) {
+            moved += 1;
+        }
+    }
+    for (old_id, raw) in debt.pending {
+        if state.owes(old_id) {
+            continue;
+        }
+        planned += 1;
+        stream_gate(state)?;
+        let Some((survivor, new_id)) = resubmit_on(state, &after, old_id, &raw, Some(leaver.id))
+        else {
+            return Err(Error::InvalidParameter(format!(
+                "no surviving shard would take job {old_id} from leaving shard {}",
+                leaver.id
+            )));
+        };
+        if stage(
+            state,
+            old_id,
+            Owed::Remapped {
+                shard: survivor,
+                new_id,
+            },
+        ) {
+            moved += 1;
+        }
+    }
+    cutover(state, |ring| ring.remove(leaver.id))?;
+    // Second sweep: a submission proxied to the leaver just before it
+    // was marked `leaving` may have acked after the first spool read.
+    // After cutover no new work can reach the leaver, so replaying the
+    // spool once more catches every straggler.
+    let debt = spool::replay(&spool::spool_path(dir, leaver.id));
+    for (old_id, doc) in debt.terminal {
+        if !state.owes(old_id) {
+            planned += 1;
+            moved += 1;
+            let mut owed = state.owed.lock().expect("owed poisoned");
+            owed.entry(old_id).or_insert(Owed::Terminal(doc));
+        }
+    }
+    for (old_id, raw) in debt.pending {
+        if state.owes(old_id) {
+            continue;
+        }
+        planned += 1;
+        let Some((survivor, new_id)) = resubmit_on(state, &after, old_id, &raw, Some(leaver.id))
+        else {
+            return Err(Error::InvalidParameter(format!(
+                "no surviving shard would take straggler job {old_id} from leaving shard {}",
+                leaver.id
+            )));
+        };
+        moved += 1;
+        let mut owed = state.owed.lock().expect("owed poisoned");
+        owed.entry(old_id).or_insert(Owed::Remapped {
+            shard: survivor,
+            new_id,
+        });
+    }
+    state.metrics.handed_off.fetch_add(moved, Ordering::Relaxed);
+    Ok((planned, moved))
+}
+
+/// `POST /admin/shards` — runtime join. Body: `{"shard": <id>, "addr":
+/// "<host:port>"}`. The shard is health-checked, added to the roster as
+/// `joining`, handed the keys the rebalance plan moves onto it, and cut
+/// over to `active`. On any handoff failure the join rolls back
+/// completely (roster and staging), leaving routing untouched.
+fn admin_join(state: &RouterState, body: &[u8]) -> (u16, Value, Option<u64>) {
+    let parsed = std::str::from_utf8(body)
+        .map_err(|_| Error::InvalidParameter("body is not UTF-8".into()))
+        .and_then(Value::parse);
+    let raw = match parsed {
+        Ok(raw) => raw,
+        Err(e) => return (400, error_body(e.to_string()), None),
+    };
+    let (Some(id), Some(addr)) = (
+        raw.get("shard")
+            .and_then(Value::as_u64)
+            .and_then(|id| u16::try_from(id).ok()),
+        raw.get("addr").and_then(Value::as_str),
+    ) else {
+        return (
+            400,
+            error_body(r#"join body must be {"shard": <0..=65535>, "addr": "host:port"}"#),
+            None,
+        );
+    };
+    let _op = state
+        .membership_lock
+        .lock()
+        .expect("membership lock poisoned");
+    if state.shard(id).is_some() {
+        return (
+            409,
+            error_body(format!("shard {id} is already in the roster")),
+            None,
+        );
+    }
+    if crate::http::request(addr, "GET", "/healthz", None).is_err() {
+        return (
+            502,
+            error_body(format!("shard {id} at {addr} is not answering /healthz")),
+            Some(1),
+        );
+    }
+    let joiner = Arc::new(Shard::new(id, addr.to_string(), Membership::Joining));
+    state
+        .shards
+        .write()
+        .expect("roster poisoned")
+        .push(Arc::clone(&joiner));
+    let started = Instant::now();
+    match handoff_join(state, &joiner) {
+        Ok((planned, moved)) => (
+            200,
+            Value::object()
+                .with("shard", u64::from(id))
+                .with("addr", addr)
+                .with("membership", "active")
+                .with("planned", planned)
+                .with("moved", moved)
+                .with("handoff_seconds", started.elapsed().as_secs_f64()),
+            None,
+        ),
+        Err(e) => {
+            // Roll back: the joiner never became routable, so dropping it
+            // and the staged records restores the pre-join state exactly.
+            state
+                .shards
+                .write()
+                .expect("roster poisoned")
+                .retain(|s| s.id != id);
+            state.handoff.lock().expect("handoff poisoned").clear();
+            (
+                502,
+                error_body(format!("join of shard {id} aborted: {e}")),
+                Some(1),
+            )
+        }
+    }
+}
+
+/// `DELETE /admin/shards/<id>` — runtime leave. Graceful by default
+/// (`leaving` → keys handed off → `gone`); `?mode=dead` skips the
+/// handoff and runs the failover replay instead (for a shard that is
+/// already unreachable).
+fn admin_leave(
+    state: &RouterState,
+    path: &str,
+    query: &[(String, String)],
+) -> (u16, Value, Option<u64>) {
+    let id_text = &path["/admin/shards/".len()..];
+    let Ok(id) = id_text.parse::<u16>() else {
+        return (404, error_body(format!("bad shard id `{id_text}`")), None);
+    };
+    let mode = query
+        .iter()
+        .find(|(k, _)| k == "mode")
+        .map_or("graceful", |(_, v)| v.as_str());
+    if mode != "graceful" && mode != "dead" {
+        return (
+            400,
+            error_body(format!("unknown mode `{mode}` (graceful or dead)")),
+            None,
+        );
+    }
+    let _op = state
+        .membership_lock
+        .lock()
+        .expect("membership lock poisoned");
+    let Some(shard) = state.shard(id) else {
+        return (
+            404,
+            error_body(format!("no shard {id} in the roster")),
+            None,
+        );
+    };
+    {
+        let ring = state.ring.lock().expect("ring poisoned");
+        if ring.len() == 1 && ring.contains(id) {
+            return (
+                400,
+                error_body(format!("shard {id} is the last routable shard")),
+                None,
+            );
+        }
+    }
+    if mode == "dead" || !shard.alive.load(Ordering::SeqCst) {
+        // Dead removal: fold the spool like a failover would (idempotent
+        // if the prober already did), then forget the shard.
+        if shard.alive.swap(false, Ordering::SeqCst) {
+            state.ring.lock().expect("ring poisoned").remove(id);
+            state.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        ensure_failed_over(state, &shard);
+        shard.set_membership(Membership::Gone);
+        state
+            .shards
+            .write()
+            .expect("roster poisoned")
+            .retain(|s| s.id != id);
+        return (
+            200,
+            Value::object()
+                .with("shard", u64::from(id))
+                .with("mode", "dead")
+                .with("membership", "gone"),
+            None,
+        );
+    }
+    shard.set_membership(Membership::Leaving);
+    let started = Instant::now();
+    match handoff_leave(state, &shard) {
+        Ok((planned, moved)) => {
+            shard.set_membership(Membership::Gone);
+            state
+                .shards
+                .write()
+                .expect("roster poisoned")
+                .retain(|s| s.id != id);
+            (
+                200,
+                Value::object()
+                    .with("shard", u64::from(id))
+                    .with("mode", "graceful")
+                    .with("membership", "gone")
+                    .with("planned", planned)
+                    .with("moved", moved)
+                    .with("handoff_seconds", started.elapsed().as_secs_f64()),
+                None,
+            )
+        }
+        Err(e) => {
+            // Roll back to active: the ring never changed, so the shard
+            // simply resumes taking new work.
+            state.handoff.lock().expect("handoff poisoned").clear();
+            shard.set_membership(Membership::Active);
+            (
+                502,
+                error_body(format!("graceful leave of shard {id} aborted: {e}")),
+                Some(1),
+            )
+        }
+    }
+}
+
 fn route_request(
     state: &RouterState,
     conns: &mut ShardConns,
@@ -845,8 +1488,16 @@ fn route_request(
         ("GET", "/jobs") => list(state, conns, &request.query),
         ("GET", path) if path.starts_with("/jobs/") => job_status(state, conns, path),
         ("GET", "/healthz") => healthz(state, conns),
-        (_, "/jobs" | "/healthz") => (405, error_body("method not allowed"), None),
-        (_, path) if path.starts_with("/jobs/") => (405, error_body("method not allowed"), None),
+        ("POST", "/admin/shards") => admin_join(state, &request.body),
+        ("DELETE", path) if path.starts_with("/admin/shards/") => {
+            admin_leave(state, path, &request.query)
+        }
+        (_, "/jobs" | "/healthz" | "/admin/shards") => {
+            (405, error_body("method not allowed"), None)
+        }
+        (_, path) if path.starts_with("/jobs/") || path.starts_with("/admin/shards/") => {
+            (405, error_body("method not allowed"), None)
+        }
         _ => (404, error_body("no such endpoint"), None),
     }
 }
@@ -933,33 +1584,59 @@ fn handle_connection(mut stream: TcpStream, state: &RouterState) {
     }
 }
 
+/// Rejoins a revived shard through the handoff path: its stale spool is
+/// replayed (records it no longer answers for get staged and published
+/// into the owed table), *then* the cutover puts it back on the ring.
+/// The failover latch resets so a second death replays again.
+fn rejoin(state: &RouterState, shard: &Shard) {
+    let _op = state
+        .membership_lock
+        .lock()
+        .expect("membership lock poisoned");
+    if shard.alive.load(Ordering::SeqCst) {
+        return;
+    }
+    let rejoined = handoff_stale_spool(state, shard)
+        .and_then(|(_, moved)| cutover(state, |ring| ring.add(shard.id)).map(|()| moved));
+    match rejoined {
+        Ok(moved) => {
+            state.metrics.handed_off.fetch_add(moved, Ordering::Relaxed);
+            shard.failures.store(0, Ordering::SeqCst);
+            shard.failed_over.store(false, Ordering::SeqCst);
+            shard.set_membership(Membership::Active);
+            shard.alive.store(true, Ordering::SeqCst);
+        }
+        Err(_) => {
+            // Leave the shard down; the next successful probe retries
+            // the rejoin from scratch.
+            state.handoff.lock().expect("handoff poisoned").clear();
+        }
+    }
+}
+
 /// Health-probes every shard over keep-alive connections. Live shards
 /// are probed each `interval`; failing shards back off with jitter
-/// (capped at 8× the interval) and rejoin the ring on the first
-/// successful probe.
+/// (capped at 8× the interval) and rejoin the ring — through the stale
+/// spool handoff — on the first successful probe. The roster is
+/// re-snapshotted each tick so runtime joins and leaves are picked up.
 fn prober_loop(state: &Arc<RouterState>, interval: Duration) {
     let mut conns: ShardConns = HashMap::new();
     let mut backoffs: HashMap<u16, Backoff> = HashMap::new();
     let mut due: HashMap<u16, Instant> = HashMap::new();
-    let now = Instant::now();
-    for shard in &state.shards {
-        due.insert(shard.id, now);
-        backoffs.insert(
-            shard.id,
-            Backoff::new(
-                interval,
-                interval.saturating_mul(8),
-                0x7072_6f62_u64 ^ u64::from(shard.id),
-            ),
-        );
-    }
     while !state.shutting_down.load(Ordering::SeqCst) {
         let now = Instant::now();
-        for shard in &state.shards {
-            if due.get(&shard.id).is_some_and(|&at| now < at) {
+        for shard in state.roster() {
+            backoffs.entry(shard.id).or_insert_with(|| {
+                Backoff::new(
+                    interval,
+                    interval.saturating_mul(8),
+                    0x7072_6f62_u64 ^ u64::from(shard.id),
+                )
+            });
+            if *due.entry(shard.id).or_insert(now) > now {
                 continue;
             }
-            match proxy(&mut conns, shard, "GET", "/healthz", None) {
+            match proxy(&mut conns, &shard, "GET", "/healthz", None) {
                 Ok(_) => {
                     backoffs.insert(
                         shard.id,
@@ -969,16 +1646,13 @@ fn prober_loop(state: &Arc<RouterState>, interval: Duration) {
                             0x7072_6f62_u64 ^ u64::from(shard.id),
                         ),
                     );
-                    if !shard.alive.swap(true, Ordering::SeqCst) {
-                        // Rejoin: back onto the ring for *new* work; ids
-                        // already failed over keep being served from the
-                        // owed table (identical results either way).
-                        state.ring.lock().expect("ring poisoned").add(shard.id);
+                    if !shard.alive.load(Ordering::SeqCst) {
+                        rejoin(state, &shard);
                     }
                     due.insert(shard.id, now + interval);
                 }
                 Err(_) => {
-                    note_shard_failure(state, shard);
+                    note_shard_failure(state, &shard);
                     let delay = backoffs
                         .get_mut(&shard.id)
                         .map(Backoff::next_delay)
@@ -1228,6 +1902,138 @@ mod tests {
             lookup(&health, &["router", "replayed_jobs"]).and_then(Value::as_u64),
             Some(on_stuck.len() as u64)
         );
+        router.shutdown();
+        healthy.shutdown();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn runtime_join_and_graceful_leave_keep_every_acked_id_servable() {
+        let spool = temp_dir("membership");
+        let a = Server::start(&shard_config(0, 1, Some(spool.clone()))).unwrap();
+        let b = Server::start(&shard_config(1, 1, Some(spool.clone()))).unwrap();
+        let router = router_over(&[(&a, 0), (&b, 1)], Some(spool.clone()));
+        let addr = router.addr().to_string();
+        let mut client = Client::new(&addr);
+
+        // First wave is acked by the static two-shard roster.
+        let mut ids = Vec::new();
+        for seed in 0..6 {
+            ids.push(client.submit(&job_body(seed)).unwrap());
+        }
+
+        // Runtime join of shard 2 while the first wave may still run.
+        let c = Server::start(&shard_config(2, 1, Some(spool.clone()))).unwrap();
+        let join_body = Value::object()
+            .with("shard", 2u64)
+            .with("addr", c.addr().to_string());
+        let (status, joined) =
+            crate::http::request(&addr, "POST", "/admin/shards", Some(&join_body)).unwrap();
+        assert_eq!(status, 200, "join: {joined:?}");
+        assert_eq!(
+            joined.get("membership").and_then(Value::as_str),
+            Some("active")
+        );
+        assert!(joined.get("handoff_seconds").is_some());
+
+        // A duplicate join of the same shard id is refused.
+        let (status, _) =
+            crate::http::request(&addr, "POST", "/admin/shards", Some(&join_body)).unwrap();
+        assert_eq!(status, 409);
+
+        // The joiner takes (some of) the second wave.
+        for seed in 6..18 {
+            ids.push(client.submit(&job_body(seed)).unwrap());
+        }
+        assert!(
+            ids.iter().any(|&id| shard_of(id) == 2),
+            "the joiner owns part of the keyspace: {ids:?}"
+        );
+        let health = client.healthz().unwrap();
+        let shards = health.get("shards").and_then(Value::as_object).unwrap();
+        assert_eq!(shards.len(), 3, "roster grew: {health}");
+        assert_eq!(
+            lookup(&health, &["shards", "2", "membership"]).and_then(Value::as_str),
+            Some("active")
+        );
+
+        // Graceful leave of shard 1, possibly mid-flight: its keys hand
+        // off to the survivors.
+        let (status, left) =
+            crate::http::request(&addr, "DELETE", "/admin/shards/1", None).unwrap();
+        assert_eq!(status, 200, "leave: {left:?}");
+        assert_eq!(left.get("membership").and_then(Value::as_str), Some("gone"));
+
+        // Every acked id — including those acked by the departed shard —
+        // still completes under its original id.
+        for &id in &ids {
+            let doc = client
+                .wait_for(id, Duration::from_millis(5), Duration::from_secs(60))
+                .unwrap_or_else(|e| panic!("job {id} after membership churn: {e}"));
+            assert_eq!(
+                doc.get("status").and_then(Value::as_str),
+                Some("done"),
+                "job {id}: {doc:?}"
+            );
+            assert_eq!(doc.get("job").and_then(Value::as_u64), Some(id));
+        }
+
+        // The roster shrank, nothing ever failed over, and both
+        // membership changes went through the handoff path.
+        let health = client.healthz().unwrap();
+        let shards = health.get("shards").and_then(Value::as_object).unwrap();
+        assert_eq!(shards.len(), 2, "roster shrank: {health}");
+        assert_eq!(
+            lookup(&health, &["router", "failovers"]).and_then(Value::as_u64),
+            Some(0),
+            "membership churn is not failover: {health}"
+        );
+        assert_eq!(
+            lookup(&health, &["router", "handoffs"]).and_then(Value::as_u64),
+            Some(2),
+            "one join cutover + one leave cutover: {health}"
+        );
+        router.shutdown();
+        a.shutdown();
+        b.shutdown();
+        c.shutdown();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn dead_mode_leave_runs_failover_and_forgets_the_shard() {
+        let spool = temp_dir("deadleave");
+        // Shard 0 acks but never works; shard 1 does the work.
+        let stuck = Server::start(&shard_config(0, 0, Some(spool.clone()))).unwrap();
+        let healthy = Server::start(&shard_config(1, 2, Some(spool.clone()))).unwrap();
+        let router = router_over(&[(&stuck, 0), (&healthy, 1)], Some(spool.clone()));
+        let addr = router.addr().to_string();
+        let mut client = Client::new(&addr);
+        let ids: Vec<u64> = (0..8)
+            .map(|s| client.submit(&job_body(s)).unwrap())
+            .collect();
+        assert!(ids.iter().any(|&id| shard_of(id) == 0));
+
+        stuck.shutdown();
+        let (status, gone) =
+            crate::http::request(&addr, "DELETE", "/admin/shards/0?mode=dead", None).unwrap();
+        assert_eq!(status, 200, "dead removal: {gone:?}");
+        assert_eq!(gone.get("mode").and_then(Value::as_str), Some("dead"));
+        for &id in &ids {
+            let doc = client
+                .wait_for(id, Duration::from_millis(5), Duration::from_secs(60))
+                .unwrap();
+            assert_eq!(doc.get("status").and_then(Value::as_str), Some("done"));
+            assert_eq!(doc.get("job").and_then(Value::as_u64), Some(id));
+        }
+        let health = client.healthz().unwrap();
+        let shards = health.get("shards").and_then(Value::as_object).unwrap();
+        assert_eq!(shards.len(), 1, "the dead shard is forgotten: {health}");
+
+        // Removing the last shard is refused.
+        let (status, refused) =
+            crate::http::request(&addr, "DELETE", "/admin/shards/1", None).unwrap();
+        assert_eq!(status, 400, "last shard: {refused:?}");
         router.shutdown();
         healthy.shutdown();
         let _ = std::fs::remove_dir_all(&spool);

@@ -139,6 +139,62 @@ impl Ring {
         }
         order
     }
+
+    /// The first virtual node at or after `point` (wrapping), as an index
+    /// into `vnodes`. `None` on an empty ring.
+    fn successor(&self, point: u64) -> Option<usize> {
+        if self.vnodes.is_empty() {
+            return None;
+        }
+        let at = self.vnodes.partition_point(|&(p, _)| p < point);
+        Some(at % self.vnodes.len())
+    }
+}
+
+/// One key the membership change moves: where it routed before, where it
+/// routes after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovedKey {
+    /// The routing key (a job id on the failover/handoff paths).
+    pub key: u64,
+    /// The shard that owned the key on the old ring.
+    pub from: u16,
+    /// The shard that owns the key on the new ring.
+    pub to: u16,
+}
+
+/// The rebalance plan for a ring delta: exactly the keys of `keys` whose
+/// owner changes between `before` and `after`, with both owners. Every
+/// other key is untouched — this is the minimal-disruption property made
+/// operational, and the plan-level proptest below holds it to a
+/// plan-vs-`route()` oracle.
+///
+/// The plan is computed from the ring **delta**, not by re-routing every
+/// key twice: a key can only move when its clockwise successor vnode
+/// changed — the successor on `after` is a vnode `before` did not have
+/// (a join claimed the arc), or the successor on `before` is a vnode
+/// `after` no longer has (a leave released it). Keys whose successor
+/// vnode survives in both rings are skipped without a second lookup.
+pub fn rebalance_plan(before: &Ring, after: &Ring, keys: &[u64]) -> Vec<MovedKey> {
+    let mut plan = Vec::new();
+    for &key in keys {
+        let point = key_point(key);
+        let (Some(b), Some(a)) = (before.successor(point), after.successor(point)) else {
+            continue;
+        };
+        let succ_before = before.vnodes[b];
+        let succ_after = after.vnodes[a];
+        // Delta test: an unchanged successor arc cannot move the key.
+        if succ_before == succ_after {
+            continue;
+        }
+        let from = succ_before.1;
+        let to = succ_after.1;
+        if from != to {
+            plan.push(MovedKey { key, from, to });
+        }
+    }
+    plan
 }
 
 #[cfg(test)]
@@ -266,6 +322,61 @@ mod tests {
                 if now != newcomer {
                     prop_assert_eq!(Some(now), before.route(key));
                 }
+            }
+        }
+
+        /// The plan-level oracle (ISSUE 9): across a random roster and a
+        /// random join/leave sequence, `rebalance_plan` names **exactly**
+        /// the keys whose `route()` owner changed — no key moved that the
+        /// routes say stayed, no key stayed that the routes say moved,
+        /// and every moved key's `from`/`to` match the two routes. And
+        /// each step moves at most `⌈keys/N⌉·2` keys (N = shards on the
+        /// larger of the two rings): a join claims at most the
+        /// newcomer's balanced share, a leave releases at most the
+        /// departer's.
+        #[test]
+        fn rebalance_plan_is_exactly_the_owner_delta_and_bounded(
+            ids in prop::collection::vec(0u16..16, 2..6),
+            steps in prop::collection::vec((any::<bool>(), 0u16..16), 1..6),
+        ) {
+            let mut distinct: Vec<u16> = ids.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assume!(distinct.len() >= 2);
+            let keys: Vec<u64> = (0..4096).collect();
+            let mut ring = Ring::new(distinct.iter().copied(), Ring::DEFAULT_VNODES);
+            for (join, shard) in steps {
+                let before = ring.clone();
+                if join {
+                    ring.add(shard);
+                } else {
+                    if ring.len() == 1 && ring.contains(shard) {
+                        continue; // keep the ring routable
+                    }
+                    ring.remove(shard);
+                }
+                let plan = rebalance_plan(&before, &ring, &keys);
+                let planned: std::collections::BTreeMap<u64, (u16, u16)> =
+                    plan.iter().map(|m| (m.key, (m.from, m.to))).collect();
+                prop_assert_eq!(planned.len(), plan.len(), "no key planned twice");
+                for &key in &keys {
+                    let was = before.route(key).unwrap();
+                    let now = ring.route(key).unwrap();
+                    match planned.get(&key) {
+                        Some(&(from, to)) => {
+                            prop_assert_ne!(was, now, "planned key {} did not move", key);
+                            prop_assert_eq!((from, to), (was, now));
+                        }
+                        None => prop_assert_eq!(was, now, "unplanned key {} moved", key),
+                    }
+                }
+                let n = before.len().max(ring.len());
+                let bound = 2 * keys.len().div_ceil(n);
+                prop_assert!(
+                    plan.len() <= bound,
+                    "{} keys moved across {} shards (bound {})",
+                    plan.len(), n, bound
+                );
             }
         }
 

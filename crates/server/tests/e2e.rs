@@ -874,3 +874,81 @@ fn healthz_reports_latency_percentiles_after_a_job() {
     drop(client);
     server.shutdown();
 }
+
+/// The membership satellite, end to end over real sockets: the router's
+/// `/healthz` per-shard table carries a membership state for every
+/// shard — `active` for routable members, `down` once one dies, and a
+/// runtime joiner shows up `active` after its handoff.
+#[test]
+fn router_healthz_reports_membership_states() {
+    use sspc_server::{Router, RouterConfig};
+
+    let shard = |id: u16| {
+        Server::start(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            shard_id: id,
+            ..Default::default()
+        })
+        .unwrap()
+    };
+    let a = shard(0);
+    let b = shard(1);
+    let router = Router::start(&RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: vec![(0, a.addr().to_string()), (1, b.addr().to_string())],
+        probe_interval: Duration::from_secs(60), // only proxy traffic notices deaths
+        fail_after: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::new(router.addr().to_string());
+
+    let membership = |health: &Value, id: &str| -> String {
+        health
+            .get("shards")
+            .and_then(|s| s.get(id))
+            .and_then(|doc| doc.get("membership"))
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let health = client.healthz().unwrap();
+    assert_eq!(membership(&health, "0"), "active", "{health}");
+    assert_eq!(membership(&health, "1"), "active", "{health}");
+
+    // A runtime joiner ends up `active` once its handoff cuts over.
+    let c = shard(2);
+    let joined = client.add_shard(2, &c.addr().to_string()).unwrap();
+    assert_eq!(
+        joined.get("membership").and_then(Value::as_str),
+        Some("active"),
+        "{joined}"
+    );
+    let health = client.healthz().unwrap();
+    assert_eq!(membership(&health, "2"), "active", "{health}");
+
+    // A dead shard renders `down`, not merely absent. The healthz fan-in
+    // itself notices the refused connection (fail_after=1), though the
+    // dying shard may answer one last in-flight probe mid-drain.
+    b.shutdown();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let health = loop {
+        let health = client.healthz().unwrap();
+        if membership(&health, "1") == "down" {
+            break health;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shard 1 never went down: {health}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(membership(&health, "0"), "active", "{health}");
+
+    drop(client);
+    router.shutdown();
+    a.shutdown();
+    c.shutdown();
+}
