@@ -23,10 +23,14 @@
 //! * `HOTLOOP_ROUNDS` — timed rounds per path (default 3; min of the
 //!   rounds is reported);
 //! * `HOTLOOP_SMOKE=1` — 600 × 120 at k = 4, one round, for CI smoke jobs;
+//! * `SSPC_ASSIGN_PATH` — force the assignment kernel layout (`row` /
+//!   `transposed`; default `auto` routes by shape). Recorded in the JSON
+//!   line as `assign_path`, alongside the per-phase breakdown
+//!   (`assign_secs` / `refit_secs` / `other_secs` per timed leg);
 //! * `BENCH_HOTLOOP_OUT` — output path for the JSON record.
 
 use sspc::objective::{ClusterModel, FitScratch, IncrementalModel};
-use sspc::{Sspc, SspcParams, SspcResult, Supervision, ThresholdScheme, Thresholds};
+use sspc::{PhaseTimings, Sspc, SspcParams, SspcResult, Supervision, ThresholdScheme, Thresholds};
 use sspc_common::{Dataset, ObjectId};
 use std::time::Instant;
 
@@ -221,31 +225,51 @@ fn main() {
     let batch = Sspc::new(params.with_incremental(false)).unwrap();
     let seed = 7u64;
 
-    let time_path = |label: &str, f: &dyn Fn() -> SspcResult| -> (f64, SspcResult) {
+    // Each timed leg reports its per-phase breakdown (assign / refit /
+    // other) alongside the wall clock — the breakdown of the best (min
+    // total) round is what lands in the record, so assignment-phase wins
+    // are attributable instead of inferred from whole-run deltas. The
+    // timing collector costs two `Instant` reads per outer iteration.
+    let time_path = |label: &str,
+                     f: &dyn Fn() -> (SspcResult, PhaseTimings)|
+     -> (f64, SspcResult, PhaseTimings) {
         let mut best = f64::INFINITY;
+        let mut best_phases = PhaseTimings::default();
         let mut result = None;
         for round in 0..rounds.max(1) {
             let start = Instant::now();
-            let r = f();
+            let (r, phases) = f();
             let secs = start.elapsed().as_secs_f64();
             eprintln!(
-                "hotloop: {label} round {round}: {secs:.3} s ({} iterations)",
-                r.iterations()
+                "hotloop: {label} round {round}: {secs:.3} s ({} iterations; \
+                     assign {:.3} s, refit {:.3} s, other {:.3} s)",
+                r.iterations(),
+                phases.assign_secs,
+                phases.refit_secs,
+                phases.other_secs,
             );
-            best = best.min(secs);
+            if secs < best {
+                best = secs;
+                best_phases = phases;
+            }
             result = Some(r);
         }
-        (best, result.expect("at least one round"))
+        (best, result.expect("at least one round"), best_phases)
     };
 
-    let (naive_secs, naive_result) = time_path("naive  ", &|| {
-        batch.run_naive(&data.dataset, &supervision, seed).unwrap()
+    let (naive_secs, naive_result, naive_phases) = time_path("naive  ", &|| {
+        batch
+            .run_naive_with_timings(&data.dataset, &supervision, seed)
+            .unwrap()
     });
-    let (batch_secs, batch_result) = time_path("batch  ", &|| {
-        batch.run(&data.dataset, &supervision, seed).unwrap()
+    let (batch_secs, batch_result, batch_phases) = time_path("batch  ", &|| {
+        batch
+            .run_with_timings(&data.dataset, &supervision, seed)
+            .unwrap()
     });
-    let (incr_secs, incr_result) = time_path("incr   ", &|| {
-        incr.run(&data.dataset, &supervision, seed).unwrap()
+    let (incr_secs, incr_result, incr_phases) = time_path("incr   ", &|| {
+        incr.run_with_timings(&data.dataset, &supervision, seed)
+            .unwrap()
     });
 
     // Cancellation-overhead A/B: the cooperative deadline check sits in
@@ -253,9 +277,10 @@ fn main() {
     // (a thread-local read); this run installs a far-future deadline so
     // every check also pays its `Instant::now()`. Both must be noise.
     let far_deadline = Instant::now() + std::time::Duration::from_secs(86_400);
-    let (deadline_secs, deadline_result) = time_path("incr+dl", &|| {
+    let (deadline_secs, deadline_result, _) = time_path("incr+dl", &|| {
         let _deadline = sspc_common::cancel::deadline_guard(far_deadline);
-        incr.run(&data.dataset, &supervision, seed).unwrap()
+        incr.run_with_timings(&data.dataset, &supervision, seed)
+            .unwrap()
     });
 
     let bit_identical = naive_result == batch_result
@@ -325,12 +350,29 @@ fn main() {
         .unwrap_or_else(|_| format!("{}/../../BENCH_hotloop.json", env!("CARGO_MANIFEST_DIR")));
     let threads = sspc_common::parallel::num_threads();
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    // The assignment-path routing in force (the SSPC_ASSIGN_PATH A/B
+    // knob), normalized so the trajectory records parse uniformly.
+    let assign_path = match std::env::var("SSPC_ASSIGN_PATH")
+        .ok()
+        .as_deref()
+        .map(str::trim)
+    {
+        Some("row") => "row",
+        Some("transposed") => "transposed",
+        _ => "auto",
+    };
     let record = format!(
         concat!(
             "{{\"bench\":\"hotloop\",\"n\":{},\"d\":{},\"k\":{},\"rounds\":{},",
-            "\"threads\":{},\"cores\":{},\"naive_secs\":{:.6},\"batch_secs\":{:.6},",
+            "\"threads\":{},\"cores\":{},\"assign_path\":\"{}\",",
+            "\"naive_secs\":{:.6},\"batch_secs\":{:.6},",
             "\"incr_secs\":{:.6},\"fast_secs\":{:.6},\"speedup\":{:.3},",
-            "\"speedup_incr_vs_batch\":{:.3},\"stabilized_batch_secs\":{:.6},",
+            "\"speedup_incr_vs_batch\":{:.3},",
+            "\"assign_secs\":{:.6},\"refit_secs\":{:.6},\"other_secs\":{:.6},",
+            "\"naive_assign_secs\":{:.6},\"naive_refit_secs\":{:.6},",
+            "\"naive_other_secs\":{:.6},\"batch_assign_secs\":{:.6},",
+            "\"batch_refit_secs\":{:.6},\"batch_other_secs\":{:.6},",
+            "\"stabilized_batch_secs\":{:.6},",
             "\"stabilized_incr_secs\":{:.6},\"stabilized_speedup\":{:.3},",
             "\"stabilized_delta\":{},\"deadline_incr_secs\":{:.6},",
             "\"deadline_overhead\":{:.4},\"bit_identical\":{},\"iterations\":{}}}\n"
@@ -341,12 +383,22 @@ fn main() {
         rounds,
         threads,
         cores,
+        assign_path,
         naive_secs,
         batch_secs,
         incr_secs,
         incr_secs,
         speedup,
         speedup_incr,
+        incr_phases.assign_secs,
+        incr_phases.refit_secs,
+        incr_phases.other_secs,
+        naive_phases.assign_secs,
+        naive_phases.refit_secs,
+        naive_phases.other_secs,
+        batch_phases.assign_secs,
+        batch_phases.refit_secs,
+        batch_phases.other_secs,
         stab_batch,
         stab_incr,
         stab_speedup,

@@ -5,7 +5,10 @@
 //! Hungarian matcher, and the synthetic generator.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use sspc::objective::{assignment_gain_row, ClusterModel, FitScratch, IncrementalModel};
+use sspc::objective::{
+    assignment_argmax, assignment_gain_row, assignment_gains_transposed, AssignCandidate,
+    ClusterModel, FitScratch, IncrementalModel, ASSIGN_BLOCK,
+};
 use sspc::{ThresholdScheme, Thresholds};
 use sspc_common::orderstat::MedianSet;
 use sspc_common::stats::ChiSquared;
@@ -190,10 +193,21 @@ fn bench_medianset_ops(c: &mut Criterion) {
                 })
             },
         );
+        // Bulk-load A/B: the default full `sort_unstable` rebuild against
+        // the quantile-partition pass (recursive `select_nth_unstable` at
+        // chunk boundaries, then short chunk sorts). Both build the
+        // identical structure; the measurement decided the default — the
+        // full sort won at every size, so the partition pass is the A/B
+        // arm only (PERFORMANCE.md "MedianSet bulk-load").
         group.bench_with_input(
             BenchmarkId::new("rebuild_unsorted", format!("n{n}")),
             &values,
             |b, values| b.iter(|| set.rebuild_from_unsorted(black_box(values), &mut keys)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_unsorted_quantile", format!("n{n}")),
+            &values,
+            |b, values| b.iter(|| set.rebuild_from_unsorted_quantile(black_box(values), &mut keys)),
         );
     }
     group.finish();
@@ -235,6 +249,99 @@ fn bench_gain_row(c: &mut Criterion) {
             BenchmarkId::new("sequential", format!("dims{n_dims}")),
             &dims,
             |b, dims| b.iter(|| black_box(sequential(dims))),
+        );
+    }
+    group.finish();
+}
+
+/// The whole-assignment-phase layout A/B behind the `SSPC_ASSIGN_PATH`
+/// router: the row-wise path (per-object `assignment_gain_row` over every
+/// candidate, strided column reads) against the transposed path
+/// (per-candidate contiguous `column_slice` scans into blocked gain
+/// stripes, then a per-object argmax reduction). Both produce bit-identical
+/// gains; the sweep varies the per-cluster selected-dimension count, which
+/// is what the auto-routing heuristic keys on — transposed pulls ahead as
+/// dimensions widen, row stays competitive on narrow clusters.
+fn bench_assign_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assign_layout");
+    let (n, d, k) = (4096usize, 1000usize, 10usize);
+    let data = generate(&config(n, d), 5).unwrap();
+    let thresholds = Thresholds::new(ThresholdScheme::MFraction(0.5), &data.dataset).unwrap();
+    let t_row = thresholds.row(n / k);
+    for n_dims in [4usize, 20, 100] {
+        // k candidate clusters: representatives from distinct data rows,
+        // dimension sets offset per cluster so the scans don't all touch
+        // the same columns.
+        let reps: Vec<Vec<f64>> = (0..k)
+            .map(|cl| data.dataset.row(ObjectId(cl * (n / k))).to_vec())
+            .collect();
+        let dims_list: Vec<Vec<DimId>> = (0..k)
+            .map(|cl| {
+                (0..n_dims)
+                    .map(|j| DimId((cl * 7 + j * (d / n_dims)) % d))
+                    .collect()
+            })
+            .collect();
+        let candidates: Vec<AssignCandidate<'_>> = (0..k)
+            .map(|cl| AssignCandidate {
+                rep: &reps[cl],
+                dims: &dims_list[cl],
+                threshold_row: &t_row,
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("row", format!("dims{n_dims}")),
+            &candidates,
+            |b, candidates| {
+                b.iter(|| {
+                    let mut outliers = 0usize;
+                    for i in 0..n {
+                        let row = data.dataset.row(ObjectId(i));
+                        let mut best_gain = 0.0f64;
+                        let mut best = None;
+                        for (cl, cand) in candidates.iter().enumerate() {
+                            let gain =
+                                assignment_gain_row(row, cand.rep, cand.dims, cand.threshold_row);
+                            if gain > best_gain {
+                                best_gain = gain;
+                                best = Some(cl);
+                            }
+                        }
+                        if best.is_none() {
+                            outliers += 1;
+                        }
+                    }
+                    black_box(outliers)
+                })
+            },
+        );
+        let mut gains = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new("transposed", format!("dims{n_dims}")),
+            &candidates,
+            |b, candidates| {
+                b.iter(|| {
+                    let mut outliers = 0usize;
+                    let mut start = 0usize;
+                    while start < n {
+                        let block_len = (n - start).min(ASSIGN_BLOCK);
+                        assignment_gains_transposed(
+                            &data.dataset,
+                            start,
+                            block_len,
+                            candidates,
+                            &mut gains,
+                        );
+                        for i in 0..block_len {
+                            if assignment_argmax(&gains, block_len, i).is_none() {
+                                outliers += 1;
+                            }
+                        }
+                        start += block_len;
+                    }
+                    black_box(outliers)
+                })
+            },
         );
     }
     group.finish();
@@ -292,6 +399,7 @@ criterion_group!(
     bench_incremental_delta_sweep,
     bench_medianset_ops,
     bench_gain_row,
+    bench_assign_layouts,
     bench_chi_square_quantile,
     bench_ari,
     bench_hungarian,

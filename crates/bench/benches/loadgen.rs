@@ -394,7 +394,10 @@ fn main() {
         .with("smoke", smoke)
         .with("jobs", jobs)
         .with("rate", rate)
-        .with("threads", 1u64)
+        // Resolved per-job worker count, read back from the same source
+        // the algorithms use (pinned via SSPC_NUM_THREADS above) instead
+        // of echoing the pin — the record cannot disagree with reality.
+        .with("threads", sspc_common::parallel::num_threads() as u64)
         .with("cores", cores)
         .with("traces", traces);
 

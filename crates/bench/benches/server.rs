@@ -303,7 +303,10 @@ fn main() {
         .with("k", w.k)
         .with("algorithms", w.algorithms)
         .with("runs_per_algorithm", w.runs)
-        .with("threads", 1u64) // per-job SSPC_NUM_THREADS, pinned above
+        // The *resolved* per-job worker count (pinned via SSPC_NUM_THREADS
+        // above) — read back from sspc_common::parallel instead of echoed,
+        // so the record can never silently disagree with what jobs did.
+        .with("threads", sspc_common::parallel::num_threads() as u64)
         .with("cores", cores)
         .with("sweep", sweep);
 

@@ -160,6 +160,20 @@ impl Dataset {
         &self.columns[start..start + self.n]
     }
 
+    /// A contiguous sub-range of [`Dataset::column_slice`]: the projections
+    /// of objects `start .. start + len` on dimension `j`, in object order
+    /// (`column_block(j, start, len)[i] == value(ObjectId(start + i), j)`).
+    ///
+    /// The transposed assignment kernel scans one such block per selected
+    /// dimension, so its working set (block × candidate clusters) stays
+    /// cache-resident regardless of `n`.
+    #[inline]
+    pub fn column_block(&self, j: DimId, start: usize, len: usize) -> &[f64] {
+        debug_assert!(start + len <= self.n);
+        let base = j.index() * self.n + start;
+        &self.columns[base..base + len]
+    }
+
     /// Cached global sample mean of dimension `j`.
     #[inline]
     pub fn global_mean(&self, j: DimId) -> f64 {

@@ -62,6 +62,34 @@ fn value_of(k: u64) -> f64 {
     f64::from_bits(b)
 }
 
+/// Orders `keys` exactly as `sort_unstable` would, but only as hard as the
+/// chunk packing needs: `fill_chunks` consumes the array as consecutive
+/// `MAX_CHUNK / 2`-element segments, so the pass recursively partitions
+/// with `select_nth_unstable` at a segment-aligned rank near the middle
+/// until every piece is ≤ [`MAX_CHUNK`] long, then sorts those small base
+/// segments outright. Every element lands at its globally sorted position
+/// (`u64` total order — equal keys are indistinguishable, so "a" correct
+/// position is "the" correct position), which keeps the resulting chunk
+/// list bit-identical to the full-sort build; only the work schedule
+/// changes. The `kernels` bench A/Bs this against the default
+/// [`MedianSet::rebuild_from_unsorted`] full sort — the full sort won at
+/// every size (introselect's exact-rank partitions cost more per element
+/// than the stdlib sort's), so this pass backs only the measured A/B arm
+/// ([`MedianSet::rebuild_from_unsorted_quantile`]).
+fn quantile_partition_sort(keys: &mut [u64]) {
+    if keys.len() <= MAX_CHUNK {
+        keys.sort_unstable();
+        return;
+    }
+    // Split at the segment boundary nearest the midpoint so the recursion
+    // bottoms out in pieces shaped like the chunk packing's segments.
+    let segment = MAX_CHUNK / 2;
+    let mid = ((keys.len() / 2) / segment).max(1) * segment;
+    let (lo, _pivot, hi) = keys.select_nth_unstable(mid);
+    quantile_partition_sort(lo);
+    quantile_partition_sort(hi);
+}
+
 /// An indexable `f64` multiset ordered by [`f64::total_cmp`], supporting
 /// insert, remove, and order-statistic queries (median, select) without
 /// re-sorting. See the [module docs](self) for the exactness contract and
@@ -302,15 +330,39 @@ impl MedianSet {
     }
 
     /// Replaces the contents with `values`, in any order. The rebuild maps
-    /// to order-preserving keys first and sorts those — a branchless
-    /// integer sort, measurably faster than `sort_by(total_cmp)` on the
+    /// to order-preserving keys first and orders those — branchless integer
+    /// comparisons, measurably faster than `sort_by(total_cmp)` on the
     /// floats — using `key_scratch` as the staging buffer (grown on demand,
-    /// reused across calls). `O(n log n)`; the bulk-load path of the
-    /// incremental refit engine.
+    /// reused across calls). The ordering pass is one `sort_unstable` of
+    /// the key array: the quantile-partition alternative
+    /// ([`MedianSet::rebuild_from_unsorted_quantile`]) was A/B'd in the
+    /// `kernels` bench and measured *slower* at every size, so the full
+    /// sort stays the default. The bulk-load path of the incremental refit
+    /// engine.
     pub fn rebuild_from_unsorted(&mut self, values: &[f64], key_scratch: &mut Vec<u64>) {
         key_scratch.clear();
         key_scratch.extend(values.iter().map(|&v| key_of(v)));
         key_scratch.sort_unstable();
+        let n = key_scratch.len();
+        self.fill_chunks(key_scratch.drain(..), n);
+    }
+
+    /// [`MedianSet::rebuild_from_unsorted`] through a quantile-partition
+    /// pass (`quantile_partition_sort`) instead of one monolithic
+    /// `sort_unstable`: recursive `select_nth_unstable` at segment-aligned
+    /// ranks, then sorts of the ≤ `MAX_CHUNK`-element base pieces.
+    /// Produces a structure identical to the default rebuild (`u64` keys
+    /// under their total order make equal elements indistinguishable, so
+    /// any correct ordering yields the same chunk list), but the `kernels`
+    /// bench measured it behind the full sort at every size — introselect's
+    /// exact-rank partitions cost more per element than the stdlib sort's —
+    /// so it is retained only as the measured A/B arm, not wired into any
+    /// production path (PERFORMANCE.md "MedianSet bulk-load" records the
+    /// numbers).
+    pub fn rebuild_from_unsorted_quantile(&mut self, values: &[f64], key_scratch: &mut Vec<u64>) {
+        key_scratch.clear();
+        key_scratch.extend(values.iter().map(|&v| key_of(v)));
+        quantile_partition_sort(key_scratch);
         let n = key_scratch.len();
         self.fill_chunks(key_scratch.drain(..), n);
     }
@@ -534,9 +586,49 @@ mod tests {
         b.rebuild_from_unsorted(&unsorted, &mut keys);
         assert_eq!(a, b);
         assert_eq!(a.median().unwrap().to_bits(), b.median().unwrap().to_bits());
+        b.assert_invariants();
+        // The quantile-partition bulk-load (the kernels-bench A/B arm)
+        // builds the identical structure.
+        let mut c = MedianSet::new();
+        c.rebuild_from_unsorted_quantile(&unsorted, &mut keys);
+        assert_eq!(a, c);
         // The scratch is reusable and the set rebuildable to empty.
         b.rebuild_from_unsorted(&[], &mut keys);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn quantile_partition_rebuild_matches_fullsort_across_sizes() {
+        // Cover both partition branches (≤ MAX_CHUNK base case and the
+        // recursive split), duplicate-heavy input, and signed zeros / the
+        // full total_cmp order — at sizes straddling every boundary shape.
+        for n in [0usize, 1, 63, 64, 65, 96, 128, 129, 1000, 2048] {
+            let values: Vec<f64> = (0..n)
+                .map(|i| match i % 7 {
+                    0 => -0.0,
+                    1 => 0.0,
+                    2 => f64::from((i as u32 * 37) % 11) - 5.0,
+                    3 => -f64::from((i as u32 * 53) % 13),
+                    4 => f64::INFINITY,
+                    5 => f64::NEG_INFINITY,
+                    _ => f64::from(i as u32) * 0.125,
+                })
+                .collect();
+            let mut keys = Vec::new();
+            let mut partitioned = MedianSet::new();
+            partitioned.rebuild_from_unsorted_quantile(&values, &mut keys);
+            partitioned.assert_invariants();
+            let mut full = MedianSet::new();
+            full.rebuild_from_unsorted(&values, &mut keys);
+            assert_eq!(partitioned, full, "structures diverged at n = {n}");
+            if n > 0 {
+                assert_eq!(
+                    partitioned.median().unwrap().to_bits(),
+                    full.median().unwrap().to_bits(),
+                    "median bits diverged at n = {n}"
+                );
+            }
+        }
     }
 
     #[test]

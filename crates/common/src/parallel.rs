@@ -51,16 +51,36 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    for_each_chunk_mut_with(out, || (), |offset, chunk, ()| f(offset, chunk));
+}
+
+/// [`for_each_chunk_mut`] with a per-worker scratch value: `init` runs once
+/// per spawned worker (once total when running inline) and the scratch is
+/// handed to that worker's chunk — the pattern for reusable per-worker
+/// buffers (the transposed assignment phase's gain buffer) that must not be
+/// shared across threads. The chunk boundaries are identical to
+/// [`for_each_chunk_mut`]'s, so the same non-observability contract applies.
+pub fn for_each_chunk_mut_with<T, S, I, F>(out: &mut [T], init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
     let threads = num_threads().min(out.len().div_ceil(MIN_CHUNK)).max(1);
     if threads == 1 {
-        f(0, out);
+        let mut scratch = init();
+        f(0, out, &mut scratch);
         return;
     }
     let chunk_len = out.len().div_ceil(threads);
     std::thread::scope(|scope| {
         for (idx, chunk) in out.chunks_mut(chunk_len).enumerate() {
             let f = &f;
-            scope.spawn(move || f(idx * chunk_len, chunk));
+            let init = &init;
+            scope.spawn(move || {
+                let mut scratch = init();
+                f(idx * chunk_len, chunk, &mut scratch);
+            });
         }
     });
 }

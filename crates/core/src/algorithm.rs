@@ -16,7 +16,8 @@
 
 use crate::cluster::{ClusterState, SeedSource, Snapshot};
 use crate::objective::{
-    assignment_gain, assignment_gain_row, ClusterModel, FitScratch, IncrementalModel,
+    assignment_argmax, assignment_gain, assignment_gain_row, assignment_gains_transposed,
+    AssignCandidate, ClusterModel, FitScratch, IncrementalModel, ASSIGN_BLOCK,
 };
 use crate::seeds::{draw_seed, Initializer, SeedGroups};
 use crate::{SspcParams, SspcResult, Supervision, Thresholds};
@@ -26,6 +27,7 @@ use sspc_common::parallel;
 use sspc_common::rng::seeded_rng;
 use sspc_common::{ClusterId, Dataset, Error, ObjectId, Result};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A membership delta at least this fraction of the cluster (1 / this
 /// divisor) routes to a full batch refit instead of the incremental
@@ -71,6 +73,69 @@ impl DeltaPolicy {
                 .filter(|&v| v >= 1)
                 .unwrap_or(DELTA_CUTOVER_DIV),
             rebuild_streak: parse("SSPC_INCR_STREAK").map_or(REBUILD_STREAK, |v| v as u32),
+        }
+    }
+}
+
+/// The `auto` routing threshold of the assignment phase: the transposed
+/// kernel engages when clusters select at least this many dimensions on
+/// average. The `assign_layout` group of `benches/kernels.rs` measured
+/// transposed ahead at *every* tested width — 6.2× at 4 avg dims, still
+/// 2.3× at 100 (see PERFORMANCE.md) — so the guard is set at the floor
+/// where a per-cluster dimension even exists to scan contiguously; the
+/// object-count guard ([`ASSIGN_BLOCK`]) is what actually excludes the
+/// shapes too small for the stripe traffic to amortize.
+const ASSIGN_TRANSPOSED_MIN_AVG_DIMS: usize = 2;
+
+/// How the assignment phase (step 3) walks the data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AssignPath {
+    /// Per-object scans of the row-major buffer ([`assignment_gain_row`]).
+    Row,
+    /// Per-(cluster, dimension) column scans accumulated into a blocked
+    /// per-object gain buffer ([`assignment_gains_transposed`]).
+    Transposed,
+    /// Route by shape: transposed for few wide-dims clusters over enough
+    /// objects to block, row-wise otherwise.
+    Auto,
+}
+
+/// Assignment-phase routing, resolved once per run. Like [`DeltaPolicy`],
+/// the environment override (`SSPC_ASSIGN_PATH` = `row` | `transposed` |
+/// `auto`) exists for A/B runs and equivalence tests forcing each path;
+/// both paths produce bit-identical decisions, so routing only moves work
+/// between equivalent kernels.
+struct AssignPolicy {
+    path: AssignPath,
+}
+
+impl AssignPolicy {
+    fn from_env() -> Self {
+        let path = match std::env::var("SSPC_ASSIGN_PATH")
+            .ok()
+            .as_deref()
+            .map(str::trim)
+        {
+            Some("row") => AssignPath::Row,
+            Some("transposed") => AssignPath::Transposed,
+            _ => AssignPath::Auto,
+        };
+        AssignPolicy { path }
+    }
+
+    /// Whether this pass takes the transposed kernel. The `auto` heuristic
+    /// wants (a) enough objects for at least one full block — below that
+    /// the stripe setup is pure overhead — and (b) wide average dimension
+    /// selections, where the row path's scattered `row[j]` probes touch
+    /// one cache line each while the transposed path streams columns.
+    fn use_transposed(&self, clusters: &[ClusterState], n: usize) -> bool {
+        match self.path {
+            AssignPath::Row => false,
+            AssignPath::Transposed => true,
+            AssignPath::Auto => {
+                let total_dims: usize = clusters.iter().map(|cl| cl.dims.len()).sum();
+                n >= ASSIGN_BLOCK && total_dims >= clusters.len() * ASSIGN_TRANSPOSED_MIN_AVG_DIMS
+            }
         }
     }
 }
@@ -329,6 +394,22 @@ fn refit_cluster(
     cl.fitted_members.clone_from(&cl.members);
 }
 
+/// Wall-clock breakdown of one run, filled by
+/// [`Sspc::run_with_timings`] / [`Sspc::run_naive_with_timings`]: where
+/// the iterations actually spend their time, so assignment-phase wins are
+/// attributable instead of inferred from whole-run deltas. The default
+/// entry points pass no collector and pay no `Instant` reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Step 3 (assignment) total, seconds.
+    pub assign_secs: f64,
+    /// Step 4 (SelectDim + scoring refits) total, seconds.
+    pub refit_secs: f64,
+    /// Everything else — initialization, snapshot record/restore,
+    /// representative replacement — seconds.
+    pub other_secs: f64,
+}
+
 /// The Semi-Supervised Projected Clustering algorithm.
 ///
 /// Construct with [`Sspc::new`], then call [`Sspc::run`] — the instance is
@@ -392,7 +473,48 @@ impl Sspc {
     ) -> Result<SspcResult> {
         // The `naive` feature routes the default entry point through the
         // reference scalar path for whole-binary A/B runs.
-        self.run_impl(dataset, supervision, seed, cfg!(feature = "naive"))
+        self.run_impl(dataset, supervision, seed, cfg!(feature = "naive"), None)
+    }
+
+    /// [`Sspc::run`] with a per-phase wall-clock breakdown. Identical
+    /// computation and result — the only difference is two `Instant` reads
+    /// per outer iteration, amortized over whole assignment/refit phases.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sspc::run`].
+    pub fn run_with_timings(
+        &self,
+        dataset: &Dataset,
+        supervision: &Supervision,
+        seed: u64,
+    ) -> Result<(SspcResult, PhaseTimings)> {
+        let mut timings = PhaseTimings::default();
+        let result = self.run_impl(
+            dataset,
+            supervision,
+            seed,
+            cfg!(feature = "naive"),
+            Some(&mut timings),
+        )?;
+        Ok((result, timings))
+    }
+
+    /// [`Sspc::run_naive`] with a per-phase wall-clock breakdown, for
+    /// attributing the A/B benchmarks' whole-run deltas to phases.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sspc::run`].
+    pub fn run_naive_with_timings(
+        &self,
+        dataset: &Dataset,
+        supervision: &Supervision,
+        seed: u64,
+    ) -> Result<(SspcResult, PhaseTimings)> {
+        let mut timings = PhaseTimings::default();
+        let result = self.run_impl(dataset, supervision, seed, true, Some(&mut timings))?;
+        Ok((result, timings))
     }
 
     /// [`Sspc::run`] through the pre-columnar, serial reference
@@ -410,7 +532,7 @@ impl Sspc {
         supervision: &Supervision,
         seed: u64,
     ) -> Result<SspcResult> {
-        self.run_impl(dataset, supervision, seed, true)
+        self.run_impl(dataset, supervision, seed, true, None)
     }
 
     /// [`Sspc::run_naive`] through the unified contract: identical to
@@ -439,7 +561,9 @@ impl Sspc {
         supervision: &Supervision,
         seed: u64,
         naive: bool,
+        mut timings: Option<&mut PhaseTimings>,
     ) -> Result<SspcResult> {
+        let run_start = timings.is_some().then(Instant::now);
         let k = self.params.k;
         if dataset.n_objects() < 2 * k {
             return Err(Error::InvalidShape(format!(
@@ -492,6 +616,7 @@ impl Sspc {
         // accumulators maintained from the per-iteration assignment delta.
         let mut engine = (!naive && self.params.incremental).then(|| DeltaEngine::new(n, d, k));
         let policy = DeltaPolicy::from_env();
+        let assign_policy = AssignPolicy::from_env();
 
         while iterations < self.params.max_iterations {
             iterations += 1;
@@ -501,15 +626,21 @@ impl Sspc {
             sspc_common::cancel::check()?;
 
             // Step 3: assignment.
+            let phase_start = timings.is_some().then(Instant::now);
             self.assign(
                 dataset,
                 &mut clusters,
                 supervision,
                 &thresholds,
                 naive,
+                &assign_policy,
                 &mut assignment,
                 &mut pinned,
             );
+            if let Some(t) = timings.as_deref_mut() {
+                t.assign_secs += phase_start.expect("timed run").elapsed().as_secs_f64();
+            }
+            let phase_start = timings.is_some().then(Instant::now);
 
             // Step 4: SelectDim + scoring with actual medians. Each
             // cluster's refit is independent; the fast path fans the `k`
@@ -585,6 +716,9 @@ impl Sspc {
                     );
                 }
             }
+            if let Some(t) = timings.as_deref_mut() {
+                t.refit_secs += phase_start.expect("timed run").elapsed().as_secs_f64();
+            }
             let score_sum: f64 = clusters.iter().map(|c| c.score).sum();
             let mut total = score_sum / (n as f64 * d as f64);
 
@@ -653,6 +787,10 @@ impl Sspc {
             }
         }
 
+        if let Some(t) = timings {
+            let total = run_start.expect("timed run").elapsed().as_secs_f64();
+            t.other_secs = (total - t.assign_secs - t.refit_secs).max(0.0);
+        }
         let snap = best.expect("at least one iteration ran");
         Ok(SspcResult::new(
             snap.assignment,
@@ -725,6 +863,7 @@ impl Sspc {
         supervision: &Supervision,
         thresholds: &Thresholds,
         naive: bool,
+        assign_policy: &AssignPolicy,
         assignment: &mut Vec<Option<ClusterId>>,
         pinned: &mut Vec<bool>,
     ) {
@@ -772,25 +911,59 @@ impl Sspc {
             .collect();
         let frozen: &[ClusterState] = clusters;
         let pinned_ref: &[bool] = pinned;
-        parallel::for_each_chunk_mut(assignment, |offset, chunk| {
-            for (i, slot) in chunk.iter_mut().enumerate() {
-                let o = sspc_common::ObjectId(offset + i);
-                if pinned_ref[o.index()] {
-                    continue;
-                }
-                let row = dataset.row(o);
-                let mut best_gain = 0.0f64;
-                let mut best_cluster: Option<usize> = None;
-                for (c, cl) in frozen.iter().enumerate() {
-                    let gain = assignment_gain_row(row, &cl.rep, &cl.dims, &rows[c]);
-                    if gain > best_gain {
-                        best_gain = gain;
-                        best_cluster = Some(c);
+        if assign_policy.use_transposed(frozen, n) {
+            // Transposed path: per candidate, walk its selected dimensions
+            // in order over a cache-resident block of the columnar mirror,
+            // accumulating into a per-worker gain buffer, then reduce each
+            // object to its argmax. Produces the same sequence of adds per
+            // object as the row kernel — bit-identical decisions — and
+            // parallelizes over the same disjoint chunks.
+            let candidates: Vec<AssignCandidate<'_>> = frozen
+                .iter()
+                .zip(&rows)
+                .map(|(cl, row)| AssignCandidate {
+                    rep: &cl.rep,
+                    dims: &cl.dims,
+                    threshold_row: row,
+                })
+                .collect();
+            let candidates = &candidates;
+            parallel::for_each_chunk_mut_with(assignment, Vec::new, |offset, chunk, gains| {
+                let mut start = 0;
+                while start < chunk.len() {
+                    let block_len = (chunk.len() - start).min(ASSIGN_BLOCK);
+                    let block_start = offset + start;
+                    assignment_gains_transposed(dataset, block_start, block_len, candidates, gains);
+                    for i in 0..block_len {
+                        if pinned_ref[block_start + i] {
+                            continue;
+                        }
+                        chunk[start + i] = assignment_argmax(gains, block_len, i).map(ClusterId);
                     }
+                    start += block_len;
                 }
-                *slot = best_cluster.map(ClusterId);
-            }
-        });
+            });
+        } else {
+            parallel::for_each_chunk_mut(assignment, |offset, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let o = sspc_common::ObjectId(offset + i);
+                    if pinned_ref[o.index()] {
+                        continue;
+                    }
+                    let row = dataset.row(o);
+                    let mut best_gain = 0.0f64;
+                    let mut best_cluster: Option<usize> = None;
+                    for (c, cl) in frozen.iter().enumerate() {
+                        let gain = assignment_gain_row(row, &cl.rep, &cl.dims, &rows[c]);
+                        if gain > best_gain {
+                            best_gain = gain;
+                            best_cluster = Some(c);
+                        }
+                    }
+                    *slot = best_cluster.map(ClusterId);
+                }
+            });
+        }
         for o in dataset.object_ids() {
             if pinned[o.index()] {
                 continue;

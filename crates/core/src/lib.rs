@@ -77,7 +77,7 @@ mod seeds;
 mod threshold;
 pub mod validation;
 
-pub use algorithm::Sspc;
+pub use algorithm::{PhaseTimings, Sspc};
 pub use fuzzy::FuzzySupervision;
 pub use params::SspcParams;
 pub use result::SspcResult;

@@ -657,6 +657,93 @@ pub fn assignment_gain_row(row: &[f64], rep: &[f64], dims: &[DimId], threshold_r
     acc
 }
 
+/// One candidate cluster of the transposed assignment kernel: the frozen
+/// per-cluster state [`assignment_gains_transposed`] reads — the
+/// representative, the selected dimensions, and the memoized threshold row
+/// for the cluster's reference size.
+pub struct AssignCandidate<'a> {
+    /// The cluster representative (length `d`).
+    pub rep: &'a [f64],
+    /// The cluster's selected dimensions, in selection order.
+    pub dims: &'a [DimId],
+    /// The threshold row for the cluster's reference size (length `d`).
+    pub threshold_row: &'a [f64],
+}
+
+/// Objects per block of the transposed assignment phase. The kernel's
+/// working set is one gain stripe per candidate (`k × ASSIGN_BLOCK × 8`
+/// bytes — 80 KB at k = 10) plus one column block per inner pass
+/// (`ASSIGN_BLOCK × 8` bytes), sized to sit in L2 so every stripe stays
+/// resident across a cluster's whole dimension walk.
+pub const ASSIGN_BLOCK: usize = 1024;
+
+/// The transposed assignment kernel: gains for one block of objects
+/// against every candidate cluster, written cluster-major into `gains`
+/// (`gains[c * block_len + i]` is object `block_start + i` against
+/// candidate `c`).
+///
+/// Instead of walking each object's row (strided probes of `|dims|` cache
+/// lines scattered over `8·d` bytes per (object, cluster)), the kernel
+/// walks each candidate's selected dimensions in order and scans the
+/// columnar mirror's `column_block` contiguously, accumulating into the
+/// per-object stripe. Each object's accumulator therefore receives exactly
+/// the terms of [`assignment_gain_row`] in exactly its order — starting
+/// from `-0.0` and including an explicit `+ 0.0` for degenerate
+/// (`t ≤ 0`) dimensions, which the row kernel also adds and which turns
+/// `-0.0` into `+0.0` — so the sums are **bit-identical by construction**.
+pub fn assignment_gains_transposed(
+    dataset: &Dataset,
+    block_start: usize,
+    block_len: usize,
+    candidates: &[AssignCandidate<'_>],
+    gains: &mut Vec<f64>,
+) {
+    debug_assert!(block_start + block_len <= dataset.n_objects());
+    gains.clear();
+    // `Iterator::sum::<f64>` folds from -0.0 (the true additive identity);
+    // every accumulator starts there, as `assignment_gain_row` does.
+    gains.resize(candidates.len() * block_len, -0.0);
+    for (c, cand) in candidates.iter().enumerate() {
+        let stripe = &mut gains[c * block_len..(c + 1) * block_len];
+        for &j in cand.dims {
+            let t = cand.threshold_row[j.index()];
+            if t <= 0.0 {
+                // The row kernel's term is an explicit 0.0 here, and
+                // -0.0 + 0.0 = +0.0: the add cannot be skipped or an
+                // all-degenerate gain would keep -0.0 bits.
+                for g in stripe.iter_mut() {
+                    *g += 0.0;
+                }
+                continue;
+            }
+            let rep_j = cand.rep[j.index()];
+            let col = dataset.column_block(j, block_start, block_len);
+            for (g, &x) in stripe.iter_mut().zip(col) {
+                let diff = x - rep_j;
+                *g += 1.0 - diff * diff / t;
+            }
+        }
+    }
+}
+
+/// Reduces one object of a [`assignment_gains_transposed`] block to its
+/// assignment decision, mirroring the row-wise argmax exactly: candidates
+/// scanned in index order, strictly-greater comparison, `0.0` floor — an
+/// object improving no cluster (gain ≤ 0 everywhere) stays an outlier.
+pub fn assignment_argmax(gains: &[f64], block_len: usize, i: usize) -> Option<usize> {
+    debug_assert!(i < block_len);
+    let mut best_gain = 0.0f64;
+    let mut best = None;
+    for (c, stripe) in gains.chunks_exact(block_len).enumerate() {
+        let gain = stripe[i];
+        if gain > best_gain {
+            best_gain = gain;
+            best = Some(c);
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1020,6 +1107,70 @@ mod tests {
                     unrolled.to_bits(),
                     reference.to_bits(),
                     "gain bits differ for {n_dims} dims at {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_gains_match_row_kernel_bitwise() {
+        // The transposed kernel must reproduce `assignment_gain_row`
+        // ulp-for-ulp for every (object, candidate) pair — including
+        // degenerate (t ≤ 0) threshold entries, empty dim lists, and
+        // blocks that don't start at object 0 or span the whole dataset.
+        let ds = wide_dataset(17);
+        let th = Thresholds::new(ThresholdScheme::MFraction(0.5), &ds).unwrap();
+        let t_row = th.row(10);
+        // A second row with a degenerate entry: the 0.0-term add is the
+        // -0.0 → +0.0 subtlety the kernel must preserve.
+        let mut degenerate_row = t_row.to_vec();
+        degenerate_row[1] = 0.0;
+        let rep_a = ds.row(ObjectId(0)).to_vec();
+        let rep_b = ds.row(ObjectId(20)).to_vec();
+        let dims_a: Vec<DimId> = (0..5).map(DimId).collect();
+        let dims_b: Vec<DimId> = vec![DimId(1)];
+        let candidates = [
+            AssignCandidate {
+                rep: &rep_a,
+                dims: &dims_a,
+                threshold_row: &t_row,
+            },
+            AssignCandidate {
+                rep: &rep_b,
+                dims: &dims_b,
+                threshold_row: &degenerate_row,
+            },
+            AssignCandidate {
+                rep: &rep_a,
+                dims: &[],
+                threshold_row: &t_row,
+            },
+        ];
+        let mut gains = Vec::new();
+        for (block_start, block_len) in [(0, ds.n_objects()), (3, 11), (25, 5)] {
+            assignment_gains_transposed(&ds, block_start, block_len, &candidates, &mut gains);
+            for i in 0..block_len {
+                let o = ObjectId(block_start + i);
+                let row = ds.row(o);
+                let mut best_gain = 0.0f64;
+                let mut best = None;
+                for (c, cand) in candidates.iter().enumerate() {
+                    let row_gain =
+                        assignment_gain_row(row, cand.rep, cand.dims, cand.threshold_row);
+                    assert_eq!(
+                        gains[c * block_len + i].to_bits(),
+                        row_gain.to_bits(),
+                        "gain bits differ at {o} candidate {c} (block {block_start}+{block_len})"
+                    );
+                    if row_gain > best_gain {
+                        best_gain = row_gain;
+                        best = Some(c);
+                    }
+                }
+                assert_eq!(
+                    assignment_argmax(&gains, block_len, i),
+                    best,
+                    "argmax decision differs at {o}"
                 );
             }
         }

@@ -357,6 +357,10 @@ impl Metrics {
             .with("uptime_seconds", self.started.elapsed().as_secs_f64())
             .with("workers", gauges.workers)
             .with("workers_alive", gauges.workers_alive)
+            // The *effective* per-job data-parallel thread count, resolved
+            // from the same source the algorithms use — not a config echo,
+            // so it can never silently disagree with what jobs actually do.
+            .with("job_threads", sspc_common::parallel::num_threads() as u64)
             .with(
                 "connections_accepted",
                 self.connections.load(Ordering::Relaxed),
@@ -494,6 +498,11 @@ mod tests {
         );
         assert_eq!(h.get("workers").and_then(Value::as_u64), Some(2));
         assert_eq!(h.get("workers_alive").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            h.get("job_threads").and_then(Value::as_u64),
+            Some(sspc_common::parallel::num_threads() as u64),
+            "job_threads must mirror the resolved per-job worker count"
+        );
         assert_eq!(h.get("jobs_panicked").and_then(Value::as_u64), Some(1));
         assert_eq!(
             h.get("jobs_deadline_exceeded").and_then(Value::as_u64),

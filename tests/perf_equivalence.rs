@@ -9,10 +9,13 @@
 
 use proptest::prelude::*;
 use rand::Rng;
-use sspc::objective::{ClusterModel, FitScratch};
+use sspc::objective::{
+    assignment_argmax, assignment_gain_row, assignment_gains_transposed, AssignCandidate,
+    ClusterModel, FitScratch,
+};
 use sspc::{Sspc, SspcParams, SspcResult, Supervision, ThresholdScheme, Thresholds};
 use sspc_common::rng::seeded_rng;
-use sspc_common::{ClusterId, Dataset, ObjectId};
+use sspc_common::{ClusterId, Dataset, DimId, ObjectId};
 
 /// Serializes SSPC_NUM_THREADS mutation across tests in this binary.
 static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
@@ -274,6 +277,121 @@ fn trait_cluster_equals_cluster_naive_bitwise() {
                 direct.objective().to_bits(),
                 "{what}: objective vs run()"
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// The transposed assignment kernel produces bit-identical gains and
+    /// identical argmax decisions to the row-wise kernel on random
+    /// datasets, candidate shapes (including empty dimension sets), and
+    /// block partitions — with threshold rows mixing positive, zero, and
+    /// negative entries so the degenerate-dimension branch (whose explicit
+    /// `+ 0.0` turns a `-0.0` accumulator positive) is exercised.
+    #[test]
+    fn prop_transposed_assignment_equals_row_bitwise(
+        n in 1usize..260,
+        d in 1usize..14,
+        k in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let values: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let ds = Dataset::from_rows(n, d, values).unwrap();
+        let mut reps: Vec<Vec<f64>> = Vec::new();
+        let mut dims_list: Vec<Vec<DimId>> = Vec::new();
+        let mut t_rows: Vec<Vec<f64>> = Vec::new();
+        for _ in 0..k {
+            reps.push((0..d).map(|_| rng.gen_range(-100.0..100.0)).collect());
+            dims_list.push(
+                (0..d)
+                    .filter(|_| rng.gen_range(0.0..1.0) < 0.6)
+                    .map(DimId)
+                    .collect(),
+            );
+            t_rows.push(
+                (0..d)
+                    .map(|_| match rng.gen_range(0u32..4) {
+                        0 => 0.0,
+                        1 => -1.0,
+                        _ => rng.gen_range(0.1..50.0),
+                    })
+                    .collect(),
+            );
+        }
+        let candidates: Vec<AssignCandidate<'_>> = (0..k)
+            .map(|c| AssignCandidate {
+                rep: &reps[c],
+                dims: &dims_list[c],
+                threshold_row: &t_rows[c],
+            })
+            .collect();
+        // A random partition of [0, n) into blocks, like the blocked
+        // transposed pass but with arbitrary (not just ASSIGN_BLOCK-sized)
+        // block lengths.
+        let mut gains = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let block_len = rng.gen_range(1..=(n - start));
+            assignment_gains_transposed(&ds, start, block_len, &candidates, &mut gains);
+            for i in 0..block_len {
+                let row = ds.row(ObjectId(start + i));
+                let mut best_gain = 0.0f64;
+                let mut best = None;
+                for (c, cand) in candidates.iter().enumerate() {
+                    let g_row =
+                        assignment_gain_row(row, cand.rep, cand.dims, cand.threshold_row);
+                    prop_assert_eq!(
+                        g_row.to_bits(),
+                        gains[c * block_len + i].to_bits(),
+                        "gain bits diverged: object {}, candidate {}", start + i, c
+                    );
+                    if g_row > best_gain {
+                        best_gain = g_row;
+                        best = Some(c);
+                    }
+                }
+                prop_assert_eq!(
+                    assignment_argmax(&gains, block_len, i),
+                    best,
+                    "argmax diverged at object {}", start + i
+                );
+            }
+            start += block_len;
+        }
+    }
+}
+
+/// The assignment-path router (`SSPC_ASSIGN_PATH`) must be invisible in
+/// the results: forcing `row` and forcing `transposed` each produce output
+/// bit-identical to `run_naive`, at 1, 2, and 8 threads. The workload is
+/// large enough (n ≥ the transposed block size) that the forced transposed
+/// path genuinely blocks and the auto route would engage it too.
+#[test]
+fn forced_assign_paths_equal_naive_bitwise() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ds = planted(1500, 24, 3, 2026);
+    let sup = Supervision::none()
+        .label_object(ObjectId(0), ClusterId(0))
+        .label_object(ObjectId(500), ClusterId(1));
+    for scheme in [
+        ThresholdScheme::MFraction(0.5),
+        ThresholdScheme::PValue(0.05),
+    ] {
+        let sspc = Sspc::new(SspcParams::new(3).with_threshold(scheme)).unwrap();
+        let naive = sspc.run_naive(&ds, &sup, 11).unwrap();
+        for path in ["row", "transposed"] {
+            std::env::set_var("SSPC_ASSIGN_PATH", path);
+            for threads in [1usize, 2, 8] {
+                let forced = with_thread_count(threads, || sspc.run(&ds, &sup, 11).unwrap());
+                assert_results_identical(
+                    &naive,
+                    &forced,
+                    &format!("{scheme:?} forced {path} at {threads} threads"),
+                );
+            }
+            std::env::remove_var("SSPC_ASSIGN_PATH");
         }
     }
 }
